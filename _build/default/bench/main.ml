@@ -1,0 +1,364 @@
+(* Benchmark harness: regenerates every quantitative claim in the paper's
+   evaluation (experiments B1-B6 and C1 in DESIGN.md / EXPERIMENTS.md).
+
+   The paper has no numbered tables or figures; its measurable claims are
+   in the Implementation section.  For each experiment we print the
+   measured numbers and the paper's claim next to a PASS/CHECK verdict on
+   the *shape* (who is faster, by roughly what factor), since absolute
+   numbers are hardware-bound (the paper used a DECstation 5000).
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+module Session = Duel_core.Session
+module Env = Duel_core.Env
+module Scenarios = Duel_scenarios.Scenarios
+module Cquery = Duel_cquery.Cquery
+module Conciseness = Duel_cquery.Conciseness
+
+let ( // ) a b = if b = 0.0 then Float.nan else a /. b
+
+(* --- tiny driver on top of bechamel ------------------------------------ *)
+
+let measure (tests : (string * (unit -> unit)) list) : (string * float) list =
+  let elts =
+    List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) tests
+  in
+  let grouped = Test.make_grouped ~name:"g" ~fmt:"%s%s" elts in
+  let cfg =
+    Benchmark.cfg ~limit:400 ~quota:(Time.second 0.4) ~stabilize:false
+      ~start:10 ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let label = Measure.label Toolkit.Instance.monotonic_clock in
+  let ols_of arr =
+    let ols =
+      Analyze.OLS.ols ~bootstrap:0 ~r_square:false ~responder:label
+        ~predictors:[| Measure.run |] arr
+    in
+    match Analyze.OLS.estimates ols with
+    | Some (est :: _) -> est
+    | _ -> Float.nan
+  in
+  List.map
+    (fun (name, _) ->
+      let key = "g" ^ name in
+      match Hashtbl.find_opt raw key with
+      | Some b -> (name, ols_of b.Benchmark.lr)
+      | None -> (name, Float.nan))
+    tests
+
+let ns v =
+  if Float.is_nan v then "n/a"
+  else if v >= 1e9 then Printf.sprintf "%8.2f s " (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%8.2f ms" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%8.2f us" (v /. 1e3)
+  else Printf.sprintf "%8.0f ns" v
+
+let header title = Printf.printf "\n=== %s ===\n" title
+let row name v = Printf.printf "  %-42s %s\n" name (ns v)
+
+let verdict ok claim =
+  Printf.printf "  -> %s %s\n" (if ok then "[shape holds]" else "[CHECK]") claim
+
+let session_of inf = Session.create (Duel_target.Backend.direct inf)
+
+let prepared session query =
+  let ast = Session.parse session query in
+  fun () -> ignore (Session.drive session ast)
+
+(* --- B1: the x[..10000] >? 0 sweep -------------------------------------- *)
+
+let b1 () =
+  header "B1  sweep: big[..10000] >? 0   (paper: ~5 s on a DECstation 5000)";
+  let inf = Scenarios.big_array 10000 in
+  let s = session_of inf in
+  let query = "big[..10000] >? 0" in
+  let eval_only = prepared s query in
+  let parse_and_eval () = ignore (Session.drive s (Session.parse s query)) in
+  let eval_1k = prepared s "big[..1000] >? 0" in
+  let results =
+    measure
+      [
+        ("b1_eval_10k", eval_only);
+        ("b1_parse_eval_10k", parse_and_eval);
+        ("b1_eval_1k", eval_1k);
+      ]
+  in
+  List.iter (fun (n, v) -> row n v) results;
+  let t10k = List.assoc "b1_eval_10k" results in
+  let t1k = List.assoc "b1_eval_1k" results in
+  verdict
+    (t10k < 5e9 && t10k > t1k && t10k // t1k < 30.0)
+    (Printf.sprintf
+       "well under the interactive threshold; cost scales ~linearly (10k/1k \
+        = %.1fx)"
+       (t10k // t1k))
+
+(* --- B2: name lookup dominates 1..100+i ---------------------------------- *)
+
+let b2 () =
+  header
+    "B2  lookup: 1..100+i   (paper: most time goes to the 100 lookups of i; \
+     measured at 5000 iterations so the lookup term dominates the noise)";
+  let inf = Scenarios.all () in
+  let s = session_of inf in
+  (* symbolic computation off so the measurement isolates name lookup *)
+  s.Session.env.Env.flags.Env.symbolic <- false;
+  ignore (Session.exec s "i := 5");
+  let alias = prepared s "1..5000+i" in
+  let const = prepared s "1..5000+5" in
+  let global = prepared s "1..5000+i0" in
+  let results =
+    measure
+      [ ("b2_alias_i", alias); ("b2_global_i0", global); ("b2_const_5", const) ]
+  in
+  List.iter (fun (n, v) -> row n v) results;
+  let ta = List.assoc "b2_alias_i" results in
+  let tg = List.assoc "b2_global_i0" results in
+  let tc = List.assoc "b2_const_5" results in
+  (* expected divergence: the 1993 claim came from per-evaluation searches
+     of gdb's symbol tables; our O(1) hash lookups put the name cost within
+     measurement noise of a constant.  The verdict asserts exactly that. *)
+  verdict
+    (ta // tc < 2.0 && tg // tc < 2.0)
+    (Printf.sprintf
+       "alias %.2fx, global(+fetch) %.2fx of the constant query: lookups NO \
+        LONGER dominate (expected divergence — the paper's cost was gdb's \
+        per-evaluation symbol search; see EXPERIMENTS.md B2)"
+       (ta // tc) (tg // tc))
+
+(* --- B3: symbolic-value computation dominates ---------------------------- *)
+
+let b3 () =
+  header
+    "B3  symbolic values: big[..1000] !=? 0   (paper: symbolic computation \
+     is more expensive than the result; computed 1000 times, printed once)";
+  let inf = Scenarios.big_array 1000 in
+  let s_on = session_of inf in
+  let s_off = session_of inf in
+  s_off.Session.env.Env.flags.Env.symbolic <- false;
+  let query = "big[..1000] !=? 0" in
+  let on = prepared s_on query in
+  let off = prepared s_off query in
+  let results = measure [ ("b3_symbolic_on", on); ("b3_symbolic_off", off) ] in
+  List.iter (fun (n, v) -> row n v) results;
+  let t_on = List.assoc "b3_symbolic_on" results in
+  let t_off = List.assoc "b3_symbolic_off" results in
+  verdict (t_on > t_off)
+    (Printf.sprintf "symbolic overhead: %.2fx (on/off)" (t_on // t_off))
+
+(* --- B4: engine ablation -------------------------------------------------- *)
+
+let b4 () =
+  header
+    "B4  engines: lazy-Seq vs paper's state machine   (paper: 'more \
+     efficient implementations of generators are possible')";
+  let mk engine =
+    let inf = Scenarios.all () in
+    Session.create ~engine (Duel_target.Backend.direct inf)
+  in
+  let seq = mk Session.Seq_engine and sm = mk Session.Sm_engine in
+  let deep = "hash[..1024]-->next->if (next) scope <? next->scope" in
+  let arith = "((1..40)*(1..40)) >? 1500" in
+  let results =
+    measure
+      [
+        ("b4_seq_traversal", prepared seq deep);
+        ("b4_sm_traversal", prepared sm deep);
+        ("b4_seq_arith", prepared seq arith);
+        ("b4_sm_arith", prepared sm arith);
+      ]
+  in
+  List.iter (fun (n, v) -> row n v) results;
+  let r1 =
+    List.assoc "b4_sm_traversal" results
+    // List.assoc "b4_seq_traversal" results
+  in
+  let r2 =
+    List.assoc "b4_sm_arith" results // List.assoc "b4_seq_arith" results
+  in
+  verdict
+    (Float.is_finite r1 && Float.is_finite r2)
+    (Printf.sprintf
+       "state-machine/seq cost ratio: traversal %.2fx, arithmetic %.2fx \
+        (both engines interactive-speed)"
+       r1 r2)
+
+(* --- B5: interpreted DUEL vs compiled-style C baseline -------------------- *)
+
+let b5 () =
+  header
+    "B5  DUEL one-liners vs the C baseline loops   (intro claim: the \
+     one-liner replaces non-trivial C; cost of interpretation is the price)";
+  let inf = Scenarios.all () in
+  let s = session_of inf in
+  let dbg = Duel_target.Backend.direct inf in
+  let pairs =
+    [
+      ( "array_search",
+        prepared s "x[1..4,8,12..50] >? 5 <? 10",
+        fun () ->
+          ignore
+            (Cquery.array_search dbg ~name:"x"
+               ~ranges:[ (1, 4); (8, 8); (12, 50) ]
+               ~lo:5L ~hi:10L) );
+      ( "hash_scan",
+        prepared s "(hash[..1024] !=? 0)->scope >? 5",
+        fun () -> ignore (Cquery.hash_high_scopes dbg ~threshold:5L) );
+      ( "list_dups",
+        prepared s
+          "L-->next#i->value ==? L-->next#j->value => if (i < j) \
+           L-->next[[i,j]]->value",
+        fun () -> ignore (Cquery.list_duplicates dbg ~name:"L") );
+      ( "tree_count",
+        prepared s "#/(root-->(left,right)->key)",
+        fun () -> ignore (Cquery.tree_count dbg ~name:"root") );
+    ]
+  in
+  let tests =
+    List.concat_map
+      (fun (name, duel, c) -> [ ("b5_duel_" ^ name, duel); ("b5_c_" ^ name, c) ])
+      pairs
+  in
+  let results = measure tests in
+  List.iter (fun (n, v) -> row n v) results;
+  let all_slower =
+    List.for_all
+      (fun (name, _, _) ->
+        List.assoc ("b5_duel_" ^ name) results
+        > List.assoc ("b5_c_" ^ name) results)
+      pairs
+  in
+  let ratios =
+    String.concat ", "
+      (List.map
+         (fun (name, _, _) ->
+           Printf.sprintf "%s %.0fx" name
+             (List.assoc ("b5_duel_" ^ name) results
+             // List.assoc ("b5_c_" ^ name) results))
+         pairs)
+  in
+  verdict all_slower
+    ("interpretation overhead vs native loops (still interactive): " ^ ratios)
+
+(* --- B6: debugger-interface transport overhead ---------------------------- *)
+
+let b6 () =
+  header
+    "B6  narrow interface: direct backend vs RSP loopback   (paper: the \
+     interface is intentionally narrow; here every access crosses a \
+     gdbserver-style packet layer)";
+  let direct_s = session_of (Scenarios.all ()) in
+  let rsp_s = Session.create (Duel_rsp.Client.loopback (Scenarios.all ())) in
+  let query = "x[..100] >? 0" in
+  let results =
+    measure
+      [
+        ("b6_direct", prepared direct_s query);
+        ("b6_rsp", prepared rsp_s query);
+      ]
+  in
+  List.iter (fun (n, v) -> row n v) results;
+  let r = List.assoc "b6_rsp" results // List.assoc "b6_direct" results in
+  verdict (r > 1.0) (Printf.sprintf "packet layer costs %.1fx on this sweep" r)
+
+(* --- B7: DUEL in watchpoints (the paper's future work) -------------------- *)
+
+let b7_program =
+  {|
+struct cell { int value; struct cell *next; };
+struct cell *first;
+int push(int v) {
+  struct cell *q;
+  q = (struct cell *)malloc(sizeof(struct cell));
+  q->value = v;
+  q->next = first;
+  first = q;
+  return v;
+}
+int build(int n) {
+  int i;
+  for (i = 0; i < n; i++) push(i);
+  return n;
+}
+|}
+
+let b7 () =
+  header
+    "B7  DUEL conditions in watchpoints   (paper: 'a faster implementation \
+     would be required if Duel expressions were used in watchpoints and \
+     conditional breakpoints' — we measure exactly that overhead)";
+  let fresh () =
+    let inf = Duel_target.Inferior.create () in
+    Duel_target.Stdfuncs.register_all inf;
+    let interp = Duel_minic.Interp.load inf b7_program in
+    Duel_debug.Debugger.create interp
+  in
+  let bare = fresh () in
+  let watched = fresh () in
+  ignore (Duel_debug.Debugger.watch watched "#/(first-->next)");
+  let watched_off = fresh () in
+  ignore (Duel_debug.Debugger.watch watched_off "#/(first-->next)");
+  (Duel_debug.Debugger.session watched_off).Session.env.Env.flags.Env.symbolic <-
+    false;
+  let run dbg () =
+    match Duel_debug.Debugger.run_int dbg "build" [ 20 ] with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let results =
+    measure
+      [
+        ("b7_no_watchpoint", run bare);
+        ("b7_duel_watchpoint", run watched);
+        ("b7_watchpoint_nosym", run watched_off);
+      ]
+  in
+  List.iter (fun (n, v) -> row n v) results;
+  let r =
+    List.assoc "b7_duel_watchpoint" results
+    // List.assoc "b7_no_watchpoint" results
+  in
+  let r2 =
+    List.assoc "b7_duel_watchpoint" results
+    // List.assoc "b7_watchpoint_nosym" results
+  in
+  verdict (r > 2.0)
+    (Printf.sprintf
+       "a per-statement DUEL watchpoint costs %.0fx; symbolic computation \
+        alone accounts for %.1fx of it — the paper's concern, quantified"
+       r r2)
+
+(* --- C1: conciseness table ------------------------------------------------ *)
+
+let c1 () =
+  header "C1  conciseness: DUEL one-liners vs equivalent C (non-space chars)";
+  Printf.printf "  %-32s %10s %8s %8s\n" "query" "DUEL" "C" "ratio";
+  let table = Conciseness.table () in
+  List.iter
+    (fun (label, dc, cc, _, _) ->
+      Printf.printf "  %-32s %10d %8d %7.1fx\n" label dc cc
+        (float_of_int cc /. float_of_int dc))
+    table;
+  let total_d = List.fold_left (fun a (_, d, _, _, _) -> a + d) 0 table in
+  let total_c = List.fold_left (fun a (_, _, c, _, _) -> a + c) 0 table in
+  verdict
+    (total_d * 2 < total_c)
+    (Printf.sprintf "DUEL total %d chars vs C %d chars (%.1fx)" total_d
+       total_c
+       (float_of_int total_c /. float_of_int total_d))
+
+let () =
+  Printf.printf
+    "DUEL reproduction benchmarks (see DESIGN.md section 4 and \
+     EXPERIMENTS.md)\n";
+  b1 ();
+  b2 ();
+  b3 ();
+  b4 ();
+  b5 ();
+  b6 ();
+  b7 ();
+  c1 ();
+  Printf.printf "\ndone.\n"

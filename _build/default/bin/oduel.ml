@@ -1,0 +1,306 @@
+(* oduel — an interactive DUEL session against a simulated debuggee.
+
+   Two modes:
+   - scenario mode (default): pick a prebuilt debuggee and explore it with
+     DUEL expressions, emulating the paper's `gdb> duel <expr>` sessions;
+   - program mode (--program file.c): load a mini-C program, set
+     breakpoints/watchpoints/assertions with DUEL conditions, run
+     functions, and interrogate the paused program — the paper's
+     Discussion section as a working debugger.
+
+   `help` lists commands; anything that is not a command is evaluated as
+   a DUEL expression. *)
+
+module Session = Duel_core.Session
+module Env = Duel_core.Env
+module Inferior = Duel_target.Inferior
+module Scenarios = Duel_scenarios.Scenarios
+module Interp = Duel_minic.Interp
+module Debugger = Duel_debug.Debugger
+
+let make_inferior scenario =
+  match scenario with
+  | "all" -> Scenarios.all ()
+  | "symtab" -> Scenarios.symtab ()
+  | "faulty" -> Scenarios.faulty ()
+  | s when String.length s > 4 && String.sub s 0 4 = "big:" ->
+      Scenarios.big_array (int_of_string (String.sub s 4 (String.length s - 4)))
+  | s ->
+      Printf.eprintf "unknown scenario %s (try all, symtab, faulty, big:<n>)\n" s;
+      exit 2
+
+let help_text =
+  {|Commands:
+  duel <expr>            evaluate a DUEL expression (the `duel` prefix is optional)
+  set symbolic on|off    compute symbolic values (default on)
+  set cycles on|off      cycle detection for --> (default off)
+  set engine seq|sm      evaluation engine (default seq)
+  set compress <n>       -->a[[n]] compression threshold (default 4)
+  set limit <n>          cap displayed values (0 = unlimited)
+  info scenario          describe the loaded debuggee
+  help                   this text
+  quit                   exit
+With --program file.c also:
+  run <func> [ints...]   run a mini-C function under the debugger
+  break <func>[:line] [if <duel-cond>]
+  watch <duel-expr>      stop when the expression's values change
+  assert <duel-expr>     stop when any produced value is zero
+  delete <id>            remove a breakpoint/watchpoint/assertion
+  funcs                  list program functions
+At a stop prompt: any DUEL expression, plus `continue` and `abort`.
+Examples from the paper:
+  x[1..4,8,12..50] >? 5 <? 10
+  (hash[..1024] !=? 0)->scope >? 5
+  hash[0]-->next->scope
+  L-->next#i->value ==? L-->next#j->value => if (i < j) L-->next[[i,j]]->value|}
+
+let scenario_info scenario =
+  match scenario with
+  | "all" ->
+      "Kitchen-sink debuggee: hash (struct symbol *[1024]), L, head \
+       (struct node *), root (struct tnode *), x[100], w[10], v[8], s, \
+       argc/argv, paint (enum color), pk (bit-fields), dd, i0; 3 frames \
+       of fib; libc printf/puts/strlen/strcmp/strchr/abs/atoi/malloc/free."
+  | "symtab" -> "Just the hash symbol table."
+  | "faulty" -> "cyc (cyclic list), dang (dangling tail), lone (NULL)."
+  | s -> s
+
+let on_off flags field value =
+  match value with
+  | "on" -> field flags true
+  | "off" -> field flags false
+  | _ -> print_endline "expected on or off"
+
+let flush_target inf =
+  let out = Inferior.take_output inf in
+  if out <> "" then begin
+    print_string out;
+    if out.[String.length out - 1] <> '\n' then print_newline ()
+  end
+
+let eval_and_print session inf line =
+  let expr =
+    let t = String.trim line in
+    if String.length t > 5 && String.sub t 0 5 = "duel " then
+      String.sub t 5 (String.length t - 5)
+    else t
+  in
+  List.iter print_endline (Session.exec session expr);
+  flush_target inf
+
+(* --- program mode: breakpoint commands ---------------------------------- *)
+
+let parse_break_spec rest =
+  (* <func>[:line] [if <cond>] *)
+  let find_if s =
+    let n = String.length s in
+    let rec go i =
+      if i + 4 > n then None
+      else if String.sub s i 4 = " if " then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let cond, spec =
+    match find_if rest with
+    | Some i ->
+        ( Some (String.trim (String.sub rest (i + 4) (String.length rest - i - 4))),
+          String.trim (String.sub rest 0 i) )
+    | None -> (None, String.trim rest)
+  in
+  match String.split_on_char ':' spec with
+  | [ func ] -> (func, None, cond)
+  | [ func; line ] -> (func, int_of_string_opt line, cond)
+  | _ -> (spec, None, cond)
+
+let stop_prompt dbg reason =
+  Printf.printf "stopped: %s\n" (Debugger.describe_stop reason);
+  let rec loop () =
+    print_string "(stopped) duel> ";
+    flush stdout;
+    match input_line stdin with
+    | "continue" | "c" -> Debugger.Continue
+    | "abort" | "a" -> Debugger.Abort
+    | "" -> loop ()
+    | line ->
+        List.iter print_endline (Debugger.query dbg line);
+        loop ()
+    | exception End_of_file -> Debugger.Abort
+  in
+  loop ()
+
+let handle_program_command dbg line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | "run" :: func :: args ->
+      let args = List.filter_map int_of_string_opt args in
+      (match Debugger.run_int dbg func args with
+      | Ok v -> Printf.printf "%s returned %Ld\n" func v
+      | Error msg -> Printf.printf "stopped: %s\n" msg);
+      true
+  | "break" :: rest ->
+      let func, line, cond = parse_break_spec (String.concat " " rest) in
+      let id = Debugger.break_at dbg ?condition:cond ?line func in
+      Printf.printf "breakpoint %d at %s%s%s\n" id func
+        (match line with Some l -> Printf.sprintf ":%d" l | None -> "")
+        (match cond with Some c -> " if " ^ c | None -> "");
+      true
+  | "watch" :: rest ->
+      let expr = String.concat " " rest in
+      Printf.printf "watchpoint %d on %s\n" (Debugger.watch dbg expr) expr;
+      true
+  | "assert" :: rest ->
+      let expr = String.concat " " rest in
+      Printf.printf "assertion %d on %s\n" (Debugger.add_assertion dbg expr) expr;
+      true
+  | [ "delete"; id ] ->
+      (match int_of_string_opt id with
+      | Some id -> Debugger.delete dbg id
+      | None -> print_endline "expected a numeric id");
+      true
+  | [ "funcs" ] ->
+      List.iter print_endline
+        (List.sort compare (Interp.functions (Debugger.interp dbg)));
+      true
+  | _ -> false
+
+let handle_command session inf scenario program line =
+  let flags = session.Session.env.Env.flags in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> ()
+  | [ "help" ] -> print_endline help_text
+  | [ "info"; "scenario" ] -> print_endline (scenario_info scenario)
+  | [ "set"; "symbolic"; v ] -> on_off flags (fun f b -> f.Env.symbolic <- b) v
+  | [ "set"; "cycles"; v ] -> on_off flags (fun f b -> f.Env.cycle_detect <- b) v
+  | [ "set"; "engine"; "seq" ] -> session.Session.engine <- Session.Seq_engine
+  | [ "set"; "engine"; "sm" ] -> session.Session.engine <- Session.Sm_engine
+  | [ "set"; "compress"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 2 -> flags.Env.compress <- n
+      | _ -> print_endline "expected an integer >= 2")
+  | [ "set"; "limit"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> session.Session.max_values <- n
+      | _ -> print_endline "expected a non-negative integer")
+  | _ -> (
+      match program with
+      | Some dbg when handle_program_command dbg line -> flush_target inf
+      | _ -> eval_and_print session inf line)
+
+let repl session inf scenario program =
+  Printf.printf
+    "oduel — DUEL on a simulated debuggee (%s). Type help for help.\n"
+    (match program with
+    | Some _ -> "mini-C program loaded"
+    | None -> "scenario: " ^ scenario);
+  let rec loop () =
+    print_string "duel> ";
+    flush stdout;
+    match input_line stdin with
+    | "quit" | "exit" -> ()
+    | line ->
+        (try handle_command session inf scenario program line
+         with e -> Printf.printf "error: %s\n" (Printexc.to_string e));
+        loop ()
+    | exception End_of_file -> ()
+  in
+  loop ()
+
+let run scenario engine use_rsp program_file exprs =
+  let program_src =
+    Option.map
+      (fun path ->
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        src)
+      program_file
+  in
+  let inf =
+    match program_src with
+    | Some _ ->
+        let inf = Inferior.create () in
+        Duel_target.Stdfuncs.register_all inf;
+        inf
+    | None -> make_inferior scenario
+  in
+  let program =
+    Option.map
+      (fun src ->
+        let interp = Interp.load inf src in
+        let dbg = Debugger.create interp in
+        Debugger.on_stop dbg stop_prompt;
+        dbg)
+      program_src
+  in
+  let dbgi =
+    if use_rsp then Duel_rsp.Client.loopback inf
+    else Duel_target.Backend.direct inf
+  in
+  let engine =
+    match engine with "sm" -> Session.Sm_engine | _ -> Session.Seq_engine
+  in
+  let session =
+    match program with
+    | Some dbg when not use_rsp ->
+        let s = Debugger.session dbg in
+        s.Session.engine <- engine;
+        s
+    | _ -> Session.create ~engine dbgi
+  in
+  match exprs with
+  | [] -> repl session inf scenario program
+  | exprs ->
+      List.iter
+        (fun e ->
+          Printf.printf "duel> %s\n" e;
+          (try handle_command session inf scenario program e
+           with ex -> Printf.printf "error: %s\n" (Printexc.to_string ex)))
+        exprs
+
+open Cmdliner
+
+let scenario_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "scenario" ] ~doc:"Debuggee: all, symtab, faulty, big:<n>.")
+
+let engine_arg =
+  Arg.(
+    value & opt string "seq"
+    & info [ "engine" ] ~doc:"Evaluation engine: seq or sm.")
+
+let rsp_arg =
+  Arg.(
+    value & flag
+    & info [ "rsp" ]
+        ~doc:
+          "Talk to the debuggee through the in-process GDB \
+           remote-serial-protocol stub instead of directly.")
+
+let program_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "program" ] ~doc:"Load a mini-C $(docv) and debug it." ~docv:"FILE")
+
+let exprs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "eval" ] ~doc:"Evaluate $(docv) and exit (repeatable).")
+
+let cmd =
+  let doc =
+    "DUEL, a very high-level debugging language (USENIX W'93), on a \
+     simulated C debuggee"
+  in
+  Cmd.v
+    (Cmd.info "oduel" ~doc)
+    Term.(
+      const run $ scenario_arg $ engine_arg $ rsp_arg $ program_arg $ exprs_arg)
+
+let () = exit (Cmd.eval cmd)

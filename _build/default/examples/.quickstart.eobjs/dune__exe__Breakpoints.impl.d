@@ -1,0 +1,1 @@
+examples/breakpoints.ml: Duel_debug Duel_minic Duel_target List Printf

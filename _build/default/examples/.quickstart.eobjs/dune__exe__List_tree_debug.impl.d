@@ -1,0 +1,1 @@
+examples/list_tree_debug.ml: Duel_core Duel_scenarios Duel_target Printf

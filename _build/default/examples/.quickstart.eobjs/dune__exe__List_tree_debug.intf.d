@@ -1,0 +1,1 @@
+examples/list_tree_debug.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Duel_core Duel_ctype Duel_target Int64 List Printf

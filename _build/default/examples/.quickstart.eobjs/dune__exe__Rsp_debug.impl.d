@@ -1,0 +1,1 @@
+examples/rsp_debug.ml: Duel_core Duel_rsp Duel_scenarios Duel_target List Printf

@@ -1,0 +1,1 @@
+examples/rsp_debug.mli:

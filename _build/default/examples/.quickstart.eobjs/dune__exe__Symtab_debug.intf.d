@@ -1,0 +1,1 @@
+examples/symtab_debug.mli:

@@ -1,0 +1,137 @@
+(* Watchpoints, conditional breakpoints, and assertions with DUEL
+   conditions — the paper's Discussion section, running.
+
+   A mini-C program (below) builds a linked list inside the simulated
+   inferior.  We run it under the debugger with:
+     - a watchpoint on the generator query  #/(first-->next)
+     - a conditional breakpoint on push() that fires only when v > 4,
+       where we interrogate the stopped program with DUEL
+     - an assertion  first-->next->(value >= 0)  that a buggy function
+       then violates
+     - a conditional breakpoint inside recursive fib(), where frames.n
+       displays the argument of every active frame at once.
+
+   Run with: dune exec examples/breakpoints.exe *)
+
+module Interp = Duel_minic.Interp
+module Debugger = Duel_debug.Debugger
+module Inferior = Duel_target.Inferior
+
+let program =
+  {|
+struct cell { int value; struct cell *next; };
+
+struct cell *first;
+int nalloc;
+
+struct cell *push(int v) {
+  struct cell *q;
+  q = (struct cell *)malloc(sizeof(struct cell));
+  q->value = v;
+  q->next = first;
+  nalloc = nalloc + 1;
+  return q;
+}
+
+int build(int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    first = push(i * i % 7);
+  return nalloc;
+}
+
+int sum() {
+  struct cell *p;
+  int total;
+  total = 0;
+  for (p = first; p != 0; p = p->next)
+    total = total + p->value;
+  return total;
+}
+
+int clobber(int k) {
+  struct cell *p;
+  int i;
+  p = first;
+  for (i = 0; i < k; i++)
+    p = p->next;
+  p->value = -1;
+  return k;
+}
+
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+|}
+
+let () =
+  let inf = Inferior.create () in
+  Duel_target.Stdfuncs.register_all inf;
+  let interp = Interp.load inf program in
+  let dbg = Debugger.create interp in
+  let say fmt = Printf.printf fmt in
+
+  (* 1. watch a generator query while the program runs *)
+  say "# watch the list length while build(6) runs\n";
+  let w = Debugger.watch dbg "#/(first-->next)" in
+  Debugger.on_stop dbg (fun dbg reason ->
+      (match reason with
+      | Debugger.Watchpoint { new_value; _ } ->
+          say "  [watch] list length now: %s\n" new_value
+      | other -> say "  [stop] %s\n" (Debugger.describe_stop other));
+      ignore dbg;
+      Debugger.Continue);
+  (match Debugger.run_int dbg "build" [ 6 ] with
+  | Ok n -> say "build(6) -> %Ld allocations\n\n" n
+  | Error e -> say "error: %s\n" e);
+  Debugger.delete dbg w;
+
+  (* 2. conditional breakpoint: stop in push() only when v == 4,
+     then interrogate the stopped program with DUEL *)
+  say "# conditional breakpoint: push() when v == 4 (inspect with DUEL)\n";
+  let b = Debugger.break_at dbg ~condition:"v == 4" "push" in
+  Debugger.on_stop dbg (fun dbg reason ->
+      (match reason with
+      | Debugger.Breakpoint { func; _ } ->
+          say "  [break] in %s:\n" func;
+          List.iter (say "    duel> %s\n") (Debugger.query dbg "v, nalloc");
+          List.iter (say "    duel> %s\n")
+            (Debugger.query dbg "#/(first-->next->(value ==? 4))")
+      | other -> say "  [stop] %s\n" (Debugger.describe_stop other));
+      Debugger.Continue);
+  (match Debugger.run_int dbg "build" [ 3 ] with
+  | Ok _ -> say "(hit %d time(s): values pushed were 0, 1, 4)\n\n" (Debugger.hits dbg b)
+  | Error e -> say "error: %s\n\n" e);
+  Debugger.delete dbg b;
+
+  (* 3. an assertion in the DUEL language, violated by a buggy function *)
+  say "# assertion: every list value is non-negative\n";
+  let a = Debugger.add_assertion dbg "first-->next->(value >= 0)" in
+  Debugger.on_stop dbg (fun dbg reason ->
+      (match reason with
+      | Debugger.Assertion_failed { expr; detail; _ } ->
+          say "  [assert] FAILED: %s (%s)\n" expr detail;
+          List.iter (say "    duel> %s\n")
+            (Debugger.query dbg "first-->next->value <? 0")
+      | other -> say "  [stop] %s\n" (Debugger.describe_stop other));
+      Debugger.Abort);
+  (match Debugger.run_int dbg "clobber" [ 2 ] with
+  | Ok _ -> say "clobber finished without tripping the assertion?!\n\n"
+  | Error e -> say "execution aborted: %s\n\n" e);
+  Debugger.delete dbg a;
+
+  (* 4. recursion: frames.n shows every active frame's argument *)
+  say "# break deep inside fib(7) and look at the whole stack with frames.n\n";
+  let fired = ref false in
+  let b = Debugger.break_at dbg ~condition:"n == 1" "fib" in
+  Debugger.on_stop dbg (fun dbg reason ->
+      (match reason with
+      | Debugger.Breakpoint _ when not !fired ->
+          fired := true;
+          List.iter (say "    duel> %s\n") (Debugger.query dbg "frames.n")
+      | _ -> ());
+      Debugger.Continue);
+  (match Debugger.run_int dbg "fib" [ 7 ] with
+  | Ok v -> say "fib(7) = %Ld (breakpoint fired %d times)\n" v (Debugger.hits dbg b)
+  | Error e -> say "error: %s\n" e)

@@ -1,0 +1,70 @@
+(* Linked lists, binary trees, selection, reductions, and fault injection.
+
+   Covers the paper's remaining query families: the introduction's
+   "does list L contain two identical values?" one-liner, select [[..]],
+   index aliases #i/#j, tree traversal and search, the @ truncation
+   operator, and what happens on corrupted data (cycles, dangling
+   pointers) — including the cycle-detection extension.
+
+   Run with: dune exec examples/list_tree_debug.exe *)
+
+module Session = Duel_core.Session
+module Env = Duel_core.Env
+module Scenarios = Duel_scenarios.Scenarios
+
+let () =
+  let inf = Scenarios.all () in
+  let session = Session.create (Duel_target.Backend.direct inf) in
+  let say text = Printf.printf "# %s\n" text in
+  let duel q =
+    Printf.printf "duel> %s\n%s\n\n" q (Session.exec_string session q)
+  in
+
+  say "The introduction's query: does L contain two identical values?";
+  duel "L-->next->(value ==? next-->next->value)";
+
+  say "Pinpoint both positions with index aliases and select:";
+  duel
+    "L-->next#i->value ==? L-->next#j->value => if (i < j) \
+     L-->next[[i,j]]->value";
+
+  say "Select the 3rd and 5th values of the head list (0-based):";
+  duel "head-->next->value[[3,5]]";
+
+  say "All tree keys, preorder, and their count and sum:";
+  duel "root-->(left,right)->key";
+  duel "#/(root-->(left,right)->key)";
+  duel "+/(root-->(left,right)->key)";
+
+  say "Search the tree: the path to the node holding 5";
+  say "(the paper prints this path with the comparisons the other way";
+  say "around — see EXPERIMENTS.md E10):";
+  duel "root-->(if (key > 5) left else if (key < 5) right)->key";
+
+  say "Truncation with @: characters of s up to the NUL, argv up to NULL:";
+  duel "s[0..999]@(_=='\\0')";
+  duel "argv[0..]@0";
+
+  say "Leaves only (neither child):";
+  duel "root-->(left,right)->if (!left && !right) key";
+
+  say "--- fault injection (scenario: faulty) ---";
+  let inf2 = Scenarios.faulty () in
+  let s2 = Session.create (Duel_target.Backend.direct inf2) in
+  let duel2 q = Printf.printf "duel> %s\n%s\n\n" q (Session.exec_string s2 q) in
+
+  say "A dangling pointer terminates the --> sequence (paper semantics):";
+  duel2 "dang-->next->value";
+
+  say "... but an explicit dereference of the bad link is an error:";
+  duel2 "dang->next->next->next->value";
+
+  say "A cyclic list with cycle detection on (our extension; the paper's";
+  say "implementation 'does not handle cycles'):";
+  s2.Session.env.Env.flags.Env.cycle_detect <- true;
+  duel2 "cyc-->next->value";
+
+  say "With detection off, the safety cap stops the runaway traversal:";
+  s2.Session.env.Env.flags.Env.cycle_detect <- false;
+  s2.Session.env.Env.flags.Env.expansion_limit <- 8;
+  duel2 "cyc-->next->value"

@@ -1,0 +1,47 @@
+## a mini-C demo program for oduel --program
+## (## is the comment syntax of the shared lexer)
+
+struct cell { int value; struct cell *next; };
+struct cell *first;
+int nalloc;
+
+int push(int v) {
+  struct cell *q;
+  q = (struct cell *)malloc(sizeof(struct cell));
+  q->value = v;
+  q->next = first;
+  first = q;
+  nalloc = nalloc + 1;
+  return v;
+}
+
+int build(int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    push(i * i % 7);
+  return nalloc;
+}
+
+int sum() {
+  struct cell *p;
+  int total;
+  total = 0;
+  for (p = first; p != 0; p = p->next)
+    total = total + p->value;
+  return total;
+}
+
+int clobber(int k) {
+  struct cell *p;
+  int i;
+  p = first;
+  for (i = 0; i < k; i++)
+    p = p->next;
+  p->value = -1;
+  return k;
+}
+
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}

@@ -1,0 +1,58 @@
+(* Quickstart: embed DUEL in 40 lines.
+
+   Build a simulated debuggee from scratch with the public API — declare a
+   C struct type, create globals, lay out a linked list in target memory —
+   then open a DUEL session on it and run generator queries.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Ctype = Duel_ctype.Ctype
+module Tenv = Duel_ctype.Tenv
+module Inferior = Duel_target.Inferior
+module Build = Duel_target.Build
+module Session = Duel_core.Session
+
+let () =
+  (* 1. A fresh simulated inferior (LP64, little-endian by default). *)
+  let inf = Inferior.create () in
+
+  (* 2. Declare   struct point { int x, y; struct point *next; };   *)
+  let point = Tenv.declare_struct (Inferior.tenv inf) "point" in
+  Ctype.define_fields point
+    [
+      Ctype.field "x" Ctype.int;
+      Ctype.field "y" Ctype.int;
+      Ctype.field "next" (Ctype.ptr (Ctype.Comp point));
+    ];
+
+  (* 3. A global   int samples[10]   with some data. *)
+  let samples = Inferior.define_global inf "samples" (Ctype.array Ctype.int 10) in
+  List.iteri
+    (fun i v -> Build.poke_int inf Ctype.int (samples + (4 * i)) (Int64.of_int v))
+    [ 4; -2; 7; 0; 12; -5; 3; 9; -1; 6 ];
+
+  (* 4. A global   struct point *path   — a heap-linked list. *)
+  let link (x, y) tail =
+    let p = Build.alloc inf (Ctype.Comp point) in
+    Build.poke_field inf point p "x" (Int64.of_int x);
+    Build.poke_field inf point p "y" (Int64.of_int y);
+    Build.poke_field inf point p "next" (Int64.of_int tail);
+    p
+  in
+  let head = List.fold_right link [ (0, 0); (3, 4); (6, 8); (9, 12) ] 0 in
+  let path = Inferior.define_global inf "path" (Ctype.ptr (Ctype.Comp point)) in
+  Build.poke_int inf (Ctype.ptr (Ctype.Comp point)) path (Int64.of_int head);
+
+  (* 5. Open a DUEL session through the narrow debugger interface. *)
+  let session = Session.create (Duel_target.Backend.direct inf) in
+  let duel q =
+    Printf.printf "duel> %s\n%s\n\n" q (Session.exec_string session q)
+  in
+
+  duel "samples[..10] >? 0";                  (* which samples are positive?  *)
+  duel "#/(samples[..10] >? 0)";              (* ... how many?                *)
+  duel "+/(samples[..10])";                   (* ... their sum?               *)
+  duel "path-->next->(x, y)";                 (* walk the list                *)
+  duel "path-->next->if (x == 6) y";          (* the y where x is 6           *)
+  duel "p := path-->next => {p}->x * {p}->x + {p}->y * {p}->y"
+       (* |p|^2 for each node, symbolically showing each pointer *)

@@ -1,0 +1,1 @@
+lib/core/ast.ml: Duel_ctype List Option

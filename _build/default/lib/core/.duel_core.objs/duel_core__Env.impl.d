@@ -1,0 +1,1 @@
+lib/core/env.ml: Bytes Duel_ctype Duel_dbgi Error Hashtbl List String Symbolic Value

@@ -1,0 +1,1 @@
+lib/core/env.mli: Duel_dbgi Hashtbl Value

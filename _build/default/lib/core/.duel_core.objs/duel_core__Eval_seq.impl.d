@@ -1,0 +1,1 @@
+lib/core/eval_seq.ml: Array Ast Duel_ctype Duel_dbgi Either Env Error Fun Hashtbl Int64 List Ops Pretty Printer Printf Semantics Seq Symbolic Value

@@ -1,0 +1,1 @@
+lib/core/eval_seq.mli: Ast Env Seq Value

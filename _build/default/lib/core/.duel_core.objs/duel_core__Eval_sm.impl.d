@@ -1,0 +1,1 @@
+lib/core/eval_sm.ml: Array Ast Duel_ctype Duel_dbgi Either Env Error Fun Hashtbl Int64 List Ops Option Pretty Printer Printf Semantics Seq Symbolic Value

@@ -1,0 +1,1 @@
+lib/core/eval_sm.mli: Ast Env Seq Value

@@ -1,0 +1,1 @@
+lib/core/lexer.ml: Buffer Char Duel_ctype Int64 List Printf String Token

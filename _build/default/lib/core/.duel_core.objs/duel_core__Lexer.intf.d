@@ -1,0 +1,1 @@
+lib/core/lexer.mli: Duel_ctype Token

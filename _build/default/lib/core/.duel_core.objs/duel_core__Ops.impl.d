@@ -1,0 +1,1 @@
+lib/core/ops.ml: Ast Duel_ctype Duel_dbgi Env Error Int64 Printf Symbolic Value

@@ -1,0 +1,1 @@
+lib/core/ops.mli: Ast Env Symbolic Value

@@ -1,0 +1,1 @@
+lib/core/parser.ml: Array Ast Lexer List Printf Token

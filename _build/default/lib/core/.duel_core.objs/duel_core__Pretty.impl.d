@@ -1,0 +1,1 @@
+lib/core/pretty.ml: Ast Char List Printf String Symbolic

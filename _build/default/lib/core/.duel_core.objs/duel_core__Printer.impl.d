@@ -1,0 +1,1 @@
+lib/core/printer.ml: Buffer Bytes Char Duel_ctype Duel_dbgi Env Error Float Int64 List Option Printf String Symbolic Value

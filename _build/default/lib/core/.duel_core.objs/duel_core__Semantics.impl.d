@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Ast Char Duel_ctype Duel_dbgi Either Env Error Int64 List Option Printf String Symbolic Value

@@ -1,0 +1,1 @@
+lib/core/semantics.mli: Ast Duel_ctype Either Env Symbolic Value

@@ -1,0 +1,1 @@
+lib/core/session.ml: Ast Duel_ctype Duel_dbgi Env Error Eval_seq Eval_sm Lexer List Parser Printer Printexc Printf Seq String Symbolic Value

@@ -1,0 +1,1 @@
+lib/core/session.mli: Ast Duel_dbgi Env Seq Value

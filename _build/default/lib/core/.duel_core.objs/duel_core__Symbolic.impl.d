@@ -1,0 +1,1 @@
+lib/core/symbolic.ml: Buffer Printf String

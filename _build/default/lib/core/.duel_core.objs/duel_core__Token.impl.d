@@ -1,0 +1,1 @@
+lib/core/token.ml: Duel_ctype Printf

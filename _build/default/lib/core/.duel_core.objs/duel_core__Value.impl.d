@@ -1,0 +1,1 @@
+lib/core/value.ml: Bytes Char Duel_ctype Duel_dbgi Error Int32 Int64 Printf Symbolic

@@ -1,0 +1,1 @@
+lib/core/value.mli: Duel_ctype Duel_dbgi Symbolic

@@ -1,0 +1,186 @@
+(** Abstract syntax of DUEL expressions.
+
+    The node set mirrors the paper's operator inventory: all of C's
+    expression operators (with C semantics), plus the DUEL generators —
+    [to] ([e1..e2] and the [..e] / [e..] shorthands), [alternate] ([,]),
+    the filtering comparisons ([>?] family), [with] ([.] and [->] with
+    arbitrary right operands), graph expansion ([-->] depth-first, [-->>]
+    breadth-first), [select] ([[[...]]]), [until] ([@]), index aliasing
+    ([#]), sequence reductions ([#/], [+/], [&&/], [||/], [==/]), aliasing
+    ([:=]), [imply] ([=>]), sequencing ([;]), display braces ([{e}]), and
+    C control structures recast as expressions. *)
+
+module Ctype = Duel_ctype.Ctype
+
+type unop =
+  | Uminus
+  | Uplus
+  | Unot  (** [!] *)
+  | Ubnot  (** [~] *)
+  | Uderef  (** [*] *)
+  | Uaddr  (** [&] *)
+
+type incdec = Preinc | Predec | Postinc | Postdec
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Blt
+  | Bgt
+  | Ble
+  | Bge
+  | Beq
+  | Bne
+  | Bshl
+  | Bshr
+  | Bband  (** bitwise [&] *)
+  | Bbor
+  | Bbxor
+
+(** The filtering comparisons: [e1 OP? e2] yields [e1] when the comparison
+    holds, and nothing otherwise. *)
+type filter = Qlt | Qgt | Qle | Qge | Qeq | Qne
+
+type reduction = Rcount  (** [#/] *) | Rsum  (** [+/] *) | Rall  (** [&&/] *) | Rany  (** [||/] *)
+
+type with_kind = Wdot  (** [e1.e2] *) | Warrow  (** [e1->e2] *)
+
+(** Type syntax for casts, [sizeof], and DUEL declarations.  Resolution to
+    {!Ctype.t} happens at evaluation time, as in the paper ("type checking
+    must be done during evaluation"). *)
+type type_expr =
+  | Tname of string list  (** base-specifier keywords, e.g. [unsigned int] *)
+  | Tstruct_ref of string
+  | Tunion_ref of string
+  | Tenum_ref of string
+  | Ttypedef_ref of string
+  | Tptr of type_expr
+  | Tarr of type_expr * expr option
+
+and expr =
+  | Int_lit of int64 * Ctype.t * string  (** value, C type, source lexeme *)
+  | Float_lit of float * Ctype.t * string
+  | Char_lit of char * string
+  | Str_lit of string
+  | Name of string
+  | Underscore  (** [_], the innermost [with] operand *)
+  | Unary of unop * expr
+  | Incdec of incdec * expr
+  | Binary of binop * expr * expr
+  | Logand of expr * expr  (** [&&] with generator semantics *)
+  | Logor of expr * expr
+  | Filter of filter * expr * expr  (** [e1 >? e2] etc. *)
+  | Cond of expr * expr * expr  (** C [?:] *)
+  | Assign of binop option * expr * expr  (** [=] or [op=] *)
+  | Cast of type_expr * expr
+  | Call of expr * expr list
+  | Index of expr * expr  (** [e1[e2]] *)
+  | With of with_kind * expr * expr
+  | To of expr * expr  (** [e1..e2] *)
+  | To_inf of expr  (** [e..] *)
+  | Up_to of expr  (** [..e], shorthand for [0..e-1] *)
+  | Alt of expr * expr  (** [e1,e2] *)
+  | Seq of expr * expr  (** [e1;e2] *)
+  | Seq_void of expr  (** [e;] — trailing semicolon, effects only *)
+  | Imply of expr * expr  (** [e1 => e2] *)
+  | Def_alias of string * expr  (** [a := e] *)
+  | Dfs of expr * expr  (** [e1 --> e2] *)
+  | Bfs of expr * expr  (** [e1 -->> e2] *)
+  | Select of expr * expr  (** [e1[[e2]]] *)
+  | Until of expr * expr  (** [e1 @ e2] *)
+  | Index_alias of expr * string  (** [e # name] *)
+  | Reduce of reduction * expr
+  | Seq_eq of expr * expr  (** [e1 ==/ e2] — the paper's [equality] *)
+  | Braces of expr  (** [{e}] — substitute the value in symbolic output *)
+  | Group of expr  (** [(e)] — kept for faithful "as entered" display *)
+  | If of expr * expr * expr option
+  | For of expr option * expr option * expr option * expr
+  | While of expr * expr
+  | Decl of type_expr * (string * type_expr) list
+      (** [int i, *p;] — each declarator is (name, full type). *)
+  | Sizeof_expr of expr
+  | Sizeof_type of type_expr
+  | Frame of expr  (** [frame(e)] — scope generator over frame locals *)
+  | Frames_gen  (** [frames] — generator of active frame indices *)
+
+(** Structural equality ignoring source lexemes (used by differential
+    engine tests to compare reparsed trees). *)
+let rec equal_expr a b =
+  match (a, b) with
+  | Int_lit (v1, t1, _), Int_lit (v2, t2, _) -> v1 = v2 && Ctype.equal t1 t2
+  | Float_lit (v1, t1, _), Float_lit (v2, t2, _) -> v1 = v2 && Ctype.equal t1 t2
+  | Char_lit (c1, _), Char_lit (c2, _) -> c1 = c2
+  | Str_lit s1, Str_lit s2 -> s1 = s2
+  | Name n1, Name n2 -> n1 = n2
+  | Underscore, Underscore -> true
+  | Unary (o1, e1), Unary (o2, e2) -> o1 = o2 && equal_expr e1 e2
+  | Incdec (o1, e1), Incdec (o2, e2) -> o1 = o2 && equal_expr e1 e2
+  | Binary (o1, a1, b1), Binary (o2, a2, b2) ->
+      o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Logand (a1, b1), Logand (a2, b2) | Logor (a1, b1), Logor (a2, b2) ->
+      equal_expr a1 a2 && equal_expr b1 b2
+  | Filter (o1, a1, b1), Filter (o2, a2, b2) ->
+      o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Cond (a1, b1, c1), Cond (a2, b2, c2) ->
+      equal_expr a1 a2 && equal_expr b1 b2 && equal_expr c1 c2
+  | Assign (o1, a1, b1), Assign (o2, a2, b2) ->
+      o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Cast (t1, e1), Cast (t2, e2) -> equal_type_expr t1 t2 && equal_expr e1 e2
+  | Call (f1, a1), Call (f2, a2) ->
+      equal_expr f1 f2
+      && List.length a1 = List.length a2
+      && List.for_all2 equal_expr a1 a2
+  | Index (a1, b1), Index (a2, b2) -> equal_expr a1 a2 && equal_expr b1 b2
+  | With (k1, a1, b1), With (k2, a2, b2) ->
+      k1 = k2 && equal_expr a1 a2 && equal_expr b1 b2
+  | To (a1, b1), To (a2, b2) -> equal_expr a1 a2 && equal_expr b1 b2
+  | To_inf e1, To_inf e2 | Up_to e1, Up_to e2 -> equal_expr e1 e2
+  | Alt (a1, b1), Alt (a2, b2)
+  | Seq (a1, b1), Seq (a2, b2)
+  | Imply (a1, b1), Imply (a2, b2)
+  | Dfs (a1, b1), Dfs (a2, b2)
+  | Bfs (a1, b1), Bfs (a2, b2)
+  | Select (a1, b1), Select (a2, b2)
+  | Until (a1, b1), Until (a2, b2)
+  | Seq_eq (a1, b1), Seq_eq (a2, b2)
+  | While (a1, b1), While (a2, b2) ->
+      equal_expr a1 a2 && equal_expr b1 b2
+  | Seq_void e1, Seq_void e2 -> equal_expr e1 e2
+  | Def_alias (n1, e1), Def_alias (n2, e2) -> n1 = n2 && equal_expr e1 e2
+  | Index_alias (e1, n1), Index_alias (e2, n2) -> n1 = n2 && equal_expr e1 e2
+  | Reduce (r1, e1), Reduce (r2, e2) -> r1 = r2 && equal_expr e1 e2
+  | Braces e1, Braces e2 | Group e1, Group e2 -> equal_expr e1 e2
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+      equal_expr c1 c2 && equal_expr t1 t2 && Option.equal equal_expr e1 e2
+  | For (i1, c1, s1, b1), For (i2, c2, s2, b2) ->
+      Option.equal equal_expr i1 i2
+      && Option.equal equal_expr c1 c2
+      && Option.equal equal_expr s1 s2
+      && equal_expr b1 b2
+  | Decl (t1, d1), Decl (t2, d2) ->
+      equal_type_expr t1 t2
+      && List.length d1 = List.length d2
+      && List.for_all2
+           (fun (n1, ty1) (n2, ty2) -> n1 = n2 && equal_type_expr ty1 ty2)
+           d1 d2
+  | Sizeof_expr e1, Sizeof_expr e2 -> equal_expr e1 e2
+  | Sizeof_type t1, Sizeof_type t2 -> equal_type_expr t1 t2
+  | Frame e1, Frame e2 -> equal_expr e1 e2
+  | Frames_gen, Frames_gen -> true
+  | _, _ -> false
+
+and equal_type_expr a b =
+  match (a, b) with
+  | Tname w1, Tname w2 -> w1 = w2
+  | Tstruct_ref t1, Tstruct_ref t2
+  | Tunion_ref t1, Tunion_ref t2
+  | Tenum_ref t1, Tenum_ref t2
+  | Ttypedef_ref t1, Ttypedef_ref t2 ->
+      t1 = t2
+  | Tptr t1, Tptr t2 -> equal_type_expr t1 t2
+  | Tarr (t1, e1), Tarr (t2, e2) ->
+      equal_type_expr t1 t2 && Option.equal equal_expr e1 e2
+  | _, _ -> false

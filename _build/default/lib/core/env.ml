@@ -1,0 +1,122 @@
+module Ctype = Duel_ctype.Ctype
+module Tenv = Duel_ctype.Tenv
+module Dbgi = Duel_dbgi.Dbgi
+
+type scope = {
+  sc_value : Value.t;
+  sc_lookup : string -> Value.t option;
+}
+
+type flags = {
+  mutable symbolic : bool;
+  mutable cycle_detect : bool;
+  mutable compress : int;
+  mutable expansion_limit : int;
+}
+
+type t = {
+  dbg : Dbgi.t;
+  aliases : (string, Value.t) Hashtbl.t;
+  mutable scopes : scope list;
+  strings : (string, int) Hashtbl.t;
+  flags : flags;
+}
+
+let default_flags () =
+  {
+    symbolic = true;
+    cycle_detect = false;
+    compress = Symbolic.default_threshold;
+    expansion_limit = 1_000_000;
+  }
+
+let create dbg =
+  {
+    dbg;
+    aliases = Hashtbl.create 16;
+    scopes = [];
+    strings = Hashtbl.create 16;
+    flags = default_flags ();
+  }
+
+let define_alias env name v = Hashtbl.replace env.aliases name v
+let find_alias env name = Hashtbl.find_opt env.aliases name
+let push_scope env sc = env.scopes <- sc :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | [] -> invalid_arg "Env.pop_scope: empty scope stack"
+  | _ :: rest -> env.scopes <- rest
+
+let current_scope env =
+  match env.scopes with
+  | sc :: _ -> sc
+  | [] -> Error.fail "_ used outside of a with scope (. -> --> @)"
+
+let scope_depth env = List.length env.scopes
+
+let restore_scope_depth env depth =
+  let rec drop scopes n = if n <= 0 then scopes else
+    match scopes with [] -> [] | _ :: rest -> drop rest (n - 1)
+  in
+  let extra = List.length env.scopes - depth in
+  if extra > 0 then env.scopes <- drop env.scopes extra
+
+let rec scope_find scopes name =
+  match scopes with
+  | [] -> None
+  | sc :: rest -> (
+      match sc.sc_lookup name with
+      | Some v -> Some v
+      | None -> scope_find rest name)
+
+let frame_local env name =
+  match env.dbg.Dbgi.frames () with
+  | [] -> None
+  | frame :: _ -> (
+      match List.assoc_opt name frame.Dbgi.fr_locals with
+      | Some info ->
+          Some
+            (Value.lvalue ~sym:(Symbolic.atom name) info.Dbgi.v_type
+               info.Dbgi.v_addr)
+      | None -> None)
+
+let global env name =
+  match env.dbg.Dbgi.find_variable name with
+  | Some info ->
+      Some
+        (Value.lvalue ~sym:(Symbolic.atom name) info.Dbgi.v_type
+           info.Dbgi.v_addr)
+  | None -> None
+
+let enum_const env name =
+  match Tenv.find_enum_const env.dbg.Dbgi.tenv name with
+  | Some (e, v) ->
+      Some (Value.int_value ~sym:(Symbolic.atom name) (Ctype.Enum e) v)
+  | None -> None
+
+let lookup env name =
+  match scope_find env.scopes name with
+  | Some v -> v
+  | None -> (
+      match find_alias env name with
+      | Some v -> Value.with_sym v (Symbolic.atom name)
+      | None -> (
+          match frame_local env name with
+          | Some v -> v
+          | None -> (
+              match global env name with
+              | Some v -> v
+              | None -> (
+                  match enum_const env name with
+                  | Some v -> v
+                  | None -> Error.failf "undefined name %s" name))))
+
+let string_literal env s =
+  match Hashtbl.find_opt env.strings s with
+  | Some addr -> addr
+  | None ->
+      let addr = env.dbg.Dbgi.alloc_space (String.length s + 1) in
+      env.dbg.Dbgi.put_bytes ~addr (Bytes.of_string (s ^ "\000"));
+      Hashtbl.replace env.strings s addr;
+      addr

@@ -1,0 +1,59 @@
+(** Evaluation environment: the alias table, the [with]-scope
+    name-resolution stack, per-session flags, and the debugger handle.
+
+    Name resolution order (paper: "C's scope rules apply", extended by
+    [with] scopes and aliases): innermost [with] scopes first, then
+    aliases (including DUEL declarations and [#] index aliases), then the
+    innermost frame's locals, then globals and functions, then enumeration
+    constants. *)
+
+module Dbgi = Duel_dbgi.Dbgi
+
+type scope = {
+  sc_value : Value.t;  (** what [_] refers to *)
+  sc_lookup : string -> Value.t option;
+      (** member resolution, producing values with qualified symbolics
+          such as [hash[42]->scope] *)
+}
+
+type flags = {
+  mutable symbolic : bool;
+      (** compute symbolic values (on by default; the B3 bench measures
+          the paper's claim that this dominates evaluation cost) *)
+  mutable cycle_detect : bool;
+      (** detect cycles in [-->]/[-->>] (off by default, matching the
+          paper's implementation; on to traverse cyclic lists safely) *)
+  mutable compress : int;  (** [-->a[[n]]] compression threshold *)
+  mutable expansion_limit : int;
+      (** safety cap on nodes yielded by one [-->]; 0 = unlimited *)
+}
+
+type t = {
+  dbg : Dbgi.t;
+  aliases : (string, Value.t) Hashtbl.t;
+  mutable scopes : scope list;
+  strings : (string, int) Hashtbl.t;  (** interned target string literals *)
+  flags : flags;
+}
+
+val create : Dbgi.t -> t
+val default_flags : unit -> flags
+
+val lookup : t -> string -> Value.t
+(** @raise Error.Duel_error on undefined names. *)
+
+val define_alias : t -> string -> Value.t -> unit
+val find_alias : t -> string -> Value.t option
+val push_scope : t -> scope -> unit
+val pop_scope : t -> unit
+
+val current_scope : t -> scope
+(** Innermost scope, for [_].  @raise Error.Duel_error if none. *)
+
+val scope_depth : t -> int
+val restore_scope_depth : t -> int -> unit
+(** Drop scopes down to a saved depth — used by operators that abandon a
+    subsequence early ([@], select) so the stack cannot leak. *)
+
+val string_literal : t -> string -> int
+(** Target address of an interned copy of a string literal. *)

@@ -1,0 +1,47 @@
+(** Evaluation errors.
+
+    The paper: "Symbolic values assist in the display of results as well as
+    errors: The offending operand's symbolic value is printed, e.g., the
+    expression [ptr[..99]->val] might produce
+    [Illegal memory reference in x of x->y: ptr[48] = lvalue 0x16820.]"
+    An {!t} carries the human message plus the symbolic expression and
+    rendering of the offending operand so the session layer can produce
+    exactly that shape. *)
+
+type t = {
+  msg : string;  (** e.g. ["Illegal memory reference"] *)
+  context : string option;  (** e.g. ["x of x->y"] — operand role *)
+  operand : (string * string) option;
+      (** symbolic and value rendering of the offending operand,
+          e.g. [("ptr[48]", "lvalue 0x16820")] *)
+}
+
+exception Duel_error of t
+
+let fail ?context ?operand msg =
+  raise (Duel_error { msg; context; operand })
+
+let failf ?context ?operand fmt =
+  Printf.ksprintf (fun msg -> fail ?context ?operand msg) fmt
+
+let with_context ctx f =
+  try f ()
+  with Duel_error ({ context = None; _ } as err) ->
+    raise (Duel_error { err with context = Some ctx })
+
+let to_string err =
+  let b = Buffer.create 64 in
+  Buffer.add_string b err.msg;
+  (match err.context with
+  | Some c ->
+      Buffer.add_string b " in ";
+      Buffer.add_string b c
+  | None -> ());
+  (match err.operand with
+  | Some (sym, v) ->
+      Buffer.add_string b ": ";
+      Buffer.add_string b sym;
+      Buffer.add_string b " = ";
+      Buffer.add_string b v
+  | None -> ());
+  Buffer.contents b

@@ -1,0 +1,537 @@
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Dbgi = Duel_dbgi.Dbgi
+
+let no_sym = Symbolic.atom "?"
+let sym_on env = env.Env.flags.Env.symbolic
+
+(* Defer all effects into the first pull, so that re-forcing a sequence
+   re-evaluates the node from scratch (the paper's state-reset behaviour)
+   and so that name lookups see aliases defined by earlier pulls. *)
+let delay (f : unit -> Value.t Seq.t) : Value.t Seq.t = fun () -> f () ()
+
+(* Push a scope, keep it for the whole inner sequence, pop it when the
+   inner sequence is exhausted (the paper's with). *)
+let scoped env scope (inner : unit -> Value.t Seq.t) : Value.t Seq.t =
+ fun () ->
+  Env.push_scope env scope;
+  let rec wrap s () =
+    match s () with
+    | Seq.Nil ->
+        Env.pop_scope env;
+        Seq.Nil
+    | Seq.Cons (x, tl) -> Seq.Cons (x, wrap tl)
+  in
+  wrap (inner ()) ()
+
+let int_seq env lo hi : Value.t Seq.t =
+  let mk i =
+    let sym =
+      if sym_on env then Symbolic.atom (Int64.to_string i) else no_sym
+    in
+    Value.int_value ~sym Ctype.int i
+  in
+  Seq.unfold
+    (fun i -> if Int64.compare i hi > 0 then None else Some (mk i, Int64.add i 1L))
+    lo
+
+(* Evaluate a sequence under the scope stack captured at creation time,
+   isolated from scopes pushed by sibling subexpressions.  Used for the
+   right side of assignments: in [q->scope = scope] the left side's
+   with-scope must not capture the right side's [scope] (C semantics). *)
+let isolated env (seq : Value.t Seq.t) : Value.t Seq.t =
+  let snapshot = ref env.Env.scopes in
+  let rec wrap s () =
+    let outer = env.Env.scopes in
+    env.Env.scopes <- !snapshot;
+    let result = s () in
+    snapshot := env.Env.scopes;
+    env.Env.scopes <- outer;
+    match result with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, tl) -> Seq.Cons (x, wrap tl)
+  in
+  wrap seq
+
+let int_seq_from env lo : Value.t Seq.t =
+  let mk i =
+    let sym =
+      if sym_on env then Symbolic.atom (Int64.to_string i) else no_sym
+    in
+    Value.int_value ~sym Ctype.int i
+  in
+  Seq.unfold (fun i -> Some (mk i, Int64.add i 1L)) lo
+
+let rec eval env (e : Ast.expr) : Value.t Seq.t =
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Char_lit _ | Ast.Str_lit _ ->
+      delay (fun () ->
+          match Semantics.literal env e with
+          | Some v -> Seq.return v
+          | None -> assert false)
+  | Ast.Name n -> delay (fun () -> Seq.return (Env.lookup env n))
+  | Ast.Underscore ->
+      delay (fun () -> Seq.return (Env.current_scope env).Env.sc_value)
+  | Ast.Group inner -> eval env inner
+  | Ast.Braces inner ->
+      Seq.map
+        (fun v ->
+          if sym_on env then
+            Value.with_sym v (Symbolic.atom (Printer.scalar_literal env v))
+          else v)
+        (eval env inner)
+  | Ast.Unary (op, a) -> Seq.map (Ops.unary env op) (eval env a)
+  | Ast.Incdec (op, a) -> Seq.map (Ops.incdec env op) (eval env a)
+  | Ast.Binary (op, a, b) -> cross env a b (Ops.binary env op)
+  | Ast.Logand (a, b) ->
+      Seq.concat_map
+        (fun u ->
+          if Value.truth env.Env.dbg u then
+            Seq.map
+              (fun v ->
+                if sym_on env then
+                  Value.with_sym v
+                    (Symbolic.binary Symbolic.prec_logand " && " u.Value.sym
+                       v.Value.sym)
+                else v)
+              (eval env b)
+          else Seq.empty)
+        (eval env a)
+  | Ast.Logor (a, b) ->
+      Seq.concat_map
+        (fun u ->
+          if Value.truth env.Env.dbg u then
+            Seq.return (Ops.int_result env ~sym:u.Value.sym 1L)
+          else
+            Seq.map
+              (fun v ->
+                if sym_on env then
+                  Value.with_sym v
+                    (Symbolic.binary Symbolic.prec_logor " || " u.Value.sym
+                       v.Value.sym)
+                else v)
+              (eval env b))
+        (eval env a)
+  | Ast.Filter (f, a, b) ->
+      Seq.concat_map
+        (fun u ->
+          Seq.filter_map
+            (fun v -> if Ops.filter_holds env f u v then Some u else None)
+            (eval env b))
+        (eval env a)
+  | Ast.Cond (c, t, f) ->
+      Seq.concat_map
+        (fun u ->
+          if Value.truth env.Env.dbg u then eval env t else eval env f)
+        (eval env c)
+  | Ast.Assign (op, l, r) ->
+      delay (fun () ->
+          let rhs = isolated env (eval env r) in
+          Seq.concat_map
+            (fun u -> Seq.map (fun v -> Ops.assign env op u v) rhs)
+            (eval env l))
+  | Ast.Cast (te, a) ->
+      delay (fun () ->
+          let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
+          let cast_text = "(" ^ Pretty.type_to_string te ^ ")" in
+          Seq.map
+            (fun v ->
+              let v' = Value.convert env.Env.dbg t v in
+              if sym_on env then
+                Value.with_sym v' (Symbolic.unary cast_text v.Value.sym)
+              else v')
+            (eval env a))
+  | Ast.Call (callee, args) ->
+      let rec build acc = function
+        | [] ->
+            Seq.return
+              (Semantics.call_function env callee (List.rev acc))
+        | a :: rest ->
+            Seq.concat_map (fun v -> build (v :: acc) rest) (eval env a)
+      in
+      delay (fun () -> build [] args)
+  | Ast.Index (a, b) -> cross env a b (Ops.index env)
+  | Ast.With (kind, lhs, rhs) -> eval_with env kind lhs rhs
+  | Ast.To (a, b) ->
+      Seq.concat_map
+        (fun u ->
+          let lo = Value.to_int64 env.Env.dbg u in
+          Seq.concat_map
+            (fun v -> int_seq env lo (Value.to_int64 env.Env.dbg v))
+            (eval env b))
+        (eval env a)
+  | Ast.To_inf a ->
+      Seq.concat_map
+        (fun u -> int_seq_from env (Value.to_int64 env.Env.dbg u))
+        (eval env a)
+  | Ast.Up_to a ->
+      Seq.concat_map
+        (fun u ->
+          int_seq env 0L (Int64.sub (Value.to_int64 env.Env.dbg u) 1L))
+        (eval env a)
+  | Ast.Alt (a, b) -> Seq.append (eval env a) (eval env b)
+  | Ast.Seq (a, b) ->
+      delay (fun () ->
+          Seq.iter ignore (eval env a);
+          eval env b)
+  | Ast.Seq_void a ->
+      delay (fun () ->
+          Seq.iter ignore (eval env a);
+          Seq.empty)
+  | Ast.Imply (a, b) -> Seq.concat_map (fun _ -> eval env b) (eval env a)
+  | Ast.Def_alias (name, a) ->
+      Seq.map
+        (fun u ->
+          Env.define_alias env name u;
+          u)
+        (eval env a)
+  | Ast.Dfs (roots, step) -> eval_expand env ~depth_first:true roots step
+  | Ast.Bfs (roots, step) -> eval_expand env ~depth_first:false roots step
+  | Ast.Select (a, b) -> eval_select env a b
+  | Ast.Until (a, stop) -> eval_until env a stop
+  | Ast.Index_alias (a, name) ->
+      delay (fun () ->
+          let next = ref 0 in
+          Seq.map
+            (fun u ->
+              let i = !next in
+              incr next;
+              let sym =
+                if sym_on env then Symbolic.atom (string_of_int i) else no_sym
+              in
+              Env.define_alias env name
+                (Value.int_value ~sym Ctype.int (Int64.of_int i));
+              u)
+            (eval env a))
+  | Ast.Reduce (r, a) -> delay (fun () -> Seq.return (eval_reduce env r a e))
+  | Ast.Seq_eq (a, b) -> delay (fun () -> Seq.return (eval_seq_eq env a b))
+  | Ast.If (c, t, f) ->
+      Seq.concat_map
+        (fun u ->
+          if Value.truth env.Env.dbg u then eval env t
+          else match f with None -> Seq.empty | Some f -> eval env f)
+        (eval env c)
+  | Ast.For (init, cond, step, body) -> eval_for env init cond step body
+  | Ast.While (cond, body) -> eval_while env cond body
+  | Ast.Decl (base, decls) ->
+      delay (fun () ->
+          List.iter (declare env base) decls;
+          Seq.empty)
+  | Ast.Sizeof_expr a ->
+      delay (fun () ->
+          let depth = Env.scope_depth env in
+          let first = (eval env a) () in
+          let t =
+            match first with
+            | Seq.Cons (v, _) -> v.Value.typ
+            | Seq.Nil -> Error.fail "sizeof of an empty sequence"
+          in
+          Env.restore_scope_depth env depth;
+          let size =
+            try Layout.size_of env.Env.dbg.Dbgi.abi t
+            with Layout.Incomplete what ->
+              Error.failf "sizeof incomplete type %s" what
+          in
+          let sym =
+            if sym_on env then Symbolic.atom (Pretty.to_string e) else no_sym
+          in
+          Seq.return (Value.int_value ~sym Ctype.ulong (Int64.of_int size)))
+  | Ast.Sizeof_type te ->
+      delay (fun () ->
+          let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
+          let size =
+            try Layout.size_of env.Env.dbg.Dbgi.abi t
+            with Layout.Incomplete what ->
+              Error.failf "sizeof incomplete type %s" what
+          in
+          let sym =
+            if sym_on env then Symbolic.atom (Pretty.to_string e) else no_sym
+          in
+          Seq.return (Value.int_value ~sym Ctype.ulong (Int64.of_int size)))
+  | Ast.Frame a ->
+      Seq.map
+        (fun u ->
+          let i = Int64.to_int (Value.to_int64 env.Env.dbg u) in
+          let sym =
+            if sym_on env then Symbolic.atom (Printf.sprintf "frame(%d)" i)
+            else no_sym
+          in
+          Value.int_value ~sym Ctype.int (Int64.of_int i))
+        (eval env a)
+  | Ast.Frames_gen ->
+      delay (fun () ->
+          int_seq env 0L (Int64.of_int (Semantics.frame_count env - 1)))
+
+and cross env a b f =
+  Seq.concat_map
+    (fun u -> Seq.map (fun v -> f u v) (eval env b))
+    (eval env a)
+
+and eval_int env e =
+  let depth = Env.scope_depth env in
+  match (eval env e) () with
+  | Seq.Cons (v, _) ->
+      let i = Value.to_int64 env.Env.dbg v in
+      Env.restore_scope_depth env depth;
+      i
+  | Seq.Nil -> Error.fail "expected a value"
+
+(* e1.e2 / e1->e2, with frame(i) and frames as scope subjects. *)
+and eval_with env kind lhs rhs =
+  match lhs with
+  | Ast.Frame fe ->
+      Seq.concat_map
+        (fun u ->
+          let i = Int64.to_int (Value.to_int64 env.Env.dbg u) in
+          scoped env (Semantics.frame_scope env i) (fun () -> eval env rhs))
+        (eval env fe)
+  | Ast.Frames_gen ->
+      delay (fun () ->
+          Seq.concat_map
+            (fun i ->
+              scoped env (Semantics.frame_scope env i) (fun () ->
+                  eval env rhs))
+            (Seq.init (Semantics.frame_count env) Fun.id))
+  | _ ->
+      Seq.concat_map
+        (fun u ->
+          scoped env (Semantics.with_scope env kind u) (fun () ->
+              eval env rhs))
+        (eval env lhs)
+
+(* --> and -->>.  Children of a node are collected eagerly (the paper
+   stacks them before yielding the node) under the node's scope; the
+   traversal as a whole stays lazy.  For DFS children are pushed in
+   reverse so the first-generated child is visited first (the paper notes
+   this). *)
+and eval_expand env ~depth_first roots step =
+ delay @@ fun () ->
+  let limit = env.Env.flags.Env.expansion_limit in
+  let visited =
+    if env.Env.flags.Env.cycle_detect then Some (Hashtbl.create 64) else None
+  in
+  let seen_before w =
+    match visited with
+    | None -> false
+    | Some tbl -> (
+        match w.Value.st with
+        | Value.Rint key ->
+            if Hashtbl.mem tbl key then true
+            else begin
+              Hashtbl.replace tbl key ();
+              false
+            end
+        | _ -> false)
+  in
+  let children node =
+    let scope = Semantics.node_scope env node in
+    Env.push_scope env scope;
+    let result =
+      Seq.fold_left
+        (fun acc w ->
+          match Semantics.traversal_child_ok env w with
+          | Some wf -> wf :: acc
+          | None -> acc)
+        [] (eval env step)
+    in
+    Env.pop_scope env;
+    List.rev result
+  in
+  let count = ref 0 in
+  let rec walk work () =
+    match work with
+    | [] -> Seq.Nil
+    | node :: rest ->
+        incr count;
+        if limit > 0 && !count > limit then
+          Error.failf "--> expansion exceeded %d nodes (cycle?)" limit
+        else begin
+          let kids = List.filter (fun w -> not (seen_before w)) (children node) in
+          let work' =
+            if depth_first then kids @ rest else rest @ kids
+          in
+          Seq.Cons (node, walk work')
+        end
+  in
+  Seq.concat_map
+    (fun u ->
+      match Semantics.traversal_child_ok env u with
+      | Some uf -> if seen_before uf then Seq.empty else walk [ uf ]
+      | None -> Seq.empty)
+    (eval env roots)
+
+(* e1[[e2]]: 0-based selection (see DESIGN.md).  The source sequence is
+   materialized incrementally and its pushed scopes are swapped in and out
+   around each extension, so partial consumption cannot corrupt the
+   name-resolution stack. *)
+and eval_select env a b =
+  delay (fun () ->
+      let buffer = ref [||] in
+      let buffered = ref 0 in
+      let src = ref (Some (eval env a)) in
+      let src_scopes = ref env.Env.scopes in
+      let pull () =
+        match !src with
+        | None -> false
+        | Some s ->
+            let outer = env.Env.scopes in
+            env.Env.scopes <- !src_scopes;
+            let result =
+              match s () with
+              | Seq.Nil ->
+                  src := None;
+                  false
+              | Seq.Cons (v, tl) ->
+                  src := Some tl;
+                  if !buffered >= Array.length !buffer then begin
+                    let grown =
+                      Array.make (max 16 (2 * Array.length !buffer)) v
+                    in
+                    Array.blit !buffer 0 grown 0 !buffered;
+                    buffer := grown
+                  end;
+                  !buffer.(!buffered) <- v;
+                  incr buffered;
+                  true
+            in
+            src_scopes := env.Env.scopes;
+            env.Env.scopes <- outer;
+            result
+      in
+      let rec nth n = if n < !buffered then Some !buffer.(n) else if pull () then nth n else None in
+      Seq.filter_map
+        (fun idx ->
+          let n = Int64.to_int (Value.to_int64 env.Env.dbg idx) in
+          if n < 0 then None else nth n)
+        (eval env b))
+
+(* e1@stop: yield e1's values until the stop condition fires (exclusive).
+   A literal stop compares for equality; any other stop expression is
+   evaluated in the scope of the candidate value and stops on any non-zero
+   value. *)
+and eval_until env a stop =
+  delay (fun () ->
+      let depth = Env.scope_depth env in
+      let stops u =
+        match Semantics.literal env stop with
+        | Some lit -> Ops.values_equal env u lit
+        | None ->
+            (* restore only to just below the stop scope: the source
+               sequence may have its own scopes live on the stack *)
+            let stop_depth = Env.scope_depth env in
+            (* like the node scope of -->: fields visible through struct
+               lvalues and pointers alike *)
+            Env.push_scope env (Semantics.node_scope env u);
+            let fired =
+              Seq.exists (fun v -> Value.truth env.Env.dbg v) (eval env stop)
+            in
+            Env.restore_scope_depth env stop_depth;
+            fired
+      in
+      let rec go s () =
+        match s () with
+        | Seq.Nil -> Seq.Nil
+        | Seq.Cons (u, tl) ->
+            if stops u then begin
+              Env.restore_scope_depth env depth;
+              Seq.Nil
+            end
+            else Seq.Cons (u, go tl)
+      in
+      go (eval env a))
+
+and eval_reduce env r a node =
+  let dbg = env.Env.dbg in
+  let depth = Env.scope_depth env in
+  let sym =
+    if sym_on env then Symbolic.atom (Pretty.to_string node) else no_sym
+  in
+  let result =
+    match r with
+    | Ast.Rcount ->
+        let n = Seq.fold_left (fun acc _ -> acc + 1) 0 (eval env a) in
+        Value.int_value ~sym Ctype.int (Int64.of_int n)
+    | Ast.Rsum ->
+        let acc =
+          Seq.fold_left (Semantics.sum_step env) (Either.Left 0L) (eval env a)
+        in
+        Semantics.sum_result env ~sym acc
+    | Ast.Rall ->
+        let ok = Seq.for_all (fun v -> Value.truth dbg v) (eval env a) in
+        Value.int_value ~sym Ctype.int (if ok then 1L else 0L)
+    | Ast.Rany ->
+        let ok = Seq.exists (fun v -> Value.truth dbg v) (eval env a) in
+        Value.int_value ~sym Ctype.int (if ok then 1L else 0L)
+  in
+  Env.restore_scope_depth env depth;
+  result
+
+and eval_seq_eq env a b =
+  let depth = Env.scope_depth env in
+  let da = Seq.to_dispenser (eval env a) in
+  let db = Seq.to_dispenser (eval env b) in
+  let rec go () =
+    match (da (), db ()) with
+    | None, None -> true
+    | Some _, None | None, Some _ -> false
+    | Some u, Some v -> Ops.values_equal env u v && go ()
+  in
+  let equal = go () in
+  Env.restore_scope_depth env depth;
+  Ops.int_result env
+    ~sym:(if sym_on env then Symbolic.atom (if equal then "1" else "0") else no_sym)
+    (if equal then 1L else 0L)
+
+(* The paper's while: all of the condition's values must be non-zero; the
+   body's values are produced; then the whole thing repeats. *)
+and eval_while env cond body =
+  let cond_holds () =
+    let depth = Env.scope_depth env in
+    let ok = Seq.for_all (fun v -> Value.truth env.Env.dbg v) (eval env cond) in
+    Env.restore_scope_depth env depth;
+    ok
+  in
+  let rec loop () =
+    if cond_holds () then Seq.append (eval env body) loop ()
+    else Seq.Nil
+  in
+  fun () -> loop ()
+
+and eval_for env init cond step body =
+  let drain = function
+    | None -> ()
+    | Some e -> Seq.iter ignore (eval env e)
+  in
+  let cond_holds () =
+    match cond with
+    | None -> true
+    | Some c ->
+        let depth = Env.scope_depth env in
+        let ok = Seq.for_all (fun v -> Value.truth env.Env.dbg v) (eval env c) in
+        Env.restore_scope_depth env depth;
+        ok
+  in
+  let rec loop () =
+    if cond_holds () then
+      Seq.append (eval env body) (fun () ->
+          drain step;
+          loop ())
+      ()
+    else Seq.Nil
+  in
+  fun () ->
+    drain init;
+    loop ()
+
+and declare env base (name, te) =
+  let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
+  (* [te] already embeds [base] from the parser's declarator builder, but
+     a bare name has just the base. *)
+  ignore base;
+  let size =
+    try Layout.size_of env.Env.dbg.Dbgi.abi t
+    with Layout.Incomplete what ->
+      Error.failf "cannot declare a variable of incomplete type %s" what
+  in
+  let addr = env.Env.dbg.Dbgi.alloc_space size in
+  Env.define_alias env name (Value.lvalue ~sym:(Symbolic.atom name) t addr)

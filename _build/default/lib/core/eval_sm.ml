@@ -1,0 +1,950 @@
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Dbgi = Duel_dbgi.Dbgi
+
+let no_sym = Symbolic.atom "?"
+let sym_on env = env.Env.flags.Env.symbolic
+
+(* One runtime node per AST node, carrying the paper's [state] and saved
+   [value] plus per-operator auxiliary state. *)
+type node = {
+  expr : Ast.expr;
+  kids : node array;
+  mutable state : int;
+  mutable saved : Value.t option;
+  mutable counter : int64;
+  mutable hi : int64;
+  mutable depth : int;  (* scope depth captured at state 0 *)
+  mutable work : Value.t list;  (* dfs/bfs worklist *)
+  mutable buffer : Value.t array;  (* select buffer *)
+  mutable buffered : int;
+  mutable src_done : bool;
+  mutable src_scopes : Env.scope list;
+  mutable visited : (int64, unit) Hashtbl.t option;
+  mutable argvals : Value.t array;
+}
+
+let dummy_value = Value.int_value Ctype.int 0L
+
+(* Sub-expressions that behave as generator operands, in evaluation
+   order. *)
+let subexprs (e : Ast.expr) : Ast.expr list =
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Char_lit _ | Ast.Str_lit _
+  | Ast.Name _ | Ast.Underscore | Ast.Frames_gen | Ast.Decl _
+  | Ast.Sizeof_type _ ->
+      []
+  | Ast.Unary (_, a)
+  | Ast.Incdec (_, a)
+  | Ast.Braces a
+  | Ast.Group a
+  | Ast.Cast (_, a)
+  | Ast.Def_alias (_, a)
+  | Ast.Index_alias (a, _)
+  | Ast.Reduce (_, a)
+  | Ast.Seq_void a
+  | Ast.Up_to a
+  | Ast.To_inf a
+  | Ast.Sizeof_expr a
+  | Ast.Frame a ->
+      [ a ]
+  | Ast.Binary (_, a, b)
+  | Ast.Logand (a, b)
+  | Ast.Logor (a, b)
+  | Ast.Filter (_, a, b)
+  | Ast.Assign (_, a, b)
+  | Ast.Index (a, b)
+  | Ast.With (_, a, b)
+  | Ast.To (a, b)
+  | Ast.Alt (a, b)
+  | Ast.Seq (a, b)
+  | Ast.Imply (a, b)
+  | Ast.Dfs (a, b)
+  | Ast.Bfs (a, b)
+  | Ast.Select (a, b)
+  | Ast.Until (a, b)
+  | Ast.Seq_eq (a, b)
+  | Ast.While (a, b) ->
+      [ a; b ]
+  | Ast.Cond (a, b, c) | Ast.If (a, b, Some c) -> [ a; b; c ]
+  | Ast.If (a, b, None) -> [ a; b ]
+  | Ast.Call (_, args) -> args
+  | Ast.For (i, c, s, b) ->
+      List.filter_map Fun.id [ i; c; s ] @ [ b ]
+
+let rec compile e =
+  {
+    expr = e;
+    kids = Array.of_list (List.map compile (subexprs e));
+    state = 0;
+    saved = None;
+    counter = 0L;
+    hi = 0L;
+    depth = 0;
+    work = [];
+    buffer = [||];
+    buffered = 0;
+    src_done = false;
+    src_scopes = [];
+    visited = None;
+    argvals = [||];
+  }
+
+let rec reset n =
+  n.state <- 0;
+  n.saved <- None;
+  n.work <- [];
+  n.buffered <- 0;
+  n.src_done <- false;
+  n.visited <- None;
+  Array.iter reset n.kids
+
+let get_saved n =
+  match n.saved with Some v -> v | None -> assert false
+
+(* --- the evaluator ------------------------------------------------------ *)
+
+let rec next env n : Value.t option =
+  match n.expr with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Char_lit _ | Ast.Str_lit _ ->
+      if n.state = 0 then begin
+        n.state <- 1;
+        Semantics.literal env n.expr
+      end
+      else begin
+        n.state <- 0;
+        None
+      end
+  | Ast.Name name ->
+      if n.state = 0 then begin
+        n.state <- 1;
+        Some (Env.lookup env name)
+      end
+      else begin
+        n.state <- 0;
+        None
+      end
+  | Ast.Underscore ->
+      if n.state = 0 then begin
+        n.state <- 1;
+        Some (Env.current_scope env).Env.sc_value
+      end
+      else begin
+        n.state <- 0;
+        None
+      end
+  | Ast.Group _ -> next env n.kids.(0)
+  | Ast.Braces _ -> (
+      match next env n.kids.(0) with
+      | Some v ->
+          Some
+            (if sym_on env then
+               Value.with_sym v
+                 (Symbolic.atom (Printer.scalar_literal env v))
+             else v)
+      | None -> None)
+  | Ast.Unary (op, _) -> Option.map (Ops.unary env op) (next env n.kids.(0))
+  | Ast.Incdec (op, _) -> Option.map (Ops.incdec env op) (next env n.kids.(0))
+  | Ast.Cast (te, _) -> (
+      match next env n.kids.(0) with
+      | None -> None
+      | Some v ->
+          let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
+          let v' = Value.convert env.Env.dbg t v in
+          Some
+            (if sym_on env then
+               Value.with_sym v'
+                 (Symbolic.unary ("(" ^ Pretty.type_to_string te ^ ")")
+                    v.Value.sym)
+             else v'))
+  | Ast.Def_alias (name, _) -> (
+      match next env n.kids.(0) with
+      | None -> None
+      | Some v ->
+          Env.define_alias env name v;
+          Some v)
+  | Ast.Binary (op, _, _) -> binary_like env n (Ops.binary env op)
+  | Ast.Index _ -> binary_like env n (Ops.index env)
+  | Ast.Assign (op, _, _) -> assign_sm env n op
+  | Ast.Alt _ -> alt env n
+  | Ast.To _ -> to_range env n
+  | Ast.Up_to _ -> up_to env n
+  | Ast.To_inf _ -> to_inf env n
+  | Ast.Filter (f, _, _) -> filter env n f
+  | Ast.Logand _ -> logand env n
+  | Ast.Logor _ -> logor env n
+  | Ast.Cond _ -> conditional env n ~has_else:true
+  | Ast.If (_, _, Some _) -> conditional env n ~has_else:true
+  | Ast.If (_, _, None) -> conditional env n ~has_else:false
+  | Ast.With (kind, lhs, _) -> with_op env n kind lhs
+  | Ast.Imply _ -> imply env n
+  | Ast.Seq _ -> seq_op env n
+  | Ast.Seq_void _ ->
+      drain env n.kids.(0);
+      None
+  | Ast.Index_alias (_, name) -> index_alias env n name
+  | Ast.Reduce (r, _) -> reduce env n r
+  | Ast.Seq_eq _ -> seq_eq env n
+  | Ast.Dfs _ -> expand env n ~depth_first:true
+  | Ast.Bfs _ -> expand env n ~depth_first:false
+  | Ast.Select _ -> select env n
+  | Ast.Until (_, stop) -> until env n stop
+  | Ast.While _ -> while_op env n
+  | Ast.For (init, cond, step, _) -> for_op env n init cond step
+  | Ast.Call (callee, args) -> call env n callee (List.length args)
+  | Ast.Decl (base, decls) ->
+      List.iter (declare env base) decls;
+      None
+  | Ast.Sizeof_expr _ -> sizeof_expr env n
+  | Ast.Sizeof_type te ->
+      if n.state = 0 then begin
+        n.state <- 1;
+        let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
+        let size =
+          try Layout.size_of env.Env.dbg.Dbgi.abi t
+          with Layout.Incomplete what ->
+            Error.failf "sizeof incomplete type %s" what
+        in
+        let sym =
+          if sym_on env then Symbolic.atom (Pretty.to_string n.expr)
+          else no_sym
+        in
+        Some (Value.int_value ~sym Ctype.ulong (Int64.of_int size))
+      end
+      else begin
+        n.state <- 0;
+        None
+      end
+  | Ast.Frame _ -> (
+      match next env n.kids.(0) with
+      | None -> None
+      | Some u ->
+          let i = Int64.to_int (Value.to_int64 env.Env.dbg u) in
+          let sym =
+            if sym_on env then Symbolic.atom (Printf.sprintf "frame(%d)" i)
+            else no_sym
+          in
+          Some (Value.int_value ~sym Ctype.int (Int64.of_int i)))
+  | Ast.Frames_gen ->
+      if n.state = 0 then begin
+        n.counter <- 0L;
+        n.hi <- Int64.of_int (Semantics.frame_count env);
+        n.state <- 1
+      end;
+      if Int64.compare n.counter n.hi < 0 then begin
+        let i = n.counter in
+        n.counter <- Int64.add i 1L;
+        let sym =
+          if sym_on env then Symbolic.atom (Int64.to_string i) else no_sym
+        in
+        Some (Value.int_value ~sym Ctype.int i)
+      end
+      else begin
+        n.state <- 0;
+        None
+      end
+
+and drain env kid = match next env kid with Some _ -> drain env kid | None -> ()
+
+and eval_int env e =
+  let kid = compile e in
+  let depth = Env.scope_depth env in
+  match next env kid with
+  | Some v ->
+      let i = Value.to_int64 env.Env.dbg v in
+      Env.restore_scope_depth env depth;
+      i
+  | None -> Error.fail "expected a value"
+
+(* state 0: fetch the next left value; state 1: produce one combination per
+   right value — the paper's bin0/bin1 code. *)
+and binary_like env n f =
+  if n.state = 0 then
+    match next env n.kids.(0) with
+    | None -> None
+    | Some u ->
+        n.saved <- Some u;
+        n.state <- 1;
+        binary_like env n f
+  else
+    match next env n.kids.(1) with
+    | Some v -> Some (f (get_saved n) v)
+    | None ->
+        n.state <- 0;
+        binary_like env n f
+
+(* Assignment: like binary_like, but the right operand evaluates under the
+   scope stack captured at state 0 — the left side's with-scope must not
+   capture names on the right ([q->scope = scope] means the parameter). *)
+and assign_sm env n op =
+  match n.state with
+  | 0 ->
+      (* fresh evaluation: capture the stack before the left side can
+         push its with-scopes *)
+      n.src_scopes <- env.Env.scopes;
+      n.state <- 2;
+      assign_sm env n op
+  | 2 -> (
+      match next env n.kids.(0) with
+      | None ->
+          n.state <- 0;
+          None
+      | Some u ->
+          n.saved <- Some u;
+          n.state <- 1;
+          assign_sm env n op)
+  | _ -> (
+      let outer = env.Env.scopes in
+      env.Env.scopes <- n.src_scopes;
+      let v = next env n.kids.(1) in
+      n.src_scopes <- env.Env.scopes;
+      env.Env.scopes <- outer;
+      match v with
+      | Some v -> Some (Ops.assign env op (get_saved n) v)
+      | None ->
+          n.state <- 2;
+          assign_sm env n op)
+
+and alt env n =
+  if n.state = 0 then
+    match next env n.kids.(0) with
+    | Some v -> Some v
+    | None ->
+        n.state <- 1;
+        alt env n
+  else
+    match next env n.kids.(1) with
+    | Some v -> Some v
+    | None ->
+        n.state <- 0;
+        None
+
+and to_range env n =
+  match n.state with
+  | 0 -> (
+      match next env n.kids.(0) with
+      | None -> None
+      | Some u ->
+          n.saved <- Some u;
+          n.state <- 1;
+          to_range env n)
+  | 1 -> (
+      match next env n.kids.(1) with
+      | None ->
+          n.state <- 0;
+          to_range env n
+      | Some v ->
+          n.counter <- Value.to_int64 env.Env.dbg (get_saved n);
+          n.hi <- Value.to_int64 env.Env.dbg v;
+          n.state <- 2;
+          to_range env n)
+  | _ ->
+      if Int64.compare n.counter n.hi <= 0 then begin
+        let i = n.counter in
+        n.counter <- Int64.add i 1L;
+        Some (make_int env i)
+      end
+      else begin
+        n.state <- 1;
+        to_range env n
+      end
+
+and make_int env i =
+  let sym = if sym_on env then Symbolic.atom (Int64.to_string i) else no_sym in
+  Value.int_value ~sym Ctype.int i
+
+and up_to env n =
+  match n.state with
+  | 0 -> (
+      match next env n.kids.(0) with
+      | None -> None
+      | Some u ->
+          n.counter <- 0L;
+          n.hi <- Int64.sub (Value.to_int64 env.Env.dbg u) 1L;
+          n.state <- 1;
+          up_to env n)
+  | _ ->
+      if Int64.compare n.counter n.hi <= 0 then begin
+        let i = n.counter in
+        n.counter <- Int64.add i 1L;
+        Some (make_int env i)
+      end
+      else begin
+        n.state <- 0;
+        up_to env n
+      end
+
+and to_inf env n =
+  match n.state with
+  | 0 -> (
+      match next env n.kids.(0) with
+      | None -> None
+      | Some u ->
+          n.counter <- Value.to_int64 env.Env.dbg u;
+          n.state <- 1;
+          to_inf env n)
+  | _ ->
+      let i = n.counter in
+      n.counter <- Int64.add i 1L;
+      Some (make_int env i)
+
+and filter env n f =
+  if n.state = 0 then
+    match next env n.kids.(0) with
+    | None -> None
+    | Some u ->
+        n.saved <- Some u;
+        n.state <- 1;
+        filter env n f
+  else
+    match next env n.kids.(1) with
+    | Some v ->
+        if Ops.filter_holds env f (get_saved n) v then Some (get_saved n)
+        else filter env n f
+    | None ->
+        n.state <- 0;
+        filter env n f
+
+and logand env n =
+  if n.state = 0 then
+    match next env n.kids.(0) with
+    | None -> None
+    | Some u ->
+        if Value.truth env.Env.dbg u then begin
+          n.saved <- Some u;
+          n.state <- 1;
+          logand env n
+        end
+        else logand env n
+  else
+    match next env n.kids.(1) with
+    | Some v ->
+        Some
+          (if sym_on env then
+             Value.with_sym v
+               (Symbolic.binary Symbolic.prec_logand " && "
+                  (get_saved n).Value.sym v.Value.sym)
+           else v)
+    | None ->
+        n.state <- 0;
+        logand env n
+
+and logor env n =
+  if n.state = 0 then
+    match next env n.kids.(0) with
+    | None -> None
+    | Some u ->
+        if Value.truth env.Env.dbg u then
+          Some (Ops.int_result env ~sym:u.Value.sym 1L)
+        else begin
+          n.saved <- Some u;
+          n.state <- 1;
+          logor env n
+        end
+  else
+    match next env n.kids.(1) with
+    | Some v ->
+        Some
+          (if sym_on env then
+             Value.with_sym v
+               (Symbolic.binary Symbolic.prec_logor " || "
+                  (get_saved n).Value.sym v.Value.sym)
+           else v)
+    | None ->
+        n.state <- 0;
+        logor env n
+
+(* states: 0 pulling condition; 1 producing then-branch; 2 producing
+   else-branch. *)
+and conditional env n ~has_else =
+  if n.state = 0 then
+    match next env n.kids.(0) with
+    | None -> None
+    | Some u ->
+        if Value.truth env.Env.dbg u then begin
+          n.state <- 1;
+          conditional env n ~has_else
+        end
+        else if has_else then begin
+          n.state <- 2;
+          conditional env n ~has_else
+        end
+        else conditional env n ~has_else
+  else
+    let branch = n.state in
+    match next env n.kids.(branch) with
+    | Some v -> Some v
+    | None ->
+        n.state <- 0;
+        conditional env n ~has_else
+
+and with_op env n kind lhs =
+  match lhs with
+  | Ast.Frame _ | Ast.Frames_gen ->
+      if n.state = 0 then
+        match next env n.kids.(0) with
+        | None -> None
+        | Some u ->
+            let i = Int64.to_int (Value.to_int64 env.Env.dbg u) in
+            Env.push_scope env (Semantics.frame_scope env i);
+            n.state <- 1;
+            with_op env n kind lhs
+      else begin
+        match next env n.kids.(1) with
+        | Some v -> Some v
+        | None ->
+            Env.pop_scope env;
+            n.state <- 0;
+            with_op env n kind lhs
+      end
+  | _ ->
+      if n.state = 0 then
+        match next env n.kids.(0) with
+        | None -> None
+        | Some u ->
+            Env.push_scope env (Semantics.with_scope env kind u);
+            n.state <- 1;
+            with_op env n kind lhs
+      else begin
+        match next env n.kids.(1) with
+        | Some v -> Some v
+        | None ->
+            Env.pop_scope env;
+            n.state <- 0;
+            with_op env n kind lhs
+      end
+
+and imply env n =
+  if n.state = 0 then
+    match next env n.kids.(0) with
+    | None -> None
+    | Some _ ->
+        n.state <- 1;
+        imply env n
+  else
+    match next env n.kids.(1) with
+    | Some v -> Some v
+    | None ->
+        n.state <- 0;
+        imply env n
+
+and seq_op env n =
+  if n.state = 0 then begin
+    drain env n.kids.(0);
+    n.state <- 1
+  end;
+  match next env n.kids.(1) with
+  | Some v -> Some v
+  | None ->
+      n.state <- 0;
+      None
+
+and index_alias env n name =
+  if n.state = 0 then begin
+    n.counter <- 0L;
+    n.state <- 1
+  end;
+  match next env n.kids.(0) with
+  | Some u ->
+      let i = n.counter in
+      n.counter <- Int64.add i 1L;
+      let sym =
+        if sym_on env then Symbolic.atom (Int64.to_string i) else no_sym
+      in
+      Env.define_alias env name (Value.int_value ~sym Ctype.int i);
+      Some u
+  | None ->
+      n.state <- 0;
+      None
+
+and reduce env n r =
+  if n.state = 1 then begin
+    n.state <- 0;
+    None
+  end
+  else begin
+    n.state <- 1;
+    let dbg = env.Env.dbg in
+    let depth = Env.scope_depth env in
+    let sym =
+      if sym_on env then Symbolic.atom (Pretty.to_string n.expr) else no_sym
+    in
+    let result =
+      match r with
+      | Ast.Rcount ->
+          let rec count acc =
+            match next env n.kids.(0) with
+            | Some _ -> count (acc + 1)
+            | None -> acc
+          in
+          Value.int_value ~sym Ctype.int (Int64.of_int (count 0))
+      | Ast.Rsum ->
+          let rec sum acc =
+            match next env n.kids.(0) with
+            | Some v -> sum (Semantics.sum_step env acc v)
+            | None -> acc
+          in
+          Semantics.sum_result env ~sym (sum (Either.Left 0L))
+      | Ast.Rall ->
+          let rec all () =
+            match next env n.kids.(0) with
+            | Some v -> if Value.truth dbg v then all () else false
+            | None -> true
+          in
+          let ok = all () in
+          if not ok then reset n.kids.(0);
+          Value.int_value ~sym Ctype.int (if ok then 1L else 0L)
+      | Ast.Rany ->
+          let rec any () =
+            match next env n.kids.(0) with
+            | Some v -> if Value.truth dbg v then true else any ()
+            | None -> false
+          in
+          let ok = any () in
+          if ok then reset n.kids.(0);
+          Value.int_value ~sym Ctype.int (if ok then 1L else 0L)
+    in
+    Env.restore_scope_depth env depth;
+    Some result
+  end
+
+and seq_eq env n =
+  if n.state = 1 then begin
+    n.state <- 0;
+    None
+  end
+  else begin
+    n.state <- 1;
+    let depth = Env.scope_depth env in
+    let rec go () =
+      match (next env n.kids.(0), next env n.kids.(1)) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some u, Some v -> Ops.values_equal env u v && go ()
+    in
+    let equal = go () in
+    reset n.kids.(0);
+    reset n.kids.(1);
+    Env.restore_scope_depth env depth;
+    Some (Ops.int_result env (if equal then 1L else 0L))
+  end
+
+(* The paper's dfs: pop a node, open its scope, stack its valid children,
+   yield it. *)
+and expand env n ~depth_first =
+  let limit = env.Env.flags.Env.expansion_limit in
+  if n.state = 0 then begin
+    if env.Env.flags.Env.cycle_detect then n.visited <- Some (Hashtbl.create 64);
+    n.counter <- 0L;
+    n.state <- 1;
+    n.work <- []
+  end;
+  let seen_before w =
+    match n.visited with
+    | None -> false
+    | Some tbl -> (
+        match w.Value.st with
+        | Value.Rint key ->
+            if Hashtbl.mem tbl key then true
+            else begin
+              Hashtbl.replace tbl key ();
+              false
+            end
+        | _ -> false)
+  in
+  match n.work with
+  | node :: rest ->
+      n.counter <- Int64.add n.counter 1L;
+      if limit > 0 && Int64.compare n.counter (Int64.of_int limit) > 0 then
+        Error.failf "--> expansion exceeded %d nodes (cycle?)" limit
+      else begin
+        Env.push_scope env (Semantics.node_scope env node);
+        let rec collect acc =
+          match next env n.kids.(1) with
+          | Some w -> (
+              match Semantics.traversal_child_ok env w with
+              | Some wf -> collect (wf :: acc)
+              | None -> collect acc)
+          | None -> List.rev acc
+        in
+        let kids = List.filter (fun w -> not (seen_before w)) (collect []) in
+        Env.pop_scope env;
+        n.work <- (if depth_first then kids @ rest else rest @ kids);
+        Some node
+      end
+  | [] -> (
+      match next env n.kids.(0) with
+      | None ->
+          n.state <- 0;
+          None
+      | Some u -> (
+          match Semantics.traversal_child_ok env u with
+          | Some uf when not (seen_before uf) ->
+              n.work <- [ uf ];
+              expand env n ~depth_first
+          | _ -> expand env n ~depth_first))
+
+and select env n =
+  if n.state = 0 then begin
+    n.buffer <- [||];
+    n.buffered <- 0;
+    n.src_done <- false;
+    n.src_scopes <- env.Env.scopes;
+    n.depth <- Env.scope_depth env;
+    n.state <- 1
+  end;
+  let pull () =
+    if n.src_done then false
+    else begin
+      let outer = env.Env.scopes in
+      env.Env.scopes <- n.src_scopes;
+      let got =
+        match next env n.kids.(0) with
+        | None ->
+            n.src_done <- true;
+            false
+        | Some v ->
+            if n.buffered >= Array.length n.buffer then begin
+              let grown = Array.make (max 16 (2 * Array.length n.buffer)) dummy_value in
+              Array.blit n.buffer 0 grown 0 n.buffered;
+              n.buffer <- grown
+            end;
+            n.buffer.(n.buffered) <- v;
+            n.buffered <- n.buffered + 1;
+            true
+      in
+      n.src_scopes <- env.Env.scopes;
+      env.Env.scopes <- outer;
+      got
+    end
+  in
+  let rec nth i =
+    if i < n.buffered then Some n.buffer.(i)
+    else if pull () then nth i
+    else None
+  in
+  match next env n.kids.(1) with
+  | None ->
+      reset n.kids.(0);
+      n.state <- 0;
+      None
+  | Some idx -> (
+      let i = Int64.to_int (Value.to_int64 env.Env.dbg idx) in
+      if i < 0 then select env n
+      else match nth i with Some v -> Some v | None -> select env n)
+
+and until env n stop =
+  if n.state = 0 then begin
+    n.depth <- Env.scope_depth env;
+    n.state <- 1
+  end;
+  match next env n.kids.(0) with
+  | None ->
+      n.state <- 0;
+      None
+  | Some u ->
+      let fired =
+        match Semantics.literal env stop with
+        | Some lit -> Ops.values_equal env u lit
+        | None ->
+            (* the source's own scopes may be live; pop only the stop
+               scope *)
+            let stop_depth = Env.scope_depth env in
+            Env.push_scope env (Semantics.node_scope env u);
+            let rec any () =
+              match next env n.kids.(1) with
+              | Some v ->
+                  if Value.truth env.Env.dbg v then true else any ()
+              | None -> false
+            in
+            let f = any () in
+            if f then reset n.kids.(1);
+            Env.restore_scope_depth env stop_depth;
+            f
+      in
+      if fired then begin
+        reset n.kids.(0);
+        Env.restore_scope_depth env n.depth;
+        n.state <- 0;
+        None
+      end
+      else Some u
+
+(* The paper's while: check that all condition values are non-zero, yield
+   the body, start over. *)
+and while_op env n =
+  let cond_holds () =
+    let depth = Env.scope_depth env in
+    let rec check () =
+      match next env n.kids.(0) with
+      | Some v ->
+          if Value.truth env.Env.dbg v then check ()
+          else begin
+            reset n.kids.(0);
+            false
+          end
+      | None -> true
+    in
+    let ok = check () in
+    Env.restore_scope_depth env depth;
+    ok
+  in
+  if n.state = 0 then
+    if cond_holds () then begin
+      n.state <- 1;
+      while_op env n
+    end
+    else None
+  else
+    match next env n.kids.(1) with
+    | Some v -> Some v
+    | None ->
+        n.state <- 0;
+        while_op env n
+
+and for_op env n init cond step =
+  let have_init = Option.is_some init in
+  let have_cond = Option.is_some cond in
+  let have_step = Option.is_some step in
+  let cond_idx = if have_init then 1 else 0 in
+  let step_idx = cond_idx + if have_cond then 1 else 0 in
+  let body_idx = step_idx + if have_step then 1 else 0 in
+  let cond_holds () =
+    if not have_cond then true
+    else begin
+      let depth = Env.scope_depth env in
+      let rec check () =
+        match next env n.kids.(cond_idx) with
+        | Some v ->
+            if Value.truth env.Env.dbg v then check ()
+            else begin
+              reset n.kids.(cond_idx);
+              false
+            end
+        | None -> true
+      in
+      let ok = check () in
+      Env.restore_scope_depth env depth;
+      ok
+    end
+  in
+  match n.state with
+  | 0 ->
+      if have_init then drain env n.kids.(0);
+      n.state <- 1;
+      for_op env n init cond step
+  | 1 ->
+      if cond_holds () then begin
+        n.state <- 2;
+        for_op env n init cond step
+      end
+      else begin
+        n.state <- 0;
+        None
+      end
+  | _ -> (
+      match next env n.kids.(body_idx) with
+      | Some v -> Some v
+      | None ->
+          if have_step then drain env n.kids.(step_idx);
+          n.state <- 1;
+          for_op env n init cond step)
+
+(* Cross product over the argument generators: a classic odometer.  State
+   0 fills every wheel; afterwards the last wheel advances and exhausted
+   wheels restart. *)
+and call env n callee nargs =
+  let produce () =
+    Some (Semantics.call_function env callee (Array.to_list n.argvals))
+  in
+  if nargs = 0 then
+    if n.state = 0 then begin
+      n.state <- 1;
+      produce ()
+    end
+    else begin
+      n.state <- 0;
+      None
+    end
+  else if n.state = 0 then begin
+    n.argvals <- Array.make nargs dummy_value;
+    let rec fill i =
+      if i >= nargs then true
+      else
+        match next env n.kids.(i) with
+        | Some v ->
+            n.argvals.(i) <- v;
+            fill (i + 1)
+        | None -> false
+    in
+    if fill 0 then begin
+      n.state <- 1;
+      produce ()
+    end
+    else None
+  end
+  else begin
+    let rec advance i =
+      if i < 0 then false
+      else
+        match next env n.kids.(i) with
+        | Some v ->
+            n.argvals.(i) <- v;
+            let rec refill j =
+              if j >= nargs then true
+              else
+                match next env n.kids.(j) with
+                | Some v ->
+                    n.argvals.(j) <- v;
+                    refill (j + 1)
+                | None -> false
+            in
+            refill (i + 1)
+        | None -> advance (i - 1)
+    in
+    if advance (nargs - 1) then produce ()
+    else begin
+      n.state <- 0;
+      None
+    end
+  end
+
+and declare env base (name, te) =
+  ignore base;
+  let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
+  let size =
+    try Layout.size_of env.Env.dbg.Dbgi.abi t
+    with Layout.Incomplete what ->
+      Error.failf "cannot declare a variable of incomplete type %s" what
+  in
+  let addr = env.Env.dbg.Dbgi.alloc_space size in
+  Env.define_alias env name (Value.lvalue ~sym:(Symbolic.atom name) t addr)
+
+and sizeof_expr env n =
+  if n.state = 1 then begin
+    n.state <- 0;
+    None
+  end
+  else begin
+    n.state <- 1;
+    let depth = Env.scope_depth env in
+    let t =
+      match next env n.kids.(0) with
+      | Some v -> v.Value.typ
+      | None -> Error.fail "sizeof of an empty sequence"
+    in
+    reset n.kids.(0);
+    Env.restore_scope_depth env depth;
+    let size =
+      try Layout.size_of env.Env.dbg.Dbgi.abi t
+      with Layout.Incomplete what -> Error.failf "sizeof incomplete type %s" what
+    in
+    let sym =
+      if sym_on env then Symbolic.atom (Pretty.to_string n.expr) else no_sym
+    in
+    Some (Value.int_value ~sym Ctype.ulong (Int64.of_int size))
+  end
+
+let eval env e =
+  let root = compile e in
+  Seq.of_dispenser (fun () -> next env root)

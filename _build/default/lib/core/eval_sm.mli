@@ -1,0 +1,15 @@
+(** The state-machine generator engine — a faithful port of the paper's
+    implementation.
+
+    The paper's [duel_eval] walks the AST with an explicit non-negative
+    [state] integer and a saved [value] per node, simulating coroutines;
+    each call produces the node's next value and [NOVALUE] (here [None])
+    ends the sequence, resetting the node so "the next call to eval
+    re-evaluates the node".  This engine reproduces that structure
+    operator by operator (the Seq engine in {!Eval_seq} is the idiomatic
+    OCaml rendering of the same semantics); differential tests force the
+    two to agree, and bench B4 compares their cost. *)
+
+val eval : Env.t -> Ast.expr -> Value.t Seq.t
+(** Compile the AST into a mutable state-machine tree and expose it as an
+    ephemeral sequence (single traversal). *)

@@ -1,0 +1,322 @@
+module Ctype = Duel_ctype.Ctype
+module Abi = Duel_ctype.Abi
+
+exception Error of string * int
+
+let fail msg pos = raise (Error (msg, pos))
+
+let keyword = function
+  | "if" -> Some Token.KIF
+  | "else" -> Some Token.KELSE
+  | "for" -> Some Token.KFOR
+  | "while" -> Some Token.KWHILE
+  | "sizeof" -> Some Token.KSIZEOF
+  | "struct" -> Some Token.KSTRUCT
+  | "union" -> Some Token.KUNION
+  | "enum" -> Some Token.KENUM
+  | "int" -> Some Token.KINT
+  | "char" -> Some Token.KCHAR
+  | "long" -> Some Token.KLONG
+  | "short" -> Some Token.KSHORT
+  | "signed" -> Some Token.KSIGNED
+  | "unsigned" -> Some Token.KUNSIGNED
+  | "float" -> Some Token.KFLOAT
+  | "double" -> Some Token.KDOUBLE
+  | "void" -> Some Token.KVOID
+  | "_Bool" -> Some Token.KBOOL
+  | "frame" -> Some Token.KFRAME
+  | "frames" -> Some Token.KFRAMES
+  | _ -> None
+
+(* Multi-character operators, longest first: maximal munch. *)
+let operators =
+  [
+    ("-->>", Token.BFS);
+    ("<<=", Token.SHLEQ);
+    (">>=", Token.SHREQ);
+    ("-->", Token.DFS);
+    ("<=?", Token.QLE);
+    (">=?", Token.QGE);
+    ("==?", Token.QEQ);
+    ("!=?", Token.QNE);
+    ("==/", Token.SEQEQ);
+    ("&&/", Token.ALLOF);
+    ("||/", Token.ANYOF);
+    ("<?", Token.QLT);
+    (">?", Token.QGT);
+    ("==", Token.EQEQ);
+    ("!=", Token.NE);
+    ("<=", Token.LE);
+    (">=", Token.GE);
+    ("&&", Token.ANDAND);
+    ("||", Token.OROR);
+    ("<<", Token.SHL);
+    (">>", Token.SHR);
+    ("++", Token.INC);
+    ("--", Token.DEC);
+    ("->", Token.ARROW);
+    ("..", Token.DOTDOT);
+    ("+=", Token.PLUSEQ);
+    ("-=", Token.MINUSEQ);
+    ("*=", Token.STAREQ);
+    ("/=", Token.SLASHEQ);
+    ("%=", Token.PERCENTEQ);
+    ("&=", Token.AMPEQ);
+    ("|=", Token.PIPEEQ);
+    ("^=", Token.CARETEQ);
+    (":=", Token.DEFINE);
+    ("=>", Token.IMPLY);
+    ("#/", Token.COUNTOF);
+    ("+/", Token.SUMOF);
+    ("[[", Token.LSELECT);
+    ("(", Token.LPAREN);
+    (")", Token.RPAREN);
+    ("[", Token.LBRACK);
+    ("]", Token.RBRACK);
+    ("{", Token.LBRACE);
+    ("}", Token.RBRACE);
+    (";", Token.SEMI);
+    (",", Token.COMMA);
+    ("?", Token.QUESTION);
+    (":", Token.COLON);
+    ("+", Token.PLUS);
+    ("-", Token.MINUS);
+    ("*", Token.STAR);
+    ("/", Token.SLASH);
+    ("%", Token.PERCENT);
+    ("&", Token.AMP);
+    ("|", Token.PIPE);
+    ("^", Token.CARET);
+    ("~", Token.TILDE);
+    ("!", Token.BANG);
+    ("<", Token.LT);
+    (">", Token.GT);
+    ("=", Token.ASSIGN);
+    (".", Token.DOT);
+    ("#", Token.HASH);
+    ("@", Token.AT);
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_oct c = c >= '0' && c <= '7'
+
+(* Pick the C type of an integer literal: the first kind in the candidate
+   list (ordered by rank) whose range contains the value. *)
+let type_int_literal abi ~value ~base ~unsigned ~longs pos =
+  let candidates =
+    match (unsigned, longs, base = 10) with
+    | false, 0, true -> [ Ctype.Int; Ctype.Long; Ctype.LLong ]
+    | false, 0, false ->
+        [ Ctype.Int; Ctype.UInt; Ctype.Long; Ctype.ULong; Ctype.LLong;
+          Ctype.ULLong ]
+    | false, 1, true -> [ Ctype.Long; Ctype.LLong ]
+    | false, 1, false -> [ Ctype.Long; Ctype.ULong; Ctype.LLong; Ctype.ULLong ]
+    | false, _, true -> [ Ctype.LLong ]
+    | false, _, false -> [ Ctype.LLong; Ctype.ULLong ]
+    | true, 0, _ -> [ Ctype.UInt; Ctype.ULong; Ctype.ULLong ]
+    | true, 1, _ -> [ Ctype.ULong; Ctype.ULLong ]
+    | true, _, _ -> [ Ctype.ULLong ]
+  in
+  let fits k =
+    if Ctype.ikind_signed abi k then
+      value >= 0L && value <= Ctype.ikind_max abi k
+    else
+      (* unsigned: value is the raw bit pattern; it fits when normalizing
+         to the kind's width is the identity *)
+      Ctype.normalize abi k value = value
+  in
+  match List.find_opt fits candidates with
+  | Some k -> Ctype.Integer k
+  | None ->
+      if unsigned || base <> 10 then Ctype.Integer Ctype.ULLong
+      else fail "integer literal too large" pos
+
+let tokenize ~abi src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit tok pos = toks := (tok, pos) :: !toks in
+  let peek i = if i < n then Some src.[i] else None in
+  let rec skip_ws i =
+    if i < n && (src.[i] = ' ' || src.[i] = '\t' || src.[i] = '\n' || src.[i] = '\r')
+    then skip_ws (i + 1)
+    else if i + 1 < n && src.[i] = '#' && src.[i + 1] = '#' then
+      let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+      skip_ws (eol (i + 2))
+    else i
+  in
+  let escape i =
+    (* after the backslash; returns (char, next index) *)
+    match peek i with
+    | None -> fail "unterminated escape" i
+    | Some 'n' -> ('\n', i + 1)
+    | Some 't' -> ('\t', i + 1)
+    | Some 'r' -> ('\r', i + 1)
+    | Some 'b' -> ('\b', i + 1)
+    | Some 'f' -> ('\012', i + 1)
+    | Some 'v' -> ('\011', i + 1)
+    | Some 'a' -> ('\007', i + 1)
+    | Some '\\' -> ('\\', i + 1)
+    | Some '\'' -> ('\'', i + 1)
+    | Some '"' -> ('"', i + 1)
+    | Some '0' .. '7' ->
+        let rec oct acc j count =
+          if count < 3 && j < n && is_oct src.[j] then
+            oct ((acc * 8) + (Char.code src.[j] - 48)) (j + 1) (count + 1)
+          else (acc, j)
+        in
+        let v, j = oct 0 i 0 in
+        (Char.chr (v land 0xff), j)
+    | Some 'x' ->
+        let rec hex acc j =
+          if j < n && is_hex src.[j] then
+            hex ((acc * 16) + int_of_string (Printf.sprintf "0x%c" src.[j])) (j + 1)
+          else (acc, j)
+        in
+        let v, j = hex 0 (i + 1) in
+        if j = i + 1 then fail "bad \\x escape" i
+        else (Char.chr (v land 0xff), j)
+    | Some c -> (c, i + 1)
+  in
+  let rec scan i =
+    let i = skip_ws i in
+    if i >= n then emit Token.EOF i
+    else
+      let c = src.[i] in
+      if is_ident_start c then begin
+        let rec endp j = if j < n && is_ident_char src.[j] then endp (j + 1) else j in
+        let j = endp i in
+        let word = String.sub src i (j - i) in
+        (match (word, keyword word) with
+        | "_", _ -> emit Token.UNDER i
+        | _, Some kw -> emit kw i
+        | _, None -> emit (Token.ID word) i);
+        scan j
+      end
+      else if is_digit c then number i
+      else if c = '\'' then begin
+        let ch, j =
+          match peek (i + 1) with
+          | None -> fail "unterminated character constant" i
+          | Some '\\' -> escape (i + 2)
+          | Some c' -> (c', i + 2)
+        in
+        match peek j with
+        | Some '\'' ->
+            emit (Token.CHR (ch, String.sub src i (j + 1 - i))) i;
+            scan (j + 1)
+        | _ -> fail "unterminated character constant" i
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec str j =
+          match peek j with
+          | None -> fail "unterminated string literal" i
+          | Some '"' -> j + 1
+          | Some '\\' ->
+              let ch, j' = escape (j + 1) in
+              Buffer.add_char buf ch;
+              str j'
+          | Some c' ->
+              Buffer.add_char buf c';
+              str (j + 1)
+        in
+        let j = str (i + 1) in
+        emit (Token.STR (Buffer.contents buf)) i;
+        scan j
+      end
+      else begin
+        let matched =
+          List.find_opt
+            (fun (text, _) ->
+              let len = String.length text in
+              i + len <= n && String.sub src i len = text)
+            operators
+        in
+        match matched with
+        | Some (text, tok) ->
+            emit tok i;
+            scan (i + String.length text)
+        | None -> fail (Printf.sprintf "unexpected character %C" c) i
+      end
+  and number i =
+    (* Disambiguate "1..3": a '.' only belongs to the number if the next
+       character is not another '.'. *)
+    let dot_ok j = j + 1 >= n || src.[j + 1] <> '.' in
+    if
+      i + 1 < n
+      && src.[i] = '0'
+      && (src.[i + 1] = 'x' || src.[i + 1] = 'X')
+    then begin
+      let rec endp j = if j < n && is_hex src.[j] then endp (j + 1) else j in
+      let j = endp (i + 2) in
+      if j = i + 2 then fail "bad hexadecimal literal" i;
+      finish_int i j ~base:16
+    end
+    else begin
+      let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+      let j = digits i in
+      let is_float =
+        (j < n && src.[j] = '.' && dot_ok j)
+        || (j < n && (src.[j] = 'e' || src.[j] = 'E'))
+      in
+      if is_float then begin
+        let j = if j < n && src.[j] = '.' then digits (j + 1) else j in
+        let j =
+          if j < n && (src.[j] = 'e' || src.[j] = 'E') then begin
+            let k = if j + 1 < n && (src.[j + 1] = '+' || src.[j + 1] = '-') then j + 2 else j + 1 in
+            let k' = digits k in
+            if k' = k then fail "bad float exponent" j else k'
+          end
+          else j
+        in
+        let text = String.sub src i (j - i) in
+        let typ, j =
+          match peek j with
+          | Some ('f' | 'F') -> (Ctype.float, j + 1)
+          | Some ('l' | 'L') -> (Ctype.ldouble, j + 1)
+          | _ -> (Ctype.double, j)
+        in
+        emit (Token.FLT (float_of_string text, typ, text)) i;
+        scan j
+      end
+      else if i < n && src.[i] = '0' && j > i + 1 then begin
+        (* octal *)
+        let rec check k = k >= j || (is_oct src.[k] && check (k + 1)) in
+        if not (check (i + 1)) then fail "bad octal literal" i;
+        finish_int i j ~base:8
+      end
+      else finish_int i j ~base:10
+    end
+  and finish_int start stop ~base =
+    let digits = String.sub src start (stop - start) in
+    let value =
+      try
+        match base with
+        | 16 -> Int64.of_string ("0x" ^ String.sub digits 2 (String.length digits - 2))
+        | 8 -> Int64.of_string ("0o" ^ String.sub digits 1 (String.length digits - 1))
+        | _ -> Int64.of_string digits
+      with Failure _ -> (
+        (* out of Int64 signed range: accept the unsigned bit pattern *)
+        match base with
+        | 16 -> Int64.of_string ("0u" ^ digits)
+        | _ -> fail "integer literal too large" start)
+    in
+    let rec suffix j unsigned longs =
+      match peek j with
+      | Some ('u' | 'U') when not unsigned -> suffix (j + 1) true longs
+      | Some ('l' | 'L') when longs = 0 ->
+          if j + 1 < n && (src.[j + 1] = 'l' || src.[j + 1] = 'L') then
+            suffix (j + 2) unsigned 2
+          else suffix (j + 1) unsigned 1
+      | _ -> (j, unsigned, longs)
+    in
+    let j, unsigned, longs = suffix stop false 0 in
+    let typ = type_int_literal abi ~value ~base ~unsigned ~longs start in
+    emit (Token.INT (value, typ, String.sub src start (j - start))) start;
+    scan j
+  in
+  scan 0;
+  List.rev !toks

@@ -1,0 +1,18 @@
+(** Hand-written DUEL lexer (the paper pairs a hand-written lexer with a
+    yacc parser; our parser is recursive descent).
+
+    Maximal munch over the extended operator set, with two DUEL-specific
+    wrinkles: [1..3] lexes as integer–[..]–integer rather than a float
+    ([1.] followed by [.3]), and [ ]] ] is always two [RBRACK]s so that
+    [a[b[0]]] still parses (the select closer is matched as two tokens by
+    the parser).  [##] starts a comment running to the end of the line
+    (gdb reserves a single [#]). *)
+
+exception Error of string * int
+(** Lexical error: message and byte offset. *)
+
+val tokenize : abi:Duel_ctype.Abi.t -> string -> (Token.t * int) list
+(** Token stream with byte offsets, ending in [(EOF, _)].  Integer literals
+    are typed by C's rules under the given ABI (decimal: first of
+    int/long/long long that fits; hex/octal: also the unsigned kinds;
+    [u]/[l]/[ll] suffixes as in C). *)

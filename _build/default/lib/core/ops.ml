@@ -1,0 +1,375 @@
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Dbgi = Duel_dbgi.Dbgi
+
+let no_sym = Symbolic.atom "?"
+
+let sym_on env = env.Env.flags.Env.symbolic
+
+let binop_info = function
+  | Ast.Badd -> ("+", Symbolic.prec_additive)
+  | Ast.Bsub -> ("-", Symbolic.prec_additive)
+  | Ast.Bmul -> ("*", Symbolic.prec_multiplicative)
+  | Ast.Bdiv -> ("/", Symbolic.prec_multiplicative)
+  | Ast.Bmod -> ("%", Symbolic.prec_multiplicative)
+  | Ast.Blt -> ("<", Symbolic.prec_relational)
+  | Ast.Bgt -> (">", Symbolic.prec_relational)
+  | Ast.Ble -> ("<=", Symbolic.prec_relational)
+  | Ast.Bge -> (">=", Symbolic.prec_relational)
+  | Ast.Beq -> ("==", Symbolic.prec_equality)
+  | Ast.Bne -> ("!=", Symbolic.prec_equality)
+  | Ast.Bshl -> ("<<", Symbolic.prec_shift)
+  | Ast.Bshr -> (">>", Symbolic.prec_shift)
+  | Ast.Bband -> ("&", Symbolic.prec_bitand)
+  | Ast.Bbor -> ("|", Symbolic.prec_bitor)
+  | Ast.Bbxor -> ("^", Symbolic.prec_bitxor)
+
+let combine_sym env op a b =
+  if sym_on env then
+    let text, prec = binop_info op in
+    Symbolic.binary prec text a.Value.sym b.Value.sym
+  else no_sym
+
+let int_result env ?sym v =
+  let sym =
+    match sym with Some s -> s | None -> if sym_on env then Symbolic.atom (Int64.to_string v) else no_sym
+  in
+  Value.int_value ~sym Ctype.int v
+
+let is_comparison = function
+  | Ast.Blt | Ast.Bgt | Ast.Ble | Ast.Bge | Ast.Beq | Ast.Bne -> true
+  | Ast.Badd | Ast.Bsub | Ast.Bmul | Ast.Bdiv | Ast.Bmod | Ast.Bshl
+  | Ast.Bshr | Ast.Bband | Ast.Bbor | Ast.Bbxor ->
+      false
+
+let type_error env op v =
+  ignore env;
+  let text, _ = binop_info op in
+  Error.fail
+    ~operand:(Symbolic.to_string v.Value.sym, Value.describe v)
+    (Printf.sprintf "invalid operand of %s" text)
+
+let pointee_size env v =
+  match v.Value.typ with
+  | Ctype.Ptr Ctype.Void -> 1
+  | Ctype.Ptr (Ctype.Func _) ->
+      Error.fail
+        ~operand:(Symbolic.to_string v.Value.sym, Value.describe v)
+        "arithmetic on a function pointer"
+  | Ctype.Ptr t -> (
+      try Layout.size_of env.Env.dbg.Dbgi.abi t
+      with Layout.Incomplete what ->
+        Error.failf "arithmetic on pointer to incomplete type %s" what)
+  | _ -> assert false
+
+let as_int64 v = match v.Value.st with Value.Rint i -> i | _ -> assert false
+
+(* --- integer arithmetic under C semantics ------------------------------ *)
+
+let shift_amount v = Int64.to_int (Int64.logand v 63L)
+
+let int_binary env op ka a kb b sym =
+  let abi = env.Env.dbg.Dbgi.abi in
+  if is_comparison op then begin
+    let k = Ctype.usual_arith_ikind abi (Ctype.promote_ikind abi ka) (Ctype.promote_ikind abi kb) in
+    let a = Ctype.normalize abi k a and b = Ctype.normalize abi k b in
+    let c =
+      if Ctype.ikind_signed abi k then Int64.compare a b
+      else Int64.unsigned_compare a b
+    in
+    let r =
+      match op with
+      | Ast.Blt -> c < 0
+      | Ast.Bgt -> c > 0
+      | Ast.Ble -> c <= 0
+      | Ast.Bge -> c >= 0
+      | Ast.Beq -> c = 0
+      | Ast.Bne -> c <> 0
+      | _ -> assert false
+    in
+    Value.int_value ~sym Ctype.int (if r then 1L else 0L)
+  end
+  else
+    match op with
+    | Ast.Bshl | Ast.Bshr ->
+        let k = Ctype.promote_ikind abi ka in
+        let a = Ctype.normalize abi k a in
+        let n = shift_amount b in
+        let raw =
+          match op with
+          | Ast.Bshl -> Int64.shift_left a n
+          | Ast.Bshr ->
+              if Ctype.ikind_signed abi k then Int64.shift_right a n
+              else
+                (* logical shift of the value confined to the kind's width *)
+                let width = Ctype.ikind_size abi k * 8 in
+                let masked =
+                  if width >= 64 then a
+                  else Int64.logand a (Int64.sub (Int64.shift_left 1L width) 1L)
+                in
+                Int64.shift_right_logical masked n
+          | _ -> assert false
+        in
+        Value.int_value ~sym (Ctype.Integer k) (Ctype.normalize abi k raw)
+    | _ ->
+        let k = Ctype.usual_arith_ikind abi (Ctype.promote_ikind abi ka) (Ctype.promote_ikind abi kb) in
+        let a = Ctype.normalize abi k a and b = Ctype.normalize abi k b in
+        let signed = Ctype.ikind_signed abi k in
+        let raw =
+          match op with
+          | Ast.Badd -> Int64.add a b
+          | Ast.Bsub -> Int64.sub a b
+          | Ast.Bmul -> Int64.mul a b
+          | Ast.Bdiv ->
+              if b = 0L then Error.fail "division by zero"
+              else if signed then Int64.div a b
+              else Int64.unsigned_div a b
+          | Ast.Bmod ->
+              if b = 0L then Error.fail "division by zero"
+              else if signed then Int64.rem a b
+              else Int64.unsigned_rem a b
+          | Ast.Bband -> Int64.logand a b
+          | Ast.Bbor -> Int64.logor a b
+          | Ast.Bbxor -> Int64.logxor a b
+          | _ -> assert false
+        in
+        Value.int_value ~sym (Ctype.Integer k) (Ctype.normalize abi k raw)
+
+let float_binary op a b sym =
+  if is_comparison op then
+    let r =
+      match op with
+      | Ast.Blt -> a < b
+      | Ast.Bgt -> a > b
+      | Ast.Ble -> a <= b
+      | Ast.Bge -> a >= b
+      | Ast.Beq -> a = b
+      | Ast.Bne -> a <> b
+      | _ -> assert false
+    in
+    Value.int_value ~sym Ctype.int (if r then 1L else 0L)
+  else
+    let raw =
+      match op with
+      | Ast.Badd -> a +. b
+      | Ast.Bsub -> a -. b
+      | Ast.Bmul -> a *. b
+      | Ast.Bdiv -> a /. b
+      | Ast.Bmod -> Error.fail "% applied to floating operands"
+      | _ -> Error.fail "bitwise operator applied to floating operands"
+    in
+    Value.float_value ~sym Ctype.double raw
+
+let pointer_compare op a b sym =
+  let c = Int64.unsigned_compare a b in
+  let r =
+    match op with
+    | Ast.Blt -> c < 0
+    | Ast.Bgt -> c > 0
+    | Ast.Ble -> c <= 0
+    | Ast.Bge -> c >= 0
+    | Ast.Beq -> c = 0
+    | Ast.Bne -> c <> 0
+    | _ -> Error.fail "invalid arithmetic on pointers"
+  in
+  Value.int_value ~sym Ctype.int (if r then 1L else 0L)
+
+(* Fetch an operand, tagging faults with the paper's "in x of x OP y"
+   role description. *)
+let fetch_operand env op ~role other v =
+  if sym_on env then
+    Error.with_context
+      (Printf.sprintf "%s of %s%s%s"
+         (Symbolic.to_string v.Value.sym)
+         (Symbolic.to_string (if role = `Left then v.Value.sym else other.Value.sym))
+         (fst (binop_info op))
+         (Symbolic.to_string (if role = `Left then other.Value.sym else v.Value.sym)))
+      (fun () -> Value.fetch env.Env.dbg v)
+  else Value.fetch env.Env.dbg v
+
+let binary env op lhs rhs =
+  let dbg = env.Env.dbg in
+  let a = fetch_operand env op ~role:`Left rhs lhs in
+  let b = fetch_operand env op ~role:`Right lhs rhs in
+  let sym = combine_sym env op a b in
+  match (a.Value.typ, b.Value.typ) with
+  | Ctype.Ptr _, Ctype.Ptr _ -> (
+      match op with
+      | Ast.Bsub ->
+          let size = pointee_size env a in
+          let diff = Int64.sub (as_int64 a) (as_int64 b) in
+          Value.int_value ~sym Ctype.long (Int64.div diff (Int64.of_int size))
+      | _ -> pointer_compare op (as_int64 a) (as_int64 b) sym)
+  | Ctype.Ptr _, t when Ctype.is_integer t -> (
+      match op with
+      | Ast.Badd | Ast.Bsub ->
+          let size = Int64.of_int (pointee_size env a) in
+          let off = Int64.mul (Value.to_int64 dbg b) size in
+          let base = as_int64 a in
+          let addr =
+            if op = Ast.Badd then Int64.add base off else Int64.sub base off
+          in
+          Value.int_value ~sym a.Value.typ addr
+      | _ when is_comparison op ->
+          pointer_compare op (as_int64 a) (Value.to_int64 dbg b) sym
+      | _ -> type_error env op a)
+  | t, Ctype.Ptr _ when Ctype.is_integer t -> (
+      match op with
+      | Ast.Badd ->
+          let size = Int64.of_int (pointee_size env b) in
+          let off = Int64.mul (Value.to_int64 dbg a) size in
+          Value.int_value ~sym b.Value.typ (Int64.add (as_int64 b) off)
+      | _ when is_comparison op ->
+          pointer_compare op (Value.to_int64 dbg a) (as_int64 b) sym
+      | _ -> type_error env op b)
+  | ta, tb when Ctype.is_arith ta && Ctype.is_arith tb -> (
+      match (Ctype.integer_kind ta, Ctype.integer_kind tb) with
+      | Some ka, Some kb -> int_binary env op ka (as_int64 a) kb (as_int64 b) sym
+      | _ -> float_binary op (Value.to_float dbg a) (Value.to_float dbg b) sym)
+  | ta, _ when not (Ctype.is_scalar ta) -> type_error env op a
+  | _, _ -> type_error env op b
+
+let filter_holds env f lhs rhs =
+  let op =
+    match f with
+    | Ast.Qlt -> Ast.Blt
+    | Ast.Qgt -> Ast.Bgt
+    | Ast.Qle -> Ast.Ble
+    | Ast.Qge -> Ast.Bge
+    | Ast.Qeq -> Ast.Beq
+    | Ast.Qne -> Ast.Bne
+  in
+  as_int64 (binary env op lhs rhs) <> 0L
+
+let values_equal env a b = as_int64 (binary env Ast.Beq a b) <> 0L
+
+let unary env op operand =
+  let dbg = env.Env.dbg in
+  let mk_sym text v =
+    if sym_on env then Symbolic.unary text v.Value.sym else no_sym
+  in
+  match op with
+  | Ast.Uaddr -> (
+      match operand.Value.st with
+      | Value.Lval a ->
+          Value.int_value ~sym:(mk_sym "&" operand)
+            (Ctype.Ptr operand.Value.typ) (Int64.of_int a)
+      | Value.Lbit _ ->
+          Error.fail
+            ~operand:(Symbolic.to_string operand.Value.sym, Value.describe operand)
+            "cannot take the address of a bit-field"
+      | Value.Rint _ | Value.Rfloat _ ->
+          Error.fail
+            ~operand:(Symbolic.to_string operand.Value.sym, Value.describe operand)
+            "& requires an lvalue")
+  | Ast.Uderef -> (
+      let v = Value.fetch dbg operand in
+      match v.Value.typ with
+      | Ctype.Ptr t ->
+          Value.lvalue ~sym:(mk_sym "*" v) t (Int64.to_int (as_int64 v))
+      | _ ->
+          Error.fail
+            ~operand:(Symbolic.to_string v.Value.sym, Value.describe v)
+            "* requires a pointer")
+  | Ast.Unot ->
+      let t = Value.truth dbg operand in
+      Value.int_value ~sym:(mk_sym "!" operand) Ctype.int (if t then 0L else 1L)
+  | Ast.Ubnot -> (
+      let v = Value.fetch dbg operand in
+      match Ctype.integer_kind v.Value.typ with
+      | Some k ->
+          let abi = dbg.Dbgi.abi in
+          let k = Ctype.promote_ikind abi k in
+          let raw = Int64.lognot (Ctype.normalize abi k (as_int64 v)) in
+          Value.int_value ~sym:(mk_sym "~" v) (Ctype.Integer k)
+            (Ctype.normalize abi k raw)
+      | None ->
+          Error.fail
+            ~operand:(Symbolic.to_string v.Value.sym, Value.describe v)
+            "~ requires an integer")
+  | Ast.Uminus -> (
+      let v = Value.fetch dbg operand in
+      match (v.Value.st, Ctype.integer_kind v.Value.typ) with
+      | Value.Rfloat f, _ ->
+          Value.float_value ~sym:(mk_sym "-" v) v.Value.typ (-.f)
+      | Value.Rint i, Some k ->
+          let abi = dbg.Dbgi.abi in
+          let k = Ctype.promote_ikind abi k in
+          Value.int_value ~sym:(mk_sym "-" v) (Ctype.Integer k)
+            (Ctype.normalize abi k (Int64.neg i))
+      | _ ->
+          Error.fail
+            ~operand:(Symbolic.to_string v.Value.sym, Value.describe v)
+            "- requires an arithmetic operand")
+  | Ast.Uplus -> (
+      let v = Value.fetch dbg operand in
+      match (v.Value.st, Ctype.integer_kind v.Value.typ) with
+      | Value.Rfloat _, _ -> v
+      | Value.Rint i, Some k ->
+          let abi = dbg.Dbgi.abi in
+          let k = Ctype.promote_ikind abi k in
+          Value.int_value ~sym:v.Value.sym (Ctype.Integer k)
+            (Ctype.normalize abi k i)
+      | _ ->
+          Error.fail
+            ~operand:(Symbolic.to_string v.Value.sym, Value.describe v)
+            "+ requires an arithmetic operand")
+
+let index env lhs rhs =
+  let dbg = env.Env.dbg in
+  let a = Value.fetch dbg lhs in
+  let b = Value.fetch dbg rhs in
+  let a, b = if Ctype.is_ptr b.Value.typ then (b, a) else (a, b) in
+  match a.Value.typ with
+  | Ctype.Ptr elt ->
+      let size = pointee_size env a in
+      let i = Value.to_int64 dbg b in
+      let addr = Int64.to_int (as_int64 a) + (Int64.to_int i * size) in
+      let sym =
+        if sym_on env then
+          Symbolic.postfix a.Value.sym
+            ("[" ^ Symbolic.to_string b.Value.sym ^ "]")
+        else no_sym
+      in
+      Value.lvalue ~sym elt addr
+  | _ ->
+      Error.fail
+        ~operand:(Symbolic.to_string a.Value.sym, Value.describe a)
+        "indexing requires a pointer or array"
+
+let incdec env op operand =
+  let dbg = env.Env.dbg in
+  let old_v = Value.fetch dbg operand in
+  let one = Value.int_value Ctype.int 1L in
+  let delta =
+    match op with
+    | Ast.Preinc | Ast.Postinc -> Ast.Badd
+    | Ast.Predec | Ast.Postdec -> Ast.Bsub
+  in
+  let new_v = binary env delta old_v one in
+  let stored = Value.store dbg ~into:operand new_v in
+  let text_pre, text_post =
+    match op with
+    | Ast.Preinc | Ast.Postinc -> ("++", "++")
+    | Ast.Predec | Ast.Postdec -> ("--", "--")
+  in
+  match op with
+  | Ast.Preinc | Ast.Predec ->
+      if sym_on env then
+        Value.with_sym stored (Symbolic.unary text_pre operand.Value.sym)
+      else stored
+  | Ast.Postinc | Ast.Postdec ->
+      let sym =
+        if sym_on env then Symbolic.postfix operand.Value.sym text_post
+        else no_sym
+      in
+      Value.with_sym (Value.convert dbg operand.Value.typ old_v) sym
+
+let assign env op lhs rhs =
+  let dbg = env.Env.dbg in
+  let rhs_v =
+    match op with
+    | None -> rhs
+    | Some bop -> binary env bop (Value.fetch dbg lhs) rhs
+  in
+  Value.store dbg ~into:lhs rhs_v

@@ -1,0 +1,28 @@
+(** Application of C operators to DUEL values.
+
+    The paper keeps "its own implementation of the C operators" (about 1200
+    lines of C); this is that layer.  All functions fetch their operands
+    (rvalue conversion) as needed, implement C's usual arithmetic
+    conversions, unsigned wraparound, pointer arithmetic and comparison,
+    and compose symbolic values with minimal parenthesization. *)
+
+val binary : Env.t -> Ast.binop -> Value.t -> Value.t -> Value.t
+(** @raise Error.Duel_error on division by zero and type errors. *)
+
+val filter_holds : Env.t -> Ast.filter -> Value.t -> Value.t -> bool
+(** The comparison behind [e1 >? e2] (same semantics as C's [>]). *)
+
+val values_equal : Env.t -> Value.t -> Value.t -> bool
+(** C [==] as a boolean — used by [==/] and the [@] constant form. *)
+
+val unary : Env.t -> Ast.unop -> Value.t -> Value.t
+val incdec : Env.t -> Ast.incdec -> Value.t -> Value.t
+val index : Env.t -> Value.t -> Value.t -> Value.t
+(** C indexing: [a[i]] is [*(a + i)]; the symbolic value is [a[i]] with the
+    index's symbolic (which for generators is the current value). *)
+
+val assign : Env.t -> Ast.binop option -> Value.t -> Value.t -> Value.t
+(** [=] and the compound assignments. *)
+
+val int_result : Env.t -> ?sym:Symbolic.t -> int64 -> Value.t
+(** An [int]-typed rvalue (for counts, truth values, and reductions). *)

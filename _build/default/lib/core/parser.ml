@@ -1,0 +1,685 @@
+module T = Token
+
+exception Error of string * int
+
+type state = {
+  toks : (T.t * int) array;
+  mutable pos : int;
+  is_typename : string -> bool;
+}
+
+let fail st msg =
+  let _, off = st.toks.(st.pos) in
+  raise (Error (msg, off))
+
+let peek st = fst st.toks.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else T.EOF
+
+let advance st = if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1
+
+let eat st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (T.describe tok)
+         (T.describe (peek st)))
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+(* --- type syntax ------------------------------------------------------- *)
+
+let base_type_keyword = function
+  | T.KINT | T.KCHAR | T.KLONG | T.KSHORT | T.KSIGNED | T.KUNSIGNED
+  | T.KFLOAT | T.KDOUBLE | T.KVOID | T.KBOOL ->
+      true
+  | _ -> false
+
+(* Does the current token start a type name?  Used to tell casts from
+   parenthesized expressions and declarations from expressions. *)
+let starts_type st =
+  match peek st with
+  | T.KSTRUCT | T.KUNION | T.KENUM -> true
+  | t when base_type_keyword t -> true
+  | T.ID name -> st.is_typename name
+  | _ -> false
+
+let base_word = function
+  | T.KINT -> "int"
+  | T.KCHAR -> "char"
+  | T.KLONG -> "long"
+  | T.KSHORT -> "short"
+  | T.KSIGNED -> "signed"
+  | T.KUNSIGNED -> "unsigned"
+  | T.KFLOAT -> "float"
+  | T.KDOUBLE -> "double"
+  | T.KVOID -> "void"
+  | T.KBOOL -> "_Bool"
+  | _ -> assert false
+
+let parse_base_type st =
+  match peek st with
+  | T.KSTRUCT ->
+      advance st;
+      (match peek st with
+      | T.ID tag ->
+          advance st;
+          Ast.Tstruct_ref tag
+      | _ -> fail st "expected struct tag")
+  | T.KUNION ->
+      advance st;
+      (match peek st with
+      | T.ID tag ->
+          advance st;
+          Ast.Tunion_ref tag
+      | _ -> fail st "expected union tag")
+  | T.KENUM ->
+      advance st;
+      (match peek st with
+      | T.ID tag ->
+          advance st;
+          Ast.Tenum_ref tag
+      | _ -> fail st "expected enum tag")
+  | T.ID name when st.is_typename name ->
+      advance st;
+      Ast.Ttypedef_ref name
+  | t when base_type_keyword t ->
+      let words = ref [] in
+      while base_type_keyword (peek st) do
+        words := base_word (peek st) :: !words;
+        advance st
+      done;
+      Ast.Tname (List.rev !words)
+  | _ -> fail st "expected a type name"
+
+(* --- expression grammar ------------------------------------------------ *)
+
+let starts_expression = function
+  | T.INT _ | T.FLT _ | T.CHR _ | T.STR _ | T.ID _ | T.UNDER | T.LPAREN
+  | T.LBRACE | T.MINUS | T.PLUS | T.BANG | T.TILDE | T.STAR | T.AMP | T.INC
+  | T.DEC | T.KSIZEOF | T.KIF | T.KFOR | T.KWHILE | T.KFRAME | T.KFRAMES
+  | T.COUNTOF | T.SUMOF | T.ALLOF | T.ANYOF | T.DOTDOT ->
+      true
+  | _ -> false
+
+let rec parse_seq st =
+  let lhs = parse_seq_item st in
+  if peek st = T.SEMI then begin
+    advance st;
+    if starts_expression (peek st) || starts_type st then
+      Ast.Seq (lhs, parse_seq st)
+    else Ast.Seq_void lhs
+  end
+  else lhs
+
+and parse_seq_item st =
+  if starts_type st then parse_decl_or_expr st else parse_alt st
+
+(* A type-starting token at sequence level is normally a declaration
+   ([int i]), but could also be a typedef name used in an expression
+   position is not supported — declarations win, as in C. *)
+and parse_decl_or_expr st =
+  let saved = st.pos in
+  match parse_declaration st with
+  | decl -> decl
+  | exception Error _ ->
+      st.pos <- saved;
+      parse_alt st
+
+and parse_declaration st =
+  let base = parse_base_type st in
+  let rec declarators acc =
+    let name, typ = parse_declarator st base in
+    let acc = (name, typ) :: acc in
+    if accept st T.COMMA then declarators acc else List.rev acc
+  in
+  Ast.Decl (base, declarators [])
+
+(* C declarator, inside-out: pointers bind looser than the trailing array
+   dimensions.  Function declarators are not supported (documented). *)
+and parse_declarator st base =
+  let rec pointers n = if accept st T.STAR then pointers (n + 1) else n in
+  let nptr = pointers 0 in
+  let name, wrap = parse_direct_declarator st in
+  let rec add_ptrs t n = if n = 0 then t else add_ptrs (Ast.Tptr t) (n - 1) in
+  (name, wrap (add_ptrs base nptr))
+
+and parse_direct_declarator st =
+  let name, wrap_inner =
+    match peek st with
+    | T.ID name ->
+        advance st;
+        (name, fun t -> t)
+    | T.LPAREN ->
+        advance st;
+        let name, typ_of = parse_declarator_partial st in
+        eat st T.RPAREN;
+        (name, typ_of)
+    | _ -> fail st "expected a declarator"
+  in
+  let rec arrays wrap =
+    if accept st T.LBRACK then begin
+      let dim =
+        if peek st = T.RBRACK then None else Some (parse_seq st)
+      in
+      eat st T.RBRACK;
+      (* dimensions apply outside-in on the element type *)
+      arrays (fun t -> wrap (Ast.Tarr (t, dim)))
+    end
+    else wrap
+  in
+  (name, arrays wrap_inner)
+
+(* A parenthesized declarator like "( *p )" — returns the name and a
+   function mapping the element type to the declared type. *)
+and parse_declarator_partial st =
+  let rec pointers n = if accept st T.STAR then pointers (n + 1) else n in
+  let nptr = pointers 0 in
+  let name, wrap = parse_direct_declarator st in
+  let rec add_ptrs t n = if n = 0 then t else add_ptrs (Ast.Tptr t) (n - 1) in
+  (name, fun t -> wrap (add_ptrs t nptr))
+
+(* Abstract declarator for casts/sizeof: base, then *s, then [dims]. *)
+and parse_type_name st =
+  let base = parse_base_type st in
+  let rec pointers t = if accept st T.STAR then pointers (Ast.Tptr t) else t in
+  let t = pointers base in
+  let rec arrays t =
+    if accept st T.LBRACK then begin
+      let dim = if peek st = T.RBRACK then None else Some (parse_seq st) in
+      eat st T.RBRACK;
+      Ast.Tarr (arrays t, dim)
+    end
+    else t
+  in
+  arrays t
+
+and parse_alt st =
+  let lhs = parse_imply st in
+  if accept st T.COMMA then Ast.Alt (lhs, parse_alt st) else lhs
+
+and parse_imply st =
+  let lhs = parse_assign st in
+  if accept st T.IMPLY then Ast.Imply (lhs, parse_imply st) else lhs
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  match peek st with
+  | T.DEFINE -> (
+      advance st;
+      match lhs with
+      | Ast.Name name -> Ast.Def_alias (name, parse_assign st)
+      | _ -> fail st "left side of := must be a name")
+  | T.ASSIGN ->
+      advance st;
+      Ast.Assign (None, lhs, parse_assign st)
+  | T.PLUSEQ ->
+      advance st;
+      Ast.Assign (Some Ast.Badd, lhs, parse_assign st)
+  | T.MINUSEQ ->
+      advance st;
+      Ast.Assign (Some Ast.Bsub, lhs, parse_assign st)
+  | T.STAREQ ->
+      advance st;
+      Ast.Assign (Some Ast.Bmul, lhs, parse_assign st)
+  | T.SLASHEQ ->
+      advance st;
+      Ast.Assign (Some Ast.Bdiv, lhs, parse_assign st)
+  | T.PERCENTEQ ->
+      advance st;
+      Ast.Assign (Some Ast.Bmod, lhs, parse_assign st)
+  | T.AMPEQ ->
+      advance st;
+      Ast.Assign (Some Ast.Bband, lhs, parse_assign st)
+  | T.PIPEEQ ->
+      advance st;
+      Ast.Assign (Some Ast.Bbor, lhs, parse_assign st)
+  | T.CARETEQ ->
+      advance st;
+      Ast.Assign (Some Ast.Bbxor, lhs, parse_assign st)
+  | T.SHLEQ ->
+      advance st;
+      Ast.Assign (Some Ast.Bshl, lhs, parse_assign st)
+  | T.SHREQ ->
+      advance st;
+      Ast.Assign (Some Ast.Bshr, lhs, parse_assign st)
+  | _ -> lhs
+
+and parse_cond st =
+  let cond = parse_to st in
+  if accept st T.QUESTION then begin
+    let then_e = parse_imply st in
+    eat st T.COLON;
+    let else_e = parse_cond st in
+    Ast.Cond (cond, then_e, else_e)
+  end
+  else cond
+
+and parse_to st =
+  if peek st = T.DOTDOT then begin
+    advance st;
+    Ast.Up_to (parse_logor st)
+  end
+  else begin
+    let lhs = parse_logor st in
+    if accept st T.DOTDOT then
+      if starts_expression (peek st) then Ast.To (lhs, parse_logor st)
+      else Ast.To_inf lhs
+    else lhs
+  end
+
+and parse_logor st =
+  let rec loop lhs =
+    if accept st T.OROR then loop (Ast.Logor (lhs, parse_logand st)) else lhs
+  in
+  loop (parse_logand st)
+
+and parse_logand st =
+  let rec loop lhs =
+    if accept st T.ANDAND then loop (Ast.Logand (lhs, parse_bitor st)) else lhs
+  in
+  loop (parse_bitor st)
+
+and parse_bitor st =
+  let rec loop lhs =
+    if accept st T.PIPE then loop (Ast.Binary (Ast.Bbor, lhs, parse_bitxor st))
+    else lhs
+  in
+  loop (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec loop lhs =
+    if accept st T.CARET then
+      loop (Ast.Binary (Ast.Bbxor, lhs, parse_bitand st))
+    else lhs
+  in
+  loop (parse_bitand st)
+
+and parse_bitand st =
+  let rec loop lhs =
+    if accept st T.AMP then loop (Ast.Binary (Ast.Bband, lhs, parse_equality st))
+    else lhs
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop lhs =
+    match peek st with
+    | T.EQEQ ->
+        advance st;
+        loop (Ast.Binary (Ast.Beq, lhs, parse_relational st))
+    | T.NE ->
+        advance st;
+        loop (Ast.Binary (Ast.Bne, lhs, parse_relational st))
+    | T.QEQ ->
+        advance st;
+        loop (Ast.Filter (Ast.Qeq, lhs, parse_relational st))
+    | T.QNE ->
+        advance st;
+        loop (Ast.Filter (Ast.Qne, lhs, parse_relational st))
+    | T.SEQEQ ->
+        advance st;
+        loop (Ast.Seq_eq (lhs, parse_relational st))
+    | _ -> lhs
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop lhs =
+    match peek st with
+    | T.LT ->
+        advance st;
+        loop (Ast.Binary (Ast.Blt, lhs, parse_shift st))
+    | T.GT ->
+        advance st;
+        loop (Ast.Binary (Ast.Bgt, lhs, parse_shift st))
+    | T.LE ->
+        advance st;
+        loop (Ast.Binary (Ast.Ble, lhs, parse_shift st))
+    | T.GE ->
+        advance st;
+        loop (Ast.Binary (Ast.Bge, lhs, parse_shift st))
+    | T.QLT ->
+        advance st;
+        loop (Ast.Filter (Ast.Qlt, lhs, parse_shift st))
+    | T.QGT ->
+        advance st;
+        loop (Ast.Filter (Ast.Qgt, lhs, parse_shift st))
+    | T.QLE ->
+        advance st;
+        loop (Ast.Filter (Ast.Qle, lhs, parse_shift st))
+    | T.QGE ->
+        advance st;
+        loop (Ast.Filter (Ast.Qge, lhs, parse_shift st))
+    | _ -> lhs
+  in
+  loop (parse_shift st)
+
+and parse_shift st =
+  let rec loop lhs =
+    match peek st with
+    | T.SHL ->
+        advance st;
+        loop (Ast.Binary (Ast.Bshl, lhs, parse_additive st))
+    | T.SHR ->
+        advance st;
+        loop (Ast.Binary (Ast.Bshr, lhs, parse_additive st))
+    | _ -> lhs
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | T.PLUS ->
+        advance st;
+        loop (Ast.Binary (Ast.Badd, lhs, parse_multiplicative st))
+    | T.MINUS ->
+        advance st;
+        loop (Ast.Binary (Ast.Bsub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | T.STAR ->
+        advance st;
+        loop (Ast.Binary (Ast.Bmul, lhs, parse_unary st))
+    | T.SLASH ->
+        advance st;
+        loop (Ast.Binary (Ast.Bdiv, lhs, parse_unary st))
+    | T.PERCENT ->
+        advance st;
+        loop (Ast.Binary (Ast.Bmod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | T.INC ->
+      advance st;
+      Ast.Incdec (Ast.Preinc, parse_unary st)
+  | T.DEC ->
+      advance st;
+      Ast.Incdec (Ast.Predec, parse_unary st)
+  | T.BANG ->
+      advance st;
+      Ast.Unary (Ast.Unot, parse_unary st)
+  | T.TILDE ->
+      advance st;
+      Ast.Unary (Ast.Ubnot, parse_unary st)
+  | T.MINUS ->
+      advance st;
+      Ast.Unary (Ast.Uminus, parse_unary st)
+  | T.PLUS ->
+      advance st;
+      Ast.Unary (Ast.Uplus, parse_unary st)
+  | T.STAR ->
+      advance st;
+      Ast.Unary (Ast.Uderef, parse_unary st)
+  | T.AMP ->
+      advance st;
+      Ast.Unary (Ast.Uaddr, parse_unary st)
+  | T.COUNTOF ->
+      advance st;
+      Ast.Reduce (Ast.Rcount, parse_unary st)
+  | T.SUMOF ->
+      advance st;
+      Ast.Reduce (Ast.Rsum, parse_unary st)
+  | T.ALLOF ->
+      advance st;
+      Ast.Reduce (Ast.Rall, parse_unary st)
+  | T.ANYOF ->
+      advance st;
+      Ast.Reduce (Ast.Rany, parse_unary st)
+  | T.DOTDOT ->
+      advance st;
+      Ast.Up_to (parse_logor st)
+  | T.KSIZEOF ->
+      advance st;
+      if peek st = T.LPAREN && type_follows st then begin
+        advance st;
+        let t = parse_type_name st in
+        eat st T.RPAREN;
+        Ast.Sizeof_type t
+      end
+      else Ast.Sizeof_expr (parse_unary st)
+  | T.LPAREN when type_follows st ->
+      advance st;
+      let t = parse_type_name st in
+      eat st T.RPAREN;
+      Ast.Cast (t, parse_unary st)
+  | _ -> parse_postfix st
+
+(* Is the token after the current '(' the start of a type name? *)
+and type_follows st =
+  match peek2 st with
+  | T.KSTRUCT | T.KUNION | T.KENUM -> true
+  | t when base_type_keyword t -> true
+  | T.ID name -> st.is_typename name
+  | _ -> false
+
+and parse_postfix st =
+  let rec loop lhs =
+    match peek st with
+    | T.LBRACK ->
+        advance st;
+        let idx = parse_seq st in
+        eat st T.RBRACK;
+        loop (Ast.Index (lhs, idx))
+    | T.LSELECT ->
+        advance st;
+        let sel = parse_seq st in
+        eat st T.RBRACK;
+        eat st T.RBRACK;
+        loop (Ast.Select (lhs, sel))
+    | T.LPAREN ->
+        advance st;
+        let args =
+          if peek st = T.RPAREN then []
+          else begin
+            let rec collect acc =
+              let arg = parse_imply st in
+              if accept st T.COMMA then collect (arg :: acc)
+              else List.rev (arg :: acc)
+            in
+            collect []
+          end
+        in
+        eat st T.RPAREN;
+        loop (Ast.Call (lhs, args))
+    | T.DOT ->
+        advance st;
+        with_operand st lhs Ast.Wdot loop
+    | T.ARROW ->
+        advance st;
+        with_operand st lhs Ast.Warrow loop
+    | T.DFS ->
+        advance st;
+        expand_operand st lhs (fun a b -> Ast.Dfs (a, b)) loop
+    | T.BFS ->
+        advance st;
+        expand_operand st lhs (fun a b -> Ast.Bfs (a, b)) loop
+    | T.HASH -> (
+        advance st;
+        match peek st with
+        | T.ID name ->
+            advance st;
+            loop (Ast.Index_alias (lhs, name))
+        | _ -> fail st "expected an alias name after #")
+    | T.AT ->
+        advance st;
+        loop (Ast.Until (lhs, parse_stop_operand st))
+    | T.INC ->
+        advance st;
+        loop (Ast.Incdec (Ast.Postinc, lhs))
+    | T.DEC ->
+        advance st;
+        loop (Ast.Incdec (Ast.Postdec, lhs))
+    | _ -> lhs
+  in
+  loop (parse_primary st)
+
+(* Right operand of . -> --> -->>.  A control expression extends greedily
+   and ends the postfix chain; anything else continues it. *)
+and with_operand st lhs kind loop =
+  match peek st with
+  | T.ID name ->
+      advance st;
+      loop (Ast.With (kind, lhs, Ast.Name name))
+  | T.UNDER ->
+      advance st;
+      loop (Ast.With (kind, lhs, Ast.Underscore))
+  | T.LPAREN ->
+      advance st;
+      let e = parse_seq st in
+      eat st T.RPAREN;
+      loop (Ast.With (kind, lhs, Ast.Group e))
+  | T.LBRACE ->
+      advance st;
+      let e = parse_seq st in
+      eat st T.RBRACE;
+      loop (Ast.With (kind, lhs, Ast.Braces e))
+  | T.KIF | T.KFOR | T.KWHILE ->
+      Ast.With (kind, lhs, parse_primary st)
+  | _ -> fail st "expected a member expression after . or ->"
+
+and expand_operand st lhs build loop =
+  match peek st with
+  | T.ID name ->
+      advance st;
+      loop (build lhs (Ast.Name name))
+  | T.LPAREN ->
+      advance st;
+      let e = parse_seq st in
+      eat st T.RPAREN;
+      loop (build lhs (Ast.Group e))
+  | T.KIF | T.KFOR | T.KWHILE -> build lhs (parse_primary st)
+  | _ -> fail st "expected a traversal expression after --> "
+
+(* Operand of @: a constant, name, _, or parenthesized expression. *)
+and parse_stop_operand st =
+  match peek st with
+  | T.INT (v, t, s) ->
+      advance st;
+      Ast.Int_lit (v, t, s)
+  | T.CHR (c, s) ->
+      advance st;
+      Ast.Char_lit (c, s)
+  | T.ID name ->
+      advance st;
+      Ast.Name name
+  | T.UNDER ->
+      advance st;
+      Ast.Underscore
+  | T.LPAREN ->
+      advance st;
+      let e = parse_seq st in
+      eat st T.RPAREN;
+      Ast.Group e
+  | _ -> fail st "expected a stop condition after @"
+
+and parse_primary st =
+  match peek st with
+  | T.INT (v, t, s) ->
+      advance st;
+      Ast.Int_lit (v, t, s)
+  | T.FLT (v, t, s) ->
+      advance st;
+      Ast.Float_lit (v, t, s)
+  | T.CHR (c, s) ->
+      advance st;
+      Ast.Char_lit (c, s)
+  | T.STR s ->
+      advance st;
+      Ast.Str_lit s
+  | T.ID name ->
+      advance st;
+      Ast.Name name
+  | T.UNDER ->
+      advance st;
+      Ast.Underscore
+  | T.LPAREN ->
+      advance st;
+      let e = parse_seq st in
+      eat st T.RPAREN;
+      Ast.Group e
+  | T.LBRACE ->
+      advance st;
+      let e = parse_seq st in
+      eat st T.RBRACE;
+      Ast.Braces e
+  | T.KIF ->
+      advance st;
+      eat st T.LPAREN;
+      let cond = parse_seq st in
+      eat st T.RPAREN;
+      let then_e = parse_imply st in
+      if accept st T.KELSE then Ast.If (cond, then_e, Some (parse_imply st))
+      else Ast.If (cond, then_e, None)
+  | T.KFOR ->
+      advance st;
+      eat st T.LPAREN;
+      let init = if peek st = T.SEMI then None else Some (parse_alt st) in
+      eat st T.SEMI;
+      let cond = if peek st = T.SEMI then None else Some (parse_alt st) in
+      eat st T.SEMI;
+      let step = if peek st = T.RPAREN then None else Some (parse_alt st) in
+      eat st T.RPAREN;
+      Ast.For (init, cond, step, parse_imply st)
+  | T.KWHILE ->
+      advance st;
+      eat st T.LPAREN;
+      let cond = parse_seq st in
+      eat st T.RPAREN;
+      Ast.While (cond, parse_imply st)
+  | T.KFRAME ->
+      advance st;
+      eat st T.LPAREN;
+      let e = parse_seq st in
+      eat st T.RPAREN;
+      Ast.Frame e
+  | T.KFRAMES ->
+      advance st;
+      Ast.Frames_gen
+  | tok -> fail st (Printf.sprintf "unexpected %s" (T.describe tok))
+
+let parse ?(is_typename = fun _ -> false) ~abi src =
+  let toks = Array.of_list (Lexer.tokenize ~abi src) in
+  let st = { toks; pos = 0; is_typename } in
+  let e = parse_seq st in
+  if peek st <> T.EOF then
+    fail st (Printf.sprintf "trailing input at %s" (T.describe (peek st)));
+  e
+
+(* --- embedding API ------------------------------------------------------ *)
+
+
+
+let make_state ?(is_typename = fun _ -> false) toks =
+  { toks; pos = 0; is_typename }
+
+let state_pos st = st.pos
+let state_peek st = peek st
+
+let state_peek_at st n =
+  if st.pos + n < Array.length st.toks then fst st.toks.(st.pos + n) else T.EOF
+
+let state_advance st = advance st
+let state_offset st = snd st.toks.(st.pos)
+let expression st = parse_imply st
+let type_starts st = starts_type st
+let base_type st = parse_base_type st
+let declarator st base = parse_declarator st base
+let expect st tok = eat st tok
+let accept_tok st tok = accept st tok
+let error_at st msg = fail st msg

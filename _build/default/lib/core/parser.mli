@@ -1,0 +1,75 @@
+(** Recursive-descent parser for DUEL.
+
+    Precedence, loosest to tightest (all C operators keep their relative C
+    precedence; DUEL operators slot in as the paper's examples require):
+
+    {ol
+    {- [;] sequence (a trailing [;] evaluates for side effects only)}
+    {- [,] alternation}
+    {- [=>] imply (right-assoc)}
+    {- [:=] alias and C assignment [=], [op=] (right-assoc)}
+    {- [?:]}
+    {- [..] / [..e] / [e..] (non-associative)}
+    {- [||]} {- [&&]} {- [|]} {- [^]} {- [&]}
+    {- [==] [!=] [==?] [!=?] [==/]}
+    {- [<] [>] [<=] [>=] [<?] [>?] [<=?] [>=?]}
+    {- [<<] [>>]} {- [+] [-]} {- [*] [/] [%]}
+    {- unary: [! ~ - + * & ++ -- sizeof], casts, reductions [#/ +/ &&/ ||/],
+       prefix [..e]}
+    {- postfix, left-assoc chains: [e[i]], [e[[i]]], [e(args)], [e.x],
+       [e->x], [e-->x], [e-->>x], [e#name], [e@stop], [e++], [e--]}}
+
+    The right operand of [.], [->], [-->], [-->>] is a name, [_],
+    a parenthesized expression, a [{e}] brace, or a control expression
+    ([if]/[for]/[while], which greedily extends to the right, as in
+    [hash[..1024]-->next->if (next) scope <? next->scope]).
+
+    Declarations ([int i, *p;]) are recognized at sequence level; the
+    separating [;] is the ordinary sequence operator, so
+    [int i; for (i = 0; ...) ...] parses as the paper shows.  Whether an
+    identifier names a type (typedef) is decided by the [is_typename]
+    callback, since DUEL resolves types at evaluation time. *)
+
+exception Error of string * int
+(** Parse error: message and byte offset. *)
+
+val parse :
+  ?is_typename:(string -> bool) ->
+  abi:Duel_ctype.Abi.t ->
+  string ->
+  Ast.expr
+(** Parse a complete DUEL expression.  @raise Error on syntax errors.
+    @raise Lexer.Error on lexical errors. *)
+
+(** {1 Embedding}
+
+    The mini-C frontend ([Duel_minic]) reuses this expression grammar
+    inside its own statement grammar; these entry points parse from a
+    shared token stream without requiring the whole input to be one
+    expression. *)
+
+type state
+
+val make_state :
+  ?is_typename:(string -> bool) -> (Token.t * int) array -> state
+
+val state_pos : state -> int
+val state_peek : state -> Token.t
+val state_peek_at : state -> int -> Token.t
+(** Token [n] positions ahead ([state_peek_at st 0 = state_peek st]). *)
+
+val state_advance : state -> unit
+val state_offset : state -> int
+(** Byte offset of the current token (for line tracking). *)
+
+val expression : state -> Ast.expr
+(** Parse one assignment-level expression (no top-level [,] or [;]). *)
+
+val type_starts : state -> bool
+(** Does a type name start at the current token? *)
+
+val base_type : state -> Ast.type_expr
+val declarator : state -> Ast.type_expr -> string * Ast.type_expr
+val expect : state -> Token.t -> unit
+val accept_tok : state -> Token.t -> bool
+val error_at : state -> string -> 'a

@@ -1,0 +1,218 @@
+let binop_text = function
+  | Ast.Badd -> ("+", Symbolic.prec_additive)
+  | Ast.Bsub -> ("-", Symbolic.prec_additive)
+  | Ast.Bmul -> ("*", Symbolic.prec_multiplicative)
+  | Ast.Bdiv -> ("/", Symbolic.prec_multiplicative)
+  | Ast.Bmod -> ("%", Symbolic.prec_multiplicative)
+  | Ast.Blt -> ("<", Symbolic.prec_relational)
+  | Ast.Bgt -> (">", Symbolic.prec_relational)
+  | Ast.Ble -> ("<=", Symbolic.prec_relational)
+  | Ast.Bge -> (">=", Symbolic.prec_relational)
+  | Ast.Beq -> ("==", Symbolic.prec_equality)
+  | Ast.Bne -> ("!=", Symbolic.prec_equality)
+  | Ast.Bshl -> ("<<", Symbolic.prec_shift)
+  | Ast.Bshr -> (">>", Symbolic.prec_shift)
+  | Ast.Bband -> ("&", Symbolic.prec_bitand)
+  | Ast.Bbor -> ("|", Symbolic.prec_bitor)
+  | Ast.Bbxor -> ("^", Symbolic.prec_bitxor)
+
+let filter_text = function
+  | Ast.Qlt -> ("<?", Symbolic.prec_relational)
+  | Ast.Qgt -> (">?", Symbolic.prec_relational)
+  | Ast.Qle -> ("<=?", Symbolic.prec_relational)
+  | Ast.Qge -> (">=?", Symbolic.prec_relational)
+  | Ast.Qeq -> ("==?", Symbolic.prec_equality)
+  | Ast.Qne -> ("!=?", Symbolic.prec_equality)
+
+let unop_text = function
+  | Ast.Uminus -> "-"
+  | Ast.Uplus -> "+"
+  | Ast.Unot -> "!"
+  | Ast.Ubnot -> "~"
+  | Ast.Uderef -> "*"
+  | Ast.Uaddr -> "&"
+
+let reduction_text = function
+  | Ast.Rcount -> "#/"
+  | Ast.Rsum -> "+/"
+  | Ast.Rall -> "&&/"
+  | Ast.Rany -> "||/"
+
+let escape_char c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | c when Char.code c >= 32 && Char.code c < 127 -> String.make 1 c
+  | c -> Printf.sprintf "\\%03o" (Char.code c)
+
+(* Each node renders to a Symbolic.t (string + outer precedence), giving
+   the minimal-parentheses composition for free. *)
+let rec doc (e : Ast.expr) : Symbolic.t =
+  match e with
+  | Ast.Int_lit (_, _, lex) -> Symbolic.atom lex
+  | Ast.Float_lit (_, _, lex) -> Symbolic.atom lex
+  | Ast.Char_lit (_, lex) -> Symbolic.atom lex
+  | Ast.Str_lit s ->
+      Symbolic.atom
+        ("\""
+        ^ String.concat "" (List.map escape_char (List.init (String.length s) (String.get s)))
+        ^ "\"")
+  | Ast.Name n -> Symbolic.atom n
+  | Ast.Underscore -> Symbolic.atom "_"
+  | Ast.Unary (op, a) -> Symbolic.unary (unop_text op) (doc a)
+  | Ast.Incdec (Ast.Preinc, a) -> Symbolic.unary "++" (doc a)
+  | Ast.Incdec (Ast.Predec, a) -> Symbolic.unary "--" (doc a)
+  | Ast.Incdec (Ast.Postinc, a) -> Symbolic.postfix (doc a) "++"
+  | Ast.Incdec (Ast.Postdec, a) -> Symbolic.postfix (doc a) "--"
+  | Ast.Binary (op, a, b) ->
+      let text, prec = binop_text op in
+      Symbolic.binary prec text (doc a) (doc b)
+  | Ast.Logand (a, b) -> Symbolic.binary Symbolic.prec_logand " && " (doc a) (doc b)
+  | Ast.Logor (a, b) -> Symbolic.binary Symbolic.prec_logor " || " (doc a) (doc b)
+  | Ast.Filter (f, a, b) ->
+      let text, prec = filter_text f in
+      Symbolic.binary prec (" " ^ text ^ " ") (doc a) (doc b)
+  | Ast.Cond (c, t, f) ->
+      {
+        Symbolic.text =
+          Symbolic.paren_if (c_prec c <= Symbolic.prec_cond) (doc c)
+          ^ " ? "
+          ^ Symbolic.to_string (doc t)
+          ^ " : "
+          ^ Symbolic.paren_if (c_prec f < Symbolic.prec_cond) (doc f);
+        prec = Symbolic.prec_cond;
+      }
+  | Ast.Assign (None, l, r) ->
+      Symbolic.binary_r Symbolic.prec_assign " = " (doc l) (doc r)
+  | Ast.Assign (Some op, l, r) ->
+      let text, _ = binop_text op in
+      Symbolic.binary_r Symbolic.prec_assign (" " ^ text ^ "= ") (doc l) (doc r)
+  | Ast.Cast (te, a) ->
+      Symbolic.unary ("(" ^ type_doc te ^ ")") (doc a)
+  | Ast.Call (f, args) ->
+      Symbolic.postfix (doc f)
+        ("(" ^ String.concat ", " (List.map (fun a -> Symbolic.to_string (doc a)) args) ^ ")")
+  | Ast.Index (a, i) ->
+      Symbolic.postfix (doc a) ("[" ^ Symbolic.to_string (doc i) ^ "]")
+  | Ast.With (Ast.Wdot, a, b) -> Symbolic.postfix (doc a) ("." ^ with_rhs b)
+  | Ast.With (Ast.Warrow, a, b) -> Symbolic.postfix (doc a) ("->" ^ with_rhs b)
+  | Ast.Dfs (a, b) -> Symbolic.postfix (doc a) ("-->" ^ with_rhs b)
+  | Ast.Bfs (a, b) -> Symbolic.postfix (doc a) ("-->>" ^ with_rhs b)
+  | Ast.To (a, b) -> Symbolic.binary Symbolic.prec_to ".." (doc a) (doc b)
+  | Ast.To_inf a ->
+      { Symbolic.text = Symbolic.left Symbolic.prec_to (doc a) ^ ".."; prec = Symbolic.prec_to }
+  | Ast.Up_to a ->
+      { Symbolic.text = ".." ^ Symbolic.right Symbolic.prec_to (doc a); prec = Symbolic.prec_to }
+  | Ast.Alt (a, b) -> Symbolic.binary_r Symbolic.prec_alt "," (doc a) (doc b)
+  | Ast.Seq (a, b) -> Symbolic.binary_r Symbolic.prec_seq "; " (doc a) (doc b)
+  | Ast.Seq_void a ->
+      { Symbolic.text = Symbolic.to_string (doc a) ^ " ;"; prec = Symbolic.prec_seq }
+  | Ast.Imply (a, b) -> Symbolic.binary_r Symbolic.prec_imply " => " (doc a) (doc b)
+  | Ast.Def_alias (n, a) ->
+      {
+        Symbolic.text = n ^ " := " ^ Symbolic.paren_if (c_prec a < Symbolic.prec_assign) (doc a);
+        prec = Symbolic.prec_assign;
+      }
+  | Ast.Select (a, i) ->
+      Symbolic.postfix (doc a) ("[[" ^ Symbolic.to_string (doc i) ^ "]]")
+  | Ast.Until (a, stop) ->
+      Symbolic.postfix (doc a) ("@" ^ Symbolic.paren_if (c_prec stop < Symbolic.prec_atom) (doc stop))
+  | Ast.Index_alias (a, n) -> Symbolic.postfix (doc a) ("#" ^ n)
+  | Ast.Reduce (r, a) -> Symbolic.unary (reduction_text r) (doc a)
+  | Ast.Seq_eq (a, b) ->
+      Symbolic.binary Symbolic.prec_equality " ==/ " (doc a) (doc b)
+  | Ast.Braces a -> Symbolic.atom ("{" ^ Symbolic.to_string (doc a) ^ "}")
+  | Ast.Group a -> Symbolic.atom ("(" ^ Symbolic.to_string (doc a) ^ ")")
+  | Ast.If (c, t, None) ->
+      {
+        Symbolic.text =
+          "if (" ^ Symbolic.to_string (doc c) ^ ") "
+          ^ Symbolic.paren_if (c_prec t < Symbolic.prec_imply) (doc t);
+        prec = Symbolic.prec_unary;
+      }
+  | Ast.If (c, t, Some f) ->
+      {
+        Symbolic.text =
+          "if (" ^ Symbolic.to_string (doc c) ^ ") "
+          ^ Symbolic.paren_if (c_prec t < Symbolic.prec_imply) (doc t)
+          ^ " else "
+          ^ Symbolic.paren_if (c_prec f < Symbolic.prec_imply) (doc f);
+        prec = Symbolic.prec_unary;
+      }
+  | Ast.For (i, c, s, b) ->
+      let opt = function None -> "" | Some e -> Symbolic.to_string (doc e) in
+      {
+        Symbolic.text =
+          Printf.sprintf "for (%s; %s; %s) %s" (opt i) (opt c) (opt s)
+            (Symbolic.paren_if (c_prec b < Symbolic.prec_imply) (doc b));
+        prec = Symbolic.prec_unary;
+      }
+  | Ast.While (c, b) ->
+      {
+        Symbolic.text =
+          "while (" ^ Symbolic.to_string (doc c) ^ ") "
+          ^ Symbolic.paren_if (c_prec b < Symbolic.prec_imply) (doc b);
+        prec = Symbolic.prec_unary;
+      }
+  | Ast.Decl (base, ds) ->
+      (* each declarator's type embeds the base; render only the
+         derivation part next to the shared base specifier *)
+      let declarator (name, te) = declare_rel te name in
+      {
+        Symbolic.text =
+          base_doc base ^ " " ^ String.concat ", " (List.map declarator ds);
+        prec = Symbolic.prec_assign;
+      }
+  | Ast.Sizeof_expr a -> Symbolic.unary "sizeof " (doc a)
+  | Ast.Sizeof_type te -> Symbolic.atom ("sizeof(" ^ type_doc te ^ ")")
+  | Ast.Frame a -> Symbolic.atom ("frame(" ^ Symbolic.to_string (doc a) ^ ")")
+  | Ast.Frames_gen -> Symbolic.atom "frames"
+
+and c_prec e = (doc e).Symbolic.prec
+
+and with_rhs b =
+  match b with
+  | Ast.Name n -> n
+  | Ast.Underscore -> "_"
+  | Ast.Group _ | Ast.Braces _ -> Symbolic.to_string (doc b)
+  | _ -> Symbolic.to_string (doc b)
+
+and base_doc = function
+  | Ast.Tname words -> String.concat " " words
+  | Ast.Tstruct_ref tag -> "struct " ^ tag
+  | Ast.Tunion_ref tag -> "union " ^ tag
+  | Ast.Tenum_ref tag -> "enum " ^ tag
+  | Ast.Ttypedef_ref name -> name
+  | Ast.Tptr _ | Ast.Tarr _ -> assert false
+
+(* Render a declarator for [name]: pointers prefix, arrays suffix. *)
+and declare te name =
+  match te with
+  | Ast.Tptr inner -> declare inner ("*" ^ name)
+  | Ast.Tarr (inner, dim) ->
+      let name = if String.length name > 0 && name.[0] = '*' then "(" ^ name ^ ")" else name in
+      let d = match dim with None -> "" | Some e -> Symbolic.to_string (doc e) in
+      declare inner (name ^ "[" ^ d ^ "]")
+  | base -> (if name = "" then base_doc base else base_doc base ^ " " ^ name)
+
+and type_doc te = declare te ""
+
+(* Declarator without the base specifier (for joint declarations). *)
+and declare_rel te name =
+  match te with
+  | Ast.Tptr inner -> declare_rel inner ("*" ^ name)
+  | Ast.Tarr (inner, dim) ->
+      let name =
+        if String.length name > 0 && name.[0] = '*' then "(" ^ name ^ ")"
+        else name
+      in
+      let d = match dim with None -> "" | Some e -> Symbolic.to_string (doc e) in
+      declare_rel inner (name ^ "[" ^ d ^ "]")
+  | Ast.Tname _ | Ast.Tstruct_ref _ | Ast.Tunion_ref _ | Ast.Tenum_ref _
+  | Ast.Ttypedef_ref _ ->
+      name
+
+let to_string e = Symbolic.to_string (doc e)
+let type_to_string = type_doc

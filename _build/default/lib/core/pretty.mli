@@ -1,0 +1,9 @@
+(** Printing DUEL ASTs back to concrete syntax.
+
+    Produces a canonical rendering with only the parentheses that
+    precedence requires.  Used for the "displayed as entered" part of
+    symbolic output (reductions, declarations) and by the
+    parse–print–reparse property tests. *)
+
+val to_string : Ast.expr -> string
+val type_to_string : Ast.type_expr -> string

@@ -1,0 +1,162 @@
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Tenv = Duel_ctype.Tenv
+module Dbgi = Duel_dbgi.Dbgi
+
+let max_array_elems = 24
+let max_string_len = 200
+let max_depth = 4
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let char_escape c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | c when Char.code c >= 32 && Char.code c < 127 -> String.make 1 c
+  | c -> Printf.sprintf "\\%03o" (Char.code c)
+
+let string_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\'' -> Buffer.add_char b '\''
+      | c -> Buffer.add_string b (char_escape c))
+    s;
+  Buffer.contents b
+
+let read_c_string env addr =
+  let dbg = env.Env.dbg in
+  let b = Buffer.create 16 in
+  let rec go i =
+    if i < max_string_len then
+      match dbg.Dbgi.get_bytes ~addr:(addr + i) ~len:1 with
+      | bytes -> (
+          match Bytes.get bytes 0 with
+          | '\000' -> Some (Buffer.contents b)
+          | c ->
+              Buffer.add_char b c;
+              go (i + 1))
+      | exception Dbgi.Target_fault _ -> None
+    else Some (Buffer.contents b ^ "...")
+  in
+  go 0
+
+let enum_name (e : Ctype.enum_info) v =
+  List.find_opt (fun (_, x) -> Int64.equal x v) e.Ctype.enum_items
+  |> Option.map fst
+
+let is_char_type = function
+  | Ctype.Integer (Ctype.Char | Ctype.SChar | Ctype.UChar) -> true
+  | _ -> false
+
+let rec render env depth (v : Value.t) =
+  let dbg = env.Env.dbg in
+  match v.Value.typ with
+  | Ctype.Comp c -> render_comp env depth c (Value.addr_of v)
+  | Ctype.Array (elt, n) -> render_array env depth elt n (Value.addr_of v)
+  | Ctype.Func _ -> (
+      match v.Value.st with
+      | Value.Lval a -> Printf.sprintf "<function at 0x%x>" a
+      | _ -> "<function>")
+  | _ -> (
+      let v = Value.fetch dbg v in
+      match (v.Value.st, v.Value.typ) with
+      | Value.Rint i, Ctype.Ptr inner when not (Int64.equal i 0L) && is_char_type inner
+        -> (
+          match read_c_string env (Int64.to_int i) with
+          | Some s -> Printf.sprintf "\"%s\"" (string_escape s)
+          | None -> Printf.sprintf "0x%Lx <unreadable>" i)
+      | Value.Rint i, Ctype.Ptr _ -> Printf.sprintf "0x%Lx" i
+      | Value.Rint i, Ctype.Enum e -> (
+          match enum_name e i with
+          | Some name -> name
+          | None -> Int64.to_string i)
+      | Value.Rint i, t when is_char_type t ->
+          let c = Int64.to_int (Int64.logand i 0xffL) in
+          Printf.sprintf "%Ld '%s'" i (char_escape (Char.chr c))
+      | Value.Rint i, Ctype.Integer (Ctype.UInt | Ctype.ULong | Ctype.ULLong | Ctype.UShort)
+        ->
+          Printf.sprintf "%Lu" i
+      | Value.Rint i, _ -> Int64.to_string i
+      | Value.Rfloat f, _ -> float_to_string f
+      | (Value.Lval _ | Value.Lbit _), _ -> Value.describe v)
+
+and render_comp env depth c addr =
+  if depth >= max_depth then "{...}"
+  else
+    let abi = env.Env.dbg.Dbgi.abi in
+    match c.Ctype.comp_fields with
+    | None -> "<incomplete>"
+    | Some _ ->
+        let fields = Layout.fields_of abi c in
+        let render_field (fi : Layout.field_info) =
+          let f = fi.Layout.fi_field in
+          let fv =
+            match f.Ctype.f_bits with
+            | Some width ->
+                Value.make f.Ctype.f_type
+                  (Value.Lbit
+                     {
+                       addr = addr + fi.Layout.fi_offset;
+                       unit_size = Layout.size_of abi f.Ctype.f_type;
+                       bit_off = fi.Layout.fi_bit_off;
+                       width;
+                     })
+                  (Symbolic.atom f.Ctype.f_name)
+            | None ->
+                Value.lvalue
+                  ~sym:(Symbolic.atom f.Ctype.f_name)
+                  f.Ctype.f_type
+                  (addr + fi.Layout.fi_offset)
+          in
+          match render env (depth + 1) fv with
+          | s -> Printf.sprintf "%s = %s" f.Ctype.f_name s
+          | exception Error.Duel_error _ ->
+              Printf.sprintf "%s = <unreadable>" f.Ctype.f_name
+        in
+        "{" ^ String.concat ", " (List.map render_field fields) ^ "}"
+
+and render_array env depth elt n addr =
+  let abi = env.Env.dbg.Dbgi.abi in
+  if is_char_type elt then
+    match read_c_string env addr with
+    | Some s -> Printf.sprintf "\"%s\"" (string_escape s)
+    | None -> "<unreadable>"
+  else
+    match n with
+    | None -> Printf.sprintf "0x%x" addr
+    | Some n ->
+        let size = try Layout.size_of abi elt with Layout.Incomplete _ -> 0 in
+        let shown = min n max_array_elems in
+        let elems =
+          List.init shown (fun i ->
+              let ev =
+                Value.lvalue ~sym:(Symbolic.atom "elt") elt (addr + (i * size))
+              in
+              match render env (depth + 1) ev with
+              | s -> s
+              | exception Error.Duel_error _ -> "<unreadable>")
+        in
+        let elems = if shown < n then elems @ [ "..." ] else elems in
+        "{" ^ String.concat ", " elems ^ "}"
+
+let value_to_string env v = render env 0 v
+
+let scalar_literal env v =
+  let v = Value.fetch env.Env.dbg v in
+  match v.Value.st with
+  | Value.Rint i -> (
+      match v.Value.typ with
+      | Ctype.Ptr _ -> Printf.sprintf "0x%Lx" i
+      | _ -> Int64.to_string i)
+  | Value.Rfloat f -> float_to_string f
+  | Value.Lval _ | Value.Lbit _ -> Value.describe v

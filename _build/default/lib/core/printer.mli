@@ -1,0 +1,14 @@
+(** Rendering DUEL values for display.
+
+    Follows the paper's transcripts: integers in decimal, characters
+    quoted, [char *] values shown as the string they point to, other
+    pointers in hex, enum values by enumerator name, and aggregates
+    (structs, unions, arrays) in gdb's brace syntax with a depth/length
+    cap. *)
+
+val value_to_string : Env.t -> Value.t -> string
+(** Fetches scalars from the target as needed. *)
+
+val scalar_literal : Env.t -> Value.t -> string
+(** Compact rendering used when a [{e}] brace substitutes a value into a
+    symbolic expression (e.g. [4+0*5]). *)

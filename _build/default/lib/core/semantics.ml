@@ -1,0 +1,275 @@
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Tenv = Duel_ctype.Tenv
+module Dbgi = Duel_dbgi.Dbgi
+
+let no_sym = Symbolic.atom "?"
+let sym_on env = env.Env.flags.Env.symbolic
+
+(* --- type resolution ---------------------------------------------------- *)
+
+let base_of_words words =
+  let canon = List.sort compare words in
+  match canon with
+  | [ "void" ] -> Ctype.Void
+  | [ "char" ] -> Ctype.char
+  | [ "char"; "signed" ] -> Ctype.schar
+  | [ "char"; "unsigned" ] -> Ctype.uchar
+  | [ "short" ] | [ "int"; "short" ] | [ "short"; "signed" ] | [ "int"; "short"; "signed" ]
+    ->
+      Ctype.short
+  | [ "short"; "unsigned" ] | [ "int"; "short"; "unsigned" ] -> Ctype.ushort
+  | [ "int" ] | [ "signed" ] | [ "int"; "signed" ] -> Ctype.int
+  | [ "unsigned" ] | [ "int"; "unsigned" ] -> Ctype.uint
+  | [ "long" ] | [ "int"; "long" ] | [ "long"; "signed" ] | [ "int"; "long"; "signed" ] ->
+      Ctype.long
+  | [ "long"; "unsigned" ] | [ "int"; "long"; "unsigned" ] -> Ctype.ulong
+  | [ "long"; "long" ] | [ "int"; "long"; "long" ] | [ "long"; "long"; "signed" ]
+  | [ "int"; "long"; "long"; "signed" ] ->
+      Ctype.llong
+  | [ "long"; "long"; "unsigned" ] | [ "int"; "long"; "long"; "unsigned" ] ->
+      Ctype.ullong
+  | [ "float" ] -> Ctype.float
+  | [ "double" ] -> Ctype.double
+  | [ "double"; "long" ] -> Ctype.ldouble
+  | [ "_Bool" ] -> Ctype.bool
+  | words -> Error.failf "invalid type specifier '%s'" (String.concat " " words)
+
+let rec resolve_type env ~eval_int te =
+  let tenv = env.Env.dbg.Dbgi.tenv in
+  match te with
+  | Ast.Tname words -> base_of_words words
+  | Ast.Tstruct_ref tag -> (
+      match Tenv.find_struct tenv tag with
+      | Some c -> Ctype.Comp c
+      | None -> Error.failf "no struct named %s" tag)
+  | Ast.Tunion_ref tag -> (
+      match Tenv.find_union tenv tag with
+      | Some c -> Ctype.Comp c
+      | None -> Error.failf "no union named %s" tag)
+  | Ast.Tenum_ref tag -> (
+      match Tenv.find_enum tenv tag with
+      | Some e -> Ctype.Enum e
+      | None -> Error.failf "no enum named %s" tag)
+  | Ast.Ttypedef_ref name -> (
+      match Tenv.find_typedef tenv name with
+      | Some t -> t
+      | None -> Error.failf "no typedef named %s" name)
+  | Ast.Tptr inner -> Ctype.Ptr (resolve_type env ~eval_int inner)
+  | Ast.Tarr (inner, dim) ->
+      let n = Option.map (fun e -> Int64.to_int (eval_int e)) dim in
+      Ctype.Array (resolve_type env ~eval_int inner, n)
+
+(* --- literals ----------------------------------------------------------- *)
+
+let literal env e =
+  match e with
+  | Ast.Int_lit (v, t, lex) ->
+      Some (Value.int_value ~sym:(Symbolic.atom lex) t v)
+  | Ast.Float_lit (v, t, lex) ->
+      Some (Value.float_value ~sym:(Symbolic.atom lex) t v)
+  | Ast.Char_lit (c, lex) ->
+      Some
+        (Value.int_value ~sym:(Symbolic.atom lex) Ctype.char
+           (Int64.of_int (Char.code c)))
+  | Ast.Str_lit s ->
+      let addr = Env.string_literal env s in
+      Some
+        (Value.lvalue
+           ~sym:(Symbolic.atom (Printf.sprintf "%S" s))
+           (Ctype.Array (Ctype.char, Some (String.length s + 1)))
+           addr)
+  | _ -> None
+
+(* --- with scopes -------------------------------------------------------- *)
+
+let field_value env ~comp ~addr ~base_sym ~sep name =
+  let abi = env.Env.dbg.Dbgi.abi in
+  match Layout.find_field abi comp name with
+  | None -> None
+  | Some fi ->
+      let f = fi.Layout.fi_field in
+      let sym =
+        if sym_on env then Symbolic.member base_sym sep name else no_sym
+      in
+      let v =
+        match f.Ctype.f_bits with
+        | Some width ->
+            Value.make f.Ctype.f_type
+              (Value.Lbit
+                 {
+                   addr = addr + fi.Layout.fi_offset;
+                   unit_size = Layout.size_of abi f.Ctype.f_type;
+                   bit_off = fi.Layout.fi_bit_off;
+                   width;
+                 })
+              sym
+        | None ->
+            Value.lvalue ~sym f.Ctype.f_type (addr + fi.Layout.fi_offset)
+      in
+      Some v
+
+let comp_scope env value comp addr sep =
+  {
+    Env.sc_value = value;
+    sc_lookup =
+      (fun name ->
+        field_value env ~comp ~addr ~base_sym:value.Value.sym ~sep name);
+  }
+
+let plain_scope value =
+  { Env.sc_value = value; sc_lookup = (fun _ -> None) }
+
+let with_scope env kind u =
+  let dbg = env.Env.dbg in
+  match kind with
+  | Ast.Wdot -> (
+      match (u.Value.typ, u.Value.st) with
+      | Ctype.Comp c, (Value.Lval addr | Value.Lbit { addr; _ }) ->
+          comp_scope env u c addr "."
+      | _ -> plain_scope u)
+  | Ast.Warrow -> (
+      let uf = Value.fetch dbg u in
+      match uf.Value.typ with
+      | Ctype.Ptr (Ctype.Comp c) -> (
+          match uf.Value.st with
+          | Value.Rint p -> comp_scope env uf c (Int64.to_int p) "->"
+          | _ -> plain_scope uf)
+      | Ctype.Ptr _ -> plain_scope uf
+      | _ ->
+          Error.fail
+            ~operand:(Symbolic.to_string uf.Value.sym, Value.describe uf)
+            "-> applied to a non-pointer")
+
+let node_scope env u =
+  let dbg = env.Env.dbg in
+  match (u.Value.typ, u.Value.st) with
+  | Ctype.Comp c, (Value.Lval addr | Value.Lbit { addr; _ }) ->
+      comp_scope env u c addr "."
+  | _ -> (
+      let uf = Value.fetch dbg u in
+      match (uf.Value.typ, uf.Value.st) with
+      | Ctype.Ptr (Ctype.Comp c), Value.Rint p ->
+          comp_scope env uf c (Int64.to_int p) "->"
+      | _ -> plain_scope uf)
+
+let frame_count env = List.length (env.Env.dbg.Dbgi.frames ())
+
+let frame_scope env i =
+  let frames = env.Env.dbg.Dbgi.frames () in
+  match List.nth_opt frames i with
+  | None -> Error.failf "no active frame %d (of %d)" i (List.length frames)
+  | Some fr ->
+      let base = Printf.sprintf "frame(%d)" i in
+      let value =
+        Value.int_value ~sym:(Symbolic.atom base) Ctype.int (Int64.of_int i)
+      in
+      {
+        Env.sc_value = value;
+        sc_lookup =
+          (fun name ->
+            match List.assoc_opt name fr.Dbgi.fr_locals with
+            | None -> None
+            | Some info ->
+                let sym =
+                  if sym_on env then
+                    Symbolic.member (Symbolic.atom base) "." name
+                  else no_sym
+                in
+                Some (Value.lvalue ~sym info.Dbgi.v_type info.Dbgi.v_addr));
+      }
+
+(* --- traversal ---------------------------------------------------------- *)
+
+let traversal_child_ok env w =
+  let dbg = env.Env.dbg in
+  match Value.fetch dbg w with
+  | wf -> (
+      match (wf.Value.st, wf.Value.typ) with
+      | Value.Rint 0L, _ -> None
+      | Value.Rint p, Ctype.Ptr t ->
+          let len =
+            match Layout.size_of dbg.Dbgi.abi t with
+            | n -> n
+            | exception Layout.Incomplete _ -> 1
+          in
+          if Dbgi.readable dbg ~addr:(Int64.to_int p) ~len then Some wf
+          else None
+      | Value.Rint _, _ -> Some wf
+      | Value.Rfloat f, _ -> if f = 0.0 then None else Some wf
+      | (Value.Lval _ | Value.Lbit _), _ -> Some wf)
+  | exception Error.Duel_error _ -> None
+
+(* --- calls -------------------------------------------------------------- *)
+
+let default_promote env v =
+  let dbg = env.Env.dbg in
+  let v = Value.fetch dbg v in
+  match v.Value.typ with
+  | Ctype.Floating Ctype.Float -> Value.convert dbg Ctype.double v
+  | t -> (
+      match Ctype.integer_kind t with
+      | Some k ->
+          let pk = Ctype.promote_ikind dbg.Dbgi.abi k in
+          if pk = k then v else Value.convert dbg (Ctype.Integer pk) v
+      | None -> v)
+
+let call_function env callee args =
+  let dbg = env.Env.dbg in
+  let name =
+    match callee with
+    | Ast.Name n -> n
+    | _ -> Error.fail "only named functions can be called"
+  in
+  let ftype =
+    match dbg.Dbgi.find_variable name with
+    | Some { Dbgi.v_type = Ctype.Func ft; _ } -> Some ft
+    | Some { Dbgi.v_type = Ctype.Ptr (Ctype.Func ft); _ } -> Some ft
+    | _ -> None
+  in
+  let converted =
+    match ftype with
+    | None -> List.map (default_promote env) args
+    | Some ft ->
+        let rec conv params args =
+          match (params, args) with
+          | _, [] -> []
+          | [], rest -> List.map (default_promote env) rest
+          | p :: ps, a :: rest ->
+              Value.convert dbg (Ctype.decay p) a :: conv ps rest
+        in
+        conv ft.Ctype.params args
+  in
+  let cvals = List.map (Value.to_cval dbg) converted in
+  let result =
+    try dbg.Dbgi.call_func name cvals
+    with Failure msg -> Error.fail msg
+  in
+  let sym =
+    if sym_on env then
+      Symbolic.postfix (Symbolic.atom name)
+        ("("
+        ^ String.concat ", "
+            (List.map (fun a -> Symbolic.to_string a.Value.sym) args)
+        ^ ")")
+    else no_sym
+  in
+  Value.of_cval result sym
+
+(* --- reductions --------------------------------------------------------- *)
+
+let sum_step env acc v =
+  let dbg = env.Env.dbg in
+  let vf = Value.fetch dbg v in
+  match (acc, vf.Value.st) with
+  | Either.Left i, Value.Rint j -> Either.Left (Int64.add i j)
+  | Either.Left i, Value.Rfloat f -> Either.Right (Int64.to_float i +. f)
+  | Either.Right f, _ -> Either.Right (f +. Value.to_float dbg vf)
+  | Either.Left _, (Value.Lval _ | Value.Lbit _) ->
+      Error.fail
+        ~operand:(Symbolic.to_string v.Value.sym, Value.describe v)
+        "+/ requires scalar values"
+
+let sum_result _env ~sym = function
+  | Either.Left i -> Value.int_value ~sym Ctype.long i
+  | Either.Right f -> Value.float_value ~sym Ctype.double f

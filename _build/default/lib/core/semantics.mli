@@ -1,0 +1,47 @@
+(** Semantic helpers shared by the two evaluation engines: type
+    resolution, [with]-scope construction, [-->] node validity, target
+    function calls, and reductions' accumulation. *)
+
+module Ctype = Duel_ctype.Ctype
+
+val resolve_type :
+  Env.t -> eval_int:(Ast.expr -> int64) -> Ast.type_expr -> Ctype.t
+(** Resolve type syntax against the target's type environment; array
+    dimensions are evaluated with [eval_int] (first value).
+    @raise Error.Duel_error on unknown tags/typedefs or bad specifiers. *)
+
+val literal : Env.t -> Ast.expr -> Value.t option
+(** The value of a literal node ([Int_lit], [Float_lit], [Char_lit],
+    [Str_lit] — the latter interned into target space); [None] for
+    non-literals. *)
+
+val with_scope : Env.t -> Ast.with_kind -> Value.t -> Env.scope
+(** Scope for [e1.e2] / [e1->e2]: [_] is e1's value; members resolve to
+    fields when the subject is a struct/union (directly or through a
+    pointer).  @raise Error.Duel_error if [->] is applied to a
+    non-pointer. *)
+
+val node_scope : Env.t -> Value.t -> Env.scope
+(** Scope used while expanding a [-->] node: like [->] for pointer nodes,
+    like [.] for aggregate lvalues, fields-free otherwise. *)
+
+val frame_scope : Env.t -> int -> Env.scope
+(** Scope over the locals of active frame [i] (the [frame(i)] extension).
+    @raise Error.Duel_error if no such frame. *)
+
+val frame_count : Env.t -> int
+
+val traversal_child_ok : Env.t -> Value.t -> Value.t option
+(** Validity test for [-->] candidates: fetches; non-null readable
+    pointers and non-zero scalars survive (returned fetched), everything
+    else terminates that branch ([None]). *)
+
+val call_function : Env.t -> Ast.expr -> Value.t list -> Value.t
+(** Call a target function named by the callee expression with already
+    evaluated arguments (converted per the function's prototype). *)
+
+val sum_step : Env.t -> (int64, float) Either.t -> Value.t -> (int64, float) Either.t
+(** Accumulate one value into a [+/] sum (switches to float on the first
+    floating value). *)
+
+val sum_result : Env.t -> sym:Symbolic.t -> (int64, float) Either.t -> Value.t

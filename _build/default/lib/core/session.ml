@@ -1,0 +1,78 @@
+module Tenv = Duel_ctype.Tenv
+module Dbgi = Duel_dbgi.Dbgi
+
+type engine = Seq_engine | Sm_engine
+
+type t = {
+  env : Env.t;
+  mutable engine : engine;
+  mutable max_values : int;
+}
+
+let create ?(engine = Seq_engine) dbg =
+  { env = Env.create dbg; engine; max_values = 0 }
+
+let parse session src =
+  let tenv = session.env.Env.dbg.Dbgi.tenv in
+  let is_typename name = Tenv.find_typedef tenv name <> None in
+  Parser.parse ~is_typename ~abi:session.env.Env.dbg.Dbgi.abi src
+
+let eval session ast =
+  match session.engine with
+  | Seq_engine -> Eval_seq.eval session.env ast
+  | Sm_engine -> Eval_sm.eval session.env ast
+
+let drive session ast =
+  let depth = Env.scope_depth session.env in
+  let n = Seq.fold_left (fun acc _ -> acc + 1) 0 (eval session ast) in
+  Env.restore_scope_depth session.env depth;
+  n
+
+let format_value session v =
+  let threshold = session.env.Env.flags.Env.compress in
+  let sym = Symbolic.compress ~threshold (Symbolic.to_string v.Value.sym) in
+  (* A Duel_error raised while rendering (e.g. fetching an unreadable
+     scalar lvalue) propagates: the command reports the error itself. *)
+  sym ^ " = " ^ Printer.value_to_string session.env v
+
+(* Values of a command ending in ';' are evaluated for side effects only
+   and not displayed. *)
+let rec silent = function
+  | Ast.Seq_void _ -> true
+  | Ast.Seq (_, b) -> silent b
+  | _ -> false
+
+let exec session src =
+  let depth = Env.scope_depth session.env in
+  let lines = ref [] in
+  let emit line = lines := line :: !lines in
+  (try
+     let ast = parse session src in
+     let quiet = silent ast in
+     let count = ref 0 in
+     let consume v =
+       incr count;
+       if not quiet then
+         if session.max_values = 0 || !count <= session.max_values then
+           emit (format_value session v)
+         else if !count = session.max_values + 1 then emit "..."
+     in
+     Seq.iter consume (eval session ast)
+   with
+  | Lexer.Error (msg, pos) ->
+      emit (Printf.sprintf "syntax error at character %d: %s" pos msg)
+  | Parser.Error (msg, pos) ->
+      emit (Printf.sprintf "parse error at character %d: %s" pos msg)
+  | Error.Duel_error err -> emit (Error.to_string err)
+  | Dbgi.Target_fault addr ->
+      emit (Printf.sprintf "Illegal memory reference: address 0x%x" addr)
+  | Stack_overflow -> emit "evaluation too deep (stack overflow)"
+  | Out_of_memory as e -> raise e
+  | e ->
+      (* a command prompt is a main loop: surface anything a backend or
+         called target function may throw, then keep the session alive *)
+      emit (Printexc.to_string e));
+  Env.restore_scope_depth session.env depth;
+  List.rev !lines
+
+let exec_string session src = String.concat "\n" (exec session src)

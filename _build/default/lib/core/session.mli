@@ -1,0 +1,39 @@
+(** A DUEL session: the [duel] command.
+
+    Owns the environment (aliases persist across commands, as in the
+    original), parses command strings, drives the selected evaluation
+    engine, and formats each produced value as the paper does —
+    [symbolic = value] with [-->a[[n]]] compression — or a structured
+    error message ("Illegal memory reference in ...: sym = lvalue 0x..").
+*)
+
+type engine = Seq_engine | Sm_engine
+
+type t = {
+  env : Env.t;
+  mutable engine : engine;
+  mutable max_values : int;  (** cap on printed values per command; 0 = no cap *)
+}
+
+val create : ?engine:engine -> Duel_dbgi.Dbgi.t -> t
+
+val parse : t -> string -> Ast.expr
+(** @raise Parser.Error / Lexer.Error *)
+
+val eval : t -> Ast.expr -> Value.t Seq.t
+(** Evaluate with the session's engine (no printing). *)
+
+val drive : t -> Ast.expr -> int
+(** Evaluate and discard all values (the benchmark path: no display
+    formatting); returns the number of values produced. *)
+
+val format_value : t -> Value.t -> string
+(** One output line: [symbolic = value]. *)
+
+val exec : t -> string -> string list
+(** The [duel] command: parse, evaluate, format.  All errors (lexical,
+    syntax, evaluation) come back as output lines rather than exceptions;
+    the scope stack is restored afterwards, whatever happened. *)
+
+val exec_string : t -> string -> string
+(** [exec] joined with newlines. *)

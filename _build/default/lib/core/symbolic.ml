@@ -1,0 +1,121 @@
+(** Symbolic values.
+
+    Every DUEL value carries a symbolic expression — a legal DUEL
+    expression recording how the value was computed — used for result
+    display ([x[3] = 7]) and error messages.  A symbolic value is a string
+    plus the precedence of its outermost operator, so composition can
+    insert only the parentheses that are necessary. *)
+
+type t = { text : string; prec : int }
+
+(* Precedence levels, matching the parser (higher binds tighter). *)
+let prec_seq = 0
+let prec_alt = 1
+let prec_imply = 2
+let prec_assign = 3
+let prec_cond = 4
+let prec_to = 5
+let prec_logor = 6
+let prec_logand = 7
+let prec_bitor = 8
+let prec_bitxor = 9
+let prec_bitand = 10
+let prec_equality = 11
+let prec_relational = 12
+let prec_shift = 13
+let prec_additive = 14
+let prec_multiplicative = 15
+let prec_unary = 16
+let prec_postfix = 17
+let prec_atom = 18
+
+let atom text = { text; prec = prec_atom }
+
+let paren_if needed sym =
+  if needed then "(" ^ sym.text ^ ")" else sym.text
+
+(* Render an operand appearing under an operator of precedence [op].  For
+   left operands of left-associative operators equal precedence is fine;
+   for right operands it needs parens. *)
+let left op sym = paren_if (sym.prec < op) sym
+let right op sym = paren_if (sym.prec <= op) sym
+
+let binary op_prec op_text a b =
+  { text = left op_prec a ^ op_text ^ right op_prec b; prec = op_prec }
+
+(* Right-associative operators: the right operand of equal precedence
+   needs no parentheses ([a => b => c]). *)
+let binary_r op_prec op_text a b =
+  { text = right op_prec a ^ op_text ^ left op_prec b; prec = op_prec }
+
+let unary op_text a =
+  { text = op_text ^ paren_if (a.prec < prec_unary) a; prec = prec_unary }
+
+let postfix a suffix = { text = left prec_postfix a ^ suffix; prec = prec_postfix }
+
+(* Member access through a with scope: base.field / base->field. *)
+let member base sep name =
+  { text = left prec_postfix base ^ sep ^ name; prec = prec_postfix }
+
+let to_string sym = sym.text
+
+(* --- the -->a[[n]] compression rule ------------------------------------
+
+   The paper: "The symbolic display algorithm automatically prints
+   occurrences of ->a->a as -->a[[2]], etc." but its own transcripts leave
+   two- and three-long chains expanded; we compress runs of length >=
+   [threshold] (default 4), which is consistent with both transcripts that
+   show a run length. *)
+
+let default_threshold = 4
+
+let compress ?(threshold = default_threshold) text =
+  let n = String.length text in
+  let buf = Buffer.create n in
+  let ident_at i =
+    (* the identifier starting at i, if any *)
+    let is_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+    let is_char c = is_start c || (c >= '0' && c <= '9') in
+    if i < n && is_start text.[i] then begin
+      let j = ref (i + 1) in
+      while !j < n && is_char text.[!j] do
+        incr j
+      done;
+      Some (String.sub text i (!j - i))
+    end
+    else None
+  in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && text.[i] = '-' && text.[i + 1] = '>' then begin
+      match ident_at (i + 2) with
+      | None ->
+          Buffer.add_string buf "->";
+          go (i + 2)
+      | Some name ->
+          let step = 2 + String.length name in
+          let rec count_run k j =
+            if
+              j + 1 < n && text.[j] = '-' && text.[j + 1] = '>'
+              && ident_at (j + 2) = Some name
+            then count_run (k + 1) (j + step)
+            else (k, j)
+          in
+          let run, stop = count_run 1 (i + step) in
+          if run >= threshold then begin
+            Buffer.add_string buf (Printf.sprintf "-->%s[[%d]]" name run);
+            go stop
+          end
+          else begin
+            Buffer.add_string buf "->";
+            Buffer.add_string buf name;
+            go (i + step)
+          end
+    end
+    else begin
+      Buffer.add_char buf text.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf

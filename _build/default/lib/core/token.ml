@@ -1,0 +1,188 @@
+(** Lexical tokens of DUEL. *)
+
+module Ctype = Duel_ctype.Ctype
+
+type t =
+  | INT of int64 * Ctype.t * string  (** value, type, source lexeme *)
+  | FLT of float * Ctype.t * string
+  | CHR of char * string
+  | STR of string
+  | ID of string
+  | KIF
+  | KELSE
+  | KFOR
+  | KWHILE
+  | KSIZEOF
+  | KSTRUCT
+  | KUNION
+  | KENUM
+  | KINT
+  | KCHAR
+  | KLONG
+  | KSHORT
+  | KSIGNED
+  | KUNSIGNED
+  | KFLOAT
+  | KDOUBLE
+  | KVOID
+  | KBOOL
+  | KFRAME
+  | KFRAMES
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | LSELECT  (** [[[] *)
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | QUESTION
+  | COLON
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQEQ
+  | NE
+  | ANDAND
+  | OROR
+  | SHL
+  | SHR
+  | INC
+  | DEC
+  | DOT
+  | ARROW
+  | DFS  (** [-->] *)
+  | BFS  (** [-->>] *)
+  | DOTDOT
+  | QLT
+  | QGT
+  | QLE
+  | QGE
+  | QEQ
+  | QNE
+  | ASSIGN
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | PERCENTEQ
+  | AMPEQ
+  | PIPEEQ
+  | CARETEQ
+  | SHLEQ
+  | SHREQ
+  | DEFINE  (** [:=] *)
+  | IMPLY  (** [=>] *)
+  | HASH
+  | COUNTOF  (** [#/] *)
+  | SUMOF  (** [+/] *)
+  | ALLOF  (** [&&/] *)
+  | ANYOF  (** [||/] *)
+  | SEQEQ  (** [==/] *)
+  | AT
+  | UNDER  (** [_] *)
+  | EOF
+
+let describe = function
+  | INT (_, _, s) | FLT (_, _, s) -> s
+  | CHR (_, s) -> s
+  | STR s -> Printf.sprintf "%S" s
+  | ID s -> s
+  | KIF -> "if"
+  | KELSE -> "else"
+  | KFOR -> "for"
+  | KWHILE -> "while"
+  | KSIZEOF -> "sizeof"
+  | KSTRUCT -> "struct"
+  | KUNION -> "union"
+  | KENUM -> "enum"
+  | KINT -> "int"
+  | KCHAR -> "char"
+  | KLONG -> "long"
+  | KSHORT -> "short"
+  | KSIGNED -> "signed"
+  | KUNSIGNED -> "unsigned"
+  | KFLOAT -> "float"
+  | KDOUBLE -> "double"
+  | KVOID -> "void"
+  | KBOOL -> "_Bool"
+  | KFRAME -> "frame"
+  | KFRAMES -> "frames"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | LSELECT -> "[["
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | INC -> "++"
+  | DEC -> "--"
+  | DOT -> "."
+  | ARROW -> "->"
+  | DFS -> "-->"
+  | BFS -> "-->>"
+  | DOTDOT -> ".."
+  | QLT -> "<?"
+  | QGT -> ">?"
+  | QLE -> "<=?"
+  | QGE -> ">=?"
+  | QEQ -> "==?"
+  | QNE -> "!=?"
+  | ASSIGN -> "="
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | PERCENTEQ -> "%="
+  | AMPEQ -> "&="
+  | PIPEEQ -> "|="
+  | CARETEQ -> "^="
+  | SHLEQ -> "<<="
+  | SHREQ -> ">>="
+  | DEFINE -> ":="
+  | IMPLY -> "=>"
+  | HASH -> "#"
+  | COUNTOF -> "#/"
+  | SUMOF -> "+/"
+  | ALLOF -> "&&/"
+  | ANYOF -> "||/"
+  | SEQEQ -> "==/"
+  | AT -> "@"
+  | UNDER -> "_"
+  | EOF -> "<end of expression>"

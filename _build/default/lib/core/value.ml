@@ -1,0 +1,332 @@
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Dbgi = Duel_dbgi.Dbgi
+
+type storage =
+  | Rint of int64
+  | Rfloat of float
+  | Lval of int
+  | Lbit of { addr : int; unit_size : int; bit_off : int; width : int }
+
+type t = { typ : Ctype.t; st : storage; sym : Symbolic.t }
+
+let make typ st sym = { typ; st; sym }
+let with_sym v sym = { v with sym }
+
+let default_sym = Symbolic.atom "?"
+
+let int_value ?(sym = default_sym) typ v = { typ; st = Rint v; sym }
+let float_value ?(sym = default_sym) typ v = { typ; st = Rfloat v; sym }
+let lvalue ?(sym = default_sym) typ addr = { typ; st = Lval addr; sym }
+let is_lvalue v = match v.st with Lval _ | Lbit _ -> true | Rint _ | Rfloat _ -> false
+
+let describe v =
+  match v.st with
+  | Rint i -> (
+      match v.typ with
+      | Ctype.Ptr _ -> Printf.sprintf "0x%Lx" i
+      | _ -> Int64.to_string i)
+  | Rfloat f -> Printf.sprintf "%g" f
+  | Lval a -> Printf.sprintf "lvalue 0x%x" a
+  | Lbit b -> Printf.sprintf "bit-field lvalue 0x%x" b.addr
+
+let addr_of v =
+  match v.st with
+  | Lval a -> a
+  | Lbit b -> b.addr
+  | Rint _ | Rfloat _ ->
+      Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+        "not an lvalue"
+
+let memory_error v addr =
+  Error.fail
+    ~operand:(Symbolic.to_string v.sym, Printf.sprintf "lvalue 0x%x" addr)
+    "Illegal memory reference"
+
+(* Read an integer codec-style via the narrow interface. *)
+let read_scalar dbg v ~addr ~size ~signed =
+  let bytes =
+    try dbg.Dbgi.get_bytes ~addr ~len:size
+    with Dbgi.Target_fault a -> memory_error v a
+  in
+  let abi = dbg.Dbgi.abi in
+  let byte i =
+    match abi.Duel_ctype.Abi.endian with
+    | Duel_ctype.Abi.Little -> Char.code (Bytes.get bytes i)
+    | Duel_ctype.Abi.Big -> Char.code (Bytes.get bytes (size - 1 - i))
+  in
+  let acc = ref 0L in
+  for i = size - 1 downto 0 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (byte i))
+  done;
+  let raw = !acc in
+  if signed && size < 8 then begin
+    let bits = size * 8 in
+    if Int64.logand raw (Int64.shift_left 1L (bits - 1)) <> 0L then
+      Int64.logor raw (Int64.shift_left (-1L) bits)
+    else raw
+  end
+  else raw
+
+let write_scalar dbg v ~addr ~size value =
+  let abi = dbg.Dbgi.abi in
+  let bytes = Bytes.create size in
+  for i = 0 to size - 1 do
+    let b = Int64.to_int (Int64.logand (Int64.shift_right_logical value (i * 8)) 0xffL) in
+    let pos =
+      match abi.Duel_ctype.Abi.endian with
+      | Duel_ctype.Abi.Little -> i
+      | Duel_ctype.Abi.Big -> size - 1 - i
+    in
+    Bytes.set bytes pos (Char.chr b)
+  done;
+  try dbg.Dbgi.put_bytes ~addr bytes
+  with Dbgi.Target_fault a -> memory_error v a
+
+let size_of dbg typ =
+  try Layout.size_of dbg.Dbgi.abi typ
+  with Layout.Incomplete what ->
+    Error.failf "size of incomplete type %s" what
+
+let fetch dbg v =
+  match v.st with
+  | Rint _ | Rfloat _ -> (
+      match v.typ with
+      | Ctype.Array (elt, _) -> { v with typ = Ctype.Ptr elt }
+      | _ -> v)
+  | Lbit b ->
+      let abi = dbg.Dbgi.abi in
+      let signed =
+        match Ctype.integer_kind v.typ with
+        | Some k -> Ctype.ikind_signed abi k
+        | None -> false
+      in
+      let unit_v =
+        read_scalar dbg v ~addr:b.addr ~size:b.unit_size ~signed:false
+      in
+      let off =
+        match abi.Duel_ctype.Abi.endian with
+        | Duel_ctype.Abi.Little -> b.bit_off
+        | Duel_ctype.Abi.Big -> (b.unit_size * 8) - b.bit_off - b.width
+      in
+      let mask =
+        if b.width >= 64 then -1L
+        else Int64.sub (Int64.shift_left 1L b.width) 1L
+      in
+      let raw = Int64.logand (Int64.shift_right_logical unit_v off) mask in
+      let value =
+        if signed && b.width < 64
+           && Int64.logand raw (Int64.shift_left 1L (b.width - 1)) <> 0L
+        then Int64.logor raw (Int64.lognot mask)
+        else raw
+      in
+      { v with st = Rint value }
+  | Lval addr -> (
+      match v.typ with
+      | Ctype.Integer k ->
+          let abi = dbg.Dbgi.abi in
+          let size = Ctype.ikind_size abi k in
+          let signed = Ctype.ikind_signed abi k in
+          { v with st = Rint (read_scalar dbg v ~addr ~size ~signed) }
+      | Ctype.Enum _ ->
+          let abi = dbg.Dbgi.abi in
+          let size = abi.Duel_ctype.Abi.int_size in
+          { v with st = Rint (read_scalar dbg v ~addr ~size ~signed:true) }
+      | Ctype.Ptr _ ->
+          let size = dbg.Dbgi.abi.Duel_ctype.Abi.ptr_size in
+          { v with st = Rint (read_scalar dbg v ~addr ~size ~signed:false) }
+      | Ctype.Floating k ->
+          let abi = dbg.Dbgi.abi in
+          let size = Ctype.fkind_size abi k in
+          let bits =
+            read_scalar dbg v ~addr ~size:(min size 8) ~signed:false
+          in
+          let f =
+            if size = 4 then Int32.float_of_bits (Int64.to_int32 bits)
+            else Int64.float_of_bits bits
+          in
+          { v with st = Rfloat f }
+      | Ctype.Array (elt, _) ->
+          (* array-to-pointer decay: the lvalue's address becomes the
+             pointer rvalue *)
+          { v with typ = Ctype.Ptr elt; st = Rint (Int64.of_int addr) }
+      | Ctype.Func _ | Ctype.Comp _ -> v
+      | Ctype.Void ->
+          Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+            "cannot fetch a void value")
+
+let to_int64 dbg v =
+  let v = fetch dbg v in
+  match v.st with
+  | Rint i -> i
+  | Rfloat f -> Int64.of_float f
+  | Lval _ | Lbit _ ->
+      Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+        "expected a scalar value"
+
+let to_float dbg v =
+  let v = fetch dbg v in
+  match (v.st, v.typ) with
+  | Rfloat f, _ -> f
+  | Rint i, typ -> (
+      match Ctype.integer_kind typ with
+      | Some k when not (Ctype.ikind_signed dbg.Dbgi.abi k) ->
+          if Int64.compare i 0L >= 0 then Int64.to_float i
+          else Int64.to_float i +. 18446744073709551616.0
+      | _ -> Int64.to_float i)
+  | (Lval _ | Lbit _), _ ->
+      Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+        "expected a scalar value"
+
+let truth dbg v =
+  let v = fetch dbg v in
+  match v.st with
+  | Rint i -> i <> 0L
+  | Rfloat f -> f <> 0.0
+  | Lval _ | Lbit _ ->
+      Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+        "expected a scalar condition"
+
+let convert dbg target v =
+  let v = fetch dbg v in
+  let abi = dbg.Dbgi.abi in
+  match target with
+  | Ctype.Integer k ->
+      let raw =
+        match v.st with
+        | Rint i -> i
+        | Rfloat f -> Int64.of_float f
+        | Lval _ | Lbit _ ->
+            Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+              "cannot convert aggregate to integer"
+      in
+      { typ = target; st = Rint (Ctype.normalize abi k raw); sym = v.sym }
+  | Ctype.Enum _ ->
+      let raw =
+        match v.st with
+        | Rint i -> i
+        | Rfloat f -> Int64.of_float f
+        | Lval _ | Lbit _ ->
+            Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+              "cannot convert aggregate to enum"
+      in
+      { typ = target; st = Rint (Ctype.normalize abi Ctype.Int raw); sym = v.sym }
+  | Ctype.Floating k ->
+      let f =
+        match v.st with
+        | Rfloat f -> f
+        | Rint _ -> to_float dbg v
+        | Lval _ | Lbit _ ->
+            Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+              "cannot convert aggregate to floating"
+      in
+      let f = if k = Ctype.Float then Int32.float_of_bits (Int32.bits_of_float f) else f in
+      { typ = target; st = Rfloat f; sym = v.sym }
+  | Ctype.Ptr _ ->
+      let raw =
+        match v.st with
+        | Rint i -> i
+        | Rfloat _ ->
+            Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+              "cannot convert floating to pointer"
+        | Lval _ | Lbit _ ->
+            Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+              "cannot convert aggregate to pointer"
+      in
+      { typ = target; st = Rint raw; sym = v.sym }
+  | Ctype.Void -> { typ = target; st = Rint 0L; sym = v.sym }
+  | Ctype.Array _ | Ctype.Func _ | Ctype.Comp _ ->
+      Error.failf "cannot cast to %s" (Duel_ctype.Cprint.to_string target)
+
+let store dbg ~into rhs =
+  let abi = dbg.Dbgi.abi in
+  match (into.st, into.typ) with
+  | Lbit b, typ ->
+      let v = convert dbg (Ctype.Integer Ctype.LLong) rhs in
+      let raw = match v.st with Rint i -> i | _ -> assert false in
+      let unit_v =
+        read_scalar dbg into ~addr:b.addr ~size:b.unit_size ~signed:false
+      in
+      let off =
+        match abi.Duel_ctype.Abi.endian with
+        | Duel_ctype.Abi.Little -> b.bit_off
+        | Duel_ctype.Abi.Big -> (b.unit_size * 8) - b.bit_off - b.width
+      in
+      let mask =
+        if b.width >= 64 then -1L
+        else Int64.sub (Int64.shift_left 1L b.width) 1L
+      in
+      let cleared =
+        Int64.logand unit_v (Int64.lognot (Int64.shift_left mask off))
+      in
+      let inserted = Int64.shift_left (Int64.logand raw mask) off in
+      write_scalar dbg into ~addr:b.addr ~size:b.unit_size
+        (Int64.logor cleared inserted);
+      let normalized =
+        match Ctype.integer_kind typ with
+        | Some k when Ctype.ikind_signed abi k && b.width < 64 ->
+            let sign_bit = Int64.shift_left 1L (b.width - 1) in
+            let masked = Int64.logand raw mask in
+            if Int64.logand masked sign_bit <> 0L then
+              Int64.logor masked (Int64.lognot mask)
+            else masked
+        | _ -> Int64.logand raw mask
+      in
+      { typ; st = Rint normalized; sym = into.sym }
+  | Lval addr, (Ctype.Comp c as typ) -> (
+      (* struct assignment: byte copy of equal composite types *)
+      let rhs = if is_lvalue rhs then rhs else fetch dbg rhs in
+      match (rhs.st, rhs.typ) with
+      | Lval src, Ctype.Comp c2 when c.Ctype.comp_id = c2.Ctype.comp_id ->
+          let size = size_of dbg typ in
+          let data =
+            try dbg.Dbgi.get_bytes ~addr:src ~len:size
+            with Dbgi.Target_fault a -> memory_error rhs a
+          in
+          (try dbg.Dbgi.put_bytes ~addr data
+           with Dbgi.Target_fault a -> memory_error into a);
+          { into with sym = into.sym }
+      | _ ->
+          Error.fail ~operand:(Symbolic.to_string rhs.sym, describe rhs)
+            "incompatible struct assignment")
+  | Lval addr, typ -> (
+      let v = convert dbg typ rhs in
+      match (v.st, typ) with
+      | Rint i, Ctype.Integer k ->
+          write_scalar dbg into ~addr ~size:(Ctype.ikind_size abi k) i;
+          { typ; st = Rint i; sym = into.sym }
+      | Rint i, Ctype.Enum _ ->
+          write_scalar dbg into ~addr ~size:abi.Duel_ctype.Abi.int_size i;
+          { typ; st = Rint i; sym = into.sym }
+      | Rint i, Ctype.Ptr _ ->
+          write_scalar dbg into ~addr ~size:abi.Duel_ctype.Abi.ptr_size i;
+          { typ; st = Rint i; sym = into.sym }
+      | Rfloat f, Ctype.Floating k ->
+          let size = Ctype.fkind_size abi k in
+          let bits =
+            if size = 4 then Int64.of_int32 (Int32.bits_of_float f)
+            else Int64.bits_of_float f
+          in
+          write_scalar dbg into ~addr ~size:(min size 8) bits;
+          if size = 16 then write_scalar dbg into ~addr:(addr + 8) ~size:8 0L;
+          { typ; st = Rfloat f; sym = into.sym }
+      | _ ->
+          Error.fail ~operand:(Symbolic.to_string into.sym, describe into)
+            "unsupported assignment target type")
+  | (Rint _ | Rfloat _), _ ->
+      Error.fail ~operand:(Symbolic.to_string into.sym, describe into)
+        "assignment target is not an lvalue"
+
+let to_cval dbg v =
+  let v = fetch dbg v in
+  match v.st with
+  | Rint i -> Dbgi.Cint (v.typ, i)
+  | Rfloat f -> Dbgi.Cfloat (v.typ, f)
+  | Lval _ | Lbit _ ->
+      Error.fail ~operand:(Symbolic.to_string v.sym, describe v)
+        "cannot pass aggregates to target functions"
+
+let of_cval cv sym =
+  match cv with
+  | Dbgi.Cint (t, i) -> { typ = t; st = Rint i; sym }
+  | Dbgi.Cfloat (t, f) -> { typ = t; st = Rfloat f; sym }

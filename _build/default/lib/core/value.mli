@@ -1,0 +1,68 @@
+(** DUEL values.
+
+    The paper: "The 'values' produced during evaluation have a type, an
+    actual value, and a symbolic value.  The actual value is a value of a
+    primitive C type or an lvalue, which is a pointer to target data."
+
+    Rvalues hold canonical scalars ([int64] for integers/pointers/enums,
+    [float] for floating types); lvalues hold a target address (plus
+    bit-field geometry for bit-field members).  All target access goes
+    through the narrow debugger interface. *)
+
+module Ctype = Duel_ctype.Ctype
+module Dbgi = Duel_dbgi.Dbgi
+
+type storage =
+  | Rint of int64
+  | Rfloat of float
+  | Lval of int
+  | Lbit of { addr : int; unit_size : int; bit_off : int; width : int }
+
+type t = { typ : Ctype.t; st : storage; sym : Symbolic.t }
+
+val make : Ctype.t -> storage -> Symbolic.t -> t
+val with_sym : t -> Symbolic.t -> t
+
+val int_value : ?sym:Symbolic.t -> Ctype.t -> int64 -> t
+(** An integer/pointer/enum rvalue (value not normalized here). *)
+
+val float_value : ?sym:Symbolic.t -> Ctype.t -> float -> t
+val lvalue : ?sym:Symbolic.t -> Ctype.t -> int -> t
+
+val is_lvalue : t -> bool
+
+val addr_of : t -> int
+(** @raise Error.Duel_error if the value is not an addressable lvalue. *)
+
+val fetch : Dbgi.t -> t -> t
+(** Rvalue conversion: load scalars from target memory (raising the
+    paper's "Illegal memory reference" error on faults), decay arrays to
+    pointers; struct/union and function designators pass through. *)
+
+val to_int64 : Dbgi.t -> t -> int64
+(** Fetch and return as integer.  @raise Error.Duel_error on non-integer,
+    non-pointer values. *)
+
+val to_float : Dbgi.t -> t -> float
+val truth : Dbgi.t -> t -> bool
+(** C truth of a scalar.  @raise Error.Duel_error for non-scalars. *)
+
+val convert : Dbgi.t -> Ctype.t -> t -> t
+(** Cast to a target type (C conversion rules: integer narrowing by
+    two's-complement wrap, float<->int truncation, pointer<->integer
+    reinterpretation).  Fetches first; keeps the operand's symbolic. *)
+
+val store : Dbgi.t -> into:t -> t -> t
+(** C assignment: convert the (fetched) right value to the destination's
+    type and write it through the debugger interface; returns the stored
+    value as an rvalue carrying the destination's symbolic.  Supports
+    struct-to-struct copies of equal composite type.
+    @raise Error.Duel_error if the destination is not an lvalue. *)
+
+val to_cval : Dbgi.t -> t -> Dbgi.cval
+(** For target function calls; fetches, decays, converts. *)
+
+val of_cval : Dbgi.cval -> Symbolic.t -> t
+
+val describe : t -> string
+(** Short rendering for error messages, e.g. ["lvalue 0x16820"] or ["42"]. *)

@@ -1,0 +1,1 @@
+lib/cquery/conciseness.mli:

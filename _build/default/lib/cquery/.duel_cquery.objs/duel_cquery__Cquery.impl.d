@@ -1,0 +1,1 @@
+lib/cquery/cquery.ml: Array Bytes Char Duel_ctype Duel_dbgi Int64 List

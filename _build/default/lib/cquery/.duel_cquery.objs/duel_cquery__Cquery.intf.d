@@ -1,0 +1,1 @@
+lib/cquery/cquery.mli: Duel_ctype Duel_dbgi

@@ -1,0 +1,77 @@
+type entry = { label : string; duel : string; c_code : string }
+
+let entries =
+  [
+    {
+      label = "list duplicate values";
+      duel = "L-->next->(value ==? next-->next->value)";
+      c_code =
+        "List *p, *q;\n\
+         for (p = L; p; p = p->next)\n\
+        \    for (q = p->next; q; q = q->next)\n\
+        \        if (p->value == q->value)\n\
+        \            printf(\"%x %x contain %d\\n\", p, q, p->value);";
+    };
+    {
+      label = "hash scopes above 5";
+      duel = "(hash[..1024] !=? 0)->scope >? 5";
+      c_code =
+        "int i;\n\
+         for (i = 0; i < 1024; i++)\n\
+        \    if (hash[i] != 0)\n\
+        \        if (hash[i]->scope > 5)\n\
+        \            printf(\"hash[%d]->scope = %d\\n\", i, hash[i]->scope);";
+    };
+    {
+      label = "array values between 5 and 10";
+      duel = "x[1..4,8,12..50] >? 5 <? 10";
+      c_code =
+        "int i;\n\
+         for (i = 1; i <= 50; i++)\n\
+        \    if (i <= 4 || i == 8 || i >= 12)\n\
+        \        if (x[i] > 5 && x[i] < 10)\n\
+        \            printf(\"x[%d] = %d\\n\", i, x[i]);";
+    };
+    {
+      label = "count tree nodes";
+      duel = "#/(root-->(left,right)->key)";
+      c_code =
+        "int count(struct tnode *t) {\n\
+        \    if (t == 0) return 0;\n\
+        \    return 1 + count(t->left) + count(t->right);\n\
+         }\n\
+         printf(\"%d\\n\", count(root));";
+    };
+    {
+      label = "chain sortedness check";
+      duel = "hash[..1024]-->next->if (next) scope <? next->scope";
+      c_code =
+        "int i; struct symbol *p;\n\
+         for (i = 0; i < 1024; i++)\n\
+        \    for (p = hash[i]; p; p = p->next)\n\
+        \        if (p->next && p->scope < p->next->scope)\n\
+        \            printf(\"hash[%d] scope %d\\n\", i, p->scope);";
+    };
+    {
+      label = "clear first scopes";
+      duel = "hash[0..1023]->scope = 0 ;";
+      c_code =
+        "int i;\n\
+         for (i = 0; i < 1024; i++)\n\
+        \    hash[i]->scope = 0;";
+    };
+  ]
+
+let chars s =
+  let count = ref 0 in
+  String.iter
+    (fun c -> if c <> ' ' && c <> '\n' && c <> '\t' then incr count)
+    s;
+  !count
+
+let lines s = List.length (String.split_on_char '\n' s)
+
+let table () =
+  List.map
+    (fun e -> (e.label, chars e.duel, chars e.c_code, lines e.duel, lines e.c_code))
+    entries

@@ -1,0 +1,22 @@
+(** The paper's DUEL-vs-C conciseness comparison (experiment C1).
+
+    Each entry pairs a DUEL one-liner from the paper with the C code the
+    paper (or a straightforward translation) would need, so the benchmark
+    harness can print the character/line comparison table. *)
+
+type entry = {
+  label : string;
+  duel : string;
+  c_code : string;  (** the equivalent C, as in the paper where given *)
+}
+
+val entries : entry list
+
+val chars : string -> int
+(** Non-whitespace character count (whitespace is formatting, not typing
+    effort). *)
+
+val lines : string -> int
+
+val table : unit -> (string * int * int * int * int) list
+(** [(label, duel_chars, c_chars, duel_lines, c_lines)] per entry. *)

@@ -1,0 +1,151 @@
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Tenv = Duel_ctype.Tenv
+module Dbgi = Duel_dbgi.Dbgi
+
+let read_scalar dbg ~addr ~size ~signed =
+  let data = dbg.Dbgi.get_bytes ~addr ~len:size in
+  let abi = dbg.Dbgi.abi in
+  let byte i =
+    match abi.Duel_ctype.Abi.endian with
+    | Duel_ctype.Abi.Little -> Char.code (Bytes.get data i)
+    | Duel_ctype.Abi.Big -> Char.code (Bytes.get data (size - 1 - i))
+  in
+  let acc = ref 0L in
+  for i = size - 1 downto 0 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (byte i))
+  done;
+  let v = !acc in
+  if signed && size < 8 && Int64.logand v (Int64.shift_left 1L ((size * 8) - 1)) <> 0L
+  then Int64.logor v (Int64.shift_left (-1L) (size * 8))
+  else v
+
+let read_int_at dbg typ addr =
+  let abi = dbg.Dbgi.abi in
+  match Ctype.integer_kind typ with
+  | Some k ->
+      read_scalar dbg ~addr ~size:(Ctype.ikind_size abi k)
+        ~signed:(Ctype.ikind_signed abi k)
+  | None -> failwith "read_int_at: not an integer type"
+
+let read_ptr_at dbg addr =
+  Int64.to_int
+    (read_scalar dbg ~addr ~size:dbg.Dbgi.abi.Duel_ctype.Abi.ptr_size
+       ~signed:false)
+
+let global dbg name =
+  match dbg.Dbgi.find_variable name with
+  | Some info -> info
+  | None -> failwith ("cquery: no global named " ^ name)
+
+let field_offset dbg comp name =
+  match Layout.find_field dbg.Dbgi.abi comp name with
+  | Some fi -> fi.Layout.fi_offset
+  | None -> failwith ("cquery: no field named " ^ name)
+
+let comp_of dbg tag =
+  match Tenv.find_struct dbg.Dbgi.tenv tag with
+  | Some c -> c
+  | None -> failwith ("cquery: no struct named " ^ tag)
+
+let int_array dbg name =
+  let info = global dbg name in
+  match info.Dbgi.v_type with
+  | Ctype.Array (Ctype.Integer _, _) -> info.Dbgi.v_addr
+  | _ -> failwith ("cquery: " ^ name ^ " is not an int array")
+
+let array_search dbg ~name ~ranges ~lo ~hi =
+  let base = int_array dbg name in
+  let isz = dbg.Dbgi.abi.Duel_ctype.Abi.int_size in
+  let out = ref [] in
+  List.iter
+    (fun (a, b) ->
+      for i = a to b do
+        let v = read_scalar dbg ~addr:(base + (i * isz)) ~size:isz ~signed:true in
+        if Int64.compare v lo > 0 && Int64.compare v hi < 0 then
+          out := (i, v) :: !out
+      done)
+    ranges;
+  List.rev !out
+
+let array_positives dbg ~name ~n =
+  array_search dbg ~name ~ranges:[ (0, n - 1) ] ~lo:0L ~hi:Int64.max_int
+
+let hash_high_scopes dbg ~threshold =
+  let info = global dbg "hash" in
+  let comp = comp_of dbg "symbol" in
+  let scope_off = field_offset dbg comp "scope" in
+  let psz = dbg.Dbgi.abi.Duel_ctype.Abi.ptr_size in
+  let out = ref [] in
+  for b = 0 to 1023 do
+    let head = read_ptr_at dbg (info.Dbgi.v_addr + (b * psz)) in
+    if head <> 0 then begin
+      let scope = read_int_at dbg Ctype.int (head + scope_off) in
+      if Int64.compare scope threshold > 0 then out := (b, scope) :: !out
+    end
+  done;
+  List.rev !out
+
+let list_nodes dbg name =
+  let info = global dbg name in
+  let comp = comp_of dbg "node" in
+  let next_off = field_offset dbg comp "next" in
+  let rec walk addr acc =
+    if addr = 0 then List.rev acc
+    else walk (read_ptr_at dbg (addr + next_off)) (addr :: acc)
+  in
+  walk (read_ptr_at dbg info.Dbgi.v_addr) []
+
+let list_duplicates dbg ~name =
+  let comp = comp_of dbg "node" in
+  let value_off = field_offset dbg comp "value" in
+  let nodes = Array.of_list (list_nodes dbg name) in
+  let value i = read_int_at dbg Ctype.int (nodes.(i) + value_off) in
+  let out = ref [] in
+  for i = 0 to Array.length nodes - 1 do
+    for j = i + 1 to Array.length nodes - 1 do
+      if Int64.equal (value i) (value j) then out := (i, j, value i) :: !out
+    done
+  done;
+  List.rev !out
+
+let tree_keys_preorder dbg ~name =
+  let info = global dbg name in
+  let comp = comp_of dbg "tnode" in
+  let key_off = field_offset dbg comp "key" in
+  let left_off = field_offset dbg comp "left" in
+  let right_off = field_offset dbg comp "right" in
+  let rec walk addr acc =
+    if addr = 0 then acc
+    else
+      let acc = read_int_at dbg Ctype.int (addr + key_off) :: acc in
+      let acc = walk (read_ptr_at dbg (addr + left_off)) acc in
+      walk (read_ptr_at dbg (addr + right_off)) acc
+  in
+  List.rev (walk (read_ptr_at dbg info.Dbgi.v_addr) [])
+
+let tree_count dbg ~name = List.length (tree_keys_preorder dbg ~name)
+
+let sort_violations dbg =
+  let info = global dbg "hash" in
+  let comp = comp_of dbg "symbol" in
+  let scope_off = field_offset dbg comp "scope" in
+  let next_off = field_offset dbg comp "next" in
+  let psz = dbg.Dbgi.abi.Duel_ctype.Abi.ptr_size in
+  let out = ref [] in
+  for b = 0 to 1023 do
+    let rec walk addr depth =
+      if addr <> 0 then begin
+        let next = read_ptr_at dbg (addr + next_off) in
+        if next <> 0 then begin
+          let scope = read_int_at dbg Ctype.int (addr + scope_off) in
+          let next_scope = read_int_at dbg Ctype.int (next + scope_off) in
+          if Int64.compare scope next_scope < 0 then
+            out := (b, depth, scope) :: !out
+        end;
+        walk next (depth + 1)
+      end
+    in
+    walk (read_ptr_at dbg (info.Dbgi.v_addr + (b * psz))) 0
+  done;
+  List.rev !out

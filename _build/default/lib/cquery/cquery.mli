@@ -1,0 +1,41 @@
+(** Baseline state-exploration queries, hand-coded "as you would in C".
+
+    The paper motivates DUEL by contrasting one-line queries with the
+    non-trivial C loops a programmer would otherwise write (its
+    introduction shows the list-duplicate scan in C).  These are those C
+    loops, written directly against the narrow debugger interface — the
+    moral equivalent of the "functions whose only use is to be called from
+    the debugger".  Result-set equality with the DUEL one-liners is
+    asserted by the integration tests, and bench B5 compares their cost.
+
+    All functions raise [Failure] if the expected globals or types are
+    missing (they are tied to the {!Duel_scenarios} debuggees). *)
+
+module Dbgi = Duel_dbgi.Dbgi
+
+val read_int_at : Dbgi.t -> Duel_ctype.Ctype.t -> int -> int64
+val read_ptr_at : Dbgi.t -> int -> int
+
+val array_search :
+  Dbgi.t -> name:string -> ranges:(int * int) list -> lo:int64 -> hi:int64 ->
+  (int * int64) list
+(** C loop for [x[ranges] >? lo <? hi]: indices and values strictly
+    between [lo] and [hi], scanning the inclusive index ranges. *)
+
+val array_positives : Dbgi.t -> name:string -> n:int -> (int * int64) list
+(** C loop for [x[..n] >? 0]. *)
+
+val hash_high_scopes : Dbgi.t -> threshold:int64 -> (int * int64) list
+(** C loop for [(hash[..1024] !=? 0)->scope >? threshold]: bucket index and
+    scope of heads whose scope exceeds the threshold. *)
+
+val list_duplicates : Dbgi.t -> name:string -> (int * int * int64) list
+(** The introduction's doubly nested loop (with its off-by-one bug fixed):
+    pairs [i < j] of node indices whose [value] fields are equal. *)
+
+val tree_keys_preorder : Dbgi.t -> name:string -> int64 list
+val tree_count : Dbgi.t -> name:string -> int
+
+val sort_violations : Dbgi.t -> (int * int * int64) list
+(** C loops for the sortedness check over all hash chains: (bucket, link
+    depth, scope) where a node's scope is less than its successor's. *)

@@ -1,0 +1,1 @@
+lib/ctype/abi.ml:

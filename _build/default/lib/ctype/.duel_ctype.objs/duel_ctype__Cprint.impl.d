@@ -1,0 +1,1 @@
+lib/ctype/cprint.ml: Ctype List Printf String

@@ -1,0 +1,1 @@
+lib/ctype/ctype.ml: Abi Int64 List Printf

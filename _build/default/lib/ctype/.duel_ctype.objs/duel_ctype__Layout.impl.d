@@ -1,0 +1,1 @@
+lib/ctype/layout.ml: Abi Ctype Hashtbl List String

@@ -1,0 +1,1 @@
+lib/ctype/layout.mli: Abi Ctype

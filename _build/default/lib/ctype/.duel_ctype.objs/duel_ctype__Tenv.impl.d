@@ -1,0 +1,1 @@
+lib/ctype/tenv.ml: Ctype Hashtbl List

@@ -1,0 +1,50 @@
+type endian = Little | Big
+
+type t = {
+  name : string;
+  endian : endian;
+  char_signed : bool;
+  short_size : int;
+  int_size : int;
+  long_size : int;
+  llong_size : int;
+  ptr_size : int;
+  float_size : int;
+  double_size : int;
+  ldouble_size : int;
+  max_align : int;
+}
+
+let lp64 =
+  {
+    name = "lp64";
+    endian = Little;
+    char_signed = true;
+    short_size = 2;
+    int_size = 4;
+    long_size = 8;
+    llong_size = 8;
+    ptr_size = 8;
+    float_size = 4;
+    double_size = 8;
+    ldouble_size = 16;
+    max_align = 16;
+  }
+
+let ilp32 =
+  {
+    name = "ilp32";
+    endian = Little;
+    char_signed = true;
+    short_size = 2;
+    int_size = 4;
+    long_size = 4;
+    llong_size = 8;
+    ptr_size = 4;
+    float_size = 4;
+    double_size = 8;
+    ldouble_size = 8;
+    max_align = 8;
+  }
+
+let big_endian abi = { abi with endian = Big; name = abi.name ^ "-be" }

@@ -1,0 +1,38 @@
+(** Target ABI description.
+
+    DUEL evaluates C expressions against a byte-addressed target, so the
+    sizes, alignments, endianness, and [char] signedness of the target's C
+    implementation must be explicit.  An {!t} value captures everything the
+    type-layout and scalar-codec code needs.  Two ready-made ABIs are
+    provided: {!lp64} (the default: x86-64/RISC-V style, little-endian) and
+    {!ilp32} (classic 32-bit, as on the DECstation the paper used, except
+    that the DECstation was little-endian MIPS, which [ilp32] matches). *)
+
+type endian = Little | Big
+
+type t = {
+  name : string;  (** human-readable ABI name, e.g. ["lp64"] *)
+  endian : endian;
+  char_signed : bool;  (** is plain [char] signed? *)
+  short_size : int;
+  int_size : int;
+  long_size : int;
+  llong_size : int;
+  ptr_size : int;
+  float_size : int;
+  double_size : int;
+  ldouble_size : int;
+  max_align : int;  (** scalar alignment is [min size max_align] *)
+}
+
+val lp64 : t
+(** 64-bit ABI: 2/4/8/8-byte short/int/long/long long, 8-byte pointers,
+    little-endian, signed [char]. *)
+
+val ilp32 : t
+(** 32-bit ABI: 2/4/4/8-byte short/int/long/long long, 4-byte pointers,
+    little-endian, signed [char]. *)
+
+val big_endian : t -> t
+(** [big_endian abi] is [abi] with byte order flipped to big-endian (and a
+    name suffix), for codec and layout testing. *)

@@ -1,0 +1,56 @@
+let ikind_name = function
+  | Ctype.Bool -> "_Bool"
+  | Ctype.Char -> "char"
+  | Ctype.SChar -> "signed char"
+  | Ctype.UChar -> "unsigned char"
+  | Ctype.Short -> "short"
+  | Ctype.UShort -> "unsigned short"
+  | Ctype.Int -> "int"
+  | Ctype.UInt -> "unsigned int"
+  | Ctype.Long -> "long"
+  | Ctype.ULong -> "unsigned long"
+  | Ctype.LLong -> "long long"
+  | Ctype.ULLong -> "unsigned long long"
+
+let fkind_name = function
+  | Ctype.Float -> "float"
+  | Ctype.Double -> "double"
+  | Ctype.LDouble -> "long double"
+
+let tagged kind tag = if tag = "" then kind ^ " <anon>" else kind ^ " " ^ tag
+
+(* Classic inside-out declarator construction: [go t inner] wraps the
+   declarator string [inner] with the syntax for [t] and returns the full
+   "specifier declarator" rendering.  Pointer declarators must be
+   parenthesized before being suffixed with [] or (). *)
+let rec go t inner =
+  match t with
+  | Ctype.Void -> spec "void" inner
+  | Ctype.Integer k -> spec (ikind_name k) inner
+  | Ctype.Floating k -> spec (fkind_name k) inner
+  | Ctype.Comp c ->
+      let kind =
+        match c.Ctype.comp_kind with
+        | Ctype.CStruct -> "struct"
+        | Ctype.CUnion -> "union"
+      in
+      spec (tagged kind c.Ctype.comp_tag) inner
+  | Ctype.Enum e -> spec (tagged "enum" e.Ctype.enum_tag) inner
+  | Ctype.Ptr t' -> go t' ("*" ^ inner)
+  | Ctype.Array (elt, n) ->
+      let dim = match n with None -> "[]" | Some n -> Printf.sprintf "[%d]" n in
+      go elt (protect inner ^ dim)
+  | Ctype.Func { ret; params; variadic } ->
+      let ps = List.map to_string params in
+      let ps = if variadic then ps @ [ "..." ] else ps in
+      let ps = if ps = [] then [ "void" ] else ps in
+      go ret (protect inner ^ "(" ^ String.concat ", " ps ^ ")")
+
+and protect inner =
+  if String.length inner > 0 && inner.[0] = '*' then "(" ^ inner ^ ")"
+  else inner
+
+and spec name inner = if inner = "" then name else name ^ " " ^ inner
+and to_string t = go t ""
+
+let declaration t name = go t name

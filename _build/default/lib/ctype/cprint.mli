@@ -1,0 +1,11 @@
+(** Printing C types in C declarator syntax. *)
+
+val declaration : Ctype.t -> string -> string
+(** [declaration t name] renders a C declaration of [name] with type [t],
+    e.g. [declaration (ptr (array int 3)) "x"] is ["int (*x)[3]"]. *)
+
+val to_string : Ctype.t -> string
+(** Abstract declarator (type name), e.g. ["struct symbol *[1024]"]. *)
+
+val ikind_name : Ctype.ikind -> string
+val fkind_name : Ctype.fkind -> string

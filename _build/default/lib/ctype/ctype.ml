@@ -1,0 +1,207 @@
+type ikind =
+  | Bool
+  | Char
+  | SChar
+  | UChar
+  | Short
+  | UShort
+  | Int
+  | UInt
+  | Long
+  | ULong
+  | LLong
+  | ULLong
+
+type fkind = Float | Double | LDouble
+
+type t =
+  | Void
+  | Integer of ikind
+  | Floating of fkind
+  | Ptr of t
+  | Array of t * int option
+  | Func of func_type
+  | Comp of comp
+  | Enum of enum_info
+
+and func_type = { ret : t; params : t list; variadic : bool }
+
+and comp = {
+  comp_kind : comp_kind;
+  comp_tag : string;
+  comp_id : int;
+  mutable comp_fields : field list option;
+}
+
+and comp_kind = CStruct | CUnion
+
+and field = { f_name : string; f_type : t; f_bits : int option }
+
+and enum_info = {
+  enum_tag : string;
+  enum_id : int;
+  mutable enum_items : (string * int64) list;
+}
+
+let next_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let new_comp comp_kind comp_tag =
+  { comp_kind; comp_tag; comp_id = next_id (); comp_fields = None }
+
+let new_enum enum_tag enum_items =
+  { enum_tag; enum_id = next_id (); enum_items }
+
+let define_fields comp fields =
+  match comp.comp_fields with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Ctype.define_fields: %s already complete"
+           comp.comp_tag)
+  | None -> comp.comp_fields <- Some fields
+
+let field f_name f_type = { f_name; f_type; f_bits = None }
+let bitfield f_name f_type width = { f_name; f_type; f_bits = Some width }
+
+let is_integer = function Integer _ | Enum _ -> true | _ -> false
+let is_floating = function Floating _ -> true | _ -> false
+let is_arith t = is_integer t || is_floating t
+let is_ptr = function Ptr _ -> true | _ -> false
+let is_scalar t = is_arith t || is_ptr t
+
+let is_complete = function
+  | Void -> false
+  | Comp c -> c.comp_fields <> None
+  | Array (_, None) -> false
+  | Integer _ | Floating _ | Ptr _ | Array (_, Some _) | Func _ | Enum _ ->
+      true
+
+let ikind_signed (abi : Abi.t) = function
+  | Bool | UChar | UShort | UInt | ULong | ULLong -> false
+  | SChar | Short | Int | Long | LLong -> true
+  | Char -> abi.char_signed
+
+let ikind_size (abi : Abi.t) = function
+  | Bool | Char | SChar | UChar -> 1
+  | Short | UShort -> abi.short_size
+  | Int | UInt -> abi.int_size
+  | Long | ULong -> abi.long_size
+  | LLong | ULLong -> abi.llong_size
+
+let fkind_size (abi : Abi.t) = function
+  | Float -> abi.float_size
+  | Double -> abi.double_size
+  | LDouble -> abi.ldouble_size
+
+let ikind_rank = function
+  | Bool -> 0
+  | Char | SChar | UChar -> 1
+  | Short | UShort -> 2
+  | Int | UInt -> 3
+  | Long | ULong -> 4
+  | LLong | ULLong -> 5
+
+let promote_ikind abi k =
+  if ikind_rank k >= ikind_rank Int then k
+  else if ikind_signed abi k then Int
+  else if ikind_size abi k < abi.int_size then Int
+  else UInt
+
+let to_unsigned = function
+  | Char | SChar | UChar -> UChar
+  | Short | UShort -> UShort
+  | Int | UInt -> UInt
+  | Long | ULong -> ULong
+  | LLong | ULLong -> ULLong
+  | Bool -> Bool
+
+(* Both kinds are assumed already promoted (rank >= Int). *)
+let usual_arith_ikind abi k1 k2 =
+  let r1 = ikind_rank k1 and r2 = ikind_rank k2 in
+  let s1 = ikind_signed abi k1 and s2 = ikind_signed abi k2 in
+  if k1 = k2 then k1
+  else if s1 = s2 then if r1 >= r2 then k1 else k2
+  else
+    let su, ss, ru, rs = if s1 then (k2, k1, r2, r1) else (k1, k2, r1, r2) in
+    if ru >= rs then su
+    else if ikind_size abi ss > ikind_size abi su then ss
+    else to_unsigned ss
+
+let normalize abi k v =
+  let size = ikind_size abi k in
+  if k = Bool then if Int64.equal v 0L then 0L else 1L
+  else if size >= 8 then v
+  else
+    let bits = size * 8 in
+    let mask = Int64.sub (Int64.shift_left 1L bits) 1L in
+    let v = Int64.logand v mask in
+    if ikind_signed abi k && Int64.logand v (Int64.shift_left 1L (bits - 1)) <> 0L
+    then Int64.logor v (Int64.lognot mask)
+    else v
+
+let ikind_min abi k =
+  if not (ikind_signed abi k) then 0L
+  else
+    let bits = (ikind_size abi k * 8) - 1 in
+    Int64.neg (Int64.shift_left 1L (min bits 63))
+
+let ikind_max abi k =
+  let size = ikind_size abi k in
+  if ikind_signed abi k then
+    Int64.sub (Int64.shift_left 1L ((size * 8) - 1)) 1L
+  else if k = Bool then 1L
+  else if size >= 8 then -1L (* all ones, viewed unsigned *)
+  else Int64.sub (Int64.shift_left 1L (size * 8)) 1L
+
+let integer_kind = function
+  | Integer k -> Some k
+  | Enum _ -> Some Int
+  | Void | Floating _ | Ptr _ | Array _ | Func _ | Comp _ -> None
+
+let decay = function
+  | Array (elt, _) -> Ptr elt
+  | Func _ as f -> Ptr f
+  | t -> t
+
+let strip_array = function Array (e, n) -> (e, n) | t -> (t, None)
+
+let rec equal t1 t2 =
+  match (t1, t2) with
+  | Void, Void -> true
+  | Integer k1, Integer k2 -> k1 = k2
+  | Floating k1, Floating k2 -> k1 = k2
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, n1), Array (b, n2) -> n1 = n2 && equal a b
+  | Func f1, Func f2 ->
+      f1.variadic = f2.variadic
+      && equal f1.ret f2.ret
+      && List.length f1.params = List.length f2.params
+      && List.for_all2 equal f1.params f2.params
+  | Comp c1, Comp c2 -> c1.comp_id = c2.comp_id
+  | Enum e1, Enum e2 -> e1.enum_id = e2.enum_id
+  | ( ( Void | Integer _ | Floating _ | Ptr _ | Array _ | Func _ | Comp _
+      | Enum _ ),
+      _ ) ->
+      false
+
+let char = Integer Char
+let schar = Integer SChar
+let uchar = Integer UChar
+let short = Integer Short
+let ushort = Integer UShort
+let int = Integer Int
+let uint = Integer UInt
+let long = Integer Long
+let ulong = Integer ULong
+let llong = Integer LLong
+let ullong = Integer ULLong
+let bool = Integer Bool
+let float = Floating Float
+let double = Floating Double
+let ldouble = Floating LDouble
+let ptr t = Ptr t
+let array t n = Array (t, Some n)
+let func ?(variadic = false) ret params = Func { ret; params; variadic }

@@ -1,0 +1,140 @@
+(** C type representation.
+
+    Models the C type system as DUEL needs it: integer and floating kinds,
+    pointers, arrays (possibly of unknown length), function types,
+    struct/union composites (mutable so that recursive types such as linked
+    lists can be tied after creation), and enums.
+
+    Composites and enums carry a unique id; type equality ({!equal}) is
+    structural on scalars/pointers/arrays and nominal (by id) on composites
+    and enums, matching C's tag-based compatibility rules closely enough for
+    a debugger. *)
+
+type ikind =
+  | Bool
+  | Char  (** plain [char]; signedness comes from the ABI *)
+  | SChar
+  | UChar
+  | Short
+  | UShort
+  | Int
+  | UInt
+  | Long
+  | ULong
+  | LLong
+  | ULLong
+
+type fkind = Float | Double | LDouble
+
+type t =
+  | Void
+  | Integer of ikind
+  | Floating of fkind
+  | Ptr of t
+  | Array of t * int option  (** element type, length if known *)
+  | Func of func_type
+  | Comp of comp
+  | Enum of enum_info
+
+and func_type = { ret : t; params : t list; variadic : bool }
+
+and comp = {
+  comp_kind : comp_kind;
+  comp_tag : string;  (** [""] for anonymous *)
+  comp_id : int;
+  mutable comp_fields : field list option;  (** [None] while incomplete *)
+}
+
+and comp_kind = CStruct | CUnion
+
+and field = {
+  f_name : string;
+  f_type : t;
+  f_bits : int option;  (** bit-field width, if a bit-field *)
+}
+
+and enum_info = {
+  enum_tag : string;
+  enum_id : int;
+  mutable enum_items : (string * int64) list;
+}
+
+val new_comp : comp_kind -> string -> comp
+(** Fresh incomplete composite with a unique id. *)
+
+val new_enum : string -> (string * int64) list -> enum_info
+
+val define_fields : comp -> field list -> unit
+(** Complete a composite.  @raise Invalid_argument if already complete. *)
+
+val field : string -> t -> field
+val bitfield : string -> t -> int -> field
+
+(** {1 Predicates and classification} *)
+
+val is_integer : t -> bool
+(** Integer types, including enums and [_Bool]. *)
+
+val is_floating : t -> bool
+val is_arith : t -> bool
+val is_ptr : t -> bool
+val is_scalar : t -> bool
+(** Arithmetic or pointer (what C allows in a condition). *)
+
+val is_complete : t -> bool
+
+val ikind_signed : Abi.t -> ikind -> bool
+val ikind_size : Abi.t -> ikind -> int
+val fkind_size : Abi.t -> fkind -> int
+
+val ikind_rank : ikind -> int
+(** C integer conversion rank ordering. *)
+
+val promote_ikind : Abi.t -> ikind -> ikind
+(** Integer promotion: ranks below [int] go to [int] (or [unsigned int] if
+    [int] cannot represent all values). *)
+
+val usual_arith_ikind : Abi.t -> ikind -> ikind -> ikind
+(** The common integer kind of C's usual arithmetic conversions (both
+    operands already promoted). *)
+
+val normalize : Abi.t -> ikind -> int64 -> int64
+(** Truncate/sign-extend a 64-bit value to the kind's width, producing the
+    canonical in-range representative (two's complement wraparound). *)
+
+val ikind_min : Abi.t -> ikind -> int64
+val ikind_max : Abi.t -> ikind -> int64
+(** Inclusive bounds; for ULLong, [ikind_max] is [-1L] viewed unsigned. *)
+
+val integer_kind : t -> ikind option
+(** The underlying integer kind of an integer-typed value (enums map to the
+    ABI's [int]). *)
+
+val decay : t -> t
+(** Array-to-pointer and function-to-pointer decay for rvalue contexts. *)
+
+val strip_array : t -> t * int option
+(** [strip_array (Array (e, n))] is [(e, n)]; identity shape otherwise. *)
+
+val equal : t -> t -> bool
+
+(** {1 Common shorthands} *)
+
+val char : t
+val schar : t
+val uchar : t
+val short : t
+val ushort : t
+val int : t
+val uint : t
+val long : t
+val ulong : t
+val llong : t
+val ullong : t
+val bool : t
+val float : t
+val double : t
+val ldouble : t
+val ptr : t -> t
+val array : t -> int -> t
+val func : ?variadic:bool -> t -> t list -> t

@@ -1,0 +1,128 @@
+exception Incomplete of string
+
+type field_info = {
+  fi_field : Ctype.field;
+  fi_offset : int;
+  fi_bit_off : int;
+}
+
+type comp_layout = { cl_size : int; cl_align : int; cl_fields : field_info list }
+
+let comp_cache : (string * int, comp_layout) Hashtbl.t = Hashtbl.create 64
+
+let align_up n a = (n + a - 1) / a * a
+
+let rec size_of abi t =
+  match t with
+  | Ctype.Void -> raise (Incomplete "void")
+  | Ctype.Integer k -> Ctype.ikind_size abi k
+  | Ctype.Floating k -> Ctype.fkind_size abi k
+  | Ctype.Ptr _ -> abi.Abi.ptr_size
+  | Ctype.Array (elt, Some n) -> n * size_of abi elt
+  | Ctype.Array (_, None) -> raise (Incomplete "array of unknown length")
+  | Ctype.Func _ -> raise (Incomplete "function type")
+  | Ctype.Enum _ -> abi.Abi.int_size
+  | Ctype.Comp c -> (comp_layout abi c).cl_size
+
+and align_of abi t =
+  match t with
+  | Ctype.Void -> 1
+  | Ctype.Integer k -> min (Ctype.ikind_size abi k) abi.Abi.max_align
+  | Ctype.Floating k -> min (Ctype.fkind_size abi k) abi.Abi.max_align
+  | Ctype.Ptr _ -> abi.Abi.ptr_size
+  | Ctype.Array (elt, _) -> align_of abi elt
+  | Ctype.Func _ -> 1
+  | Ctype.Enum _ -> min abi.Abi.int_size abi.Abi.max_align
+  | Ctype.Comp c -> (comp_layout abi c).cl_align
+
+and comp_layout abi (c : Ctype.comp) =
+  let key = (abi.Abi.name, c.Ctype.comp_id) in
+  match Hashtbl.find_opt comp_cache key with
+  | Some l -> l
+  | None ->
+      let fields =
+        match c.Ctype.comp_fields with
+        | None ->
+            let kind =
+              match c.Ctype.comp_kind with
+              | Ctype.CStruct -> "struct"
+              | Ctype.CUnion -> "union"
+            in
+            raise (Incomplete (kind ^ " " ^ c.Ctype.comp_tag))
+        | Some fs -> fs
+      in
+      let l =
+        match c.Ctype.comp_kind with
+        | Ctype.CStruct -> layout_struct abi fields
+        | Ctype.CUnion -> layout_union abi fields
+      in
+      Hashtbl.replace comp_cache key l;
+      l
+
+(* Struct layout runs in bit units so that consecutive bit-fields pack into
+   the same storage unit.  [bit_pos] is the first free bit; a plain member
+   first rounds it up to a byte, then to its own alignment. *)
+and layout_struct abi fields =
+  let bit_pos = ref 0 in
+  let align = ref 1 in
+  let place acc (f : Ctype.field) =
+    match f.Ctype.f_bits with
+    | None ->
+        let a = align_of abi f.Ctype.f_type in
+        let size = size_of abi f.Ctype.f_type in
+        let off = align_up (align_up !bit_pos 8 / 8) a in
+        bit_pos := (off + size) * 8;
+        align := max !align a;
+        { fi_field = f; fi_offset = off; fi_bit_off = 0 } :: acc
+    | Some 0 ->
+        let unit_bits = size_of abi f.Ctype.f_type * 8 in
+        bit_pos := align_up !bit_pos unit_bits;
+        acc
+    | Some width ->
+        let unit = size_of abi f.Ctype.f_type in
+        let unit_bits = unit * 8 in
+        let a = align_of abi f.Ctype.f_type in
+        let start =
+          if (!bit_pos mod unit_bits) + width > unit_bits then
+            align_up !bit_pos unit_bits
+          else !bit_pos
+        in
+        let unit_start = start / unit_bits * unit_bits in
+        bit_pos := start + width;
+        align := max !align a;
+        {
+          fi_field = f;
+          fi_offset = unit_start / 8;
+          fi_bit_off = start - unit_start;
+        }
+        :: acc
+  in
+  let infos = List.rev (List.fold_left place [] fields) in
+  let size = align_up (align_up !bit_pos 8 / 8) !align in
+  { cl_size = max size !align; cl_align = !align; cl_fields = infos }
+
+and layout_union abi fields =
+  let place (f : Ctype.field) =
+    { fi_field = f; fi_offset = 0; fi_bit_off = 0 }
+  in
+  let member_size (f : Ctype.field) =
+    match f.Ctype.f_bits with
+    | Some w -> align_up w 8 / 8
+    | None -> size_of abi f.Ctype.f_type
+  in
+  let size = List.fold_left (fun s f -> max s (member_size f)) 0 fields in
+  let align =
+    List.fold_left (fun a f -> max a (align_of abi f.Ctype.f_type)) 1 fields
+  in
+  {
+    cl_size = max (align_up size align) align;
+    cl_align = align;
+    cl_fields = List.map place fields;
+  }
+
+let fields_of abi c = (comp_layout abi c).cl_fields
+
+let find_field abi c name =
+  List.find_opt
+    (fun fi -> String.equal fi.fi_field.Ctype.f_name name)
+    (fields_of abi c)

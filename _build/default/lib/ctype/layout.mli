@@ -1,0 +1,30 @@
+(** ABI-dependent type layout: sizes, alignments, field offsets.
+
+    Implements a System-V-style layout algorithm: members are placed at the
+    next offset aligned for their type, bit-fields are packed into storage
+    units of their declared type (never straddling a unit), a zero-width
+    bit-field closes the current unit, unions overlay all members at offset
+    zero, and the total size is rounded up to the overall alignment. *)
+
+exception Incomplete of string
+(** Raised when the size or layout of an incomplete (or function) type is
+    requested; the payload names the offending type. *)
+
+type field_info = {
+  fi_field : Ctype.field;
+  fi_offset : int;  (** byte offset of the field's storage unit *)
+  fi_bit_off : int;
+      (** for bit-fields: bit offset from the LSB of the storage unit
+          (little-endian view); 0 for plain fields *)
+}
+
+val size_of : Abi.t -> Ctype.t -> int
+(** @raise Incomplete on incomplete or function types. *)
+
+val align_of : Abi.t -> Ctype.t -> int
+
+val fields_of : Abi.t -> Ctype.comp -> field_info list
+(** Laid-out members in declaration order (zero-width bit-fields omitted).
+    @raise Incomplete if the composite has no field list yet. *)
+
+val find_field : Abi.t -> Ctype.comp -> string -> field_info option

@@ -1,0 +1,49 @@
+type t = {
+  structs : (string, Ctype.comp) Hashtbl.t;
+  unions : (string, Ctype.comp) Hashtbl.t;
+  enums : (string, Ctype.enum_info) Hashtbl.t;
+  typedefs : (string, Ctype.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    structs = Hashtbl.create 16;
+    unions = Hashtbl.create 16;
+    enums = Hashtbl.create 16;
+    typedefs = Hashtbl.create 16;
+  }
+
+let declare_tagged table kind tag =
+  match Hashtbl.find_opt table tag with
+  | Some c -> c
+  | None ->
+      let c = Ctype.new_comp kind tag in
+      Hashtbl.replace table tag c;
+      c
+
+let declare_struct env tag = declare_tagged env.structs Ctype.CStruct tag
+let declare_union env tag = declare_tagged env.unions Ctype.CUnion tag
+
+let define_enum env tag items =
+  let e = Ctype.new_enum tag items in
+  Hashtbl.replace env.enums tag e;
+  e
+
+let add_typedef env name t = Hashtbl.replace env.typedefs name t
+let find_struct env tag = Hashtbl.find_opt env.structs tag
+let find_union env tag = Hashtbl.find_opt env.unions tag
+let find_enum env tag = Hashtbl.find_opt env.enums tag
+let find_typedef env name = Hashtbl.find_opt env.typedefs name
+
+let find_enum_const env name =
+  let found = ref None in
+  let check _tag (e : Ctype.enum_info) =
+    if !found = None then
+      match List.assoc_opt name e.Ctype.enum_items with
+      | Some v -> found := Some (e, v)
+      | None -> ()
+  in
+  Hashtbl.iter check env.enums;
+  !found
+
+let typedef_names env = Hashtbl.fold (fun k _ acc -> k :: acc) env.typedefs []

@@ -1,0 +1,28 @@
+(** Type environment: named struct/union/enum tags and typedefs.
+
+    DUEL resolves type names at evaluation time (the paper decorates ASTs
+    with symbolic names, not symbol-table pointers), so casts and
+    declarations look tags and typedefs up here.  The target simulator
+    populates one of these when a debuggee is built; it plays the role of
+    gdb's type tables behind [duel_get_target_typedef/struct/union/enum]. *)
+
+type t
+
+val create : unit -> t
+
+val declare_struct : t -> string -> Ctype.comp
+(** Look up or create the (possibly incomplete) struct with this tag. *)
+
+val declare_union : t -> string -> Ctype.comp
+val define_enum : t -> string -> (string * int64) list -> Ctype.enum_info
+val add_typedef : t -> string -> Ctype.t -> unit
+
+val find_struct : t -> string -> Ctype.comp option
+val find_union : t -> string -> Ctype.comp option
+val find_enum : t -> string -> Ctype.enum_info option
+val find_typedef : t -> string -> Ctype.t option
+
+val find_enum_const : t -> string -> (Ctype.enum_info * int64) option
+(** Resolve an enumeration constant by name across all known enums. *)
+
+val typedef_names : t -> string list

@@ -1,0 +1,1 @@
+lib/dbgi/dbgi.ml: Duel_ctype

@@ -1,0 +1,1 @@
+lib/dbgi/dbgi.mli: Duel_ctype

@@ -1,0 +1,29 @@
+exception Target_fault of int
+
+type cval =
+  | Cint of Duel_ctype.Ctype.t * int64
+  | Cfloat of Duel_ctype.Ctype.t * float
+
+type var_info = { v_addr : int; v_type : Duel_ctype.Ctype.t }
+
+type frame_info = {
+  fr_index : int;
+  fr_func : string;
+  fr_locals : (string * var_info) list;
+}
+
+type t = {
+  abi : Duel_ctype.Abi.t;
+  get_bytes : addr:int -> len:int -> bytes;
+  put_bytes : addr:int -> bytes -> unit;
+  alloc_space : int -> int;
+  call_func : string -> cval list -> cval;
+  find_variable : string -> var_info option;
+  tenv : Duel_ctype.Tenv.t;
+  frames : unit -> frame_info list;
+}
+
+let readable dbg ~addr ~len =
+  match dbg.get_bytes ~addr ~len with
+  | (_ : bytes) -> true
+  | exception Target_fault _ -> false

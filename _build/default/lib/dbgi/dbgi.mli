@@ -1,0 +1,51 @@
+(** The DUEL–debugger interface.
+
+    The paper keeps this interface "intentionally narrow to simplify
+    connecting it to a debugger": copy bytes to/from the target, allocate
+    target space, call a target function, and query symbol/type
+    information.  DUEL proper (the [duel_core] library) talks to the target
+    {e only} through a value of type {!t}; backends exist for the direct
+    in-process simulator ({!Duel_target.Backend} in the target library) and
+    for the GDB remote-serial-protocol client ([duel_rsp]).
+
+    Mirrors the paper's function list:
+    [duel_get_target_bytes], [duel_put_target_bytes],
+    [duel_alloc_target_space], [duel_call_target_func],
+    [duel_get_target_variable], [duel_get_target_typedef/struct/union/enum],
+    plus the "miscellaneous" frame queries. *)
+
+exception Target_fault of int
+(** Raised by [get_bytes]/[put_bytes] with the faulting target address. *)
+
+(** Scalar values crossing the interface for target-function calls.
+    Pointers travel as [Cint] with a pointer type. *)
+type cval = Cint of Duel_ctype.Ctype.t * int64 | Cfloat of Duel_ctype.Ctype.t * float
+
+type var_info = { v_addr : int; v_type : Duel_ctype.Ctype.t }
+
+type frame_info = {
+  fr_index : int;  (** 0 is the innermost active frame *)
+  fr_func : string;
+  fr_locals : (string * var_info) list;
+}
+
+type t = {
+  abi : Duel_ctype.Abi.t;
+  get_bytes : addr:int -> len:int -> bytes;
+  put_bytes : addr:int -> bytes -> unit;
+  alloc_space : int -> int;
+  call_func : string -> cval list -> cval;
+      (** @raise Failure if the function is unknown. *)
+  find_variable : string -> var_info option;
+      (** Global (file-scope) variables and functions by name. *)
+  tenv : Duel_ctype.Tenv.t;
+      (** Tag and typedef lookup — the paper's
+          [duel_get_target_typedef/struct/union/enum]. *)
+  frames : unit -> frame_info list;
+      (** Active frames, innermost first ("the number of active frames" and
+          locals, from the paper's miscellaneous functions). *)
+}
+
+val readable : t -> addr:int -> len:int -> bool
+(** [true] iff [get_bytes] would succeed — used by [-->] traversals to
+    recognise invalid pointers without raising. *)

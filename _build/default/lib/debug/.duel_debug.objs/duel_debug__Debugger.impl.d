@@ -1,0 +1,1 @@
+lib/debug/debugger.ml: Duel_core Duel_ctype Duel_dbgi Duel_minic Duel_target Fun Hashtbl Int64 List Option Printf Seq String

@@ -1,0 +1,1 @@
+lib/debug/debugger.mli: Duel_core Duel_dbgi Duel_minic

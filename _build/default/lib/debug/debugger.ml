@@ -1,0 +1,248 @@
+module Dbgi = Duel_dbgi.Dbgi
+module Session = Duel_core.Session
+module Env = Duel_core.Env
+module Value = Duel_core.Value
+module Interp = Duel_minic.Interp
+
+type stop_reason =
+  | Breakpoint of { id : int; func : string; line : int }
+  | Watchpoint of { id : int; expr : string; old_value : string; new_value : string }
+  | Assertion_failed of { id : int; expr : string; detail : string }
+
+type action = Continue | Abort
+
+exception Aborted of stop_reason
+
+type breakpoint = {
+  bp_id : int;
+  bp_func : string;
+  bp_line : int option;
+  bp_cond : string option;
+}
+
+type watchpoint = { wp_id : int; wp_expr : string; mutable wp_last : string option }
+type assertion = { as_id : int; as_expr : string }
+
+type t = {
+  interp : Interp.t;
+  session : Session.t;
+  mutable breakpoints : breakpoint list;
+  mutable watchpoints : watchpoint list;
+  mutable assertions : assertion list;
+  hit_counts : (int, int) Hashtbl.t;
+  mutable next_id : int;
+  mutable handler : t -> stop_reason -> action;
+  mutable in_stop : bool;  (* suppress hooks while the debugger evaluates *)
+}
+
+let session dbg = dbg.session
+let interp dbg = dbg.interp
+
+let query dbg cmd =
+  dbg.in_stop <- true;
+  Fun.protect
+    ~finally:(fun () -> dbg.in_stop <- false)
+    (fun () -> Session.exec dbg.session cmd)
+
+let fresh_id dbg =
+  let id = dbg.next_id in
+  dbg.next_id <- id + 1;
+  id
+
+let break_at dbg ?condition ?line func =
+  let id = fresh_id dbg in
+  dbg.breakpoints <-
+    { bp_id = id; bp_func = func; bp_line = line; bp_cond = condition }
+    :: dbg.breakpoints;
+  id
+
+let watch dbg expr =
+  let id = fresh_id dbg in
+  dbg.watchpoints <- { wp_id = id; wp_expr = expr; wp_last = None } :: dbg.watchpoints;
+  id
+
+let add_assertion dbg expr =
+  let id = fresh_id dbg in
+  dbg.assertions <- { as_id = id; as_expr = expr } :: dbg.assertions;
+  id
+
+let delete dbg id =
+  dbg.breakpoints <- List.filter (fun b -> b.bp_id <> id) dbg.breakpoints;
+  dbg.watchpoints <- List.filter (fun w -> w.wp_id <> id) dbg.watchpoints;
+  dbg.assertions <- List.filter (fun a -> a.as_id <> id) dbg.assertions
+
+let hits dbg id = Option.value (Hashtbl.find_opt dbg.hit_counts id) ~default:0
+let on_stop dbg handler = dbg.handler <- handler
+
+let describe_stop = function
+  | Breakpoint { id; func; line } ->
+      Printf.sprintf "breakpoint %d at %s:%d" id func line
+  | Watchpoint { id; expr; old_value; new_value } ->
+      Printf.sprintf "watchpoint %d: %s changed: %s -> %s" id expr old_value
+        new_value
+  | Assertion_failed { id; expr; detail } ->
+      Printf.sprintf "assertion %d failed: %s (%s)" id expr detail
+
+(* --- evaluation helpers in the stopped program's context ---------------- *)
+
+(* Values rendered as the duel command would print them; errors rendered
+   inline so a watch on a not-yet-valid expression simply shows the
+   error text until the state makes it meaningful. *)
+let render dbg expr =
+  match query dbg expr with
+  | [] -> "<no values>"
+  | lines -> String.concat "; " lines
+
+let condition_holds dbg expr =
+  dbg.in_stop <- true;
+  Fun.protect
+    ~finally:(fun () -> dbg.in_stop <- false)
+    (fun () ->
+      let env = dbg.session.Session.env in
+      let depth = Env.scope_depth env in
+      let result =
+        match Session.parse dbg.session expr with
+        | ast ->
+            let seq = Session.eval dbg.session ast in
+            (try Seq.exists (fun v -> Value.truth env.Env.dbg v) seq
+             with Duel_core.Error.Duel_error _ -> false)
+        | exception _ -> false
+      in
+      Env.restore_scope_depth env depth;
+      result)
+
+(* An assertion holds when every value it produces is non-zero. *)
+let assertion_check dbg expr =
+  dbg.in_stop <- true;
+  Fun.protect
+    ~finally:(fun () -> dbg.in_stop <- false)
+    (fun () ->
+      let env = dbg.session.Session.env in
+      let depth = Env.scope_depth env in
+      let result =
+        match Session.parse dbg.session expr with
+        | ast -> (
+            let seq = Session.eval dbg.session ast in
+            try
+              let bad =
+                Seq.filter_map
+                  (fun v ->
+                    if Value.truth env.Env.dbg v then None
+                    else Some (Session.format_value dbg.session v))
+                  seq
+              in
+              match bad () with
+              | Seq.Nil -> Ok ()
+              | Seq.Cons (first, _) -> Error first
+            with Duel_core.Error.Duel_error err ->
+              Error (Duel_core.Error.to_string err))
+        | exception _ -> Error "unparsable assertion"
+      in
+      Env.restore_scope_depth env depth;
+      result)
+
+let stop dbg reason =
+  Hashtbl.replace dbg.hit_counts
+    (match reason with
+    | Breakpoint { id; _ } | Watchpoint { id; _ } | Assertion_failed { id; _ } -> id)
+    (hits dbg
+       (match reason with
+       | Breakpoint { id; _ } | Watchpoint { id; _ } | Assertion_failed { id; _ } ->
+           id)
+    + 1);
+  match dbg.handler dbg reason with
+  | Continue -> ()
+  | Abort -> raise (Aborted reason)
+
+let check_watchpoints dbg =
+  List.iter
+    (fun wp ->
+      let now = render dbg wp.wp_expr in
+      match wp.wp_last with
+      | None -> wp.wp_last <- Some now
+      | Some old when String.equal old now -> ()
+      | Some old ->
+          wp.wp_last <- Some now;
+          stop dbg
+            (Watchpoint
+               { id = wp.wp_id; expr = wp.wp_expr; old_value = old; new_value = now }))
+    dbg.watchpoints
+
+let check_assertions dbg =
+  List.iter
+    (fun a ->
+      match assertion_check dbg a.as_expr with
+      | Ok () -> ()
+      | Error detail ->
+          stop dbg (Assertion_failed { id = a.as_id; expr = a.as_expr; detail }))
+    dbg.assertions
+
+let check_breakpoints dbg ~func ~line ~entry =
+  List.iter
+    (fun bp ->
+      let position_matches =
+        String.equal bp.bp_func func
+        &&
+        match bp.bp_line with
+        | None -> entry
+        | Some l -> (not entry) && l = line
+      in
+      if position_matches then
+        let fire =
+          match bp.bp_cond with
+          | None -> true
+          | Some cond -> condition_holds dbg cond
+        in
+        if fire then
+          stop dbg (Breakpoint { id = bp.bp_id; func; line }))
+    dbg.breakpoints
+
+let hook dbg event =
+  if not dbg.in_stop then
+    match event with
+    | Interp.Enter { func } -> check_breakpoints dbg ~func ~line:0 ~entry:true
+    | Interp.Leave _ -> ()
+    | Interp.Stmt { func; line } ->
+        check_breakpoints dbg ~func ~line ~entry:false;
+        check_watchpoints dbg;
+        check_assertions dbg
+
+let create interp =
+  let inf = Interp.inferior interp in
+  let dbg =
+    {
+      interp;
+      session = Session.create (Duel_target.Backend.direct inf);
+      breakpoints = [];
+      watchpoints = [];
+      assertions = [];
+      hit_counts = Hashtbl.create 8;
+      next_id = 1;
+      handler = (fun _ _ -> Continue);
+      in_stop = false;
+    }
+  in
+  Interp.set_hook interp (Some (hook dbg));
+  dbg
+
+let run dbg name args =
+  (* seed watchpoints so the first statement compares against the state
+     at entry, not against "never evaluated" *)
+  List.iter (fun wp -> wp.wp_last <- Some (render dbg wp.wp_expr)) dbg.watchpoints;
+  match Interp.call dbg.interp name args with
+  | v -> Ok v
+  | exception Aborted reason -> Error (describe_stop reason)
+  | exception Interp.Runtime_error msg -> Error msg
+  | exception Duel_core.Error.Duel_error err ->
+      Error (Duel_core.Error.to_string err)
+
+let run_int dbg name args =
+  let cargs =
+    List.map
+      (fun v -> Dbgi.Cint (Duel_ctype.Ctype.int, Int64.of_int v))
+      args
+  in
+  match run dbg name cargs with
+  | Ok (Dbgi.Cint (_, v)) -> Ok v
+  | Ok (Dbgi.Cfloat (_, f)) -> Ok (Int64.of_float f)
+  | Error _ as e -> e

@@ -1,0 +1,71 @@
+(** Execution control with DUEL conditions — the paper's future work,
+    implemented.
+
+    The Discussion section of the paper proposes two uses beyond the
+    [duel] command: "Duel would also be useful in other traditional
+    debugging facilities, e.g., watchpoints and conditional breakpoints",
+    and "annotating programs with assertions written in a Duel-like
+    language".  This module provides both over the mini-C substrate:
+
+    {ul
+    {- {b breakpoints} at a function entry or a (function, line), with an
+       optional DUEL condition evaluated in the stopped program's context
+       (innermost frame locals visible);}
+    {- {b watchpoints} on arbitrary DUEL expressions — including
+       generator queries like [#/(first-->next)] — re-evaluated at every
+       statement and firing when the rendered values change;}
+    {- {b assertions}: DUEL expressions checked at every statement; an
+       assertion holds when every produced value is non-zero (so
+       [&&/(x[..5] >=? 0)] and bare generator filters both work), and a
+       stop fires the first time it does not.}}
+
+    At each stop the registered handler may interrogate the paused
+    program through the embedded DUEL session ({!query}) and then
+    [Continue] or [Abort].  Debugger evaluations never re-trigger stops
+    (no recursive hooks). *)
+
+module Dbgi = Duel_dbgi.Dbgi
+
+type stop_reason =
+  | Breakpoint of { id : int; func : string; line : int }
+  | Watchpoint of { id : int; expr : string; old_value : string; new_value : string }
+  | Assertion_failed of { id : int; expr : string; detail : string }
+
+type action = Continue | Abort
+
+type t
+
+val create : Duel_minic.Interp.t -> t
+val interp : t -> Duel_minic.Interp.t
+val session : t -> Duel_core.Session.t
+(** The DUEL session attached to the (possibly stopped) program. *)
+
+val query : t -> string -> string list
+(** Run a [duel] command against the current program state. *)
+
+val break_at : t -> ?condition:string -> ?line:int -> string -> int
+(** Breakpoint on a function (entry if [line] is omitted).  The condition
+    is a DUEL expression; the breakpoint fires when any of its values is
+    non-zero.  Returns the breakpoint id. *)
+
+val watch : t -> string -> int
+(** Watchpoint on a DUEL expression; fires when its rendered value
+    sequence changes between statements.  Returns the watchpoint id. *)
+
+val add_assertion : t -> string -> int
+val delete : t -> int -> unit
+(** Remove a breakpoint/watchpoint/assertion by id (idempotent). *)
+
+val hits : t -> int -> int
+(** How many times the given breakpoint/watchpoint/assertion has fired. *)
+
+val on_stop : t -> (t -> stop_reason -> action) -> unit
+(** Install the stop handler (default: always [Continue]). *)
+
+val describe_stop : stop_reason -> string
+
+val run : t -> string -> Dbgi.cval list -> (Dbgi.cval, string) result
+(** Execute a mini-C function under the debugger.  [Error] carries the
+    abort/runtime-error message. *)
+
+val run_int : t -> string -> int list -> (int64, string) result

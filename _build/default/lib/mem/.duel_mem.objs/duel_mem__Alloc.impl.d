@@ -1,0 +1,1 @@
+lib/mem/alloc.ml: Bytes Hashtbl List Memory Printf

@@ -1,0 +1,1 @@
+lib/mem/alloc.mli: Memory

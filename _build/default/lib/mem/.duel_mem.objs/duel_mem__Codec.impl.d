@@ -1,0 +1,1 @@
+lib/mem/codec.ml: Buffer Bytes Char Duel_ctype Int32 Int64 Memory Printf

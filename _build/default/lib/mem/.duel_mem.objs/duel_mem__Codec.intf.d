@@ -1,0 +1,1 @@
+lib/mem/codec.mli: Duel_ctype Memory

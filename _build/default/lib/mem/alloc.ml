@@ -1,0 +1,73 @@
+type free_block = { fb_addr : int; fb_size : int }
+
+type t = {
+  mem : Memory.t;
+  base : int;
+  limit : int;
+  mutable free_list : free_block list;  (* sorted by address *)
+  live : (int, int) Hashtbl.t;  (* addr -> size *)
+}
+
+let alignment = 16
+let align_up n = (n + alignment - 1) / alignment * alignment
+
+let create mem ~base ~size =
+  if base <= 0 || size <= 0 then invalid_arg "Alloc.create: bad region";
+  let base = align_up base in
+  {
+    mem;
+    base;
+    limit = base + size;
+    free_list = [ { fb_addr = base; fb_size = size } ];
+    live = Hashtbl.create 64;
+  }
+
+let zero heap addr size =
+  Memory.map heap.mem ~addr ~size;
+  Memory.write heap.mem ~addr (Bytes.make size '\000')
+
+let malloc heap n =
+  if n < 0 then invalid_arg "Alloc.malloc: negative size";
+  let n = align_up (max n 1) in
+  let rec take acc = function
+    | [] -> raise Out_of_memory
+    | b :: rest when b.fb_size >= n ->
+        let remainder =
+          if b.fb_size = n then []
+          else [ { fb_addr = b.fb_addr + n; fb_size = b.fb_size - n } ]
+        in
+        heap.free_list <- List.rev_append acc (remainder @ rest);
+        b.fb_addr
+    | b :: rest -> take (b :: acc) rest
+  in
+  let addr = take [] heap.free_list in
+  Hashtbl.replace heap.live addr n;
+  zero heap addr n;
+  addr
+
+(* Reinsert a block into the address-sorted free list, coalescing with the
+   blocks that end at its start or begin at its end. *)
+let free heap addr =
+  match Hashtbl.find_opt heap.live addr with
+  | None -> invalid_arg (Printf.sprintf "Alloc.free: 0x%x is not allocated" addr)
+  | Some size ->
+      Hashtbl.remove heap.live addr;
+      let rec insert = function
+        | [] -> [ { fb_addr = addr; fb_size = size } ]
+        | b :: rest when b.fb_addr + b.fb_size = addr ->
+            insert_merged { fb_addr = b.fb_addr; fb_size = b.fb_size + size } rest
+        | b :: rest when addr + size = b.fb_addr ->
+            { fb_addr = addr; fb_size = size + b.fb_size } :: rest
+        | b :: rest when b.fb_addr > addr ->
+            { fb_addr = addr; fb_size = size } :: b :: rest
+        | b :: rest -> b :: insert rest
+      and insert_merged merged = function
+        | b :: rest when merged.fb_addr + merged.fb_size = b.fb_addr ->
+            { merged with fb_size = merged.fb_size + b.fb_size } :: rest
+        | rest -> merged :: rest
+      in
+      heap.free_list <- insert heap.free_list
+
+let block_size heap addr = Hashtbl.find_opt heap.live addr
+let live_blocks heap = Hashtbl.length heap.live
+let bytes_in_use heap = Hashtbl.fold (fun _ s acc -> acc + s) heap.live 0

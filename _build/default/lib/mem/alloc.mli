@@ -1,0 +1,23 @@
+(** First-fit heap allocator over a region of target memory.
+
+    Backs the paper's [duel_alloc_target_space] (DUEL declarations such as
+    [int i;] allocate target locations) and the scenario builders' object
+    graphs.  Returned blocks are 16-byte aligned and the underlying pages
+    are mapped on demand; [free] recycles blocks and coalesces neighbours.
+
+    @raise Out_of_memory when the region is exhausted. *)
+
+type t
+
+val create : Memory.t -> base:int -> size:int -> t
+val malloc : t -> int -> int
+(** Allocate [n] bytes ([n = 0] behaves as [n = 1]); contents zeroed. *)
+
+val free : t -> int -> unit
+(** @raise Invalid_argument if the address is not a live allocation. *)
+
+val block_size : t -> int -> int option
+(** Size of the live allocation starting at this address, if any. *)
+
+val live_blocks : t -> int
+val bytes_in_use : t -> int

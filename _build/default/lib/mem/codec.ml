@@ -1,0 +1,100 @@
+module Abi = Duel_ctype.Abi
+
+let check_size size =
+  match size with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg (Printf.sprintf "Codec: bad scalar size %d" size)
+
+let byte_index (abi : Abi.t) size i =
+  match abi.Abi.endian with Abi.Little -> i | Abi.Big -> size - 1 - i
+
+let read_int (abi : Abi.t) mem ~addr ~size ~signed =
+  check_size size;
+  let v = ref 0L in
+  for i = size - 1 downto 0 do
+    let b = Memory.read_u8 mem (addr + byte_index abi size i) in
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int b)
+  done;
+  (* Bytes were accumulated most-significant first, so !v now holds the
+     zero-extended value; sign-extend if requested. *)
+  let v = !v in
+  if signed && size < 8 then
+    let bits = size * 8 in
+    let sign_bit = Int64.shift_left 1L (bits - 1) in
+    if Int64.logand v sign_bit <> 0L then
+      Int64.logor v (Int64.shift_left (-1L) bits)
+    else v
+  else v
+
+let write_int (abi : Abi.t) mem ~addr ~size v =
+  check_size size;
+  for i = 0 to size - 1 do
+    let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (i * 8)) 0xffL) in
+    Memory.write_u8 mem (addr + byte_index abi size i) b
+  done
+
+let read_float abi mem ~addr ~size =
+  match size with
+  | 4 ->
+      Int32.float_of_bits
+        (Int64.to_int32 (read_int abi mem ~addr ~size:4 ~signed:false))
+  | 8 -> Int64.float_of_bits (read_int abi mem ~addr ~size:8 ~signed:false)
+  | 16 -> Int64.float_of_bits (read_int abi mem ~addr ~size:8 ~signed:false)
+  | _ -> invalid_arg (Printf.sprintf "Codec: bad float size %d" size)
+
+let write_float abi mem ~addr ~size v =
+  match size with
+  | 4 ->
+      write_int abi mem ~addr ~size:4
+        (Int64.of_int32 (Int32.bits_of_float v))
+  | 8 -> write_int abi mem ~addr ~size:8 (Int64.bits_of_float v)
+  | 16 ->
+      write_int abi mem ~addr ~size:8 (Int64.bits_of_float v);
+      write_int abi mem ~addr:(addr + 8) ~size:8 0L
+  | _ -> invalid_arg (Printf.sprintf "Codec: bad float size %d" size)
+
+let effective_bit_off (abi : Abi.t) ~unit_size ~bit_off ~width =
+  match abi.Abi.endian with
+  | Abi.Little -> bit_off
+  | Abi.Big -> (unit_size * 8) - bit_off - width
+
+let read_bitfield abi mem ~addr ~unit_size ~bit_off ~width ~signed =
+  let unit_v = read_int abi mem ~addr ~size:unit_size ~signed:false in
+  let off = effective_bit_off abi ~unit_size ~bit_off ~width in
+  let v = Int64.shift_right_logical unit_v off in
+  let mask =
+    if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+  in
+  let v = Int64.logand v mask in
+  if signed && width < 64 then
+    let sign_bit = Int64.shift_left 1L (width - 1) in
+    if Int64.logand v sign_bit <> 0L then Int64.logor v (Int64.lognot mask)
+    else v
+  else v
+
+let write_bitfield abi mem ~addr ~unit_size ~bit_off ~width v =
+  let unit_v = read_int abi mem ~addr ~size:unit_size ~signed:false in
+  let off = effective_bit_off abi ~unit_size ~bit_off ~width in
+  let mask =
+    if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+  in
+  let cleared = Int64.logand unit_v (Int64.lognot (Int64.shift_left mask off)) in
+  let inserted = Int64.shift_left (Int64.logand v mask) off in
+  write_int abi mem ~addr ~size:unit_size (Int64.logor cleared inserted)
+
+let read_cstring mem ~addr ~max_len =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i < max_len then
+      match Memory.read_u8 mem (addr + i) with
+      | 0 -> ()
+      | b ->
+          Buffer.add_char buf (Char.chr b);
+          go (i + 1)
+      | exception Memory.Fault _ -> ()
+  in
+  go 0;
+  Buffer.contents buf
+
+let write_cstring mem ~addr s =
+  Memory.write mem ~addr (Bytes.of_string (s ^ "\000"))

@@ -1,0 +1,43 @@
+(** Endian-aware scalar encoding/decoding against target memory.
+
+    Integers travel as [int64] (the canonical representative produced by
+    {!Duel_ctype.Ctype.normalize}); floats as OCaml [float].  [long double]
+    is stored as a double in the low 8 bytes of its 16-byte slot — a
+    documented simplification (we model storage width, not x87 precision). *)
+
+val read_int : Duel_ctype.Abi.t -> Memory.t -> addr:int -> size:int -> signed:bool -> int64
+(** @raise Invalid_argument if [size] is not 1, 2, 4, or 8. *)
+
+val write_int : Duel_ctype.Abi.t -> Memory.t -> addr:int -> size:int -> int64 -> unit
+val read_float : Duel_ctype.Abi.t -> Memory.t -> addr:int -> size:int -> float
+val write_float : Duel_ctype.Abi.t -> Memory.t -> addr:int -> size:int -> float -> unit
+
+val read_bitfield :
+  Duel_ctype.Abi.t ->
+  Memory.t ->
+  addr:int ->
+  unit_size:int ->
+  bit_off:int ->
+  width:int ->
+  signed:bool ->
+  int64
+(** Extract a bit-field from the storage unit at [addr].  [bit_off] counts
+    from the unit's least-significant bit in the little-endian view; on a
+    big-endian ABI the offset is flipped, matching GCC's convention. *)
+
+val write_bitfield :
+  Duel_ctype.Abi.t ->
+  Memory.t ->
+  addr:int ->
+  unit_size:int ->
+  bit_off:int ->
+  width:int ->
+  int64 ->
+  unit
+
+val read_cstring : Memory.t -> addr:int -> max_len:int -> string
+(** Read a NUL-terminated string (stopping at [max_len] or at the first
+    unmapped byte, whichever comes first). *)
+
+val write_cstring : Memory.t -> addr:int -> string -> unit
+(** Write the string plus a terminating NUL. *)

@@ -1,0 +1,75 @@
+type t = { pages : (int, bytes) Hashtbl.t }
+
+exception Fault of int
+
+let page_size = 4096
+let create () = { pages = Hashtbl.create 64 }
+let page_of addr = addr / page_size
+let offset_of addr = addr mod page_size
+
+let map mem ~addr ~size =
+  if size < 0 then invalid_arg "Memory.map: negative size";
+  if size > 0 then
+    for p = page_of addr to page_of (addr + size - 1) do
+      if not (Hashtbl.mem mem.pages p) then
+        Hashtbl.replace mem.pages p (Bytes.make page_size '\000')
+    done
+
+let unmap mem ~addr ~size =
+  if size > 0 then
+    for p = page_of addr to page_of (addr + size - 1) do
+      Hashtbl.remove mem.pages p
+    done
+
+let is_mapped mem ~addr ~size =
+  size = 0
+  ||
+  let rec check p last =
+    p > last || (Hashtbl.mem mem.pages p && check (p + 1) last)
+  in
+  addr >= 0 && check (page_of addr) (page_of (addr + size - 1))
+
+let find_page mem addr =
+  if addr < 0 then raise (Fault addr);
+  match Hashtbl.find_opt mem.pages (page_of addr) with
+  | Some page -> page
+  | None -> raise (Fault addr)
+
+let read_u8 mem addr = Char.code (Bytes.get (find_page mem addr) (offset_of addr))
+
+let write_u8 mem addr v =
+  Bytes.set (find_page mem addr) (offset_of addr) (Char.chr (v land 0xff))
+
+(* Bulk accesses copy page by page so that a read spanning a page boundary
+   still works and still faults on the exact unmapped page. *)
+let read mem ~addr ~len =
+  if len < 0 then invalid_arg "Memory.read: negative length";
+  let buf = Bytes.create len in
+  let rec copy pos =
+    if pos < len then begin
+      let a = addr + pos in
+      let page = find_page mem a in
+      let off = offset_of a in
+      let n = min (page_size - off) (len - pos) in
+      Bytes.blit page off buf pos n;
+      copy (pos + n)
+    end
+  in
+  copy 0;
+  buf
+
+let write mem ~addr data =
+  let len = Bytes.length data in
+  let rec copy pos =
+    if pos < len then begin
+      let a = addr + pos in
+      let page = find_page mem a in
+      let off = offset_of a in
+      let n = min (page_size - off) (len - pos) in
+      Bytes.blit data pos page off n;
+      copy (pos + n)
+    end
+  in
+  copy 0
+
+let mapped_bytes mem = Hashtbl.length mem.pages * page_size

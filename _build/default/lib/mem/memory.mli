@@ -1,0 +1,37 @@
+(** Simulated target address space.
+
+    A sparse, page-granular, byte-addressed memory.  Addresses are OCaml
+    [int]s (63-bit, plenty for a simulated 64-bit inferior).  Accessing an
+    unmapped page raises {!Fault}, which is how DUEL queries such as
+    [head-->next] detect "invalid pointer" and stop, and how error messages
+    like "Illegal memory reference" arise, exactly as with a live inferior
+    under ptrace. *)
+
+type t
+
+exception Fault of int
+(** Raised with the faulting address on access to unmapped memory. *)
+
+val page_size : int
+
+val create : unit -> t
+
+val map : t -> addr:int -> size:int -> unit
+(** Make the pages covering [addr, addr+size) accessible (zero-filled the
+    first time).  [size = 0] maps nothing. *)
+
+val unmap : t -> addr:int -> size:int -> unit
+(** Remove all pages intersecting the range, discarding their contents.
+    Used by fault-injection scenarios to create dangling pointers. *)
+
+val is_mapped : t -> addr:int -> size:int -> bool
+
+val read : t -> addr:int -> len:int -> bytes
+(** @raise Fault on any unmapped byte. *)
+
+val write : t -> addr:int -> bytes -> unit
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+
+val mapped_bytes : t -> int
+(** Total currently-mapped size, for tests and stats. *)

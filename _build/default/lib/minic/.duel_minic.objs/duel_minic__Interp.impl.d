@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Duel_core Duel_ctype Duel_dbgi Duel_target Hashtbl Int64 List Mast Mparse Option Printf Seq

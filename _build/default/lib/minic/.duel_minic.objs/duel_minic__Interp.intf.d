@@ -1,0 +1,1 @@
+lib/minic/interp.mli: Duel_dbgi Duel_target

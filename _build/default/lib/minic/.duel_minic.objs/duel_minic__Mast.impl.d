@@ -1,0 +1,1 @@
+lib/minic/mast.ml: Duel_core List

@@ -1,0 +1,1 @@
+lib/minic/mparse.ml: Array Duel_core Hashtbl Int64 List Mast Option String

@@ -1,0 +1,1 @@
+lib/minic/mparse.mli: Duel_ctype Mast

@@ -1,0 +1,232 @@
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Tenv = Duel_ctype.Tenv
+module Dbgi = Duel_dbgi.Dbgi
+module Inferior = Duel_target.Inferior
+module Ast = Duel_core.Ast
+module Env = Duel_core.Env
+module Value = Duel_core.Value
+module Semantics = Duel_core.Semantics
+module Eval = Duel_core.Eval_seq
+
+type event =
+  | Enter of { func : string }
+  | Stmt of { func : string; line : int }
+  | Leave of { func : string }
+
+exception Runtime_error of string
+exception Return_exc of Value.t option
+exception Break_exc
+exception Continue_exc
+
+type t = {
+  inf : Inferior.t;
+  env : Env.t;  (* private evaluation environment of the running program *)
+  funcs : (string, Mast.func) Hashtbl.t;
+  mutable hook : (event -> unit) option;
+  mutable step_limit : int;
+  mutable steps : int;
+}
+
+let inferior t = t.inf
+let functions t = Hashtbl.fold (fun k _ acc -> k :: acc) t.funcs []
+let set_hook t hook = t.hook <- hook
+let set_step_limit t n = t.step_limit <- n
+
+let fire t event = match t.hook with Some h -> h event | None -> ()
+
+(* --- expression evaluation (single-valued C view of DUEL eval) --------- *)
+
+let first_value t e =
+  match (Eval.eval t.env e) () with
+  | Seq.Cons (v, _) -> Some v
+  | Seq.Nil -> None
+
+let eval1 t e =
+  match first_value t e with
+  | Some v -> v
+  | None -> raise (Runtime_error "expression produced no value")
+
+let truth t e =
+  match first_value t e with
+  | Some v -> Value.truth (Duel_target.Backend.direct t.inf) v
+  | None -> false
+
+let drain t e = Seq.iter ignore (Eval.eval t.env e)
+
+let resolve t te =
+  Semantics.resolve_type t.env
+    ~eval_int:(fun e ->
+      Value.to_int64 t.env.Env.dbg (eval1 t e))
+    te
+
+(* --- statement execution ------------------------------------------------ *)
+
+let rec exec t fname stmt =
+  t.steps <- t.steps + 1;
+  if t.steps > t.step_limit then
+    raise (Runtime_error (Printf.sprintf "step limit (%d) exceeded" t.step_limit));
+  fire t (Stmt { func = fname; line = stmt.Mast.s_line });
+  match stmt.Mast.s_kind with
+  | Mast.Sempty -> ()
+  | Mast.Sexpr e -> drain t e
+  | Mast.Sdecl ds ->
+      (* storage was hoisted at frame entry; run the initializers *)
+      List.iter
+        (fun (name, _, init) ->
+          match init with
+          | None -> ()
+          | Some e ->
+              let lhs = Env.lookup t.env name in
+              ignore (Value.store t.env.Env.dbg ~into:lhs (eval1 t e)))
+        ds
+  | Mast.Sif (cond, then_s, else_s) ->
+      if truth t cond then exec t fname then_s
+      else Option.iter (exec t fname) else_s
+  | Mast.Swhile (cond, body) ->
+      (try
+         while truth t cond do
+           try exec t fname body with Continue_exc -> ()
+         done
+       with Break_exc -> ())
+  | Mast.Sdo (body, cond) ->
+      (try
+         let continue = ref true in
+         while !continue do
+           (try exec t fname body with Continue_exc -> ());
+           continue := truth t cond
+         done
+       with Break_exc -> ())
+  | Mast.Sfor (init, cond, step, body) ->
+      Option.iter (drain t) init;
+      (try
+         while match cond with None -> true | Some c -> truth t c do
+           (try exec t fname body with Continue_exc -> ());
+           Option.iter (drain t) step
+         done
+       with Break_exc -> ())
+  | Mast.Sreturn None -> raise (Return_exc None)
+  | Mast.Sreturn (Some e) -> raise (Return_exc (Some (eval1 t e)))
+  | Mast.Sbreak -> raise Break_exc
+  | Mast.Scontinue -> raise Continue_exc
+  | Mast.Sblock ss -> List.iter (exec t fname) ss
+
+(* --- function calls ------------------------------------------------------ *)
+
+let run_function t (f : Mast.func) (args : Dbgi.cval list) : Dbgi.cval =
+  let dbg = t.env.Env.dbg in
+  let params = List.map (fun (n, te) -> (n, resolve t te)) f.Mast.f_params in
+  let locals =
+    List.map (fun (n, te) -> (n, resolve t te)) (Mast.locals_of_stmt f.Mast.f_body)
+  in
+  Inferior.push_frame t.inf f.Mast.f_name (params @ locals);
+  let store_param (name, _) arg =
+    let lhs = Env.lookup t.env name in
+    let v = Value.of_cval arg lhs.Value.sym in
+    ignore (Value.store dbg ~into:lhs v)
+  in
+  (try List.iter2 store_param params args
+   with Invalid_argument _ ->
+     Inferior.pop_frame t.inf;
+     raise
+       (Runtime_error
+          (Printf.sprintf "%s expects %d arguments, got %d" f.Mast.f_name
+             (List.length params) (List.length args))));
+  let finish result =
+    fire t (Leave { func = f.Mast.f_name });
+    Inferior.pop_frame t.inf;
+    result
+  in
+  (* fire Enter after the parameters are stored, so entry-breakpoint
+     conditions can read them; inside the handler so an aborting hook
+     still unwinds this frame *)
+  match
+    fire t (Enter { func = f.Mast.f_name });
+    exec t f.Mast.f_name f.Mast.f_body
+  with
+  | () -> finish (Dbgi.Cint (Ctype.int, 0L))
+  | exception Return_exc None -> finish (Dbgi.Cint (Ctype.int, 0L))
+  | exception Return_exc (Some v) ->
+      let ret = resolve t f.Mast.f_ret in
+      let v =
+        match ret with
+        | Ctype.Void -> Dbgi.Cint (Ctype.int, 0L)
+        | _ -> Value.to_cval dbg (Value.convert dbg ret v)
+      in
+      finish v
+  | exception e ->
+      fire t (Leave { func = f.Mast.f_name });
+      Inferior.pop_frame t.inf;
+      raise e
+
+(* --- loading ------------------------------------------------------------- *)
+
+let declare_struct t (sd : Mast.struct_def) =
+  let tenv = Inferior.tenv t.inf in
+  let comp = Tenv.declare_struct tenv sd.Mast.sd_tag in
+  if comp.Ctype.comp_fields <> None then
+    raise (Runtime_error ("struct " ^ sd.Mast.sd_tag ^ " redefined"));
+  let field (name, te, width) =
+    let ft = resolve t te in
+    match width with
+    | None -> Ctype.field name ft
+    | Some w -> Ctype.bitfield name ft w
+  in
+  Ctype.define_fields comp (List.map field sd.Mast.sd_fields)
+
+let declare_global t (g : Mast.global) =
+  let gt = resolve t g.Mast.g_type in
+  ignore (Inferior.define_global t.inf g.Mast.g_name gt);
+  match g.Mast.g_init with
+  | None -> ()
+  | Some e ->
+      let lhs = Env.lookup t.env g.Mast.g_name in
+      ignore (Value.store t.env.Env.dbg ~into:lhs (eval1 t e))
+
+let register_function t (f : Mast.func) =
+  if Hashtbl.mem t.funcs f.Mast.f_name then
+    raise (Runtime_error ("function " ^ f.Mast.f_name ^ " redefined"));
+  Hashtbl.replace t.funcs f.Mast.f_name f;
+  let ftype =
+    (* resolved lazily where possible, but the registry needs a C type *)
+    Ctype.func (resolve t f.Mast.f_ret)
+      (List.map (fun (_, te) -> Ctype.decay (resolve t te)) f.Mast.f_params)
+  in
+  Inferior.register_func t.inf f.Mast.f_name ftype (fun _inf args ->
+      run_function t f args)
+
+let load inf src =
+  let program = Mparse.parse ~abi:(Inferior.abi inf) src in
+  let t =
+    {
+      inf;
+      env = Env.create (Duel_target.Backend.direct inf);
+      funcs = Hashtbl.create 8;
+      hook = None;
+      step_limit = 10_000_000;
+      steps = 0;
+    }
+  in
+  (* two passes: types first (so globals and prototypes can use them) *)
+  List.iter
+    (function Mast.Tstruct sd -> declare_struct t sd | Mast.Tglobal _ | Mast.Tfunc _ -> ())
+    program;
+  List.iter
+    (function
+      | Mast.Tstruct _ -> ()
+      | Mast.Tglobal g -> declare_global t g
+      | Mast.Tfunc f -> register_function t f)
+    program;
+  t
+
+let call t name args =
+  t.steps <- 0;
+  match Hashtbl.find_opt t.funcs name with
+  | Some f -> run_function t f args
+  | None -> raise (Runtime_error ("no mini-C function named " ^ name))
+
+let call_int t name args =
+  let cargs = List.map (fun v -> Dbgi.Cint (Ctype.int, Int64.of_int v)) args in
+  match call t name cargs with
+  | Dbgi.Cint (_, v) -> v
+  | Dbgi.Cfloat (_, f) -> Int64.of_float f

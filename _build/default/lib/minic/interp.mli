@@ -1,0 +1,48 @@
+(** Mini-C interpreter over the simulated inferior.
+
+    Loading a program defines its struct types in the inferior's type
+    environment, allocates and initializes its globals in the data
+    segment, and registers each function as a callable target function —
+    so functions are reachable through the ordinary debugger interface
+    ([duel_call_target_func]), DUEL expressions can call them, and they
+    can recurse through the same path.
+
+    Executing a function pushes a real frame (params + hoisted locals in
+    stack memory) and interprets statements whose expressions are DUEL
+    ASTs evaluated single-valuedly against target memory.  An optional
+    hook observes every function entry/exit and statement — the
+    attachment point for {!Duel_debug.Debugger}'s breakpoints,
+    watchpoints, and assertions. *)
+
+module Dbgi = Duel_dbgi.Dbgi
+
+type event =
+  | Enter of { func : string }
+  | Stmt of { func : string; line : int }
+  | Leave of { func : string }
+
+type t
+
+exception Runtime_error of string
+
+val load : Duel_target.Inferior.t -> string -> t
+(** Parse and load mini-C source.
+    @raise Mparse.Error on syntax errors.
+    @raise Runtime_error on bad types or duplicate definitions. *)
+
+val inferior : t -> Duel_target.Inferior.t
+val functions : t -> string list
+
+val set_hook : t -> (event -> unit) option -> unit
+val set_step_limit : t -> int -> unit
+(** Abort execution after this many statements (default 10 million);
+    guards demo programs against runaway loops. *)
+
+val call : t -> string -> Dbgi.cval list -> Dbgi.cval
+(** Run a loaded function (equivalent to calling it through the debugger
+    interface).  @raise Runtime_error on execution errors (including the
+    step limit); DUEL evaluation errors surface as
+    {!Duel_core.Error.Duel_error}. *)
+
+val call_int : t -> string -> int list -> int64
+(** Convenience: call with int arguments, return an integer result. *)

@@ -1,0 +1,66 @@
+(** Abstract syntax of mini-C programs.
+
+    Mini-C is the execution substrate for the paper's Discussion-section
+    ideas (watchpoints, conditional breakpoints, and assertions driven by
+    DUEL expressions): a small C subset whose programs run inside the
+    simulated inferior, pushing real frames and mutating real target
+    memory — so a DUEL session can inspect a *running* program exactly as
+    the original did under gdb.
+
+    Expressions reuse the DUEL expression AST ({!Duel_core.Ast.expr});
+    mini-C programs are expected to stay within the C subset (the
+    evaluator takes the first value of each expression). *)
+
+module Ast = Duel_core.Ast
+
+type stmt = { s_line : int; s_kind : stmt_kind }
+
+and stmt_kind =
+  | Sexpr of Ast.expr
+  | Sdecl of (string * Ast.type_expr * Ast.expr option) list
+      (** local declarations, hoisted to frame entry; initializers run in
+          statement order *)
+  | Sif of Ast.expr * stmt * stmt option
+  | Swhile of Ast.expr * stmt
+  | Sdo of stmt * Ast.expr
+  | Sfor of Ast.expr option * Ast.expr option * Ast.expr option * stmt
+  | Sreturn of Ast.expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sempty
+
+type func = {
+  f_name : string;
+  f_line : int;
+  f_ret : Ast.type_expr;
+  f_params : (string * Ast.type_expr) list;
+  f_body : stmt;
+}
+
+type struct_def = {
+  sd_tag : string;
+  sd_fields : (string * Ast.type_expr * int option) list;
+      (** name, type, bit-field width *)
+}
+
+type global = {
+  g_name : string;
+  g_type : Ast.type_expr;
+  g_init : Ast.expr option;
+}
+
+type top = Tstruct of struct_def | Tglobal of global | Tfunc of func
+type program = top list
+
+(** All local declarations in a function body, in source order (for
+    frame-entry hoisting). *)
+let rec locals_of_stmt stmt =
+  match stmt.s_kind with
+  | Sdecl ds -> List.map (fun (name, t, _) -> (name, t)) ds
+  | Sblock ss -> List.concat_map locals_of_stmt ss
+  | Sif (_, t, f) ->
+      locals_of_stmt t
+      @ (match f with Some f -> locals_of_stmt f | None -> [])
+  | Swhile (_, b) | Sfor (_, _, _, b) | Sdo (b, _) -> locals_of_stmt b
+  | Sexpr _ | Sreturn _ | Sbreak | Scontinue | Sempty -> []

@@ -1,0 +1,263 @@
+module T = Duel_core.Token
+module P = Duel_core.Parser
+module Ast = Duel_core.Ast
+
+exception Error of string * int
+
+(* Map byte offsets to 1-based line numbers. *)
+let line_table src =
+  let lines = ref [ 0 ] in
+  String.iteri (fun i c -> if c = '\n' then lines := (i + 1) :: !lines) src;
+  let starts = Array.of_list (List.rev !lines) in
+  fun offset ->
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if starts.(mid) <= offset then search mid hi else search lo (mid - 1)
+    in
+    search 0 (Array.length starts - 1) + 1
+
+type state = { st : P.state; line_of : int -> int; tags : (string, unit) Hashtbl.t }
+
+let here s = s.line_of (P.state_offset s.st)
+let fail s msg = raise (Error (msg, here s))
+
+let expect s tok =
+  try P.expect s.st tok with P.Error (msg, off) -> raise (Error (msg, s.line_of off))
+
+let expression s =
+  try P.expression s.st
+  with P.Error (msg, off) -> raise (Error (msg, s.line_of off))
+
+let base_type s =
+  try P.base_type s.st
+  with P.Error (msg, off) -> raise (Error (msg, s.line_of off))
+
+let declarator s base =
+  try P.declarator s.st base
+  with P.Error (msg, off) -> raise (Error (msg, s.line_of off))
+
+let contextual s =
+  match P.state_peek s.st with T.ID name -> Some name | _ -> None
+
+let eat_contextual s = expect s (T.ID (Option.get (contextual s)))
+
+(* --- statements --------------------------------------------------------- *)
+
+let rec parse_stmt s : Mast.stmt =
+  let s_line = here s in
+  let kind =
+    match P.state_peek s.st with
+    | T.LBRACE ->
+        expect s T.LBRACE;
+        let rec items acc =
+          if P.accept_tok s.st T.RBRACE then List.rev acc
+          else items (parse_stmt s :: acc)
+        in
+        Mast.Sblock (items [])
+    | T.SEMI ->
+        expect s T.SEMI;
+        Mast.Sempty
+    | T.KIF ->
+        expect s T.KIF;
+        expect s T.LPAREN;
+        let cond = expression s in
+        expect s T.RPAREN;
+        let then_s = parse_stmt s in
+        if
+          match contextual s with
+          | Some "else" ->
+              eat_contextual s;
+              true
+          | _ -> P.accept_tok s.st T.KELSE
+        then Mast.Sif (cond, then_s, Some (parse_stmt s))
+        else Mast.Sif (cond, then_s, None)
+    | T.KWHILE ->
+        expect s T.KWHILE;
+        expect s T.LPAREN;
+        let cond = expression s in
+        expect s T.RPAREN;
+        Mast.Swhile (cond, parse_stmt s)
+    | T.KFOR ->
+        expect s T.KFOR;
+        expect s T.LPAREN;
+        let init = if P.state_peek s.st = T.SEMI then None else Some (expression s) in
+        expect s T.SEMI;
+        let cond = if P.state_peek s.st = T.SEMI then None else Some (expression s) in
+        expect s T.SEMI;
+        let step = if P.state_peek s.st = T.RPAREN then None else Some (expression s) in
+        expect s T.RPAREN;
+        Mast.Sfor (init, cond, step, parse_stmt s)
+    | T.ID "do" ->
+        eat_contextual s;
+        let body = parse_stmt s in
+        expect s T.KWHILE;
+        expect s T.LPAREN;
+        let cond = expression s in
+        expect s T.RPAREN;
+        expect s T.SEMI;
+        Mast.Sdo (body, cond)
+    | T.ID "return" ->
+        eat_contextual s;
+        if P.accept_tok s.st T.SEMI then Mast.Sreturn None
+        else begin
+          let e = expression s in
+          expect s T.SEMI;
+          Mast.Sreturn (Some e)
+        end
+    | T.ID "break" ->
+        eat_contextual s;
+        expect s T.SEMI;
+        Mast.Sbreak
+    | T.ID "continue" ->
+        eat_contextual s;
+        expect s T.SEMI;
+        Mast.Scontinue
+    | _ when starts_decl s ->
+        let ds = parse_local_decl s in
+        Mast.Sdecl ds
+    | _ ->
+        let e = expression s in
+        expect s T.SEMI;
+        Mast.Sexpr e
+  in
+  { Mast.s_line; s_kind = kind }
+
+(* A type keyword, or "struct tag" where the tag is known, starts a local
+   declaration.  A known struct tag is required so that "struct" in an
+   expression position (impossible in C anyway) cannot confuse us. *)
+and starts_decl s =
+  match P.state_peek s.st with
+  | T.KSTRUCT | T.KUNION | T.KENUM -> true
+  | t -> ( match t with
+    | T.KINT | T.KCHAR | T.KLONG | T.KSHORT | T.KSIGNED | T.KUNSIGNED
+    | T.KFLOAT | T.KDOUBLE | T.KVOID | T.KBOOL ->
+        true
+    | _ -> false)
+
+and parse_local_decl s =
+  let base = base_type s in
+  let rec more acc =
+    let name, t = declarator s base in
+    let init =
+      if P.accept_tok s.st T.ASSIGN then Some (expression s) else None
+    in
+    let acc = (name, t, init) :: acc in
+    if P.accept_tok s.st T.COMMA then more acc
+    else begin
+      expect s T.SEMI;
+      List.rev acc
+    end
+  in
+  more []
+
+(* --- top level ----------------------------------------------------------- *)
+
+let parse_struct_def s =
+  expect s T.KSTRUCT;
+  let tag =
+    match P.state_peek s.st with
+    | T.ID tag ->
+        expect s (T.ID tag);
+        tag
+    | _ -> fail s "expected struct tag"
+  in
+  Hashtbl.replace s.tags tag ();
+  expect s T.LBRACE;
+  let fields = ref [] in
+  while P.state_peek s.st <> T.RBRACE do
+    let base = base_type s in
+    let rec more () =
+      let name, t = declarator s base in
+      let width =
+        if P.accept_tok s.st T.COLON then
+          match P.state_peek s.st with
+          | T.INT (v, _, _) ->
+              P.state_advance s.st;
+              Some (Int64.to_int v)
+          | _ -> fail s "expected bit-field width"
+        else None
+      in
+      fields := (name, t, width) :: !fields;
+      if P.accept_tok s.st T.COMMA then more () else expect s T.SEMI
+    in
+    more ()
+  done;
+  expect s T.RBRACE;
+  expect s T.SEMI;
+  { Mast.sd_tag = tag; sd_fields = List.rev !fields }
+
+(* None for function prototypes, which declare nothing we need (calls
+   resolve dynamically through the target-function registry). *)
+let parse_top s : Mast.top option =
+  match P.state_peek s.st with
+  | T.KSTRUCT when P.state_peek_at s.st 2 = T.LBRACE ->
+      Some (Tstruct (parse_struct_def s))
+  | _ ->
+      let line = here s in
+      let base = base_type s in
+      let name, t = declarator s base in
+      if P.accept_tok s.st T.LPAREN then begin
+        (* function definition *)
+        let params =
+          if P.accept_tok s.st T.RPAREN then []
+          else if P.state_peek s.st = T.KVOID then begin
+            expect s T.KVOID;
+            expect s T.RPAREN;
+            []
+          end
+          else begin
+            let rec more acc =
+              let pbase = base_type s in
+              let pname, pt = declarator s pbase in
+              let acc = (pname, pt) :: acc in
+              if P.accept_tok s.st T.COMMA then more acc
+              else begin
+                expect s T.RPAREN;
+                List.rev acc
+              end
+            in
+            more []
+          end
+        in
+        if P.accept_tok s.st T.SEMI then None (* prototype *)
+        else
+          let body = parse_stmt s in
+          Some
+            (Tfunc
+               { Mast.f_name = name; f_line = line; f_ret = t;
+                 f_params = params; f_body = body })
+      end
+      else begin
+        (* global declaration; only single declarators with optional init
+           per group for simplicity of the Tglobal representation *)
+        let init = if P.accept_tok s.st T.ASSIGN then Some (expression s) else None in
+        let g = { Mast.g_name = name; g_type = t; g_init = init } in
+        if P.state_peek s.st = T.COMMA then fail s "one global per declaration, please";
+        expect s T.SEMI;
+        Some (Tglobal g)
+      end
+
+let parse ~abi src =
+  let toks =
+    try Array.of_list (Duel_core.Lexer.tokenize ~abi src)
+    with Duel_core.Lexer.Error (msg, off) ->
+      let line_of = line_table src in
+      raise (Error (msg, line_of off))
+  in
+  let s =
+    {
+      st = P.make_state toks;
+      line_of = line_table src;
+      tags = Hashtbl.create 8;
+    }
+  in
+  let rec tops acc =
+    if P.state_peek s.st = T.EOF then List.rev acc
+    else
+      match parse_top s with
+      | Some top -> tops (top :: acc)
+      | None -> tops acc
+  in
+  tops []

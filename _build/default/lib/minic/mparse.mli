@@ -1,0 +1,22 @@
+(** Parser for mini-C programs.
+
+    Statement grammar on top of the DUEL lexer and expression parser:
+
+    {v
+    program     := (struct-def | global-decl | function-def)*
+    struct-def  := "struct" ID "{" (type declarator (":" INT)?
+                                    ("," declarator (":" INT)?)* ";")* "}" ";"
+    global-decl := type declarator ("=" expr)? ("," ...)* ";"
+    function    := type declarator "(" params? ")" block
+    params      := "void" | type declarator ("," type declarator)*
+    stmt        := block | "if" | "while" | "do"-"while" | "for" | "return"
+                 | "break" ";" | "continue" ";" | decl ";" | expr ";" | ";"
+    v}
+
+    [return], [break], [continue], [do] are contextual identifiers (the
+    DUEL lexer has no such keywords). *)
+
+exception Error of string * int
+(** message and line number *)
+
+val parse : abi:Duel_ctype.Abi.t -> string -> Mast.program

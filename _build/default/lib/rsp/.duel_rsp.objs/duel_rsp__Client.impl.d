@@ -1,0 +1,1 @@
+lib/rsp/client.ml: Bytes Duel_ctype Duel_dbgi Duel_target Int64 List Packet Printf Server String

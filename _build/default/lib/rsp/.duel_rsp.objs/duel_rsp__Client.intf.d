@@ -1,0 +1,1 @@
+lib/rsp/client.mli: Duel_ctype Duel_dbgi Duel_target

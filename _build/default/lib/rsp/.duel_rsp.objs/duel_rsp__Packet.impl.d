@@ -1,0 +1,1 @@
+lib/rsp/packet.ml: Buffer Bytes Char Printf String

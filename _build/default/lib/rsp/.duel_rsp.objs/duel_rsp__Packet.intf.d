@@ -1,0 +1,1 @@
+lib/rsp/packet.mli:

@@ -1,0 +1,1 @@
+lib/rsp/server.ml: Bytes Duel_ctype Duel_dbgi Duel_mem Duel_target Int64 List Packet Printf String

@@ -1,0 +1,1 @@
+lib/rsp/server.mli: Duel_target

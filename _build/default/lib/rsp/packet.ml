@@ -1,0 +1,85 @@
+exception Malformed of string
+
+let checksum payload =
+  let sum = ref 0 in
+  String.iter (fun c -> sum := (!sum + Char.code c) land 0xff) payload;
+  !sum
+
+let must_escape c = c = '$' || c = '#' || c = '}' || c = '*'
+
+let escape payload =
+  let b = Buffer.create (String.length payload + 8) in
+  String.iter
+    (fun c ->
+      if must_escape c then begin
+        Buffer.add_char b '}';
+        Buffer.add_char b (Char.chr (Char.code c lxor 0x20))
+      end
+      else Buffer.add_char b c)
+    payload;
+  Buffer.contents b
+
+let encode payload =
+  let escaped = escape payload in
+  Printf.sprintf "$%s#%02x" escaped (checksum escaped)
+
+let decode raw =
+  let n = String.length raw in
+  if n < 4 || raw.[0] <> '$' || raw.[n - 3] <> '#' then
+    raise (Malformed "missing $...#xx frame");
+  let body = String.sub raw 1 (n - 4) in
+  let declared =
+    try int_of_string ("0x" ^ String.sub raw (n - 2) 2)
+    with Failure _ -> raise (Malformed "bad checksum digits")
+  in
+  if checksum body <> declared then raise (Malformed "checksum mismatch");
+  (* undo escapes and run-length encoding *)
+  let b = Buffer.create (String.length body) in
+  let rec go i =
+    if i < String.length body then
+      match body.[i] with
+      | '}' ->
+          if i + 1 >= String.length body then
+            raise (Malformed "trailing escape");
+          Buffer.add_char b (Char.chr (Char.code body.[i + 1] lxor 0x20));
+          go (i + 2)
+      | '*' ->
+          if i + 1 >= String.length body then raise (Malformed "trailing RLE");
+          if Buffer.length b = 0 then raise (Malformed "RLE with no prior byte");
+          let count = Char.code body.[i + 1] - 29 in
+          if count < 3 then raise (Malformed "RLE count too small");
+          let prev = Buffer.nth b (Buffer.length b - 1) in
+          for _ = 1 to count do
+            Buffer.add_char b prev
+          done;
+          go (i + 2)
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents b
+
+let hex_digit n = "0123456789abcdef".[n]
+
+let hex_of_bytes data =
+  let b = Buffer.create (2 * Bytes.length data) in
+  Bytes.iter
+    (fun c ->
+      Buffer.add_char b (hex_digit (Char.code c lsr 4));
+      Buffer.add_char b (hex_digit (Char.code c land 0xf)))
+    data;
+  Buffer.contents b
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - 48
+  | 'a' .. 'f' -> Char.code c - 87
+  | 'A' .. 'F' -> Char.code c - 55
+  | _ -> raise (Malformed (Printf.sprintf "bad hex digit %C" c))
+
+let bytes_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then raise (Malformed "odd hex length");
+  Bytes.init (n / 2) (fun i ->
+      Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))

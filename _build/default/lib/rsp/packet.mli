@@ -1,0 +1,21 @@
+(** GDB Remote Serial Protocol packet framing.
+
+    A packet is [$<payload>#<xx>] where [xx] is the two-hex-digit modulo-256
+    sum of the payload bytes.  Payload bytes [$], [#], [}], [*] are escaped
+    as [}] followed by the byte xor 0x20; run-length encoding
+    ([<byte>*<count+29>]) is accepted on decode (gdbserver emits it) but
+    never produced on encode. *)
+
+exception Malformed of string
+
+val checksum : string -> int
+val encode : string -> string
+(** Frame a payload: escape, append checksum. *)
+
+val decode : string -> string
+(** Unframe one packet: verify checksum, undo escapes and run-length
+    encoding.  @raise Malformed on bad framing or checksum. *)
+
+val hex_of_bytes : bytes -> string
+val bytes_of_hex : string -> bytes
+(** @raise Malformed on odd length or non-hex digits. *)

@@ -1,0 +1,29 @@
+(** An RSP stub ("gdbserver") fronting a simulated inferior.
+
+    Speaks standard memory packets plus three [qDuel] extension queries in
+    the spirit of gdb's [q] packets (a real debug agent would also need
+    them, because DUEL allocates scratch target space and calls target
+    functions):
+
+    {ul
+    {- [m<addr>,<len>] — read memory, hex reply or [E01] on fault}
+    {- [M<addr>,<len>:<hex>] — write memory, [OK] or [E01]}
+    {- [qDuelAlloc:<len>] — allocate target space, reply [<addr hex>]}
+    {- [qDuelCall:<name>;<arg>;...] — call a target function; each arg and
+       the reply are [i<hex64>] (integer/pointer) or [f<hex64>] (double
+       bits)}
+    {- [qDuelFrames] — reply [<n hex>], the active frame count}
+    {- [qSupported], [?], [Hg...] — handshake niceties, answered inertly}}
+
+    Unknown packets get the RSP-standard empty reply. *)
+
+type t
+
+val create : Duel_target.Inferior.t -> t
+
+val handle_payload : t -> string -> string
+(** Process one decoded payload, returning the reply payload. *)
+
+val handle : t -> string -> string
+(** Process one framed packet ([$...#xx]) and return the framed reply.
+    Malformed packets get a NAK ["-"]. *)

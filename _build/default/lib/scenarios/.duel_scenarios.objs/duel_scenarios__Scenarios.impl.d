@@ -1,0 +1,1 @@
+lib/scenarios/scenarios.ml: Duel_ctype Duel_dbgi Duel_mem Duel_target Int64 List Printf

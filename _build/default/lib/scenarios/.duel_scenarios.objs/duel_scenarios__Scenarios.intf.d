@@ -1,0 +1,1 @@
+lib/scenarios/scenarios.mli: Duel_ctype Duel_target

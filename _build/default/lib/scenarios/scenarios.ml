@@ -1,0 +1,283 @@
+module Ctype = Duel_ctype.Ctype
+module Tenv = Duel_ctype.Tenv
+module Memory = Duel_mem.Memory
+module Inferior = Duel_target.Inferior
+module Build = Duel_target.Build
+module Stdfuncs = Duel_target.Stdfuncs
+
+(* --- shared type definitions ------------------------------------------- *)
+
+let symbol_comp inf =
+  let tenv = Inferior.tenv inf in
+  let c = Tenv.declare_struct tenv "symbol" in
+  if c.Ctype.comp_fields = None then
+    Ctype.define_fields c
+      [
+        Ctype.field "name" (Ctype.ptr Ctype.char);
+        Ctype.field "scope" Ctype.int;
+        Ctype.field "next" (Ctype.ptr (Ctype.Comp c));
+      ];
+  c
+
+let node_comp inf =
+  let tenv = Inferior.tenv inf in
+  let c = Tenv.declare_struct tenv "node" in
+  if c.Ctype.comp_fields = None then
+    Ctype.define_fields c
+      [
+        Ctype.field "value" Ctype.int;
+        Ctype.field "next" (Ctype.ptr (Ctype.Comp c));
+      ];
+  c
+
+let tnode_comp inf =
+  let tenv = Inferior.tenv inf in
+  let c = Tenv.declare_struct tenv "tnode" in
+  if c.Ctype.comp_fields = None then
+    Ctype.define_fields c
+      [
+        Ctype.field "key" Ctype.int;
+        Ctype.field "left" (Ctype.ptr (Ctype.Comp c));
+        Ctype.field "right" (Ctype.ptr (Ctype.Comp c));
+      ];
+  c
+
+(* --- builders ----------------------------------------------------------- *)
+
+(* One symbol-table chain: names and decreasing scopes, linked through
+   [next]; returns the head pointer. *)
+let build_chain inf comp entries =
+  let link (name, scope) tail =
+    let sym = Build.alloc inf (Ctype.Comp comp) in
+    Build.poke_field inf comp sym "name"
+      (Int64.of_int (Build.cstring inf name));
+    Build.poke_field inf comp sym "scope" (Int64.of_int scope);
+    Build.poke_field inf comp sym "next" (Int64.of_int tail);
+    sym
+  in
+  List.fold_right link entries 0
+
+let bucket_entries b =
+  if b = 0 then
+    [ ("main", 4); ("argc", 3); ("argv", 2); ("exit", 1) ]
+  else if b = 1 then [ ("x", 3); ("tmp1", 1) ]
+  else if b = 9 then [ ("abc", 2); ("tmp9", 1) ]
+  else if b = 42 then [ ("yylval", 7); ("tok42", 3); ("t42", 1) ]
+  else if b = 529 then [ ("yytext", 8); ("t529", 2) ]
+  else if b = 287 then
+    List.init 10 (fun i ->
+        (Printf.sprintf "deep%d" i, if i = 9 then 6 else 5))
+  else
+    let count = 1 + (b mod 3) in
+    List.init count (fun i -> (Printf.sprintf "sym_%d_%d" b i, count - i))
+
+let build_symtab inf =
+  let comp = symbol_comp inf in
+  let hash_t = Ctype.array (Ctype.ptr (Ctype.Comp comp)) 1024 in
+  let hash = Inferior.define_global inf "hash" hash_t in
+  let ptr_size = (Inferior.abi inf).Duel_ctype.Abi.ptr_size in
+  for b = 0 to 1023 do
+    let head = build_chain inf comp (bucket_entries b) in
+    Build.poke_int inf
+      (Ctype.ptr (Ctype.Comp comp))
+      (hash + (b * ptr_size))
+      (Int64.of_int head)
+  done
+
+let build_list inf comp values name =
+  let link v tail =
+    let node = Build.alloc inf (Ctype.Comp comp) in
+    Build.poke_field inf comp node "value" (Int64.of_int v);
+    Build.poke_field inf comp node "next" (Int64.of_int tail);
+    node
+  in
+  let head = List.fold_right link values 0 in
+  let g = Inferior.define_global inf name (Ctype.ptr (Ctype.Comp comp)) in
+  Build.poke_int inf (Ctype.ptr (Ctype.Comp comp)) g (Int64.of_int head);
+  head
+
+let build_lists inf =
+  let comp = node_comp inf in
+  (* L: 12 nodes, duplicates 27 at indices 4 and 9 *)
+  let l_values = [ 11; 13; 17; 19; 27; 31; 37; 41; 43; 27; 47; 53 ] in
+  ignore (build_list inf comp l_values "L");
+  ignore (build_list inf comp [ 10; 20; 30; 33; 40; 29; 50 ] "head")
+
+type tree = Leaf | Node of int * tree * tree
+
+let build_tree inf =
+  let comp = tnode_comp inf in
+  let rec build = function
+    | Leaf -> 0
+    | Node (key, left, right) ->
+        let node = Build.alloc inf (Ctype.Comp comp) in
+        Build.poke_field inf comp node "key" (Int64.of_int key);
+        Build.poke_field inf comp node "left" (Int64.of_int (build left));
+        Build.poke_field inf comp node "right" (Int64.of_int (build right));
+        node
+  in
+  let shape =
+    Node (9, Node (3, Node (4, Leaf, Leaf), Node (5, Leaf, Leaf)), Node (12, Leaf, Leaf))
+  in
+  let root = build shape in
+  let g = Inferior.define_global inf "root" (Ctype.ptr (Ctype.Comp comp)) in
+  Build.poke_int inf (Ctype.ptr (Ctype.Comp comp)) g (Int64.of_int root)
+
+let poke_array_int inf base i v =
+  Build.poke_int inf Ctype.int (base + (i * 4)) (Int64.of_int v)
+
+let build_arrays inf =
+  let x = Inferior.define_global inf "x" (Ctype.array Ctype.int 100) in
+  poke_array_int inf x 3 7;
+  poke_array_int inf x 18 9;
+  poke_array_int inf x 47 6;
+  poke_array_int inf x 60 12;
+  poke_array_int inf x 77 25;
+  let w = Inferior.define_global inf "w" (Ctype.array Ctype.int 10) in
+  List.iteri
+    (fun i v -> poke_array_int inf w i v)
+    [ 10; 20; 30; -9; 50; 60; 70; 80; 120; 90 ];
+  let v = Inferior.define_global inf "v" (Ctype.array Ctype.int 8) in
+  List.iteri (fun i x -> poke_array_int inf v i x) [ 3; 1; 4; 1; 5; 9; 2; 6 ]
+
+let build_strings inf =
+  let charp = Ctype.ptr Ctype.char in
+  let s = Inferior.define_global inf "s" charp in
+  Build.poke_int inf charp s (Int64.of_int (Build.cstring inf "hello, world"));
+  let argc = Inferior.define_global inf "argc" Ctype.int in
+  Build.poke_int inf Ctype.int argc 4L;
+  let args = [ "duel"; "-q"; "x[1..4]"; "0" ] in
+  let argv = Inferior.define_global inf "argv" (Ctype.array charp 5) in
+  let ptr_size = (Inferior.abi inf).Duel_ctype.Abi.ptr_size in
+  List.iteri
+    (fun i a ->
+      Build.poke_int inf charp (argv + (i * ptr_size))
+        (Int64.of_int (Build.cstring inf a)))
+    args
+
+let build_misc inf =
+  let tenv = Inferior.tenv inf in
+  let color =
+    Tenv.define_enum tenv "color" [ ("RED", 0L); ("GREEN", 1L); ("BLUE", 2L) ]
+  in
+  let paint = Inferior.define_global inf "paint" (Ctype.Enum color) in
+  Build.poke_int inf Ctype.int paint 1L;
+  let packed = Tenv.declare_struct tenv "packed" in
+  Ctype.define_fields packed
+    [
+      Ctype.bitfield "lo" Ctype.uint 3;
+      Ctype.bitfield "mid" Ctype.uint 7;
+      Ctype.field "hi" Ctype.int;
+    ];
+  let pk = Inferior.define_global inf "pk" (Ctype.Comp packed) in
+  (* lo=5, mid=77 share the first unit (ABI-aware bit placement); hi=-1 *)
+  let abi = Inferior.abi inf in
+  Duel_mem.Codec.write_bitfield abi (Inferior.mem inf) ~addr:pk ~unit_size:4
+    ~bit_off:0 ~width:3 5L;
+  Duel_mem.Codec.write_bitfield abi (Inferior.mem inf) ~addr:pk ~unit_size:4
+    ~bit_off:3 ~width:7 77L;
+  Build.poke_int inf Ctype.int (pk + 4) (-1L);
+  let dd = Inferior.define_global inf "dd" Ctype.double in
+  Build.poke_float inf Ctype.double dd 2.5;
+  let i0 = Inferior.define_global inf "i0" Ctype.int in
+  Build.poke_int inf Ctype.int i0 0L;
+  Tenv.add_typedef tenv "sym_t" (Ctype.Comp (symbol_comp inf));
+  Tenv.add_typedef tenv "len_t" Ctype.ulong;
+  (* union uval { int i; float f; char c[4]; } uv = { .i = 0x41424344 } *)
+  let uval = Tenv.declare_union tenv "uval" in
+  Ctype.define_fields uval
+    [
+      Ctype.field "i" Ctype.int;
+      Ctype.field "f" Ctype.float;
+      Ctype.field "c" (Ctype.array Ctype.char 4);
+    ];
+  let uv = Inferior.define_global inf "uv" (Ctype.Comp uval) in
+  Build.poke_int inf Ctype.int uv 0x41424344L;
+  (* int m[3][4] with m[i][j] = 10*i + j *)
+  let mat =
+    Inferior.define_global inf "mat"
+      (Ctype.Array (Ctype.array Ctype.int 4, Some 3))
+  in
+  for i = 0 to 2 do
+    for j = 0 to 3 do
+      poke_array_int inf mat ((i * 4) + j) ((10 * i) + j)
+    done
+  done
+
+let build_frames inf =
+  let locals n acc = [ ("n", Ctype.int); ("acc", Ctype.int) ] |> fun ls ->
+    Inferior.push_frame inf "fib" ls;
+    match Inferior.frames inf with
+    | fr :: _ ->
+        let set name v =
+          match List.assoc_opt name fr.Duel_dbgi.Dbgi.fr_locals with
+          | Some info ->
+              Build.poke_int inf Ctype.int info.Duel_dbgi.Dbgi.v_addr
+                (Int64.of_int v)
+          | None -> ()
+        in
+        set "n" n;
+        set "acc" acc
+    | [] -> ()
+  in
+  locals 5 1;
+  locals 4 2;
+  locals 3 3
+
+let all ?abi () =
+  let inf = Inferior.create ?abi () in
+  Stdfuncs.register_all inf;
+  build_symtab inf;
+  build_lists inf;
+  build_tree inf;
+  build_arrays inf;
+  build_strings inf;
+  build_misc inf;
+  build_frames inf;
+  inf
+
+let symtab ?abi () =
+  let inf = Inferior.create ?abi () in
+  Stdfuncs.register_all inf;
+  build_symtab inf;
+  inf
+
+let big_array n =
+  let inf = Inferior.create () in
+  Stdfuncs.register_all inf;
+  let big = Inferior.define_global inf "big" (Ctype.array Ctype.int n) in
+  for i = 0 to n - 1 do
+    poke_array_int inf big i ((i * 37 mod 19) - 9)
+  done;
+  inf
+
+let faulty () =
+  let inf = Inferior.create () in
+  Stdfuncs.register_all inf;
+  let comp = node_comp inf in
+  let ptr = Ctype.ptr (Ctype.Comp comp) in
+  (* cyc: a -> b -> c -> d -> a *)
+  let nodes = List.init 4 (fun _ -> Build.alloc inf (Ctype.Comp comp)) in
+  List.iteri
+    (fun i n ->
+      Build.poke_field inf comp n "value" (Int64.of_int (100 + i));
+      Build.poke_field inf comp n "next"
+        (Int64.of_int (List.nth nodes ((i + 1) mod 4))))
+    nodes;
+  let cyc = Inferior.define_global inf "cyc" ptr in
+  Build.poke_int inf ptr cyc (Int64.of_int (List.hd nodes));
+  (* dang: 3 nodes, tail points into unmapped space *)
+  let d3 = Build.alloc inf (Ctype.Comp comp) in
+  Build.poke_field inf comp d3 "value" 3L;
+  Build.poke_field inf comp d3 "next" 0x40000000L;
+  let d2 = Build.alloc inf (Ctype.Comp comp) in
+  Build.poke_field inf comp d2 "value" 2L;
+  Build.poke_field inf comp d2 "next" (Int64.of_int d3);
+  let d1 = Build.alloc inf (Ctype.Comp comp) in
+  Build.poke_field inf comp d1 "value" 1L;
+  Build.poke_field inf comp d1 "next" (Int64.of_int d2);
+  let dang = Inferior.define_global inf "dang" ptr in
+  Build.poke_int inf ptr dang (Int64.of_int d1);
+  let lone = Inferior.define_global inf "lone" ptr in
+  Build.poke_int inf ptr lone 0L;
+  inf

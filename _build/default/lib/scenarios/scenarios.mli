@@ -1,0 +1,63 @@
+(** Synthetic debuggees reproducing the data structures of the paper's
+    example transcripts.
+
+    Each builder returns a fresh simulated inferior whose globals, types,
+    and heap object graphs are laid out exactly as a compiled C program's
+    would be.  The paper's transcripts come from several different debug
+    sessions with mutually inconsistent data (e.g. [x[3]] is [7] in one
+    example and [-9] in another); where they conflict we keep the
+    symbol-table examples on [x] and move the out-of-range example to [w]
+    (see EXPERIMENTS.md).
+
+    Inventory of [all ()] (the kitchen-sink debuggee used by the REPL,
+    examples, and most tests):
+
+    {ul
+    {- [struct symbol { char *name; int scope; struct symbol *next; }
+        *hash[1024]] — the compiler symbol table.  Every bucket non-empty;
+        scopes decrease along each chain; bucket 0 has scopes 4,3,2,1;
+        bucket 1's head is ["x"] with scope 3; bucket 9's head is ["abc"]
+        with scope 2; buckets 42 and 529 have heads with scopes 7 and 8
+        (the only scopes above 5); bucket 287 has ten nodes with a sort
+        violation 8 links in (scope 5 followed by scope 6).}
+    {- [struct node { int value; struct node *next; } *L, *head] — linked
+       lists: [L] has 12 nodes whose 4th and 9th (0-based) both hold 27;
+       [head] holds 10,20,30,33,40,29,50 so that [[[3,5]]] selects 33 and
+       29.}
+    {- [struct tnode { int key; struct tnode *left, *right; } *root] — the
+       binary tree (9, (3 (4) (5)), (12)).}
+    {- [int x[100]] — zeros except x[3]=7, x[18]=9, x[47]=6 (the between-5
+       -and-10 search), plus x[60]=12, x[77]=25 outside the searched
+       ranges.}
+    {- [int w[10]] — 1..10 scaled into range except w[3]=-9 and w[8]=120
+       (the out-of-range scan).}
+    {- [int v[8]] = 3,1,4,1,5,9,2,6 — small demo array.}
+    {- [char *s = "hello, world"], [int argc = 4],
+       [char *argv[5]] = "duel","-q","x[1..4]","0", NULL.}
+    {- [enum color { RED, GREEN, BLUE }] and [enum color paint = GREEN].}
+    {- [struct packed { unsigned lo : 3; unsigned mid : 7; int hi; } pk]
+       — bit-field demo, lo=5, mid=77, hi=-1.}
+    {- [double dd = 2.5], [int i0 = 0] … plain scalars.}
+    {- typedef [sym_t] for [struct symbol], [len_t] for [unsigned long].}
+    {- [union uval { int i; float f; char c[4]; } uv] with [i] =
+       0x41424344 (type punning demo), and [int mat[3][4]] with
+       [mat[i][j] = 10*i + j].}
+    {- three active frames of [fib] with locals [n] = 5,4,3 and
+       [acc] = 1,2,3 (for the [frame]/[frames] extension).}
+    {- libc: printf, puts, putchar, strlen, strcmp, strchr, abs, atoi.}}
+*)
+
+val all : ?abi:Duel_ctype.Abi.t -> unit -> Duel_target.Inferior.t
+(** The kitchen-sink debuggee described above. *)
+
+val symtab : ?abi:Duel_ctype.Abi.t -> unit -> Duel_target.Inferior.t
+(** Just the [hash] symbol table (plus libc) — benchmark workload. *)
+
+val big_array : int -> Duel_target.Inferior.t
+(** [int big[n]] with a deterministic mix of positives/negatives/zeros
+    ([big[i] = (i * 37 mod 19) - 9]) — the B1 sweep workload. *)
+
+val faulty : unit -> Duel_target.Inferior.t
+(** Fault-injection debuggee: [struct node *cyc] — a 4-node cyclic list;
+    [struct node *dang] — a 3-node list whose tail [next] points into an
+    unmapped page; [struct node *lone] — NULL. *)

@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Duel_core Duel_rsp Duel_scenarios Duel_target Lazy String

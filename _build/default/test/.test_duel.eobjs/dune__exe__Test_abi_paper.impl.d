@@ -1,0 +1,1 @@
+test/test_abi_paper.ml: Alcotest Duel_core Duel_ctype Duel_scenarios Duel_target List Support

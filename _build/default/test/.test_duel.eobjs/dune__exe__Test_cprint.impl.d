@@ -1,0 +1,1 @@
+test/test_cprint.ml: Alcotest Duel_ctype Support

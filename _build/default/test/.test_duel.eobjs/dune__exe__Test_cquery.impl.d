@@ -1,0 +1,1 @@
+test/test_cquery.ml: Alcotest Duel_cquery Duel_target Fun List Scanf Support

@@ -1,0 +1,1 @@
+test/test_ctype.ml: Alcotest Duel_ctype Format Int32 Int64 QCheck2 QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_debugger.ml: Alcotest Duel_debug Duel_minic Duel_target List String Support

@@ -1,0 +1,1 @@
+test/test_display.ml: Alcotest Duel_core Support

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Duel_core Duel_target List Printf QCheck2 QCheck_alcotest Support

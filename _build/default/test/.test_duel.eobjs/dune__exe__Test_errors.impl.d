@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest Duel_core List String Support

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Char Duel_core Duel_ctype Lazy QCheck2 QCheck_alcotest String Support

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Duel_ctype List Option Printf QCheck2 QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Duel_core Duel_ctype Format List Support

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char Duel_ctype Duel_mem Int64 List Option QCheck2 QCheck_alcotest String Support

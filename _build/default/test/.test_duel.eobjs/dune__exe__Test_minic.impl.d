@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Duel_core Duel_ctype Duel_minic Duel_target Support

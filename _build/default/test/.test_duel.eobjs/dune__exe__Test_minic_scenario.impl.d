@@ -1,0 +1,1 @@
+test/test_minic_scenario.ml: Alcotest Duel_core Duel_minic Duel_target Support

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Duel_core Duel_ctype Duel_scenarios Duel_target Int32 Int64 Lazy Printf QCheck2 QCheck_alcotest String Support

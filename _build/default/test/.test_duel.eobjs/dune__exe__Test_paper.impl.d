@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Duel_target List Support

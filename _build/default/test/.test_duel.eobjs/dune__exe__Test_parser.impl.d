@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Duel_core Duel_ctype List QCheck2 QCheck_alcotest String Support

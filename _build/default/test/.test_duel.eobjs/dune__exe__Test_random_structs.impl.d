@@ -1,0 +1,1 @@
+test/test_random_structs.ml: Array Duel_core Duel_cquery Duel_ctype Duel_target Int64 List QCheck2 QCheck_alcotest Scanf String

@@ -1,0 +1,1 @@
+test/test_rsp.ml: Alcotest Bytes Duel_ctype Duel_dbgi Duel_rsp Duel_scenarios Duel_target List Printf QCheck2 QCheck_alcotest String Support

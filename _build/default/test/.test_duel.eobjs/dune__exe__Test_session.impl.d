@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Duel_core Duel_ctype Duel_mem Duel_target List String Support

@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest Bytes Duel_ctype Duel_dbgi Duel_mem Duel_target Int64 List Printf Support

@@ -1,0 +1,50 @@
+(* Shared helpers for the test suites. *)
+
+module Session = Duel_core.Session
+module Env = Duel_core.Env
+module Inferior = Duel_target.Inferior
+module Scenarios = Duel_scenarios.Scenarios
+
+type kit = { session : Session.t; inf : Inferior.t }
+
+let kit ?(engine = Session.Seq_engine) ?(scenario = `All) () =
+  let inf =
+    match scenario with
+    | `All -> Scenarios.all ()
+    | `Symtab -> Scenarios.symtab ()
+    | `Faulty -> Scenarios.faulty ()
+    | `Big n -> Scenarios.big_array n
+  in
+  { session = Session.create ~engine (Duel_target.Backend.direct inf); inf }
+
+let kit_rsp ?(engine = Session.Seq_engine) () =
+  let inf = Scenarios.all () in
+  { session = Session.create ~engine (Duel_rsp.Client.loopback inf); inf }
+
+(* One reusable session per engine: alias pollution across cases is part of
+   real usage, but tests that care create their own kit. *)
+let exec k q = Session.exec k.session q
+let exec1 k q = match exec k q with [ l ] -> l | ls -> String.concat "\n" ls
+
+let check_query k q expected () =
+  Alcotest.(check (list string)) q expected (exec k q)
+
+let check_line k q expected () = Alcotest.(check string) q expected (exec1 k q)
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* A shared kitchen-sink debuggee for read-only queries (building the
+   1024-bucket table per case would dominate test time); tests with side
+   effects on the target make their own kit. *)
+let shared = lazy (kit ())
+
+let q name query expected =
+  case name (fun () -> check_query (Lazy.force shared) query expected ())
+
+(* Same but only the single output line. *)
+let q1 name query expected =
+  case name (fun () -> check_line (Lazy.force shared) query expected ())
+
+(* Same against a fresh debuggee (for queries with side effects). *)
+let qf name query expected =
+  case name (fun () -> check_query (kit ()) query expected ())

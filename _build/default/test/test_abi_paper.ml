@@ -1,0 +1,67 @@
+(* The paper's query suite on other ABIs: a 32-bit little-endian debuggee
+   (like the paper's DECstation) and a big-endian 64-bit one.  The same
+   DUEL queries must produce the same answers — pointer widths, struct
+   layouts, and byte orders all differ underneath. *)
+
+module Session = Duel_core.Session
+module Abi = Duel_ctype.Abi
+
+let case = Support.case
+
+let kit_abi abi =
+  let inf = Duel_scenarios.Scenarios.all ~abi () in
+  { Support.session = Session.create (Duel_target.Backend.direct inf); inf }
+
+let queries_and_expected =
+  [
+    ("x[1..4,8,12..50] >? 5 <? 10", [ "x[3] = 7"; "x[18] = 9"; "x[47] = 6" ]);
+    ( "(hash[..1024] !=? 0)->scope >? 5",
+      [ "hash[42]->scope = 7"; "hash[529]->scope = 8" ] );
+    ( "hash[0]-->next->scope",
+      [ "hash[0]->scope = 4"; "hash[0]->next->scope = 3";
+        "hash[0]->next->next->scope = 2"; "hash[0]->next->next->next->scope = 1" ] );
+    ( "root-->(left,right)->key",
+      [ "root->key = 9"; "root->left->key = 3"; "root->left->left->key = 4";
+        "root->left->right->key = 5"; "root->right->key = 12" ] );
+    ( "hash[..1024]-->next->if (next) scope <? next->scope",
+      [ "hash[287]-->next[[8]]->scope = 5" ] );
+    ("#/(root-->(left,right)->key)", [ "#/(root-->(left,right)->key) = 5" ]);
+    ( "L-->next->(value ==? next-->next->value)",
+      [ "L-->next[[4]]->value = 27" ] );
+    ( "hash[1,9]->(scope,name)",
+      [ "hash[1]->scope = 3"; "hash[1]->name = \"x\""; "hash[9]->scope = 2";
+        "hash[9]->name = \"abc\"" ] );
+    ( "argv[0..]@0",
+      [ "argv[0] = \"duel\""; "argv[1] = \"-q\""; "argv[2] = \"x[1..4]\"";
+        "argv[3] = \"0\"" ] );
+    ("pk.lo, pk.mid, pk.hi", [ "pk.lo = 5"; "pk.mid = 77"; "pk.hi = -1" ]);
+  ]
+
+let run_all abi_name abi () =
+  let k = kit_abi abi in
+  List.iter
+    (fun (query, expected) ->
+      Alcotest.(check (list string))
+        (abi_name ^ ": " ^ query)
+        expected (Support.exec k query))
+    queries_and_expected
+
+let sizes_ilp32 () =
+  let k = kit_abi Abi.ilp32 in
+  Alcotest.(check (list string)) "struct symbol is 12 bytes"
+    [ "sizeof(struct symbol) = 12" ]
+    (Support.exec k "sizeof(struct symbol)");
+  Alcotest.(check (list string)) "hash is 4096 bytes" [ "sizeof hash = 4096" ]
+    (Support.exec k "sizeof hash");
+  Alcotest.(check (list string)) "pointer diff still element-scaled"
+    [ "&hash[2]-&hash[0] = 2" ]
+    (Support.exec k "&hash[2] - &hash[0]")
+
+let suite =
+  [
+    case "paper query suite on ILP32 (DECstation-like)" (run_all "ilp32" Abi.ilp32);
+    case "paper query suite on big-endian LP64" (run_all "be" (Abi.big_endian Abi.lp64));
+    case "paper query suite on big-endian ILP32"
+      (run_all "be32" (Abi.big_endian Abi.ilp32));
+    case "ILP32 sizes" sizes_ilp32;
+  ]

@@ -1,0 +1,113 @@
+(* End-to-end tests of the oduel binary: scenario mode, RSP mode, engine
+   flag, and the interactive program-mode debugger driven over stdin. *)
+
+let case = Support.case
+let oduel = "../bin/oduel.exe"
+
+let run_cli ?stdin args =
+  let out_file = Filename.temp_file "oduel_out" ".txt" in
+  let stdin_redir =
+    match stdin with
+    | None -> "< /dev/null"
+    | Some text ->
+        let f = Filename.temp_file "oduel_in" ".txt" in
+        let oc = open_out f in
+        output_string oc text;
+        close_out oc;
+        "< " ^ Filename.quote f
+  in
+  let cmd =
+    Printf.sprintf "%s %s %s > %s 2>/dev/null" (Filename.quote oduel) args
+      stdin_redir (Filename.quote out_file)
+  in
+  let status = Sys.command cmd in
+  let ic = open_in out_file in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  (status, out)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_contains what out needle =
+  if not (contains out needle) then
+    Alcotest.failf "%s: expected %S in output:\n%s" what needle out
+
+let scenario_oneshot () =
+  let status, out = run_cli "-e 'x[1..4,8,12..50] >? 5 <? 10'" in
+  Alcotest.(check int) "exit 0" 0 status;
+  check_contains "filter hits" out "x[3] = 7";
+  check_contains "filter hits" out "x[47] = 6"
+
+let rsp_mode () =
+  let status, out = run_cli "--rsp -e 'hash[0]-->next->scope'" in
+  Alcotest.(check int) "exit 0" 0 status;
+  check_contains "traversal over RSP" out "hash[0]->next->next->next->scope = 1"
+
+let sm_engine_flag () =
+  let _, seq_out = run_cli "-e '((1..9)*(1..9))[[52,74]]'" in
+  let status, sm_out = run_cli "--engine sm -e '((1..9)*(1..9))[[52,74]]'" in
+  Alcotest.(check int) "exit 0" 0 status;
+  Alcotest.(check string) "engines agree through the CLI" seq_out sm_out;
+  check_contains "select result" sm_out "6*8 = 48"
+
+let bad_scenario () =
+  let status, _ = run_cli "--scenario nonsense -e 1" in
+  Alcotest.(check bool) "non-zero exit" true (status <> 0)
+
+let repl_session () =
+  let script = "1 + 2\nset engine sm\nv[..3]\nhelp\nquit\n" in
+  let status, out = run_cli ~stdin:script "" in
+  Alcotest.(check int) "exit 0" 0 status;
+  check_contains "arithmetic" out "1+2 = 3";
+  check_contains "sweep under sm engine" out "v[1] = 1";
+  check_contains "help text" out "set engine seq|sm"
+
+let program_mode_debugging () =
+  let script =
+    "break push if v == 4\n\
+     run build 6\n\
+     v, nalloc\n\
+     continue\n\
+     continue\n\
+     first-->next->value[[0,5]]\n\
+     run sum\n\
+     quit\n"
+  in
+  let status, out =
+    run_cli ~stdin:script "--program ../examples/programs/list.c"
+  in
+  Alcotest.(check int) "exit 0" 0 status;
+  check_contains "breakpoint reported" out "breakpoint 1 at push if v == 4";
+  check_contains "stop announced" out "stopped: breakpoint 1 at push";
+  check_contains "local inspected at stop" out "v = 4";
+  check_contains "run completes" out "build returned 6";
+  check_contains "post-run query" out "first->value = 4";
+  check_contains "second run" out "sum returned 13"
+
+let program_watch_assert () =
+  let script =
+    "watch nalloc\nrun build 2\ncontinue\ncontinue\ndelete 1\n\
+     assert nalloc < 3\nrun build 2\nabort\nquit\n"
+  in
+  let status, out =
+    run_cli ~stdin:script "--program ../examples/programs/list.c"
+  in
+  Alcotest.(check int) "exit 0" 0 status;
+  check_contains "watch stop" out "watchpoint 1: nalloc changed";
+  check_contains "assertion stop" out "assertion 2 failed: nalloc < 3";
+  check_contains "abort surfaces" out "stopped: assertion 2 failed"
+
+let suite =
+  [
+    case "scenario one-shot" scenario_oneshot;
+    case "RSP transport flag" rsp_mode;
+    case "state-machine engine flag" sm_engine_flag;
+    case "bad scenario rejected" bad_scenario;
+    case "interactive REPL session" repl_session;
+    case "program-mode conditional breakpoint session" program_mode_debugging;
+    case "program-mode watch and assert" program_watch_assert;
+  ]

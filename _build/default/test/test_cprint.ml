@@ -1,0 +1,66 @@
+(* C declarator printing. *)
+
+module Ctype = Duel_ctype.Ctype
+module Cprint = Duel_ctype.Cprint
+
+let case = Support.case
+
+let check what t expected =
+  Alcotest.(check string) what expected (Cprint.to_string t)
+
+let check_decl what t name expected =
+  Alcotest.(check string) what expected (Cprint.declaration t name)
+
+let scalars () =
+  check "int" Ctype.int "int";
+  check "unsigned char" Ctype.uchar "unsigned char";
+  check "long double" Ctype.ldouble "long double";
+  check "bool" Ctype.bool "_Bool";
+  check "void" Ctype.Void "void"
+
+let pointers () =
+  check "int*" (Ctype.ptr Ctype.int) "int *";
+  check "char**" (Ctype.ptr (Ctype.ptr Ctype.char)) "char **";
+  check_decl "named" (Ctype.ptr Ctype.char) "s" "char *s"
+
+let arrays () =
+  check_decl "int x[10]" (Ctype.array Ctype.int 10) "x" "int x[10]";
+  check_decl "int x[2][3]" (Ctype.Array (Ctype.array Ctype.int 3, Some 2)) "x"
+    "int x[2][3]";
+  check_decl "array of pointers" (Ctype.array (Ctype.ptr Ctype.char) 5) "a"
+    "char *a[5]";
+  check_decl "pointer to array" (Ctype.ptr (Ctype.array Ctype.int 3)) "p"
+    "int (*p)[3]";
+  check "unknown length" (Ctype.Array (Ctype.int, None)) "int []"
+
+let functions () =
+  check_decl "simple" (Ctype.func Ctype.int [ Ctype.char ]) "f" "int f(char)";
+  check_decl "no params" (Ctype.func Ctype.Void []) "f" "void f(void)";
+  check_decl "variadic"
+    (Ctype.func ~variadic:true Ctype.int [ Ctype.ptr Ctype.char ])
+    "printf" "int printf(char *, ...)";
+  check_decl "function pointer"
+    (Ctype.ptr (Ctype.func Ctype.int [ Ctype.int ]))
+    "fp" "int (*fp)(int)"
+
+let tagged () =
+  let c = Ctype.new_comp Ctype.CStruct "symbol" in
+  check "struct" (Ctype.Comp c) "struct symbol";
+  check "struct ptr array"
+    (Ctype.array (Ctype.ptr (Ctype.Comp c)) 1024)
+    "struct symbol *[1024]";
+  let u = Ctype.new_comp Ctype.CUnion "u" in
+  check "union" (Ctype.Comp u) "union u";
+  let e = Ctype.new_enum "color" [] in
+  check "enum" (Ctype.Enum e) "enum color";
+  let anon = Ctype.new_comp Ctype.CStruct "" in
+  check "anonymous" (Ctype.Comp anon) "struct <anon>"
+
+let suite =
+  [
+    case "scalars" scalars;
+    case "pointers" pointers;
+    case "arrays" arrays;
+    case "functions" functions;
+    case "tagged types" tagged;
+  ]

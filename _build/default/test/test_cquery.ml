@@ -1,0 +1,132 @@
+(* DUEL one-liners versus the hand-written C baseline: identical result
+   sets, via the same narrow debugger interface. *)
+
+open Support
+module Cquery = Duel_cquery.Cquery
+module Conciseness = Duel_cquery.Conciseness
+
+let case = Support.case
+
+(* Extract "idx -> value" pairs from duel output lines like "x[3] = 7". *)
+let parse_indexed lines =
+  List.map
+    (fun line ->
+      Scanf.sscanf line "%_s@[%d] = %Ld" (fun i v -> (i, v)))
+    lines
+
+let array_search () =
+  let k = kit () in
+  let duel = parse_indexed (exec k "x[1..4,8,12..50] >? 5 <? 10") in
+  let c =
+    Cquery.array_search
+      (Duel_target.Backend.direct k.inf)
+      ~name:"x"
+      ~ranges:[ (1, 4); (8, 8); (12, 50) ]
+      ~lo:5L ~hi:10L
+  in
+  Alcotest.(check (list (pair int int64))) "same result set" c duel
+
+let positives () =
+  let k = kit ~scenario:(`Big 500) () in
+  let duel = parse_indexed (exec k "big[..500] >? 0") in
+  let c =
+    Cquery.array_positives (Duel_target.Backend.direct k.inf) ~name:"big" ~n:500
+  in
+  Alcotest.(check int) "same count" (List.length c) (List.length duel);
+  Alcotest.(check (list (pair int int64))) "same values" c duel
+
+let hash_scopes () =
+  let k = kit () in
+  let duel =
+    List.map
+      (fun line -> Scanf.sscanf line "hash[%d]->scope = %Ld" (fun b s -> (b, s)))
+      (exec k "(hash[..1024] !=? 0)->scope >? 5")
+  in
+  let c =
+    Cquery.hash_high_scopes (Duel_target.Backend.direct k.inf) ~threshold:5L
+  in
+  Alcotest.(check (list (pair int int64))) "same buckets" c duel
+
+let duplicates () =
+  let k = kit () in
+  let duel =
+    (* [[i]] then [[j]] lines alternate: pair them up *)
+    let lines =
+      exec k
+        "L-->next#i->value ==? L-->next#j->value => if (i < j) L-->next[[i,j]]->value"
+    in
+    let parse line =
+      Scanf.sscanf line "L-->next[[%d]]->value = %Ld" (fun i v -> (i, v))
+    in
+    let rec pairs = function
+      | a :: b :: rest ->
+          let i, v = parse a and j, _ = parse b in
+          (i, j, v) :: pairs rest
+      | _ -> []
+    in
+    pairs lines
+  in
+  let c = Cquery.list_duplicates (Duel_target.Backend.direct k.inf) ~name:"L" in
+  Alcotest.(check (list (triple int int int64))) "same duplicate pairs" c duel
+
+let tree () =
+  let k = kit () in
+  let duel_keys =
+    List.map
+      (fun line -> Scanf.sscanf line "%_s@= %Ld" Fun.id)
+      (exec k "root-->(left,right)->key")
+  in
+  let dbg = Duel_target.Backend.direct k.inf in
+  Alcotest.(check (list int64)) "same preorder"
+    (Cquery.tree_keys_preorder dbg ~name:"root")
+    duel_keys;
+  let count =
+    match exec k "#/(root-->(left,right)->key)" with
+    | [ line ] -> Scanf.sscanf line "%_s@= %d" Fun.id
+    | _ -> Alcotest.fail "one line expected"
+  in
+  Alcotest.(check int) "same count" (Cquery.tree_count dbg ~name:"root") count
+
+let violations () =
+  let k = kit () in
+  let c = Cquery.sort_violations (Duel_target.Backend.direct k.inf) in
+  Alcotest.(check (list (triple int int int64))) "the planted violation"
+    [ (287, 8, 5L) ] c;
+  Alcotest.(check int) "duel finds the same single violation" 1
+    (List.length (exec k "hash[..1024]-->next->if (next) scope <? next->scope"))
+
+let conciseness_table () =
+  let table = Conciseness.table () in
+  Alcotest.(check int) "six paper pairs" 6 (List.length table);
+  List.iter
+    (fun (label, duel_chars, c_chars, duel_lines, c_lines) ->
+      if duel_chars >= c_chars then
+        Alcotest.failf "%s: DUEL (%d chars) not shorter than C (%d)" label
+          duel_chars c_chars;
+      if duel_lines > 1 && c_lines <= duel_lines then
+        Alcotest.failf "%s: line counts unexpected" label)
+    table
+
+let queries_executable () =
+  (* every DUEL one-liner in the conciseness table actually runs *)
+  let k = kit () in
+  List.iter
+    (fun { Conciseness.duel; label; _ } ->
+      match exec k duel with
+      | _ :: _ -> ()
+      | [] ->
+          (* side-effect-only entries produce no lines; that's fine *)
+          ignore label)
+    Conciseness.entries
+
+let suite =
+  [
+    case "array range search" array_search;
+    case "positives sweep (B1 workload)" positives;
+    case "hash high scopes" hash_scopes;
+    case "list duplicates" duplicates;
+    case "tree keys and count" tree;
+    case "sortedness violations" violations;
+    case "conciseness table shape" conciseness_table;
+    case "conciseness queries run" queries_executable;
+  ]

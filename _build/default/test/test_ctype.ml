@@ -1,0 +1,179 @@
+(* Unit and property tests for the C type model: sizes, signedness,
+   promotions, usual arithmetic conversions, normalization, bounds. *)
+
+module Abi = Duel_ctype.Abi
+module Ctype = Duel_ctype.Ctype
+
+let case = Support.case
+let lp64 = Abi.lp64
+let ilp32 = Abi.ilp32
+
+let ikind = Alcotest.testable (fun fmt k -> Format.pp_print_string fmt (Duel_ctype.Cprint.ikind_name k)) ( = )
+
+let sizes_lp64 () =
+  let check k n = Alcotest.(check int) (Duel_ctype.Cprint.ikind_name k) n (Ctype.ikind_size lp64 k) in
+  check Ctype.Bool 1;
+  check Ctype.Char 1;
+  check Ctype.SChar 1;
+  check Ctype.UChar 1;
+  check Ctype.Short 2;
+  check Ctype.UShort 2;
+  check Ctype.Int 4;
+  check Ctype.UInt 4;
+  check Ctype.Long 8;
+  check Ctype.ULong 8;
+  check Ctype.LLong 8;
+  check Ctype.ULLong 8
+
+let sizes_ilp32 () =
+  Alcotest.(check int) "long" 4 (Ctype.ikind_size ilp32 Ctype.Long);
+  Alcotest.(check int) "llong" 8 (Ctype.ikind_size ilp32 Ctype.LLong)
+
+let signedness () =
+  Alcotest.(check bool) "char signed in lp64" true (Ctype.ikind_signed lp64 Ctype.Char);
+  let unsigned_char = { lp64 with Abi.char_signed = false } in
+  Alcotest.(check bool) "char unsigned variant" false
+    (Ctype.ikind_signed unsigned_char Ctype.Char);
+  Alcotest.(check bool) "uint" false (Ctype.ikind_signed lp64 Ctype.UInt);
+  Alcotest.(check bool) "long" true (Ctype.ikind_signed lp64 Ctype.Long)
+
+let promotions () =
+  let check what k expected = Alcotest.check ikind what expected (Ctype.promote_ikind lp64 k) in
+  check "char -> int" Ctype.Char Ctype.Int;
+  check "uchar -> int" Ctype.UChar Ctype.Int;
+  check "short -> int" Ctype.Short Ctype.Int;
+  check "ushort -> int" Ctype.UShort Ctype.Int;
+  check "bool -> int" Ctype.Bool Ctype.Int;
+  check "int -> int" Ctype.Int Ctype.Int;
+  check "uint stays" Ctype.UInt Ctype.UInt;
+  check "long stays" Ctype.Long Ctype.Long
+
+let usual_arith () =
+  let ua a b = Ctype.usual_arith_ikind lp64 a b in
+  Alcotest.check ikind "int+int" Ctype.Int (ua Ctype.Int Ctype.Int);
+  Alcotest.check ikind "int+uint" Ctype.UInt (ua Ctype.Int Ctype.UInt);
+  Alcotest.check ikind "uint+int" Ctype.UInt (ua Ctype.UInt Ctype.Int);
+  Alcotest.check ikind "int+long" Ctype.Long (ua Ctype.Int Ctype.Long);
+  Alcotest.check ikind "uint+long (lp64: long holds uint)" Ctype.Long
+    (ua Ctype.UInt Ctype.Long);
+  Alcotest.check ikind "ulong+long" Ctype.ULong (ua Ctype.ULong Ctype.Long);
+  Alcotest.check ikind "uint+long (ilp32: same size -> ulong)" Ctype.ULong
+    (Ctype.usual_arith_ikind ilp32 Ctype.UInt Ctype.Long)
+
+let normalize () =
+  let n k v = Ctype.normalize lp64 k v in
+  Alcotest.(check int64) "char wrap" 65L (n Ctype.Char 321L);
+  Alcotest.(check int64) "char negative" (-1L) (n Ctype.Char 255L);
+  Alcotest.(check int64) "uchar" 255L (n Ctype.UChar 255L);
+  Alcotest.(check int64) "uchar wrap" 1L (n Ctype.UChar 257L);
+  Alcotest.(check int64) "int wrap" Int64.(add (of_int32 Int32.max_int) 0L)
+    (n Ctype.Int (Int64.of_string "0x7fffffff"));
+  Alcotest.(check int64) "int overflow wraps negative" Int64.(of_int32 Int32.min_int)
+    (n Ctype.Int (Int64.add (Int64.of_int32 Int32.max_int) 1L));
+  Alcotest.(check int64) "uint keeps 32 bits" 0xffffffffL (n Ctype.UInt (-1L));
+  Alcotest.(check int64) "long identity" (-5L) (n Ctype.Long (-5L));
+  Alcotest.(check int64) "bool clamps" 1L (n Ctype.Bool 42L);
+  Alcotest.(check int64) "bool zero" 0L (n Ctype.Bool 0L)
+
+let bounds () =
+  Alcotest.(check int64) "char min" (-128L) (Ctype.ikind_min lp64 Ctype.Char);
+  Alcotest.(check int64) "char max" 127L (Ctype.ikind_max lp64 Ctype.Char);
+  Alcotest.(check int64) "uchar min" 0L (Ctype.ikind_min lp64 Ctype.UChar);
+  Alcotest.(check int64) "uchar max" 255L (Ctype.ikind_max lp64 Ctype.UChar);
+  Alcotest.(check int64) "int max" 2147483647L (Ctype.ikind_max lp64 Ctype.Int);
+  Alcotest.(check int64) "uint max" 4294967295L (Ctype.ikind_max lp64 Ctype.UInt);
+  Alcotest.(check int64) "ullong max is all ones" (-1L)
+    (Ctype.ikind_max lp64 Ctype.ULLong)
+
+let equality () =
+  let s1 = Ctype.new_comp Ctype.CStruct "a" in
+  let s2 = Ctype.new_comp Ctype.CStruct "a" in
+  Alcotest.(check bool) "distinct comps differ" false
+    (Ctype.equal (Ctype.Comp s1) (Ctype.Comp s2));
+  Alcotest.(check bool) "same comp equal" true
+    (Ctype.equal (Ctype.Comp s1) (Ctype.Comp s1));
+  Alcotest.(check bool) "ptr structural" true
+    (Ctype.equal (Ctype.ptr Ctype.int) (Ctype.ptr Ctype.int));
+  Alcotest.(check bool) "array length matters" false
+    (Ctype.equal (Ctype.array Ctype.int 3) (Ctype.array Ctype.int 4));
+  Alcotest.(check bool) "func types" true
+    (Ctype.equal
+       (Ctype.func Ctype.int [ Ctype.char ])
+       (Ctype.func Ctype.int [ Ctype.char ]))
+
+let decay () =
+  (match Ctype.decay (Ctype.array Ctype.int 5) with
+  | Ctype.Ptr (Ctype.Integer Ctype.Int) -> ()
+  | _ -> Alcotest.fail "array should decay to int*");
+  (match Ctype.decay (Ctype.func Ctype.int []) with
+  | Ctype.Ptr (Ctype.Func _) -> ()
+  | _ -> Alcotest.fail "function should decay to pointer");
+  match Ctype.decay Ctype.double with
+  | Ctype.Floating Ctype.Double -> ()
+  | _ -> Alcotest.fail "scalar decay is identity"
+
+let predicates () =
+  Alcotest.(check bool) "enum is integer" true
+    (Ctype.is_integer (Ctype.Enum (Ctype.new_enum "e" [])));
+  Alcotest.(check bool) "ptr is scalar" true (Ctype.is_scalar (Ctype.ptr Ctype.char));
+  Alcotest.(check bool) "double is arith" true (Ctype.is_arith Ctype.double);
+  Alcotest.(check bool) "void incomplete" false (Ctype.is_complete Ctype.Void);
+  Alcotest.(check bool) "incomplete struct" false
+    (Ctype.is_complete (Ctype.Comp (Ctype.new_comp Ctype.CStruct "inc")));
+  Alcotest.(check bool) "unsized array incomplete" false
+    (Ctype.is_complete (Ctype.Array (Ctype.int, None)))
+
+let define_twice () =
+  let c = Ctype.new_comp Ctype.CStruct "once" in
+  Ctype.define_fields c [ Ctype.field "a" Ctype.int ];
+  Alcotest.check_raises "second define rejected"
+    (Invalid_argument "Ctype.define_fields: once already complete")
+    (fun () -> Ctype.define_fields c [ Ctype.field "b" Ctype.int ])
+
+(* Properties: normalize is idempotent and lands in [min,max] for signed
+   kinds; unsigned normalize zero-extends within the mask. *)
+let prop_normalize_idempotent =
+  let kinds =
+    [ Ctype.Bool; Ctype.Char; Ctype.SChar; Ctype.UChar; Ctype.Short;
+      Ctype.UShort; Ctype.Int; Ctype.UInt; Ctype.Long; Ctype.ULong;
+      Ctype.LLong; Ctype.ULLong ]
+  in
+  QCheck2.Test.make ~name:"normalize idempotent and in range" ~count:500
+    QCheck2.Gen.(pair (oneofl kinds) int64)
+    (fun (k, v) ->
+      let n1 = Ctype.normalize lp64 k v in
+      let n2 = Ctype.normalize lp64 k n1 in
+      let in_range =
+        if Ctype.ikind_signed lp64 k then
+          Int64.compare (Ctype.ikind_min lp64 k) n1 <= 0
+          && Int64.compare n1 (Ctype.ikind_max lp64 k) <= 0
+        else if Ctype.ikind_size lp64 k >= 8 then true
+        else
+          Int64.compare 0L n1 <= 0
+          && Int64.compare n1 (Ctype.ikind_max lp64 k) <= 0
+      in
+      Int64.equal n1 n2 && in_range)
+
+let prop_usual_arith_commutative_rank =
+  let kinds = [ Ctype.Int; Ctype.UInt; Ctype.Long; Ctype.ULong; Ctype.LLong; Ctype.ULLong ] in
+  QCheck2.Test.make ~name:"usual arithmetic conversion is symmetric" ~count:200
+    QCheck2.Gen.(pair (oneofl kinds) (oneofl kinds))
+    (fun (a, b) ->
+      Ctype.usual_arith_ikind lp64 a b = Ctype.usual_arith_ikind lp64 b a)
+
+let suite =
+  [
+    case "scalar sizes (lp64)" sizes_lp64;
+    case "scalar sizes (ilp32)" sizes_ilp32;
+    case "signedness" signedness;
+    case "integer promotions" promotions;
+    case "usual arithmetic conversions" usual_arith;
+    case "normalize wraps as two's complement" normalize;
+    case "kind bounds" bounds;
+    case "type equality" equality;
+    case "decay" decay;
+    case "predicates" predicates;
+    case "composite defined once" define_twice;
+    QCheck_alcotest.to_alcotest prop_normalize_idempotent;
+    QCheck_alcotest.to_alcotest prop_usual_arith_commutative_rank;
+  ]

@@ -1,0 +1,219 @@
+(* Breakpoints, watchpoints, and assertions with DUEL conditions (the
+   paper's Discussion section, implemented over mini-C). *)
+
+module Interp = Duel_minic.Interp
+module Debugger = Duel_debug.Debugger
+module Inferior = Duel_target.Inferior
+
+let case = Support.case
+
+let program =
+  {|
+struct cell { int value; struct cell *next; };
+struct cell *first;
+int nalloc;
+
+int push(int v) {
+  struct cell *q;
+  q = (struct cell *)malloc(sizeof(struct cell));
+  q->value = v;
+  q->next = first;
+  first = q;
+  nalloc = nalloc + 1;
+  return v;
+}
+
+int build(int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    push(i * i % 7);
+  return nalloc;
+}
+
+int clobber(int k) {
+  struct cell *p;
+  int i;
+  p = first;
+  for (i = 0; i < k; i++)
+    p = p->next;
+  p->value = -1;
+  return k;
+}
+
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+|}
+
+let make () =
+  let inf = Inferior.create () in
+  Duel_target.Stdfuncs.register_all inf;
+  let interp = Interp.load inf program in
+  Debugger.create interp
+
+let entry_breakpoint () =
+  let dbg = make () in
+  let b = Debugger.break_at dbg "push" in
+  (match Debugger.run_int dbg "build" [ 5 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "fires once per call" 5 (Debugger.hits dbg b)
+
+let conditional_breakpoint () =
+  let dbg = make () in
+  (* values pushed by build(6): 0 1 4 2 2 4 *)
+  let b = Debugger.break_at dbg ~condition:"v == 4" "push" in
+  let seen = ref [] in
+  Debugger.on_stop dbg (fun dbg reason ->
+      (match reason with
+      | Debugger.Breakpoint _ -> seen := Debugger.query dbg "v" :: !seen
+      | _ -> ());
+      Debugger.Continue);
+  (match Debugger.run_int dbg "build" [ 6 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "two of the six pushes" 2 (Debugger.hits dbg b);
+  Alcotest.(check (list (list string))) "v inspected at each stop"
+    [ [ "v = 4" ]; [ "v = 4" ] ]
+    !seen
+
+let generator_condition () =
+  let dbg = make () in
+  (* a condition that is itself a generator query over the heap *)
+  let b =
+    Debugger.break_at dbg ~condition:"#/(first-->next) == 3" "push"
+  in
+  (match Debugger.run_int dbg "build" [ 6 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "exactly one stop at length 3" 1 (Debugger.hits dbg b)
+
+let line_breakpoint () =
+  let dbg = make () in
+  (* line 13 is "nalloc = nalloc + 1;" inside push *)
+  let b = Debugger.break_at dbg ~line:13 "push" in
+  (match Debugger.run_int dbg "build" [ 4 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "once per push call" 4 (Debugger.hits dbg b)
+
+let watchpoint_fires_on_change () =
+  let dbg = make () in
+  let w = Debugger.watch dbg "#/(first-->next)" in
+  let transitions = ref [] in
+  Debugger.on_stop dbg (fun _ reason ->
+      (match reason with
+      | Debugger.Watchpoint { old_value; new_value; _ } ->
+          transitions := (old_value, new_value) :: !transitions
+      | _ -> ());
+      Debugger.Continue);
+  (match Debugger.run_int dbg "build" [ 3 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "one change per push" 3 (Debugger.hits dbg w);
+  (match List.rev !transitions with
+  | (o, n) :: _ ->
+      Alcotest.(check string) "first old" "#/(first-->next) = 0" o;
+      Alcotest.(check string) "first new" "#/(first-->next) = 1" n
+  | [] -> Alcotest.fail "no transitions")
+
+let watchpoint_on_global () =
+  let dbg = make () in
+  let w = Debugger.watch dbg "nalloc" in
+  (match Debugger.run_int dbg "build" [ 4 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "four increments" 4 (Debugger.hits dbg w)
+
+let assertion_violated () =
+  let dbg = make () in
+  (match Debugger.run_int dbg "build" [ 5 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let a = Debugger.add_assertion dbg "first-->next->(value >= 0)" in
+  Debugger.on_stop dbg (fun _ _ -> Debugger.Abort);
+  (match Debugger.run_int dbg "clobber" [ 2 ] with
+  | Ok _ -> Alcotest.fail "assertion should have fired"
+  | Error msg ->
+      Alcotest.(check bool) "abort message names the assertion" true
+        (String.length msg > 0
+        && String.sub msg 0 9 = "assertion"));
+  Alcotest.(check int) "fired once then aborted" 1 (Debugger.hits dbg a)
+
+let assertion_holds () =
+  let dbg = make () in
+  let a = Debugger.add_assertion dbg "nalloc >= 0" in
+  (match Debugger.run_int dbg "build" [ 4 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "never fired" 0 (Debugger.hits dbg a)
+
+let query_stack_at_stop () =
+  let dbg = make () in
+  ignore (Debugger.break_at dbg ~condition:"n == 1" "fib");
+  let depth_seen = ref 0 in
+  Debugger.on_stop dbg (fun dbg reason ->
+      (match reason with
+      | Debugger.Breakpoint _ when !depth_seen = 0 ->
+          depth_seen := List.length (Debugger.query dbg "frames.n")
+      | _ -> ());
+      Debugger.Continue);
+  (match Debugger.run_int dbg "fib" [ 6 ] with
+  | Ok v -> Alcotest.(check int64) "fib(6)" 8L v
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "whole recursion stack visible" 6 !depth_seen
+
+let mutation_from_stop () =
+  let dbg = make () in
+  (match Debugger.run_int dbg "build" [ 3 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* patch the running program's data from the debugger, then verify *)
+  ignore (Debugger.query dbg "first-->next->value = 9 ;");
+  (match Debugger.run_int dbg "build" [ 0 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (list string)) "all patched"
+    [ "#/(first-->next->(value ==? 9)) = 3" ]
+    (Debugger.query dbg "#/(first-->next->(value ==? 9))")
+
+let abort_unwinds_frames () =
+  let inf = Inferior.create () in
+  Duel_target.Stdfuncs.register_all inf;
+  let interp = Interp.load inf program in
+  let dbg = Debugger.create interp in
+  ignore (Debugger.break_at dbg ~condition:"n == 0" "fib");
+  Debugger.on_stop dbg (fun _ _ -> Debugger.Abort);
+  (match Debugger.run_int dbg "fib" [ 8 ] with
+  | Ok _ -> Alcotest.fail "should abort"
+  | Error _ -> ());
+  Alcotest.(check int) "no leaked frames" 0 (List.length (Inferior.frames inf))
+
+let delete_disables () =
+  let dbg = make () in
+  let b = Debugger.break_at dbg "push" in
+  (match Debugger.run_int dbg "build" [ 2 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Debugger.delete dbg b;
+  (match Debugger.run_int dbg "build" [ 2 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "no hits after delete" 2 (Debugger.hits dbg b)
+
+let suite =
+  [
+    case "entry breakpoint fires per call" entry_breakpoint;
+    case "conditional breakpoint on a parameter" conditional_breakpoint;
+    case "generator query as breakpoint condition" generator_condition;
+    case "line breakpoint" line_breakpoint;
+    case "watchpoint on a generator query" watchpoint_fires_on_change;
+    case "watchpoint on a global" watchpoint_on_global;
+    case "assertion violated aborts execution" assertion_violated;
+    case "assertion that holds never fires" assertion_holds;
+    case "frames.n shows the recursion stack at a stop" query_stack_at_stop;
+    case "mutating the paused program from DUEL" mutation_from_stop;
+    case "abort unwinds all frames" abort_unwinds_frames;
+    case "delete disables a breakpoint" delete_disables;
+  ]

@@ -1,0 +1,69 @@
+(* Value display and symbolic-expression machinery. *)
+
+open Support
+module Symbolic = Duel_core.Symbolic
+
+let compress = Support.case "-->a[[n]] compression" (fun () ->
+    let c s = Symbolic.compress s in
+    Alcotest.(check string) "short chains untouched"
+      "hash[0]->next->next->next->scope"
+      (c "hash[0]->next->next->next->scope");
+    Alcotest.(check string) "4 links compress"
+      "L-->next[[4]]->value"
+      (c "L->next->next->next->next->value");
+    Alcotest.(check string) "8 links compress"
+      "hash[287]-->next[[8]]->scope"
+      (c "hash[287]->next->next->next->next->next->next->next->next->scope");
+    Alcotest.(check string) "mixed fields break runs"
+      "a->n->n->n->m->n->n->n->x"
+      (c "a->n->n->n->m->n->n->n->x");
+    Alcotest.(check string) "threshold configurable"
+      "a-->n[[2]]->m"
+      (Symbolic.compress ~threshold:2 "a->n->n->m");
+    Alcotest.(check string) "prefix preserved"
+      "q-->link[[5]]"
+      (c "q->link->link->link->link->link"))
+
+let paren_insertion = Support.case "symbolic parenthesization" (fun () ->
+    let atom = Symbolic.atom in
+    let add = Symbolic.binary Symbolic.prec_additive "+" in
+    let mul = Symbolic.binary Symbolic.prec_multiplicative "*" in
+    Alcotest.(check string) "no parens needed" "a+b*c"
+      (Symbolic.to_string (add (atom "a") (mul (atom "b") (atom "c"))));
+    Alcotest.(check string) "parens on low-prec child" "(a+b)*c"
+      (Symbolic.to_string (mul (add (atom "a") (atom "b")) (atom "c")));
+    Alcotest.(check string) "right assoc needs parens" "a-(b-c)"
+      (Symbolic.to_string
+         (Symbolic.binary Symbolic.prec_additive "-" (atom "a")
+            (Symbolic.binary Symbolic.prec_additive "-" (atom "b") (atom "c")))))
+
+let suite =
+  [
+    compress;
+    paren_insertion;
+    (* scalar rendering *)
+    q1 "plain int" "42" "42 = 42";
+    q1 "negative" "-42" "-42 = -42";
+    q1 "unsigned rendered unsigned" "4000000000u" "4000000000u = 4000000000";
+    q1 "char shows code and glyph" "'k'" "'k' = 107 'k'";
+    q1 "newline char escaped" "'\\n'" "'\\n' = 10 '\\n'";
+    q1 "double" "2.5" "2.5 = 2.5";
+    q1 "double integral" "4.0" "4.0 = 4";
+    q1 "char pointer shows the string" "s" "s = \"hello, world\"";
+    q1 "null pointer" "(char *)0" "(char *)0 = 0x0";
+    q1 "non-char pointer in hex" "&x[0] != 0" "&x[0]!=0 = 1";
+    q1 "enum by name" "paint" "paint = GREEN";
+    q1 "enum out of range numeric" "(enum color)7" "(enum color)7 = 7";
+    (* aggregates *)
+    q1 "struct display" "*L" "*L = {value = 11, next = 0x10182e0}";
+    q1 "char array as string" "*argv[0]; \"ok\"" "\"ok\" = \"ok\"";
+    q1 "int array braces" "v" "v = {3, 1, 4, 1, 5, 9, 2, 6}";
+    q1 "nested struct depth" "pk" "pk = {lo = 5, mid = 77, hi = -1}";
+    (* symbolic displays *)
+    q1 "generator substitutes value" "x[1+2]" "x[1+2] = 7";
+    q1 "range index substituted" "x[3..3]" "x[3] = 7";
+    q1 "cast displayed" "(long)x[3]" "(long)x[3] = 7";
+    q1 "call symbolic" "abs(-4)" "abs(-4) = 4";
+    q1 "deref symbolic" "*&i0" "*&i0 = 0";
+    q1 "grouped subexpression" "(1+2)*3" "(1+2)*3 = 9";
+  ]

@@ -1,0 +1,84 @@
+(* Error reporting: the paper's "Illegal memory reference in ...:
+   sym = lvalue 0x..." shape, plus lexical/syntax/type errors.  All errors
+   come back as output lines; the session must stay usable afterwards. *)
+
+open Support
+module Env = Duel_core.Env
+module Session = Duel_core.Session
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let check_error name query prefix =
+  Support.case name (fun () ->
+      let k = kit ~scenario:`Faulty () in
+      match exec k query with
+      | [ line ] ->
+          if not (starts_with prefix line) then
+            Alcotest.failf "expected error starting %S, got %S" prefix line
+      | lines ->
+          Alcotest.failf "expected one error line, got %d" (List.length lines))
+
+let suite =
+  [
+    check_error "null dereference" "(*lone).value" "Illegal memory reference";
+    check_error "dangling pointer field"
+      "dang->next->next->next->value" "Illegal memory reference";
+    check_error "wild address" "*(int *)0x40000000" "Illegal memory reference";
+    check_error "division by zero" "1/0" "division by zero";
+    check_error "modulo by zero" "5 % (3-3)" "division by zero";
+    check_error "undefined name" "nosuchvar + 1" "undefined name nosuchvar";
+    check_error "undefined field" "cyc->bogus" "undefined name bogus";
+    check_error "arrow on non-pointer" "(1..3)->next" "-> applied to a non-pointer";
+    check_error "assign to rvalue" "3 = 4" "assignment target is not an lvalue";
+    check_error "address of rvalue" "&(1+2)" "& requires an lvalue";
+    check_error "deref of int" "*(3.5, 4.5)" "* requires a pointer";
+    check_error "underscore without scope" "_ + 1" "_ used outside";
+    check_error "unknown struct tag" "(struct nosuch *)0" "no struct named nosuch";
+    check_error "unknown function" "frobnicate(1)" "no target function named frobnicate";
+    check_error "alias lhs" "cyc[0] := 2" "parse error";
+    check_error "lex error" "cyc $ 2" "syntax error";
+    check_error "float modulo" "2.5 % 2" "% applied to floating operands";
+    Support.case "error carries symbolic operand and lvalue" (fun () ->
+        let k = kit ~scenario:`Faulty () in
+        match exec k "dang->next->next->next->value" with
+        | [ line ] ->
+            Alcotest.(check string) "full paper-style message"
+              "Illegal memory reference: dang->next->next->next->value = lvalue 0x40000000"
+              line
+        | _ -> Alcotest.fail "expected one line");
+    Support.case "session survives errors" (fun () ->
+        let k = kit () in
+        ignore (exec k "1/0");
+        ignore (exec k "nosuch");
+        ignore (exec k "x[[");
+        Alcotest.(check (list string)) "still works" [ "1+1 = 2" ] (exec k "1+1");
+        Alcotest.(check int) "scope stack clean" 0
+          (Env.scope_depth k.session.Session.env));
+    Support.case "error mid-generation keeps earlier output" (fun () ->
+        let k = kit ~scenario:`Faulty () in
+        let lines = exec k "dang->(value, next->next->next->value)" in
+        Alcotest.(check int) "value printed, then the error" 2 (List.length lines);
+        Alcotest.(check string) "first line fine" "dang->value = 1" (List.hd lines));
+    Support.case "expansion limit trips on cycles" (fun () ->
+        let k = kit ~scenario:`Faulty () in
+        k.session.Session.env.Env.flags.Env.expansion_limit <- 16;
+        let lines = exec k "cyc-->next->value" in
+        Alcotest.(check string) "limit error last"
+          "--> expansion exceeded 16 nodes (cycle?)"
+          (List.nth lines (List.length lines - 1)));
+    Support.case "cycle detection visits each node once" (fun () ->
+        let k = kit ~scenario:`Faulty () in
+        k.session.Session.env.Env.flags.Env.cycle_detect <- true;
+        Alcotest.(check (list string)) "four nodes"
+          [ "cyc->value = 100"; "cyc->next->value = 101";
+            "cyc->next->next->value = 102"; "cyc->next->next->next->value = 103" ]
+          (exec k "cyc-->next->value"));
+    Support.case "dangling tail terminates --> silently" (fun () ->
+        let k = kit ~scenario:`Faulty () in
+        Alcotest.(check (list string)) "three values, no error"
+          [ "dang->value = 1"; "dang->next->value = 2";
+            "dang->next->next->value = 3" ]
+          (exec k "dang-->next->value"));
+  ]

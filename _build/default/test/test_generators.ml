@@ -1,0 +1,175 @@
+(* DUEL generator semantics, operator by operator. *)
+
+open Support
+
+let suite =
+  [
+    (* to / up-to / to-inf *)
+    q "range" "1..3" [ "1 = 1"; "2 = 2"; "3 = 3" ];
+    q "empty range" "3..1" [];
+    q "upto excludes bound" "..3" [ "0 = 0"; "1 = 1"; "2 = 2" ];
+    q "range with generator bounds" "(1,5)..(2,6)"
+      [ "1 = 1"; "2 = 2"; "1 = 1"; "2 = 2"; "3 = 3"; "4 = 4"; "5 = 5";
+        "6 = 6"; "5 = 5"; "6 = 6" ];
+    q "infinite range truncated" "(0..)[[3]]" [ "3 = 3" ];
+    (* alternation *)
+    q "alternation order" "5,1,3" [ "5 = 5"; "1 = 1"; "3 = 3" ];
+    q "nested alternation" "(1,2),(3,4)" [ "1 = 1"; "2 = 2"; "3 = 3"; "4 = 4" ];
+    (* cross products *)
+    q "binary cross product" "(1,2)+(10,20)"
+      [ "1+10 = 11"; "1+20 = 21"; "2+10 = 12"; "2+20 = 22" ];
+    q "left drives outer loop" "(1..2)*(1..2)"
+      [ "1*1 = 1"; "1*2 = 2"; "2*1 = 2"; "2*2 = 4" ];
+    q "empty operand gives empty product" "(3..1)+5" [];
+    (* filters *)
+    q "filter keeps left value" "(1..5) >? 3" [ "4 = 4"; "5 = 5" ];
+    q "filter chain" "(1..10) >? 3 <? 6" [ "4 = 4"; "5 = 5" ];
+    q "filter equality" "(1..5) ==? 3" [ "3 = 3" ];
+    q "filter not equal" "(1..3) !=? 2" [ "1 = 1"; "3 = 3" ];
+    q "filter ge le" "(1..5) >=? 4 <=? 4" [ "4 = 4" ];
+    q "filter with generator rhs" "(1..4) ==? (2,4)" [ "2 = 2"; "4 = 4" ];
+    q "filter repeats left per matching right" "5 >? (1,2)" [ "5 = 5"; "5 = 5" ];
+    (* logicals over generators *)
+    q "and over generators" "(0,1,2) && 7" [ "1 && 7 = 7"; "2 && 7 = 7" ];
+    q "or over generators" "(0,3) || 9" [ "0 || 9 = 9"; "3 = 1" ];
+    (* if / while / for as expressions *)
+    q "if without else skips" "if (0) 5" [];
+    q "if over a generator condition" "if (0,1,0,2) (7)" [ "7 = 7"; "7 = 7" ];
+    q "if else" "if (i0) 1 else 2" [ "2 = 2" ];
+    qf "while loop" "int k; k = 0; while (k < 3) (k++; k)"
+      [ "k = 1"; "k = 2"; "k = 3" ];
+    qf "for yields body values" "int k; for (k = 0; k < 3; k++) k * 10"
+      [ "k*10 = 0"; "k*10 = 10"; "k*10 = 20" ];
+    qf "for without body values" "int k; for (k = 0; k < 3; k++) if (0) k" [];
+    (* the paper's while: all condition values non-zero, then restart *)
+    q "while restarts after the body (truncated by select)"
+      "(while (v[..8]) 1)[[0..2]]" [ "1 = 1"; "1 = 1"; "1 = 1" ];
+    qf "while stops when any condition value is zero"
+      "w[1] = 0; while (w[..3]) 42" [];
+    qf "bit-field increment" "pk.lo++; pk.lo" [ "pk.lo = 6" ];
+    (* sequencing and imply *)
+    q "sequence discards left" "1..3; 42" [ "42 = 42" ];
+    q "sequence keeps left effects" "int m; m = 9; m + 1" [ "m+1 = 10" ];
+    q "trailing semicolon silences" "1..3 ;" [];
+    q "imply repeats right per left value" "1..3 => 7"
+      [ "7 = 7"; "7 = 7"; "7 = 7" ];
+    q "imply re-evaluates right" "k := (1,5) => k + 1" [ "k+1 = 2"; "k+1 = 6" ];
+    (* aliases *)
+    q "alias yields values" "a1 := 1..3" [ "1 = 1"; "2 = 2"; "3 = 3" ];
+    q "alias to lvalue is an alias" "b1 := w[5]; b1 = 66; w[5]" [ "w[5] = 66" ];
+    q "declaration allocates" "int fresh; fresh = 3; fresh * fresh"
+      [ "fresh*fresh = 9" ];
+    q "declaration with initial loop"
+      "int i2; for (i2 = 0; i2 < 3; i2++) {i2}" [ "0 = 0"; "1 = 1"; "2 = 2" ];
+    (* with scopes *)
+    q "dot scope on struct" "pk.(lo, hi)" [ "pk.lo = 5"; "pk.hi = -1" ];
+    q "arrow scope" "L->(value, next != 0)"
+      [ "L->value = 11"; "L->next!=0 = 1" ];
+    q "underscore is the subject" "w[..3]._" [ "w[0] = 10"; "w[1] = 20"; "w[2] = 30" ];
+    q "underscore on pointer subject" "L->(_ != 0)" [ "L!=0 = 1" ];
+    q "nested with scopes" "L->(next->(value))" [ "L->next->value = 13" ];
+    q "with general rhs" "w[..2].(_ * 2)" [ "w[0]*2 = 20"; "w[1]*2 = 40" ];
+    q "field shadows outer name" "L->value" [ "L->value = 11" ];
+    (* unions: same bytes through different members *)
+    q "union type punning (little-endian)" "uv.i, uv.c[0], uv.c[3]"
+      [ "uv.i = 1094861636"; "uv.c[0] = 68 'D'"; "uv.c[3] = 65 'A'" ];
+    q "union scope alternation" "uv.(i != 0, c[1])"
+      [ "uv.i!=0 = 1"; "uv.c[1] = 67 'C'" ];
+    (* 2-D arrays: row-major chained indexing, generators in both axes *)
+    q "matrix element" "mat[1][2]" [ "mat[1][2] = 12" ];
+    q "matrix row sweep" "mat[2][..4] >? 21"
+      [ "mat[2][2] = 22"; "mat[2][3] = 23" ];
+    q "matrix cross sweep" "#/(mat[..3][..4])" [ "#/(mat[..3][..4]) = 12" ];
+    q "matrix sum" "+/(mat[..3][..4])" [ "+/(mat[..3][..4]) = 138" ];
+    q "sizeof a row" "sizeof mat[0]" [ "sizeof mat[0] = 16" ];
+    (* dfs / bfs *)
+    q "dfs list walk" "head-->next->value"
+      [ "head->value = 10"; "head->next->value = 20";
+        "head->next->next->value = 30"; "head->next->next->next->value = 33";
+        "head-->next[[4]]->value = 40"; "head-->next[[5]]->value = 29";
+        "head-->next[[6]]->value = 50" ];
+    q "dfs preorder on tree" "root-->(left,right)->key"
+      [ "root->key = 9"; "root->left->key = 3"; "root->left->left->key = 4";
+        "root->left->right->key = 5"; "root->right->key = 12" ];
+    q "bfs level order on tree" "root-->>(left,right)->key"
+      [ "root->key = 9"; "root->left->key = 3"; "root->right->key = 12";
+        "root->left->left->key = 4"; "root->left->right->key = 5" ];
+    q "dfs stops at null" "lone0 := 0; 1..0" [];
+    q "dfs from null global gives nothing" "(hash[0])-->next->(0)@0" [];
+    (* select *)
+    q "select zero-based" "(10,20,30)[[1]]" [ "20 = 20" ];
+    q "select multiple and reuse" "(10,20,30)[[2,0,2]]"
+      [ "30 = 30"; "10 = 10"; "30 = 30" ];
+    q "select out of range skipped" "(10,20)[[5]]" [];
+    q "select paper example" "((1..9)*(1..9))[[52,74]]"
+      [ "6*8 = 48"; "9*3 = 27" ];
+    q "select with range of indices" "(10,20,30,40)[[1..2]]"
+      [ "20 = 20"; "30 = 30" ];
+    (* until *)
+    q "until literal excludes stop" "(3,2,1,0,5)@0"
+      [ "3 = 3"; "2 = 2"; "1 = 1" ];
+    q "until never firing yields all" "(1..3)@9" [ "1 = 1"; "2 = 2"; "3 = 3" ];
+    q "until expression stop" "(1..9)@(_ == 4)" [ "1 = 1"; "2 = 2"; "3 = 3" ];
+    q "until char literal" "s[0..99]@'o'"
+      [ "s[0] = 104 'h'"; "s[1] = 101 'e'"; "s[2] = 108 'l'"; "s[3] = 108 'l'" ];
+    q "until sees fields through node pointers"
+      "(head-->next@(value == 29))->value"
+      [ "head->value = 10"; "head->next->value = 20";
+        "head->next->next->value = 30"; "head->next->next->next->value = 33";
+        "head-->next[[4]]->value = 40" ];
+    q "until with field stop on a chain" "hash[0]-->next@(scope == 2)->name"
+      [ "hash[0]->name = \"main\""; "hash[0]->next->name = \"argc\"" ];
+    (* index alias *)
+    q "index alias counts from zero" "(5,6,7)#n => {n}"
+      [ "0 = 0"; "1 = 1"; "2 = 2" ];
+    q "index alias usable in body" "w[..3]#idx ==? 20 => {idx}" [ "1 = 1" ];
+    (* the paper's alias-in-index idiom: y := x[j := ..10] => ... x[{j}] *)
+    q "alias inside an index expression"
+      "y2 := w[j2 := ..10] => if (y2 < 0 || y2 > 100) w[{j2}]"
+      [ "w[3] = -9"; "w[8] = 120" ];
+    q "select indices from a range and alternation"
+      "head-->next->value[[1..2,0]]"
+      [ "head->next->value = 20"; "head->next->next->value = 30";
+        "head->value = 10" ];
+    (* reductions *)
+    q "count" "#/(1..10)" [ "#/(1..10) = 10" ];
+    q "count empty" "#/(1..0)" [ "#/(1..0) = 0" ];
+    q "sum" "+/(1..10)" [ "+/(1..10) = 55" ];
+    q "sum empty is zero" "+/(1..0)" [ "+/(1..0) = 0" ];
+    q "sum goes float" "+/(1, 0.5)" [ "+/(1,0.5) = 1.5" ];
+    q "all nonzero" "&&/(1..5)" [ "&&/(1..5) = 1" ];
+    q "all with zero" "&&/(1,0,2)" [ "&&/(1,0,2) = 0" ];
+    q "all vacuous" "&&/(1..0)" [ "&&/(1..0) = 1" ];
+    q "any" "||/(0,0,3)" [ "||/(0,0,3) = 1" ];
+    q "any empty" "||/(1..0)" [ "||/(1..0) = 0" ];
+    (* sequence equality *)
+    q "seq-eq equal" "(1..3) ==/ (1,2,3)" [ "1 = 1" ];
+    q "seq-eq length mismatch" "(1..3) ==/ (1,2)" [ "0 = 0" ];
+    q "seq-eq value mismatch" "(1..3) ==/ (1,9,3)" [ "0 = 0" ];
+    q "seq-eq both empty" "(1..0) ==/ (5..2)" [ "1 = 1" ];
+    (* braces *)
+    q "braces substitute the value" "k2 := 6 => {k2} + 1" [ "6+1 = 7" ];
+    q "braces on generator" "( {1..2} )" [ "1 = 1"; "2 = 2" ];
+    (* calls with generators *)
+    qf "function call cross product" "abs((-1,2)) * (1,10)"
+      [ "abs(-1)*1 = 1"; "abs(-1)*10 = 10"; "abs(2)*1 = 2"; "abs(2)*10 = 20" ];
+    qf "strcmp over argv" "i3 := ..4 => if (strcmp(argv[{i3}], \"-q\") == 0) {i3}"
+      [ "1 = 1" ];
+    (* frames *)
+    q "frames generator walks all frames" "frames.n"
+      [ "frame(0).n = 3"; "frame(1).n = 4"; "frame(2).n = 5" ];
+    q "frame(i) scope" "frame(1).(n + acc)" [ "frame(1).n+frame(1).acc = 6" ];
+    q "frame out of range is an error" "frame(9).n"
+      [ "no active frame 9 (of 3)" ];
+    (* assignment through generators *)
+    qf "assign through generator lvalues" "w[0..2] = 1; w[0] + w[1] + w[2]"
+      [ "w[0]+w[1]+w[2] = 3" ];
+    (* C semantics: the lhs's with-scope must not capture rhs names *)
+    qf "assignment rhs sees the enclosing scope"
+      "value := 5; L->value = value; L->value" [ "L->value = 5" ];
+    qf "explicit with-group still opens the scope for the rhs"
+      "L->(value = value + 1); L->value" [ "L->value = 12" ];
+    qf "compound assignment through a field"
+      "L->value += L->next->value; L->value" [ "L->value = 24" ];
+    qf "assign cross product last wins" "w[0] = (5, 9); w[0]" [ "w[0] = 9" ];
+  ]

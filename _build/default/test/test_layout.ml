@@ -1,0 +1,193 @@
+(* Struct/union layout: offsets, sizes, alignment, bit-field packing. *)
+
+module Abi = Duel_ctype.Abi
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+
+let case = Support.case
+let lp64 = Abi.lp64
+let ilp32 = Abi.ilp32
+
+let mk_struct tag fields =
+  let c = Ctype.new_comp Ctype.CStruct tag in
+  Ctype.define_fields c fields;
+  c
+
+let mk_union tag fields =
+  let c = Ctype.new_comp Ctype.CUnion tag in
+  Ctype.define_fields c fields;
+  c
+
+let offset abi c name =
+  match Layout.find_field abi c name with
+  | Some fi -> fi.Layout.fi_offset
+  | None -> Alcotest.failf "no field %s" name
+
+let symbol_layout () =
+  (* struct symbol { char *name; int scope; struct symbol *next; } *)
+  let c =
+    mk_struct "sym_l"
+      [
+        Ctype.field "name" (Ctype.ptr Ctype.char);
+        Ctype.field "scope" Ctype.int;
+        Ctype.field "next" (Ctype.ptr Ctype.Void);
+      ]
+  in
+  Alcotest.(check int) "name at 0" 0 (offset lp64 c "name");
+  Alcotest.(check int) "scope at 8" 8 (offset lp64 c "scope");
+  Alcotest.(check int) "next at 16 (padded)" 16 (offset lp64 c "next");
+  Alcotest.(check int) "size 24" 24 (Layout.size_of lp64 (Ctype.Comp c));
+  Alcotest.(check int) "align 8" 8 (Layout.align_of lp64 (Ctype.Comp c));
+  (* ILP32: pointers are 4 bytes, no padding *)
+  Alcotest.(check int) "ilp32 scope at 4" 4 (offset ilp32 c "scope");
+  Alcotest.(check int) "ilp32 size 12" 12 (Layout.size_of ilp32 (Ctype.Comp c))
+
+let padding_tail () =
+  (* struct { char c; int i; char d; } -> 0,4,8, size 12 *)
+  let c =
+    mk_struct "pad_l"
+      [ Ctype.field "c" Ctype.char; Ctype.field "i" Ctype.int; Ctype.field "d" Ctype.char ]
+  in
+  Alcotest.(check int) "c" 0 (offset lp64 c "c");
+  Alcotest.(check int) "i" 4 (offset lp64 c "i");
+  Alcotest.(check int) "d" 8 (offset lp64 c "d");
+  Alcotest.(check int) "tail padding" 12 (Layout.size_of lp64 (Ctype.Comp c))
+
+let nested () =
+  let inner = mk_struct "inner_l" [ Ctype.field "a" Ctype.char; Ctype.field "b" Ctype.long ] in
+  let outer =
+    mk_struct "outer_l"
+      [ Ctype.field "x" Ctype.char; Ctype.field "s" (Ctype.Comp inner); Ctype.field "y" Ctype.char ]
+  in
+  Alcotest.(check int) "inner size" 16 (Layout.size_of lp64 (Ctype.Comp inner));
+  Alcotest.(check int) "s aligned to 8" 8 (offset lp64 outer "s");
+  Alcotest.(check int) "outer size" 32 (Layout.size_of lp64 (Ctype.Comp outer))
+
+let arrays () =
+  let c =
+    mk_struct "arr_l"
+      [ Ctype.field "tag" Ctype.char; Ctype.field "v" (Ctype.array Ctype.int 3) ]
+  in
+  Alcotest.(check int) "array aligned as element" 4 (offset lp64 c "v");
+  Alcotest.(check int) "size" 16 (Layout.size_of lp64 (Ctype.Comp c));
+  Alcotest.(check int) "array type size" 12
+    (Layout.size_of lp64 (Ctype.array Ctype.int 3));
+  Alcotest.(check int) "2d array" 24
+    (Layout.size_of lp64 (Ctype.Array (Ctype.array Ctype.int 3, Some 2)))
+
+let union_layout () =
+  let u =
+    mk_union "u_l"
+      [ Ctype.field "c" Ctype.char; Ctype.field "d" Ctype.double; Ctype.field "i" Ctype.int ]
+  in
+  Alcotest.(check int) "all at 0 (c)" 0 (offset lp64 u "c");
+  Alcotest.(check int) "all at 0 (d)" 0 (offset lp64 u "d");
+  Alcotest.(check int) "size of largest" 8 (Layout.size_of lp64 (Ctype.Comp u));
+  Alcotest.(check int) "align of strictest" 8 (Layout.align_of lp64 (Ctype.Comp u))
+
+let bitfields_pack () =
+  (* unsigned lo:3; unsigned mid:7; int hi;  -> lo/mid share unit 0 *)
+  let c =
+    mk_struct "bf_l"
+      [
+        Ctype.bitfield "lo" Ctype.uint 3;
+        Ctype.bitfield "mid" Ctype.uint 7;
+        Ctype.field "hi" Ctype.int;
+      ]
+  in
+  let lo = Option.get (Layout.find_field lp64 c "lo") in
+  let mid = Option.get (Layout.find_field lp64 c "mid") in
+  Alcotest.(check int) "lo unit offset" 0 lo.Layout.fi_offset;
+  Alcotest.(check int) "lo bit 0" 0 lo.Layout.fi_bit_off;
+  Alcotest.(check int) "mid same unit" 0 mid.Layout.fi_offset;
+  Alcotest.(check int) "mid bit 3" 3 mid.Layout.fi_bit_off;
+  Alcotest.(check int) "hi after unit" 4 (offset lp64 c "hi");
+  Alcotest.(check int) "size 8" 8 (Layout.size_of lp64 (Ctype.Comp c))
+
+let bitfields_no_straddle () =
+  (* a:30 then b:4 cannot share a 32-bit unit *)
+  let c =
+    mk_struct "bf2_l"
+      [ Ctype.bitfield "a" Ctype.uint 30; Ctype.bitfield "b" Ctype.uint 4 ]
+  in
+  let b = Option.get (Layout.find_field lp64 c "b") in
+  Alcotest.(check int) "b starts a new unit" 4 b.Layout.fi_offset;
+  Alcotest.(check int) "b bit 0" 0 b.Layout.fi_bit_off;
+  Alcotest.(check int) "size 8" 8 (Layout.size_of lp64 (Ctype.Comp c))
+
+let bitfields_zero_width () =
+  let c =
+    mk_struct "bf3_l"
+      [
+        Ctype.bitfield "a" Ctype.uint 3;
+        Ctype.bitfield "" Ctype.uint 0;
+        Ctype.bitfield "b" Ctype.uint 3;
+      ]
+  in
+  let b = Option.get (Layout.find_field lp64 c "b") in
+  Alcotest.(check int) "b pushed to next unit" 4 b.Layout.fi_offset;
+  Alcotest.(check int) "zero-width member omitted" 2
+    (List.length (Layout.fields_of lp64 c))
+
+let incomplete () =
+  let c = Ctype.new_comp Ctype.CStruct "inc_l" in
+  Alcotest.check_raises "incomplete struct size" (Layout.Incomplete "struct inc_l")
+    (fun () -> ignore (Layout.size_of lp64 (Ctype.Comp c)));
+  Alcotest.check_raises "function size" (Layout.Incomplete "function type")
+    (fun () -> ignore (Layout.size_of lp64 (Ctype.func Ctype.int [])))
+
+let empty_struct () =
+  let c = mk_struct "empty_l" [] in
+  Alcotest.(check int) "non-zero size" 1 (max 1 (Layout.size_of lp64 (Ctype.Comp c)))
+
+(* Property: random plain-field structs have monotonically increasing,
+   properly aligned offsets; each field fits inside the struct; total size
+   is a multiple of the alignment. *)
+let prop_layout_invariants =
+  let field_gen =
+    QCheck2.Gen.oneofl
+      [ Ctype.char; Ctype.short; Ctype.int; Ctype.long; Ctype.double;
+        Ctype.ptr Ctype.Void; Ctype.array Ctype.short 3 ]
+  in
+  QCheck2.Test.make ~name:"struct layout invariants" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 10) field_gen)
+    (fun types ->
+      let fields = List.mapi (fun i t -> Ctype.field (Printf.sprintf "f%d" i) t) types in
+      let c = Ctype.new_comp Ctype.CStruct "prop" in
+      Ctype.define_fields c fields;
+      let infos = Layout.fields_of lp64 c in
+      let size = Layout.size_of lp64 (Ctype.Comp c) in
+      let align = Layout.align_of lp64 (Ctype.Comp c) in
+      let ok_one prev (fi : Layout.field_info) =
+        let t = fi.Layout.fi_field.Ctype.f_type in
+        let a = Layout.align_of lp64 t in
+        let sz = Layout.size_of lp64 t in
+        let aligned = fi.Layout.fi_offset mod a = 0 in
+        let inside = fi.Layout.fi_offset + sz <= size in
+        let after = fi.Layout.fi_offset >= prev in
+        if aligned && inside && after then Some (fi.Layout.fi_offset + sz)
+        else None
+      in
+      let rec walk prev = function
+        | [] -> true
+        | fi :: rest -> (
+            match ok_one prev fi with
+            | Some next -> walk next rest
+            | None -> false)
+      in
+      walk 0 infos && size mod align = 0)
+
+let suite =
+  [
+    case "struct symbol layout (both ABIs)" symbol_layout;
+    case "interior and tail padding" padding_tail;
+    case "nested struct alignment" nested;
+    case "array members and array sizes" arrays;
+    case "union overlays" union_layout;
+    case "bit-fields pack into one unit" bitfields_pack;
+    case "bit-fields never straddle units" bitfields_no_straddle;
+    case "zero-width bit-field closes the unit" bitfields_zero_width;
+    case "incomplete types have no size" incomplete;
+    case "empty struct" empty_struct;
+    QCheck_alcotest.to_alcotest prop_layout_invariants;
+  ]

@@ -1,0 +1,116 @@
+(* The DUEL lexer: operators, literals, disambiguation. *)
+
+module T = Duel_core.Token
+module Lexer = Duel_core.Lexer
+module Ctype = Duel_ctype.Ctype
+
+let case = Support.case
+let abi = Duel_ctype.Abi.lp64
+
+let toks src = List.map fst (Lexer.tokenize ~abi src)
+
+let tok_t =
+  Alcotest.testable
+    (fun fmt t -> Format.pp_print_string fmt (T.describe t))
+    ( = )
+
+let check_toks what src expected =
+  Alcotest.(check (list tok_t)) what (expected @ [ T.EOF ]) (toks src)
+
+let duel_operators () =
+  check_toks "expansion family" "--> -->> -- - ->"
+    [ T.DFS; T.BFS; T.DEC; T.MINUS; T.ARROW ];
+  check_toks "filters" "<? >? <=? >=? ==? !=?"
+    [ T.QLT; T.QGT; T.QLE; T.QGE; T.QEQ; T.QNE ];
+  check_toks "filters vs comparisons" "< <= == != > >="
+    [ T.LT; T.LE; T.EQEQ; T.NE; T.GT; T.GE ];
+  check_toks "reductions" "#/ +/ &&/ ||/ ==/ #"
+    [ T.COUNTOF; T.SUMOF; T.ALLOF; T.ANYOF; T.SEQEQ; T.HASH ];
+  check_toks "alias and imply" ":= => = :"
+    [ T.DEFINE; T.IMPLY; T.ASSIGN; T.COLON ];
+  check_toks "dots" ".. ." [ T.DOTDOT; T.DOT ];
+  check_toks "compound assigns" "+= -= <<= >>= &= |= ^= *= /= %="
+    [ T.PLUSEQ; T.MINUSEQ; T.SHLEQ; T.SHREQ; T.AMPEQ; T.PIPEEQ; T.CARETEQ;
+      T.STAREQ; T.SLASHEQ; T.PERCENTEQ ]
+
+let select_brackets () =
+  check_toks "select opener is one token, closer two" "x[[3]]"
+    [ T.ID "x"; T.LSELECT; T.INT (3L, Ctype.int, "3"); T.RBRACK; T.RBRACK ];
+  check_toks "nested index still works" "a[b[0]]"
+    [ T.ID "a"; T.LBRACK; T.ID "b"; T.LBRACK; T.INT (0L, Ctype.int, "0");
+      T.RBRACK; T.RBRACK ]
+
+let range_vs_float () =
+  check_toks "1..3 is int range" "1..3"
+    [ T.INT (1L, Ctype.int, "1"); T.DOTDOT; T.INT (3L, Ctype.int, "3") ];
+  check_toks "1.5 is a float" "1.5" [ T.FLT (1.5, Ctype.double, "1.5") ];
+  check_toks "1. is a float" "1. " [ T.FLT (1.0, Ctype.double, "1.") ];
+  check_toks "1e3" "1e3" [ T.FLT (1000.0, Ctype.double, "1e3") ];
+  check_toks "1.5e-2" "1.5e-2" [ T.FLT (0.015, Ctype.double, "1.5e-2") ];
+  check_toks "float suffix f" "2.5f" [ T.FLT (2.5, Ctype.float, "2.5") ]
+
+let integer_literals () =
+  check_toks "hex" "0xff" [ T.INT (255L, Ctype.int, "0xff") ];
+  check_toks "octal" "017" [ T.INT (15L, Ctype.int, "017") ];
+  check_toks "unsigned suffix" "5u" [ T.INT (5L, Ctype.uint, "5u") ];
+  check_toks "long suffix" "5L" [ T.INT (5L, Ctype.long, "5L") ];
+  check_toks "ull" "5ull" [ T.INT (5L, Ctype.ullong, "5ull") ];
+  check_toks "big decimal promotes to long" "4294967296"
+    [ T.INT (4294967296L, Ctype.long, "4294967296") ];
+  check_toks "big hex promotes to uint" "0xffffffff"
+    [ T.INT (4294967295L, Ctype.uint, "0xffffffff") ];
+  check_toks "huge hex is ulong on lp64" "0xffffffffffffffff"
+    [ T.INT (-1L, Ctype.ulong, "0xffffffffffffffff") ]
+
+let char_and_string () =
+  check_toks "char" "'a'" [ T.CHR ('a', "'a'") ];
+  check_toks "escaped" "'\\n'" [ T.CHR ('\n', "'\\n'") ];
+  check_toks "nul" "'\\0'" [ T.CHR ('\000', "'\\0'") ];
+  check_toks "hex escape" "'\\x41'" [ T.CHR ('A', "'\\x41'") ];
+  check_toks "string" "\"ab\\tc\"" [ T.STR "ab\tc" ];
+  check_toks "string with quote" "\"a\\\"b\"" [ T.STR "a\"b" ]
+
+let keywords_and_idents () =
+  check_toks "keywords" "if else for while sizeof struct union enum"
+    [ T.KIF; T.KELSE; T.KFOR; T.KWHILE; T.KSIZEOF; T.KSTRUCT; T.KUNION; T.KENUM ];
+  check_toks "type keywords" "int char long short signed unsigned float double void _Bool"
+    [ T.KINT; T.KCHAR; T.KLONG; T.KSHORT; T.KSIGNED; T.KUNSIGNED; T.KFLOAT;
+      T.KDOUBLE; T.KVOID; T.KBOOL ];
+  check_toks "frame keywords" "frame frames" [ T.KFRAME; T.KFRAMES ];
+  check_toks "underscore alone" "_ _x x_" [ T.UNDER; T.ID "_x"; T.ID "x_" ];
+  check_toks "prefix is not keyword" "iffy format" [ T.ID "iffy"; T.ID "format" ]
+
+let comments () =
+  check_toks "## comment to end of line" "1 ## comment here\n2"
+    [ T.INT (1L, Ctype.int, "1"); T.INT (2L, Ctype.int, "2") ];
+  check_toks "# alone is index alias" "x#i" [ T.ID "x"; T.HASH; T.ID "i" ]
+
+let errors () =
+  let check_err what src =
+    Alcotest.(check bool) what true
+      (match Lexer.tokenize ~abi src with
+      | _ -> false
+      | exception Lexer.Error _ -> true)
+  in
+  check_err "unterminated string" "\"abc";
+  check_err "unterminated char" "'a";
+  check_err "empty hex" "0x";
+  check_err "bad octal" "08";
+  check_err "stray backquote" "`"
+
+let positions () =
+  let positions = List.map snd (Lexer.tokenize ~abi "ab + cd") in
+  Alcotest.(check (list int)) "byte offsets" [ 0; 3; 5; 7 ] positions
+
+let suite =
+  [
+    case "DUEL operators, maximal munch" duel_operators;
+    case "select brackets" select_brackets;
+    case "1..3 vs floats" range_vs_float;
+    case "integer literal typing" integer_literals;
+    case "chars and strings" char_and_string;
+    case "keywords and identifiers" keywords_and_idents;
+    case "comments" comments;
+    case "lexical errors" errors;
+    case "token positions" positions;
+  ]

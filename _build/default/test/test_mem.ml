@@ -1,0 +1,238 @@
+(* Memory, codecs, allocator. *)
+
+module Abi = Duel_ctype.Abi
+module Memory = Duel_mem.Memory
+module Codec = Duel_mem.Codec
+module Alloc = Duel_mem.Alloc
+
+let case = Support.case
+let lp64 = Abi.lp64
+let be = Abi.big_endian Abi.lp64
+
+let roundtrip_bytes () =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000 ~size:64;
+  let data = Bytes.of_string "hello world" in
+  Memory.write mem ~addr:0x1000 data;
+  Alcotest.(check string) "roundtrip" "hello world"
+    (Bytes.to_string (Memory.read mem ~addr:0x1000 ~len:11))
+
+let zero_filled () =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x2000 ~size:16;
+  Alcotest.(check int) "fresh pages are zero" 0 (Memory.read_u8 mem 0x2007)
+
+let fault_unmapped () =
+  let mem = Memory.create () in
+  Alcotest.check_raises "read faults" (Memory.Fault 0x5000) (fun () ->
+      ignore (Memory.read mem ~addr:0x5000 ~len:1));
+  Memory.map mem ~addr:0x5000 ~size:8;
+  ignore (Memory.read mem ~addr:0x5000 ~len:8);
+  Memory.unmap mem ~addr:0x5000 ~size:8;
+  Alcotest.check_raises "read faults after unmap" (Memory.Fault 0x5000)
+    (fun () -> ignore (Memory.read mem ~addr:0x5000 ~len:1))
+
+let negative_fault () =
+  let mem = Memory.create () in
+  Alcotest.check_raises "negative address faults" (Memory.Fault (-4))
+    (fun () -> ignore (Memory.read_u8 mem (-4)))
+
+let cross_page () =
+  let mem = Memory.create () in
+  let addr = (2 * Memory.page_size) - 3 in
+  Memory.map mem ~addr ~size:8;
+  Memory.write mem ~addr (Bytes.of_string "abcdefgh");
+  Alcotest.(check string) "crosses the page boundary" "abcdefgh"
+    (Bytes.to_string (Memory.read mem ~addr ~len:8));
+  (* a fault in the middle reports the exact unmapped byte *)
+  let mem2 = Memory.create () in
+  Memory.map mem2 ~addr:(Memory.page_size - 4) ~size:4;
+  Alcotest.check_raises "faults at the page edge" (Memory.Fault Memory.page_size)
+    (fun () -> ignore (Memory.read mem2 ~addr:(Memory.page_size - 4) ~len:8))
+
+let is_mapped () =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000 ~size:1;
+  Alcotest.(check bool) "mapped page" true (Memory.is_mapped mem ~addr:0x1000 ~size:1);
+  Alcotest.(check bool) "empty range" true (Memory.is_mapped mem ~addr:0x9000 ~size:0);
+  Alcotest.(check bool) "unmapped" false (Memory.is_mapped mem ~addr:0x90000 ~size:1)
+
+let int_codec () =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0 ~size:64;
+  Codec.write_int lp64 mem ~addr:0 ~size:4 0x12345678L;
+  Alcotest.(check int) "little-endian low byte first" 0x78 (Memory.read_u8 mem 0);
+  Alcotest.(check int64) "read back" 0x12345678L
+    (Codec.read_int lp64 mem ~addr:0 ~size:4 ~signed:false);
+  Codec.write_int be mem ~addr:8 ~size:4 0x12345678L;
+  Alcotest.(check int) "big-endian high byte first" 0x12 (Memory.read_u8 mem 8);
+  Alcotest.(check int64) "big-endian read back" 0x12345678L
+    (Codec.read_int be mem ~addr:8 ~size:4 ~signed:false);
+  Codec.write_int lp64 mem ~addr:16 ~size:2 0xffffL;
+  Alcotest.(check int64) "signed sign-extends" (-1L)
+    (Codec.read_int lp64 mem ~addr:16 ~size:2 ~signed:true);
+  Alcotest.(check int64) "unsigned zero-extends" 0xffffL
+    (Codec.read_int lp64 mem ~addr:16 ~size:2 ~signed:false)
+
+let float_codec () =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0 ~size:64;
+  Codec.write_float lp64 mem ~addr:0 ~size:8 3.14159;
+  Alcotest.(check (float 0.0)) "double roundtrip" 3.14159
+    (Codec.read_float lp64 mem ~addr:0 ~size:8);
+  Codec.write_float lp64 mem ~addr:8 ~size:4 1.5;
+  Alcotest.(check (float 0.0)) "float roundtrip (exact half)" 1.5
+    (Codec.read_float lp64 mem ~addr:8 ~size:4);
+  Codec.write_float lp64 mem ~addr:16 ~size:16 2.75;
+  Alcotest.(check (float 0.0)) "long double stored as double" 2.75
+    (Codec.read_float lp64 mem ~addr:16 ~size:16)
+
+let bitfield_codec () =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0 ~size:16;
+  Codec.write_bitfield lp64 mem ~addr:0 ~unit_size:4 ~bit_off:3 ~width:7 77L;
+  Codec.write_bitfield lp64 mem ~addr:0 ~unit_size:4 ~bit_off:0 ~width:3 5L;
+  Alcotest.(check int64) "mid" 77L
+    (Codec.read_bitfield lp64 mem ~addr:0 ~unit_size:4 ~bit_off:3 ~width:7 ~signed:false);
+  Alcotest.(check int64) "lo" 5L
+    (Codec.read_bitfield lp64 mem ~addr:0 ~unit_size:4 ~bit_off:0 ~width:3 ~signed:false);
+  Codec.write_bitfield lp64 mem ~addr:8 ~unit_size:4 ~bit_off:4 ~width:4 0xfL;
+  Alcotest.(check int64) "signed bit-field sign-extends" (-1L)
+    (Codec.read_bitfield lp64 mem ~addr:8 ~unit_size:4 ~bit_off:4 ~width:4 ~signed:true)
+
+let cstring_codec () =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0 ~size:64;
+  Codec.write_cstring mem ~addr:0 "duel";
+  Alcotest.(check string) "roundtrip" "duel" (Codec.read_cstring mem ~addr:0 ~max_len:100);
+  Alcotest.(check string) "max_len truncates" "du" (Codec.read_cstring mem ~addr:0 ~max_len:2);
+  (* stops at unmapped memory rather than faulting *)
+  let mem2 = Memory.create () in
+  Memory.map mem2 ~addr:(Memory.page_size - 2) ~size:2;
+  Memory.write_u8 mem2 (Memory.page_size - 2) (Char.code 'a');
+  Memory.write_u8 mem2 (Memory.page_size - 1) (Char.code 'b');
+  Alcotest.(check string) "unterminated stops at fault" "ab"
+    (Codec.read_cstring mem2 ~addr:(Memory.page_size - 2) ~max_len:100)
+
+let alloc_basic () =
+  let mem = Memory.create () in
+  let heap = Alloc.create mem ~base:0x1000 ~size:0x10000 in
+  let a = Alloc.malloc heap 10 in
+  let b = Alloc.malloc heap 20 in
+  Alcotest.(check bool) "16-aligned" true (a mod 16 = 0 && b mod 16 = 0);
+  Alcotest.(check bool) "disjoint" true (b >= a + 16 || a >= b + 32);
+  Alcotest.(check int) "zeroed" 0 (Memory.read_u8 mem a);
+  Alcotest.(check (option int)) "block size recorded" (Some 16) (Alloc.block_size heap a);
+  Alloc.free heap a;
+  Alcotest.(check (option int)) "freed" None (Alloc.block_size heap a);
+  Alcotest.(check int) "live count" 1 (Alloc.live_blocks heap)
+
+let alloc_reuse_coalesce () =
+  let mem = Memory.create () in
+  let heap = Alloc.create mem ~base:0x1000 ~size:64 in
+  let a = Alloc.malloc heap 16 in
+  let b = Alloc.malloc heap 16 in
+  let c = Alloc.malloc heap 16 in
+  let d = Alloc.malloc heap 16 in
+  Alcotest.check_raises "exhausted" Out_of_memory (fun () ->
+      ignore (Alloc.malloc heap 1));
+  Alloc.free heap b;
+  Alloc.free heap c;
+  (* b and c coalesce into 32 bytes *)
+  let e = Alloc.malloc heap 32 in
+  Alcotest.(check int) "coalesced block reused" b e;
+  Alloc.free heap a;
+  Alloc.free heap d;
+  Alloc.free heap e;
+  Alcotest.(check int) "all free" 0 (Alloc.live_blocks heap);
+  Alcotest.(check int) "whole region again" 64
+    (let f = Alloc.malloc heap 64 in
+     Option.get (Alloc.block_size heap f))
+
+let alloc_double_free () =
+  let mem = Memory.create () in
+  let heap = Alloc.create mem ~base:0x1000 ~size:256 in
+  let a = Alloc.malloc heap 8 in
+  Alloc.free heap a;
+  Alcotest.(check bool) "double free rejected" true
+    (match Alloc.free heap a with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_mem_roundtrip =
+  QCheck2.Test.make ~name:"memory write/read roundtrip" ~count:200
+    QCheck2.Gen.(pair (int_range 0 100000) (string_size (int_range 1 300)))
+    (fun (addr, s) ->
+      let mem = Memory.create () in
+      Memory.map mem ~addr ~size:(String.length s);
+      Memory.write mem ~addr (Bytes.of_string s);
+      Bytes.to_string (Memory.read mem ~addr ~len:(String.length s)) = s)
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"int codec roundtrip both endians" ~count:300
+    QCheck2.Gen.(triple (oneofl [ 1; 2; 4; 8 ]) int64 bool)
+    (fun (size, v, big) ->
+      let abi = if big then be else lp64 in
+      let mem = Memory.create () in
+      Memory.map mem ~addr:0 ~size:8;
+      Codec.write_int abi mem ~addr:0 ~size v;
+      let mask =
+        if size >= 8 then -1L else Int64.sub (Int64.shift_left 1L (size * 8)) 1L
+      in
+      Int64.equal
+        (Codec.read_int abi mem ~addr:0 ~size ~signed:false)
+        (Int64.logand v mask))
+
+let prop_alloc_disjoint =
+  QCheck2.Test.make ~name:"allocator produces disjoint live blocks" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 1 200))
+    (fun sizes ->
+      let mem = Memory.create () in
+      let heap = Alloc.create mem ~base:0x1000 ~size:0x100000 in
+      let blocks =
+        List.filter_map
+          (fun s ->
+            match Alloc.malloc heap s with
+            | addr -> Some (addr, Option.get (Alloc.block_size heap addr))
+            | exception Out_of_memory -> None)
+          sizes
+      in
+      (* free every other block, then allocate again: still disjoint *)
+      List.iteri (fun i (a, _) -> if i mod 2 = 0 then Alloc.free heap a) blocks;
+      let more =
+        List.filter_map
+          (fun s ->
+            match Alloc.malloc heap (s * 2) with
+            | addr -> Some (addr, Option.get (Alloc.block_size heap addr))
+            | exception Out_of_memory -> None)
+          sizes
+      in
+      let live =
+        more @ List.filteri (fun i _ -> i mod 2 = 1) blocks
+      in
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) live in
+      let rec disjoint = function
+        | (a, sa) :: ((b, _) :: _ as rest) -> a + sa <= b && disjoint rest
+        | _ -> true
+      in
+      disjoint sorted)
+
+let suite =
+  [
+    case "byte roundtrip" roundtrip_bytes;
+    case "fresh pages zero-filled" zero_filled;
+    case "faults on unmapped and after unmap" fault_unmapped;
+    case "negative addresses fault" negative_fault;
+    case "cross-page access and exact fault address" cross_page;
+    case "is_mapped" is_mapped;
+    case "integer codec (endianness, sign extension)" int_codec;
+    case "float codec (double, float, long double)" float_codec;
+    case "bit-field codec" bitfield_codec;
+    case "C string codec" cstring_codec;
+    case "allocator basics" alloc_basic;
+    case "allocator reuse and coalescing" alloc_reuse_coalesce;
+    case "double free rejected" alloc_double_free;
+    QCheck_alcotest.to_alcotest prop_mem_roundtrip;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_alloc_disjoint;
+  ]

@@ -1,0 +1,239 @@
+(* The mini-C execution substrate: parsing, semantics, interaction with
+   the inferior and with DUEL. *)
+
+module Interp = Duel_minic.Interp
+module Mparse = Duel_minic.Mparse
+module Mast = Duel_minic.Mast
+module Inferior = Duel_target.Inferior
+module Session = Duel_core.Session
+
+let case = Support.case
+
+let load src =
+  let inf = Inferior.create () in
+  Duel_target.Stdfuncs.register_all inf;
+  (inf, Interp.load inf src)
+
+let run src func args =
+  let _, t = load src in
+  Interp.call_int t func args
+
+let check_run what src func args expected =
+  case what (fun () -> Alcotest.(check int64) what expected (run src func args))
+
+let arith =
+  check_run "arithmetic and locals"
+    "int f(int a, int b) { int c; c = a * b + 2; return c - 1; }" "f" [ 6; 7 ]
+    43L
+
+let conditionals =
+  check_run "if/else chains"
+    {|int sign(int x) {
+        if (x > 0) return 1;
+        else if (x < 0) return -1;
+        else return 0;
+      }|}
+    "sign" [ -5 ] (-1L)
+
+let while_loop =
+  check_run "while with break/continue"
+    {|int f(int n) {
+        int i; int total;
+        i = 0; total = 0;
+        while (1) {
+          i = i + 1;
+          if (i > n) break;
+          if (i % 2 == 0) continue;
+          total = total + i;
+        }
+        return total;
+      }|}
+    "f" [ 10 ] 25L
+
+let for_loop =
+  check_run "for loop" "int f(int n) { int i; int s; s = 0; for (i = 1; i <= n; i++) s += i; return s; }"
+    "f" [ 100 ] 5050L
+
+let do_while =
+  check_run "do/while runs at least once"
+    "int f(int n) { int c; c = 0; do { c = c + 1; } while (c < n); return c; }"
+    "f" [ 0 ] 1L
+
+let recursion =
+  check_run "recursion through the target-function registry"
+    "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }"
+    "fib" [ 12 ] 144L
+
+let mutual_recursion =
+  check_run "mutual recursion"
+    {|int is_odd(int n);
+      int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+      int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+      int f(int n) { return is_even(n); }|}
+    "f" [ 10 ] 1L
+
+let globals_and_init =
+  check_run "globals with initializers"
+    {|int base = 40;
+      int bump(int d) { base = base + d; return base; }|}
+    "bump" [ 2 ] 42L
+
+let structs_and_heap =
+  check_run "structs, malloc, pointer chains"
+    {|struct cell { int value; struct cell *next; };
+      struct cell *first;
+      int push(int v) {
+        struct cell *q;
+        q = (struct cell *)malloc(sizeof(struct cell));
+        q->value = v;
+        q->next = first;
+        first = q;
+        return v;
+      }
+      int sum() {
+        struct cell *p; int t;
+        t = 0;
+        for (p = first; p != 0; p = p->next) t = t + p->value;
+        return t;
+      }
+      int main() {
+        int i;
+        for (i = 1; i <= 5; i++) push(i * i);
+        return sum();
+      }|}
+    "main" [] 55L
+
+let arrays_locals =
+  check_run "local arrays"
+    {|int f(int n) {
+        int a[10]; int i; int s;
+        for (i = 0; i < 10; i++) a[i] = i * n;
+        s = 0;
+        for (i = 0; i < 10; i++) s = s + a[i];
+        return s;
+      }|}
+    "f" [ 3 ] 135L
+
+let init_declarator =
+  check_run "declarations with initializers"
+    "int f(int n) { int a = 2 * n; int b = a + 1; return a * b; }" "f" [ 3 ] 42L
+
+let bitfield_struct =
+  check_run "bit-field structs"
+    {|struct flags { unsigned lo : 3; unsigned hi : 5; };
+      struct flags g;
+      int f(int v) { g.lo = v; g.hi = v * 2; return g.lo + g.hi; }|}
+    "f" [ 5 ] 15L
+
+let printf_from_minic =
+  case "printf from mini-C goes to the capture buffer" (fun () ->
+      let inf, t = load {|int f(int n) { printf("n=%d!", n); return 0; }|} in
+      ignore (Interp.call_int t "f" [ 7 ]);
+      Alcotest.(check string) "captured" "n=7!" (Inferior.take_output inf))
+
+let duel_calls_minic =
+  case "DUEL expressions call mini-C functions" (fun () ->
+      let inf, _t =
+        load "int triple(int n) { return 3 * n; }"
+      in
+      let s = Session.create (Duel_target.Backend.direct inf) in
+      Alcotest.(check (list string)) "call cross product"
+        [ "triple(1)+1 = 4"; "triple(2)+1 = 7" ]
+        (Session.exec s "triple(1..2) + 1"))
+
+let duel_sees_program_state =
+  case "DUEL inspects program heap state" (fun () ->
+      let inf, t =
+        load
+          {|struct cell { int value; struct cell *next; };
+            struct cell *first;
+            int push(int v) {
+              struct cell *q;
+              q = (struct cell *)malloc(sizeof(struct cell));
+              q->value = v; q->next = first; first = q;
+              return v;
+            }
+            int build() { push(10); push(20); push(30); return 0; }|}
+      in
+      ignore (Interp.call_int t "build" []);
+      let s = Session.create (Duel_target.Backend.direct inf) in
+      Alcotest.(check (list string)) "walk the built list"
+        [ "first->value = 30"; "first->next->value = 20";
+          "first->next->next->value = 10" ]
+        (Session.exec s "first-->next->value"))
+
+let step_limit =
+  case "step limit stops runaway loops" (fun () ->
+      let _, t = load "int spin() { while (1) ; return 0; }" in
+      Interp.set_step_limit t 1000;
+      Alcotest.(check bool) "runtime error raised" true
+        (match Interp.call_int t "spin" [] with
+        | _ -> false
+        | exception Interp.Runtime_error _ -> true))
+
+let wrong_arity =
+  case "arity mismatch reported" (fun () ->
+      let _, t = load "int f(int a) { return a; }" in
+      Alcotest.(check bool) "runtime error" true
+        (match Interp.call_int t "f" [ 1; 2 ] with
+        | _ -> false
+        | exception Interp.Runtime_error _ -> true))
+
+let parse_errors =
+  case "syntax errors carry line numbers" (fun () ->
+      let src = "int f() {\n  int x;\n  x = ;\n  return x;\n}" in
+      match Mparse.parse ~abi:Duel_ctype.Abi.lp64 src with
+      | _ -> Alcotest.fail "should not parse"
+      | exception Mparse.Error (_, line) ->
+          Alcotest.(check int) "line 3" 3 line)
+
+let hook_events =
+  case "hooks observe enter/stmt/leave" (fun () ->
+      let _, t = load "int f(int n) { int a; a = n; return a + 1; }" in
+      let enters = ref 0 and stmts = ref 0 and leaves = ref 0 in
+      Interp.set_hook t
+        (Some
+           (function
+           | Interp.Enter _ -> incr enters
+           | Interp.Stmt _ -> incr stmts
+           | Interp.Leave _ -> incr leaves));
+      ignore (Interp.call_int t "f" [ 1 ]);
+      Alcotest.(check int) "one enter" 1 !enters;
+      Alcotest.(check int) "one leave" 1 !leaves;
+      Alcotest.(check bool) "several statements" true (!stmts >= 3))
+
+let return_conversion =
+  check_run "return value converts to the declared type"
+    "char f() { return 321; }" "f" [] 65L
+
+let void_function =
+  check_run "void functions return zero through the registry"
+    {|int g;
+      void set(int v) { g = v; }
+      int f(int v) { set(v); return g; }|}
+    "f" [ 9 ] 9L
+
+let suite =
+  [
+    arith;
+    conditionals;
+    while_loop;
+    for_loop;
+    do_while;
+    recursion;
+    mutual_recursion;
+    globals_and_init;
+    structs_and_heap;
+    arrays_locals;
+    init_declarator;
+    bitfield_struct;
+    printf_from_minic;
+    duel_calls_minic;
+    duel_sees_program_state;
+    step_limit;
+    wrong_arity;
+    parse_errors;
+    hook_events;
+    return_conversion;
+    void_function;
+  ]

@@ -1,0 +1,130 @@
+(* The most faithful reproduction possible: instead of poking the symbol
+   table into memory with OCaml builders, run an actual C program in the
+   simulated inferior to build it — then ask the paper's questions about
+   the state the program left behind, exactly as a live gdb+DUEL session
+   would. *)
+
+module Interp = Duel_minic.Interp
+module Inferior = Duel_target.Inferior
+module Session = Duel_core.Session
+
+let case = Support.case
+
+let program =
+  {|
+struct symbol { char *name; int scope; struct symbol *next; };
+struct symbol *hash[64];
+
+int add(int bucket, char *name, int scope) {
+  struct symbol *q;
+  q = (struct symbol *)malloc(sizeof(struct symbol));
+  q->name = name;
+  q->scope = scope;
+  q->next = hash[bucket];
+  hash[bucket] = q;
+  return scope;
+}
+
+int populate() {
+  int b;
+  ## default chains: two symbols per bucket, scopes 2 then 1,
+  ## inserted in increasing scope order so chains end up decreasing
+  for (b = 0; b < 64; b++) {
+    add(b, "inner", 1);
+    add(b, "outer", 2);
+  }
+  ## the interesting buckets from the paper's transcripts
+  add(5, "yylval", 7);
+  add(41, "yytext", 8);
+  ## a sortedness violation four links down bucket 17
+  add(17, "deep3", 6);
+  add(17, "deep2", 5);
+  add(17, "deep1", 5);
+  return 0;
+}
+
+int clear_heads() {
+  int b;
+  for (b = 0; b < 64; b++)
+    hash[b]->scope = 0;
+  return 0;
+}
+|}
+
+let make () =
+  let inf = Inferior.create () in
+  Duel_target.Stdfuncs.register_all inf;
+  let t = Interp.load inf program in
+  ignore (Interp.call_int t "populate" []);
+  (inf, t, Session.create (Duel_target.Backend.direct inf))
+
+let deep_scopes () =
+  let _, _, s = make () in
+  Alcotest.(check (list string)) "the paper's hash scan"
+    [ "hash[5]->scope = 7"; "hash[17]->scope = 5"; "hash[41]->scope = 8" ]
+    (Session.exec s "(hash[..64] !=? 0)->scope >? 2")
+
+let names_via_with () =
+  let _, _, s = make () in
+  Alcotest.(check (list string)) "names through _ and with"
+    [ "hash[5]->name = \"yylval\""; "hash[17]->name = \"deep1\"";
+      "hash[41]->name = \"yytext\"" ]
+    (Session.exec s "hash[..64]->(if (_ && scope > 2) name)")
+
+let chain_walk () =
+  let _, _, s = make () in
+  Alcotest.(check (list string)) "bucket 0 chain, decreasing scopes"
+    [ "hash[0]->scope = 2"; "hash[0]->next->scope = 1" ]
+    (Session.exec s "hash[0]-->next->scope")
+
+let sortedness_violation () =
+  let _, _, s = make () in
+  (* deep1(5) deep2(5) deep3(6) outer(2) inner(1): violation where a
+     scope is less than its successor's — deep2(5) < deep3(6) *)
+  Alcotest.(check (list string)) "found at the planted position"
+    [ "hash[17]->next->scope = 5" ]
+    (Session.exec s "hash[..64]-->next->if (next) scope <? next->scope")
+
+let totals () =
+  let _, _, s = make () in
+  Alcotest.(check (list string)) "symbol count: 64*2 + 5 planted"
+    [ "#/(hash[..64]-->next) = 133" ]
+    (Session.exec s "#/(hash[..64]-->next)")
+
+let clear_by_program_then_query () =
+  let _, t, s = make () in
+  ignore (Interp.call_int t "clear_heads" []);
+  Alcotest.(check (list string)) "heads cleared by the program"
+    [ "#/(hash[..64]->(scope ==? 0)) = 64" ]
+    (Session.exec s "#/(hash[..64]->(scope ==? 0))")
+
+let clear_by_duel_then_program () =
+  let _, t, s = make () in
+  (* mutate from the debugger, observe from the program *)
+  ignore (Session.exec s "hash[0..63]->scope = 9 ;");
+  ignore (Interp.call_int t "populate" []);
+  (* populate pushed new nodes on every chain; each old head, scope 9,
+     is still reachable somewhere down its chain *)
+  Alcotest.(check (list string)) "all 64 old heads still carry scope 9"
+    [ "#/(hash[..64]-->next->(scope ==? 9)) = 64" ]
+    (Session.exec s "#/(hash[..64]-->next->(scope ==? 9))")
+
+let duel_calls_into_program () =
+  let _, _, s = make () in
+  (* call the program's own add() from a DUEL one-liner, then observe *)
+  ignore (Session.exec s "add(3, \"fromduel\", 42) ;");
+  Alcotest.(check (list string)) "inserted by a DUEL call"
+    [ "hash[3]->name = \"fromduel\""; "hash[3]->scope = 42" ]
+    (Session.exec s "hash[3]->(name, scope)")
+
+let suite =
+  [
+    case "deep scopes on a program-built table" deep_scopes;
+    case "names via with/_ on a program-built table" names_via_with;
+    case "chain walk" chain_walk;
+    case "sortedness violation" sortedness_violation;
+    case "symbol totals" totals;
+    case "program mutation observed by DUEL" clear_by_program_then_query;
+    case "DUEL mutation observed by the program" clear_by_duel_then_program;
+    case "DUEL calls the program's own functions" duel_calls_into_program;
+  ]

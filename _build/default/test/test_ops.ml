@@ -1,0 +1,94 @@
+(* C operator semantics through full parse+eval: arithmetic conversions,
+   unsigned wraparound, pointers, casts, assignment, inc/dec. *)
+
+open Support
+
+let suite =
+  [
+    (* arithmetic and conversions *)
+    q1 "integer addition" "2+3" "2+3 = 5";
+    q1 "precedence" "2+3*4" "2+3*4 = 14";
+    q1 "integer division truncates" "7/2" "7/2 = 3";
+    q1 "negative division toward zero" "-7/2" "-7/2 = -3";
+    q1 "negative modulo" "-7%2" "-7%2 = -1";
+    q1 "int overflow wraps" "2147483647 + 1" "2147483647+1 = -2147483648";
+    q1 "long no wrap at 2^31" "2147483647L + 1" "2147483647L+1 = 2147483648";
+    q1 "unsigned subtraction wraps" "5u - 6u" "5u-6u = 4294967295";
+    q1 "unsigned division" "4294967295u / 2" "4294967295u/2 = 2147483647";
+    q1 "unsigned comparison" "4294967295u > 1" "4294967295u>1 = 1";
+    q1 "signed/unsigned usual conversion" "-1 > 1u" "-1>1u = 1";
+    q1 "mixed int/double" "1 + (double)3/2" "1+(double)3/2 = 2.5";
+    q1 "float literal arithmetic" "0.5 * 4" "0.5*4 = 2";
+    q1 "char promotes to int" "'a' + 1" "'a'+1 = 98";
+    q1 "hex and octal" "0x10 + 010" "0x10+010 = 24";
+    (* shifts and bitwise *)
+    q1 "shift left" "1 << 4" "1<<4 = 16";
+    q1 "shift into sign bit" "1 << 31" "1<<31 = -2147483648";
+    q1 "arithmetic shift right" "-8 >> 1" "-8>>1 = -4";
+    q1 "logical shift right of unsigned" "0x80000000u >> 31" "0x80000000u>>31 = 1";
+    q1 "bitand" "12 & 10" "12&10 = 8";
+    q1 "bitor" "12 | 3" "12|3 = 15";
+    q1 "bitxor" "12 ^ 10" "12^10 = 6";
+    q1 "bitnot" "~0" "~0 = -1";
+    q1 "bitwise precedence" "1 | 2 ^ 3 & 2" "1|2^3&2 = 1";
+    (* unary and truth *)
+    q1 "logical not" "!5" "!5 = 0";
+    q1 "logical not of zero" "!0" "!0 = 1";
+    q1 "unary minus promotes char" "-'a'" "-'a' = -97";
+    q1 "double negation" "- -5" "--5 = 5";
+    (* comparisons *)
+    q1 "less" "3 < 4" "3<4 = 1";
+    q1 "equality false" "3 == 4" "3==4 = 0";
+    q1 "float compare" "2.5 > 2" "2.5>2 = 1";
+    (* casts *)
+    q1 "narrowing cast wraps" "(char)321" "(char)321 = 65 'A'";
+    q1 "cast to short" "(short)70000" "(short)70000 = 4464";
+    q1 "float to int truncates" "(int)2.9" "(int)2.9 = 2";
+    q1 "negative float to int" "(int)-2.9" "(int)-2.9 = -2";
+    q1 "int to double" "(double)3" "(double)3 = 3";
+    q1 "cast to unsigned" "(unsigned)-1" "(unsigned)-1 = 4294967295";
+    q1 "double to float loses precision" "(float)0.1 == 0.1"
+      "(float)0.1==0.1 = 0";
+    (* sizeof *)
+    q1 "sizeof int" "sizeof(int)" "sizeof(int) = 4";
+    q1 "sizeof pointer" "sizeof(char *)" "sizeof(char *) = 8";
+    q1 "sizeof array type" "sizeof(int[10])" "sizeof(int [10]) = 40";
+    q1 "sizeof expression" "sizeof x" "sizeof x = 400";
+    q1 "sizeof struct via typedef" "sizeof(sym_t)" "sizeof(sym_t) = 24";
+    q1 "sizeof array element" "sizeof x[0]" "sizeof x[0] = 4";
+    (* pointers *)
+    q1 "array decays in arithmetic" "*(x + 3)" "*(x+3) = 7";
+    q1 "pointer difference" "&x[5] - &x[2]" "&x[5]-&x[2] = 3";
+    q1 "pointer difference scales" "(char *)&x[1] - (char *)&x[0]"
+      "(char *)&x[1]-(char *)&x[0] = 4";
+    q1 "pointer plus int indexes" "x[3]" "x[3] = 7";
+    q1 "commuted index (symbolic normalizes)" "3[x]" "x[3] = 7";
+    q1 "address then deref" "*&x[3]" "*&x[3] = 7";
+    q1 "pointer comparison" "&x[1] < &x[2]" "&x[1]<&x[2] = 1";
+    q1 "null pointer equality" "hash[0] != 0" "hash[0]!=0 = 1";
+    q1 "deref of string global" "s[0]" "s[0] = 104 'h'";
+    (* enums *)
+    q1 "enum arithmetic" "GREEN + 1" "GREEN+1 = 2";
+    q1 "enum compare" "paint == GREEN" "paint==GREEN = 1";
+    (* ternary, logicals on single values *)
+    q1 "ternary true" "1 ? 10 : 20" "10 = 10";
+    q1 "ternary false" "0 ? 10 : 20" "20 = 20";
+    q1 "and yields right value" "2 && 3" "2 && 3 = 3";
+    q1 "or short-circuit value" "2 || 3" "2 = 1";
+    q1 "or falls to right" "0 || 3" "0 || 3 = 3";
+    (* bit-fields *)
+    q1 "bit-field read lo" "pk.lo" "pk.lo = 5";
+    q1 "bit-field read mid" "pk.mid" "pk.mid = 77";
+    q1 "plain field after bit-fields" "pk.hi" "pk.hi = -1";
+    (* assignment family, on fresh debuggees *)
+    qf "assignment returns value" "w[0] = 42" [ "w[0] = 42" ];
+    qf "compound assignment" "w[0] += 5" [ "w[0] = 15" ];
+    qf "chained assignment" "w[0] = w[1] = 7" [ "w[0] = 7" ];
+    qf "assignment converts" "w[0] = 2.9" [ "w[0] = 2" ];
+    qf "preincrement" "++w[0]" [ "++w[0] = 11" ];
+    qf "postincrement yields old" "w[0]++" [ "w[0]++ = 10" ];
+    qf "predecrement" "--w[0]" [ "--w[0] = 9" ];
+    qf "bit-field assignment wraps" "pk.lo = 9; pk.lo" [ "pk.lo = 1" ];
+    qf "increment through alias" "int i; i = 5; i++; i" [ "i = 6" ];
+    qf "struct assignment copies" "*L = *L->next; L->value" [ "L->value = 13" ];
+  ]

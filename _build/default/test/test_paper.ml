@@ -1,0 +1,140 @@
+(* E1: golden tests for the paper's example transcripts.
+
+   Each case is one `gdb> duel ...` interaction from the paper, run
+   against the scenario debuggee built to match its data.  Where our
+   output deliberately deviates (documented in EXPERIMENTS.md), the case
+   name carries a [dev:] tag and the expectation records OUR output:
+     dev:float   — we print 2.5 where the paper prints 2.500
+     dev:order   — our --> visits true preorder (paper: 9,3,5,4,12)
+     dev:compress— threshold-4 compression (paper inconsistent: compresses
+                   3 links in one example, leaves 3 uncompressed in another)
+     dev:typo    — the paper's tree-search comparisons are flipped
+                   relative to its own printed output *)
+
+open Support
+
+let silent_suffix = []
+
+let suite =
+  [
+    (* Syntax section, first examples *)
+    q1 "print equivalence" "1 + (double)3/2" "1+(double)3/2 = 2.5";
+    q "alternation products" "(1,2,5)*4+(10,200)"
+      [ "1*4+10 = 14"; "1*4+200 = 204"; "2*4+10 = 18"; "2*4+200 = 208";
+        "5*4+10 = 30"; "5*4+200 = 220" ];
+    q "ranges and alternation" "(3,11)+(5..7)"
+      [ "3+5 = 8"; "3+6 = 9"; "3+7 = 10"; "11+5 = 16"; "11+6 = 17";
+        "11+7 = 18" ];
+    (* semantics section: (1..3)+(5,9) prints 6 10 7 11 8 12 *)
+    q "semantics driving order" "(1..3)+(5,9)"
+      [ "1+5 = 6"; "1+9 = 10"; "2+5 = 7"; "2+9 = 11"; "3+5 = 8"; "3+9 = 12" ];
+    (* to with generator operands *)
+    q "to over alternating bounds" "(1,5)..(5,10)"
+      [ "1 = 1"; "2 = 2"; "3 = 3"; "4 = 4"; "5 = 5";
+        "1 = 1"; "2 = 2"; "3 = 3"; "4 = 4"; "5 = 5"; "6 = 6"; "7 = 7";
+        "8 = 8"; "9 = 9"; "10 = 10";
+        "5 = 5";
+        "5 = 5"; "6 = 6"; "7 = 7"; "8 = 8"; "9 = 9"; "10 = 10" ];
+    (* the x[100] searches *)
+    q "range search with filters" "x[1..4,8,12..50] >? 5 <? 10"
+      [ "x[3] = 7"; "x[18] = 9"; "x[47] = 6" ];
+    q "same search via ==? with a range" "x[1..4,8,12..50] ==? (6..9)"
+      [ "x[3] = 7"; "x[18] = 9"; "x[47] = 6" ];
+    q "C comparison keeps C semantics" "x[1..3] == 7"
+      [ "x[1]==7 = 0"; "x[2]==7 = 0"; "x[3]==7 = 1" ];
+    (* the hash searches *)
+    q "non-null heads with deep scopes" "(hash[..1024] !=? 0)->scope >? 5"
+      [ "hash[42]->scope = 7"; "hash[529]->scope = 8" ];
+    q "C loop equivalent (full C)"
+      "int i; for (i = 0; i < 1024; i++) if (hash[i] && hash[i]->scope > 5) hash[i]->scope"
+      [ "hash[i]->scope = 7"; "hash[i]->scope = 8" ];
+    q "C loop with DUEL filter"
+      "int i; for (i = 0; i < 1024; i++) if (hash[i]) hash[i]->scope >? 5"
+      [ "hash[i]->scope = 7"; "hash[i]->scope = 8" ];
+    q "C loop with both filters"
+      "int i; for (i = 0; i < 1024; i++) (hash[i] !=? 0)->scope >? 5"
+      [ "hash[i]->scope = 7"; "hash[i]->scope = 8" ];
+    (* alternation of fields in a with scope *)
+    q "fields via alternation" "hash[1,9]->(scope,name)"
+      [ "hash[1]->scope = 3"; "hash[1]->name = \"x\"";
+        "hash[9]->scope = 2"; "hash[9]->name = \"abc\"" ];
+    (* underscore and aliases *)
+    q "names via _ and with" "hash[..1024]->(if (_ && scope > 5) name)"
+      [ "hash[42]->name = \"yylval\""; "hash[529]->name = \"yytext\"" ];
+    q "alias hides the elements (w for x, see notes)"
+      "y := w[..10] => if (y < 0 || y > 100) y" [ "y = -9"; "y = 120" ];
+    q "underscore shows the elements" "w[..10].if (_ < 0 || _ > 100) _"
+      [ "w[3] = -9"; "w[8] = 120" ];
+    (* dfs over the chain of hash[0] *)
+    q "list expansion" "hash[0]-->next->scope"
+      [ "hash[0]->scope = 4"; "hash[0]->next->scope = 3";
+        "hash[0]->next->next->scope = 2";
+        "hash[0]->next->next->next->scope = 1" ];
+    (* dev:order — paper prints 9,3,5,4,12 *)
+    q "tree keys preorder [dev:order]" "root-->(left,right)->key"
+      [ "root->key = 9"; "root->left->key = 3"; "root->left->left->key = 4";
+        "root->left->right->key = 5"; "root->right->key = 12" ];
+    (* dev:typo — comparisons flipped to match the paper's printed path *)
+    q "path to the node holding 5 [dev:typo]"
+      "root-->(if (key > 5) left else if (key < 5) right)->key"
+      [ "root->key = 9"; "root->left->key = 3"; "root->left->right->key = 5" ];
+    (* the sortedness check with compression *)
+    q "sortedness violation with -->[[8]]"
+      "hash[..1024]-->next->if (next) scope <? next->scope"
+      [ "hash[287]-->next[[8]]->scope = 5" ];
+    (* select *)
+    q "select on products" "((1..9)*(1..9))[[52,74]]"
+      [ "6*8 = 48"; "9*3 = 27" ];
+    q "select on list values [dev:compress]" "head-->next->value[[3,5]]"
+      [ "head->next->next->next->value = 33"; "head-->next[[5]]->value = 29" ];
+    (* count *)
+    q1 "count of tree nodes" "#/(root-->(left,right)->key)"
+      "#/(root-->(left,right)->key) = 5";
+    (* duplicates via # index aliases *)
+    q "duplicate positions via #i #j"
+      "L-->next#i->value ==? L-->next#j->value => if (i < j) L-->next[[i,j]]->value"
+      [ "L-->next[[4]]->value = 27"; "L-->next[[9]]->value = 27" ];
+    (* the introduction's one-liner *)
+    q "intro duplicate query" "L-->next->(value ==? next-->next->value)"
+      [ "L-->next[[4]]->value = 27" ];
+    (* control expressions with braces *)
+    q "if with braces substitutes"
+      "int i; for (i = 0; i < 9; i++) 4 + if (i%3 == 0) {i}*5"
+      [ "4+0*5 = 4"; "4+3*5 = 19"; "4+6*5 = 34" ];
+    q "if without braces displays the alias"
+      "int j1; for (j1 = 0; j1 < 9; j1++) 4 + if (j1%3==0) j1*5"
+      [ "4+j1*5 = 4"; "4+j1*5 = 19"; "4+j1*5 = 34" ];
+    (* sequence and imply *)
+    q "semicolon discards left values" "i := 1..3; i + 4" [ "i+4 = 7" ];
+    q "imply with braces" "i := 1..3 => {i} + 4"
+      [ "1+4 = 5"; "2+4 = 6"; "3+4 = 7" ];
+    (* assignment through generators, silenced *)
+    qf "clear scopes silently" "hash[0..1023]->scope = 0 ;" silent_suffix;
+    (* @ truncation *)
+    q "argv strings" "argv[0..]@0"
+      [ "argv[0] = \"duel\""; "argv[1] = \"-q\""; "argv[2] = \"x[1..4]\"";
+        "argv[3] = \"0\"" ];
+    (* aliases through := chains write through *)
+    qf "alias chain clears scopes"
+      "xx := hash[..1024] !=? 0 => yy := xx->scope => yy = 0 ; #/(hash[..1024]->(scope ==? 0))"
+      [ "#/(hash[..1024]->(scope ==? 0)) = 1024" ];
+  ]
+
+(* printf with generator arguments: check captured target stdout too. *)
+let printf_case =
+  Support.case "printf with generator arguments" (fun () ->
+      let k = kit () in
+      let lines = exec k "printf(\"%d %d, \", (3,4), 5..7)" in
+      Alcotest.(check int) "six calls" 6 (List.length lines);
+      Alcotest.(check string) "interleaved output"
+        "3 5, 3 6, 3 7, 4 5, 4 6, 4 7, "
+        (Duel_target.Inferior.take_output k.inf))
+
+let string_until_case =
+  Support.case "s[0..999]@'\\0' walks the string" (fun () ->
+      let k = kit () in
+      let lines = exec k "s[0..999]@(_=='\\0')" in
+      Alcotest.(check int) "hello, world is 12 chars" 12 (List.length lines);
+      Alcotest.(check string) "first" "s[0] = 104 'h'" (List.hd lines))
+
+let suite = suite @ [ printf_case; string_until_case ]

@@ -1,0 +1,165 @@
+(* The DUEL parser: precedence, grammar shapes, declarations, and the
+   print->reparse fixpoint property. *)
+
+module Ast = Duel_core.Ast
+module Parser = Duel_core.Parser
+module Pretty = Duel_core.Pretty
+
+let case = Support.case
+let abi = Duel_ctype.Abi.lp64
+let parse ?(is_typename = fun n -> n = "sym_t") src = Parser.parse ~is_typename ~abi src
+
+(* Compare by canonical pretty-printed form: easier to read in failures
+   than AST dumps, and precise because Pretty is deterministic. *)
+let shape what src expected =
+  Alcotest.(check string) what expected (Pretty.to_string (parse src))
+
+let arithmetic_precedence () =
+  shape "mul binds tighter" "1+2*3" "1+2*3";
+  shape "parens preserved via grouping" "(1+2)*3" "(1+2)*3";
+  shape "relational vs shift" "1<<2<3" "1<<2<3";
+  shape "unary minus" "-x*3" "-x*3";
+  shape "assoc left" "1-2-3" "1-2-3";
+  (* right operand needing parens keeps them on reprint *)
+  let ast = parse "1-(2-3)" in
+  Alcotest.(check string) "groups kept" "1-(2-3)" (Pretty.to_string ast)
+
+let duel_precedence () =
+  shape "range below additive" "0..n-1" "0..n-1";
+  shape "alternation below range" "1..4,8,12..50" "1..4,8,12..50";
+  shape "filter above range" "(1..9) >? 5" "(1..9) >? 5";
+  shape "imply right assoc" "a => b => c" "a => b => c";
+  shape "alias in imply chain" "x := a => y := b => y = 0"
+    "x := a => y := b => y = 0";
+  shape "sequence lowest" "int i; i = 0; i + 1" "int i; i = 0; i+1";
+  shape "trailing semicolon" "a = 0 ;" "a = 0 ;";
+  shape "prefix upto" "..1024" "..1024";
+  shape "postfix toinf" "0.." "0..";
+  shape "reduction" "#/(a-->b)" "#/(a-->b)"
+
+let postfix_chains () =
+  shape "index then arrow" "hash[0]->scope" "hash[0]->scope";
+  shape "dfs then arrow" "hash[0]-->next->scope" "hash[0]-->next->scope";
+  shape "index alias inside chain" "L-->next#i->value" "L-->next#i->value";
+  shape "select" "head-->next->value[[3,5]]" "head-->next->value[[3,5]]";
+  shape "until" "argv[0..]@0" "argv[0..]@0";
+  shape "until with paren" "s[0..9]@(_=='a')" "s[0..9]@(_=='a')";
+  shape "with group" "hash[1,9]->(scope,name)" "hash[1,9]->(scope,name)";
+  shape "postincrement" "i++" "i++";
+  shape "call then index" "f(1)[2]" "f(1)[2]"
+
+let control () =
+  shape "if expression" "if (a) b" "if (a) b";
+  shape "if else" "if (a) b else c" "if (a) b else c";
+  shape "if as operand" "4 + if (i%3 == 0) i*5" "4+if (i%3==0) i*5";
+  shape "for" "for (i = 0; i < 9; i++) x" "for (i = 0; i<9; i++) x";
+  shape "for empty slots" "for (;;) x" "for (; ; ) x";
+  shape "while" "while (a) b" "while (a) b";
+  shape "greedy if after arrow" "h[..4]-->next->if (next) scope <? next->scope"
+    "h[..4]-->next->if (next) scope <? next->scope"
+
+let casts_and_sizeof () =
+  shape "cast" "(double)3/2" "(double)3/2";
+  shape "cast binds as unary" "(int)x + 1" "(int)x+1";
+  shape "pointer cast" "(struct symbol *)p" "(struct symbol *)p";
+  shape "typedef cast" "(sym_t *)p" "(sym_t *)p";
+  shape "paren expr is not a cast" "(x)+1" "(x)+1";
+  shape "sizeof type" "sizeof(int)" "sizeof(int)";
+  shape "sizeof array type" "sizeof(int[4])" "sizeof(int [4])";
+  shape "sizeof expr" "sizeof x" "sizeof x"
+
+let declarations () =
+  (match parse "int i, *p, a[5]" with
+  | Ast.Decl (Ast.Tname [ "int" ], ds) ->
+      Alcotest.(check int) "three declarators" 3 (List.length ds);
+      (match ds with
+      | [ ("i", Ast.Tname [ "int" ]); ("p", Ast.Tptr _); ("a", Ast.Tarr _) ] -> ()
+      | _ -> Alcotest.fail "bad declarator shapes")
+  | _ -> Alcotest.fail "expected declaration");
+  (match parse "struct symbol *sp; sp" with
+  | Ast.Seq (Ast.Decl (Ast.Tstruct_ref "symbol", [ ("sp", Ast.Tptr _) ]), Ast.Name "sp")
+    -> ()
+  | _ -> Alcotest.fail "struct declaration then use");
+  match parse "int (*pa)[3]" with
+  | Ast.Decl (_, [ ("pa", Ast.Tptr (Ast.Tarr _)) ]) -> ()
+  | _ -> Alcotest.fail "pointer-to-array declarator"
+
+let call_arguments () =
+  match parse "printf(\"%d\", (3,4), 5..7)" with
+  | Ast.Call (Ast.Name "printf", [ Ast.Str_lit "%d"; Ast.Group (Ast.Alt _); Ast.To _ ])
+    -> ()
+  | _ -> Alcotest.fail "argument shapes"
+
+let ternary () =
+  shape "ternary" "a ? b : c" "a ? b : c";
+  shape "nested ternary right" "a ? b : c ? d : e" "a ? b : c ? d : e"
+
+let errors () =
+  let check_err what src =
+    Alcotest.(check bool) what true
+      (match parse src with
+      | _ -> false
+      | exception Parser.Error _ -> true)
+  in
+  check_err "empty parens" "()";
+  check_err "trailing operator" "1 +";
+  check_err "unbalanced bracket" "x[1";
+  check_err "bad alias lhs" "x[0] := 2";
+  check_err "chained range" "1..2..3";
+  check_err "missing member" "x->";
+  check_err "lone else" "else 1";
+  check_err "bad declarator" "int 5"
+
+(* Property: pretty-printing a parsed expression and reparsing it yields
+   the same canonical form (a print/parse fixpoint).  The generator builds
+   random well-formed DUEL expressions. *)
+let gen_expr : string QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let atom =
+    oneofl [ "1"; "42"; "x"; "y"; "_"; "0x10"; "'c'"; "2.5"; "n" ]
+  in
+  let rec expr n =
+    if n <= 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (2, map2 (fun a b -> a ^ "+" ^ b) (expr (n - 1)) (expr (n - 1)));
+          (2, map2 (fun a b -> a ^ "*" ^ b) (expr (n - 1)) (expr (n - 1)));
+          (2, map2 (fun a b -> "(" ^ a ^ ")[" ^ b ^ "]") (expr (n - 1)) (expr (n - 1)));
+          (2, map2 (fun a b -> a ^ ".." ^ b) atom atom);
+          (2, map2 (fun a b -> "(" ^ a ^ "," ^ b ^ ")") (expr (n - 1)) (expr (n - 1)));
+          (1, map2 (fun a b -> a ^ " >? " ^ b) (expr (n - 1)) atom);
+          (1, map2 (fun a b -> a ^ " => " ^ b) (expr (n - 1)) (expr (n - 1)));
+          (1, map (fun a -> "#/(" ^ a ^ ")") (expr (n - 1)));
+          (1, map (fun a -> "-" ^ a) (expr (n - 1)));
+          (1, map2 (fun a b -> a ^ "-->" ^ b) atom atom);
+          (1, map2 (fun c t -> "if (" ^ c ^ ") " ^ t) (expr (n - 1)) (expr (n - 1)));
+        ]
+  in
+  expr 4
+
+let prop_print_parse_fixpoint =
+  QCheck2.Test.make ~name:"pretty/parse fixpoint" ~count:500 gen_expr
+    (fun src ->
+      match parse src with
+      | exception _ -> QCheck2.assume_fail ()
+      | ast ->
+          let printed = Pretty.to_string ast in
+          let reparsed = parse printed in
+          Ast.equal_expr ast reparsed
+          && String.equal printed (Pretty.to_string reparsed))
+
+let suite =
+  [
+    case "C precedence" arithmetic_precedence;
+    case "DUEL operator precedence" duel_precedence;
+    case "postfix chains" postfix_chains;
+    case "control expressions" control;
+    case "casts and sizeof" casts_and_sizeof;
+    case "declarations" declarations;
+    case "call arguments" call_arguments;
+    case "ternary" ternary;
+    case "syntax errors" errors;
+    QCheck_alcotest.to_alcotest prop_print_parse_fixpoint;
+  ]

@@ -1,0 +1,186 @@
+(* Structural property tests: random object graphs are laid out in target
+   memory with the builder DSL, then DUEL's traversals must agree with an
+   OCaml model of the same structure (and with the C baseline loops).
+   This exercises -->/-->>/reductions over shapes far beyond the paper's
+   fixed examples. *)
+
+module Ctype = Duel_ctype.Ctype
+module Tenv = Duel_ctype.Tenv
+module Inferior = Duel_target.Inferior
+module Build = Duel_target.Build
+module Session = Duel_core.Session
+
+type tree = Leaf | Node of int * tree * tree
+
+let rec tree_size = function
+  | Leaf -> 0
+  | Node (_, l, r) -> 1 + tree_size l + tree_size r
+
+let rec tree_preorder = function
+  | Leaf -> []
+  | Node (k, l, r) -> (k :: tree_preorder l) @ tree_preorder r
+
+let rec tree_sum = function
+  | Leaf -> 0
+  | Node (k, l, r) -> k + tree_sum l + tree_sum r
+
+let tree_levelorder t =
+  let rec go = function
+    | [] -> []
+    | Leaf :: rest -> go rest
+    | Node (k, l, r) :: rest -> k :: go (rest @ [ l; r ])
+  in
+  go [ t ]
+
+let gen_tree : tree QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let rec go n =
+    if n <= 0 then pure Leaf
+    else
+      frequency
+        [
+          (1, pure Leaf);
+          ( 3,
+            let* k = int_range 1 99 in
+            map2 (fun l r -> Node (k, l, r)) (go (n / 2)) (go (n / 2)) );
+        ]
+  in
+  go 16
+
+(* Materialize the model in a fresh inferior as struct tnode nodes. *)
+let build_tree_target tree =
+  let inf = Inferior.create () in
+  let comp = Tenv.declare_struct (Inferior.tenv inf) "tnode" in
+  Ctype.define_fields comp
+    [
+      Ctype.field "key" Ctype.int;
+      Ctype.field "left" (Ctype.ptr (Ctype.Comp comp));
+      Ctype.field "right" (Ctype.ptr (Ctype.Comp comp));
+    ];
+  let rec build = function
+    | Leaf -> 0
+    | Node (k, l, r) ->
+        let node = Build.alloc inf (Ctype.Comp comp) in
+        Build.poke_field inf comp node "key" (Int64.of_int k);
+        Build.poke_field inf comp node "left" (Int64.of_int (build l));
+        Build.poke_field inf comp node "right" (Int64.of_int (build r));
+        node
+  in
+  let root = build tree in
+  let g = Inferior.define_global inf "root" (Ctype.ptr (Ctype.Comp comp)) in
+  Build.poke_int inf (Ctype.ptr (Ctype.Comp comp)) g (Int64.of_int root);
+  Session.create (Duel_target.Backend.direct inf)
+
+let values_of session query =
+  List.map
+    (fun line ->
+      match String.rindex_opt line '=' with
+      | Some i ->
+          int_of_string
+            (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      | None -> failwith line)
+    (Session.exec session query)
+
+let prop_tree_traversals =
+  QCheck2.Test.make ~name:"random trees: -->/-->>/count/sum match the model"
+    ~count:120 gen_tree (fun tree ->
+      let s = build_tree_target tree in
+      values_of s "root-->(left,right)->key" = tree_preorder tree
+      && values_of s "root-->>(left,right)->key" = tree_levelorder tree
+      && values_of s "#/(root-->(left,right))" = [ tree_size tree ]
+      && (tree_size tree = 0
+         || values_of s "+/(root-->(left,right)->key)" = [ tree_sum tree ]))
+
+(* Random lists: duplicates found by the paper's one-liner = model dups. *)
+let gen_list : int list QCheck2.Gen.t =
+  QCheck2.Gen.(list_size (int_range 0 25) (int_range 1 9))
+
+let build_list_target values =
+  let inf = Inferior.create () in
+  let comp = Tenv.declare_struct (Inferior.tenv inf) "node" in
+  Ctype.define_fields comp
+    [
+      Ctype.field "value" Ctype.int;
+      Ctype.field "next" (Ctype.ptr (Ctype.Comp comp));
+    ];
+  let link v tail =
+    let node = Build.alloc inf (Ctype.Comp comp) in
+    Build.poke_field inf comp node "value" (Int64.of_int v);
+    Build.poke_field inf comp node "next" (Int64.of_int tail);
+    node
+  in
+  let head = List.fold_right link values 0 in
+  let g = Inferior.define_global inf "L" (Ctype.ptr (Ctype.Comp comp)) in
+  Build.poke_int inf (Ctype.ptr (Ctype.Comp comp)) g (Int64.of_int head);
+  (inf, Session.create (Duel_target.Backend.direct inf))
+
+let model_dup_pairs values =
+  let arr = Array.of_list values in
+  let out = ref [] in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      if arr.(i) = arr.(j) then out := (i, j) :: !out
+    done
+  done;
+  List.rev !out
+
+let prop_list_duplicates =
+  QCheck2.Test.make ~name:"random lists: duplicate scan matches the model"
+    ~count:120 gen_list (fun values ->
+      let inf, s = build_list_target values in
+      let lines =
+        Session.exec s
+          "L-->next#i->value ==? L-->next#j->value => if (i < j) \
+           L-->next[[i,j]]->value"
+      in
+      (* the symbolic is expanded for short chains (L->next->value) and
+         compressed for long ones (L-->next[[7]]->value); recover the node
+         index from either form *)
+      let parse line =
+        match String.index_opt line '[' with
+        | Some i when i + 1 < String.length line && line.[i + 1] = '[' ->
+            Scanf.sscanf
+              (String.sub line i (String.length line - i))
+              "[[%d]]" (fun n -> n)
+        | _ ->
+            (* count the "next" links in the expanded form *)
+            let rec count from acc =
+              match String.index_from_opt line from 'n' with
+              | Some j
+                when j + 4 <= String.length line
+                     && String.sub line j 4 = "next" ->
+                  count (j + 4) (acc + 1)
+              | Some j -> count (j + 1) acc
+              | None -> acc
+            in
+            count 0 0
+      in
+      let rec pairs = function
+        | a :: b :: rest -> (parse a, parse b) :: pairs rest
+        | _ -> []
+      in
+      let duel = pairs lines in
+      let c_base =
+        List.map
+          (fun (i, j, _) -> (i, j))
+          (Duel_cquery.Cquery.list_duplicates
+             (Duel_target.Backend.direct inf) ~name:"L")
+      in
+      let model = model_dup_pairs values in
+      duel = model && c_base = model)
+
+(* Walk lengths: a list of length n yields n nodes under --> and the
+   chain compresses beyond the threshold. *)
+let prop_list_walk =
+  QCheck2.Test.make ~name:"random lists: --> yields exactly the list"
+    ~count:120 gen_list (fun values ->
+      let _, s = build_list_target values in
+      values_of s "L-->next->value" = values
+      && values_of s "#/(L-->next)" = [ List.length values ])
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_tree_traversals;
+    QCheck_alcotest.to_alcotest prop_list_duplicates;
+    QCheck_alcotest.to_alcotest prop_list_walk;
+  ]

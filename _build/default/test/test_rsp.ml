@@ -1,0 +1,145 @@
+(* The GDB remote-serial-protocol substrate: framing, server, client. *)
+
+module Packet = Duel_rsp.Packet
+module Server = Duel_rsp.Server
+module Client = Duel_rsp.Client
+module Dbgi = Duel_dbgi.Dbgi
+module Ctype = Duel_ctype.Ctype
+module Inferior = Duel_target.Inferior
+
+let case = Support.case
+
+let framing () =
+  Alcotest.(check string) "simple frame" "$m10,4#2e" (Packet.encode "m10,4");
+  Alcotest.(check string) "decode" "m10,4" (Packet.decode "$m10,4#2e");
+  Alcotest.(check string) "empty payload" "" (Packet.decode (Packet.encode ""));
+  Alcotest.(check int) "checksum is mod 256" 0x2e (Packet.checksum "m10,4")
+
+let escaping () =
+  let tricky = "a#b$c}d*e" in
+  Alcotest.(check string) "escaped roundtrip" tricky
+    (Packet.decode (Packet.encode tricky));
+  (* the encoded form must not contain a bare '#' before the trailer *)
+  let encoded = Packet.encode tricky in
+  let body = String.sub encoded 1 (String.length encoded - 4) in
+  Alcotest.(check bool) "no raw specials in body" false
+    (String.exists (fun c -> c = '$') body)
+
+let rle () =
+  (* "0* " means '0' repeated (' ' - 29 + 1) = 4 times total *)
+  let payload = "0* " in
+  let framed = Printf.sprintf "$%s#%02x" payload (Packet.checksum payload) in
+  Alcotest.(check string) "run-length decode" "0000" (Packet.decode framed)
+
+let malformed () =
+  let bad what raw =
+    Alcotest.(check bool) what true
+      (match Packet.decode raw with
+      | _ -> false
+      | exception Packet.Malformed _ -> true)
+  in
+  bad "no frame" "m10,4";
+  bad "bad checksum" "$m10,4#00";
+  bad "truncated" "$m";
+  bad "trailing escape" (Printf.sprintf "$a}#%02x" (Packet.checksum "a}"));
+  bad "rle without prior" (Printf.sprintf "$*x#%02x" (Packet.checksum "*x"))
+
+let hex () =
+  Alcotest.(check string) "bytes to hex" "00ff10"
+    (Packet.hex_of_bytes (Bytes.of_string "\000\255\016"));
+  Alcotest.(check string) "hex to bytes" "\000\255\016"
+    (Bytes.to_string (Packet.bytes_of_hex "00ff10"));
+  Alcotest.(check bool) "odd length rejected" true
+    (match Packet.bytes_of_hex "abc" with
+    | _ -> false
+    | exception Packet.Malformed _ -> true)
+
+let prop_packet_roundtrip =
+  QCheck2.Test.make ~name:"packet encode/decode roundtrip" ~count:500
+    QCheck2.Gen.(string_size (int_range 0 200))
+    (fun payload -> Packet.decode (Packet.encode payload) = payload)
+
+let server_memory () =
+  let inf = Inferior.create () in
+  let g = Inferior.define_global inf "g" (Ctype.array Ctype.char 8) in
+  let srv = Server.create inf in
+  let reply payload = Server.handle_payload srv payload in
+  Alcotest.(check string) "write" "OK"
+    (reply (Printf.sprintf "M%x,3:616263" g));
+  Alcotest.(check string) "read back" "616263"
+    (reply (Printf.sprintf "m%x,3" g));
+  Alcotest.(check string) "fault read" "E01" (reply "m40000000,4");
+  Alcotest.(check string) "fault write" "E01" (reply "M40000000,1:00");
+  Alcotest.(check string) "length mismatch" "E02"
+    (reply (Printf.sprintf "M%x,3:61" g));
+  Alcotest.(check string) "unknown packet empty reply" "" (reply "Zmagic");
+  Alcotest.(check string) "qSupported" "PacketSize=4000" (reply "qSupported:x");
+  Alcotest.(check string) "halt reason" "S05" (reply "?")
+
+let server_extensions () =
+  let inf = Duel_scenarios.Scenarios.all () in
+  let srv = Server.create inf in
+  let reply payload = Server.handle_payload srv payload in
+  let addr = reply "qDuelAlloc:20" in
+  Alcotest.(check bool) "alloc returns hex addr" true
+    (int_of_string ("0x" ^ addr) > 0);
+  Alcotest.(check string) "frames count" "3" (reply "qDuelFrames");
+  Alcotest.(check string) "call abs" "i7" (reply "qDuelCall:abs;ifffffffffffffff9");
+  Alcotest.(check string) "bad cval is a protocol error" "$E00#a5"
+    (Server.handle srv (Packet.encode "qDuelCall:abs;i-7"));
+  Alcotest.(check bool) "call error surfaces" true
+    (String.length (reply "qDuelCall:nosuch") > 2);
+  Alcotest.(check string) "nak on garbage" "-" (Server.handle srv "not a packet")
+
+let client_end_to_end () =
+  let k = Support.kit_rsp () in
+  Alcotest.(check (list string)) "query over the wire"
+    [ "x[3] = 7"; "x[18] = 9"; "x[47] = 6" ]
+    (Support.exec k "x[1..4,8,12..50] >? 5 <? 10");
+  Alcotest.(check (list string)) "write over the wire"
+    [ "w[0] = 77" ]
+    (Support.exec k "w[0] = 77");
+  Alcotest.(check (list string)) "declaration allocates remotely"
+    [ "r0+1 = 8" ]
+    (Support.exec k "int r0; r0 = 7; r0 + 1");
+  Alcotest.(check (list string)) "call with return typing"
+    [ "strchr(s, 'w') = \"world\"" ]
+    (Support.exec k "strchr(s, 'w')");
+  Alcotest.(check (list string)) "faults become DUEL errors"
+    [ "Illegal memory reference: *(int *)0x40000000 = lvalue 0x40000000" ]
+    (Support.exec k "*(int *)0x40000000")
+
+let client_matches_direct () =
+  let queries =
+    [
+      "(hash[..1024] !=? 0)->scope >? 5";
+      "hash[0]-->next->scope";
+      "head-->next->value[[3,5]]";
+      "#/(root-->(left,right)->key)";
+      "printf(\"%s\", argv[1])";
+    ]
+  in
+  let direct = Support.kit () in
+  let rsp = Support.kit_rsp () in
+  List.iter
+    (fun query ->
+      Alcotest.(check (list string)) query (Support.exec direct query)
+        (Support.exec rsp query);
+      Alcotest.(check string) ("stdout: " ^ query)
+        (Inferior.take_output direct.Support.inf)
+        (Inferior.take_output rsp.Support.inf))
+    queries
+
+let suite =
+  [
+    case "packet framing and checksums" framing;
+    case "payload escaping" escaping;
+    case "run-length decoding" rle;
+    case "malformed packets rejected" malformed;
+    case "hex codecs" hex;
+    QCheck_alcotest.to_alcotest prop_packet_roundtrip;
+    case "server memory packets" server_memory;
+    case "server qDuel extensions" server_extensions;
+    case "client end to end" client_end_to_end;
+    case "client output matches direct backend" client_matches_direct;
+  ]

@@ -1,0 +1,121 @@
+(* Session behaviour: command driving, display policy, flags. *)
+
+open Support
+module Session = Duel_core.Session
+module Env = Duel_core.Env
+
+let case = Support.case
+
+let silent_semicolon () =
+  let k = kit () in
+  Alcotest.(check (list string)) "silenced" [] (exec k "w[0] = 1 ;");
+  Alcotest.(check (list string)) "silenced through sequence" []
+    (exec k "int z9; z9 = 1; z9 + 1 ;");
+  Alcotest.(check (list string)) "effect happened" [ "w[0] = 1" ] (exec k "w[0]")
+
+let max_values_cap () =
+  let k = kit () in
+  k.session.Session.max_values <- 3;
+  Alcotest.(check (list string)) "capped with ellipsis"
+    [ "0 = 0"; "1 = 1"; "2 = 2"; "..." ]
+    (exec k "..10");
+  k.session.Session.max_values <- 0;
+  Alcotest.(check int) "uncapped" 10 (List.length (exec k "..10"))
+
+let alias_persistence () =
+  let k = kit () in
+  ignore (exec k "total := #/(root-->(left,right)->key)");
+  Alcotest.(check (list string)) "alias visible later" [ "total*2 = 10" ]
+    (exec k "total * 2");
+  ignore (exec k "total := 7");
+  Alcotest.(check (list string)) "alias rebindable" [ "total = 7" ] (exec k "total")
+
+let engine_switch () =
+  let k = kit () in
+  let a = exec k "x[..10] >? 0" in
+  k.session.Session.engine <- Session.Sm_engine;
+  let b = exec k "x[..10] >? 0" in
+  Alcotest.(check (list string)) "same output after switching engines" a b
+
+let symbolic_off () =
+  let k = kit () in
+  k.session.Session.env.Env.flags.Env.symbolic <- false;
+  (match exec k "x[3..3] + 1" with
+  | [ line ] ->
+      Alcotest.(check bool) "value still correct" true
+        (String.length line >= 3
+        && String.sub line (String.length line - 3) 3 = "= 8")
+  | _ -> Alcotest.fail "one line");
+  k.session.Session.env.Env.flags.Env.symbolic <- true;
+  Alcotest.(check (list string)) "symbolic back on" [ "x[3]+1 = 8" ]
+    (exec k "x[3..3] + 1")
+
+let compress_threshold () =
+  let k = kit () in
+  k.session.Session.env.Env.flags.Env.compress <- 2;
+  let lines = exec k "hash[0]-->next->scope" in
+  Alcotest.(check string) "third line compressed at threshold 2"
+    "hash[0]-->next[[2]]->scope = 2"
+    (List.nth lines 2)
+
+let drive_counts () =
+  let k = kit () in
+  let ast = Session.parse k.session "x[..100] >? 0" in
+  Alcotest.(check int) "drive returns the value count" 5
+    (Session.drive k.session ast);
+  let ast2 = Session.parse k.session "1..10" in
+  Alcotest.(check int) "range count" 10 (Session.drive k.session ast2)
+
+let string_literals_interned () =
+  let k = kit () in
+  ignore (exec k "strlen(\"abc\")");
+  let before = Duel_mem.Alloc.bytes_in_use (Duel_target.Inferior.heap k.inf) in
+  ignore (exec k "strlen(\"abc\")");
+  ignore (exec k "strlen(\"abc\")");
+  let after = Duel_mem.Alloc.bytes_in_use (Duel_target.Inferior.heap k.inf) in
+  Alcotest.(check int) "same literal not re-allocated" before after
+
+let ilp32_session () =
+  (* a 32-bit debuggee: pointer arithmetic and int sizes follow the ABI *)
+  let inf = Duel_target.Inferior.create ~abi:Duel_ctype.Abi.ilp32 () in
+  Duel_target.Stdfuncs.register_all inf;
+  let arr =
+    Duel_target.Inferior.define_global inf "a32"
+      (Duel_ctype.Ctype.array Duel_ctype.Ctype.long 4)
+  in
+  Duel_target.Build.poke_int inf Duel_ctype.Ctype.long (arr + 4) 7L;
+  let s = Session.create (Duel_target.Backend.direct inf) in
+  Alcotest.(check (list string)) "long is 4 bytes" [ "sizeof(long) = 4" ]
+    (Session.exec s "sizeof(long)");
+  Alcotest.(check (list string)) "pointers are 4 bytes" [ "sizeof(char *) = 4" ]
+    (Session.exec s "sizeof(char *)");
+  Alcotest.(check (list string)) "indexing scales by 4" [ "a32[1] = 7" ]
+    (Session.exec s "a32[1]")
+
+let big_endian_session () =
+  let inf =
+    Duel_target.Inferior.create ~abi:(Duel_ctype.Abi.big_endian Duel_ctype.Abi.lp64) ()
+  in
+  let g = Duel_target.Inferior.define_global inf "gbe" Duel_ctype.Ctype.int in
+  Duel_target.Build.poke_int inf Duel_ctype.Ctype.int g 0x01020304L;
+  (* most significant byte first in memory *)
+  Alcotest.(check int) "MSB first" 0x01
+    (Duel_mem.Memory.read_u8 (Duel_target.Inferior.mem inf) g);
+  let s = Session.create (Duel_target.Backend.direct inf) in
+  Alcotest.(check (list string)) "value reads correctly"
+    [ "gbe = 16909060" ]
+    (Session.exec s "gbe")
+
+let suite =
+  [
+    case "trailing semicolon silences output" silent_semicolon;
+    case "max_values caps display" max_values_cap;
+    case "aliases persist across commands" alias_persistence;
+    case "engine switching mid-session" engine_switch;
+    case "symbolic computation toggle" symbolic_off;
+    case "compression threshold flag" compress_threshold;
+    case "drive counts values without formatting" drive_counts;
+    case "string literals interned once" string_literals_interned;
+    case "ILP32 debuggee" ilp32_session;
+    case "big-endian debuggee" big_endian_session;
+  ]

@@ -1,0 +1,177 @@
+(* The simulated inferior: globals, symbols, frames, builders, libc. *)
+
+module Ctype = Duel_ctype.Ctype
+module Dbgi = Duel_dbgi.Dbgi
+module Inferior = Duel_target.Inferior
+module Build = Duel_target.Build
+module Stdfuncs = Duel_target.Stdfuncs
+module Memory = Duel_mem.Memory
+
+let case = Support.case
+
+let globals () =
+  let inf = Inferior.create () in
+  let a = Inferior.define_global inf "a" Ctype.int in
+  let b = Inferior.define_global inf "b" (Ctype.array Ctype.double 4) in
+  Alcotest.(check bool) "addresses distinct" true (a <> b);
+  Alcotest.(check bool) "b 8-aligned" true (b mod 8 = 0);
+  (match Inferior.find_variable inf "b" with
+  | Some info ->
+      Alcotest.(check bool) "type preserved" true
+        (Ctype.equal info.Dbgi.v_type (Ctype.array Ctype.double 4))
+  | None -> Alcotest.fail "b not found");
+  Alcotest.(check bool) "unknown is None" true
+    (Inferior.find_variable inf "zz" = None);
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Inferior: symbol a already defined") (fun () ->
+      ignore (Inferior.define_global inf "a" Ctype.int))
+
+let symbol_at () =
+  let inf = Inferior.create () in
+  let a = Inferior.define_global inf "arr" (Ctype.array Ctype.int 10) in
+  (match Inferior.symbol_at inf (a + 8) with
+  | Some ("arr", 8) -> ()
+  | other ->
+      Alcotest.failf "expected (arr, 8), got %s"
+        (match other with
+        | Some (n, o) -> Printf.sprintf "(%s,%d)" n o
+        | None -> "None"));
+  Alcotest.(check bool) "miss" true (Inferior.symbol_at inf 0x999999 = None)
+
+let frames () =
+  let inf = Inferior.create () in
+  Inferior.push_frame inf "outer" [ ("x", Ctype.int) ];
+  Inferior.push_frame inf "inner" [ ("x", Ctype.int); ("y", Ctype.double) ];
+  (match Inferior.frames inf with
+  | [ f0; f1 ] ->
+      Alcotest.(check string) "innermost first" "inner" f0.Dbgi.fr_func;
+      Alcotest.(check int) "index 0" 0 f0.Dbgi.fr_index;
+      Alcotest.(check int) "index 1" 1 f1.Dbgi.fr_index;
+      Alcotest.(check int) "locals" 2 (List.length f0.Dbgi.fr_locals)
+  | fs -> Alcotest.failf "expected 2 frames, got %d" (List.length fs));
+  Inferior.pop_frame inf;
+  (match Inferior.frames inf with
+  | [ f ] -> Alcotest.(check string) "outer remains" "outer" f.Dbgi.fr_func
+  | _ -> Alcotest.fail "expected 1 frame");
+  Inferior.pop_frame inf;
+  Alcotest.check_raises "pop empty"
+    (Invalid_argument "Inferior.pop_frame: no active frames") (fun () ->
+      Inferior.pop_frame inf)
+
+let peek_poke () =
+  let inf = Inferior.create () in
+  let g = Inferior.define_global inf "g" Ctype.short in
+  Build.poke_int inf Ctype.short g (-7L);
+  Alcotest.(check int64) "short roundtrip" (-7L) (Build.peek_int inf Ctype.short g);
+  Build.set_global_int inf "g" 300L;
+  Alcotest.(check int64) "via name" 300L (Build.get_global_int inf "g");
+  let d = Inferior.define_global inf "d" Ctype.double in
+  Build.poke_float inf Ctype.double d 6.25;
+  Alcotest.(check (float 0.0)) "double" 6.25 (Build.peek_float inf Ctype.double d)
+
+let field_access () =
+  let inf = Inferior.create () in
+  let c = Ctype.new_comp Ctype.CStruct "pair" in
+  Ctype.define_fields c [ Ctype.field "a" Ctype.int; Ctype.field "b" Ctype.long ];
+  let p = Build.alloc inf (Ctype.Comp c) in
+  Build.poke_field inf c p "b" 99L;
+  Alcotest.(check int64) "field roundtrip" 99L (Build.peek_field inf c p "b");
+  Alcotest.(check int) "field address" (p + 8) (Build.field_addr inf c p "b");
+  Alcotest.(check bool) "unknown field" true
+    (match Build.field_addr inf c p "zz" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let cstring () =
+  let inf = Inferior.create () in
+  let a = Build.cstring inf "duel" in
+  Alcotest.(check string) "written with NUL" "duel"
+    (Duel_mem.Codec.read_cstring (Inferior.mem inf) ~addr:a ~max_len:100)
+
+let printf_formats () =
+  let inf = Inferior.create () in
+  Stdfuncs.register_all inf;
+  let i v = Dbgi.Cint (Ctype.int, v) in
+  let f v = Dbgi.Cfloat (Ctype.double, v) in
+  let s text = Dbgi.Cint (Ctype.ptr Ctype.char, Int64.of_int (Build.cstring inf text)) in
+  let check what fmt args expected =
+    Alcotest.(check string) what expected (Stdfuncs.format inf fmt args)
+  in
+  check "plain" "hello" [] "hello";
+  check "%d" "%d!" [ i 42L ] "42!";
+  check "%d negative" "%d" [ i (-7L) ] "-7";
+  check "%u" "%u" [ Dbgi.Cint (Ctype.uint, 4294967295L) ] "4294967295";
+  check "%x %X %o" "%x %X %o" [ i 255L; i 255L; i 8L ] "ff FF 10";
+  check "%c" "[%c]" [ i 65L ] "[A]";
+  check "%s" "<%s>" [ s "abc" ] "<abc>";
+  check "%5d width" "%5d" [ i 42L ] "   42";
+  check "%-5d| left" "%-5d|" [ i 42L ] "42   |";
+  check "%05d zero pad" "%05d" [ i (-42L) ] "-0042";
+  check "%.2f" "%.2f" [ f 3.14159 ] "3.14";
+  check "%g" "%g" [ f 0.5 ] "0.5";
+  check "%.3s precision" "%.3s" [ s "abcdef" ] "abc";
+  check "%*d star width" "%*d" [ i 6L; i 42L ] "    42";
+  check "%%" "100%%" [] "100%";
+  check "%ld length modifier" "%ld" [ i 7L ] "7";
+  check "missing args give 0" "%d %d" [ i 1L ] "1 0"
+
+let printf_capture () =
+  let inf = Inferior.create () in
+  Stdfuncs.register_all inf;
+  let s text = Dbgi.Cint (Ctype.ptr Ctype.char, Int64.of_int (Build.cstring inf text)) in
+  (match Inferior.call inf "printf" [ s "%s-%s"; s "a"; s "b" ] with
+  | Dbgi.Cint (_, n) -> Alcotest.(check int64) "returns length" 3L n
+  | _ -> Alcotest.fail "printf should return int");
+  Alcotest.(check string) "captured" "a-b" (Inferior.take_output inf);
+  Alcotest.(check string) "buffer cleared" "" (Inferior.peek_output inf)
+
+let libc_functions () =
+  let inf = Inferior.create () in
+  Stdfuncs.register_all inf;
+  let s text = Dbgi.Cint (Ctype.ptr Ctype.char, Int64.of_int (Build.cstring inf text)) in
+  let i v = Dbgi.Cint (Ctype.int, v) in
+  let int_of = function Dbgi.Cint (_, v) -> v | _ -> Alcotest.fail "int expected" in
+  Alcotest.(check int64) "strlen" 5L (int_of (Inferior.call inf "strlen" [ s "abcde" ]));
+  Alcotest.(check bool) "strcmp equal" true
+    (Int64.equal (int_of (Inferior.call inf "strcmp" [ s "x"; s "x" ])) 0L);
+  Alcotest.(check bool) "strcmp less" true
+    (Int64.compare (int_of (Inferior.call inf "strcmp" [ s "a"; s "b" ])) 0L < 0);
+  Alcotest.(check int64) "abs" 9L (int_of (Inferior.call inf "abs" [ i (-9L) ]));
+  Alcotest.(check int64) "atoi" 123L (int_of (Inferior.call inf "atoi" [ s " 123" ]));
+  (match Inferior.call inf "strchr" [ s "hello"; i 108L ] with
+  | Dbgi.Cint (_, p) ->
+      Alcotest.(check string) "strchr finds suffix" "llo"
+        (Duel_mem.Codec.read_cstring (Inferior.mem inf) ~addr:(Int64.to_int p)
+           ~max_len:10)
+  | _ -> Alcotest.fail "strchr returns pointer");
+  Alcotest.check_raises "unknown function" (Failure "no target function named nope")
+    (fun () -> ignore (Inferior.call inf "nope" []))
+
+let backend_faults () =
+  let inf = Inferior.create () in
+  let dbg = Duel_target.Backend.direct inf in
+  Alcotest.(check bool) "fault surfaces as Target_fault" true
+    (match dbg.Dbgi.get_bytes ~addr:0x123456789 ~len:4 with
+    | _ -> false
+    | exception Dbgi.Target_fault _ -> true);
+  let addr = dbg.Dbgi.alloc_space 32 in
+  dbg.Dbgi.put_bytes ~addr (Bytes.of_string "ok");
+  Alcotest.(check string) "alloc space usable" "ok"
+    (Bytes.to_string (dbg.Dbgi.get_bytes ~addr ~len:2));
+  Alcotest.(check bool) "readable probe" true (Dbgi.readable dbg ~addr ~len:32);
+  Alcotest.(check bool) "unreadable probe" false
+    (Dbgi.readable dbg ~addr:0x3fffffff ~len:4)
+
+let suite =
+  [
+    case "globals and symbol table" globals;
+    case "symbol_at" symbol_at;
+    case "frame stack" frames;
+    case "typed peek/poke" peek_poke;
+    case "struct field builders" field_access;
+    case "C strings" cstring;
+    case "printf format engine" printf_formats;
+    case "printf output capture" printf_capture;
+    case "libc functions" libc_functions;
+    case "direct backend faults and allocation" backend_faults;
+  ]
