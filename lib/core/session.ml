@@ -64,8 +64,10 @@ let exec session src =
   | Parser.Error (msg, pos) ->
       emit (Printf.sprintf "parse error at character %d: %s" pos msg)
   | Error.Duel_error err -> emit (Error.to_string err)
-  | Dbgi.Target_fault addr ->
-      emit (Printf.sprintf "Illegal memory reference: address 0x%x" addr)
+  | Dbgi.Target_fault { addr; len } ->
+      emit
+        (Printf.sprintf "Illegal memory reference: address 0x%x (%d-byte access)"
+           addr len)
   | Stack_overflow -> emit "evaluation too deep (stack overflow)"
   | Out_of_memory as e -> raise e
   | e ->

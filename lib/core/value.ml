@@ -43,45 +43,15 @@ let memory_error v addr =
     ~operand:(Symbolic.to_string v.sym, Printf.sprintf "lvalue 0x%x" addr)
     "Illegal memory reference"
 
-(* Read an integer codec-style via the narrow interface. *)
+(* Integer access via the interface scalar helpers, with faults rephrased
+   as the paper's "Illegal memory reference" carrying symbolic context. *)
 let read_scalar dbg v ~addr ~size ~signed =
-  let bytes =
-    try dbg.Dbgi.get_bytes ~addr ~len:size
-    with Dbgi.Target_fault a -> memory_error v a
-  in
-  let abi = dbg.Dbgi.abi in
-  let byte i =
-    match abi.Duel_ctype.Abi.endian with
-    | Duel_ctype.Abi.Little -> Char.code (Bytes.get bytes i)
-    | Duel_ctype.Abi.Big -> Char.code (Bytes.get bytes (size - 1 - i))
-  in
-  let acc = ref 0L in
-  for i = size - 1 downto 0 do
-    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (byte i))
-  done;
-  let raw = !acc in
-  if signed && size < 8 then begin
-    let bits = size * 8 in
-    if Int64.logand raw (Int64.shift_left 1L (bits - 1)) <> 0L then
-      Int64.logor raw (Int64.shift_left (-1L) bits)
-    else raw
-  end
-  else raw
+  try Dbgi.read_scalar dbg ~addr ~size ~signed
+  with Dbgi.Target_fault { addr = a; _ } -> memory_error v a
 
 let write_scalar dbg v ~addr ~size value =
-  let abi = dbg.Dbgi.abi in
-  let bytes = Bytes.create size in
-  for i = 0 to size - 1 do
-    let b = Int64.to_int (Int64.logand (Int64.shift_right_logical value (i * 8)) 0xffL) in
-    let pos =
-      match abi.Duel_ctype.Abi.endian with
-      | Duel_ctype.Abi.Little -> i
-      | Duel_ctype.Abi.Big -> size - 1 - i
-    in
-    Bytes.set bytes pos (Char.chr b)
-  done;
-  try dbg.Dbgi.put_bytes ~addr bytes
-  with Dbgi.Target_fault a -> memory_error v a
+  try Dbgi.write_scalar dbg ~addr ~size value
+  with Dbgi.Target_fault { addr = a; _ } -> memory_error v a
 
 let size_of dbg typ =
   try Layout.size_of dbg.Dbgi.abi typ
@@ -281,10 +251,10 @@ let store dbg ~into rhs =
           let size = size_of dbg typ in
           let data =
             try dbg.Dbgi.get_bytes ~addr:src ~len:size
-            with Dbgi.Target_fault a -> memory_error rhs a
+            with Dbgi.Target_fault { addr = a; _ } -> memory_error rhs a
           in
           (try dbg.Dbgi.put_bytes ~addr data
-           with Dbgi.Target_fault a -> memory_error into a);
+           with Dbgi.Target_fault { addr = a; _ } -> memory_error into a);
           { into with sym = into.sym }
       | _ ->
           Error.fail ~operand:(Symbolic.to_string rhs.sym, describe rhs)

@@ -3,22 +3,7 @@ module Layout = Duel_ctype.Layout
 module Tenv = Duel_ctype.Tenv
 module Dbgi = Duel_dbgi.Dbgi
 
-let read_scalar dbg ~addr ~size ~signed =
-  let data = dbg.Dbgi.get_bytes ~addr ~len:size in
-  let abi = dbg.Dbgi.abi in
-  let byte i =
-    match abi.Duel_ctype.Abi.endian with
-    | Duel_ctype.Abi.Little -> Char.code (Bytes.get data i)
-    | Duel_ctype.Abi.Big -> Char.code (Bytes.get data (size - 1 - i))
-  in
-  let acc = ref 0L in
-  for i = size - 1 downto 0 do
-    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (byte i))
-  done;
-  let v = !acc in
-  if signed && size < 8 && Int64.logand v (Int64.shift_left 1L ((size * 8) - 1)) <> 0L
-  then Int64.logor v (Int64.shift_left (-1L) (size * 8))
-  else v
+let read_scalar = Dbgi.read_scalar
 
 let read_int_at dbg typ addr =
   let abi = dbg.Dbgi.abi in

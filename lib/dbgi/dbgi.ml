@@ -1,4 +1,4 @@
-exception Target_fault of int
+exception Target_fault of { addr : int; len : int }
 
 type cval =
   | Cint of Duel_ctype.Ctype.t * int64
@@ -24,6 +24,14 @@ type t = {
 }
 
 let readable dbg ~addr ~len =
+  len = 0
+  ||
   match dbg.get_bytes ~addr ~len with
   | (_ : bytes) -> true
   | exception Target_fault _ -> false
+
+let read_scalar dbg ~addr ~size ~signed =
+  Duel_mem.Codec.decode_int dbg.abi (dbg.get_bytes ~addr ~len:size) ~signed
+
+let write_scalar dbg ~addr ~size v =
+  dbg.put_bytes ~addr (Duel_mem.Codec.encode_int dbg.abi ~size v)

@@ -12,10 +12,22 @@
     [duel_get_target_bytes], [duel_put_target_bytes],
     [duel_alloc_target_space], [duel_call_target_func],
     [duel_get_target_variable], [duel_get_target_typedef/struct/union/enum],
-    plus the "miscellaneous" frame queries. *)
+    plus the "miscellaneous" frame queries.
 
-exception Target_fault of int
-(** Raised by [get_bytes]/[put_bytes] with the faulting target address. *)
+    {2 Zero-length convention}
+
+    A zero-length transfer is valid at {e any} address, mapped or not:
+    [get_bytes ~addr ~len:0] returns empty bytes, [put_bytes] of empty
+    bytes is a no-op, and {!readable} [~len:0] is [true], all without
+    touching the target.  (This mirrors C, where any pointer may be used
+    for a zero-byte access.)  Backends must honour this; both the direct
+    simulator and the RSP client do.  [len] must be non-negative. *)
+
+exception Target_fault of { addr : int; len : int }
+(** Raised by [get_bytes]/[put_bytes]: [addr] is the exact faulting target
+    address (the first inaccessible byte, which for an access spanning a
+    mapping boundary may lie {e inside} the requested range), and [len] is
+    the length of the attempted access. *)
 
 (** Scalar values crossing the interface for target-function calls.
     Pointers travel as [Cint] with a pointer type. *)
@@ -48,4 +60,22 @@ type t = {
 
 val readable : t -> addr:int -> len:int -> bool
 (** [true] iff [get_bytes] would succeed — used by [-->] traversals to
-    recognise invalid pointers without raising. *)
+    recognise invalid pointers without raising.  Always [true] for
+    [len = 0], per the zero-length convention above. *)
+
+(** {1 Scalar helpers}
+
+    Endian-aware integer access on top of [get_bytes]/[put_bytes] and
+    {!Duel_mem.Codec}, so that consumers (the C-baseline queries, the value
+    machinery) do not hand-roll byte decoding against the record.  The
+    record itself stays paper-narrow: these are functions {e over} the
+    interface, not members of it. *)
+
+val read_scalar : t -> addr:int -> size:int -> signed:bool -> int64
+(** Read one scalar of [size] bytes (1, 2, 4, or 8), sign-extending iff
+    [signed].
+    @raise Target_fault as [get_bytes] does.
+    @raise Invalid_argument on a bad size. *)
+
+val write_scalar : t -> addr:int -> size:int -> int64 -> unit
+(** Store the low [size] bytes of the value in the ABI's byte order. *)

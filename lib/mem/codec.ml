@@ -8,11 +8,12 @@ let check_size size =
 let byte_index (abi : Abi.t) size i =
   match abi.Abi.endian with Abi.Little -> i | Abi.Big -> size - 1 - i
 
-let read_int (abi : Abi.t) mem ~addr ~size ~signed =
+let decode_int (abi : Abi.t) data ~signed =
+  let size = Bytes.length data in
   check_size size;
   let v = ref 0L in
   for i = size - 1 downto 0 do
-    let b = Memory.read_u8 mem (addr + byte_index abi size i) in
+    let b = Char.code (Bytes.get data (byte_index abi size i)) in
     v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int b)
   done;
   (* Bytes were accumulated most-significant first, so !v now holds the
@@ -26,12 +27,21 @@ let read_int (abi : Abi.t) mem ~addr ~size ~signed =
     else v
   else v
 
-let write_int (abi : Abi.t) mem ~addr ~size v =
+let encode_int (abi : Abi.t) ~size v =
   check_size size;
+  let data = Bytes.create size in
   for i = 0 to size - 1 do
     let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (i * 8)) 0xffL) in
-    Memory.write_u8 mem (addr + byte_index abi size i) b
-  done
+    Bytes.set data (byte_index abi size i) (Char.chr b)
+  done;
+  data
+
+let read_int (abi : Abi.t) mem ~addr ~size ~signed =
+  check_size size;
+  decode_int abi (Memory.read mem ~addr ~len:size) ~signed
+
+let write_int (abi : Abi.t) mem ~addr ~size v =
+  Memory.write mem ~addr (encode_int abi ~size v)
 
 let read_float abi mem ~addr ~size =
   match size with

@@ -5,6 +5,16 @@
     is stored as a double in the low 8 bytes of its 16-byte slot — a
     documented simplification (we model storage width, not x87 precision). *)
 
+val decode_int : Duel_ctype.Abi.t -> bytes -> signed:bool -> int64
+(** Decode a whole buffer as one endian-aware scalar; the buffer's length
+    is the scalar's size.  The in-memory codecs and the debugger-interface
+    scalar helpers ({!Duel_dbgi.Dbgi.read_scalar}) are both built on this.
+    @raise Invalid_argument if the length is not 1, 2, 4, or 8. *)
+
+val encode_int : Duel_ctype.Abi.t -> size:int -> int64 -> bytes
+(** Inverse of {!decode_int}: the low [size] bytes of the value, in the
+    ABI's byte order.  @raise Invalid_argument on bad sizes. *)
+
 val read_int : Duel_ctype.Abi.t -> Memory.t -> addr:int -> size:int -> signed:bool -> int64
 (** @raise Invalid_argument if [size] is not 1, 2, 4, or 8. *)
 

@@ -45,7 +45,7 @@ let connect ~exchange di =
     if len = 0 then Bytes.create 0
     else
       let reply = rpc (Printf.sprintf "m%x,%x" addr len) in
-      if is_error reply then raise (Dbgi.Target_fault addr)
+      if is_error reply then raise (Dbgi.Target_fault { addr; len })
       else
         let data = Packet.bytes_of_hex reply in
         if Bytes.length data <> len then failwith "rsp: short memory reply"
@@ -58,7 +58,8 @@ let connect ~exchange di =
           (Printf.sprintf "M%x,%x:%s" addr (Bytes.length data)
              (Packet.hex_of_bytes data))
       in
-      if reply <> "OK" then raise (Dbgi.Target_fault addr)
+      if reply <> "OK" then
+        raise (Dbgi.Target_fault { addr; len = Bytes.length data })
     end
   in
   let alloc_space len =

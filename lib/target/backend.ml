@@ -1,0 +1,23 @@
+module Memory = Duel_mem.Memory
+module Dbgi = Duel_dbgi.Dbgi
+
+let direct inf =
+  let mem = Inferior.mem inf in
+  {
+    Dbgi.abi = Inferior.abi inf;
+    get_bytes =
+      (fun ~addr ~len ->
+        try Memory.read mem ~addr ~len
+        with Memory.Fault fault ->
+          raise (Dbgi.Target_fault { addr = fault; len }));
+    put_bytes =
+      (fun ~addr data ->
+        try Memory.write mem ~addr data
+        with Memory.Fault fault ->
+          raise (Dbgi.Target_fault { addr = fault; len = Bytes.length data }));
+    alloc_space = (fun size -> Inferior.alloc_data inf ~size ~align:16);
+    call_func = (fun name args -> Inferior.call inf name args);
+    find_variable = Inferior.find_variable inf;
+    tenv = Inferior.tenv inf;
+    frames = (fun () -> Inferior.frames inf);
+  }

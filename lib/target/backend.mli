@@ -1,0 +1,10 @@
+(** The direct in-process debugger backend.
+
+    [direct inf] wraps a simulated inferior in the paper's narrow debugger
+    interface — the moral equivalent of DUEL's ~400-line gdb glue module.
+    Memory faults ({!Duel_mem.Memory.Fault}) surface as
+    {!Duel_dbgi.Dbgi.Target_fault} carrying the exact faulting byte address
+    and the length of the attempted access; zero-length transfers always
+    succeed, per the interface convention. *)
+
+val direct : Inferior.t -> Duel_dbgi.Dbgi.t

@@ -1,0 +1,103 @@
+module Abi = Duel_ctype.Abi
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Codec = Duel_mem.Codec
+
+let alloc inf typ =
+  Inferior.alloc_data inf ~size:(Layout.size_of (Inferior.abi inf) typ) ~align:16
+
+let cstring inf s =
+  let addr = Inferior.alloc_data inf ~size:(String.length s + 1) ~align:16 in
+  Codec.write_cstring (Inferior.mem inf) ~addr s;
+  addr
+
+(* Width and signedness of an integer-representable scalar type (integers,
+   enums, _Bool, pointers). *)
+let int_shape abi typ =
+  match typ with
+  | Ctype.Ptr _ -> (abi.Abi.ptr_size, false)
+  | _ -> (
+      match Ctype.integer_kind typ with
+      | Some k -> (Ctype.ikind_size abi k, Ctype.ikind_signed abi k)
+      | None -> invalid_arg "Build: not an integer-representable type")
+
+let poke_int inf typ addr v =
+  let abi = Inferior.abi inf in
+  let size, _ = int_shape abi typ in
+  Codec.write_int abi (Inferior.mem inf) ~addr ~size v
+
+let peek_int inf typ addr =
+  let abi = Inferior.abi inf in
+  let size, signed = int_shape abi typ in
+  Codec.read_int abi (Inferior.mem inf) ~addr ~size ~signed
+
+let float_size abi typ =
+  match typ with
+  | Ctype.Floating k -> Ctype.fkind_size abi k
+  | _ -> invalid_arg "Build: not a floating type"
+
+let poke_float inf typ addr v =
+  let abi = Inferior.abi inf in
+  Codec.write_float abi (Inferior.mem inf) ~addr ~size:(float_size abi typ) v
+
+let peek_float inf typ addr =
+  let abi = Inferior.abi inf in
+  Codec.read_float abi (Inferior.mem inf) ~addr ~size:(float_size abi typ)
+
+let find_field inf comp name =
+  match Layout.find_field (Inferior.abi inf) comp name with
+  | Some fi -> fi
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Build: struct %s has no field %s" comp.Ctype.comp_tag
+           name)
+
+let field_addr inf comp addr name = addr + (find_field inf comp name).Layout.fi_offset
+
+let poke_field inf comp addr name v =
+  let abi = Inferior.abi inf in
+  let fi = find_field inf comp name in
+  let faddr = addr + fi.Layout.fi_offset in
+  let ftype = fi.Layout.fi_field.Ctype.f_type in
+  match fi.Layout.fi_field.Ctype.f_bits with
+  | Some width ->
+      Codec.write_bitfield abi (Inferior.mem inf) ~addr:faddr
+        ~unit_size:(Layout.size_of abi ftype) ~bit_off:fi.Layout.fi_bit_off
+        ~width v
+  | None -> (
+      match ftype with
+      | Ctype.Floating _ -> poke_float inf ftype faddr (Int64.to_float v)
+      | _ -> poke_int inf ftype faddr v)
+
+let peek_field inf comp addr name =
+  let abi = Inferior.abi inf in
+  let fi = find_field inf comp name in
+  let faddr = addr + fi.Layout.fi_offset in
+  let ftype = fi.Layout.fi_field.Ctype.f_type in
+  match fi.Layout.fi_field.Ctype.f_bits with
+  | Some width ->
+      let signed =
+        match Ctype.integer_kind ftype with
+        | Some k -> Ctype.ikind_signed abi k
+        | None -> false
+      in
+      Codec.read_bitfield abi (Inferior.mem inf) ~addr:faddr
+        ~unit_size:(Layout.size_of abi ftype) ~bit_off:fi.Layout.fi_bit_off
+        ~width ~signed
+  | None -> (
+      match ftype with
+      | Ctype.Floating _ -> Int64.of_float (peek_float inf ftype faddr)
+      | _ -> peek_int inf ftype faddr)
+
+let global inf name =
+  match Inferior.find_variable inf name with
+  | Some info -> info
+  | None -> invalid_arg (Printf.sprintf "Build: no global named %s" name)
+
+let set_global_int inf name v =
+  let info = global inf name in
+  poke_int inf info.Duel_dbgi.Dbgi.v_type info.Duel_dbgi.Dbgi.v_addr v
+
+let get_global_int inf name =
+  let info = global inf name in
+  peek_int inf info.Duel_dbgi.Dbgi.v_type info.Duel_dbgi.Dbgi.v_addr

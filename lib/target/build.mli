@@ -1,0 +1,54 @@
+(** Typed heap-graph builder DSL.
+
+    Scenario code constructs debuggee state (structs, arrays, strings,
+    linked lists, trees) with these helpers instead of raw byte pokes.
+    Every operation is endian- and ABI-correct: scalar widths and
+    signedness come from the C type, struct offsets from
+    {!Duel_ctype.Layout}, and the bytes go through {!Duel_mem.Codec}, so a
+    graph built here is byte-identical to what the equivalent C program
+    would have left in memory.
+
+    Integer-valued helpers accept pointer types too (a pointer is stored as
+    an unsigned integer of [ptr_size]); [poke_field]/[peek_field] also
+    handle bit-field and floating members, converting the [int64] through
+    the member's declared type. *)
+
+val alloc : Inferior.t -> Duel_ctype.Ctype.t -> int
+(** [alloc inf typ] mallocs zeroed heap storage for one value of [typ] and
+    returns its address. *)
+
+val cstring : Inferior.t -> string -> int
+(** Copy a NUL-terminated C string into fresh heap storage; returns its
+    address. *)
+
+(** {1 Typed scalar access by address} *)
+
+val poke_int : Inferior.t -> Duel_ctype.Ctype.t -> int -> int64 -> unit
+(** [poke_int inf typ addr v] stores [v] at [addr] with the width of [typ]
+    (an integer, enum, or pointer type).
+    @raise Invalid_argument if [typ] has no integer representation. *)
+
+val peek_int : Inferior.t -> Duel_ctype.Ctype.t -> int -> int64
+(** Read back a scalar, sign-extending iff [typ] is signed. *)
+
+val poke_float : Inferior.t -> Duel_ctype.Ctype.t -> int -> float -> unit
+val peek_float : Inferior.t -> Duel_ctype.Ctype.t -> int -> float
+
+(** {1 Struct/union members} *)
+
+val field_addr : Inferior.t -> Duel_ctype.Ctype.comp -> int -> string -> int
+(** Address of a member of the composite at this address.
+    @raise Invalid_argument if the composite has no such member. *)
+
+val poke_field : Inferior.t -> Duel_ctype.Ctype.comp -> int -> string -> int64 -> unit
+(** Store through a member, honouring its declared type (including
+    bit-fields and floating members). *)
+
+val peek_field : Inferior.t -> Duel_ctype.Ctype.comp -> int -> string -> int64
+
+(** {1 Globals by name} *)
+
+val set_global_int : Inferior.t -> string -> int64 -> unit
+(** @raise Invalid_argument if no such global. *)
+
+val get_global_int : Inferior.t -> string -> int64

@@ -1,0 +1,168 @@
+module Abi = Duel_ctype.Abi
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+module Tenv = Duel_ctype.Tenv
+module Memory = Duel_mem.Memory
+module Alloc = Duel_mem.Alloc
+module Dbgi = Duel_dbgi.Dbgi
+
+(* Address-space map (everything strictly below 0x4000_0000, so that
+   0x4000_0000 is the canonical never-mapped wild address used by the
+   fault-injection scenarios and the RSP fault tests). *)
+let text_base = 0x1000
+let data_base = 0x0010_0000
+let heap_base = 0x0100_0000
+let heap_size = 0x1000_0000
+let stack_base = 0x3000_0000
+let stack_limit = 0x3800_0000
+
+type sym = {
+  sym_addr : int;
+  sym_size : int;  (* 0 for functions: invisible to [symbol_at] *)
+  sym_type : Ctype.t;
+}
+
+type frame = {
+  fr_name : string;
+  fr_locals : (string * Dbgi.var_info) list;
+  fr_saved_sp : int;
+}
+
+type t = {
+  abi : Abi.t;
+  mem : Memory.t;
+  tenv : Tenv.t;
+  heap : Alloc.t;
+  symbols : (string, sym) Hashtbl.t;
+  mutable sym_order : (string * sym) list;  (* definition order, for symbol_at *)
+  funcs : (string, t -> Dbgi.cval list -> Dbgi.cval) Hashtbl.t;
+  mutable next_data : int;
+  mutable next_text : int;
+  mutable sp : int;
+  mutable frame_stack : frame list;  (* innermost first *)
+  out : Buffer.t;
+}
+
+let create ?(abi = Abi.lp64) () =
+  let mem = Memory.create () in
+  {
+    abi;
+    mem;
+    tenv = Tenv.create ();
+    heap = Alloc.create mem ~base:heap_base ~size:heap_size;
+    symbols = Hashtbl.create 64;
+    sym_order = [];
+    funcs = Hashtbl.create 16;
+    next_data = data_base;
+    next_text = text_base;
+    sp = stack_base;
+    frame_stack = [];
+    out = Buffer.create 256;
+  }
+
+let abi inf = inf.abi
+let mem inf = inf.mem
+let tenv inf = inf.tenv
+let heap inf = inf.heap
+
+let alloc_data inf ~size ~align =
+  if align > 16 then
+    invalid_arg (Printf.sprintf "Inferior.alloc_data: alignment %d > 16" align);
+  Alloc.malloc inf.heap size
+
+let align_up addr align = if align <= 1 then addr else (addr + align - 1) / align * align
+
+(* Size/alignment of a symbol's storage; functions and incomplete types
+   occupy no data (size 0). *)
+let storage_of abi typ =
+  match Layout.size_of abi typ with
+  | size -> (size, Layout.align_of abi typ)
+  | exception Layout.Incomplete _ -> (0, 1)
+
+let add_symbol inf name sym =
+  Hashtbl.replace inf.symbols name sym;
+  inf.sym_order <- (name, sym) :: inf.sym_order
+
+let check_fresh inf name =
+  if Hashtbl.mem inf.symbols name then
+    invalid_arg (Printf.sprintf "Inferior: symbol %s already defined" name)
+
+let define_global inf name typ =
+  check_fresh inf name;
+  let size, align = storage_of inf.abi typ in
+  let addr = align_up inf.next_data align in
+  if addr + size >= heap_base then
+    invalid_arg (Printf.sprintf "Inferior: data region exhausted by %s" name);
+  inf.next_data <- addr + max size 1;
+  Memory.map inf.mem ~addr ~size:(max size 1);
+  add_symbol inf name { sym_addr = addr; sym_size = size; sym_type = typ };
+  addr
+
+let find_variable inf name =
+  match Hashtbl.find_opt inf.symbols name with
+  | Some s -> Some { Dbgi.v_addr = s.sym_addr; v_type = s.sym_type }
+  | None -> None
+
+let symbol_at inf addr =
+  let covers (_, s) = s.sym_size > 0 && addr >= s.sym_addr && addr < s.sym_addr + s.sym_size in
+  match List.find_opt covers inf.sym_order with
+  | Some (name, s) -> Some (name, addr - s.sym_addr)
+  | None -> None
+
+(* --- frames -------------------------------------------------------------- *)
+
+let push_frame inf fname locals =
+  let saved = inf.sp in
+  let place (name, typ) =
+    let size, align = storage_of inf.abi typ in
+    let size = max size 1 in
+    let addr = align_up inf.sp align in
+    if addr + size > stack_limit then failwith "Inferior: target stack overflow";
+    inf.sp <- addr + size;
+    Memory.map inf.mem ~addr ~size;
+    (* map only zeroes fresh pages; recursion reuses stack addresses, so
+       re-zero explicitly to give each activation pristine locals *)
+    Memory.write inf.mem ~addr (Bytes.make size '\000');
+    (name, { Dbgi.v_addr = addr; v_type = typ })
+  in
+  let placed = List.map place locals in
+  inf.frame_stack <-
+    { fr_name = fname; fr_locals = placed; fr_saved_sp = saved } :: inf.frame_stack
+
+let pop_frame inf =
+  match inf.frame_stack with
+  | [] -> invalid_arg "Inferior.pop_frame: no active frames"
+  | fr :: rest ->
+      inf.sp <- fr.fr_saved_sp;
+      inf.frame_stack <- rest
+
+let frames inf =
+  List.mapi
+    (fun i fr ->
+      { Dbgi.fr_index = i; fr_func = fr.fr_name; fr_locals = fr.fr_locals })
+    inf.frame_stack
+
+(* --- target functions ----------------------------------------------------- *)
+
+let register_func inf name ftype impl =
+  check_fresh inf name;
+  let addr = inf.next_text in
+  inf.next_text <- inf.next_text + 16;
+  add_symbol inf name { sym_addr = addr; sym_size = 0; sym_type = ftype };
+  Hashtbl.replace inf.funcs name impl
+
+let call inf name args =
+  match Hashtbl.find_opt inf.funcs name with
+  | Some impl -> impl inf args
+  | None -> failwith ("no target function named " ^ name)
+
+(* --- captured stdout ------------------------------------------------------ *)
+
+let emit_output inf s = Buffer.add_string inf.out s
+
+let take_output inf =
+  let s = Buffer.contents inf.out in
+  Buffer.clear inf.out;
+  s
+
+let peek_output inf = Buffer.contents inf.out

@@ -1,0 +1,106 @@
+(** The simulated debuggee ("inferior").
+
+    Plays the role of the live C process the paper's DUEL examined through
+    gdb: a byte-addressed target address space ({!Duel_mem.Memory}) carved
+    into text, data, heap, and stack regions, plus the debug information a
+    debugger would get from symbol tables — global names with addresses and
+    C types, a type environment for tags and typedefs, a stack of active
+    frames with typed locals, and registered callable target functions.
+
+    Nothing outside [lib/target] touches the internals; consumers go
+    through this interface, through the {!Build} object-graph DSL, or
+    through the narrow {!Duel_dbgi.Dbgi.t} produced by {!Backend.direct}.
+
+    {2 Address-space layout}
+
+    All regions live below [0x4000_0000], so addresses at or above it are
+    never mapped — fault-injection scenarios use [0x4000_0000] as a
+    canonical wild pointer:
+
+    - text (registered functions):  [0x0000_1000 ...]
+    - data (globals):               [0x0010_0000 ...], bump-allocated
+    - heap ({!heap}, [malloc]):     [0x0100_0000 ... 0x1100_0000)
+    - stack (frame locals):         [0x3000_0000 ... 0x3800_0000) *)
+
+type t
+
+val create : ?abi:Duel_ctype.Abi.t -> unit -> t
+(** Fresh empty inferior.  [abi] defaults to {!Duel_ctype.Abi.lp64}. *)
+
+(** {1 Substrate accessors} *)
+
+val abi : t -> Duel_ctype.Abi.t
+val mem : t -> Duel_mem.Memory.t
+val tenv : t -> Duel_ctype.Tenv.t
+
+val heap : t -> Duel_mem.Alloc.t
+(** The target [malloc] heap; also backs [alloc_space] on the debugger
+    interface and the {!Build} DSL. *)
+
+val alloc_data : t -> size:int -> align:int -> int
+(** Allocate zeroed heap space.  Blocks are 16-byte aligned;
+    @raise Invalid_argument if [align] exceeds 16. *)
+
+(** {1 Symbols} *)
+
+val define_global : t -> string -> Duel_ctype.Ctype.t -> int
+(** Place a global of the given type in the data region (aligned for its
+    type, zero-initialised) and enter it into the symbol table; returns its
+    address.
+    @raise Invalid_argument ["Inferior: symbol <name> already defined"] on a
+    duplicate name. *)
+
+val find_variable : t -> string -> Duel_dbgi.Dbgi.var_info option
+(** Globals {e and} registered functions by name — the paper's
+    [duel_get_target_variable]. *)
+
+val symbol_at : t -> int -> (string * int) option
+(** The data symbol whose storage contains this address, with the byte
+    offset into it — the inverse symbol lookup debuggers use to print
+    addresses as [name+offset]. *)
+
+(** {1 Frames} *)
+
+val push_frame : t -> string -> (string * Duel_ctype.Ctype.t) list -> unit
+(** Enter a function: allocate zeroed, properly aligned stack storage for
+    each named local, in order. *)
+
+val pop_frame : t -> unit
+(** Leave the innermost frame, releasing its stack storage.
+    @raise Invalid_argument ["Inferior.pop_frame: no active frames"]. *)
+
+val frames : t -> Duel_dbgi.Dbgi.frame_info list
+(** Active frames, innermost first; [fr_index] 0 is the innermost. *)
+
+(** {1 Target functions} *)
+
+val register_func :
+  t ->
+  string ->
+  Duel_ctype.Ctype.t ->
+  (t -> Duel_dbgi.Dbgi.cval list -> Duel_dbgi.Dbgi.cval) ->
+  unit
+(** Register a callable target function.  The C type (normally a
+    [Ctype.Func]) is entered into the symbol table at a fresh text address,
+    so [find_variable] reports it and callers can recover the return type,
+    as gdb does from debug info.
+    @raise Invalid_argument on a duplicate symbol name. *)
+
+val call : t -> string -> Duel_dbgi.Dbgi.cval list -> Duel_dbgi.Dbgi.cval
+(** Invoke a registered function — the paper's [duel_call_target_func].
+    @raise Failure ["no target function named <name>"] if unknown. *)
+
+(** {1 Captured target stdout}
+
+    Target-resident [printf]/[puts] write here instead of the real stdout,
+    so transcripts are reproducible and testable. *)
+
+val emit_output : t -> string -> unit
+(** Append to the capture buffer (used by {!Stdfuncs}). *)
+
+val take_output : t -> string
+(** Return everything captured since the last [take_output], clearing the
+    buffer. *)
+
+val peek_output : t -> string
+(** Return the buffered output without clearing it. *)

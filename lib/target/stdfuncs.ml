@@ -1,0 +1,303 @@
+module Abi = Duel_ctype.Abi
+module Ctype = Duel_ctype.Ctype
+module Codec = Duel_mem.Codec
+module Dbgi = Duel_dbgi.Dbgi
+
+let max_cstring = 65536
+
+let read_string inf addr =
+  Codec.read_cstring (Inferior.mem inf) ~addr ~max_len:max_cstring
+
+(* --- the conversion engine ---------------------------------------------- *)
+
+(* Mask an integer argument to the unsigned range of its C type, for the
+   unsigned conversions (%u %x %X %o %p): C converts the vararg, we mask. *)
+let to_unsigned abi typ v =
+  let size =
+    match typ with
+    | Ctype.Ptr _ -> abi.Abi.ptr_size
+    | _ -> (
+        match Ctype.integer_kind typ with
+        | Some k -> Ctype.ikind_size abi k
+        | None -> 8)
+  in
+  if size >= 8 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L (size * 8)) 1L)
+
+type spec = {
+  left : bool;
+  zero : bool;
+  width : int;  (* 0 = none *)
+  prec : int option;
+}
+
+let pad spec ~numeric s =
+  if String.length s >= spec.width then s
+  else
+    let fill = spec.width - String.length s in
+    if spec.left then s ^ String.make fill ' '
+    else if spec.zero && numeric && String.length s > 0
+            && (s.[0] = '-' || s.[0] = '+') then
+      String.make 1 s.[0] ^ String.make fill '0'
+      ^ String.sub s 1 (String.length s - 1)
+    else if spec.zero && numeric then String.make fill '0' ^ s
+    else String.make fill ' ' ^ s
+
+(* Minimum-digits precision for integer conversions: zeros after the sign. *)
+let int_prec prec s =
+  match prec with
+  | None -> s
+  | Some p ->
+      let sign, digits =
+        if String.length s > 0 && (s.[0] = '-' || s.[0] = '+') then
+          (String.sub s 0 1, String.sub s 1 (String.length s - 1))
+        else ("", s)
+      in
+      if String.length digits >= p then s
+      else sign ^ String.make (p - String.length digits) '0' ^ digits
+
+let format inf fmt args =
+  let abi = Inferior.abi inf in
+  let buf = Buffer.create (String.length fmt + 32) in
+  let args = ref args in
+  let next_arg () =
+    match !args with
+    | [] -> None
+    | a :: rest ->
+        args := rest;
+        Some a
+  in
+  let next_int () =
+    match next_arg () with
+    | Some (Dbgi.Cint (typ, v)) -> (typ, v)
+    | Some (Dbgi.Cfloat (_, f)) -> (Ctype.llong, Int64.of_float f)
+    | None -> (Ctype.int, 0L)
+  in
+  let next_float () =
+    match next_arg () with
+    | Some (Dbgi.Cfloat (_, f)) -> f
+    | Some (Dbgi.Cint (_, v)) -> Int64.to_float v
+    | None -> 0.0
+  in
+  let n = String.length fmt in
+  let rec scan i =
+    if i < n then
+      match fmt.[i] with
+      | '%' when i + 1 < n -> directive (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          scan (i + 1)
+  and directive i =
+    (* flags *)
+    let left = ref false and zero = ref false in
+    let rec flags i =
+      if i < n then
+        match fmt.[i] with
+        | '-' ->
+            left := true;
+            flags (i + 1)
+        | '0' ->
+            zero := true;
+            flags (i + 1)
+        | '+' | ' ' | '#' -> flags (i + 1)
+        | _ -> i
+      else i
+    in
+    let i = flags i in
+    (* width (digits or '*') *)
+    let width, i =
+      if i < n && fmt.[i] = '*' then
+        let _, v = next_int () in
+        (Int64.to_int v, i + 1)
+      else
+        let rec digits acc i =
+          if i < n && fmt.[i] >= '0' && fmt.[i] <= '9' then
+            digits ((acc * 10) + (Char.code fmt.[i] - Char.code '0')) (i + 1)
+          else (acc, i)
+        in
+        digits 0 i
+    in
+    (* precision *)
+    let prec, i =
+      if i < n && fmt.[i] = '.' then
+        if i + 1 < n && fmt.[i + 1] = '*' then
+          let _, v = next_int () in
+          (Some (Int64.to_int v), i + 2)
+        else
+          let rec digits acc i =
+            if i < n && fmt.[i] >= '0' && fmt.[i] <= '9' then
+              digits ((acc * 10) + (Char.code fmt.[i] - Char.code '0')) (i + 1)
+            else (acc, i)
+          in
+          let p, i = digits 0 (i + 1) in
+          (Some p, i)
+      else (None, i)
+    in
+    (* length modifiers: widths already travel as int64, so just skip *)
+    let rec modifiers i =
+      if i < n && (fmt.[i] = 'l' || fmt.[i] = 'h' || fmt.[i] = 'z') then
+        modifiers (i + 1)
+      else i
+    in
+    let i = modifiers i in
+    let spec = { left = !left; zero = !zero; width; prec } in
+    let emit ~numeric s = Buffer.add_string buf (pad spec ~numeric s) in
+    let fprec = match prec with Some p -> p | None -> 6 in
+    if i >= n then Buffer.add_char buf '%'
+    else begin
+      (match fmt.[i] with
+      | 'd' | 'i' ->
+          let _, v = next_int () in
+          emit ~numeric:true (int_prec prec (Int64.to_string v))
+      | 'u' ->
+          let typ, v = next_int () in
+          emit ~numeric:true
+            (int_prec prec (Printf.sprintf "%Lu" (to_unsigned abi typ v)))
+      | 'x' ->
+          let typ, v = next_int () in
+          emit ~numeric:true
+            (int_prec prec (Printf.sprintf "%Lx" (to_unsigned abi typ v)))
+      | 'X' ->
+          let typ, v = next_int () in
+          emit ~numeric:true
+            (int_prec prec (Printf.sprintf "%LX" (to_unsigned abi typ v)))
+      | 'o' ->
+          let typ, v = next_int () in
+          emit ~numeric:true
+            (int_prec prec (Printf.sprintf "%Lo" (to_unsigned abi typ v)))
+      | 'p' ->
+          let typ, v = next_int () in
+          emit ~numeric:false (Printf.sprintf "0x%Lx" (to_unsigned abi typ v))
+      | 'c' ->
+          let _, v = next_int () in
+          emit ~numeric:false
+            (String.make 1 (Char.chr (Int64.to_int (Int64.logand v 0xffL))))
+      | 's' ->
+          let _, v = next_int () in
+          let s = if Int64.equal v 0L then "" else read_string inf (Int64.to_int v) in
+          let s =
+            match prec with
+            | Some p when p < String.length s -> String.sub s 0 p
+            | _ -> s
+          in
+          emit ~numeric:false s
+      | 'f' | 'F' -> emit ~numeric:true (Printf.sprintf "%.*f" fprec (next_float ()))
+      | 'e' -> emit ~numeric:true (Printf.sprintf "%.*e" fprec (next_float ()))
+      | 'E' ->
+          emit ~numeric:true
+            (String.uppercase_ascii (Printf.sprintf "%.*e" fprec (next_float ())))
+      | 'g' ->
+          let p = max 1 fprec in
+          emit ~numeric:true (Printf.sprintf "%.*g" p (next_float ()))
+      | 'G' ->
+          let p = max 1 fprec in
+          emit ~numeric:true
+            (String.uppercase_ascii (Printf.sprintf "%.*g" p (next_float ())))
+      | '%' -> Buffer.add_char buf '%'
+      | c ->
+          (* unknown conversion: print it literally, as glibc does *)
+          Buffer.add_char buf '%';
+          Buffer.add_char buf c);
+      scan (i + 1)
+    end
+  in
+  scan 0;
+  Buffer.contents buf
+
+(* --- the registered family ----------------------------------------------- *)
+
+let cint v = Dbgi.Cint (Ctype.int, v)
+
+let arg_int = function
+  | Some (Dbgi.Cint (_, v)) -> v
+  | Some (Dbgi.Cfloat (_, f)) -> Int64.of_float f
+  | None -> 0L
+
+let arg_str inf = function
+  | Some (Dbgi.Cint (_, p)) when not (Int64.equal p 0L) ->
+      read_string inf (Int64.to_int p)
+  | _ -> ""
+
+let nth args i = List.nth_opt args i
+
+let charp = Ctype.ptr Ctype.char
+let voidp = Ctype.ptr Ctype.Void
+
+let printf_impl inf args =
+  match args with
+  | fmt :: rest ->
+      let s = format inf (arg_str inf (Some fmt)) rest in
+      Inferior.emit_output inf s;
+      cint (Int64.of_int (String.length s))
+  | [] -> cint 0L
+
+let puts_impl inf args =
+  let s = arg_str inf (nth args 0) in
+  Inferior.emit_output inf (s ^ "\n");
+  cint (Int64.of_int (String.length s + 1))
+
+let strlen_impl inf args =
+  Dbgi.Cint (Ctype.ulong, Int64.of_int (String.length (arg_str inf (nth args 0))))
+
+let strcmp_impl inf args =
+  let a = arg_str inf (nth args 0) and b = arg_str inf (nth args 1) in
+  cint (Int64.of_int (compare a b))
+
+let strchr_impl inf args =
+  match nth args 0 with
+  | Some (Dbgi.Cint (_, p)) when not (Int64.equal p 0L) ->
+      let base = Int64.to_int p in
+      let s = read_string inf base in
+      let c = Int64.to_int (Int64.logand (arg_int (nth args 1)) 0xffL) in
+      if c = 0 then Dbgi.Cint (charp, Int64.of_int (base + String.length s))
+      else (
+        match String.index_opt s (Char.chr c) with
+        | Some i -> Dbgi.Cint (charp, Int64.of_int (base + i))
+        | None -> Dbgi.Cint (charp, 0L))
+  | _ -> Dbgi.Cint (charp, 0L)
+
+let abs_impl _inf args = cint (Int64.abs (arg_int (nth args 0)))
+
+let atoi_impl inf args =
+  let s = arg_str inf (nth args 0) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\n') do incr i done;
+  let sign =
+    if !i < n && (s.[!i] = '-' || s.[!i] = '+') then (
+      let neg = s.[!i] = '-' in
+      incr i;
+      if neg then -1L else 1L)
+    else 1L
+  in
+  let v = ref 0L in
+  while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+    v := Int64.add (Int64.mul !v 10L)
+        (Int64.of_int (Char.code s.[!i] - Char.code '0'));
+    incr i
+  done;
+  cint (Int64.mul sign !v)
+
+let malloc_impl inf args =
+  let size = Int64.to_int (arg_int (nth args 0)) in
+  Dbgi.Cint (voidp, Int64.of_int (Inferior.alloc_data inf ~size ~align:16))
+
+let free_impl inf args =
+  (match arg_int (nth args 0) with
+  | 0L -> ()  (* free(NULL) is a no-op *)
+  | p -> Duel_mem.Alloc.free (Inferior.heap inf) (Int64.to_int p));
+  cint 0L
+
+let register_all inf =
+  let fn name ret params ?(variadic = false) impl =
+    Inferior.register_func inf name (Ctype.func ~variadic ret params) impl
+  in
+  fn "printf" Ctype.int [ charp ] ~variadic:true printf_impl;
+  fn "puts" Ctype.int [ charp ] puts_impl;
+  fn "strlen" Ctype.ulong [ charp ] strlen_impl;
+  fn "strcmp" Ctype.int [ charp; charp ] strcmp_impl;
+  fn "strchr" charp [ charp; Ctype.int ] strchr_impl;
+  fn "abs" Ctype.int [ Ctype.int ] abs_impl;
+  fn "atoi" Ctype.int [ charp ] atoi_impl;
+  fn "malloc" voidp [ Ctype.ulong ] malloc_impl;
+  fn "free" Ctype.Void [ voidp ] free_impl

@@ -1,0 +1,26 @@
+(** Target-resident standard-library functions.
+
+    The paper's DUEL sessions call [printf] and friends inside the
+    debuggee via gdb's [call]; here the equivalents are OCaml closures
+    registered with {!Inferior.register_func} that operate {e only} on
+    target memory and on C-converted argument values, so they are
+    observationally identical from DUEL's side.  Output goes to the
+    inferior's capture buffer ({!Inferior.take_output}), never to the real
+    stdout.
+
+    Registered set: [printf], [puts], [strlen], [strcmp], [strchr],
+    [abs], [atoi], [malloc], [free].  Each is entered into the symbol
+    table with its C prototype, so backends can recover return types the
+    way gdb does from debug info. *)
+
+val register_all : Inferior.t -> unit
+(** Register the whole family.
+    @raise Invalid_argument if any of the names is already defined. *)
+
+val format : Inferior.t -> string -> Duel_dbgi.Dbgi.cval list -> string
+(** [format inf fmt args] renders a C [printf] format string against
+    C-converted arguments ([%d %i %u %x %X %o %c %s %f %e %g %p %%] with
+    [-], [0], width, [.precision], [*], and [h]/[l] length modifiers).
+    [%s] pointers are dereferenced in target memory.  Exhausted argument
+    lists read as zero, as varargs would.  Exposed separately so tests can
+    exercise the conversion engine without the call interface. *)

@@ -1,0 +1,155 @@
+(* One battery of DBGI assertions run identically against the direct
+   in-process backend and the RSP loopback client: whatever the interface
+   promises must hold regardless of transport. *)
+
+module Ctype = Duel_ctype.Ctype
+module Dbgi = Duel_dbgi.Dbgi
+module Inferior = Duel_target.Inferior
+module Build = Duel_target.Build
+module Scenarios = Duel_scenarios.Scenarios
+
+let case = Support.case
+
+let backends =
+  [
+    ("direct", fun inf -> Duel_target.Backend.direct inf);
+    ("rsp", fun inf -> Duel_rsp.Client.loopback inf);
+  ]
+
+(* Run [f label inf dbg] once per backend, each over a fresh debuggee. *)
+let conform f () =
+  List.iter
+    (fun (label, make) ->
+      let inf = Scenarios.all () in
+      f (fun what -> label ^ ": " ^ what) inf (make inf))
+    backends
+
+let wild = 0x40000000
+
+let peek_poke =
+  conform (fun l _inf dbg ->
+      let x =
+        match dbg.Dbgi.find_variable "x" with
+        | Some { Dbgi.v_addr; _ } -> v_addr
+        | None -> Alcotest.fail (l "global x missing")
+      in
+      dbg.Dbgi.put_bytes ~addr:x (Bytes.of_string "\x01\x02\x03\x04");
+      Alcotest.(check string)
+        (l "raw bytes roundtrip")
+        "\x01\x02\x03\x04"
+        (Bytes.to_string (dbg.Dbgi.get_bytes ~addr:x ~len:4));
+      Dbgi.write_scalar dbg ~addr:x ~size:4 (-123L);
+      Alcotest.(check int64) (l "signed scalar roundtrip") (-123L)
+        (Dbgi.read_scalar dbg ~addr:x ~size:4 ~signed:true);
+      Alcotest.(check int64)
+        (l "same bits unsigned")
+        0xffffff85L
+        (Dbgi.read_scalar dbg ~addr:x ~size:4 ~signed:false))
+
+let alloc =
+  conform (fun l _inf dbg ->
+      let a = dbg.Dbgi.alloc_space 16 in
+      Alcotest.(check bool) (l "alloc returns an address") true (a > 0);
+      Alcotest.(check string)
+        (l "fresh space is zeroed")
+        (String.make 16 '\000')
+        (Bytes.to_string (dbg.Dbgi.get_bytes ~addr:a ~len:16));
+      dbg.Dbgi.put_bytes ~addr:a (Bytes.of_string "ok");
+      Alcotest.(check string)
+        (l "fresh space is writable")
+        "ok"
+        (Bytes.to_string (dbg.Dbgi.get_bytes ~addr:a ~len:2)))
+
+let calls =
+  conform (fun l inf dbg ->
+      (match dbg.Dbgi.call_func "abs" [ Dbgi.Cint (Ctype.int, -7L) ] with
+      | Dbgi.Cint (t, v) ->
+          Alcotest.(check int64) (l "abs(-7)") 7L v;
+          Alcotest.(check bool) (l "abs returns int") true (t = Ctype.int)
+      | Dbgi.Cfloat _ -> Alcotest.fail (l "abs returned a float"));
+      let fmt = Build.cstring inf "val=%d\n" in
+      (match
+         dbg.Dbgi.call_func "printf"
+           [
+             Dbgi.Cint (Ctype.ptr Ctype.char, Int64.of_int fmt);
+             Dbgi.Cint (Ctype.int, 42L);
+           ]
+       with
+      | Dbgi.Cint (_, n) ->
+          Alcotest.(check int64) (l "printf returns byte count") 7L n
+      | Dbgi.Cfloat _ -> Alcotest.fail (l "printf returned a float"));
+      Alcotest.(check string)
+        (l "printf output captured")
+        "val=42\n" (Inferior.take_output inf);
+      Alcotest.(check bool)
+        (l "unknown function fails")
+        true
+        (match dbg.Dbgi.call_func "nosuch" [] with
+        | _ -> false
+        | exception Failure _ -> true))
+
+let symbols =
+  conform (fun l _inf dbg ->
+      (match dbg.Dbgi.find_variable "x" with
+      | Some { Dbgi.v_type = Ctype.Array (t, Some 100); _ } ->
+          Alcotest.(check bool) (l "x is int[100]") true (t = Ctype.int)
+      | _ -> Alcotest.fail (l "global x has wrong shape"));
+      (match dbg.Dbgi.find_variable "abs" with
+      | Some { Dbgi.v_type = Ctype.Func _; _ } -> ()
+      | _ -> Alcotest.fail (l "functions must be visible as symbols"));
+      Alcotest.(check bool)
+        (l "unknown symbol is None")
+        true
+        (dbg.Dbgi.find_variable "nosuch" = None))
+
+let frames =
+  conform (fun l _inf dbg ->
+      let fs = dbg.Dbgi.frames () in
+      Alcotest.(check int) (l "three active frames") 3 (List.length fs);
+      let inner = List.hd fs in
+      Alcotest.(check int) (l "index 0 is innermost") 0 inner.Dbgi.fr_index;
+      Alcotest.(check string) (l "innermost function") "fib" inner.Dbgi.fr_func)
+
+let faults =
+  conform (fun l _inf dbg ->
+      Alcotest.(check bool)
+        (l "mapped address readable")
+        true
+        (Dbgi.readable dbg ~addr:(dbg.Dbgi.alloc_space 4) ~len:4);
+      Alcotest.(check bool)
+        (l "wild address unreadable")
+        false
+        (Dbgi.readable dbg ~addr:wild ~len:4);
+      (match dbg.Dbgi.get_bytes ~addr:wild ~len:4 with
+      | _ -> Alcotest.fail (l "wild read must fault")
+      | exception Dbgi.Target_fault { addr; len } ->
+          Alcotest.(check int) (l "read fault address") wild addr;
+          Alcotest.(check int) (l "read fault length") 4 len);
+      match dbg.Dbgi.put_bytes ~addr:wild (Bytes.make 3 'x') with
+      | _ -> Alcotest.fail (l "wild write must fault")
+      | exception Dbgi.Target_fault { addr; len } ->
+          Alcotest.(check int) (l "write fault address") wild addr;
+          Alcotest.(check int) (l "write fault length") 3 len)
+
+let zero_length =
+  conform (fun l _inf dbg ->
+      Alcotest.(check int)
+        (l "zero-length read at wild address")
+        0
+        (Bytes.length (dbg.Dbgi.get_bytes ~addr:wild ~len:0));
+      dbg.Dbgi.put_bytes ~addr:wild Bytes.empty;
+      Alcotest.(check bool)
+        (l "zero-length readable at wild address")
+        true
+        (Dbgi.readable dbg ~addr:wild ~len:0))
+
+let suite =
+  [
+    case "bytes and scalars roundtrip" peek_poke;
+    case "allocated space is zeroed and writable" alloc;
+    case "target calls and captured stdout" calls;
+    case "symbol lookup covers globals and functions" symbols;
+    case "frame queries" frames;
+    case "faults carry address and length" faults;
+    case "zero-length accesses never fault" zero_length;
+  ]

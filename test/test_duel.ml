@@ -15,6 +15,7 @@ let () =
       ("display", Test_display.suite);
       ("errors", Test_errors.suite);
       ("rsp", Test_rsp.suite);
+      ("backend-conformance", Test_backend_conformance.suite);
       ("cquery", Test_cquery.suite);
       ("session", Test_session.suite);
       ("minic", Test_minic.suite);
