@@ -250,13 +250,21 @@ let b6 () =
      interface is intentionally narrow; here every access crosses a \
      gdbserver-style packet layer)";
   let direct_s = session_of (Scenarios.all ()) in
-  let rsp_s = Session.create (Duel_rsp.Client.loopback (Scenarios.all ())) in
+  (* cache off: this experiment measures the bare packet layer; D1 below
+     measures what the data cache recovers. *)
+  let rsp_s =
+    Session.create (Duel_rsp.Client.loopback ~cache:false (Scenarios.all ()))
+  in
+  let rsp_cached_s =
+    Session.create (Duel_rsp.Client.loopback (Scenarios.all ()))
+  in
   let query = "x[..100] >? 0" in
   let results =
     measure
       [
         ("b6_direct", prepared direct_s query);
         ("b6_rsp", prepared rsp_s query);
+        ("b6_rsp_dcache", prepared rsp_cached_s query);
       ]
   in
   List.iter (fun (n, v) -> row n v) results;
@@ -330,6 +338,174 @@ let b7 () =
         alone accounts for %.1fx of it — the paper's concern, quantified"
        r r2)
 
+(* --- D1: the target-memory data cache over RSP ---------------------------- *)
+
+(* Deep pointer traversals where every [->next] hop is a dependent target
+   read: the worst case for a packet-per-access remote protocol and the
+   best case for the line-granular data cache.  We count actual framed
+   packets through a counted exchange and time the same query cached and
+   uncached.  [--quick --json FILE] runs only this tier (the CI smoke
+   step); a full run appends it after B1-C1. *)
+
+type d1_row = {
+  d_name : string;
+  d_query : string;
+  d_size : int;
+  d_packets_uncached : int;
+  d_packets_cached : int;
+  d_uncached_s : float;
+  d_cached_cold_s : float;
+  d_cached_warm_s : float;
+}
+
+let time_run fn =
+  let t0 = Unix.gettimeofday () in
+  fn ();
+  Unix.gettimeofday () -. t0
+
+let best_of k fn =
+  let rec go best k =
+    if k = 0 then best else go (Float.min best (time_run fn)) (k - 1)
+  in
+  go (time_run fn) (k - 1)
+
+(* A loopback RSP client whose exchange counts framed packets. *)
+let counted_client ~cache inf =
+  let packets = ref 0 in
+  let server = Duel_rsp.Server.create inf in
+  let exchange p =
+    incr packets;
+    Duel_rsp.Server.handle server p
+  in
+  let raw =
+    Duel_rsp.Client.connect ~exchange
+      (Duel_rsp.Client.debug_info_of_inferior inf)
+  in
+  let dbg = if cache then Duel_dbgi.Dcache.wrap raw else raw in
+  (dbg, packets)
+
+let d1_workload ~name ~query ~size ~make_inf =
+  (* Uncached: every access is a round-trip. *)
+  let dbg_u, packets_u = counted_client ~cache:false (make_inf ()) in
+  let s_u = Session.create dbg_u in
+  let run_u = prepared s_u query in
+  run_u ();
+  let d_packets_uncached = !packets_u in
+  let d_uncached_s = best_of 3 run_u in
+  (* Cached: the first (cold) run is the packet count that matters. *)
+  let dbg_c, packets_c = counted_client ~cache:true (make_inf ()) in
+  let s_c = Session.create dbg_c in
+  let run_c = prepared s_c query in
+  let d_cached_cold_s = time_run run_c in
+  let d_packets_cached = !packets_c in
+  let d_cached_warm_s = best_of 3 run_c in
+  (match Duel_dbgi.Dcache.stats dbg_c with
+  | Some st ->
+      Printf.printf "  %-14s cache counters: %s\n" name
+        (String.concat "; " (Duel_dbgi.Dcache.to_lines st))
+  | None -> ());
+  {
+    d_name = name;
+    d_query = query;
+    d_size = size;
+    d_packets_uncached;
+    d_packets_cached;
+    d_uncached_s;
+    d_cached_cold_s;
+    d_cached_warm_s;
+  }
+
+let d1_pass r =
+  r.d_packets_uncached >= 5 * r.d_packets_cached
+  && r.d_cached_cold_s < r.d_uncached_s
+
+let d1_json ~quick rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"dcache_rsp_traversal\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"query\": %S, \"size\": %d,\n\
+           \     \"packets_uncached\": %d, \"packets_cached\": %d, \
+            \"packet_ratio\": %.2f,\n\
+           \     \"uncached_s\": %.6f, \"cached_cold_s\": %.6f, \
+            \"cached_warm_s\": %.6f,\n\
+           \     \"speedup_cold\": %.2f, \"speedup_warm\": %.2f, \"pass\": \
+            %b}%s\n"
+           r.d_name r.d_query r.d_size r.d_packets_uncached r.d_packets_cached
+           (float_of_int r.d_packets_uncached
+           // float_of_int r.d_packets_cached)
+           r.d_uncached_s r.d_cached_cold_s r.d_cached_warm_s
+           (r.d_uncached_s // r.d_cached_cold_s)
+           (r.d_uncached_s // r.d_cached_warm_s)
+           (d1_pass r)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"pass\": %b\n}\n" (List.for_all d1_pass rows));
+  Buffer.contents b
+
+let d1 ~quick ~json_file () =
+  header
+    "D1  data cache: deep traversals over RSP loopback, cache on vs off \
+     (packets = framed $...#xx exchanges; cold = first run on an empty \
+     cache)";
+  let n = if quick then 600 else 2000 in
+  let depth = if quick then 9 else 11 in
+  let r_list =
+    d1_workload ~name:"deep_list" ~query:"#/(deep-->next->value)" ~size:n
+      ~make_inf:(fun () -> Scenarios.deep_list n)
+  in
+  let r_tree =
+    d1_workload ~name:"deep_tree" ~query:"#/(droot-->(left,right)->key)"
+      ~size:depth
+      ~make_inf:(fun () -> Scenarios.deep_tree depth)
+  in
+  let rows = [ r_list; r_tree ] in
+  Printf.printf "  %-14s %10s %10s %8s %12s %12s %12s\n" "workload"
+    "pkts(raw)" "pkts($)" "ratio" "raw" "cold $" "warm $";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-14s %10d %10d %7.1fx %s %s %s\n" r.d_name
+        r.d_packets_uncached r.d_packets_cached
+        (float_of_int r.d_packets_uncached // float_of_int r.d_packets_cached)
+        (ns (r.d_uncached_s *. 1e9))
+        (ns (r.d_cached_cold_s *. 1e9))
+        (ns (r.d_cached_warm_s *. 1e9)))
+    rows;
+  let pass = List.for_all d1_pass rows in
+  verdict pass
+    (Printf.sprintf
+       "cache cuts packets %.1fx (list) / %.1fx (tree); cold-run speedup \
+        %.1fx / %.1fx (need >= 5x packets and cold < raw)"
+       (match rows with
+       | r :: _ ->
+           float_of_int r.d_packets_uncached // float_of_int r.d_packets_cached
+       | [] -> Float.nan)
+       (match rows with
+       | [ _; r ] ->
+           float_of_int r.d_packets_uncached // float_of_int r.d_packets_cached
+       | _ -> Float.nan)
+       (match rows with
+       | r :: _ -> r.d_uncached_s // r.d_cached_cold_s
+       | [] -> Float.nan)
+       (match rows with
+       | [ _; r ] -> r.d_uncached_s // r.d_cached_cold_s
+       | _ -> Float.nan));
+  (match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (d1_json ~quick rows);
+      close_out oc;
+      Printf.printf "  (wrote %s)\n" file
+  | None -> ());
+  pass
+
 (* --- C1: conciseness table ------------------------------------------------ *)
 
 let c1 () =
@@ -350,15 +526,34 @@ let c1 () =
        (float_of_int total_c /. float_of_int total_d))
 
 let () =
-  Printf.printf
-    "DUEL reproduction benchmarks (see DESIGN.md section 4 and \
-     EXPERIMENTS.md)\n";
-  b1 ();
-  b2 ();
-  b3 ();
-  b4 ();
-  b5 ();
-  b6 ();
-  b7 ();
-  c1 ();
-  Printf.printf "\ndone.\n"
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let rec find_json = function
+    | "--json" :: file :: _ -> Some file
+    | _ :: rest -> find_json rest
+    | [] -> None
+  in
+  let json_file = find_json argv in
+  let pass =
+    if quick then (
+      (* CI smoke mode: only the data-cache tier, small sizes. *)
+      Printf.printf "DUEL benchmarks, quick mode (D1 data-cache tier only)\n";
+      d1 ~quick ~json_file ())
+    else begin
+      Printf.printf
+        "DUEL reproduction benchmarks (see DESIGN.md section 4 and \
+         EXPERIMENTS.md)\n";
+      b1 ();
+      b2 ();
+      b3 ();
+      b4 ();
+      b5 ();
+      b6 ();
+      b7 ();
+      let pass = d1 ~quick:false ~json_file () in
+      c1 ();
+      Printf.printf "\ndone.\n";
+      pass
+    end
+  in
+  exit (if pass then 0 else 1)

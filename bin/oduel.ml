@@ -38,6 +38,7 @@ let help_text =
   set compress <n>       -->a[[n]] compression threshold (default 4)
   set limit <n>          cap displayed values (0 = unlimited)
   info scenario          describe the loaded debuggee
+  info cache             target-memory data cache counters (see --no-cache)
   help                   this text
   quit                   exit
 With --program file.c also:
@@ -173,6 +174,8 @@ let handle_command session inf scenario program line =
   | [ "" ] -> ()
   | [ "help" ] -> print_endline help_text
   | [ "info"; "scenario" ] -> print_endline (scenario_info scenario)
+  | [ "info"; "cache" ] ->
+      List.iter print_endline (Session.cache_stats session)
   | [ "set"; "symbolic"; v ] -> on_off flags (fun f b -> f.Env.symbolic <- b) v
   | [ "set"; "cycles"; v ] -> on_off flags (fun f b -> f.Env.cycle_detect <- b) v
   | [ "set"; "engine"; "seq" ] -> session.Session.engine <- Session.Seq_engine
@@ -209,7 +212,7 @@ let repl session inf scenario program =
   in
   loop ()
 
-let run scenario engine use_rsp program_file exprs =
+let run scenario engine use_rsp no_cache program_file exprs =
   let program_src =
     Option.map
       (fun path ->
@@ -237,9 +240,10 @@ let run scenario engine use_rsp program_file exprs =
         dbg)
       program_src
   in
+  let cache = not no_cache in
   let dbgi =
-    if use_rsp then Duel_rsp.Client.loopback inf
-    else Duel_target.Backend.direct inf
+    if use_rsp then Duel_rsp.Client.loopback ~cache inf
+    else Duel_target.Backend.direct ~cache inf
   in
   let engine =
     match engine with "sm" -> Session.Sm_engine | _ -> Session.Seq_engine
@@ -282,6 +286,15 @@ let rsp_arg =
           "Talk to the debuggee through the in-process GDB \
            remote-serial-protocol stub instead of directly.")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the target-memory data cache; every DUEL memory access \
+           becomes a backend round-trip (useful for measuring the cache, \
+           see `info cache`).")
+
 let program_arg =
   Arg.(
     value
@@ -301,6 +314,7 @@ let cmd =
   Cmd.v
     (Cmd.info "oduel" ~doc)
     Term.(
-      const run $ scenario_arg $ engine_arg $ rsp_arg $ program_arg $ exprs_arg)
+      const run $ scenario_arg $ engine_arg $ rsp_arg $ no_cache_arg
+      $ program_arg $ exprs_arg)
 
 let () = exit (Cmd.eval cmd)

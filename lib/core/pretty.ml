@@ -75,15 +75,14 @@ let rec doc (e : Ast.expr) : Symbolic.t =
       let text, prec = filter_text f in
       Symbolic.binary prec (" " ^ text ^ " ") (doc a) (doc b)
   | Ast.Cond (c, t, f) ->
-      {
-        Symbolic.text =
-          Symbolic.paren_if (c_prec c <= Symbolic.prec_cond) (doc c)
-          ^ " ? "
-          ^ Symbolic.to_string (doc t)
-          ^ " : "
-          ^ Symbolic.paren_if (c_prec f < Symbolic.prec_cond) (doc f);
-        prec = Symbolic.prec_cond;
-      }
+      Symbolic.juxt Symbolic.prec_cond
+        [
+          Symbolic.parens_if (c_prec c <= Symbolic.prec_cond) (doc c);
+          Symbolic.atom " ? ";
+          doc t;
+          Symbolic.atom " : ";
+          Symbolic.parens_if (c_prec f < Symbolic.prec_cond) (doc f);
+        ]
   | Ast.Assign (None, l, r) ->
       Symbolic.binary_r Symbolic.prec_assign " = " (doc l) (doc r)
   | Ast.Assign (Some op, l, r) ->
@@ -102,23 +101,35 @@ let rec doc (e : Ast.expr) : Symbolic.t =
   | Ast.Bfs (a, b) -> Symbolic.postfix (doc a) ("-->>" ^ with_rhs b)
   | Ast.To (a, b) -> Symbolic.binary Symbolic.prec_to ".." (doc a) (doc b)
   | Ast.To_inf a ->
-      { Symbolic.text = Symbolic.left Symbolic.prec_to (doc a) ^ ".."; prec = Symbolic.prec_to }
+      Symbolic.juxt Symbolic.prec_to
+        [
+          Symbolic.parens_if (c_prec a < Symbolic.prec_to) (doc a);
+          Symbolic.atom "..";
+        ]
   | Ast.Up_to a ->
-      { Symbolic.text = ".." ^ Symbolic.right Symbolic.prec_to (doc a); prec = Symbolic.prec_to }
+      Symbolic.juxt Symbolic.prec_to
+        [
+          Symbolic.atom "..";
+          Symbolic.parens_if (c_prec a <= Symbolic.prec_to) (doc a);
+        ]
   | Ast.Alt (a, b) -> Symbolic.binary_r Symbolic.prec_alt "," (doc a) (doc b)
   | Ast.Seq (a, b) -> Symbolic.binary_r Symbolic.prec_seq "; " (doc a) (doc b)
   | Ast.Seq_void a ->
-      { Symbolic.text = Symbolic.to_string (doc a) ^ " ;"; prec = Symbolic.prec_seq }
+      Symbolic.juxt Symbolic.prec_seq [ doc a; Symbolic.atom " ;" ]
   | Ast.Imply (a, b) -> Symbolic.binary_r Symbolic.prec_imply " => " (doc a) (doc b)
   | Ast.Def_alias (n, a) ->
-      {
-        Symbolic.text = n ^ " := " ^ Symbolic.paren_if (c_prec a < Symbolic.prec_assign) (doc a);
-        prec = Symbolic.prec_assign;
-      }
+      Symbolic.juxt Symbolic.prec_assign
+        [
+          Symbolic.atom (n ^ " := ");
+          Symbolic.parens_if (c_prec a < Symbolic.prec_assign) (doc a);
+        ]
   | Ast.Select (a, i) ->
       Symbolic.postfix (doc a) ("[[" ^ Symbolic.to_string (doc i) ^ "]]")
   | Ast.Until (a, stop) ->
-      Symbolic.postfix (doc a) ("@" ^ Symbolic.paren_if (c_prec stop < Symbolic.prec_atom) (doc stop))
+      Symbolic.postfix (doc a)
+        ("@"
+        ^ Symbolic.to_string
+            (Symbolic.parens_if (c_prec stop < Symbolic.prec_atom) (doc stop)))
   | Ast.Index_alias (a, n) -> Symbolic.postfix (doc a) ("#" ^ n)
   | Ast.Reduce (r, a) -> Symbolic.unary (reduction_text r) (doc a)
   | Ast.Seq_eq (a, b) ->
@@ -126,51 +137,48 @@ let rec doc (e : Ast.expr) : Symbolic.t =
   | Ast.Braces a -> Symbolic.atom ("{" ^ Symbolic.to_string (doc a) ^ "}")
   | Ast.Group a -> Symbolic.atom ("(" ^ Symbolic.to_string (doc a) ^ ")")
   | Ast.If (c, t, None) ->
-      {
-        Symbolic.text =
-          "if (" ^ Symbolic.to_string (doc c) ^ ") "
-          ^ Symbolic.paren_if (c_prec t < Symbolic.prec_imply) (doc t);
-        prec = Symbolic.prec_unary;
-      }
+      Symbolic.juxt Symbolic.prec_unary
+        [
+          Symbolic.atom ("if (" ^ Symbolic.to_string (doc c) ^ ") ");
+          Symbolic.parens_if (c_prec t < Symbolic.prec_imply) (doc t);
+        ]
   | Ast.If (c, t, Some f) ->
-      {
-        Symbolic.text =
-          "if (" ^ Symbolic.to_string (doc c) ^ ") "
-          ^ Symbolic.paren_if (c_prec t < Symbolic.prec_imply) (doc t)
-          ^ " else "
-          ^ Symbolic.paren_if (c_prec f < Symbolic.prec_imply) (doc f);
-        prec = Symbolic.prec_unary;
-      }
+      Symbolic.juxt Symbolic.prec_unary
+        [
+          Symbolic.atom ("if (" ^ Symbolic.to_string (doc c) ^ ") ");
+          Symbolic.parens_if (c_prec t < Symbolic.prec_imply) (doc t);
+          Symbolic.atom " else ";
+          Symbolic.parens_if (c_prec f < Symbolic.prec_imply) (doc f);
+        ]
   | Ast.For (i, c, s, b) ->
       let opt = function None -> "" | Some e -> Symbolic.to_string (doc e) in
-      {
-        Symbolic.text =
-          Printf.sprintf "for (%s; %s; %s) %s" (opt i) (opt c) (opt s)
-            (Symbolic.paren_if (c_prec b < Symbolic.prec_imply) (doc b));
-        prec = Symbolic.prec_unary;
-      }
+      Symbolic.juxt Symbolic.prec_unary
+        [
+          Symbolic.atom
+            (Printf.sprintf "for (%s; %s; %s) " (opt i) (opt c) (opt s));
+          Symbolic.parens_if (c_prec b < Symbolic.prec_imply) (doc b);
+        ]
   | Ast.While (c, b) ->
-      {
-        Symbolic.text =
-          "while (" ^ Symbolic.to_string (doc c) ^ ") "
-          ^ Symbolic.paren_if (c_prec b < Symbolic.prec_imply) (doc b);
-        prec = Symbolic.prec_unary;
-      }
+      Symbolic.juxt Symbolic.prec_unary
+        [
+          Symbolic.atom ("while (" ^ Symbolic.to_string (doc c) ^ ") ");
+          Symbolic.parens_if (c_prec b < Symbolic.prec_imply) (doc b);
+        ]
   | Ast.Decl (base, ds) ->
       (* each declarator's type embeds the base; render only the
          derivation part next to the shared base specifier *)
       let declarator (name, te) = declare_rel te name in
-      {
-        Symbolic.text =
-          base_doc base ^ " " ^ String.concat ", " (List.map declarator ds);
-        prec = Symbolic.prec_assign;
-      }
+      Symbolic.juxt Symbolic.prec_assign
+        [
+          Symbolic.atom
+            (base_doc base ^ " " ^ String.concat ", " (List.map declarator ds));
+        ]
   | Ast.Sizeof_expr a -> Symbolic.unary "sizeof " (doc a)
   | Ast.Sizeof_type te -> Symbolic.atom ("sizeof(" ^ type_doc te ^ ")")
   | Ast.Frame a -> Symbolic.atom ("frame(" ^ Symbolic.to_string (doc a) ^ ")")
   | Ast.Frames_gen -> Symbolic.atom "frames"
 
-and c_prec e = (doc e).Symbolic.prec
+and c_prec e = Symbolic.prec (doc e)
 
 and with_rhs b =
   match b with

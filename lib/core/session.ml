@@ -22,10 +22,16 @@ let eval session ast =
   | Seq_engine -> Eval_seq.eval session.env ast
   | Sm_engine -> Eval_sm.eval session.env ast
 
+(* Commands are flush points: any stores the data cache coalesced during
+   evaluation reach the target before control returns, so the inferior's
+   own code (and tests reading memory directly) see consistent state. *)
+let flush_writes session = Duel_dbgi.Dcache.flush session.env.Env.dbg
+
 let drive session ast =
   let depth = Env.scope_depth session.env in
   let n = Seq.fold_left (fun acc _ -> acc + 1) 0 (eval session ast) in
   Env.restore_scope_depth session.env depth;
+  flush_writes session;
   n
 
 let format_value session v =
@@ -75,6 +81,16 @@ let exec session src =
          called target function may throw, then keep the session alive *)
       emit (Printexc.to_string e));
   Env.restore_scope_depth session.env depth;
+  flush_writes session;
   List.rev !lines
 
 let exec_string session src = String.concat "\n" (exec session src)
+
+let cache_stats session =
+  let dbg = session.env.Env.dbg in
+  match Duel_dbgi.Dcache.stats dbg with
+  | None -> [ "memory cache: off" ]
+  | Some st ->
+      Printf.sprintf "memory cache: on (%d lines resident)"
+        (Duel_dbgi.Dcache.cached_lines dbg)
+      :: Duel_dbgi.Dcache.to_lines st

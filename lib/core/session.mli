@@ -37,3 +37,10 @@ val exec : t -> string -> string list
 
 val exec_string : t -> string -> string
 (** [exec] joined with newlines. *)
+
+val cache_stats : t -> string list
+(** Human-readable {!Duel_dbgi.Dcache} counters for the session's
+    debugger interface (the [info cache] command), or a single
+    "memory cache: off" line when the interface is uncached.  [exec] and
+    [drive] flush the cache's coalesced writes when a command finishes,
+    so memory is consistent between commands. *)

@@ -2,11 +2,20 @@
 
     Every DUEL value carries a symbolic expression — a legal DUEL
     expression recording how the value was computed — used for result
-    display ([x[3] = 7]) and error messages.  A symbolic value is a string
+    display ([x[3] = 7]) and error messages.  A symbolic value is a rope
     plus the precedence of its outermost operator, so composition can
-    insert only the parentheses that are necessary. *)
+    insert only the parentheses that are necessary.
 
-type t = { text : string; prec : int }
+    The rope matters: a pointer chain [p->next->next->...] extends its
+    symbolic value once per generator step, and flat strings would copy
+    the whole left operand each time — O(n²) across a traversal, which is
+    exactly the hot path the data cache makes cheap on the target side.
+    Composition here is O(1); the text is materialised once, in
+    {!to_string}, by an iterative flatten. *)
+
+type rope = Str of string | Cat of rope * rope
+
+type t = { rope : rope; len : int; prec : int }
 
 (* Precedence levels, matching the parser (higher binds tighter). *)
 let prec_seq = 0
@@ -29,10 +38,14 @@ let prec_unary = 16
 let prec_postfix = 17
 let prec_atom = 18
 
-let atom text = { text; prec = prec_atom }
+let atom text = { rope = Str text; len = String.length text; prec = prec_atom }
+
+let lparen = Str "("
+let rparen = Str ")"
 
 let paren_if needed sym =
-  if needed then "(" ^ sym.text ^ ")" else sym.text
+  if needed then (Cat (lparen, Cat (sym.rope, rparen)), sym.len + 2)
+  else (sym.rope, sym.len)
 
 (* Render an operand appearing under an operator of precedence [op].  For
    left operands of left-associative operators equal precedence is fine;
@@ -41,23 +54,86 @@ let left op sym = paren_if (sym.prec < op) sym
 let right op sym = paren_if (sym.prec <= op) sym
 
 let binary op_prec op_text a b =
-  { text = left op_prec a ^ op_text ^ right op_prec b; prec = op_prec }
+  let ra, la = left op_prec a and rb, lb = right op_prec b in
+  {
+    rope = Cat (ra, Cat (Str op_text, rb));
+    len = la + String.length op_text + lb;
+    prec = op_prec;
+  }
 
 (* Right-associative operators: the right operand of equal precedence
    needs no parentheses ([a => b => c]). *)
 let binary_r op_prec op_text a b =
-  { text = right op_prec a ^ op_text ^ left op_prec b; prec = op_prec }
+  let ra, la = right op_prec a and rb, lb = left op_prec b in
+  {
+    rope = Cat (ra, Cat (Str op_text, rb));
+    len = la + String.length op_text + lb;
+    prec = op_prec;
+  }
 
 let unary op_text a =
-  { text = op_text ^ paren_if (a.prec < prec_unary) a; prec = prec_unary }
+  let r, l = paren_if (a.prec < prec_unary) a in
+  {
+    rope = Cat (Str op_text, r);
+    len = String.length op_text + l;
+    prec = prec_unary;
+  }
 
-let postfix a suffix = { text = left prec_postfix a ^ suffix; prec = prec_postfix }
+let postfix a suffix =
+  let r, l = left prec_postfix a in
+  {
+    rope = Cat (r, Str suffix);
+    len = l + String.length suffix;
+    prec = prec_postfix;
+  }
 
 (* Member access through a with scope: base.field / base->field. *)
 let member base sep name =
-  { text = left prec_postfix base ^ sep ^ name; prec = prec_postfix }
+  let r, l = left prec_postfix base in
+  {
+    rope = Cat (r, Cat (Str sep, Str name));
+    len = l + String.length sep + String.length name;
+    prec = prec_postfix;
+  }
 
-let to_string sym = sym.text
+let prec sym = sym.prec
+
+(* Explicit parenthesization and concatenation, for composite forms
+   (conditionals, statement-like renderings) built outside the standard
+   operator shapes. *)
+let parens_if needed sym =
+  if needed then
+    {
+      rope = Cat (lparen, Cat (sym.rope, rparen));
+      len = sym.len + 2;
+      prec = prec_atom;
+    }
+  else sym
+
+let juxt result_prec parts =
+  match parts with
+  | [] -> { rope = Str ""; len = 0; prec = result_prec }
+  | first :: rest ->
+      let sym =
+        List.fold_left
+          (fun acc p -> { rope = Cat (acc.rope, p.rope); len = acc.len + p.len; prec = result_prec })
+          first rest
+      in
+      { sym with prec = result_prec }
+
+(* Iterative flatten (an explicit worklist, all tail calls): symbolic
+   ropes of 100k-step traversals must not overflow the stack. *)
+let to_string sym =
+  let buf = Buffer.create sym.len in
+  let rec go todo rope =
+    match rope with
+    | Str s -> (
+        Buffer.add_string buf s;
+        match todo with [] -> () | next :: rest -> go rest next)
+    | Cat (a, b) -> go (b :: todo) a
+  in
+  go [] sym.rope;
+  Buffer.contents buf
 
 (* --- the -->a[[n]] compression rule ------------------------------------
 

@@ -1,0 +1,67 @@
+(** Symbolic values: the DUEL expression recording how a value was
+    computed, used for [sym = value] display and error messages.
+
+    Internally a rope, so composing a long chain ([p->next->next->...])
+    is O(1) per step instead of re-copying the left operand; the text is
+    materialised once by {!to_string}. *)
+
+type t
+
+(** {1 Precedence levels} (matching the parser; higher binds tighter) *)
+
+val prec_seq : int
+val prec_alt : int
+val prec_imply : int
+val prec_assign : int
+val prec_cond : int
+val prec_to : int
+val prec_logor : int
+val prec_logand : int
+val prec_bitor : int
+val prec_bitxor : int
+val prec_bitand : int
+val prec_equality : int
+val prec_relational : int
+val prec_shift : int
+val prec_additive : int
+val prec_multiplicative : int
+val prec_unary : int
+val prec_postfix : int
+val prec_atom : int
+
+(** {1 Construction} — inserts only the parentheses the precedences
+    require *)
+
+val atom : string -> t
+
+val binary : int -> string -> t -> t -> t
+(** Left-associative binary operator at the given precedence. *)
+
+val binary_r : int -> string -> t -> t -> t
+(** Right-associative ([a => b => c] needs no parens on the right). *)
+
+val unary : string -> t -> t
+val postfix : t -> string -> t
+
+val member : t -> string -> string -> t
+(** [member base sep name] is [base.field] / [base->field]. *)
+
+val prec : t -> int
+(** Precedence of the outermost operator. *)
+
+val parens_if : bool -> t -> t
+(** Wrap in parentheses (result is atomic) when the flag holds. *)
+
+val juxt : int -> t list -> t
+(** Concatenate pieces verbatim; the result claims the given precedence.
+    For composite renderings (conditionals, statement forms) that do not
+    fit the binary/unary shapes. *)
+
+val to_string : t -> string
+
+(** {1 The [-->a[[n]]] compression rule} *)
+
+val default_threshold : int
+
+val compress : ?threshold:int -> string -> string
+(** Rewrite runs of [->a] of length >= [threshold] as [-->a[[n]]]. *)

@@ -23,12 +23,24 @@ type t = {
   frames : unit -> frame_info list;
 }
 
+(* Readability probes registered by wrappers (the data cache): a probe
+   answers [readable] without the cost of materialising bytes and raising
+   through [Target_fault] when the answer is already known client-side.
+   Keyed by physical identity; recent registrations sit at the head, so
+   the common case (the live session's interface) is found immediately. *)
+let probes : (t * (addr:int -> len:int -> bool)) list ref = ref []
+
+let register_probe dbg probe = probes := (dbg, probe) :: !probes
+
 let readable dbg ~addr ~len =
   len = 0
   ||
-  match dbg.get_bytes ~addr ~len with
-  | (_ : bytes) -> true
-  | exception Target_fault _ -> false
+  match List.find_opt (fun (d, _) -> d == dbg) !probes with
+  | Some (_, probe) -> probe ~addr ~len
+  | None -> (
+      match dbg.get_bytes ~addr ~len with
+      | (_ : bytes) -> true
+      | exception Target_fault _ -> false)
 
 let read_scalar dbg ~addr ~size ~signed =
   Duel_mem.Codec.decode_int dbg.abi (dbg.get_bytes ~addr ~len:size) ~signed

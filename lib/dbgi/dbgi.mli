@@ -61,7 +61,14 @@ type t = {
 val readable : t -> addr:int -> len:int -> bool
 (** [true] iff [get_bytes] would succeed — used by [-->] traversals to
     recognise invalid pointers without raising.  Always [true] for
-    [len = 0], per the zero-length convention above. *)
+    [len = 0], per the zero-length convention above.  When a readability
+    probe is registered for [dbg] (see {!register_probe}), it is consulted
+    instead of issuing a [get_bytes] — the data cache answers from already
+    cached lines without a backend round-trip. *)
+
+val register_probe : t -> (addr:int -> len:int -> bool) -> unit
+(** Attach a readability probe to [dbg] (compared by physical identity).
+    Used by {!Dcache.wrap}; the probe is only consulted for [len > 0]. *)
 
 (** {1 Scalar helpers}
 

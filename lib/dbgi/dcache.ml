@@ -1,0 +1,349 @@
+(* Target-memory data cache: line-granular reads, coalesced writes.
+
+   The evaluator issues one DBGI access per scalar it touches, so a
+   traversal like [head-->next[[1000]].val] costs thousands of
+   round-trips through the narrow interface — catastrophic over a packet
+   transport.  This module wraps any [Dbgi.t] in a client-side cache, the
+   same layering gdb's dcache puts over the remote protocol: the nub
+   interface stays narrow, the client amortises it. *)
+
+type config = {
+  line_size : int;
+  max_lines : int;
+  max_pending : int;
+  coherence : (unit -> int) option;
+}
+
+let default_config =
+  { line_size = 64; max_lines = 256; max_pending = 4096; coherence = None }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable fills : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable invalidations : int;
+  mutable backend_reads : int;
+  mutable backend_writes : int;
+  mutable backend_other : int;
+}
+
+let round_trips st = st.backend_reads + st.backend_writes + st.backend_other
+
+let fresh_stats () =
+  {
+    hits = 0;
+    misses = 0;
+    fills = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    invalidations = 0;
+    backend_reads = 0;
+    backend_writes = 0;
+    backend_other = 0;
+  }
+
+type line = { base : int; buf : bytes; mutable dirty : bool; mutable tick : int }
+
+type cache = {
+  cfg : config;
+  backend : Dbgi.t;
+  lines : (int, line) Hashtbl.t;  (* keyed by line base address *)
+  mutable pending : (int * bytes) list;  (* disjoint, ascending addresses *)
+  mutable pending_bytes : int;
+  mutable clock : int;
+  mutable last_gen : int;
+  st : stats;
+}
+
+let line_base c addr = addr land lnot (c.cfg.line_size - 1)
+
+let line_bases c addr len =
+  let rec go base last = if base > last then [] else base :: go (base + c.cfg.line_size) last in
+  go (line_base c addr) (line_base c (addr + len - 1))
+
+let touch c line =
+  c.clock <- c.clock + 1;
+  line.tick <- c.clock
+
+let resync_gen c =
+  match c.cfg.coherence with Some probe -> c.last_gen <- probe () | None -> ()
+
+(* Push every coalesced range to the backend, in ascending address order
+   (the list invariant), and mark all lines clean.  Ends by resyncing the
+   coherence generation: the writes we just issued are our own. *)
+let flush_cache c =
+  List.iter
+    (fun (addr, data) ->
+      c.st.backend_writes <- c.st.backend_writes + 1;
+      c.backend.Dbgi.put_bytes ~addr data)
+    c.pending;
+  c.pending <- [];
+  c.pending_bytes <- 0;
+  Hashtbl.iter (fun _ l -> l.dirty <- false) c.lines;
+  resync_gen c
+
+let invalidate_cache c =
+  flush_cache c;
+  Hashtbl.reset c.lines;
+  c.st.invalidations <- c.st.invalidations + 1
+
+(* Snoop the coherence generation: a store that bypassed this cache (the
+   mini-C interpreter executing, a scenario builder poking memory, a
+   direct Memory.write in a test) bumps it, and we must drop every line.
+   Called on entry to every cached operation. *)
+let check_coherence c =
+  match c.cfg.coherence with
+  | None -> ()
+  | Some probe -> if probe () <> c.last_gen then invalidate_cache c
+
+let evict_one c =
+  let victim =
+    Hashtbl.fold
+      (fun _ l acc ->
+        match acc with Some v when v.tick <= l.tick -> acc | _ -> Some l)
+      c.lines None
+  in
+  match victim with
+  | None -> ()
+  | Some l ->
+      (* A dirty victim still has unflushed bytes in [pending]; flushing
+         first keeps the invariant that every pending byte lives in a
+         cached line, so fills can never resurrect stale backend data. *)
+      if l.dirty then flush_cache c;
+      Hashtbl.remove c.lines l.base
+
+let fill c base =
+  c.st.fills <- c.st.fills + 1;
+  c.st.backend_reads <- c.st.backend_reads + 1;
+  let buf = c.backend.Dbgi.get_bytes ~addr:base ~len:c.cfg.line_size in
+  if Hashtbl.length c.lines >= c.cfg.max_lines then evict_one c;
+  let l = { base; buf; dirty = false; tick = 0 } in
+  touch c l;
+  Hashtbl.replace c.lines base l;
+  l
+
+(* Copy [addr, addr+len) between a client buffer and the cached lines.
+   [get] reads lines into [out]; otherwise writes [data] into lines,
+   marking them dirty. *)
+let blit_lines c ~addr ~len ~(out : bytes option) ~(data : bytes option) =
+  List.iter
+    (fun base ->
+      let l = Hashtbl.find c.lines base in
+      let lo = max addr base in
+      let hi = min (addr + len) (base + c.cfg.line_size) in
+      (match out with
+      | Some out -> Bytes.blit l.buf (lo - base) out (lo - addr) (hi - lo)
+      | None -> ());
+      (match data with
+      | Some data ->
+          Bytes.blit data (lo - addr) l.buf (lo - base) (hi - lo);
+          l.dirty <- true
+      | None -> ());
+      touch c l)
+    (line_bases c addr len)
+
+let all_cached c ~addr ~len =
+  List.for_all (fun base -> Hashtbl.mem c.lines base) (line_bases c addr len)
+
+(* Ensure every line covering the range is cached.  Raises the fill's
+   [Target_fault] if a line cannot be read. *)
+let ensure_lines c ~addr ~len =
+  List.iter
+    (fun base -> if not (Hashtbl.mem c.lines base) then ignore (fill c base))
+    (line_bases c addr len)
+
+let cached_get c ~addr ~len =
+  if len <= 0 then c.backend.Dbgi.get_bytes ~addr ~len
+  else begin
+    check_coherence c;
+    c.st.bytes_read <- c.st.bytes_read + len;
+    if all_cached c ~addr ~len then c.st.hits <- c.st.hits + 1
+    else begin
+      c.st.misses <- c.st.misses + 1;
+      try ensure_lines c ~addr ~len
+      with Dbgi.Target_fault _ ->
+        (* Partial-line fallback: the request may be fine even though its
+           enclosing line crosses into unmapped space (a fill rounds up).
+           Flush first — the exact-range read below may cover dirty lines
+           the backend hasn't seen yet — then let the backend serve (or
+           fault on) precisely the requested range, preserving the exact
+           {addr; len} attribution. *)
+        flush_cache c;
+        c.st.backend_reads <- c.st.backend_reads + 1;
+        raise_notrace Exit
+    end;
+    let out = Bytes.create len in
+    blit_lines c ~addr ~len ~out:(Some out) ~data:None;
+    out
+  end
+
+let cached_get c ~addr ~len =
+  try cached_get c ~addr ~len
+  with Exit -> c.backend.Dbgi.get_bytes ~addr ~len
+
+(* Merge a write into the pending list, coalescing with any ranges it
+   overlaps or abuts, so a scalar-at-a-time store loop flushes as one
+   backend round-trip.  Later bytes win over earlier ones. *)
+let add_pending c addr data =
+  let len = Bytes.length data in
+  let before, rest =
+    List.partition (fun (a, d) -> a + Bytes.length d < addr) c.pending
+  in
+  let overlap, after = List.partition (fun (a, _) -> a <= addr + len) rest in
+  let lo = List.fold_left (fun m (a, _) -> min m a) addr overlap in
+  let hi =
+    List.fold_left (fun m (a, d) -> max m (a + Bytes.length d)) (addr + len)
+      overlap
+  in
+  let buf = Bytes.create (hi - lo) in
+  List.iter
+    (fun (a, d) -> Bytes.blit d 0 buf (a - lo) (Bytes.length d))
+    overlap;
+  Bytes.blit data 0 buf (addr - lo) len;
+  c.pending <- before @ ((lo, buf) :: after);
+  c.pending_bytes <-
+    List.fold_left (fun s (_, d) -> s + Bytes.length d) 0 c.pending
+
+let cached_put c ~addr data =
+  let len = Bytes.length data in
+  if len = 0 then ()
+  else begin
+    check_coherence c;
+    c.st.bytes_written <- c.st.bytes_written + len;
+    match ensure_lines c ~addr ~len with
+    | () ->
+        (* Write-allocate: the lines are cached, so update them in place
+           and buffer the store; it reaches the backend coalesced, at the
+           next flush point. *)
+        blit_lines c ~addr ~len ~out:None ~data:(Some data);
+        add_pending c addr data;
+        if c.pending_bytes > c.cfg.max_pending then flush_cache c
+    | exception Dbgi.Target_fault _ ->
+        (* The enclosing lines are not fully readable (page boundary, or a
+           genuinely bad address): write through uncached so the backend
+           decides, with exact fault attribution.  Any lines that were
+           cached get the new bytes too — they are clean copies. *)
+        flush_cache c;
+        c.st.backend_writes <- c.st.backend_writes + 1;
+        c.backend.Dbgi.put_bytes ~addr data;
+        List.iter
+          (fun base ->
+            match Hashtbl.find_opt c.lines base with
+            | None -> ()
+            | Some l ->
+                let lo = max addr base
+                and hi = min (addr + len) (base + c.cfg.line_size) in
+                Bytes.blit data (lo - addr) l.buf (lo - base) (hi - lo);
+                touch c l)
+          (line_bases c addr len);
+        resync_gen c
+  end
+
+(* Target code can mutate arbitrary memory, and an allocation changes
+   what is mapped: flush our stores first so the target sees them, then
+   drop every line. *)
+let around_target_op c op =
+  check_coherence c;
+  flush_cache c;
+  c.st.backend_other <- c.st.backend_other + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      (* invalidate even if the call raised: the target may have run and
+         mutated memory before failing *)
+      Hashtbl.reset c.lines;
+      c.st.invalidations <- c.st.invalidations + 1;
+      resync_gen c)
+    op
+
+let probe c ~addr ~len =
+  check_coherence c;
+  if all_cached c ~addr ~len then begin
+    c.st.hits <- c.st.hits + 1;
+    blit_lines c ~addr ~len ~out:None ~data:None;
+    true
+  end
+  else
+    match cached_get c ~addr ~len with
+    | (_ : bytes) -> true
+    | exception Dbgi.Target_fault _ -> false
+
+(* The wrapped interface is a plain [Dbgi.t]; caches are found again by
+   physical identity (most recent first, so the live session's wrapper is
+   at the head). *)
+let registry : (Dbgi.t * cache) list ref = ref []
+
+let find dbg =
+  Option.map snd (List.find_opt (fun (d, _) -> d == dbg) !registry)
+
+let wrap ?(config = default_config) backend =
+  if config.line_size <= 0 || config.line_size land (config.line_size - 1) <> 0
+  then invalid_arg "Dcache.wrap: line_size must be a positive power of two";
+  if config.max_lines <= 0 then
+    invalid_arg "Dcache.wrap: max_lines must be positive";
+  let c =
+    {
+      cfg = config;
+      backend;
+      lines = Hashtbl.create (min config.max_lines 64);
+      pending = [];
+      pending_bytes = 0;
+      clock = 0;
+      last_gen =
+        (match config.coherence with Some probe -> probe () | None -> 0);
+      st = fresh_stats ();
+    }
+  in
+  let dbg =
+    {
+      backend with
+      Dbgi.get_bytes = (fun ~addr ~len -> cached_get c ~addr ~len);
+      put_bytes = (fun ~addr data -> cached_put c ~addr data);
+      alloc_space = (fun size -> around_target_op c (fun () -> backend.Dbgi.alloc_space size));
+      call_func =
+        (fun name args ->
+          around_target_op c (fun () -> backend.Dbgi.call_func name args));
+    }
+  in
+  registry := (dbg, c) :: !registry;
+  Dbgi.register_probe dbg (fun ~addr ~len -> probe c ~addr ~len);
+  dbg
+
+let is_cached dbg = find dbg <> None
+let stats dbg = Option.map (fun c -> c.st) (find dbg)
+let cached_lines dbg =
+  match find dbg with None -> 0 | Some c -> Hashtbl.length c.lines
+
+let flush dbg = match find dbg with None -> () | Some c -> flush_cache c
+
+let invalidate dbg =
+  match find dbg with None -> () | Some c -> invalidate_cache c
+
+let reset_stats dbg =
+  match find dbg with
+  | None -> ()
+  | Some c ->
+      let z = fresh_stats () in
+      c.st.hits <- z.hits;
+      c.st.misses <- z.misses;
+      c.st.fills <- z.fills;
+      c.st.bytes_read <- z.bytes_read;
+      c.st.bytes_written <- z.bytes_written;
+      c.st.invalidations <- z.invalidations;
+      c.st.backend_reads <- z.backend_reads;
+      c.st.backend_writes <- z.backend_writes;
+      c.st.backend_other <- z.backend_other
+
+let to_lines st =
+  [
+    Printf.sprintf "reads: %d hits, %d misses, %d line fills (%d bytes served)"
+      st.hits st.misses st.fills st.bytes_read;
+    Printf.sprintf "writes: %d bytes accepted, %d coalesced backend writes"
+      st.bytes_written st.backend_writes;
+    Printf.sprintf
+      "backend round-trips: %d (%d reads, %d writes, %d calls/allocs); %d \
+       invalidations"
+      (round_trips st) st.backend_reads st.backend_writes st.backend_other
+      st.invalidations;
+  ]

@@ -1,0 +1,92 @@
+(** A client-side target-memory data cache over the narrow {!Dbgi}
+    interface — the layering gdb's dcache puts over the remote protocol.
+
+    The evaluator issues one interface access per scalar it touches, so a
+    deep traversal costs thousands of round-trips; over a packet
+    transport each one is a full exchange.  [wrap] interposes a
+    line-granular read cache (64-byte lines by default, LRU-bounded) with
+    write coalescing: reads round up to line fills, writes update cached
+    lines in place and are buffered, adjacent stores merging into single
+    backend writes released at the next flush point.
+
+    {2 Semantics preserved}
+
+    {ul
+    {- Faults: a read whose enclosing line cannot be filled (a line
+       rounds up across a page boundary) falls back to an exact-range
+       backend access, so {!Dbgi.Target_fault} carries exactly the
+       [{addr; len}] the uncached interface would have reported, and
+       reads that merely {e straddle} a mapping edge still succeed.}
+    {- Zero-length accesses never touch cache or backend.}
+    {- [alloc_space] and [call_func] flush buffered writes first (the
+       target must see them) and invalidate every line after (target code
+       can mutate anything).}}
+
+    {2 Coherency}
+
+    A cache cannot see stores that bypass it.  For in-process backends
+    the [coherence] probe snoops {!Duel_mem.Memory.generation}: any
+    direct mutation (the mini-C interpreter executing, a test poking
+    memory) is detected on the next cached operation and drops all lines.
+    For genuinely remote transports there is no probe; the caller must
+    {!invalidate} whenever the target resumes. *)
+
+type config = {
+  line_size : int;  (** bytes per line; a positive power of two *)
+  max_lines : int;  (** LRU bound on resident lines *)
+  max_pending : int;
+      (** buffered write bytes before an automatic flush *)
+  coherence : (unit -> int) option;
+      (** write-generation probe for in-process backends; [None] for
+          remote transports *)
+}
+
+val default_config : config
+(** 64-byte lines, 256 lines (16 KiB), 4 KiB write buffer, no probe. *)
+
+type stats = {
+  mutable hits : int;  (** read requests served entirely from cache *)
+  mutable misses : int;  (** read requests needing at least one fill *)
+  mutable fills : int;  (** line fills issued *)
+  mutable bytes_read : int;  (** bytes returned to clients *)
+  mutable bytes_written : int;  (** bytes accepted from clients *)
+  mutable invalidations : int;  (** whole-cache drops *)
+  mutable backend_reads : int;
+  mutable backend_writes : int;
+  mutable backend_other : int;  (** [alloc_space] + [call_func] *)
+}
+
+val round_trips : stats -> int
+(** Total backend round-trips: reads + writes + calls/allocs. *)
+
+val wrap : ?config:config -> Dbgi.t -> Dbgi.t
+(** [wrap dbg] is a [Dbgi.t] with identical observable semantics whose
+    memory traffic goes through the cache.  Also registers a
+    {!Dbgi.register_probe} so [Dbgi.readable] answers from cached lines
+    without a backend round-trip.
+    @raise Invalid_argument on a non-power-of-two line size. *)
+
+val is_cached : Dbgi.t -> bool
+(** Whether [dbg] was produced by {!wrap} (physical identity). *)
+
+val stats : Dbgi.t -> stats option
+(** Live counters of the cache behind [dbg], if any. *)
+
+val cached_lines : Dbgi.t -> int
+(** Currently resident lines ([0] for an unwrapped interface). *)
+
+val flush : Dbgi.t -> unit
+(** Release buffered writes to the backend, coalesced and in ascending
+    address order.  No-op on an unwrapped interface.  {!Duel_core}'s
+    session calls this at the end of every command, so external observers
+    (tests, the inferior's own code) see memory consistent between
+    commands. *)
+
+val invalidate : Dbgi.t -> unit
+(** [flush] then drop every cached line.  Required after the target
+    resumes on a probeless (remote) transport.  No-op if unwrapped. *)
+
+val reset_stats : Dbgi.t -> unit
+
+val to_lines : stats -> string list
+(** Human-readable counter summary (for [info cache] and friends). *)

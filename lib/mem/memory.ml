@@ -1,25 +1,30 @@
-type t = { pages : (int, bytes) Hashtbl.t }
+type t = { pages : (int, bytes) Hashtbl.t; mutable gen : int }
 
 exception Fault of int
 
 let page_size = 4096
-let create () = { pages = Hashtbl.create 64 }
+let create () = { pages = Hashtbl.create 64; gen = 0 }
 let page_of addr = addr / page_size
 let offset_of addr = addr mod page_size
+let generation mem = mem.gen
 
 let map mem ~addr ~size =
   if size < 0 then invalid_arg "Memory.map: negative size";
-  if size > 0 then
+  if size > 0 then begin
+    mem.gen <- mem.gen + 1;
     for p = page_of addr to page_of (addr + size - 1) do
       if not (Hashtbl.mem mem.pages p) then
         Hashtbl.replace mem.pages p (Bytes.make page_size '\000')
     done
+  end
 
 let unmap mem ~addr ~size =
-  if size > 0 then
+  if size > 0 then begin
+    mem.gen <- mem.gen + 1;
     for p = page_of addr to page_of (addr + size - 1) do
       Hashtbl.remove mem.pages p
     done
+  end
 
 let is_mapped mem ~addr ~size =
   size = 0
@@ -38,7 +43,9 @@ let find_page mem addr =
 let read_u8 mem addr = Char.code (Bytes.get (find_page mem addr) (offset_of addr))
 
 let write_u8 mem addr v =
-  Bytes.set (find_page mem addr) (offset_of addr) (Char.chr (v land 0xff))
+  let page = find_page mem addr in
+  mem.gen <- mem.gen + 1;
+  Bytes.set page (offset_of addr) (Char.chr (v land 0xff))
 
 (* Bulk accesses copy page by page so that a read spanning a page boundary
    still works and still faults on the exact unmapped page. *)
@@ -60,6 +67,7 @@ let read mem ~addr ~len =
 
 let write mem ~addr data =
   let len = Bytes.length data in
+  if len > 0 then mem.gen <- mem.gen + 1;
   let rec copy pos =
     if pos < len then begin
       let a = addr + pos in

@@ -35,3 +35,10 @@ val write_u8 : t -> int -> int -> unit
 
 val mapped_bytes : t -> int
 (** Total currently-mapped size, for tests and stats. *)
+
+val generation : t -> int
+(** A write-generation counter, bumped by every mutation ([write],
+    [write_u8], [map], [unmap]).  An in-process cache layered over this
+    memory (see [Duel_dbgi.Dcache]) snoops it to detect stores that
+    bypassed the cache — the mini-C interpreter, scenario builders, and
+    watchpointed program runs all mutate the inferior directly. *)

@@ -49,7 +49,7 @@ let eval1 t e =
 
 let truth t e =
   match first_value t e with
-  | Some v -> Value.truth (Duel_target.Backend.direct t.inf) v
+  | Some v -> Value.truth (Duel_target.Backend.direct ~cache:false t.inf) v
   | None -> false
 
 let drain t e = Seq.iter ignore (Eval.eval t.env e)
@@ -200,7 +200,9 @@ let load inf src =
   let t =
     {
       inf;
-      env = Env.create (Duel_target.Backend.direct inf);
+      (* the interpreter IS the target: its stores must hit memory
+         immediately (write-through), not sit in a debugger-side cache *)
+      env = Env.create (Duel_target.Backend.direct ~cache:false inf);
       funcs = Hashtbl.create 8;
       hook = None;
       step_limit = 10_000_000;

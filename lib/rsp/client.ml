@@ -105,6 +105,21 @@ let connect ~exchange di =
     frames = di.di_frames;
   }
 
-let loopback inf =
+let loopback ?(cache = true) inf =
   let server = Server.create inf in
-  connect ~exchange:(Server.handle server) (debug_info_of_inferior inf)
+  let raw = connect ~exchange:(Server.handle server) (debug_info_of_inferior inf) in
+  if cache then
+    (* The "remote" is in-process, so we can snoop its memory generation
+       like the direct backend does; a genuinely remote transport would
+       instead invalidate on stop events. *)
+    Duel_dbgi.Dcache.wrap
+      ~config:
+        {
+          Duel_dbgi.Dcache.default_config with
+          coherence =
+            Some
+              (fun () ->
+                Duel_mem.Memory.generation (Inferior.mem inf));
+        }
+      raw
+  else raw

@@ -23,6 +23,10 @@ val debug_info_of_inferior : Duel_target.Inferior.t -> debug_info
 val connect : exchange:(string -> string) -> debug_info -> Duel_dbgi.Dbgi.t
 (** @raise Failure on protocol errors. *)
 
-val loopback : Duel_target.Inferior.t -> Duel_dbgi.Dbgi.t
+val loopback : ?cache:bool -> Duel_target.Inferior.t -> Duel_dbgi.Dbgi.t
 (** A ready-made client wired to an in-process {!Server} over the framed
-    packet format (every byte still goes through encode/decode). *)
+    packet format (every byte still goes through encode/decode).  By
+    default wrapped in {!Duel_dbgi.Dcache} (with a write-generation
+    coherence probe on the in-process memory) so that traversals cost one
+    packet per cache line instead of one per scalar; [~cache:false] gives
+    the raw one-packet-per-access client. *)

@@ -60,16 +60,22 @@ let decode raw =
   go 0;
   Buffer.contents b
 
-let hex_digit n = "0123456789abcdef".[n]
+(* Memory packets are the hot path (one [m]/[M] per cache-line fill or
+   coalesced write), so both codecs are single-pass loops over
+   preallocated buffers — no Buffer growth, no per-byte closures. *)
+
+let hex_digits = "0123456789abcdef"
 
 let hex_of_bytes data =
-  let b = Buffer.create (2 * Bytes.length data) in
-  Bytes.iter
-    (fun c ->
-      Buffer.add_char b (hex_digit (Char.code c lsr 4));
-      Buffer.add_char b (hex_digit (Char.code c land 0xf)))
-    data;
-  Buffer.contents b
+  let n = Bytes.length data in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.unsafe_get data i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_digits (c lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1)
+      (String.unsafe_get hex_digits (c land 0xf))
+  done;
+  Bytes.unsafe_to_string out
 
 let nibble c =
   match c with
@@ -81,5 +87,10 @@ let nibble c =
 let bytes_of_hex s =
   let n = String.length s in
   if n mod 2 <> 0 then raise (Malformed "odd hex length");
-  Bytes.init (n / 2) (fun i ->
-      Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let hi = nibble (String.unsafe_get s (2 * i)) in
+    let lo = nibble (String.unsafe_get s ((2 * i) + 1)) in
+    Bytes.unsafe_set out i (Char.unsafe_chr ((hi lsl 4) lor lo))
+  done;
+  out

@@ -251,6 +251,37 @@ let big_array n =
   done;
   inf
 
+let deep_list n =
+  let inf = Inferior.create () in
+  Stdfuncs.register_all inf;
+  let comp = node_comp inf in
+  ignore (build_list inf comp (List.init n (fun i -> i * 3)) "deep");
+  inf
+
+let deep_tree depth =
+  let inf = Inferior.create () in
+  Stdfuncs.register_all inf;
+  let comp = tnode_comp inf in
+  let ptr = Ctype.ptr (Ctype.Comp comp) in
+  (* A complete binary tree of the given depth, keys in preorder. *)
+  let next_key = ref 0 in
+  let rec build d =
+    if d = 0 then 0
+    else begin
+      let node = Build.alloc inf (Ctype.Comp comp) in
+      let key = !next_key in
+      incr next_key;
+      Build.poke_field inf comp node "key" (Int64.of_int key);
+      Build.poke_field inf comp node "left" (Int64.of_int (build (d - 1)));
+      Build.poke_field inf comp node "right" (Int64.of_int (build (d - 1)));
+      node
+    end
+  in
+  let root = build depth in
+  let g = Inferior.define_global inf "droot" ptr in
+  Build.poke_int inf ptr g (Int64.of_int root);
+  inf
+
 let faulty () =
   let inf = Inferior.create () in
   Stdfuncs.register_all inf;

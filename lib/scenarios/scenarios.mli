@@ -57,6 +57,16 @@ val big_array : int -> Duel_target.Inferior.t
 (** [int big[n]] with a deterministic mix of positives/negatives/zeros
     ([big[i] = (i * 37 mod 19) - 9]) — the B1 sweep workload. *)
 
+val deep_list : int -> Duel_target.Inferior.t
+(** [struct node *deep] — an [n]-node list ([deep] node [i] holds
+    [3*i]); the remote-traversal benchmark workload: each [->next] hop
+    is a dependent target-memory read, so an uncached backend pays one
+    round-trip per hop. *)
+
+val deep_tree : int -> Duel_target.Inferior.t
+(** [struct tnode *droot] — a complete binary tree of the given depth
+    with preorder keys; the pointer-fanout benchmark workload. *)
+
 val faulty : unit -> Duel_target.Inferior.t
 (** Fault-injection debuggee: [struct node *cyc] — a 4-node cyclic list;
     [struct node *dang] — a 3-node list whose tail [next] points into an

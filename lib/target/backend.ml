@@ -1,10 +1,11 @@
 module Memory = Duel_mem.Memory
 module Dbgi = Duel_dbgi.Dbgi
 
-let direct inf =
+let direct ?(cache = true) inf =
   let mem = Inferior.mem inf in
-  {
-    Dbgi.abi = Inferior.abi inf;
+  let raw =
+    {
+      Dbgi.abi = Inferior.abi inf;
     get_bytes =
       (fun ~addr ~len ->
         try Memory.read mem ~addr ~len
@@ -15,9 +16,22 @@ let direct inf =
         try Memory.write mem ~addr data
         with Memory.Fault fault ->
           raise (Dbgi.Target_fault { addr = fault; len = Bytes.length data }));
-    alloc_space = (fun size -> Inferior.alloc_data inf ~size ~align:16);
-    call_func = (fun name args -> Inferior.call inf name args);
-    find_variable = Inferior.find_variable inf;
-    tenv = Inferior.tenv inf;
-    frames = (fun () -> Inferior.frames inf);
-  }
+      alloc_space = (fun size -> Inferior.alloc_data inf ~size ~align:16);
+      call_func = (fun name args -> Inferior.call inf name args);
+      find_variable = Inferior.find_variable inf;
+      tenv = Inferior.tenv inf;
+      frames = (fun () -> Inferior.frames inf);
+    }
+  in
+  if cache then
+    (* The memory is in-process, so the cache snoops its write generation:
+       stores that bypass the interface (the mini-C interpreter, scenario
+       builders) invalidate on the next access instead of going stale. *)
+    Duel_dbgi.Dcache.wrap
+      ~config:
+        {
+          Duel_dbgi.Dcache.default_config with
+          coherence = Some (fun () -> Memory.generation mem);
+        }
+      raw
+  else raw

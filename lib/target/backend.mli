@@ -5,6 +5,12 @@
     Memory faults ({!Duel_mem.Memory.Fault}) surface as
     {!Duel_dbgi.Dbgi.Target_fault} carrying the exact faulting byte address
     and the length of the attempted access; zero-length transfers always
-    succeed, per the interface convention. *)
+    succeed, per the interface convention.
 
-val direct : Inferior.t -> Duel_dbgi.Dbgi.t
+    By default the interface is wrapped in {!Duel_dbgi.Dcache} with a
+    coherence probe on the inferior's memory, so direct stores (the
+    mini-C interpreter, scenario builders) invalidate it automatically;
+    pass [~cache:false] for the raw, uncached interface (the inferior's
+    own store path, conformance baselines). *)
+
+val direct : ?cache:bool -> Inferior.t -> Duel_dbgi.Dbgi.t

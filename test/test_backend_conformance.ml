@@ -1,6 +1,7 @@
 (* One battery of DBGI assertions run identically against the direct
-   in-process backend and the RSP loopback client: whatever the interface
-   promises must hold regardless of transport. *)
+   in-process backend, the RSP loopback client, and the same stacks with
+   the data cache interposed: whatever the interface promises must hold
+   regardless of transport, and the cache must be observably transparent. *)
 
 module Ctype = Duel_ctype.Ctype
 module Dbgi = Duel_dbgi.Dbgi
@@ -12,8 +13,15 @@ let case = Support.case
 
 let backends =
   [
-    ("direct", fun inf -> Duel_target.Backend.direct inf);
-    ("rsp", fun inf -> Duel_rsp.Client.loopback inf);
+    ("direct", fun inf -> Duel_target.Backend.direct ~cache:false inf);
+    ("rsp", fun inf -> Duel_rsp.Client.loopback ~cache:false inf);
+    (* the default construction: cache with a coherence probe *)
+    ("direct+dcache", fun inf -> Duel_target.Backend.direct inf);
+    (* an explicitly probeless cache over the packet transport — the
+       remote-debugging configuration *)
+    ( "rsp+dcache",
+      fun inf ->
+        Duel_dbgi.Dcache.wrap (Duel_rsp.Client.loopback ~cache:false inf) );
   ]
 
 (* Run [f label inf dbg] once per backend, each over a fresh debuggee. *)

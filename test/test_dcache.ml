@@ -1,0 +1,397 @@
+(* The target-memory data cache: hit/miss accounting, line and page
+   boundary behaviour, exact fault passthrough, write coalescing and
+   flush ordering, invalidation around target operations, LRU bounds,
+   and the coherence snoop.
+
+   The backend here is a hand-rolled [Dbgi.t] over a raw [Memory.t] that
+   records every backend access, so each test can assert exactly which
+   round-trips the cache did and did not make. *)
+
+module Dbgi = Duel_dbgi.Dbgi
+module Dcache = Duel_dbgi.Dcache
+module Memory = Duel_mem.Memory
+
+let case = Support.case
+
+type event = Read of int * int | Write of int * int  (* addr, len *)
+
+type fake = {
+  dbg : Dbgi.t;
+  mem : Memory.t;
+  events : event list ref;  (* most recent first *)
+  calls : string list ref;
+}
+
+(* One mapped page at [page], zero-filled; everything else faults. *)
+let page = 0x1000
+
+let make_fake ?(map_size = Memory.page_size) () =
+  let mem = Memory.create () in
+  Memory.map mem ~addr:page ~size:map_size;
+  let events = ref [] in
+  let calls = ref [] in
+  let get_bytes ~addr ~len =
+    if len = 0 then Bytes.create 0
+    else begin
+      events := Read (addr, len) :: !events;
+      try Memory.read mem ~addr ~len
+      with Memory.Fault _ -> raise (Dbgi.Target_fault { addr; len })
+    end
+  in
+  let put_bytes ~addr data =
+    if Bytes.length data > 0 then begin
+      events := Write (addr, Bytes.length data) :: !events;
+      try Memory.write mem ~addr data
+      with Memory.Fault _ ->
+        raise (Dbgi.Target_fault { addr; len = Bytes.length data })
+    end
+  in
+  let dbg =
+    {
+      Dbgi.abi = Duel_ctype.Abi.lp64;
+      get_bytes;
+      put_bytes;
+      alloc_space =
+        (fun size ->
+          calls := Printf.sprintf "alloc %d" size :: !calls;
+          page + Memory.page_size - size);
+      call_func =
+        (fun name _ ->
+          calls := name :: !calls;
+          Dbgi.Cint (Duel_ctype.Ctype.int, 0L));
+      find_variable = (fun _ -> None);
+      tenv = Duel_ctype.Tenv.create ();
+      frames = (fun () -> []);
+    }
+  in
+  { dbg; mem; events; calls }
+
+let wrap ?(config = Dcache.default_config) fake =
+  Dcache.wrap ~config fake.dbg
+
+let stats dbg =
+  match Dcache.stats dbg with
+  | Some st -> st
+  | None -> Alcotest.fail "expected a cached interface"
+
+let backend_reads fake =
+  List.length
+    (List.filter (function Read _ -> true | _ -> false) !(fake.events))
+
+let backend_writes fake =
+  List.length
+    (List.filter (function Write _ -> true | _ -> false) !(fake.events))
+
+let check_int = Alcotest.(check int)
+let check_bytes msg a b = Alcotest.(check string) msg (Bytes.to_string a) (Bytes.to_string b)
+
+(* --- read path ----------------------------------------------------------- *)
+
+let hit_miss_accounting () =
+  let fake = make_fake () in
+  Memory.write fake.mem ~addr:page (Bytes.of_string "abcdefgh");
+  let dbg = wrap fake in
+  let first = dbg.Dbgi.get_bytes ~addr:page ~len:4 in
+  check_bytes "first read" (Bytes.of_string "abcd") first;
+  check_int "one fill" 1 (backend_reads fake);
+  let again = dbg.Dbgi.get_bytes ~addr:(page + 4) ~len:4 in
+  check_bytes "same line" (Bytes.of_string "efgh") again;
+  check_int "no second fill" 1 (backend_reads fake);
+  let st = stats dbg in
+  check_int "hits" 1 st.Dcache.hits;
+  check_int "misses" 1 st.Dcache.misses;
+  check_int "fills" 1 st.Dcache.fills;
+  check_int "bytes served" 8 st.Dcache.bytes_read;
+  (* the fill read one whole line, not the 4 requested bytes *)
+  (match !(fake.events) with
+  | [ Read (a, l) ] ->
+      check_int "fill at line base" page a;
+      check_int "fill is line-sized" Dcache.default_config.Dcache.line_size l
+  | _ -> Alcotest.fail "expected exactly one backend read")
+
+let line_spanning_read () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  let ls = Dcache.default_config.Dcache.line_size in
+  (* spans two lines: two fills, one miss *)
+  ignore (dbg.Dbgi.get_bytes ~addr:(page + ls - 2) ~len:4);
+  let st = stats dbg in
+  check_int "one miss" 1 st.Dcache.misses;
+  check_int "two fills" 2 st.Dcache.fills;
+  check_int "two backend reads" 2 (backend_reads fake);
+  (* both lines now resident: reading either side is a hit *)
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:ls);
+  ignore (dbg.Dbgi.get_bytes ~addr:(page + ls) ~len:ls);
+  check_int "no more fills" 2 (backend_reads fake)
+
+let partial_line_fallback () =
+  (* Line rounding must not turn a readable tail of a mapping into a
+     fault: use lines twice the page size, so the line enclosing a
+     one-page mapping always crosses into unmapped space and every fill
+     fails, exercising the exact-range fallback. *)
+  let fake = make_fake () in
+  Memory.write fake.mem ~addr:page (Bytes.of_string "abcdefgh");
+  let config =
+    {
+      Dcache.default_config with
+      Dcache.line_size = 2 * Memory.page_size;
+      max_lines = 4;
+    }
+  in
+  let dbg = wrap ~config fake in
+  let got = dbg.Dbgi.get_bytes ~addr:page ~len:8 in
+  check_bytes "fallback read succeeds" (Bytes.of_string "abcdefgh") got;
+  (* fill attempt + exact-range retry *)
+  check_int "fill failed, exact retry" 2 (backend_reads fake);
+  (match !(fake.events) with
+  | Read (a, l) :: _ ->
+      check_int "retry uses exact addr" page a;
+      check_int "retry uses exact len" 8 l
+  | _ -> Alcotest.fail "expected a backend read");
+  check_int "still no resident lines" 0 (Dcache.cached_lines dbg)
+
+let fault_passthrough () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  let wild = 0x40000000 in
+  (match dbg.Dbgi.get_bytes ~addr:wild ~len:8 with
+  | _ -> Alcotest.fail "expected Target_fault"
+  | exception Dbgi.Target_fault { addr; len } ->
+      check_int "fault addr is the request's" wild addr;
+      check_int "fault len is the request's" 8 len);
+  (* a write to unmapped space reports the same exact range *)
+  (match dbg.Dbgi.put_bytes ~addr:wild (Bytes.make 8 'x') with
+  | () -> Alcotest.fail "expected Target_fault on write"
+  | exception Dbgi.Target_fault { addr; len } ->
+      check_int "write fault addr" wild addr;
+      check_int "write fault len" 8 len)
+
+let zero_length_accesses () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  let wild = 0x40000000 in
+  check_int "get len 0 returns empty" 0
+    (Bytes.length (dbg.Dbgi.get_bytes ~addr:wild ~len:0));
+  dbg.Dbgi.put_bytes ~addr:wild (Bytes.create 0);
+  check_int "no backend traffic" 0 (List.length !(fake.events));
+  Alcotest.(check bool) "readable len 0" true (Dbgi.readable dbg ~addr:wild ~len:0)
+
+let readable_from_cache () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  let before = backend_reads fake in
+  Alcotest.(check bool) "readable answers from cached line" true
+    (Dbgi.readable dbg ~addr:(page + 8) ~len:8);
+  check_int "no backend probe" before (backend_reads fake);
+  Alcotest.(check bool) "unreadable still detected" false
+    (Dbgi.readable dbg ~addr:0x40000000 ~len:8)
+
+(* --- write path ---------------------------------------------------------- *)
+
+let write_coalescing_and_flush () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  (* scalar-at-a-time ascending stores, as an assignment loop issues *)
+  for i = 0 to 7 do
+    dbg.Dbgi.put_bytes ~addr:(page + (4 * i)) (Bytes.make 4 (Char.chr (65 + i)))
+  done;
+  check_int "no backend writes before flush" 0 (backend_writes fake);
+  check_int "backend stale" 0 (Memory.read_u8 fake.mem page);
+  check_bytes "read-your-writes"
+    (Bytes.of_string "AAAABBBB")
+    (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  Dcache.flush dbg;
+  check_int "one coalesced backend write" 1 (backend_writes fake);
+  (match !(fake.events) with
+  | Write (a, l) :: _ ->
+      check_int "coalesced write addr" page a;
+      check_int "coalesced write len" 32 l
+  | _ -> Alcotest.fail "expected a backend write");
+  check_bytes "backend now current"
+    (Bytes.of_string "AAAABBBBCCCC")
+    (Memory.read fake.mem ~addr:page ~len:12);
+  (* a second flush has nothing to do *)
+  Dcache.flush dbg;
+  check_int "flush is idempotent" 1 (backend_writes fake)
+
+let overlapping_writes_last_wins () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  dbg.Dbgi.put_bytes ~addr:page (Bytes.of_string "xxxxxxxx");
+  dbg.Dbgi.put_bytes ~addr:(page + 2) (Bytes.of_string "YY");
+  Dcache.flush dbg;
+  check_int "overlap coalesced into one write" 1 (backend_writes fake);
+  check_bytes "later bytes win"
+    (Bytes.of_string "xxYYxxxx")
+    (Memory.read fake.mem ~addr:page ~len:8)
+
+let disjoint_writes_flush_ascending () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  (* two ranges with a gap, issued high address first *)
+  dbg.Dbgi.put_bytes ~addr:(page + 100) (Bytes.of_string "high");
+  dbg.Dbgi.put_bytes ~addr:page (Bytes.of_string "low!");
+  Dcache.flush dbg;
+  let writes =
+    List.filter_map
+      (function Write (a, l) -> Some (a, l) | Read _ -> None)
+      (List.rev !(fake.events))
+  in
+  match writes with
+  | [ (a1, _); (a2, _) ] ->
+      check_int "first flushed write is the low range" page a1;
+      check_int "second is the high range" (page + 100) a2
+  | _ ->
+      Alcotest.failf "expected exactly two backend writes, got %d"
+        (List.length writes)
+
+let auto_flush_on_pending_limit () =
+  let fake = make_fake () in
+  let config = { Dcache.default_config with Dcache.max_pending = 64 } in
+  let dbg = wrap ~config fake in
+  for i = 0 to 16 do
+    dbg.Dbgi.put_bytes ~addr:(page + (8 * i)) (Bytes.make 8 '.')
+  done;
+  Alcotest.(check bool) "buffer bound forced a flush" true
+    (backend_writes fake > 0)
+
+(* --- invalidation -------------------------------------------------------- *)
+
+let target_ops_flush_then_invalidate () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  dbg.Dbgi.put_bytes ~addr:page (Bytes.of_string "dirty!!!");
+  Alcotest.(check bool) "lines resident" true (Dcache.cached_lines dbg > 0);
+  ignore (dbg.Dbgi.call_func "poke" []);
+  (* the buffered write reached the backend before the call *)
+  check_int "pending flushed before call" 1 (backend_writes fake);
+  check_bytes "backend saw the write"
+    (Bytes.of_string "dirty!!!")
+    (Memory.read fake.mem ~addr:page ~len:8);
+  check_int "cache dropped" 0 (Dcache.cached_lines dbg);
+  let st = stats dbg in
+  check_int "invalidation counted" 1 st.Dcache.invalidations;
+  check_int "call counted as round-trip" 1 st.Dcache.backend_other;
+  (* alloc_space behaves the same way *)
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  ignore (dbg.Dbgi.alloc_space 16);
+  check_int "alloc also invalidates" 0 (Dcache.cached_lines dbg)
+
+let coherence_snoop () =
+  let fake = make_fake () in
+  let config =
+    {
+      Dcache.default_config with
+      Dcache.coherence = Some (fun () -> Memory.generation fake.mem);
+    }
+  in
+  let dbg = wrap ~config fake in
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  (* a store that bypasses the cache entirely *)
+  Memory.write fake.mem ~addr:page (Bytes.of_string "BYPASSED");
+  check_bytes "next read sees the direct store"
+    (Bytes.of_string "BYPASSED")
+    (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  let st = stats dbg in
+  check_int "snoop invalidated" 1 st.Dcache.invalidations
+
+let stale_without_probe () =
+  (* The counterpart: with no coherence probe (a remote transport), a
+     bypassing store is invisible until an explicit invalidate — this is
+     the documented caveat, asserted so it fails loudly if the default
+     ever changes. *)
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  Memory.write fake.mem ~addr:page (Bytes.of_string "original");
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  Memory.write fake.mem ~addr:page (Bytes.of_string "BYPASSED");
+  check_bytes "probeless cache serves the stale line"
+    (Bytes.of_string "original")
+    (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  Dcache.invalidate dbg;
+  check_bytes "explicit invalidate recovers"
+    (Bytes.of_string "BYPASSED")
+    (dbg.Dbgi.get_bytes ~addr:page ~len:8)
+
+(* --- replacement --------------------------------------------------------- *)
+
+let lru_bound_holds () =
+  let fake = make_fake () in
+  let config = { Dcache.default_config with Dcache.max_lines = 2 } in
+  let dbg = wrap ~config fake in
+  let ls = config.Dcache.line_size in
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:4);
+  ignore (dbg.Dbgi.get_bytes ~addr:(page + ls) ~len:4);
+  ignore (dbg.Dbgi.get_bytes ~addr:(page + (2 * ls)) ~len:4);
+  check_int "bounded at two lines" 2 (Dcache.cached_lines dbg);
+  (* line 0 was the least recently used: re-reading it is a miss... *)
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:4);
+  check_int "victim was the LRU line" 4 (stats dbg).Dcache.fills;
+  (* ...while line 2, recently filled, is still a hit *)
+  ignore (dbg.Dbgi.get_bytes ~addr:(page + (2 * ls)) ~len:4);
+  check_int "recent line survived" 4 (stats dbg).Dcache.fills
+
+let dirty_eviction_flushes () =
+  let fake = make_fake () in
+  let config = { Dcache.default_config with Dcache.max_lines = 1 } in
+  let dbg = wrap ~config fake in
+  let ls = config.Dcache.line_size in
+  dbg.Dbgi.put_bytes ~addr:page (Bytes.of_string "keepme!!");
+  (* filling a different line evicts the dirty one, which must flush *)
+  ignore (dbg.Dbgi.get_bytes ~addr:(page + ls) ~len:4);
+  check_bytes "evicted dirty bytes reached the backend"
+    (Bytes.of_string "keepme!!")
+    (Memory.read fake.mem ~addr:page ~len:8)
+
+(* --- plumbing ------------------------------------------------------------ *)
+
+let wrap_validates_config () =
+  let fake = make_fake () in
+  (match
+     Dcache.wrap
+       ~config:{ Dcache.default_config with Dcache.line_size = 48 }
+       fake.dbg
+   with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match
+    Dcache.wrap
+      ~config:{ Dcache.default_config with Dcache.max_lines = 0 }
+      fake.dbg
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let identification () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  Alcotest.(check bool) "wrapped is cached" true (Dcache.is_cached dbg);
+  Alcotest.(check bool) "raw is not" false (Dcache.is_cached fake.dbg);
+  check_int "unwrapped has no lines" 0 (Dcache.cached_lines fake.dbg);
+  Dcache.flush fake.dbg (* no-op, must not raise *);
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:4);
+  Dcache.reset_stats dbg;
+  check_int "reset clears counters" 0 (stats dbg).Dcache.fills
+
+let suite =
+  [
+    case "hit and miss accounting" hit_miss_accounting;
+    case "line-spanning read" line_spanning_read;
+    case "partial-line fallback at a page boundary" partial_line_fallback;
+    case "exact fault passthrough" fault_passthrough;
+    case "zero-length accesses" zero_length_accesses;
+    case "readable answers from cached lines" readable_from_cache;
+    case "write coalescing and flush" write_coalescing_and_flush;
+    case "overlapping writes, last wins" overlapping_writes_last_wins;
+    case "disjoint writes flush in ascending order" disjoint_writes_flush_ascending;
+    case "pending-byte bound forces a flush" auto_flush_on_pending_limit;
+    case "call_func/alloc_space flush then invalidate" target_ops_flush_then_invalidate;
+    case "coherence probe snoops direct stores" coherence_snoop;
+    case "probeless cache is stale until invalidate" stale_without_probe;
+    case "LRU bound holds" lru_bound_holds;
+    case "dirty eviction flushes first" dirty_eviction_flushes;
+    case "config validation" wrap_validates_config;
+    case "is_cached / flush / reset_stats plumbing" identification;
+  ]
