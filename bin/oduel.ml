@@ -35,10 +35,12 @@ let help_text =
   set symbolic on|off    compute symbolic values (default on)
   set cycles on|off      cycle detection for --> (default off)
   set engine seq|sm      evaluation engine (default seq)
+  set lower on|off       lower names to cached resolution slots (default on)
   set compress <n>       -->a[[n]] compression threshold (default 4)
   set limit <n>          cap displayed values (0 = unlimited)
   info scenario          describe the loaded debuggee
   info cache             target-memory data cache counters (see --no-cache)
+  info lower             name-resolution cache counters (hits/misses/stale)
   help                   this text
   quit                   exit
 With --program file.c also:
@@ -176,10 +178,14 @@ let handle_command session inf scenario program line =
   | [ "info"; "scenario" ] -> print_endline (scenario_info scenario)
   | [ "info"; "cache" ] ->
       List.iter print_endline (Session.cache_stats session)
+  | [ "info"; "lower" ] ->
+      List.iter print_endline (Session.lower_stats session)
   | [ "set"; "symbolic"; v ] -> on_off flags (fun f b -> f.Env.symbolic <- b) v
   | [ "set"; "cycles"; v ] -> on_off flags (fun f b -> f.Env.cycle_detect <- b) v
   | [ "set"; "engine"; "seq" ] -> session.Session.engine <- Session.Seq_engine
   | [ "set"; "engine"; "sm" ] -> session.Session.engine <- Session.Sm_engine
+  | [ "set"; "lower"; "on" ] -> session.Session.lower <- true
+  | [ "set"; "lower"; "off" ] -> session.Session.lower <- false
   | [ "set"; "compress"; n ] -> (
       match int_of_string_opt n with
       | Some n when n >= 2 -> flags.Env.compress <- n

@@ -2,9 +2,17 @@ module Ctype = Duel_ctype.Ctype
 module Tenv = Duel_ctype.Tenv
 module Dbgi = Duel_dbgi.Dbgi
 
+type comp_info = {
+  ci_comp : Ctype.comp;
+  ci_addr : int;
+  ci_sep : string;
+  ci_sym : Symbolic.t;
+}
+
 type scope = {
   sc_value : Value.t;
   sc_lookup : string -> Value.t option;
+  sc_comp : comp_info option;
 }
 
 type flags = {
@@ -14,12 +22,33 @@ type flags = {
   mutable expansion_limit : int;
 }
 
+(* Invalidation counters for the lowered-name resolution cache (see
+   lib/core/ir.ml): a slot captured under one generation is stale as soon
+   as the corresponding counter moves. *)
+type gens = {
+  mutable g_scope : int;  (* any with-scope push/pop/swap *)
+  mutable g_alias : int;  (* any alias (re)definition *)
+  mutable g_ext : int;  (* target calls, frame changes, external stores *)
+  mutable last_probe : int;  (* last observed Memory.generation *)
+}
+
+type lstats = {
+  mutable l_hits : int;
+  mutable l_misses : int;
+  mutable l_stale : int;  (* misses that evicted a previously valid slot *)
+  mutable l_dynamic : int;  (* full lookups forced by `set lower off` *)
+}
+
 type t = {
   dbg : Dbgi.t;
   aliases : (string, Value.t) Hashtbl.t;
   mutable scopes : scope list;
+  mutable depth : int;
   strings : (string, int) Hashtbl.t;
   flags : flags;
+  gens : gens;
+  lstats : lstats;
+  probe : (unit -> int) option;
 }
 
 let default_flags () =
@@ -30,37 +59,111 @@ let default_flags () =
     expansion_limit = 1_000_000;
   }
 
-let create dbg =
+let create ?probe dbg =
   {
     dbg;
     aliases = Hashtbl.create 16;
     scopes = [];
+    depth = 0;
     strings = Hashtbl.create 16;
     flags = default_flags ();
+    gens =
+      {
+        g_scope = 0;
+        g_alias = 0;
+        g_ext = 0;
+        last_probe = (match probe with Some p -> p () | None -> 0);
+      };
+    lstats = { l_hits = 0; l_misses = 0; l_stale = 0; l_dynamic = 0 };
+    probe;
   }
 
-let define_alias env name v = Hashtbl.replace env.aliases name v
+(* --- generations -------------------------------------------------------- *)
+
+let bump_ext env = env.gens.g_ext <- env.gens.g_ext + 1
+
+(* Snoop the external-store probe (Memory.generation for in-process
+   backends): any write that did not come through this evaluation — the
+   mini-C interpreter stepping, a frame push, a test poking memory —
+   moves it, and cached frame/global resolutions must re-check. *)
+let refresh_ext env =
+  match env.probe with
+  | None -> ()
+  | Some p ->
+      let g = p () in
+      if g <> env.gens.last_probe then begin
+        env.gens.last_probe <- g;
+        bump_ext env
+      end
+
+type stamp = { p_scope : int; p_alias : int; p_ext : int }
+
+let stamp env =
+  refresh_ext env;
+  { p_scope = env.gens.g_scope; p_alias = env.gens.g_alias; p_ext = env.gens.g_ext }
+
+(* A cached slot is usable iff nothing that could shadow or move its
+   binding happened since it was captured: no alias definition, no
+   external/frame activity, and — unless the scope stack is empty, where
+   nothing can shadow — no scope motion at all. *)
+let stamp_valid env s =
+  refresh_ext env;
+  s.p_alias = env.gens.g_alias
+  && s.p_ext = env.gens.g_ext
+  && (env.depth = 0 || s.p_scope = env.gens.g_scope)
+
+(* --- aliases and scopes -------------------------------------------------- *)
+
+let define_alias env name v =
+  env.gens.g_alias <- env.gens.g_alias + 1;
+  Hashtbl.replace env.aliases name v
+
 let find_alias env name = Hashtbl.find_opt env.aliases name
-let push_scope env sc = env.scopes <- sc :: env.scopes
+
+let push_scope env sc =
+  env.scopes <- sc :: env.scopes;
+  env.depth <- env.depth + 1;
+  env.gens.g_scope <- env.gens.g_scope + 1
 
 let pop_scope env =
   match env.scopes with
   | [] -> invalid_arg "Env.pop_scope: empty scope stack"
-  | _ :: rest -> env.scopes <- rest
+  | _ :: rest ->
+      env.scopes <- rest;
+      env.depth <- env.depth - 1;
+      env.gens.g_scope <- env.gens.g_scope + 1
 
 let current_scope env =
   match env.scopes with
   | sc :: _ -> sc
   | [] -> Error.fail "_ used outside of a with scope (. -> --> @)"
 
-let scope_depth env = List.length env.scopes
+let scope_depth env = env.depth
 
 let restore_scope_depth env depth =
-  let rec drop scopes n = if n <= 0 then scopes else
-    match scopes with [] -> [] | _ :: rest -> drop rest (n - 1)
-  in
-  let extra = List.length env.scopes - depth in
-  if extra > 0 then env.scopes <- drop env.scopes extra
+  if env.depth > depth then begin
+    let rec drop scopes n =
+      if n <= 0 then scopes
+      else match scopes with [] -> [] | _ :: rest -> drop rest (n - 1)
+    in
+    env.scopes <- drop env.scopes (env.depth - depth);
+    env.depth <- depth;
+    env.gens.g_scope <- env.gens.g_scope + 1
+  end
+
+type stack = { sk_scopes : scope list; sk_depth : int }
+
+let empty_stack = { sk_scopes = []; sk_depth = 0 }
+let stack env = { sk_scopes = env.scopes; sk_depth = env.depth }
+
+let set_stack env sk =
+  if env.scopes != sk.sk_scopes then begin
+    env.scopes <- sk.sk_scopes;
+    env.depth <- sk.sk_depth;
+    env.gens.g_scope <- env.gens.g_scope + 1
+  end
+
+(* --- the five-stage resolution chain ------------------------------------ *)
 
 let rec scope_find scopes name =
   match scopes with

@@ -1,5 +1,6 @@
 (** Evaluation environment: the alias table, the [with]-scope
-    name-resolution stack, per-session flags, and the debugger handle.
+    name-resolution stack, per-session flags, generation counters guarding
+    the lowered-name resolution cache, and the debugger handle.
 
     Name resolution order (paper: "C's scope rules apply", extended by
     [with] scopes and aliases): innermost [with] scopes first, then
@@ -7,13 +8,25 @@
     innermost frame's locals, then globals and functions, then enumeration
     constants. *)
 
+module Ctype = Duel_ctype.Ctype
 module Dbgi = Duel_dbgi.Dbgi
+
+type comp_info = {
+  ci_comp : Ctype.comp;
+  ci_addr : int;
+  ci_sep : string;  (** ["."] or ["->"], for member symbolics *)
+  ci_sym : Symbolic.t;  (** the subject's symbolic, the member's base *)
+}
+(** When a scope is a struct/union member scope, the data needed to build
+    any member value directly — the lowered engines' member slots check
+    the component by physical identity and rebuild from here. *)
 
 type scope = {
   sc_value : Value.t;  (** what [_] refers to *)
   sc_lookup : string -> Value.t option;
       (** member resolution, producing values with qualified symbolics
           such as [hash[42]->scope] *)
+  sc_comp : comp_info option;  (** set iff this is a comp member scope *)
 }
 
 type flags = {
@@ -28,21 +41,53 @@ type flags = {
       (** safety cap on nodes yielded by one [-->]; 0 = unlimited *)
 }
 
+type gens = {
+  mutable g_scope : int;
+  mutable g_alias : int;
+  mutable g_ext : int;
+  mutable last_probe : int;
+}
+(** Generation counters invalidating cached name slots: [g_scope] moves
+    on every scope push/pop/swap, [g_alias] on every alias definition,
+    [g_ext] on target calls and whenever the external-store probe (the
+    backend's [Memory.generation] for in-process targets) moves. *)
+
+type lstats = {
+  mutable l_hits : int;
+  mutable l_misses : int;
+  mutable l_stale : int;
+  mutable l_dynamic : int;
+}
+(** Resolution-cache counters (the [info lower] command): [l_stale]
+    counts the misses that evicted a previously cached slot, [l_dynamic]
+    the full lookups taken because lowering was ablated. *)
+
 type t = {
   dbg : Dbgi.t;
   aliases : (string, Value.t) Hashtbl.t;
   mutable scopes : scope list;
+  mutable depth : int;  (** [List.length scopes], maintained incrementally *)
   strings : (string, int) Hashtbl.t;  (** interned target string literals *)
   flags : flags;
+  gens : gens;
+  lstats : lstats;
+  probe : (unit -> int) option;
 }
 
-val create : Dbgi.t -> t
+val create : ?probe:(unit -> int) -> Dbgi.t -> t
+(** [probe] is an external write-generation source (e.g. the data cache's
+    coherence probe); cached frame/global name slots re-validate against
+    it, so stores that bypass the evaluator invalidate them. *)
+
 val default_flags : unit -> flags
 
 val lookup : t -> string -> Value.t
-(** @raise Error.Duel_error on undefined names. *)
+(** The full, uncached resolution chain.
+    @raise Error.Duel_error on undefined names. *)
 
 val define_alias : t -> string -> Value.t -> unit
+(** Also bumps [g_alias], invalidating every cached name slot. *)
+
 val find_alias : t -> string -> Value.t option
 val push_scope : t -> scope -> unit
 val pop_scope : t -> unit
@@ -51,9 +96,48 @@ val current_scope : t -> scope
 (** Innermost scope, for [_].  @raise Error.Duel_error if none. *)
 
 val scope_depth : t -> int
+(** O(1): the depth is maintained by push/pop. *)
+
 val restore_scope_depth : t -> int -> unit
 (** Drop scopes down to a saved depth — used by operators that abandon a
     subsequence early ([@], select) so the stack cannot leak. *)
+
+(** {1 Scope-stack snapshots}
+
+    Operators that interleave two evaluation contexts (assignment right
+    sides, select sources) swap the whole stack; going through this API
+    keeps [depth] and [g_scope] coherent. *)
+
+type stack
+
+val empty_stack : stack
+val stack : t -> stack
+val set_stack : t -> stack -> unit
+(** No-op (and no generation bump) when the stack is physically
+    unchanged, so top-level swaps cost nothing. *)
+
+(** {1 Resolution-cache support} *)
+
+type stamp
+(** A snapshot of the generation counters taken when a name slot is
+    cached. *)
+
+val stamp : t -> stamp
+val stamp_valid : t -> stamp -> bool
+(** Whether nothing that could shadow or move a cached binding happened
+    since [stamp]; consults the external probe first. *)
+
+val bump_ext : t -> unit
+(** Record external activity (a target function call) explicitly. *)
+
+val refresh_ext : t -> unit
+
+(** {1 The individual resolution stages} (for the lowered resolver) *)
+
+val scope_find : scope list -> string -> Value.t option
+val frame_local : t -> string -> Value.t option
+val global : t -> string -> Value.t option
+val enum_const : t -> string -> Value.t option
 
 val string_literal : t -> string -> int
 (** Target address of an interned copy of a string literal. *)

@@ -40,13 +40,13 @@ let int_seq env lo hi : Value.t Seq.t =
    right side of assignments: in [q->scope = scope] the left side's
    with-scope must not capture the right side's [scope] (C semantics). *)
 let isolated env (seq : Value.t Seq.t) : Value.t Seq.t =
-  let snapshot = ref env.Env.scopes in
+  let snapshot = ref (Env.stack env) in
   let rec wrap s () =
-    let outer = env.Env.scopes in
-    env.Env.scopes <- !snapshot;
+    let outer = Env.stack env in
+    Env.set_stack env !snapshot;
     let result = s () in
-    snapshot := env.Env.scopes;
-    env.Env.scopes <- outer;
+    snapshot := Env.stack env;
+    Env.set_stack env outer;
     match result with
     | Seq.Nil -> Seq.Nil
     | Seq.Cons (x, tl) -> Seq.Cons (x, wrap tl)
@@ -62,28 +62,25 @@ let int_seq_from env lo : Value.t Seq.t =
   in
   Seq.unfold (fun i -> Some (mk i, Int64.add i 1L)) lo
 
-let rec eval env (e : Ast.expr) : Value.t Seq.t =
+let rec eval env (e : Ir.expr) : Value.t Seq.t =
   match e with
-  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Char_lit _ | Ast.Str_lit _ ->
-      delay (fun () ->
-          match Semantics.literal env e with
-          | Some v -> Seq.return v
-          | None -> assert false)
-  | Ast.Name n -> delay (fun () -> Seq.return (Env.lookup env n))
-  | Ast.Underscore ->
-      delay (fun () -> Seq.return (Env.current_scope env).Env.sc_value)
-  | Ast.Group inner -> eval env inner
-  | Ast.Braces inner ->
+  | Ir.Lit l -> fun () -> Seq.Cons (l.Ir.l_value, Seq.empty)
+  | Ir.Name nm ->
+      fun () -> Seq.Cons (Semantics.name_value env nm, Seq.empty)
+  | Ir.Underscore ->
+      fun () -> Seq.Cons ((Env.current_scope env).Env.sc_value, Seq.empty)
+  | Ir.Group inner -> eval env inner
+  | Ir.Braces inner ->
       Seq.map
         (fun v ->
           if sym_on env then
             Value.with_sym v (Symbolic.atom (Printer.scalar_literal env v))
           else v)
         (eval env inner)
-  | Ast.Unary (op, a) -> Seq.map (Ops.unary env op) (eval env a)
-  | Ast.Incdec (op, a) -> Seq.map (Ops.incdec env op) (eval env a)
-  | Ast.Binary (op, a, b) -> cross env a b (Ops.binary env op)
-  | Ast.Logand (a, b) ->
+  | Ir.Unary (op, a) -> Seq.map (Ops.unary env op) (eval env a)
+  | Ir.Incdec (op, a) -> Seq.map (Ops.incdec env op) (eval env a)
+  | Ir.Binary (op, a, b) -> cross env a b (Ops.binary env op)
+  | Ir.Logand (a, b) ->
       Seq.concat_map
         (fun u ->
           if Value.truth env.Env.dbg u then
@@ -97,7 +94,7 @@ let rec eval env (e : Ast.expr) : Value.t Seq.t =
               (eval env b)
           else Seq.empty)
         (eval env a)
-  | Ast.Logor (a, b) ->
+  | Ir.Logor (a, b) ->
       Seq.concat_map
         (fun u ->
           if Value.truth env.Env.dbg u then
@@ -112,28 +109,31 @@ let rec eval env (e : Ast.expr) : Value.t Seq.t =
                 else v)
               (eval env b))
         (eval env a)
-  | Ast.Filter (f, a, b) ->
+  | Ir.Filter (f, a, b) when Ir.pure_single b ->
+      Seq.filter
+        (fun u -> Ops.filter_holds env f u (Semantics.single env b))
+        (eval env a)
+  | Ir.Filter (f, a, b) ->
       Seq.concat_map
         (fun u ->
           Seq.filter_map
             (fun v -> if Ops.filter_holds env f u v then Some u else None)
             (eval env b))
         (eval env a)
-  | Ast.Cond (c, t, f) ->
+  | Ir.Cond (c, t, f) ->
       Seq.concat_map
         (fun u ->
           if Value.truth env.Env.dbg u then eval env t else eval env f)
         (eval env c)
-  | Ast.Assign (op, l, r) ->
+  | Ir.Assign (op, l, r) ->
       delay (fun () ->
           let rhs = isolated env (eval env r) in
           Seq.concat_map
             (fun u -> Seq.map (fun v -> Ops.assign env op u v) rhs)
             (eval env l))
-  | Ast.Cast (te, a) ->
+  | Ir.Cast (te, cast_text, a) ->
       delay (fun () ->
           let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
-          let cast_text = "(" ^ Pretty.type_to_string te ^ ")" in
           Seq.map
             (fun v ->
               let v' = Value.convert env.Env.dbg t v in
@@ -141,7 +141,7 @@ let rec eval env (e : Ast.expr) : Value.t Seq.t =
                 Value.with_sym v' (Symbolic.unary cast_text v.Value.sym)
               else v')
             (eval env a))
-  | Ast.Call (callee, args) ->
+  | Ir.Call (callee, args) ->
       let rec build acc = function
         | [] ->
             Seq.return
@@ -150,9 +150,9 @@ let rec eval env (e : Ast.expr) : Value.t Seq.t =
             Seq.concat_map (fun v -> build (v :: acc) rest) (eval env a)
       in
       delay (fun () -> build [] args)
-  | Ast.Index (a, b) -> cross env a b (Ops.index env)
-  | Ast.With (kind, lhs, rhs) -> eval_with env kind lhs rhs
-  | Ast.To (a, b) ->
+  | Ir.Index (a, b) -> cross env a b (Ops.index env)
+  | Ir.With (kind, lhs, rhs) -> eval_with env kind lhs rhs
+  | Ir.To (a, b) ->
       Seq.concat_map
         (fun u ->
           let lo = Value.to_int64 env.Env.dbg u in
@@ -160,36 +160,36 @@ let rec eval env (e : Ast.expr) : Value.t Seq.t =
             (fun v -> int_seq env lo (Value.to_int64 env.Env.dbg v))
             (eval env b))
         (eval env a)
-  | Ast.To_inf a ->
+  | Ir.To_inf a ->
       Seq.concat_map
         (fun u -> int_seq_from env (Value.to_int64 env.Env.dbg u))
         (eval env a)
-  | Ast.Up_to a ->
+  | Ir.Up_to a ->
       Seq.concat_map
         (fun u ->
           int_seq env 0L (Int64.sub (Value.to_int64 env.Env.dbg u) 1L))
         (eval env a)
-  | Ast.Alt (a, b) -> Seq.append (eval env a) (eval env b)
-  | Ast.Seq (a, b) ->
+  | Ir.Alt (a, b) -> Seq.append (eval env a) (eval env b)
+  | Ir.Seq (a, b) ->
       delay (fun () ->
           Seq.iter ignore (eval env a);
           eval env b)
-  | Ast.Seq_void a ->
+  | Ir.Seq_void a ->
       delay (fun () ->
           Seq.iter ignore (eval env a);
           Seq.empty)
-  | Ast.Imply (a, b) -> Seq.concat_map (fun _ -> eval env b) (eval env a)
-  | Ast.Def_alias (name, a) ->
+  | Ir.Imply (a, b) -> Seq.concat_map (fun _ -> eval env b) (eval env a)
+  | Ir.Def_alias (name, a) ->
       Seq.map
         (fun u ->
           Env.define_alias env name u;
           u)
         (eval env a)
-  | Ast.Dfs (roots, step) -> eval_expand env ~depth_first:true roots step
-  | Ast.Bfs (roots, step) -> eval_expand env ~depth_first:false roots step
-  | Ast.Select (a, b) -> eval_select env a b
-  | Ast.Until (a, stop) -> eval_until env a stop
-  | Ast.Index_alias (a, name) ->
+  | Ir.Dfs (roots, step) -> eval_expand env ~depth_first:true roots step
+  | Ir.Bfs (roots, step) -> eval_expand env ~depth_first:false roots step
+  | Ir.Select (a, b) -> eval_select env a b
+  | Ir.Until (a, stop) -> eval_until env a stop
+  | Ir.Index_alias (a, name) ->
       delay (fun () ->
           let next = ref 0 in
           Seq.map
@@ -203,21 +203,22 @@ let rec eval env (e : Ast.expr) : Value.t Seq.t =
                 (Value.int_value ~sym Ctype.int (Int64.of_int i));
               u)
             (eval env a))
-  | Ast.Reduce (r, a) -> delay (fun () -> Seq.return (eval_reduce env r a e))
-  | Ast.Seq_eq (a, b) -> delay (fun () -> Seq.return (eval_seq_eq env a b))
-  | Ast.If (c, t, f) ->
+  | Ir.Reduce (r, a, psym) ->
+      delay (fun () -> Seq.return (eval_reduce env r a psym))
+  | Ir.Seq_eq (a, b) -> delay (fun () -> Seq.return (eval_seq_eq env a b))
+  | Ir.If (c, t, f) ->
       Seq.concat_map
         (fun u ->
           if Value.truth env.Env.dbg u then eval env t
           else match f with None -> Seq.empty | Some f -> eval env f)
         (eval env c)
-  | Ast.For (init, cond, step, body) -> eval_for env init cond step body
-  | Ast.While (cond, body) -> eval_while env cond body
-  | Ast.Decl (base, decls) ->
+  | Ir.For (init, cond, step, body) -> eval_for env init cond step body
+  | Ir.While (cond, body) -> eval_while env cond body
+  | Ir.Decl decls ->
       delay (fun () ->
-          List.iter (declare env base) decls;
+          List.iter (declare env) decls;
           Seq.empty)
-  | Ast.Sizeof_expr a ->
+  | Ir.Sizeof_expr (a, psym) ->
       delay (fun () ->
           let depth = Env.scope_depth env in
           let first = (eval env a) () in
@@ -232,11 +233,9 @@ let rec eval env (e : Ast.expr) : Value.t Seq.t =
             with Layout.Incomplete what ->
               Error.failf "sizeof incomplete type %s" what
           in
-          let sym =
-            if sym_on env then Symbolic.atom (Pretty.to_string e) else no_sym
-          in
+          let sym = if sym_on env then psym else no_sym in
           Seq.return (Value.int_value ~sym Ctype.ulong (Int64.of_int size)))
-  | Ast.Sizeof_type te ->
+  | Ir.Sizeof_type (te, psym) ->
       delay (fun () ->
           let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
           let size =
@@ -244,11 +243,9 @@ let rec eval env (e : Ast.expr) : Value.t Seq.t =
             with Layout.Incomplete what ->
               Error.failf "sizeof incomplete type %s" what
           in
-          let sym =
-            if sym_on env then Symbolic.atom (Pretty.to_string e) else no_sym
-          in
+          let sym = if sym_on env then psym else no_sym in
           Seq.return (Value.int_value ~sym Ctype.ulong (Int64.of_int size)))
-  | Ast.Frame a ->
+  | Ir.Frame a ->
       Seq.map
         (fun u ->
           let i = Int64.to_int (Value.to_int64 env.Env.dbg u) in
@@ -258,14 +255,21 @@ let rec eval env (e : Ast.expr) : Value.t Seq.t =
           in
           Value.int_value ~sym Ctype.int (Int64.of_int i))
         (eval env a)
-  | Ast.Frames_gen ->
+  | Ir.Frames_gen ->
       delay (fun () ->
           int_seq env 0L (Int64.of_int (Semantics.frame_count env - 1)))
 
+(* The singleton fast path: when the right operand is an effect-free
+   single value (a literal, a slotted name, [_]), skip the nested
+   sequence machinery and call straight into Ops — [1..N+i] touches the
+   resolution cache once per left value and nothing else. *)
 and cross env a b f =
-  Seq.concat_map
-    (fun u -> Seq.map (fun v -> f u v) (eval env b))
-    (eval env a)
+  if Ir.pure_single b then
+    Seq.map (fun u -> f u (Semantics.single env b)) (eval env a)
+  else
+    Seq.concat_map
+      (fun u -> Seq.map (fun v -> f u v) (eval env b))
+      (eval env a)
 
 and eval_int env e =
   let depth = Env.scope_depth env in
@@ -279,13 +283,13 @@ and eval_int env e =
 (* e1.e2 / e1->e2, with frame(i) and frames as scope subjects. *)
 and eval_with env kind lhs rhs =
   match lhs with
-  | Ast.Frame fe ->
+  | Ir.Frame fe ->
       Seq.concat_map
         (fun u ->
           let i = Int64.to_int (Value.to_int64 env.Env.dbg u) in
           scoped env (Semantics.frame_scope env i) (fun () -> eval env rhs))
         (eval env fe)
-  | Ast.Frames_gen ->
+  | Ir.Frames_gen ->
       delay (fun () ->
           Seq.concat_map
             (fun i ->
@@ -369,13 +373,13 @@ and eval_select env a b =
       let buffer = ref [||] in
       let buffered = ref 0 in
       let src = ref (Some (eval env a)) in
-      let src_scopes = ref env.Env.scopes in
+      let src_scopes = ref (Env.stack env) in
       let pull () =
         match !src with
         | None -> false
         | Some s ->
-            let outer = env.Env.scopes in
-            env.Env.scopes <- !src_scopes;
+            let outer = Env.stack env in
+            Env.set_stack env !src_scopes;
             let result =
               match s () with
               | Seq.Nil ->
@@ -394,8 +398,8 @@ and eval_select env a b =
                   incr buffered;
                   true
             in
-            src_scopes := env.Env.scopes;
-            env.Env.scopes <- outer;
+            src_scopes := Env.stack env;
+            Env.set_stack env outer;
             result
       in
       let rec nth n = if n < !buffered then Some !buffer.(n) else if pull () then nth n else None in
@@ -406,14 +410,19 @@ and eval_select env a b =
         (eval env b))
 
 (* e1@stop: yield e1's values until the stop condition fires (exclusive).
-   A literal stop compares for equality; any other stop expression is
-   evaluated in the scope of the candidate value and stops on any non-zero
-   value. *)
+   A source literal stop compares for equality; any other stop expression
+   is evaluated in the scope of the candidate value and stops on any
+   non-zero value. *)
 and eval_until env a stop =
   delay (fun () ->
       let depth = Env.scope_depth env in
+      let stop_lit =
+        match stop with
+        | Ir.Lit { Ir.l_source = true; l_value } -> Some l_value
+        | _ -> None
+      in
       let stops u =
-        match Semantics.literal env stop with
+        match stop_lit with
         | Some lit -> Ops.values_equal env u lit
         | None ->
             (* restore only to just below the stop scope: the source
@@ -440,12 +449,10 @@ and eval_until env a stop =
       in
       go (eval env a))
 
-and eval_reduce env r a node =
+and eval_reduce env r a psym =
   let dbg = env.Env.dbg in
   let depth = Env.scope_depth env in
-  let sym =
-    if sym_on env then Symbolic.atom (Pretty.to_string node) else no_sym
-  in
+  let sym = if sym_on env then psym else no_sym in
   let result =
     match r with
     | Ast.Rcount ->
@@ -523,11 +530,8 @@ and eval_for env init cond step body =
     drain init;
     loop ()
 
-and declare env base (name, te) =
+and declare env (name, te) =
   let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
-  (* [te] already embeds [base] from the parser's declarator builder, but
-     a bare name has just the base. *)
-  ignore base;
   let size =
     try Layout.size_of env.Env.dbg.Dbgi.abi t
     with Layout.Incomplete what ->

@@ -1,12 +1,14 @@
 (** The lazy-sequence generator engine.
 
-    Each AST node evaluates to a ['a Seq.t] of values; OCaml's persistent
+    Each IR node evaluates to a ['a Seq.t] of values; OCaml's persistent
     lazy sequences play the role of the paper's per-node coroutine state
     (re-forcing a sequence restarts it, which is exactly the paper's
     "after NOVALUE ... the next call re-evaluates the node").  Operator
     semantics follow the paper's pseudo-code operator by operator. *)
 
-val eval : Env.t -> Ast.expr -> Value.t Seq.t
-(** Lazily produce the expression's values.  Side effects (alias
+val eval : Env.t -> Ir.expr -> Value.t Seq.t
+(** Lazily produce the lowered expression's values.  Side effects (alias
     definitions, assignments, target-function calls) happen as the
-    sequence is consumed, in the paper's evaluation order. *)
+    sequence is consumed, in the paper's evaluation order.  Name
+    resolution goes through the expression's slots
+    ({!Semantics.name_value}). *)

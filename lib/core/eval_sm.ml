@@ -5,10 +5,10 @@ module Dbgi = Duel_dbgi.Dbgi
 let no_sym = Symbolic.atom "?"
 let sym_on env = env.Env.flags.Env.symbolic
 
-(* One runtime node per AST node, carrying the paper's [state] and saved
+(* One runtime node per IR node, carrying the paper's [state] and saved
    [value] plus per-operator auxiliary state. *)
 type node = {
-  expr : Ast.expr;
+  expr : Ir.expr;
   kids : node array;
   mutable state : int;
   mutable saved : Value.t option;
@@ -19,7 +19,7 @@ type node = {
   mutable buffer : Value.t array;  (* select buffer *)
   mutable buffered : int;
   mutable src_done : bool;
-  mutable src_scopes : Env.scope list;
+  mutable src_scopes : Env.stack;
   mutable visited : (int64, unit) Hashtbl.t option;
   mutable argvals : Value.t array;
 }
@@ -28,48 +28,47 @@ let dummy_value = Value.int_value Ctype.int 0L
 
 (* Sub-expressions that behave as generator operands, in evaluation
    order. *)
-let subexprs (e : Ast.expr) : Ast.expr list =
+let subexprs (e : Ir.expr) : Ir.expr list =
   match e with
-  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Char_lit _ | Ast.Str_lit _
-  | Ast.Name _ | Ast.Underscore | Ast.Frames_gen | Ast.Decl _
-  | Ast.Sizeof_type _ ->
+  | Ir.Lit _ | Ir.Name _ | Ir.Underscore | Ir.Frames_gen | Ir.Decl _
+  | Ir.Sizeof_type _ ->
       []
-  | Ast.Unary (_, a)
-  | Ast.Incdec (_, a)
-  | Ast.Braces a
-  | Ast.Group a
-  | Ast.Cast (_, a)
-  | Ast.Def_alias (_, a)
-  | Ast.Index_alias (a, _)
-  | Ast.Reduce (_, a)
-  | Ast.Seq_void a
-  | Ast.Up_to a
-  | Ast.To_inf a
-  | Ast.Sizeof_expr a
-  | Ast.Frame a ->
+  | Ir.Unary (_, a)
+  | Ir.Incdec (_, a)
+  | Ir.Braces a
+  | Ir.Group a
+  | Ir.Cast (_, _, a)
+  | Ir.Def_alias (_, a)
+  | Ir.Index_alias (a, _)
+  | Ir.Reduce (_, a, _)
+  | Ir.Seq_void a
+  | Ir.Up_to a
+  | Ir.To_inf a
+  | Ir.Sizeof_expr (a, _)
+  | Ir.Frame a ->
       [ a ]
-  | Ast.Binary (_, a, b)
-  | Ast.Logand (a, b)
-  | Ast.Logor (a, b)
-  | Ast.Filter (_, a, b)
-  | Ast.Assign (_, a, b)
-  | Ast.Index (a, b)
-  | Ast.With (_, a, b)
-  | Ast.To (a, b)
-  | Ast.Alt (a, b)
-  | Ast.Seq (a, b)
-  | Ast.Imply (a, b)
-  | Ast.Dfs (a, b)
-  | Ast.Bfs (a, b)
-  | Ast.Select (a, b)
-  | Ast.Until (a, b)
-  | Ast.Seq_eq (a, b)
-  | Ast.While (a, b) ->
+  | Ir.Binary (_, a, b)
+  | Ir.Logand (a, b)
+  | Ir.Logor (a, b)
+  | Ir.Filter (_, a, b)
+  | Ir.Assign (_, a, b)
+  | Ir.Index (a, b)
+  | Ir.With (_, a, b)
+  | Ir.To (a, b)
+  | Ir.Alt (a, b)
+  | Ir.Seq (a, b)
+  | Ir.Imply (a, b)
+  | Ir.Dfs (a, b)
+  | Ir.Bfs (a, b)
+  | Ir.Select (a, b)
+  | Ir.Until (a, b)
+  | Ir.Seq_eq (a, b)
+  | Ir.While (a, b) ->
       [ a; b ]
-  | Ast.Cond (a, b, c) | Ast.If (a, b, Some c) -> [ a; b; c ]
-  | Ast.If (a, b, None) -> [ a; b ]
-  | Ast.Call (_, args) -> args
-  | Ast.For (i, c, s, b) ->
+  | Ir.Cond (a, b, c) | Ir.If (a, b, Some c) -> [ a; b; c ]
+  | Ir.If (a, b, None) -> [ a; b ]
+  | Ir.Call (_, args) -> args
+  | Ir.For (i, c, s, b) ->
       List.filter_map Fun.id [ i; c; s ] @ [ b ]
 
 let rec compile e =
@@ -85,7 +84,7 @@ let rec compile e =
     buffer = [||];
     buffered = 0;
     src_done = false;
-    src_scopes = [];
+    src_scopes = Env.empty_stack;
     visited = None;
     argvals = [||];
   }
@@ -106,25 +105,25 @@ let get_saved n =
 
 let rec next env n : Value.t option =
   match n.expr with
-  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Char_lit _ | Ast.Str_lit _ ->
+  | Ir.Lit l ->
       if n.state = 0 then begin
         n.state <- 1;
-        Semantics.literal env n.expr
+        Some l.Ir.l_value
       end
       else begin
         n.state <- 0;
         None
       end
-  | Ast.Name name ->
+  | Ir.Name name ->
       if n.state = 0 then begin
         n.state <- 1;
-        Some (Env.lookup env name)
+        Some (Semantics.name_value env name)
       end
       else begin
         n.state <- 0;
         None
       end
-  | Ast.Underscore ->
+  | Ir.Underscore ->
       if n.state = 0 then begin
         n.state <- 1;
         Some (Env.current_scope env).Env.sc_value
@@ -133,8 +132,8 @@ let rec next env n : Value.t option =
         n.state <- 0;
         None
       end
-  | Ast.Group _ -> next env n.kids.(0)
-  | Ast.Braces _ -> (
+  | Ir.Group _ -> next env n.kids.(0)
+  | Ir.Braces _ -> (
       match next env n.kids.(0) with
       | Some v ->
           Some
@@ -143,9 +142,9 @@ let rec next env n : Value.t option =
                  (Symbolic.atom (Printer.scalar_literal env v))
              else v)
       | None -> None)
-  | Ast.Unary (op, _) -> Option.map (Ops.unary env op) (next env n.kids.(0))
-  | Ast.Incdec (op, _) -> Option.map (Ops.incdec env op) (next env n.kids.(0))
-  | Ast.Cast (te, _) -> (
+  | Ir.Unary (op, _) -> Option.map (Ops.unary env op) (next env n.kids.(0))
+  | Ir.Incdec (op, _) -> Option.map (Ops.incdec env op) (next env n.kids.(0))
+  | Ir.Cast (te, cast_text, _) -> (
       match next env n.kids.(0) with
       | None -> None
       | Some v ->
@@ -153,50 +152,68 @@ let rec next env n : Value.t option =
           let v' = Value.convert env.Env.dbg t v in
           Some
             (if sym_on env then
-               Value.with_sym v'
-                 (Symbolic.unary ("(" ^ Pretty.type_to_string te ^ ")")
-                    v.Value.sym)
+               Value.with_sym v' (Symbolic.unary cast_text v.Value.sym)
              else v'))
-  | Ast.Def_alias (name, _) -> (
+  | Ir.Def_alias (name, _) -> (
       match next env n.kids.(0) with
       | None -> None
       | Some v ->
           Env.define_alias env name v;
           Some v)
-  | Ast.Binary (op, _, _) -> binary_like env n (Ops.binary env op)
-  | Ast.Index _ -> binary_like env n (Ops.index env)
-  | Ast.Assign (op, _, _) -> assign_sm env n op
-  | Ast.Alt _ -> alt env n
-  | Ast.To _ -> to_range env n
-  | Ast.Up_to _ -> up_to env n
-  | Ast.To_inf _ -> to_inf env n
-  | Ast.Filter (f, _, _) -> filter env n f
-  | Ast.Logand _ -> logand env n
-  | Ast.Logor _ -> logor env n
-  | Ast.Cond _ -> conditional env n ~has_else:true
-  | Ast.If (_, _, Some _) -> conditional env n ~has_else:true
-  | Ast.If (_, _, None) -> conditional env n ~has_else:false
-  | Ast.With (kind, lhs, _) -> with_op env n kind lhs
-  | Ast.Imply _ -> imply env n
-  | Ast.Seq _ -> seq_op env n
-  | Ast.Seq_void _ ->
+  (* Singleton fast path: an effect-free single-valued right operand is
+     evaluated directly per left value, skipping the kid state machine —
+     the slot cache makes [Semantics.single] one stamp check. *)
+  | Ir.Binary (op, _, b) when Ir.pure_single b ->
+      Option.map
+        (fun u -> Ops.binary env op u (Semantics.single env b))
+        (next env n.kids.(0))
+  | Ir.Index (_, b) when Ir.pure_single b ->
+      Option.map
+        (fun u -> Ops.index env u (Semantics.single env b))
+        (next env n.kids.(0))
+  | Ir.Filter (f, _, b) when Ir.pure_single b ->
+      let rec go () =
+        match next env n.kids.(0) with
+        | None -> None
+        | Some u ->
+            if Ops.filter_holds env f u (Semantics.single env b) then Some u
+            else go ()
+      in
+      go ()
+  | Ir.Binary (op, _, _) -> binary_like env n (Ops.binary env op)
+  | Ir.Index _ -> binary_like env n (Ops.index env)
+  | Ir.Assign (op, _, _) -> assign_sm env n op
+  | Ir.Alt _ -> alt env n
+  | Ir.To _ -> to_range env n
+  | Ir.Up_to _ -> up_to env n
+  | Ir.To_inf _ -> to_inf env n
+  | Ir.Filter (f, _, _) -> filter env n f
+  | Ir.Logand _ -> logand env n
+  | Ir.Logor _ -> logor env n
+  | Ir.Cond _ -> conditional env n ~has_else:true
+  | Ir.If (_, _, Some _) -> conditional env n ~has_else:true
+  | Ir.If (_, _, None) -> conditional env n ~has_else:false
+  | Ir.With (kind, lhs, _) -> with_op env n kind lhs
+  | Ir.Imply _ -> imply env n
+  | Ir.Seq _ -> seq_op env n
+  | Ir.Seq_void _ ->
       drain env n.kids.(0);
       None
-  | Ast.Index_alias (_, name) -> index_alias env n name
-  | Ast.Reduce (r, _) -> reduce env n r
-  | Ast.Seq_eq _ -> seq_eq env n
-  | Ast.Dfs _ -> expand env n ~depth_first:true
-  | Ast.Bfs _ -> expand env n ~depth_first:false
-  | Ast.Select _ -> select env n
-  | Ast.Until (_, stop) -> until env n stop
-  | Ast.While _ -> while_op env n
-  | Ast.For (init, cond, step, _) -> for_op env n init cond step
-  | Ast.Call (callee, args) -> call env n callee (List.length args)
-  | Ast.Decl (base, decls) ->
-      List.iter (declare env base) decls;
+  | Ir.Index_alias (_, name) -> index_alias env n name
+  | Ir.Reduce (r, _, psym) -> reduce env n r psym
+  | Ir.Seq_eq _ -> seq_eq env n
+  | Ir.Dfs _ -> expand env n ~depth_first:true
+  | Ir.Bfs _ -> expand env n ~depth_first:false
+  | Ir.Select _ -> select env n
+  | Ir.Until (_, stop) -> until env n stop
+  | Ir.While _ -> while_op env n
+  | Ir.For (init, cond, step, _) -> for_op env n init cond step
+  | Ir.Call (callee, args) -> call env n callee (List.length args)
+  | Ir.Decl decls ->
+      List.iter (declare env) decls;
       None
-  | Ast.Sizeof_expr _ -> sizeof_expr env n
-  | Ast.Sizeof_type te ->
+  | Ir.Sizeof_expr (_, psym) -> sizeof_expr env n psym
+  | Ir.Sizeof_type (te, psym) ->
       if n.state = 0 then begin
         n.state <- 1;
         let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
@@ -205,17 +222,14 @@ let rec next env n : Value.t option =
           with Layout.Incomplete what ->
             Error.failf "sizeof incomplete type %s" what
         in
-        let sym =
-          if sym_on env then Symbolic.atom (Pretty.to_string n.expr)
-          else no_sym
-        in
+        let sym = if sym_on env then psym else no_sym in
         Some (Value.int_value ~sym Ctype.ulong (Int64.of_int size))
       end
       else begin
         n.state <- 0;
         None
       end
-  | Ast.Frame _ -> (
+  | Ir.Frame _ -> (
       match next env n.kids.(0) with
       | None -> None
       | Some u ->
@@ -225,7 +239,7 @@ let rec next env n : Value.t option =
             else no_sym
           in
           Some (Value.int_value ~sym Ctype.int (Int64.of_int i)))
-  | Ast.Frames_gen ->
+  | Ir.Frames_gen ->
       if n.state = 0 then begin
         n.counter <- 0L;
         n.hi <- Int64.of_int (Semantics.frame_count env);
@@ -281,7 +295,7 @@ and assign_sm env n op =
   | 0 ->
       (* fresh evaluation: capture the stack before the left side can
          push its with-scopes *)
-      n.src_scopes <- env.Env.scopes;
+      n.src_scopes <- Env.stack env;
       n.state <- 2;
       assign_sm env n op
   | 2 -> (
@@ -294,11 +308,11 @@ and assign_sm env n op =
           n.state <- 1;
           assign_sm env n op)
   | _ -> (
-      let outer = env.Env.scopes in
-      env.Env.scopes <- n.src_scopes;
+      let outer = Env.stack env in
+      Env.set_stack env n.src_scopes;
       let v = next env n.kids.(1) in
-      n.src_scopes <- env.Env.scopes;
-      env.Env.scopes <- outer;
+      n.src_scopes <- Env.stack env;
+      Env.set_stack env outer;
       match v with
       | Some v -> Some (Ops.assign env op (get_saved n) v)
       | None ->
@@ -480,7 +494,7 @@ and conditional env n ~has_else =
 
 and with_op env n kind lhs =
   match lhs with
-  | Ast.Frame _ | Ast.Frames_gen ->
+  | Ir.Frame _ | Ir.Frames_gen ->
       if n.state = 0 then
         match next env n.kids.(0) with
         | None -> None
@@ -557,7 +571,7 @@ and index_alias env n name =
       n.state <- 0;
       None
 
-and reduce env n r =
+and reduce env n r psym =
   if n.state = 1 then begin
     n.state <- 0;
     None
@@ -566,9 +580,7 @@ and reduce env n r =
     n.state <- 1;
     let dbg = env.Env.dbg in
     let depth = Env.scope_depth env in
-    let sym =
-      if sym_on env then Symbolic.atom (Pretty.to_string n.expr) else no_sym
-    in
+    let sym = if sym_on env then psym else no_sym in
     let result =
       match r with
       | Ast.Rcount ->
@@ -689,15 +701,15 @@ and select env n =
     n.buffer <- [||];
     n.buffered <- 0;
     n.src_done <- false;
-    n.src_scopes <- env.Env.scopes;
+    n.src_scopes <- Env.stack env;
     n.depth <- Env.scope_depth env;
     n.state <- 1
   end;
   let pull () =
     if n.src_done then false
     else begin
-      let outer = env.Env.scopes in
-      env.Env.scopes <- n.src_scopes;
+      let outer = Env.stack env in
+      Env.set_stack env n.src_scopes;
       let got =
         match next env n.kids.(0) with
         | None ->
@@ -713,8 +725,8 @@ and select env n =
             n.buffered <- n.buffered + 1;
             true
       in
-      n.src_scopes <- env.Env.scopes;
-      env.Env.scopes <- outer;
+      n.src_scopes <- Env.stack env;
+      Env.set_stack env outer;
       got
     end
   in
@@ -744,9 +756,10 @@ and until env n stop =
       None
   | Some u ->
       let fired =
-        match Semantics.literal env stop with
-        | Some lit -> Ops.values_equal env u lit
-        | None ->
+        match stop with
+        | Ir.Lit { Ir.l_source = true; l_value } ->
+            Ops.values_equal env u l_value
+        | _ ->
             (* the source's own scopes may be live; pop only the stop
                scope *)
             let stop_depth = Env.scope_depth env in
@@ -909,8 +922,7 @@ and call env n callee nargs =
     end
   end
 
-and declare env base (name, te) =
-  ignore base;
+and declare env (name, te) =
   let t = Semantics.resolve_type env ~eval_int:(eval_int env) te in
   let size =
     try Layout.size_of env.Env.dbg.Dbgi.abi t
@@ -920,7 +932,7 @@ and declare env base (name, te) =
   let addr = env.Env.dbg.Dbgi.alloc_space size in
   Env.define_alias env name (Value.lvalue ~sym:(Symbolic.atom name) t addr)
 
-and sizeof_expr env n =
+and sizeof_expr env n psym =
   if n.state = 1 then begin
     n.state <- 0;
     None
@@ -939,9 +951,7 @@ and sizeof_expr env n =
       try Layout.size_of env.Env.dbg.Dbgi.abi t
       with Layout.Incomplete what -> Error.failf "sizeof incomplete type %s" what
     in
-    let sym =
-      if sym_on env then Symbolic.atom (Pretty.to_string n.expr) else no_sym
-    in
+    let sym = if sym_on env then psym else no_sym in
     Some (Value.int_value ~sym Ctype.ulong (Int64.of_int size))
   end
 

@@ -1,7 +1,7 @@
 (** The state-machine generator engine — a faithful port of the paper's
     implementation.
 
-    The paper's [duel_eval] walks the AST with an explicit non-negative
+    The paper's [duel_eval] walks the tree with an explicit non-negative
     [state] integer and a saved [value] per node, simulating coroutines;
     each call produces the node's next value and [NOVALUE] (here [None])
     ends the sequence, resetting the node so "the next call to eval
@@ -10,6 +10,6 @@
     OCaml rendering of the same semantics); differential tests force the
     two to agree, and bench B4 compares their cost. *)
 
-val eval : Env.t -> Ast.expr -> Value.t Seq.t
-(** Compile the AST into a mutable state-machine tree and expose it as an
-    ephemeral sequence (single traversal). *)
+val eval : Env.t -> Ir.expr -> Value.t Seq.t
+(** Compile the lowered IR into a mutable state-machine tree and expose
+    it as an ephemeral sequence (single traversal). *)

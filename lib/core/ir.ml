@@ -1,0 +1,112 @@
+(** The resolved intermediate representation both engines evaluate.
+
+    {!Lower} translates {!Ast.expr} into this tree once per command; the
+    engines never see the AST.  The IR differs from the AST where work
+    can be hoisted out of the per-value evaluation loop:
+
+    {ul
+    {- every literal is a prebuilt {!Value.t} (string literals already
+       interned into target space);}
+    {- every name carries a mutable {e slot} — an inline cache for the
+       five-stage resolution chain, validated against {!Env}'s generation
+       counters (see {!Semantics.name_value});}
+    {- cast/sizeof/reduction symbolic renderings are precomputed;}
+    {- type expressions whose array dimensions are constant are resolved
+       to a {!Ctype.t} up front ({!Tready}).}}
+
+    The "unlowered" ablation ([set lower off]) is the same tree with
+    every slot pinned to {!Sdynamic}, so there is exactly one evaluation
+    path to test and benchmark. *)
+
+module Ctype = Duel_ctype.Ctype
+module Layout = Duel_ctype.Layout
+
+(** How a [Name] node resolves.  [Snone] means not yet resolved (or
+    resolved to something transient, like an outer-scope member, that is
+    never worth caching); [Sdynamic] pins the node to the full lookup
+    chain on every pull. *)
+type slot =
+  | Snone
+  | Sdynamic
+  | Smember of { m_comp : Ctype.comp; m_fi : Layout.field_info }
+      (** innermost-scope struct/union member: valid while the innermost
+          scope is a member scope over the physically same component; the
+          value is rebuilt from the current scope's subject *)
+  | Scached of { c_stamp : Env.stamp; c_value : Value.t }
+      (** alias / frame local / global / enum constant, valid while the
+          generation stamp holds *)
+
+type name = { n_name : string; mutable n_slot : slot }
+
+type lit = {
+  l_value : Value.t;
+  l_source : bool;
+      (** written as a literal in the source (as opposed to produced by
+          constant folding) — [e @ lit] compares for equality only
+          against source literals, exactly as the unlowered tree did *)
+}
+
+type type_expr =
+  | Tready of Ctype.t  (** pre-resolved at lowering time *)
+  | Tname of string list
+  | Tstruct_ref of string
+  | Tunion_ref of string
+  | Tenum_ref of string
+  | Ttypedef_ref of string
+  | Tptr of type_expr
+  | Tarr of type_expr * expr option
+
+and expr =
+  | Lit of lit
+  | Name of name
+  | Underscore
+  | Unary of Ast.unop * expr
+  | Incdec of Ast.incdec * expr
+  | Binary of Ast.binop * expr * expr
+  | Logand of expr * expr
+  | Logor of expr * expr
+  | Filter of Ast.filter * expr * expr
+  | Cond of expr * expr * expr
+  | Assign of Ast.binop option * expr * expr
+  | Cast of type_expr * string * expr
+      (** the string is the display form ["(type)"], precomputed *)
+  | Call of string option * expr list
+      (** [None] iff the callee was not a plain name (an error at
+          evaluation time, as before) *)
+  | Index of expr * expr
+  | With of Ast.with_kind * expr * expr
+  | To of expr * expr
+  | To_inf of expr
+  | Up_to of expr
+  | Alt of expr * expr
+  | Seq of expr * expr
+  | Seq_void of expr
+  | Imply of expr * expr
+  | Def_alias of string * expr
+  | Dfs of expr * expr
+  | Bfs of expr * expr
+  | Select of expr * expr
+  | Until of expr * expr
+  | Index_alias of expr * string
+  | Reduce of Ast.reduction * expr * Symbolic.t
+      (** carries the precomputed "as entered" symbolic *)
+  | Seq_eq of expr * expr
+  | Braces of expr
+  | Group of expr
+      (** kept: [e @ (0)] and [e @ 0] differ (truth-stop vs equality-stop) *)
+  | If of expr * expr * expr option
+  | For of expr option * expr option * expr option * expr
+  | While of expr * expr
+  | Decl of (string * type_expr) list
+  | Sizeof_expr of expr * Symbolic.t
+  | Sizeof_type of type_expr * Symbolic.t
+  | Frame of expr
+  | Frames_gen
+
+(** Effect-free expressions producing exactly one value — the operands
+    the engines may evaluate with a direct call instead of a nested
+    generator (the singleton fast path for [a+i], [x[i]], [a >? 0]...). *)
+let rec pure_single = function
+  | Lit _ | Name _ | Underscore -> true
+  | Group e -> pure_single e
+  | _ -> false

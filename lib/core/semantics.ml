@@ -35,79 +35,58 @@ let base_of_words words =
   | [ "_Bool" ] -> Ctype.bool
   | words -> Error.failf "invalid type specifier '%s'" (String.concat " " words)
 
-let rec resolve_type env ~eval_int te =
+let rec resolve_type env ~eval_int (te : Ir.type_expr) =
   let tenv = env.Env.dbg.Dbgi.tenv in
   match te with
-  | Ast.Tname words -> base_of_words words
-  | Ast.Tstruct_ref tag -> (
+  | Ir.Tready t -> t
+  | Ir.Tname words -> base_of_words words
+  | Ir.Tstruct_ref tag -> (
       match Tenv.find_struct tenv tag with
       | Some c -> Ctype.Comp c
       | None -> Error.failf "no struct named %s" tag)
-  | Ast.Tunion_ref tag -> (
+  | Ir.Tunion_ref tag -> (
       match Tenv.find_union tenv tag with
       | Some c -> Ctype.Comp c
       | None -> Error.failf "no union named %s" tag)
-  | Ast.Tenum_ref tag -> (
+  | Ir.Tenum_ref tag -> (
       match Tenv.find_enum tenv tag with
       | Some e -> Ctype.Enum e
       | None -> Error.failf "no enum named %s" tag)
-  | Ast.Ttypedef_ref name -> (
+  | Ir.Ttypedef_ref name -> (
       match Tenv.find_typedef tenv name with
       | Some t -> t
       | None -> Error.failf "no typedef named %s" name)
-  | Ast.Tptr inner -> Ctype.Ptr (resolve_type env ~eval_int inner)
-  | Ast.Tarr (inner, dim) ->
+  | Ir.Tptr inner -> Ctype.Ptr (resolve_type env ~eval_int inner)
+  | Ir.Tarr (inner, dim) ->
       let n = Option.map (fun e -> Int64.to_int (eval_int e)) dim in
       Ctype.Array (resolve_type env ~eval_int inner, n)
 
-(* --- literals ----------------------------------------------------------- *)
-
-let literal env e =
-  match e with
-  | Ast.Int_lit (v, t, lex) ->
-      Some (Value.int_value ~sym:(Symbolic.atom lex) t v)
-  | Ast.Float_lit (v, t, lex) ->
-      Some (Value.float_value ~sym:(Symbolic.atom lex) t v)
-  | Ast.Char_lit (c, lex) ->
-      Some
-        (Value.int_value ~sym:(Symbolic.atom lex) Ctype.char
-           (Int64.of_int (Char.code c)))
-  | Ast.Str_lit s ->
-      let addr = Env.string_literal env s in
-      Some
-        (Value.lvalue
-           ~sym:(Symbolic.atom (Printf.sprintf "%S" s))
-           (Ctype.Array (Ctype.char, Some (String.length s + 1)))
-           addr)
-  | _ -> None
-
 (* --- with scopes -------------------------------------------------------- *)
+
+let member_value env ~fi ~addr ~base_sym ~sep name =
+  let abi = env.Env.dbg.Dbgi.abi in
+  let f = fi.Layout.fi_field in
+  let sym =
+    if sym_on env then Symbolic.member base_sym sep name else no_sym
+  in
+  match f.Ctype.f_bits with
+  | Some width ->
+      Value.make f.Ctype.f_type
+        (Value.Lbit
+           {
+             addr = addr + fi.Layout.fi_offset;
+             unit_size = Layout.size_of abi f.Ctype.f_type;
+             bit_off = fi.Layout.fi_bit_off;
+             width;
+           })
+        sym
+  | None -> Value.lvalue ~sym f.Ctype.f_type (addr + fi.Layout.fi_offset)
 
 let field_value env ~comp ~addr ~base_sym ~sep name =
   let abi = env.Env.dbg.Dbgi.abi in
   match Layout.find_field abi comp name with
   | None -> None
-  | Some fi ->
-      let f = fi.Layout.fi_field in
-      let sym =
-        if sym_on env then Symbolic.member base_sym sep name else no_sym
-      in
-      let v =
-        match f.Ctype.f_bits with
-        | Some width ->
-            Value.make f.Ctype.f_type
-              (Value.Lbit
-                 {
-                   addr = addr + fi.Layout.fi_offset;
-                   unit_size = Layout.size_of abi f.Ctype.f_type;
-                   bit_off = fi.Layout.fi_bit_off;
-                   width;
-                 })
-              sym
-        | None ->
-            Value.lvalue ~sym f.Ctype.f_type (addr + fi.Layout.fi_offset)
-      in
-      Some v
+  | Some fi -> Some (member_value env ~fi ~addr ~base_sym ~sep name)
 
 let comp_scope env value comp addr sep =
   {
@@ -115,10 +94,18 @@ let comp_scope env value comp addr sep =
     sc_lookup =
       (fun name ->
         field_value env ~comp ~addr ~base_sym:value.Value.sym ~sep name);
+    sc_comp =
+      Some
+        {
+          Env.ci_comp = comp;
+          ci_addr = addr;
+          ci_sep = sep;
+          ci_sym = value.Value.sym;
+        };
   }
 
 let plain_scope value =
-  { Env.sc_value = value; sc_lookup = (fun _ -> None) }
+  { Env.sc_value = value; sc_lookup = (fun _ -> None); sc_comp = None }
 
 let with_scope env kind u =
   let dbg = env.Env.dbg in
@@ -177,7 +164,104 @@ let frame_scope env i =
                   else no_sym
                 in
                 Some (Value.lvalue ~sym info.Dbgi.v_type info.Dbgi.v_addr));
+        sc_comp = None;
       }
+
+(* --- lowered name resolution -------------------------------------------- *)
+
+(* The full chain, classifying the result into the node's slot.  Members
+   of the innermost scope cache the field layout (rebuilt from the live
+   scope subject on each hit); the four stable stages cache their value
+   under a generation stamp.  Outer-scope members stay transient: they
+   are rare and their validity would need the whole stack compared. *)
+let cache_slot env (nm : Ir.name) v =
+  nm.Ir.n_slot <- Ir.Scached { c_stamp = Env.stamp env; c_value = v };
+  v
+
+let resolve_unscoped env (nm : Ir.name) =
+  let name = nm.Ir.n_name in
+  match Env.find_alias env name with
+  | Some v -> cache_slot env nm (Value.with_sym v (Symbolic.atom name))
+  | None -> (
+      match Env.frame_local env name with
+      | Some v -> cache_slot env nm v
+      | None -> (
+          match Env.global env name with
+          | Some v -> cache_slot env nm v
+          | None -> (
+              match Env.enum_const env name with
+              | Some v -> cache_slot env nm v
+              | None -> Error.failf "undefined name %s" name)))
+
+let resolve_name env (nm : Ir.name) =
+  let name = nm.Ir.n_name in
+  let outer rest =
+    match Env.scope_find rest name with
+    | Some v ->
+        nm.Ir.n_slot <- Ir.Snone;
+        v
+    | None -> resolve_unscoped env nm
+  in
+  match env.Env.scopes with
+  | [] -> resolve_unscoped env nm
+  | sc :: rest -> (
+      match sc.Env.sc_comp with
+      | Some ci -> (
+          match
+            Layout.find_field env.Env.dbg.Dbgi.abi ci.Env.ci_comp name
+          with
+          | Some fi ->
+              nm.Ir.n_slot <-
+                Ir.Smember { m_comp = ci.Env.ci_comp; m_fi = fi };
+              member_value env ~fi ~addr:ci.Env.ci_addr
+                ~base_sym:ci.Env.ci_sym ~sep:ci.Env.ci_sep name
+          | None -> outer rest)
+      | None -> (
+          match sc.Env.sc_lookup name with
+          | Some v ->
+              nm.Ir.n_slot <- Ir.Snone;
+              v
+          | None -> outer rest))
+
+let name_value env (nm : Ir.name) =
+  let ls = env.Env.lstats in
+  match nm.Ir.n_slot with
+  | Ir.Sdynamic ->
+      ls.Env.l_dynamic <- ls.Env.l_dynamic + 1;
+      Env.lookup env nm.Ir.n_name
+  | Ir.Snone ->
+      ls.Env.l_misses <- ls.Env.l_misses + 1;
+      resolve_name env nm
+  | Ir.Smember { m_comp; m_fi } -> (
+      match env.Env.scopes with
+      | { Env.sc_comp = Some ci; _ } :: _ when ci.Env.ci_comp == m_comp ->
+          ls.Env.l_hits <- ls.Env.l_hits + 1;
+          member_value env ~fi:m_fi ~addr:ci.Env.ci_addr
+            ~base_sym:ci.Env.ci_sym ~sep:ci.Env.ci_sep nm.Ir.n_name
+      | _ ->
+          ls.Env.l_misses <- ls.Env.l_misses + 1;
+          ls.Env.l_stale <- ls.Env.l_stale + 1;
+          resolve_name env nm)
+  | Ir.Scached { c_stamp; c_value } ->
+      if Env.stamp_valid env c_stamp then begin
+        ls.Env.l_hits <- ls.Env.l_hits + 1;
+        c_value
+      end
+      else begin
+        ls.Env.l_misses <- ls.Env.l_misses + 1;
+        ls.Env.l_stale <- ls.Env.l_stale + 1;
+        resolve_name env nm
+      end
+
+(* Effect-free singleton operands (Ir.pure_single): evaluated with a
+   direct call instead of a nested generator. *)
+let rec single env (e : Ir.expr) =
+  match e with
+  | Ir.Lit l -> l.Ir.l_value
+  | Ir.Name nm -> name_value env nm
+  | Ir.Underscore -> (Env.current_scope env).Env.sc_value
+  | Ir.Group inner -> single env inner
+  | _ -> invalid_arg "Semantics.single: not a pure singleton"
 
 (* --- traversal ---------------------------------------------------------- *)
 
@@ -218,8 +302,8 @@ let call_function env callee args =
   let dbg = env.Env.dbg in
   let name =
     match callee with
-    | Ast.Name n -> n
-    | _ -> Error.fail "only named functions can be called"
+    | Some n -> n
+    | None -> Error.fail "only named functions can be called"
   in
   let ftype =
     match dbg.Dbgi.find_variable name with
@@ -245,6 +329,8 @@ let call_function env callee args =
     try dbg.Dbgi.call_func name cvals
     with Failure msg -> Error.fail msg
   in
+  (* the target ran: frames may have come and gone, memory moved *)
+  Env.bump_ext env;
   let sym =
     if sym_on env then
       Symbolic.postfix (Symbolic.atom name)

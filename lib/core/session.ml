@@ -7,32 +7,45 @@ type t = {
   env : Env.t;
   mutable engine : engine;
   mutable max_values : int;
+  mutable lower : bool;
 }
 
+(* The resolution cache snoops the same write-generation counter as the
+   data cache (when the interface has one): a store that bypassed us
+   invalidates cached global slots exactly when it drops cached lines. *)
 let create ?(engine = Seq_engine) dbg =
-  { env = Env.create dbg; engine; max_values = 0 }
+  let probe = Duel_dbgi.Dcache.coherence_probe dbg in
+  { env = Env.create ?probe dbg; engine; max_values = 0; lower = true }
 
 let parse session src =
   let tenv = session.env.Env.dbg.Dbgi.tenv in
   let is_typename name = Tenv.find_typedef tenv name <> None in
   Parser.parse ~is_typename ~abi:session.env.Env.dbg.Dbgi.abi src
 
-let eval session ast =
+let compile session ast =
+  let mode = if session.lower then Lower.Cached else Lower.Dynamic in
+  Lower.lower ~mode session.env ast
+
+let eval_ir session ir =
   match session.engine with
-  | Seq_engine -> Eval_seq.eval session.env ast
-  | Sm_engine -> Eval_sm.eval session.env ast
+  | Seq_engine -> Eval_seq.eval session.env ir
+  | Sm_engine -> Eval_sm.eval session.env ir
+
+let eval session ast = eval_ir session (compile session ast)
 
 (* Commands are flush points: any stores the data cache coalesced during
    evaluation reach the target before control returns, so the inferior's
    own code (and tests reading memory directly) see consistent state. *)
 let flush_writes session = Duel_dbgi.Dcache.flush session.env.Env.dbg
 
-let drive session ast =
+let drive_ir session ir =
   let depth = Env.scope_depth session.env in
-  let n = Seq.fold_left (fun acc _ -> acc + 1) 0 (eval session ast) in
+  let n = Seq.fold_left (fun acc _ -> acc + 1) 0 (eval_ir session ir) in
   Env.restore_scope_depth session.env depth;
   flush_writes session;
   n
+
+let drive session ast = drive_ir session (compile session ast)
 
 let format_value session v =
   let threshold = session.env.Env.flags.Env.compress in
@@ -94,3 +107,11 @@ let cache_stats session =
       Printf.sprintf "memory cache: on (%d lines resident)"
         (Duel_dbgi.Dcache.cached_lines dbg)
       :: Duel_dbgi.Dcache.to_lines st
+
+let lower_stats session =
+  let ls = session.env.Env.lstats in
+  [
+    Printf.sprintf "lowering: %s" (if session.lower then "on" else "off");
+    Printf.sprintf "slot lookups: %d hits, %d misses (%d stale), %d dynamic"
+      ls.Env.l_hits ls.Env.l_misses ls.Env.l_stale ls.Env.l_dynamic;
+  ]

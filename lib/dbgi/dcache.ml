@@ -44,15 +44,25 @@ let fresh_stats () =
     backend_other = 0;
   }
 
-type line = { base : int; buf : bytes; mutable dirty : bool; mutable tick : int }
+(* Lines are threaded on an intrusive doubly-linked recency list (MRU at
+   [mru], LRU at [lru]), so a [touch] is pointer surgery and eviction is
+   O(1) instead of a full-table minimum scan. *)
+type line = {
+  base : int;
+  buf : bytes;
+  mutable dirty : bool;
+  mutable prev : line option;  (* towards MRU *)
+  mutable next : line option;  (* towards LRU *)
+}
 
 type cache = {
   cfg : config;
   backend : Dbgi.t;
   lines : (int, line) Hashtbl.t;  (* keyed by line base address *)
+  mutable mru : line option;
+  mutable lru : line option;
   mutable pending : (int * bytes) list;  (* disjoint, ascending addresses *)
   mutable pending_bytes : int;
-  mutable clock : int;
   mutable last_gen : int;
   st : stats;
 }
@@ -63,9 +73,30 @@ let line_bases c addr len =
   let rec go base last = if base > last then [] else base :: go (base + c.cfg.line_size) last in
   go (line_base c addr) (line_base c (addr + len - 1))
 
+let unlink c l =
+  (match l.prev with Some p -> p.next <- l.next | None -> ());
+  (match l.next with Some n -> n.prev <- l.prev | None -> ());
+  (match c.mru with Some m when m == l -> c.mru <- l.next | _ -> ());
+  (match c.lru with Some m when m == l -> c.lru <- l.prev | _ -> ());
+  l.prev <- None;
+  l.next <- None
+
+let push_front c l =
+  l.next <- c.mru;
+  (match c.mru with Some m -> m.prev <- Some l | None -> c.lru <- Some l);
+  c.mru <- Some l
+
 let touch c line =
-  c.clock <- c.clock + 1;
-  line.tick <- c.clock
+  match c.mru with
+  | Some m when m == line -> ()
+  | _ ->
+      unlink c line;
+      push_front c line
+
+let clear_lines c =
+  Hashtbl.reset c.lines;
+  c.mru <- None;
+  c.lru <- None
 
 let resync_gen c =
   match c.cfg.coherence with Some probe -> c.last_gen <- probe () | None -> ()
@@ -86,7 +117,7 @@ let flush_cache c =
 
 let invalidate_cache c =
   flush_cache c;
-  Hashtbl.reset c.lines;
+  clear_lines c;
   c.st.invalidations <- c.st.invalidations + 1
 
 (* Snoop the coherence generation: a store that bypassed this cache (the
@@ -99,19 +130,14 @@ let check_coherence c =
   | Some probe -> if probe () <> c.last_gen then invalidate_cache c
 
 let evict_one c =
-  let victim =
-    Hashtbl.fold
-      (fun _ l acc ->
-        match acc with Some v when v.tick <= l.tick -> acc | _ -> Some l)
-      c.lines None
-  in
-  match victim with
+  match c.lru with
   | None -> ()
   | Some l ->
       (* A dirty victim still has unflushed bytes in [pending]; flushing
          first keeps the invariant that every pending byte lives in a
          cached line, so fills can never resurrect stale backend data. *)
       if l.dirty then flush_cache c;
+      unlink c l;
       Hashtbl.remove c.lines l.base
 
 let fill c base =
@@ -119,8 +145,8 @@ let fill c base =
   c.st.backend_reads <- c.st.backend_reads + 1;
   let buf = c.backend.Dbgi.get_bytes ~addr:base ~len:c.cfg.line_size in
   if Hashtbl.length c.lines >= c.cfg.max_lines then evict_one c;
-  let l = { base; buf; dirty = false; tick = 0 } in
-  touch c l;
+  let l = { base; buf; dirty = false; prev = None; next = None } in
+  push_front c l;
   Hashtbl.replace c.lines base l;
   l
 
@@ -252,7 +278,7 @@ let around_target_op c op =
     ~finally:(fun () ->
       (* invalidate even if the call raised: the target may have run and
          mutated memory before failing *)
-      Hashtbl.reset c.lines;
+      clear_lines c;
       c.st.invalidations <- c.st.invalidations + 1;
       resync_gen c)
     op
@@ -287,9 +313,10 @@ let wrap ?(config = default_config) backend =
       cfg = config;
       backend;
       lines = Hashtbl.create (min config.max_lines 64);
+      mru = None;
+      lru = None;
       pending = [];
       pending_bytes = 0;
-      clock = 0;
       last_gen =
         (match config.coherence with Some probe -> probe () | None -> 0);
       st = fresh_stats ();
@@ -311,6 +338,9 @@ let wrap ?(config = default_config) backend =
   dbg
 
 let is_cached dbg = find dbg <> None
+
+let coherence_probe dbg =
+  Option.bind (find dbg) (fun c -> c.cfg.coherence)
 let stats dbg = Option.map (fun c -> c.st) (find dbg)
 let cached_lines dbg =
   match find dbg with None -> 0 | Some c -> Hashtbl.length c.lines

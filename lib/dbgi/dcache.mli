@@ -69,6 +69,11 @@ val wrap : ?config:config -> Dbgi.t -> Dbgi.t
 val is_cached : Dbgi.t -> bool
 (** Whether [dbg] was produced by {!wrap} (physical identity). *)
 
+val coherence_probe : Dbgi.t -> (unit -> int) option
+(** The write-generation probe the cache behind [dbg] was configured
+    with, if any — clients that keep derived state (e.g. the evaluator's
+    name-resolution cache) can snoop the same generation counter. *)
+
 val stats : Dbgi.t -> stats option
 (** Live counters of the cache behind [dbg], if any. *)
 

@@ -4,10 +4,24 @@ module Tenv = Duel_ctype.Tenv
 module Dbgi = Duel_dbgi.Dbgi
 module Inferior = Duel_target.Inferior
 module Ast = Duel_core.Ast
+module Ir = Duel_core.Ir
+module Lower = Duel_core.Lower
 module Env = Duel_core.Env
 module Value = Duel_core.Value
 module Semantics = Duel_core.Semantics
 module Eval = Duel_core.Eval_seq
+
+(* Lowered bodies are memoized per AST node (physical identity: Mast
+   shares subtrees only by reference).  Dynamic mode: this environment
+   has no coherence probe and its frames come and go with every call, so
+   resolution slots could go stale undetected — the interpreter takes
+   the full lookup chain, as it always did. *)
+module Acache = Hashtbl.Make (struct
+  type t = Ast.expr
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
 
 type event =
   | Enter of { func : string }
@@ -23,6 +37,7 @@ type t = {
   inf : Inferior.t;
   env : Env.t;  (* private evaluation environment of the running program *)
   funcs : (string, Mast.func) Hashtbl.t;
+  lowered : Ir.expr Acache.t;
   mutable hook : (event -> unit) option;
   mutable step_limit : int;
   mutable steps : int;
@@ -37,28 +52,39 @@ let fire t event = match t.hook with Some h -> h event | None -> ()
 
 (* --- expression evaluation (single-valued C view of DUEL eval) --------- *)
 
-let first_value t e =
-  match (Eval.eval t.env e) () with
+let ir t e =
+  match Acache.find_opt t.lowered e with
+  | Some lowered -> lowered
+  | None ->
+      let lowered = Lower.lower ~mode:Lower.Dynamic t.env e in
+      Acache.add t.lowered e lowered;
+      lowered
+
+let first_value_ir t lowered =
+  match (Eval.eval t.env lowered) () with
   | Seq.Cons (v, _) -> Some v
   | Seq.Nil -> None
 
-let eval1 t e =
-  match first_value t e with
+let first_value t e = first_value_ir t (ir t e)
+
+let eval1_ir t lowered =
+  match first_value_ir t lowered with
   | Some v -> v
   | None -> raise (Runtime_error "expression produced no value")
+
+let eval1 t e = eval1_ir t (ir t e)
 
 let truth t e =
   match first_value t e with
   | Some v -> Value.truth (Duel_target.Backend.direct ~cache:false t.inf) v
   | None -> false
 
-let drain t e = Seq.iter ignore (Eval.eval t.env e)
+let drain t e = Seq.iter ignore (Eval.eval t.env (ir t e))
 
 let resolve t te =
   Semantics.resolve_type t.env
-    ~eval_int:(fun e ->
-      Value.to_int64 t.env.Env.dbg (eval1 t e))
-    te
+    ~eval_int:(fun e -> Value.to_int64 t.env.Env.dbg (eval1_ir t e))
+    (Lower.lower_type ~mode:Lower.Dynamic t.env te)
 
 (* --- statement execution ------------------------------------------------ *)
 
@@ -204,6 +230,7 @@ let load inf src =
          immediately (write-through), not sit in a debugger-side cache *)
       env = Env.create (Duel_target.Backend.direct ~cache:false inf);
       funcs = Hashtbl.create 8;
+      lowered = Acache.create 64;
       hook = None;
       step_limit = 10_000_000;
       steps = 0;

@@ -1,0 +1,204 @@
+(* Differential tests for the lowering layer: slotted (cached) resolution
+   and the Dynamic-slot ablation must produce identical output — value
+   sequences AND symbolic strings — on both engines, over the shared
+   corpus, random expressions, and directed cache-invalidation cases
+   (alias redefined mid-query, scope shadowing, external stores). *)
+
+open Support
+module Session = Duel_core.Session
+module Env = Duel_core.Env
+module Inferior = Duel_target.Inferior
+module Interp = Duel_minic.Interp
+
+let configs =
+  [
+    ("seq/lowered", Session.Seq_engine, true);
+    ("seq/dynamic", Session.Seq_engine, false);
+    ("sm/lowered", Session.Sm_engine, true);
+    ("sm/dynamic", Session.Sm_engine, false);
+  ]
+
+let run_config engine lower query =
+  let k = kit ~engine () in
+  k.session.Session.lower <- lower;
+  let lines = exec k query in
+  let out = Inferior.take_output k.inf in
+  let depth = Env.scope_depth k.session.Session.env in
+  (lines, out, depth)
+
+let corpus_case query =
+  Support.case ("lowered = dynamic: " ^ query) (fun () ->
+      let l0, o0, d0 = run_config Session.Seq_engine true query in
+      List.iter
+        (fun (name, engine, lower) ->
+          let l, o, d = run_config engine lower query in
+          Alcotest.(check (list string)) (name ^ " output lines") l0 l;
+          Alcotest.(check string) (name ^ " target stdout") o0 o;
+          Alcotest.(check int) (name ^ " scope depth restored") 0 d)
+        configs;
+      Alcotest.(check int) "reference scope depth restored" 0 d0)
+
+let prop_modes_agree =
+  QCheck2.Test.make ~name:"lowered = dynamic on random expressions"
+    ~count:150 Test_engines.gen_query (fun query ->
+      let reference = run_config Session.Seq_engine true query in
+      List.for_all
+        (fun (_, engine, lower) ->
+          let l, o, d = run_config engine lower query in
+          let l0, o0, _ = reference in
+          l = l0 && o = o0 && d = 0)
+        configs)
+
+(* --- directed invalidation cases ---------------------------------------- *)
+
+let four_way query check =
+  List.iter
+    (fun (name, engine, lower) ->
+      let l, _, d = run_config engine lower query in
+      check name l;
+      Alcotest.(check int) (name ^ " scope depth restored") 0 d)
+    configs
+
+(* The alias is redefined by [:=] between the two pulls of [j + 1]: the
+   slot cached under j=1 must be invalidated by the alias-generation
+   bump, not reused. *)
+let alias_redefined_mid_query () =
+  four_way "(j := (1,5)) => j + 1" (fun name lines ->
+      Alcotest.(check int) (name ^ " two values") 2 (List.length lines);
+      List.iter2
+        (fun suffix line ->
+          let n = String.length line and sn = String.length suffix in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S ends with %S" name line suffix)
+            true
+            (n >= sn && String.sub line (n - sn) sn = suffix))
+        [ " = 2"; " = 6" ] lines)
+
+(* One [value] node, two with-subjects: under argv's scope it must fall
+   through to the alias (and cache that); under L's member scope the
+   cached alias slot is stale — the member shadows it.  Then the same in
+   the other order, staling a member slot into an alias. *)
+let scope_shadowing () =
+  let starts_with prefix line =
+    String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  in
+  four_way "(value := 7) => (argv, L)->value" (fun name lines ->
+      match lines with
+      | [ a; b ] ->
+          Alcotest.(check string) (name ^ " alias first") "value = 7" a;
+          Alcotest.(check bool)
+            (name ^ " member second: " ^ b)
+            true
+            (starts_with "L->value = " b)
+      | _ -> Alcotest.failf "%s: expected 2 lines, got %d" name (List.length lines));
+  four_way "(value := 7) => (L, argv)->value" (fun name lines ->
+      match lines with
+      | [ a; b ] ->
+          Alcotest.(check bool)
+            (name ^ " member first: " ^ a)
+            true
+            (starts_with "L->value = " a);
+          Alcotest.(check string) (name ^ " alias second") "value = 7" b
+      | _ -> Alcotest.failf "%s: expected 2 lines, got %d" name (List.length lines))
+
+(* A member slot must rebuild from the live scope subject on every hit:
+   two subjects of the same struct type reuse the slot's field layout but
+   not its address. *)
+let member_slot_rebuilds () =
+  let k = kit () in
+  let direct = exec k "L->value, L->next->value" in
+  let via_with = exec k "(L, L->next)->value" in
+  Alcotest.(check int) "two values" 2 (List.length via_with);
+  List.iter2
+    (fun d w ->
+      let value_of line =
+        match String.rindex_opt line '=' with
+        | Some i -> String.sub line i (String.length line - i)
+        | None -> line
+      in
+      Alcotest.(check string) "same value through the slot" (value_of d)
+        (value_of w))
+    direct via_with
+
+(* Slot hit/miss accounting: one command resolving a global 100 times
+   costs one miss; the ablation takes the dynamic path every time. *)
+let slot_counters () =
+  let k = kit () in
+  ignore (exec k "(1..100) + i0");
+  let ls = k.session.Session.env.Env.lstats in
+  Alcotest.(check bool) "lowered: hits dominate" true (ls.Env.l_hits >= 99);
+  Alcotest.(check bool) "lowered: no dynamic lookups" true (ls.Env.l_dynamic = 0);
+  let k2 = kit () in
+  k2.session.Session.lower <- false;
+  ignore (exec k2 "(1..100) + i0");
+  let ls2 = k2.session.Session.env.Env.lstats in
+  Alcotest.(check bool) "dynamic: all lookups dynamic" true
+    (ls2.Env.l_dynamic >= 100);
+  Alcotest.(check int) "dynamic: no slot hits" 0 ls2.Env.l_hits
+
+(* Re-evaluating compiled IR must hit the slots the first run populated
+   (this is what a conditional breakpoint does on every step). *)
+let compiled_ir_reuse () =
+  let k = kit () in
+  let s = k.session in
+  let ir = Session.compile s (Session.parse s "(1..10) + i0") in
+  let run () =
+    List.of_seq (Seq.map (Session.format_value s) (Session.eval_ir s ir))
+  in
+  let first = run () in
+  let hits_after_first = s.Session.env.Env.lstats.Env.l_hits in
+  let second = run () in
+  let hits_after_second = s.Session.env.Env.lstats.Env.l_hits in
+  Alcotest.(check (list string)) "same output on reuse" first second;
+  Alcotest.(check bool) "second run served from slots" true
+    (hits_after_second - hits_after_first >= 10)
+
+(* External stores: a mini-C program mutating memory bumps
+   Memory.generation; the next slot check must notice (through the same
+   coherence probe the data cache snoops) and re-resolve. *)
+let minic_program = {|
+int g;
+int bump() { g = g + 1; return g; }
+|}
+
+let minic_step_invalidates () =
+  let inf = Inferior.create () in
+  Duel_target.Stdfuncs.register_all inf;
+  let t = Interp.load inf minic_program in
+  let s = Session.create (Duel_target.Backend.direct inf) in
+  let ir = Session.compile s (Session.parse s "g") in
+  let run () =
+    List.of_seq (Seq.map (Session.format_value s) (Session.eval_ir s ir))
+  in
+  Alcotest.(check (list string)) "before the program runs" [ "g = 0" ] (run ());
+  let stale_before = s.Session.env.Env.lstats.Env.l_stale in
+  ignore (Interp.call_int t "bump" []);
+  Alcotest.(check (list string)) "after one program step" [ "g = 1" ] (run ());
+  Alcotest.(check bool) "the cached slot was invalidated" true
+    (s.Session.env.Env.lstats.Env.l_stale > stale_before)
+
+(* Folding never changes @-stop semantics: a source literal stops on
+   equality, a folded constant (or parenthesized literal) on truth. *)
+let until_stop_forms () =
+  four_way "(3,2,1,0,5)@0" (fun name lines ->
+      Alcotest.(check int) (name ^ " equality-stop") 3 (List.length lines));
+  four_way "(3,2,1,0,5)@(0)" (fun name lines ->
+      (* truth-stop: (0) is never true, all five values survive *)
+      Alcotest.(check int) (name ^ " truth-stop parens") 5 (List.length lines));
+  four_way "(3,2,1,0,5)@(1+1)" (fun name lines ->
+      (* folded to 2 but not a source literal: truth-stop, 2 is true *)
+      Alcotest.(check int) (name ^ " truth-stop folded") 0 (List.length lines))
+
+let suite =
+  List.map corpus_case Test_engines.corpus
+  @ [
+      QCheck_alcotest.to_alcotest prop_modes_agree;
+      Support.case "alias redefined mid-query invalidates" alias_redefined_mid_query;
+      Support.case "scope shadowing alias vs member" scope_shadowing;
+      Support.case "member slot rebuilds per subject" member_slot_rebuilds;
+      Support.case "slot hit/miss counters" slot_counters;
+      Support.case "compiled IR reuse hits slots" compiled_ir_reuse;
+      Support.case "mini-C step invalidates via generation" minic_step_invalidates;
+      Support.case "until stop forms survive folding" until_stop_forms;
+    ]
