@@ -649,6 +649,148 @@ let l1 ~quick ~json_file () =
   | None -> ());
   pass
 
+(* --- S1: the serving layer ------------------------------------------------ *)
+
+(* Two ways to run the same query against a remote target over loopback
+   TCP.  Serial: the classic remote evaluation — the query runs on the
+   client and every scalar crosses the wire as its own packet
+   round-trip (cache off; this is the configuration the serving layer
+   exists to beat).  Pipelined: 8 clients ship whole queries as
+   [qDuelEval] and keep them all in flight in the server's one select
+   loop.  The gate is per-query throughput: pipelined evals must beat
+   the serial round-trip client by >= 2x, or the bench exits nonzero. *)
+
+let s1_gate = 2.0
+
+type s1_result = {
+  s_clients : int;
+  s_queries : int;
+  s_serial_s : float;
+  s_serial_packets : int;
+  s_pipelined_s : float;
+  s_pipelined_packets : int;
+}
+
+let s1_speedup r =
+  r.s_serial_s /. float_of_int r.s_queries
+  // (r.s_pipelined_s /. float_of_int r.s_queries)
+
+let s1_json ~quick r stats_wire =
+  Printf.sprintf
+    "{\n\
+    \  \"bench\": \"serve_pipelined_vs_serial\",\n\
+    \  \"quick\": %b,\n\
+    \  \"clients\": %d,\n\
+    \  \"queries\": %d,\n\
+    \  \"serial_s\": %.6f,\n\
+    \  \"serial_packets\": %d,\n\
+    \  \"pipelined_s\": %.6f,\n\
+    \  \"pipelined_packets\": %d,\n\
+    \  \"per_query_serial_s\": %.6f,\n\
+    \  \"per_query_pipelined_s\": %.6f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"gate\": %.1f,\n\
+    \  \"server_stats\": %S,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    quick r.s_clients r.s_queries r.s_serial_s r.s_serial_packets
+    r.s_pipelined_s r.s_pipelined_packets
+    (r.s_serial_s /. float_of_int r.s_queries)
+    (r.s_pipelined_s /. float_of_int r.s_queries)
+    (s1_speedup r) s1_gate stats_wire
+    (s1_speedup r >= s1_gate)
+
+let s1 ~quick ~json_file () =
+  header
+    "S1  serving layer: 8 pipelined qDuelEval clients vs one serial \
+     round-trip-per-scalar client, loopback TCP (gate: pipelined >= 2x \
+     per-query throughput)";
+  let module Server = Duel_serve.Server in
+  let module Client = Duel_serve.Client in
+  let n = 256 in
+  let nclients = 8 in
+  let queries = if quick then 24 else 96 in
+  let query = Printf.sprintf "big[..%d] >? 0" n in
+  let inf = Scenarios.big_array n in
+  let srv = Server.create inf in
+  let port = Server.listen_tcp srv ~host:"127.0.0.1" ~port:0 in
+  let addr = Printf.sprintf "127.0.0.1:%d" port in
+  let pump () = ignore (Server.step srv 0.01) in
+  let st = Server.stats srv in
+  (* serial: per-scalar round-trips through the network Dbgi, cache off *)
+  let serial_cl = Client.connect ~pump addr in
+  pump ();
+  let dbg =
+    Client.dbgi ~cache:false serial_cl
+      (Duel_rsp.Client.debug_info_of_inferior inf)
+  in
+  let s = Session.create dbg in
+  let ast = Session.parse s query in
+  let packets0 = st.Server.packets in
+  let s_serial_s =
+    time_run (fun () ->
+        for _ = 1 to queries do
+          ignore (Session.drive s ast)
+        done)
+  in
+  let s_serial_packets = st.Server.packets - packets0 in
+  Client.close serial_cl;
+  pump ();
+  (* pipelined: every client's eval is in flight before any is collected *)
+  let clients = List.init nclients (fun _ -> Client.connect ~pump addr) in
+  pump ();
+  let packets1 = st.Server.packets in
+  let rounds = queries / nclients in
+  let s_pipelined_s =
+    time_run (fun () ->
+        for _ = 1 to rounds do
+          List.iter (fun cl -> Client.eval_send cl query) clients;
+          List.iter (fun cl -> ignore (Client.eval_recv cl)) clients
+        done)
+  in
+  let s_pipelined_packets = st.Server.packets - packets1 in
+  let stats_wire = Server.stats_wire srv in
+  List.iter Client.close clients;
+  Server.shutdown srv;
+  while Server.step srv 0.0 do
+    ()
+  done;
+  let r =
+    {
+      s_clients = nclients;
+      s_queries = rounds * nclients;
+      s_serial_s;
+      s_serial_packets;
+      s_pipelined_s;
+      s_pipelined_packets;
+    }
+  in
+  Printf.printf "  %-28s %12s %12s %10s\n" "mode" "total" "per query"
+    "packets";
+  Printf.printf "  %-28s %s %s %10d\n" "serial (round-trip/scalar)"
+    (ns (r.s_serial_s *. 1e9))
+    (ns (r.s_serial_s /. float_of_int queries *. 1e9))
+    r.s_serial_packets;
+  Printf.printf "  %-28s %s %s %10d\n"
+    (Printf.sprintf "pipelined (%d x qDuelEval)" nclients)
+    (ns (r.s_pipelined_s *. 1e9))
+    (ns (r.s_pipelined_s /. float_of_int r.s_queries *. 1e9))
+    r.s_pipelined_packets;
+  let pass = s1_speedup r >= s1_gate in
+  verdict pass
+    (Printf.sprintf
+       "shipping the query is %.1fx faster per query than shipping the \
+        scalars (gate %.1fx); packets %d -> %d"
+       (s1_speedup r) s1_gate r.s_serial_packets r.s_pipelined_packets);
+  (match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (s1_json ~quick r stats_wire);
+      close_out oc;
+      Printf.printf "  (wrote %s)\n" file
+  | None -> ());
+  pass
+
 (* --- C1: conciseness table ------------------------------------------------ *)
 
 let c1 () =
@@ -678,14 +820,17 @@ let () =
   in
   let json_file = find_flag "--json" argv in
   let json_lower = find_flag "--json-lower" argv in
+  let json_serve = find_flag "--json-serve" argv in
   let pass =
     if quick then (
       (* CI smoke mode: the gated tiers only, small sizes. *)
       Printf.printf
-        "DUEL benchmarks, quick mode (D1 data-cache and L1 lowering tiers)\n";
+        "DUEL benchmarks, quick mode (D1 data-cache, L1 lowering and S1 \
+         serving tiers)\n";
       let d1_ok = d1 ~quick ~json_file () in
       let l1_ok = l1 ~quick ~json_file:json_lower () in
-      d1_ok && l1_ok)
+      let s1_ok = s1 ~quick ~json_file:json_serve () in
+      d1_ok && l1_ok && s1_ok)
     else begin
       Printf.printf
         "DUEL reproduction benchmarks (see DESIGN.md section 4 and \
@@ -699,9 +844,10 @@ let () =
       b7 ();
       let d1_ok = d1 ~quick:false ~json_file () in
       let l1_ok = l1 ~quick:false ~json_file:json_lower () in
+      let s1_ok = s1 ~quick:false ~json_file:json_serve () in
       c1 ();
       Printf.printf "\ndone.\n";
-      d1_ok && l1_ok
+      d1_ok && l1_ok && s1_ok
     end
   in
   exit (if pass then 0 else 1)

@@ -272,6 +272,126 @@ let run scenario engine use_rsp no_cache program_file exprs =
            with ex -> Printf.printf "error: %s\n" (Printexc.to_string ex)))
         exprs
 
+(* --- serve: the network query service ------------------------------------ *)
+
+module Serve_server = Duel_serve.Server
+module Serve_client = Duel_serve.Client
+
+(* "unix:PATH" | "HOST:PORT" | "PORT", for the listening side. *)
+let parse_listen addr =
+  if String.length addr > 5 && String.sub addr 0 5 = "unix:" then
+    `Unix (String.sub addr 5 (String.length addr - 5))
+  else
+    let host, port =
+      match String.rindex_opt addr ':' with
+      | Some i ->
+          ( String.sub addr 0 i,
+            String.sub addr (i + 1) (String.length addr - i - 1) )
+      | None -> ("127.0.0.1", addr)
+    in
+    let host = if host = "" || host = "localhost" then "127.0.0.1" else host in
+    match int_of_string_opt port with
+    | Some p -> `Tcp (host, p)
+    | None ->
+        Printf.eprintf "bad listen address %s (want unix:PATH or HOST:PORT)\n"
+          addr;
+        exit 2
+
+let serve scenario listen idle_timeout max_conns =
+  let inf = make_inferior scenario in
+  let config =
+    { Serve_server.default_config with idle_timeout; max_conns }
+  in
+  let srv = Serve_server.create ~config inf in
+  (match parse_listen listen with
+  | `Unix path ->
+      Serve_server.listen_unix srv path;
+      Printf.printf "oduel serving scenario %s on unix:%s\n%!" scenario path
+  | `Tcp (host, port) ->
+      let port = Serve_server.listen_tcp srv ~host ~port in
+      Printf.printf "oduel serving scenario %s on %s:%d\n%!" scenario host port);
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle (fun _ -> Serve_server.shutdown srv));
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Serve_server.run srv;
+  print_endline "oduel server: shut down";
+  List.iter print_endline (Serve_server.stats_to_lines srv)
+
+(* --- connect: a thin client over the wire -------------------------------- *)
+
+let connect_help =
+  {|Commands:
+  <expr>                 evaluate locally over the network interface
+  remote <expr>          ship the whole query to the server (qDuelEval)
+  info server            the server's counters (qDuelStats)
+  info cache             local data-cache counters
+  help                   this text
+  quit                   exit|}
+
+let print_server_stats cl =
+  List.iter
+    (fun (k, v) -> Printf.printf "%-12s %d\n" k v)
+    (Serve_client.server_stats cl)
+
+let connect_command session cl line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> ()
+  | [ "help" ] -> print_endline connect_help
+  | [ "info"; "server" ] -> print_server_stats cl
+  | [ "info"; "cache" ] ->
+      List.iter print_endline (Session.cache_stats session)
+  | "remote" :: rest ->
+      List.iter print_endline (Serve_client.eval cl (String.concat " " rest))
+  | _ -> List.iter print_endline (Session.exec session (String.trim line))
+
+let connect addr scenario engine no_cache exprs =
+  (* The gdb model: debug info (symbols, types, frame layouts) comes from
+     a locally built twin of the served scenario — the builders are
+     deterministic, so addresses match — while live memory, allocation
+     and calls go over the wire. *)
+  let local = make_inferior scenario in
+  let di = Duel_rsp.Client.debug_info_of_inferior local in
+  let cl =
+    try Serve_client.connect addr
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot connect to %s: %s\n" addr (Unix.error_message e);
+      exit 1
+  in
+  let dbgi = Serve_client.dbgi ~cache:(not no_cache) cl di in
+  let engine =
+    match engine with "sm" -> Session.Sm_engine | _ -> Session.Seq_engine
+  in
+  let session = Session.create ~engine dbgi in
+  let eval_line line =
+    try connect_command session cl line
+    with e -> Printf.printf "error: %s\n" (Printexc.to_string e)
+  in
+  (match exprs with
+  | [] ->
+      Printf.printf
+        "oduel — connected to %s (scenario %s for symbols). Type help for \
+         help.\n"
+        addr scenario;
+      let rec loop () =
+        print_string "duel> ";
+        flush stdout;
+        match input_line stdin with
+        | "quit" | "exit" -> ()
+        | line ->
+            eval_line line;
+            loop ()
+        | exception End_of_file -> ()
+      in
+      loop ()
+  | exprs ->
+      List.iter
+        (fun e ->
+          Printf.printf "duel> %s\n" e;
+          eval_line e)
+        exprs);
+  Serve_client.close cl
+
 open Cmdliner
 
 let scenario_arg =
@@ -312,15 +432,76 @@ let exprs_arg =
     value & opt_all string []
     & info [ "e"; "eval" ] ~doc:"Evaluate $(docv) and exit (repeatable).")
 
+let repl_term =
+  Term.(
+    const run $ scenario_arg $ engine_arg $ rsp_arg $ no_cache_arg
+    $ program_arg $ exprs_arg)
+
+let serve_cmd =
+  let scenario_pos =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"SCENARIO" ~doc:"Debuggee: all, symtab, faulty, big:<n>.")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1:0"
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: unix:PATH, HOST:PORT, or PORT (port 0 picks a \
+             free port, printed on startup).")
+  in
+  let idle_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Reap connections silent this long (<= 0 disables).")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Concurrent connection cap.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a scenario to network clients over RSP (one select loop, \
+          many connections; SIGINT shuts down gracefully).")
+    Term.(const serve $ scenario_pos $ listen_arg $ idle_arg $ max_conns_arg)
+
+let connect_cmd =
+  let addr_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR" ~doc:"Server address: unix:PATH or HOST:PORT.")
+  in
+  let scenario_opt =
+    Arg.(
+      value & opt string "all"
+      & info [ "scenario" ]
+          ~doc:
+            "Scenario the server is running — built locally for symbols and \
+             types (the scenario builders are deterministic, so addresses \
+             match the served target).")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Connect to an oduel server: evaluate DUEL locally over the \
+          network interface, or `remote <expr>` to run queries \
+          server-side in one round-trip.")
+    Term.(
+      const connect $ addr_pos $ scenario_opt $ engine_arg $ no_cache_arg
+      $ exprs_arg)
+
 let cmd =
   let doc =
     "DUEL, a very high-level debugging language (USENIX W'93), on a \
      simulated C debuggee"
   in
-  Cmd.v
-    (Cmd.info "oduel" ~doc)
-    Term.(
-      const run $ scenario_arg $ engine_arg $ rsp_arg $ no_cache_arg
-      $ program_arg $ exprs_arg)
+  Cmd.group ~default:repl_term (Cmd.info "oduel" ~doc)
+    [ serve_cmd; connect_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -7,15 +7,22 @@
    same layering gdb's dcache puts over the remote protocol: the nub
    interface stays narrow, the client amortises it. *)
 
+(* How the cache learns that target memory changed behind its back.  An
+   in-process backend exposes a write-generation counter to snoop
+   ([Probe]); a genuinely remote transport has nothing to poll, so the
+   owner must tell the cache about stop boundaries ([Explicit] +
+   [mark_stale]/[invalidate]). *)
+type stale_policy = Probe of (unit -> int) | Explicit
+
 type config = {
   line_size : int;
   max_lines : int;
   max_pending : int;
-  coherence : (unit -> int) option;
+  stale_policy : stale_policy;
 }
 
 let default_config =
-  { line_size = 64; max_lines = 256; max_pending = 4096; coherence = None }
+  { line_size = 64; max_lines = 256; max_pending = 4096; stale_policy = Explicit }
 
 type stats = {
   mutable hits : int;
@@ -64,6 +71,7 @@ type cache = {
   mutable pending : (int * bytes) list;  (* disjoint, ascending addresses *)
   mutable pending_bytes : int;
   mutable last_gen : int;
+  mutable stale : bool;  (* [mark_stale]: drop lines on the next operation *)
   st : stats;
 }
 
@@ -99,7 +107,9 @@ let clear_lines c =
   c.lru <- None
 
 let resync_gen c =
-  match c.cfg.coherence with Some probe -> c.last_gen <- probe () | None -> ()
+  match c.cfg.stale_policy with
+  | Probe probe -> c.last_gen <- probe ()
+  | Explicit -> ()
 
 (* Push every coalesced range to the backend, in ascending address order
    (the list invariant), and mark all lines clean.  Ends by resyncing the
@@ -120,14 +130,21 @@ let invalidate_cache c =
   clear_lines c;
   c.st.invalidations <- c.st.invalidations + 1
 
-(* Snoop the coherence generation: a store that bypassed this cache (the
-   mini-C interpreter executing, a scenario builder poking memory, a
-   direct Memory.write in a test) bumps it, and we must drop every line.
-   Called on entry to every cached operation. *)
+(* Detect stores that bypassed this cache, on entry to every cached
+   operation.  An explicit [mark_stale] (a remote client observing a stop
+   boundary or a server-side eval) always wins; otherwise a [Probe]
+   policy snoops the write generation — the mini-C interpreter executing,
+   a scenario builder poking memory, a direct Memory.write in a test all
+   bump it — and any change drops every line. *)
 let check_coherence c =
-  match c.cfg.coherence with
-  | None -> ()
-  | Some probe -> if probe () <> c.last_gen then invalidate_cache c
+  if c.stale then begin
+    c.stale <- false;
+    invalidate_cache c
+  end
+  else
+    match c.cfg.stale_policy with
+    | Explicit -> ()
+    | Probe probe -> if probe () <> c.last_gen then invalidate_cache c
 
 let evict_one c =
   match c.lru with
@@ -318,7 +335,8 @@ let wrap ?(config = default_config) backend =
       pending = [];
       pending_bytes = 0;
       last_gen =
-        (match config.coherence with Some probe -> probe () | None -> 0);
+        (match config.stale_policy with Probe probe -> probe () | Explicit -> 0);
+      stale = false;
       st = fresh_stats ();
     }
   in
@@ -340,15 +358,21 @@ let wrap ?(config = default_config) backend =
 let is_cached dbg = find dbg <> None
 
 let coherence_probe dbg =
-  Option.bind (find dbg) (fun c -> c.cfg.coherence)
+  Option.bind (find dbg) (fun c ->
+      match c.cfg.stale_policy with Probe f -> Some f | Explicit -> None)
 let stats dbg = Option.map (fun c -> c.st) (find dbg)
 let cached_lines dbg =
   match find dbg with None -> 0 | Some c -> Hashtbl.length c.lines
 
 let flush dbg = match find dbg with None -> () | Some c -> flush_cache c
 
+let flush_all () = List.iter (fun (_, c) -> flush_cache c) !registry
+
 let invalidate dbg =
   match find dbg with None -> () | Some c -> invalidate_cache c
+
+let mark_stale dbg =
+  match find dbg with None -> () | Some c -> c.stale <- true
 
 let reset_stats dbg =
   match find dbg with

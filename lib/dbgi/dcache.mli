@@ -22,27 +22,52 @@
        target must see them) and invalidate every line after (target code
        can mutate anything).}}
 
-    {2 Coherency}
+    {2 Coherency contract}
 
-    A cache cannot see stores that bypass it.  For in-process backends
-    the [coherence] probe snoops {!Duel_mem.Memory.generation}: any
-    direct mutation (the mini-C interpreter executing, a test poking
-    memory) is detected on the next cached operation and drops all lines.
-    For genuinely remote transports there is no probe; the caller must
-    {!invalidate} whenever the target resumes. *)
+    A cache cannot see stores that bypass it.  Who tells it is the
+    {!stale_policy}:
+
+    {ul
+    {- [Probe f] — in-process backends.  [f] snoops
+       {!Duel_mem.Memory.generation}: any direct mutation (the mini-C
+       interpreter executing, a test poking memory) is detected on the
+       next cached operation and drops all lines.  Nothing else is
+       required of the owner.}
+    {- [Explicit] — probe-less operation, the genuinely remote
+       configuration: there is no counter to poll across the wire.  The
+       {e owner} of the interface must call {!mark_stale} (lazy: lines
+       drop on the next cached operation) or {!invalidate} (eager) at
+       every point where the target may have changed underneath it —
+       after the target resumes or stops, when the active frame count
+       reported by the transport changes, and after any server-side
+       evaluation ([qDuelEval]) that can write target memory.
+       [Duel_serve.Client] does exactly this on [qDuelFrames] deltas and
+       after every remote eval.}}
+
+    Under either policy, [alloc_space] and [call_func] still flush and
+    invalidate around themselves, and buffered writes are {e ours} — a
+    staleness event flushes them to the backend before dropping lines,
+    never discards them. *)
+
+(** How the cache learns about stores that bypassed it. *)
+type stale_policy =
+  | Probe of (unit -> int)
+      (** snoop a write-generation counter (in-process backends) *)
+  | Explicit
+      (** no probe: the owner calls {!mark_stale}/{!invalidate} at stop
+          boundaries (remote transports) *)
 
 type config = {
   line_size : int;  (** bytes per line; a positive power of two *)
   max_lines : int;  (** LRU bound on resident lines *)
   max_pending : int;
       (** buffered write bytes before an automatic flush *)
-  coherence : (unit -> int) option;
-      (** write-generation probe for in-process backends; [None] for
-          remote transports *)
+  stale_policy : stale_policy;
 }
 
 val default_config : config
-(** 64-byte lines, 256 lines (16 KiB), 4 KiB write buffer, no probe. *)
+(** 64-byte lines, 256 lines (16 KiB), 4 KiB write buffer, [Explicit]
+    staleness (no probe). *)
 
 type stats = {
   mutable hits : int;  (** read requests served entirely from cache *)
@@ -71,8 +96,9 @@ val is_cached : Dbgi.t -> bool
 
 val coherence_probe : Dbgi.t -> (unit -> int) option
 (** The write-generation probe the cache behind [dbg] was configured
-    with, if any — clients that keep derived state (e.g. the evaluator's
-    name-resolution cache) can snoop the same generation counter. *)
+    with ([Some f] iff its policy is [Probe f]) — clients that keep
+    derived state (e.g. the evaluator's name-resolution cache) can snoop
+    the same generation counter. *)
 
 val stats : Dbgi.t -> stats option
 (** Live counters of the cache behind [dbg], if any. *)
@@ -87,9 +113,20 @@ val flush : Dbgi.t -> unit
     (tests, the inferior's own code) see memory consistent between
     commands. *)
 
+val flush_all : unit -> unit
+(** [flush] every cache ever produced by {!wrap} — a shutdown or
+    checkpoint barrier when the caller has interfaces rather than the
+    caches behind them. *)
+
 val invalidate : Dbgi.t -> unit
 (** [flush] then drop every cached line.  Required after the target
     resumes on a probeless (remote) transport.  No-op if unwrapped. *)
+
+val mark_stale : Dbgi.t -> unit
+(** Lazy {!invalidate}: record that target memory may have changed, and
+    flush-then-drop on the {e next} cached operation.  This is the
+    [Explicit]-policy owner's cheap stop-boundary hook — marking twice
+    between operations costs one invalidation.  No-op if unwrapped. *)
 
 val reset_stats : Dbgi.t -> unit
 

@@ -116,8 +116,8 @@ let loopback ?(cache = true) inf =
       ~config:
         {
           Duel_dbgi.Dcache.default_config with
-          coherence =
-            Some
+          stale_policy =
+            Duel_dbgi.Dcache.Probe
               (fun () ->
                 Duel_mem.Memory.generation (Inferior.mem inf));
         }

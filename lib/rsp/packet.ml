@@ -23,17 +23,8 @@ let encode payload =
   let escaped = escape payload in
   Printf.sprintf "$%s#%02x" escaped (checksum escaped)
 
-let decode raw =
-  let n = String.length raw in
-  if n < 4 || raw.[0] <> '$' || raw.[n - 3] <> '#' then
-    raise (Malformed "missing $...#xx frame");
-  let body = String.sub raw 1 (n - 4) in
-  let declared =
-    try int_of_string ("0x" ^ String.sub raw (n - 2) 2)
-    with Failure _ -> raise (Malformed "bad checksum digits")
-  in
-  if checksum body <> declared then raise (Malformed "checksum mismatch");
-  (* undo escapes and run-length encoding *)
+(* Undo escapes and run-length encoding in a raw (verified) frame body. *)
+let unescape body =
   let b = Buffer.create (String.length body) in
   let rec go i =
     if i < String.length body then
@@ -59,6 +50,96 @@ let decode raw =
   in
   go 0;
   Buffer.contents b
+
+(* A byte-stream transport delivers frames split and coalesced arbitrarily
+   across reads, with ACK/NAK bytes (and, after a damaged exchange,
+   garbage) between them.  The deframer is the incremental state machine
+   a real remote stub runs: bytes go in as they arrive, complete events
+   come out, and anything unframeable is skipped until the next '$'. *)
+module Deframer = struct
+  type event = Frame of string | Bad of string | Ack | Nak
+
+  type state =
+    | Idle  (* between frames: expect '$', '+', '-'; skip junk *)
+    | Body  (* inside $...: accumulating raw body bytes *)
+    | Check1  (* seen '#': expect first checksum digit *)
+    | Check2 of char  (* expect second checksum digit *)
+
+  type t = {
+    mutable state : state;
+    body : Buffer.t;
+    mutable junk : int;
+  }
+
+  let create () = { state = Idle; body = Buffer.create 64; junk = 0 }
+  let junk t = t.junk
+  let pending t = t.state <> Idle
+
+  let hex_val c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - 48)
+    | 'a' .. 'f' -> Some (Char.code c - 87)
+    | 'A' .. 'F' -> Some (Char.code c - 55)
+    | _ -> None
+
+  (* Complete a frame whose raw body and checksum digits are in hand. *)
+  let finish t c1 c2 =
+    let body = Buffer.contents t.body in
+    Buffer.clear t.body;
+    t.state <- Idle;
+    match (hex_val c1, hex_val c2) with
+    | Some hi, Some lo ->
+        if checksum body <> (hi lsl 4) lor lo then Bad "checksum mismatch"
+        else begin
+          match unescape body with
+          | payload -> Frame payload
+          | exception Malformed msg -> Bad msg
+        end
+    | _ -> Bad "bad checksum digits"
+
+  let feed t buf off len =
+    if off < 0 || len < 0 || off + len > Bytes.length buf then
+      invalid_arg "Deframer.feed";
+    let events = ref [] in
+    let emit e = events := e :: !events in
+    for i = off to off + len - 1 do
+      let c = Bytes.get buf i in
+      match t.state with
+      | Idle -> (
+          match c with
+          | '$' -> t.state <- Body
+          | '+' -> emit Ack
+          | '-' -> emit Nak
+          | _ -> t.junk <- t.junk + 1)
+      | Body -> (
+          match c with
+          | '#' -> t.state <- Check1
+          | '$' ->
+              (* A '$' can only start a frame ('$' inside a body is
+                 escaped): the one in progress was cut short.  Report it
+                 and resync on the new frame. *)
+              Buffer.clear t.body;
+              emit (Bad "unterminated frame")
+          | c -> Buffer.add_char t.body c)
+      | Check1 -> t.state <- Check2 c
+      | Check2 c1 -> emit (finish t c1 c)
+    done;
+    List.rev !events
+end
+
+(* The whole-string API used by the in-process loopback: one complete
+   frame per call, strict about its shape, as before the deframer
+   existed.  Now a thin wrapper over [Deframer.feed]. *)
+let decode raw =
+  let n = String.length raw in
+  if n < 4 || raw.[0] <> '$' || raw.[n - 3] <> '#' then
+    raise (Malformed "missing $...#xx frame");
+  let d = Deframer.create () in
+  match Deframer.feed d (Bytes.unsafe_of_string raw) 0 n with
+  | [ Deframer.Frame payload ] when not (Deframer.pending d) && d.Deframer.junk = 0 ->
+      payload
+  | [ Deframer.Bad msg ] -> raise (Malformed msg)
+  | _ -> raise (Malformed "not exactly one frame")
 
 (* Memory packets are the hot path (one [m]/[M] per cache-line fill or
    coalesced write), so both codecs are single-pass loops over

@@ -3,9 +3,18 @@ module Memory = Duel_mem.Memory
 module Ctype = Duel_ctype.Ctype
 module Dbgi = Duel_dbgi.Dbgi
 
-type t = { inf : Inferior.t }
+(* Per-request resource bounds.  The stub fronts one shared target; a
+   greedy (or broken) client must get an error reply, not exhaust the
+   simulated heap or make the stub build an unbounded reply.  [E02] is
+   the resource-limit error, distinct from [E01] (target fault). *)
+type limits = { max_read : int; max_write : int; max_alloc : int }
 
-let create inf = { inf }
+let default_limits =
+  { max_read = 4096; max_write = 4096; max_alloc = 1 lsl 20 }
+
+type t = { inf : Inferior.t; limits : limits }
+
+let create ?(limits = default_limits) inf = { inf; limits }
 
 let parse_int s =
   try Int64.to_int (Int64.of_string ("0x" ^ s))
@@ -44,21 +53,25 @@ let rec handle_payload srv payload =
     match payload.[0] with
     | 'm' -> (
         let addr, len = read_cmd (String.sub payload 1 (String.length payload - 1)) in
-        match Memory.read mem ~addr ~len with
-        | data -> Packet.hex_of_bytes data
-        | exception Memory.Fault _ -> "E01")
+        if len < 0 || len > srv.limits.max_read then "E02"
+        else
+          match Memory.read mem ~addr ~len with
+          | data -> Packet.hex_of_bytes data
+          | exception Memory.Fault _ -> "E01")
     | 'M' -> (
         let rest = String.sub payload 1 (String.length payload - 1) in
         match split_once ':' rest with
         | None -> raise (Packet.Malformed "M: expected addr,len:hex")
         | Some (spec, hex) -> (
             let addr, len = read_cmd spec in
-            let data = Packet.bytes_of_hex hex in
-            if Bytes.length data <> len then "E02"
+            if len < 0 || len > srv.limits.max_write then "E02"
             else
-              match Memory.write mem ~addr data with
-              | () -> "OK"
-              | exception Memory.Fault _ -> "E01"))
+              let data = Packet.bytes_of_hex hex in
+              if Bytes.length data <> len then "E02"
+              else
+                match Memory.write mem ~addr data with
+                | () -> "OK"
+                | exception Memory.Fault _ -> "E01"))
     | 'q' -> query srv payload
     | '?' -> "S05"
     | 'H' -> "OK"
@@ -76,7 +89,14 @@ and query srv payload =
       (fun () ->
         with_prefix "qDuelAlloc:" (fun rest ->
             let len = parse_int rest in
-            Printf.sprintf "%x" (Inferior.alloc_data srv.inf ~size:len ~align:16)));
+            if len <= 0 || len > srv.limits.max_alloc then "E02"
+            else
+              match Inferior.alloc_data srv.inf ~size:len ~align:16 with
+              | addr -> Printf.sprintf "%x" addr
+              | exception (Invalid_argument _ | Failure _) ->
+                  (* heap exhaustion: a resource limit, not a protocol
+                     error — the connection must survive it *)
+                  "E02"));
       (fun () ->
         with_prefix "qDuelCall:" (fun rest ->
             match String.split_on_char ';' rest with

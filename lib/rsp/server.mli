@@ -15,11 +15,31 @@
     {- [qDuelFrames] — reply [<n hex>], the active frame count}
     {- [qSupported], [?], [Hg...] — handshake niceties, answered inertly}}
 
-    Unknown packets get the RSP-standard empty reply. *)
+    Unknown packets get the RSP-standard empty reply.
+
+    {2 Resource limits}
+
+    The stub serves a shared target, possibly to many connections at
+    once (see [Duel_serve]), so per-request sizes are bounded: reads and
+    writes beyond {!limits.max_read}/{!limits.max_write} bytes and
+    allocations beyond {!limits.max_alloc} (or a heap-exhausted
+    allocator) reply [E02] instead of performing the operation or
+    raising — one greedy client cannot exhaust the simulated target or
+    provoke an unbounded reply. *)
+
+type limits = {
+  max_read : int;  (** largest [m] read, bytes *)
+  max_write : int;  (** largest [M] write, bytes *)
+  max_alloc : int;  (** largest single [qDuelAlloc], bytes *)
+}
+
+val default_limits : limits
+(** 4 KiB reads and writes (comfortably above the advertised
+    [PacketSize]), 1 MiB allocations. *)
 
 type t
 
-val create : Duel_target.Inferior.t -> t
+val create : ?limits:limits -> Duel_target.Inferior.t -> t
 
 val handle_payload : t -> string -> string
 (** Process one decoded payload, returning the reply payload. *)

@@ -1,0 +1,247 @@
+(* The network side of a thin DUEL client: a non-blocking socket, an
+   incremental deframer for replies, and the retransmit half of the
+   ACK/NAK discipline.  On top of the raw exchange it offers the two
+   serve-level calls (qDuelEval, qDuelStats) and a [Dbgi.t] built from
+   [Duel_rsp.Client.connect] — the gdb model: symbols and types come
+   from local debug information, live process state from the wire. *)
+
+module Packet = Duel_rsp.Packet
+module Dbgi = Duel_dbgi.Dbgi
+module Dcache = Duel_dbgi.Dcache
+
+type t = {
+  fd : Unix.file_descr;
+  dfr : Packet.Deframer.t;
+  mutable events : Packet.Deframer.event list;  (* parsed, unconsumed *)
+  pump : (unit -> unit) option;
+      (* cooperative driver: called instead of blocking in select when
+         the server runs in this very process (tests, benchmarks) *)
+  timeout : float;
+  scratch : bytes;
+  mutable caches : Dbgi.t list;  (* data caches to stale-mark on evals *)
+  mutable last_frame_count : int;
+}
+
+let of_fd ?pump ?(timeout = 30.0) fd =
+  (* the server may close first (shutdown, budgets, reaper); a write
+     to the dead socket must raise EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Unix.set_nonblock fd;
+  (* request frames are small; they must leave immediately, not wait in
+     Nagle's buffer for the previous packet's delayed ACK *)
+  (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+  {
+    fd;
+    dfr = Packet.Deframer.create ();
+    events = [];
+    pump;
+    timeout;
+    scratch = Bytes.create 8192;
+    caches = [];
+    last_frame_count = -1;
+  }
+
+let parse_addr addr =
+  if String.length addr > 5 && String.sub addr 0 5 = "unix:" then
+    Unix.ADDR_UNIX (String.sub addr 5 (String.length addr - 5))
+  else
+    let host, port =
+      match String.rindex_opt addr ':' with
+      | Some i ->
+          ( String.sub addr 0 i,
+            String.sub addr (i + 1) (String.length addr - i - 1) )
+      | None -> ("127.0.0.1", addr)
+    in
+    let host = if host = "" || host = "localhost" then "127.0.0.1" else host in
+    let port =
+      match int_of_string_opt port with
+      | Some p -> p
+      | None -> failwith ("serve: bad port in address " ^ addr)
+    in
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> failwith ("serve: unknown host " ^ host))
+    in
+    Unix.ADDR_INET (ip, port)
+
+let connect ?pump ?timeout addr =
+  let sockaddr = parse_addr addr in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd ?pump ?timeout fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- byte plumbing ------------------------------------------------------- *)
+
+let wait_io t ~write deadline =
+  match t.pump with
+  | Some pump -> pump ()
+  | None ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then failwith "serve: timed out waiting for the server";
+      let rds = if write then [] else [ t.fd ] in
+      let wrs = if write then [ t.fd ] else [] in
+      ignore (Unix.select rds wrs [] (Float.min left 0.2))
+
+let send_all t s =
+  let deadline = Unix.gettimeofday () +. t.timeout in
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring t.fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          wait_io t ~write:true deadline;
+          go off
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+          failwith "serve: connection closed by server"
+  in
+  go 0
+
+(* The next deframed event, reading (or pumping the in-process server)
+   as needed. *)
+let next_event t =
+  let deadline = Unix.gettimeofday () +. t.timeout in
+  let rec go () =
+    match t.events with
+    | e :: rest ->
+        t.events <- rest;
+        e
+    | [] -> (
+        match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+        | 0 -> failwith "serve: connection closed by server"
+        | n ->
+            t.events <- Packet.Deframer.feed t.dfr t.scratch 0 n;
+            go ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            wait_io t ~write:false deadline;
+            go ()
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+            failwith "serve: connection reset by server")
+  in
+  go ()
+
+(* --- the exchange -------------------------------------------------------- *)
+
+(* Await one reply frame, ACKing nothing and skipping server ACKs; a
+   damaged reply is NAKed so the server retransmits. *)
+let rec await_reply t =
+  match next_event t with
+  | Packet.Deframer.Ack -> await_reply t
+  | Packet.Deframer.Nak -> `Nak
+  | Packet.Deframer.Bad _ ->
+      send_all t "-";
+      await_reply t
+  | Packet.Deframer.Frame p -> `Frame p
+
+let exchange t framed =
+  let rec attempt tries =
+    send_all t framed;
+    match await_reply t with
+    | `Frame p -> Packet.encode p
+    | `Nak ->
+        if tries >= 3 then
+          failwith "serve: server rejected the packet repeatedly"
+        else attempt (tries + 1)
+  in
+  attempt 0
+
+let rpc t payload = Packet.decode (exchange t (Packet.encode payload))
+
+let recv_reply t =
+  match await_reply t with
+  | `Frame p -> p
+  | `Nak -> failwith "serve: unexpected NAK from the server"
+
+(* --- serve-level calls --------------------------------------------------- *)
+
+let mark_caches_stale t = List.iter Dcache.mark_stale t.caches
+
+let eval_send t expr = send_all t (Packet.encode ("qDuelEval:" ^ expr))
+
+let eval_recv t =
+  let rec go acc =
+    match next_event t with
+    | Packet.Deframer.Ack -> go acc
+    | Packet.Deframer.Nak -> failwith "serve: server rejected the eval request"
+    | Packet.Deframer.Bad _ -> failwith "serve: damaged eval reply"
+    | Packet.Deframer.Frame p ->
+        if p = "" then failwith "serve: empty reply to qDuelEval"
+        else if p.[0] = 'D' then
+          let chunk =
+            String.split_on_char '\n'
+              (String.sub p 1 (String.length p - 1))
+          in
+          go (List.rev_append chunk acc)
+        else if p.[0] = 'T' then List.rev acc
+        else if p.[0] = 'E' then failwith ("serve: eval failed: " ^ p)
+        else failwith ("serve: unexpected eval reply frame " ^ p)
+  in
+  let lines = go [] in
+  (* the eval ran arbitrary DUEL server-side: local caches are suspect *)
+  mark_caches_stale t;
+  lines
+
+let eval t expr =
+  eval_send t expr;
+  eval_recv t
+
+let server_stats t =
+  let reply = rpc t "qDuelStats" in
+  String.split_on_char ';' reply
+  |> List.filter_map (fun kv ->
+         match String.index_opt kv '=' with
+         | None -> None
+         | Some i ->
+             let k = String.sub kv 0 i in
+             let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+             Option.map (fun v -> (k, v)) (int_of_string_opt v))
+
+let frame_count t =
+  let reply = rpc t "qDuelFrames" in
+  match int_of_string_opt ("0x" ^ reply) with
+  | Some n -> n
+  | None -> failwith ("serve: bad qDuelFrames reply " ^ reply)
+
+let shutdown_server t = ignore (rpc t "qDuelShutdown")
+
+(* --- the network debugger interface -------------------------------------- *)
+
+let dbgi ?(cache = true) t di =
+  let raw = Duel_rsp.Client.connect ~exchange:(exchange t) di in
+  (* [mark_stale] needs the *wrapped* interface, which doesn't exist
+     until after we build the frames hook it closes over. *)
+  let wrapped = ref None in
+  let frames () =
+    (* a stop boundary the wire can show us: the active frame count
+       changed since we last looked — whatever we cached is suspect *)
+    let n = frame_count t in
+    if t.last_frame_count >= 0 && n <> t.last_frame_count then (
+      match !wrapped with Some d -> Dcache.mark_stale d | None -> ());
+    t.last_frame_count <- n;
+    di.Duel_rsp.Client.di_frames ()
+  in
+  let raw = { raw with Dbgi.frames } in
+  if not cache then raw
+  else begin
+    let dbg =
+      Dcache.wrap
+        ~config:
+          {
+            Dcache.default_config with
+            stale_policy = Dcache.Explicit;
+          }
+        raw
+    in
+    wrapped := Some dbg;
+    t.caches <- dbg :: t.caches;
+    dbg
+  end

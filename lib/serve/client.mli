@@ -1,0 +1,95 @@
+(** The network client for {!Server}.
+
+    Owns one non-blocking socket, the client half of the ACK/NAK
+    discipline (skip server ACKs, retransmit on NAK, NAK damaged
+    replies), and an incremental deframer, so split and coalesced reads
+    are invisible above {!exchange}.
+
+    Two levels of service:
+
+    {ul
+    {- {!rpc} — one RSP payload each way, for the classic
+       one-round-trip-per-access packets.  {!dbgi} builds a full
+       {!Duel_dbgi.Dbgi.t} over it via {!Duel_rsp.Client.connect},
+       following the gdb model: symbols and types come from {e local}
+       debug information (the scenario builders are deterministic, so a
+       locally built twin of the served scenario has identical
+       addresses), while memory, allocation and calls go over the wire.}
+    {- {!eval} — ship a whole DUEL query to the server ([qDuelEval:])
+       and stream the formatted result lines back; one round-trip per
+       {e query}.  {!eval_send}/{!eval_recv} split the halves so
+       several clients can keep evals in flight concurrently (the
+       pipelined benchmark).}}
+
+    {2 Cache coherence}
+
+    A {!dbgi} built with [~cache:true] (the default) is wrapped in
+    {!Duel_dbgi.Dcache} under the [Explicit] stale policy — there is no
+    generation counter to snoop across the wire.  The client honours
+    the owner's side of that contract: every completed {!eval} marks
+    all caches built from this connection stale (a server-side eval can
+    write target memory), and the wrapped interface's [frames] probes
+    the wire's [qDuelFrames] count, marking the cache stale whenever it
+    changes. *)
+
+type t
+
+val connect : ?pump:(unit -> unit) -> ?timeout:float -> string -> t
+(** [connect addr] opens ["unix:PATH"] or ["HOST:PORT"] (bare ["PORT"]
+    means loopback).  [pump] is called instead of blocking in [select]
+    whenever a read or write would block — the cooperative driver for a
+    server living in the same process (tests, benchmarks) is
+    [~pump:(fun () -> ignore (Server.step srv 0.01))].  [timeout]
+    (default 30 s) bounds every wait for the server.
+    @raise Unix.Unix_error if the connection is refused.
+    @raise Failure on a malformed address. *)
+
+val of_fd : ?pump:(unit -> unit) -> ?timeout:float -> Unix.file_descr -> t
+(** Adopt an already-connected socket (one end of a [socketpair] whose
+    other end was {!Server.inject}ed).  Sets it non-blocking. *)
+
+val close : t -> unit
+
+val parse_addr : string -> Unix.sockaddr
+(** The address syntax of {!connect}, exposed for the CLI. *)
+
+val exchange : t -> string -> string
+(** One framed packet out, one framed reply back — the shape
+    {!Duel_rsp.Client.connect} wants.  Retransmits on server NAK (up
+    to 3 times), NAKs damaged replies so the server retransmits.
+    @raise Failure on timeout, EOF, or persistent rejection. *)
+
+val rpc : t -> string -> string
+(** {!exchange} at the payload level (encode, exchange, decode). *)
+
+val recv_reply : t -> string
+(** Await one reply payload without sending anything — for requests
+    written out of band (pipelining tests and benchmarks). *)
+
+val eval : t -> string -> string list
+(** [eval t expr] runs [expr] server-side in this connection's session
+    and returns the formatted output lines.  Marks this connection's
+    caches stale (see the coherence contract above).
+    @raise Failure if the server reports an error or the reply stream
+    is damaged. *)
+
+val eval_send : t -> string -> unit
+(** Fire the [qDuelEval:] request without waiting — pair with
+    {!eval_recv}.  At most one eval may be in flight per connection. *)
+
+val eval_recv : t -> string list
+(** Collect the streamed reply of the pending {!eval_send}. *)
+
+val server_stats : t -> (string * int) list
+(** The server's [qDuelStats] counters, parsed. *)
+
+val frame_count : t -> int
+(** The wire's [qDuelFrames] — the active-frame count on the server. *)
+
+val shutdown_server : t -> unit
+(** Ask the server to shut down gracefully ([qDuelShutdown]). *)
+
+val dbgi : ?cache:bool -> t -> Duel_rsp.Client.debug_info -> Duel_dbgi.Dbgi.t
+(** The network debugger interface over this connection (see the module
+    preamble).  [~cache:false] gives the raw one-round-trip-per-access
+    client with no coherence obligations. *)

@@ -1,0 +1,75 @@
+(* Log2-bucketed latency histogram: bucket i counts samples whose
+   duration in microseconds is in [2^(i-1), 2^i); bucket 0 is < 1 µs.
+   32 buckets cover up to ~35 minutes; anything beyond saturates into
+   the last bucket. *)
+
+let buckets = 32
+
+type t = { counts : int array; mutable total : int }
+
+let create () = { counts = Array.make buckets 0; total = 0 }
+
+let reset t =
+  Array.fill t.counts 0 buckets 0;
+  t.total <- 0
+
+let bucket_of seconds =
+  let us = seconds *. 1e6 in
+  if us < 1.0 then 0
+  else
+    let rec go i bound =
+      if i >= buckets - 1 || us < bound then i else go (i + 1) (bound *. 2.0)
+    in
+    go 1 2.0
+
+let add t seconds =
+  let i = bucket_of (Float.max seconds 0.0) in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+(* Upper bound of bucket i, in seconds. *)
+let bucket_top i = ldexp 1e-6 i
+
+let percentile t p =
+  if t.total = 0 then 0.0
+  else begin
+    let need =
+      Float.to_int (Float.round (p *. float_of_int t.total)) |> max 1
+    in
+    let rec go i seen =
+      if i >= buckets then bucket_top (buckets - 1)
+      else
+        let seen = seen + t.counts.(i) in
+        if seen >= need then bucket_top i else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let us t p = Float.to_int (Float.ceil (percentile t p *. 1e6))
+
+let to_wire t =
+  Printf.sprintf "count=%d;p50us=%d;p90us=%d;p99us=%d" t.total (us t 0.50)
+    (us t 0.90) (us t 0.99)
+
+let to_lines t =
+  if t.total = 0 then [ "service time: no samples" ]
+  else begin
+    let spark = Buffer.create buckets in
+    let hi = Array.fold_left max 1 t.counts in
+    let glyphs = [| " "; "."; ":"; "-"; "="; "#" |] in
+    let last_occupied = ref 0 in
+    Array.iteri (fun i n -> if n > 0 then last_occupied := i) t.counts;
+    for i = 0 to !last_occupied do
+      let n = t.counts.(i) in
+      let g = if n = 0 then 0 else 1 + (n * (Array.length glyphs - 2) / hi) in
+      Buffer.add_string spark glyphs.(g)
+    done;
+    [
+      Printf.sprintf "service time: %d samples, p50 <= %d us, p90 <= %d us, p99 <= %d us"
+        t.total (us t 0.50) (us t 0.90) (us t 0.99);
+      Printf.sprintf "latency buckets (1us..2^%d us, log2): [%s]" !last_occupied
+        (Buffer.contents spark);
+    ]
+  end

@@ -1,0 +1,32 @@
+(** A fixed-bucket latency histogram.
+
+    Service times land in logarithmic buckets (bucket [i] holds samples
+    in [[2{^i-1}, 2{^i}) µs], bucket 0 everything under a microsecond),
+    so recording is O(1), memory is constant, and percentiles come out
+    as bucket upper bounds — the shape a server can afford to maintain
+    on every request.  Quantile error is bounded by the 2x bucket width,
+    which is plenty to tell a 10 µs loopback exchange from a 10 ms
+    stall. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val add : t -> float -> unit
+(** Record one sample, in seconds.  Negative samples count as zero. *)
+
+val count : t -> int
+(** Total samples recorded. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [[0, 1]]: an upper bound on the [p]-th
+    quantile, in seconds ([0.] when empty). *)
+
+val to_wire : t -> string
+(** Compact [count=..;p50us=..;p90us=..;p99us=..] rendering (integer
+    microseconds) for the [qDuelStats] packet. *)
+
+val to_lines : t -> string list
+(** Human-readable summary plus a sparkline of the occupied buckets, for
+    [info server]. *)

@@ -1,0 +1,435 @@
+(* A concurrent network debug server: one target, many clients, one
+   thread.
+
+   Hanson's follow-up to the narrow debugger interface (MSR-TR-99-4)
+   puts that interface on the wire; this module is our serving layer
+   over it.  A single [Unix.select] event loop owns every socket:
+   listeners (TCP and Unix-domain) plus one connection object per
+   client, each with an incremental RSP deframer on the read side and a
+   bounded output queue on the write side.  Nothing blocks: reads take
+   whatever the kernel has and feed the deframer, writes send what the
+   socket accepts and keep the rest queued, and a connection whose
+   output queue is over budget simply stops being read until it drains
+   (backpressure, instead of unbounded buffering).
+
+   Protocol-wise each connection is an independent RSP exchange against
+   the shared [Duel_rsp.Server] stub, plus two serve-level extensions:
+   [qDuelEval:<expr>] runs a whole DUEL command in the connection's own
+   [Session] (aliases isolated per client, target shared) and streams
+   the formatted results back in chunked [D...] frames ended by a
+   [T<count>] frame, so a thin client pays one round-trip per *query*
+   instead of one per scalar; [qDuelStats] reports the observability
+   counters. *)
+
+module Packet = Duel_rsp.Packet
+module Rsp_server = Duel_rsp.Server
+module Session = Duel_core.Session
+module Inferior = Duel_target.Inferior
+
+type config = {
+  max_conns : int;
+  idle_timeout : float;
+  max_output : int;
+  max_requests : int;
+  max_input : int;
+  max_eval_values : int;
+  eval_chunk : int;
+  limits : Rsp_server.limits;
+}
+
+let default_config =
+  {
+    max_conns = 64;
+    idle_timeout = 30.0;
+    max_output = 1 lsl 20;
+    max_requests = 0;
+    max_input = 0;
+    max_eval_values = 10_000;
+    eval_chunk = 32;
+    limits = Rsp_server.default_limits;
+  }
+
+type stats = {
+  mutable accepted : int;
+  mutable peak_active : int;
+  mutable closed : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable packets : int;
+  mutable evals : int;
+  mutable eval_values : int;
+  mutable faults : int;
+  mutable naks : int;
+  mutable timeouts : int;
+  mutable limited : int;
+  hist : Histogram.t;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  dfr : Packet.Deframer.t;
+  outq : string Queue.t;
+  mutable out_off : int;  (* bytes of the front chunk already written *)
+  mutable out_bytes : int;
+  mutable closing : bool;  (* drain the queue, then close *)
+  mutable last_active : float;
+  mutable requests : int;
+  mutable rx_bytes : int;
+  mutable last_reply : string;  (* retransmitted on a client NAK *)
+  session : Session.t;
+}
+
+type t = {
+  cfg : config;
+  inf : Inferior.t;
+  rsp : Rsp_server.t;
+  dbgi : Duel_dbgi.Dbgi.t;  (* shared server-side interface for sessions *)
+  mutable listeners : (Unix.file_descr * string option) list;
+      (* fd, unix-socket path to unlink on close *)
+  mutable conns : conn list;
+  mutable accepting : bool;
+  mutable shutting : bool;
+  scratch : bytes;
+  st : stats;
+}
+
+let fresh_stats () =
+  {
+    accepted = 0;
+    peak_active = 0;
+    closed = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    packets = 0;
+    evals = 0;
+    eval_values = 0;
+    faults = 0;
+    naks = 0;
+    timeouts = 0;
+    limited = 0;
+    hist = Histogram.create ();
+  }
+
+let create ?(config = default_config) inf =
+  (* a peer can vanish between select and write; the loop must see that
+     as EPIPE on the write, not die of SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  {
+    cfg = config;
+    inf;
+    rsp = Rsp_server.create ~limits:config.limits inf;
+    dbgi = Duel_target.Backend.direct inf;
+    listeners = [];
+    conns = [];
+    accepting = true;
+    shutting = false;
+    scratch = Bytes.create 65536;
+    st = fresh_stats ();
+  }
+
+let stats t = t.st
+let active t = List.length t.conns
+
+(* --- listeners ----------------------------------------------------------- *)
+
+let listen_tcp t ~host ~port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  t.listeners <- (fd, None) :: t.listeners;
+  match Unix.getsockname fd with
+  | ADDR_INET (_, p) -> p
+  | _ -> port
+
+let listen_unix t path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind fd (ADDR_UNIX path);
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  t.listeners <- (fd, Some path) :: t.listeners
+
+(* --- connection lifecycle ------------------------------------------------ *)
+
+let new_conn t fd =
+  Unix.set_nonblock fd;
+  (* small ACK and reply writes must not sit behind Nagle's algorithm
+     waiting for a delayed ACK (a no-op on Unix-domain sockets) *)
+  (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let session = Session.create t.dbgi in
+  session.Session.max_values <- t.cfg.max_eval_values;
+  let c =
+    {
+      fd;
+      dfr = Packet.Deframer.create ();
+      outq = Queue.create ();
+      out_off = 0;
+      out_bytes = 0;
+      closing = false;
+      last_active = Unix.gettimeofday ();
+      requests = 0;
+      rx_bytes = 0;
+      last_reply = "";
+      session;
+    }
+  in
+  t.conns <- c :: t.conns;
+  t.st.accepted <- t.st.accepted + 1;
+  t.st.peak_active <- max t.st.peak_active (List.length t.conns);
+  c
+
+let inject t fd = ignore (new_conn t fd)
+
+let drop t c =
+  if List.memq c t.conns then begin
+    t.conns <- List.filter (fun c' -> not (c' == c)) t.conns;
+    t.st.closed <- t.st.closed + 1;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* --- output queue -------------------------------------------------------- *)
+
+let enqueue c s =
+  if s <> "" then begin
+    Queue.push s c.outq;
+    c.out_bytes <- c.out_bytes + String.length s
+  end
+
+(* Write as much queued output as the socket accepts right now. *)
+let rec write_some t c =
+  if not (Queue.is_empty c.outq) then begin
+    let front = Queue.peek c.outq in
+    let len = String.length front - c.out_off in
+    match
+      Unix.write_substring c.fd front c.out_off len
+    with
+    | n ->
+        c.out_bytes <- c.out_bytes - n;
+        t.st.bytes_out <- t.st.bytes_out + n;
+        c.last_active <- Unix.gettimeofday ();
+        if n = len then begin
+          ignore (Queue.pop c.outq);
+          c.out_off <- 0;
+          write_some t c
+        end
+        else c.out_off <- c.out_off + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+        drop t c
+  end
+
+(* --- request dispatch ---------------------------------------------------- *)
+
+let frame = Packet.encode
+
+(* Lines a qDuelEval sends back: the session's formatted output plus
+   anything the target printed (printf goes to the server process; the
+   client deserves to see it). *)
+let eval_lines t c expr =
+  let lines = Session.exec c.session expr in
+  match Inferior.take_output t.inf with
+  | "" -> lines
+  | out ->
+      let printed =
+        String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+      in
+      lines @ printed
+
+let chunked chunk lines =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | l :: rest ->
+        if n >= chunk then go (List.rev cur :: acc) [ l ] 1 rest
+        else go acc (l :: cur) (n + 1) rest
+  in
+  go [] [] 0 lines
+
+let stats_wire t =
+  Printf.sprintf
+    "accepted=%d;active=%d;peak=%d;closed=%d;packets=%d;evals=%d;eval_values=%d;faults=%d;naks=%d;timeouts=%d;limited=%d;bytes_in=%d;bytes_out=%d;%s"
+    t.st.accepted (List.length t.conns) t.st.peak_active t.st.closed
+    t.st.packets t.st.evals t.st.eval_values t.st.faults t.st.naks
+    t.st.timeouts t.st.limited t.st.bytes_in t.st.bytes_out
+    (Histogram.to_wire t.st.hist)
+
+let stats_to_lines t =
+  [
+    Printf.sprintf "connections: %d active (peak %d), %d accepted, %d closed"
+      (List.length t.conns) t.st.peak_active t.st.accepted t.st.closed;
+    Printf.sprintf
+      "traffic: %d packets (%d faults, %d naks), %d bytes in, %d bytes out"
+      t.st.packets t.st.faults t.st.naks t.st.bytes_in t.st.bytes_out;
+    Printf.sprintf "evals: %d queries, %d values streamed" t.st.evals
+      t.st.eval_values;
+    Printf.sprintf "lifecycle: %d idle timeouts, %d limit rejections"
+      t.st.timeouts t.st.limited;
+  ]
+  @ Histogram.to_lines t.st.hist
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let after p s = String.sub s (String.length p) (String.length s - String.length p)
+
+let shutdown t =
+  t.accepting <- false;
+  t.shutting <- true
+
+(* Process one complete, valid request frame.  Returns the reply text
+   (one or more frames, already encoded and concatenated). *)
+let dispatch t c payload =
+  if payload = "qDuelStats" then frame (stats_wire t)
+  else if payload = "qDuelShutdown" then begin
+    shutdown t;
+    frame "OK"
+  end
+  else if has_prefix "qDuelEval:" payload then begin
+    t.st.evals <- t.st.evals + 1;
+    let lines = eval_lines t c (after "qDuelEval:" payload) in
+    t.st.eval_values <- t.st.eval_values + List.length lines;
+    let chunks = chunked t.cfg.eval_chunk lines in
+    String.concat ""
+      (List.map (fun ls -> frame ("D" ^ String.concat "\n" ls)) chunks)
+    ^ frame (Printf.sprintf "T%x" (List.length lines))
+  end
+  else
+    (* plain RSP traffic: memory, allocation, calls, frames, handshake *)
+    match Rsp_server.handle_payload t.rsp payload with
+    | reply -> frame reply
+    | exception Packet.Malformed _ -> frame "E00"
+
+let handle_event t c = function
+  | Packet.Deframer.Ack -> ()
+  | Packet.Deframer.Nak ->
+      (* the client rejected our reply: retransmit it *)
+      t.st.naks <- t.st.naks + 1;
+      enqueue c c.last_reply
+  | Packet.Deframer.Bad _ ->
+      (* damaged frame: NAK it; the deframer has already resynced *)
+      t.st.faults <- t.st.faults + 1;
+      enqueue c "-"
+  | Packet.Deframer.Frame payload ->
+      c.requests <- c.requests + 1;
+      let over_requests =
+        t.cfg.max_requests > 0 && c.requests > t.cfg.max_requests
+      in
+      let over_input = t.cfg.max_input > 0 && c.rx_bytes > t.cfg.max_input in
+      if over_requests || over_input then begin
+        (* budget exhausted: final error reply, then drain and close *)
+        t.st.limited <- t.st.limited + 1;
+        enqueue c "+";
+        enqueue c (frame "E02");
+        c.closing <- true
+      end
+      else begin
+        t.st.packets <- t.st.packets + 1;
+        enqueue c "+";
+        let t0 = Unix.gettimeofday () in
+        let reply = dispatch t c payload in
+        Histogram.add t.st.hist (Unix.gettimeofday () -. t0);
+        c.last_reply <- reply;
+        enqueue c reply
+      end
+
+let read_some t c =
+  match Unix.read c.fd t.scratch 0 (Bytes.length t.scratch) with
+  | 0 ->
+      (* EOF: no more requests will come; drain what we owe, then close *)
+      c.closing <- true;
+      if c.out_bytes = 0 then drop t c
+  | n ->
+      c.last_active <- Unix.gettimeofday ();
+      c.rx_bytes <- c.rx_bytes + n;
+      t.st.bytes_in <- t.st.bytes_in + n;
+      List.iter (handle_event t c) (Packet.Deframer.feed c.dfr t.scratch 0 n)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> drop t c
+
+let accept_some t lfd =
+  let rec go () =
+    match Unix.accept lfd with
+    | fd, _ ->
+        if List.length t.conns >= t.cfg.max_conns then begin
+          t.st.limited <- t.st.limited + 1;
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          ignore (new_conn t fd);
+          go ()
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  go ()
+
+(* --- the loop ------------------------------------------------------------ *)
+
+let close_listeners t =
+  List.iter
+    (fun (fd, path) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match path with
+      | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+      | None -> ())
+    t.listeners;
+  t.listeners <- []
+
+(* One event-loop iteration: select with [timeout], then accept / read /
+   write / reap.  Returns [false] once a shutdown has fully drained —
+   the [run] loop's exit condition. *)
+let step t timeout =
+  if t.shutting then begin
+    t.accepting <- false;
+    (* graceful: no new requests, but every queued reply still drains *)
+    List.iter (fun c -> c.closing <- true) t.conns
+  end;
+  let can_accept =
+    t.accepting && List.length t.conns < t.cfg.max_conns
+  in
+  let rd_listen = if can_accept then List.map fst t.listeners else [] in
+  let rd_conns =
+    List.filter
+      (fun c -> (not c.closing) && c.out_bytes <= t.cfg.max_output)
+      t.conns
+  in
+  let wr_conns = List.filter (fun c -> c.out_bytes > 0) t.conns in
+  let rds = rd_listen @ List.map (fun c -> c.fd) rd_conns in
+  let wrs = List.map (fun c -> c.fd) wr_conns in
+  (match Unix.select rds wrs [] timeout with
+  | rready, wready, _ ->
+      List.iter
+        (fun lfd -> if List.mem lfd rready then accept_some t lfd)
+        rd_listen;
+      List.iter
+        (fun c -> if List.mem c.fd rready then read_some t c)
+        rd_conns;
+      List.iter
+        (fun c -> if List.mem c.fd wready then write_some t c)
+        wr_conns
+  | exception Unix.Unix_error (EINTR, _, _) -> ());
+  (* opportunistic flush: replies produced by this step's reads *)
+  List.iter (fun c -> if c.out_bytes > 0 then write_some t c) t.conns;
+  (* drained closing connections can go *)
+  List.iter
+    (fun c -> if c.closing && c.out_bytes = 0 then drop t c)
+    t.conns;
+  (* the reaper: anything silent past the idle timeout *)
+  if t.cfg.idle_timeout > 0.0 then begin
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun c ->
+        if now -. c.last_active > t.cfg.idle_timeout then begin
+          t.st.timeouts <- t.st.timeouts + 1;
+          drop t c
+        end)
+      t.conns
+  end;
+  if t.shutting && t.conns = [] then begin
+    close_listeners t;
+    false
+  end
+  else true
+
+let run t = while step t 0.2 do () done

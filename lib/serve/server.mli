@@ -1,0 +1,103 @@
+(** The concurrent network debug server.
+
+    One simulated target, many clients, one thread: a single
+    [Unix.select] event loop owns the listening sockets (TCP and
+    Unix-domain) and every accepted connection.  Each connection runs an
+    independent RSP exchange over an incremental deframer
+    ({!Duel_rsp.Packet.Deframer}) against the shared {!Duel_rsp.Server}
+    stub, plus the serve-level extensions:
+
+    {ul
+    {- [qDuelEval:<expr>] — run a whole DUEL command server-side in the
+       connection's own {!Duel_core.Session} (aliases are per-client,
+       the target is shared) and stream the formatted results back as
+       chunked [D<line>\n<line>...] frames ended by [T<hex count>].  A
+       thin client pays one round-trip per {e query} instead of one per
+       scalar.}
+    {- [qDuelStats] — the observability counters as [key=value;...]
+       (see {!stats_wire}).}
+    {- [qDuelShutdown] — reply [OK] and begin a graceful shutdown.}}
+
+    {2 Robustness}
+
+    Writes never block: replies go into a per-connection output queue
+    drained as the socket accepts them, and a connection whose queue
+    exceeds [max_output] stops being {e read} until it drains —
+    backpressure instead of unbounded buffering.  Damaged frames are
+    NAKed and the deframer resyncs on the next [$]; a client NAK
+    retransmits the last reply.  A reaper closes connections idle past
+    [idle_timeout]; per-connection request/byte budgets reply [E02] and
+    close; target-side resource limits are enforced by the RSP stub
+    ({!Duel_rsp.Server.limits}).  {!shutdown} stops accepting, drains
+    every queued reply, then closes. *)
+
+type config = {
+  max_conns : int;  (** accepted connections beyond this are refused *)
+  idle_timeout : float;  (** seconds of silence before the reaper; <= 0 disables *)
+  max_output : int;
+      (** per-connection queued-output bytes before reads pause *)
+  max_requests : int;  (** per-connection request budget; 0 = unlimited *)
+  max_input : int;  (** per-connection received-byte budget; 0 = unlimited *)
+  max_eval_values : int;
+      (** cap on values a [qDuelEval] streams back (then ["..."]) *)
+  eval_chunk : int;  (** result lines per [D] frame *)
+  limits : Duel_rsp.Server.limits;  (** target resource limits *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable accepted : int;
+  mutable peak_active : int;
+  mutable closed : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable packets : int;  (** valid request frames dispatched *)
+  mutable evals : int;  (** [qDuelEval] queries *)
+  mutable eval_values : int;  (** result lines streamed *)
+  mutable faults : int;  (** damaged frames NAKed *)
+  mutable naks : int;  (** client NAKs (retransmissions) *)
+  mutable timeouts : int;  (** idle connections reaped *)
+  mutable limited : int;  (** budget/capacity rejections *)
+  hist : Histogram.t;  (** per-request service time *)
+}
+
+type t
+
+val create : ?config:config -> Duel_target.Inferior.t -> t
+
+val listen_tcp : t -> host:string -> port:int -> int
+(** Bind and listen; returns the actual port (useful with [port = 0]).
+    @raise Unix.Unix_error on bind failure. *)
+
+val listen_unix : t -> string -> unit
+(** Listen on a Unix-domain socket path (unlinked first if stale, and
+    again on shutdown). *)
+
+val inject : t -> Unix.file_descr -> unit
+(** Adopt an already-connected socket as a client connection — tests
+    drive the loop over [Unix.socketpair] ends, no listener needed. *)
+
+val step : t -> float -> bool
+(** One event-loop iteration: select (waiting at most the given
+    seconds), accept, read, dispatch, write, reap.  Returns [false]
+    once a {!shutdown} has fully drained; a driver loop is
+    [while step t 0.2 do () done]. *)
+
+val run : t -> unit
+(** [step] until shut down. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: stop accepting, drain every queued reply, close
+    all connections and listeners.  Takes effect over the following
+    [step]s; idempotent. *)
+
+val stats : t -> stats
+val active : t -> int
+
+val stats_wire : t -> string
+(** The [qDuelStats] reply: [key=value] pairs joined by [;], including
+    the histogram's [count]/[p50us]/[p90us]/[p99us]. *)
+
+val stats_to_lines : t -> string list
+(** Human-readable counters (the REPL's [info server]). *)

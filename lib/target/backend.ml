@@ -31,7 +31,7 @@ let direct ?(cache = true) inf =
       ~config:
         {
           Duel_dbgi.Dcache.default_config with
-          coherence = Some (fun () -> Memory.generation mem);
+          stale_policy = Duel_dbgi.Dcache.Probe (fun () -> Memory.generation mem);
         }
       raw
   else raw

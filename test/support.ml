@@ -21,6 +21,27 @@ let kit_rsp ?(engine = Session.Seq_engine) () =
   let inf = Scenarios.all () in
   { session = Session.create ~engine (Duel_rsp.Client.loopback inf); inf }
 
+(* A whole network stack inside one process: the serve event loop owns
+   one end of a socketpair, the client the other, and blocking waits on
+   the client side pump the loop instead — deterministic concurrency
+   with no threads or forks. *)
+let socket_stack ?config inf =
+  let srv = Duel_serve.Server.create ?config inf in
+  let server_end, client_end = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Duel_serve.Server.inject srv server_end;
+  let cl =
+    Duel_serve.Client.of_fd
+      ~pump:(fun () -> ignore (Duel_serve.Server.step srv 0.01))
+      client_end
+  in
+  (srv, cl)
+
+(* A [Dbgi.t] whose live state crosses the socket (debug info is read
+   locally from the same inferior, as gdb reads it from the binary). *)
+let socket_dbgi ?(cache = true) inf =
+  let _srv, cl = socket_stack inf in
+  Duel_serve.Client.dbgi ~cache cl (Duel_rsp.Client.debug_info_of_inferior inf)
+
 (* One reusable session per engine: alias pollution across cases is part of
    real usage, but tests that care create their own kit. *)
 let exec k q = Session.exec k.session q
@@ -32,6 +53,11 @@ let check_query k q expected () =
 let check_line k q expected () = Alcotest.(check string) q expected (exec1 k q)
 
 let case name f = Alcotest.test_case name `Quick f
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 (* A shared kitchen-sink debuggee for read-only queries (building the
    1024-bucket table per case would dominate test time); tests with side

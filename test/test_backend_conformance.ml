@@ -22,6 +22,11 @@ let backends =
     ( "rsp+dcache",
       fun inf ->
         Duel_dbgi.Dcache.wrap (Duel_rsp.Client.loopback ~cache:false inf) );
+    (* the same traffic over a real socket through the serve event loop *)
+    ("socket", fun inf -> Support.socket_dbgi ~cache:false inf);
+    (* and with the probe-less (Explicit-policy) client cache on top —
+       the full remote-debugging stack *)
+    ("socket+dcache", fun inf -> Support.socket_dbgi ~cache:true inf);
   ]
 
 (* Run [f label inf dbg] once per backend, each over a fresh debuggee. *)

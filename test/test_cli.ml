@@ -101,6 +101,45 @@ let program_watch_assert () =
   check_contains "assertion stop" out "assertion 2 failed: nalloc < 3";
   check_contains "abort surfaces" out "stopped: assertion 2 failed"
 
+(* serve in a child process, connect from this one — the full network
+   path: two processes, a real Unix-domain socket, SIGINT shutdown. *)
+let serve_connect_end_to_end () =
+  let sock = Filename.temp_file "oduel_serve" ".sock" in
+  Sys.remove sock;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process oduel
+      [| oduel; "serve"; "all"; "--listen"; "unix:" ^ sock |]
+      devnull devnull devnull
+  in
+  let rec wait_sock n =
+    if n = 0 then Alcotest.fail "server socket never appeared"
+    else if Sys.file_exists sock then ()
+    else begin
+      Unix.sleepf 0.05;
+      wait_sock (n - 1)
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigint with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      Unix.close devnull)
+    (fun () ->
+      wait_sock 100;
+      let status, out =
+        run_cli
+          ("connect "
+          ^ Filename.quote ("unix:" ^ sock)
+          ^ " -e 'x[3] = 7' -e 'x[1..4]' -e 'remote x[1..6] >? 3' -e 'info \
+             server'")
+      in
+      Alcotest.(check int) "exit 0" 0 status;
+      check_contains "write over the wire" out "x[3] = 7";
+      check_contains "remote eval sees the write" out "x[3] = 7";
+      check_contains "server counters reported" out "evals";
+      check_contains "latency histogram reported" out "p99us")
+
 let suite =
   [
     case "scenario one-shot" scenario_oneshot;
@@ -110,4 +149,5 @@ let suite =
     case "interactive REPL session" repl_session;
     case "program-mode conditional breakpoint session" program_mode_debugging;
     case "program-mode watch and assert" program_watch_assert;
+    case "serve and connect across processes" serve_connect_end_to_end;
   ]

@@ -284,7 +284,7 @@ let coherence_snoop () =
   let config =
     {
       Dcache.default_config with
-      Dcache.coherence = Some (fun () -> Memory.generation fake.mem);
+      Dcache.stale_policy = Dcache.Probe (fun () -> Memory.generation fake.mem);
     }
   in
   let dbg = wrap ~config fake in
@@ -314,6 +314,37 @@ let stale_without_probe () =
   check_bytes "explicit invalidate recovers"
     (Bytes.of_string "BYPASSED")
     (dbg.Dbgi.get_bytes ~addr:page ~len:8)
+
+let mark_stale_lazy () =
+  (* [mark_stale] is the Explicit-policy stop-boundary hook: nothing
+     happens until the next cached operation, then pending writes flush
+     and every line drops. *)
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  Memory.write fake.mem ~addr:page (Bytes.of_string "original");
+  ignore (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  dbg.Dbgi.put_bytes ~addr:(page + 8) (Bytes.of_string "mine");
+  Memory.write fake.mem ~addr:page (Bytes.of_string "BYPASSED");
+  Dcache.mark_stale dbg;
+  Dcache.mark_stale dbg (* idempotent between operations *);
+  check_int "lazy: no backend traffic yet" 0 (backend_writes fake);
+  check_bytes "next read refills from the backend"
+    (Bytes.of_string "BYPASSED")
+    (dbg.Dbgi.get_bytes ~addr:page ~len:8);
+  check_bytes "our buffered write reached the backend first"
+    (Bytes.of_string "mine")
+    (Memory.read fake.mem ~addr:(page + 8) ~len:4);
+  check_int "one invalidation" 1 (stats dbg).Dcache.invalidations
+
+let flush_all_barrier () =
+  let fake = make_fake () in
+  let dbg = wrap fake in
+  dbg.Dbgi.put_bytes ~addr:page (Bytes.of_string "queued");
+  check_int "write still buffered" 0 (backend_writes fake);
+  Dcache.flush_all ();
+  check_bytes "flush_all released it"
+    (Bytes.of_string "queued")
+    (Memory.read fake.mem ~addr:page ~len:6)
 
 (* --- replacement --------------------------------------------------------- *)
 
@@ -390,6 +421,8 @@ let suite =
     case "call_func/alloc_space flush then invalidate" target_ops_flush_then_invalidate;
     case "coherence probe snoops direct stores" coherence_snoop;
     case "probeless cache is stale until invalidate" stale_without_probe;
+    case "mark_stale invalidates lazily" mark_stale_lazy;
+    case "flush_all is a write barrier" flush_all_barrier;
     case "LRU bound holds" lru_bound_holds;
     case "dirty eviction flushes first" dirty_eviction_flushes;
     case "config validation" wrap_validates_config;

@@ -17,6 +17,7 @@ let () =
       ("errors", Test_errors.suite);
       ("rsp", Test_rsp.suite);
       ("backend-conformance", Test_backend_conformance.suite);
+      ("serve", Test_serve.suite);
       ("dcache", Test_dcache.suite);
       ("cquery", Test_cquery.suite);
       ("session", Test_session.suite);

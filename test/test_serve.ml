@@ -1,0 +1,452 @@
+(* The serving layer, over real sockets: deframing under adversarial
+   byte boundaries, the event loop with many concurrent clients, the
+   robustness machinery (limits, reaper, backpressure, NAK resync,
+   graceful shutdown), server-side evaluation, and the probe-less
+   client cache's coherence over the wire. *)
+
+module Packet = Duel_rsp.Packet
+module Deframer = Packet.Deframer
+module Server = Duel_serve.Server
+module Client = Duel_serve.Client
+module Histogram = Duel_serve.Histogram
+module Session = Duel_core.Session
+module Scenarios = Duel_scenarios.Scenarios
+module Dcache = Duel_dbgi.Dcache
+module Dbgi = Duel_dbgi.Dbgi
+
+let case = Support.case
+
+(* --- the incremental deframer -------------------------------------------- *)
+
+let feed_string d s =
+  let b = Bytes.of_string s in
+  Deframer.feed d b 0 (Bytes.length b)
+
+(* Events from feeding [s] one byte at a time — the worst fragmentation
+   a stream can produce. *)
+let feed_bytewise d s =
+  List.concat_map
+    (fun i -> feed_string d (String.make 1 s.[i]))
+    (List.init (String.length s) (fun i -> i))
+
+let ev =
+  Alcotest.testable
+    (fun fmt e ->
+      Format.pp_print_string fmt
+        (match e with
+        | Deframer.Frame p -> "Frame " ^ p
+        | Deframer.Bad m -> "Bad " ^ m
+        | Deframer.Ack -> "Ack"
+        | Deframer.Nak -> "Nak"))
+    ( = )
+
+let deframer_split () =
+  let d = Deframer.create () in
+  let framed = Packet.encode "qDuelStats" ^ "+" ^ Packet.encode "m10,4" in
+  Alcotest.(check (list ev))
+    "byte-at-a-time stream"
+    [ Deframer.Frame "qDuelStats"; Deframer.Ack; Deframer.Frame "m10,4" ]
+    (feed_bytewise d framed);
+  Alcotest.(check bool) "nothing pending" false (Deframer.pending d)
+
+let deframer_coalesced () =
+  let d = Deframer.create () in
+  let framed = String.concat "" (List.map Packet.encode [ "a"; "b"; "c" ]) in
+  Alcotest.(check (list ev))
+    "three frames in one read"
+    [ Deframer.Frame "a"; Deframer.Frame "b"; Deframer.Frame "c" ]
+    (feed_string d framed)
+
+let deframer_junk_resync () =
+  let d = Deframer.create () in
+  let evs = feed_string d ("noise" ^ Packet.encode "OK") in
+  Alcotest.(check (list ev)) "junk skipped" [ Deframer.Frame "OK" ] evs;
+  Alcotest.(check int) "junk counted" 5 (Deframer.junk d)
+
+let deframer_bad_checksum () =
+  let d = Deframer.create () in
+  match feed_string d ("$abc#00" ^ Packet.encode "ok") with
+  | [ Deframer.Bad _; Deframer.Frame "ok" ] -> ()
+  | _ -> Alcotest.fail "expected Bad then resynced Frame"
+
+let deframer_split_escape () =
+  (* an escaped payload cut in the middle of the escape pair and of the
+     checksum must still decode *)
+  let payload = "a}b#c$d" in
+  let framed = Packet.encode payload in
+  let d = Deframer.create () in
+  let all =
+    List.concat_map (feed_string d)
+      [
+        String.sub framed 0 3;
+        String.sub framed 3 (String.length framed - 4);
+        String.sub framed (String.length framed - 1) 1;
+      ]
+  in
+  Alcotest.(check (list ev))
+    "escapes across reads"
+    [ Deframer.Frame payload ]
+    all
+
+let deframer_unterminated () =
+  let d = Deframer.create () in
+  (* a '$' restarting mid-body abandons the damaged frame *)
+  match feed_string d ("$half" ^ Packet.encode "whole") with
+  | [ Deframer.Bad _; Deframer.Frame "whole" ] -> ()
+  | _ -> Alcotest.fail "expected the half frame dropped, the whole one kept"
+
+(* --- the histogram ------------------------------------------------------- *)
+
+let histogram_percentiles () =
+  let h = Histogram.create () in
+  for _ = 1 to 90 do
+    Histogram.add h 10e-6
+  done;
+  for _ = 1 to 10 do
+    Histogram.add h 10e-3
+  done;
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  let p50 = Histogram.percentile h 0.50 in
+  Alcotest.(check bool)
+    "p50 bounds the fast mode" true
+    (p50 >= 10e-6 && p50 < 50e-6);
+  let p99 = Histogram.percentile h 0.99 in
+  Alcotest.(check bool)
+    "p99 bounds the slow tail" true
+    (p99 >= 10e-3 && p99 < 50e-3);
+  Alcotest.(check (float 0.0))
+    "empty percentile" 0.0
+    (Histogram.percentile (Histogram.create ()) 0.99)
+
+(* --- RSP stub resource limits -------------------------------------------- *)
+
+let rsp_limits () =
+  let inf = Scenarios.all () in
+  let limits =
+    { Duel_rsp.Server.max_read = 8; max_write = 8; max_alloc = 64 }
+  in
+  let srv = Duel_rsp.Server.create ~limits inf in
+  let rpc p = Duel_rsp.Server.handle_payload srv p in
+  let x =
+    match (Duel_rsp.Client.loopback ~cache:false inf).Dbgi.find_variable "x" with
+    | Some { Dbgi.v_addr; _ } -> v_addr
+    | None -> Alcotest.fail "x missing"
+  in
+  Alcotest.(check string)
+    "oversized read rejected" "E02"
+    (rpc (Printf.sprintf "m%x,9" x));
+  Alcotest.(check bool)
+    "bounded read succeeds" true
+    (rpc (Printf.sprintf "m%x,8" x) <> "E02");
+  Alcotest.(check string)
+    "oversized write rejected" "E02"
+    (rpc (Printf.sprintf "M%x,9:%s" x (String.make 18 '0')));
+  Alcotest.(check string)
+    "bounded write succeeds" "OK"
+    (rpc (Printf.sprintf "M%x,8:%s" x (String.make 16 '0')));
+  Alcotest.(check string) "oversized alloc rejected" "E02" (rpc "qDuelAlloc:41");
+  Alcotest.(check string) "zero alloc rejected" "E02" (rpc "qDuelAlloc:0");
+  Alcotest.(check bool)
+    "bounded alloc succeeds" true
+    (rpc "qDuelAlloc:40" <> "E02")
+
+(* --- server-side evaluation ---------------------------------------------- *)
+
+let eval_matches_direct () =
+  let direct = Session.create (Duel_target.Backend.direct (Scenarios.all ())) in
+  let expected = Session.exec direct "x[1..4,8,12..50] >? 5 <? 10" in
+  let _srv, cl = Support.socket_stack (Scenarios.all ()) in
+  Alcotest.(check (list string))
+    "remote eval equals a direct session" expected
+    (Client.eval cl "x[1..4,8,12..50] >? 5 <? 10");
+  Client.close cl
+
+let eval_chunking () =
+  (* 1-line chunks: every result line is its own D frame; reassembly
+     must be invisible *)
+  let config = { Server.default_config with eval_chunk = 1 } in
+  let srv, cl = Support.socket_stack ~config (Scenarios.all ()) in
+  Alcotest.(check (list string))
+    "many tiny chunks reassemble"
+    [ "x[1] = 0"; "x[2] = 0"; "x[3] = 7"; "x[4] = 0" ]
+    (Client.eval cl "x[1..4]");
+  Alcotest.(check int)
+    "every value counted" 4
+    (Server.stats srv).Server.eval_values;
+  Client.close cl
+
+let eval_captures_stdout () =
+  let _srv, cl = Support.socket_stack (Scenarios.all ()) in
+  let lines = Client.eval cl "printf(\"%d %d, \", (3,4), 5..7)" in
+  Alcotest.(check bool)
+    "target stdout crossed the wire" true
+    (List.exists (fun l -> Support.contains_sub l "3 5, 3 6, 3 7") lines);
+  Client.close cl
+
+let eval_session_persists () =
+  let _srv, cl = Support.socket_stack (Scenarios.all ()) in
+  ignore (Client.eval cl "t := 41");
+  Alcotest.(check (list string))
+    "alias survives to the next eval on the same connection"
+    [ "t+1 = 42" ]
+    (Client.eval cl "t+1");
+  Client.close cl
+
+(* --- the event loop under many clients ----------------------------------- *)
+
+let concurrent_clients () =
+  let n = 10 in
+  let inf = Scenarios.all () in
+  let srv = Server.create inf in
+  let pump () = ignore (Server.step srv 0.01) in
+  let clients =
+    List.init n (fun _ ->
+        let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+        Server.inject srv a;
+        Client.of_fd ~pump b)
+  in
+  Alcotest.(check int) "all connections live in one loop" n (Server.active srv);
+  (* pipelined: every client's eval is in flight before any reply is
+     collected *)
+  List.iteri
+    (fun i cl -> Client.eval_send cl (Printf.sprintf "x[%d] = %d" (i + 50) i))
+    clients;
+  for _ = 1 to 5 do
+    pump ()
+  done;
+  List.iteri
+    (fun i cl ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "client %d reply" i)
+        [ Printf.sprintf "x[%d] = %d" (i + 50) i ]
+        (Client.eval_recv cl))
+    clients;
+  let st = Server.stats srv in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak_active %d >= %d" st.Server.peak_active n)
+    true
+    (st.Server.peak_active >= n);
+  Alcotest.(check int) "every eval served" n st.Server.evals;
+  (* the writes all landed on the one shared target *)
+  let direct = Session.create (Duel_target.Backend.direct inf) in
+  Alcotest.(check (list string))
+    "shared target saw the writes"
+    [ "x[52] = 2"; "x[57] = 7" ]
+    (Session.exec direct "x[52,57]");
+  List.iter Client.close clients;
+  for _ = 1 to 3 do
+    pump ()
+  done;
+  Alcotest.(check int) "EOFs reaped every connection" 0 (Server.active srv)
+
+let tcp_listener () =
+  let srv = Server.create (Scenarios.all ()) in
+  let port = Server.listen_tcp srv ~host:"127.0.0.1" ~port:0 in
+  Alcotest.(check bool) "ephemeral port assigned" true (port > 0);
+  let pump () = ignore (Server.step srv 0.01) in
+  let cl = Client.connect ~pump (Printf.sprintf "127.0.0.1:%d" port) in
+  pump ();
+  Alcotest.(check int) "accepted inside the loop" 1 (Server.active srv);
+  Alcotest.(check (list string))
+    "query over TCP" [ "x[3] = 7" ]
+    (Client.eval cl "x[3]");
+  Client.close cl;
+  for _ = 1 to 3 do
+    pump ()
+  done;
+  Alcotest.(check int) "EOF closed it" 0 (Server.active srv);
+  Server.shutdown srv;
+  while Server.step srv 0.0 do
+    ()
+  done
+
+(* --- lifecycle robustness ------------------------------------------------ *)
+
+let idle_reaper () =
+  let config = { Server.default_config with idle_timeout = 0.05 } in
+  let srv, cl = Support.socket_stack ~config (Scenarios.all ()) in
+  Alcotest.(check int) "connected" 1 (Server.active srv);
+  Unix.sleepf 0.08;
+  ignore (Server.step srv 0.0);
+  Alcotest.(check int) "idle connection reaped" 0 (Server.active srv);
+  Alcotest.(check int) "timeout counted" 1 (Server.stats srv).Server.timeouts;
+  Client.close cl
+
+let request_budget () =
+  let config = { Server.default_config with max_requests = 2 } in
+  let srv, cl = Support.socket_stack ~config (Scenarios.all ()) in
+  Alcotest.(check string) "request 1 honoured" "3" (Client.rpc cl "qDuelFrames");
+  Alcotest.(check string) "request 2 honoured" "3" (Client.rpc cl "qDuelFrames");
+  Alcotest.(check string)
+    "request 3 over budget" "E02"
+    (Client.rpc cl "qDuelFrames");
+  ignore (Server.step srv 0.01);
+  Alcotest.(check int) "budget violator closed" 0 (Server.active srv);
+  Alcotest.(check int) "rejection counted" 1 (Server.stats srv).Server.limited;
+  Client.close cl
+
+let malformed_nak_resync () =
+  let srv = Server.create (Scenarios.all ()) in
+  let server_end, client_end = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Server.inject srv server_end;
+  (* raw bytes: garbage, a frame with a corrupt checksum, then a valid
+     request — the server must NAK the damage and still answer *)
+  let raw = "!!@@" ^ "$qDuelStats#00" ^ Packet.encode "qDuelFrames" in
+  ignore (Unix.write_substring client_end raw 0 (String.length raw));
+  for _ = 1 to 3 do
+    ignore (Server.step srv 0.01)
+  done;
+  let buf = Bytes.create 4096 in
+  let n = Unix.read client_end buf 0 4096 in
+  let d = Deframer.create () in
+  (match Deframer.feed d buf 0 n with
+  | [ Deframer.Nak; Deframer.Ack; Deframer.Frame "3" ] -> ()
+  | evs ->
+      Alcotest.failf "expected NAK, ACK, frame-count reply; got %d events"
+        (List.length evs));
+  Alcotest.(check int) "fault counted" 1 (Server.stats srv).Server.faults;
+  Alcotest.(check int)
+    "valid frame still served" 1
+    (Server.stats srv).Server.packets;
+  Unix.close client_end
+
+let client_nak_retransmit () =
+  let srv, cl = Support.socket_stack (Scenarios.all ()) in
+  let first = Client.rpc cl "qDuelFrames" in
+  Alcotest.(check string) "frames over the wire" "3" first;
+  (* a bare NAK from the client must bring the same reply back *)
+  let again = Packet.decode (Client.exchange cl "-") in
+  Alcotest.(check string) "retransmission equals the original" first again;
+  Alcotest.(check int) "nak counted" 1 (Server.stats srv).Server.naks;
+  Client.close cl
+
+let backpressure () =
+  (* A tiny output budget and a small kernel buffer: a huge eval reply
+     jams the queue, and the server must stop *reading* the connection
+     until the client drains it. *)
+  let config = { Server.default_config with max_output = 1024 } in
+  let srv = Server.create ~config (Scenarios.big_array 4000) in
+  let server_end, client_end = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Unix.setsockopt_int server_end SO_SNDBUF 4096;
+  Server.inject srv server_end;
+  let pump () = ignore (Server.step srv 0.01) in
+  let cl = Client.of_fd ~pump client_end in
+  Client.eval_send cl "big[..4000]";
+  (* let the server take the request and jam its output queue *)
+  for _ = 1 to 5 do
+    pump ()
+  done;
+  Alcotest.(check int)
+    "eval request was read" 1
+    (Server.stats srv).Server.packets;
+  (* a second request arrives while the queue is over budget... *)
+  let req = Packet.encode "qDuelFrames" in
+  ignore (Unix.write_substring client_end req 0 (String.length req));
+  for _ = 1 to 5 do
+    pump ()
+  done;
+  Alcotest.(check int)
+    "backpressure: jammed connection is not read" 1
+    (Server.stats srv).Server.packets;
+  (* ...the client drains the big reply, the queue empties, and only
+     then is the second request served *)
+  Alcotest.(check int)
+    "full reply crossed anyway" 4000
+    (List.length (Client.eval_recv cl));
+  let reply = Client.recv_reply cl in
+  Alcotest.(check bool)
+    "queued request served after drain" true
+    (int_of_string_opt ("0x" ^ reply) <> None);
+  Alcotest.(check int)
+    "second packet counted once unjammed" 2
+    (Server.stats srv).Server.packets;
+  Client.close cl
+
+let graceful_shutdown () =
+  let srv, cl = Support.socket_stack (Scenarios.all ()) in
+  Alcotest.(check (list string))
+    "server alive" [ "x[3] = 7" ]
+    (Client.eval cl "x[3]");
+  Client.shutdown_server cl;
+  (* the OK reply arrived (the rpc returned), so draining worked; now
+     the loop must wind down to completion *)
+  let rec wind n = if n > 0 && Server.step srv 0.01 then wind (n - 1) in
+  wind 100;
+  Alcotest.(check int) "all connections closed" 0 (Server.active srv);
+  Alcotest.(check bool) "loop reports completion" false (Server.step srv 0.0);
+  (match Client.rpc cl "qDuelFrames" with
+  | _ -> Alcotest.fail "server must be gone"
+  | exception Failure _ -> ());
+  Client.close cl
+
+(* --- observability ------------------------------------------------------- *)
+
+let stats_report () =
+  let srv, cl = Support.socket_stack (Scenarios.all ()) in
+  ignore (Client.eval cl "x[1..8] >? 3");
+  ignore (Client.rpc cl "qDuelFrames");
+  let st = Client.server_stats cl in
+  let get k = match List.assoc_opt k st with Some v -> v | None -> -1 in
+  Alcotest.(check bool) "packets counted" true (get "packets" >= 2);
+  Alcotest.(check int) "evals counted" 1 (get "evals");
+  Alcotest.(check bool) "latency samples recorded" true (get "count" >= 2);
+  Alcotest.(check bool) "p99 present" true (get "p99us" >= 0);
+  Alcotest.(check bool)
+    "human rendering has the counters" true
+    (List.exists
+       (fun l -> Support.contains_sub l "evals: 1 queries")
+       (Server.stats_to_lines srv));
+  Client.close cl
+
+(* --- client-cache coherence over the wire -------------------------------- *)
+
+let eval_invalidates_client_cache () =
+  let inf = Scenarios.all () in
+  let _srv, cl = Support.socket_stack inf in
+  let dbg =
+    Client.dbgi ~cache:true cl (Duel_rsp.Client.debug_info_of_inferior inf)
+  in
+  Alcotest.(check bool) "wrapped in a cache" true (Dcache.is_cached dbg);
+  Alcotest.(check bool)
+    "probe-less policy" true
+    (Dcache.coherence_probe dbg = None);
+  let x =
+    match dbg.Dbgi.find_variable "x" with
+    | Some { Dbgi.v_addr; _ } -> v_addr
+    | None -> Alcotest.fail "x missing"
+  in
+  Alcotest.(check int64) "cold read" 7L
+    (Dbgi.read_scalar dbg ~addr:(x + 12) ~size:4 ~signed:true);
+  (* a server-side eval writes the same slot behind the cache's back *)
+  ignore (Client.eval cl "x[3] = 99");
+  Alcotest.(check int64)
+    "eval marked the cache stale: fresh value visible" 99L
+    (Dbgi.read_scalar dbg ~addr:(x + 12) ~size:4 ~signed:true);
+  Client.close cl
+
+let suite =
+  [
+    case "deframer survives byte-at-a-time delivery" deframer_split;
+    case "deframer splits coalesced frames" deframer_coalesced;
+    case "deframer skips junk and resyncs" deframer_junk_resync;
+    case "deframer reports bad checksums and recovers" deframer_bad_checksum;
+    case "deframer handles escapes split across reads" deframer_split_escape;
+    case "deframer abandons unterminated frames" deframer_unterminated;
+    case "histogram percentiles bound the modes" histogram_percentiles;
+    case "RSP stub enforces resource limits" rsp_limits;
+    case "remote eval equals a direct session" eval_matches_direct;
+    case "eval chunking is invisible" eval_chunking;
+    case "eval ships target stdout" eval_captures_stdout;
+    case "eval sessions are per-connection" eval_session_persists;
+    case "ten concurrent clients in one loop" concurrent_clients;
+    case "TCP listener end to end" tcp_listener;
+    case "idle connections are reaped" idle_reaper;
+    case "request budget closes the connection" request_budget;
+    case "malformed frames are NAKed and resynced" malformed_nak_resync;
+    case "a client NAK retransmits the reply" client_nak_retransmit;
+    case "backpressure pauses reads until drained" backpressure;
+    case "graceful shutdown drains and completes" graceful_shutdown;
+    case "qDuelStats reports live counters" stats_report;
+    case "remote eval invalidates the client cache"
+      eval_invalidates_client_cache;
+  ]
