@@ -791,6 +791,135 @@ let s1 ~quick ~json_file () =
   | None -> ());
   pass
 
+(* --- X1: the chaos tier --------------------------------------------------- *)
+
+(* The S1 query battery again, but through a hostile wire: a Duel_chaos
+   byte mangler corrupting ~1% of the bytes in both directions sits
+   between the retrying client and the serve loop.  The gate is
+   correctness, not speed: every eval must converge to the clean-stack
+   oracle, with the recovery visible in the counters on both sides. *)
+
+let x1_json ~quick ~queries ~oracle_lines ~elapsed ~wire ~ctr ~pass stats_wire =
+  Printf.sprintf
+    "{\n\
+    \  \"bench\": \"serve_chaos_convergence\",\n\
+    \  \"quick\": %b,\n\
+    \  \"queries\": %d,\n\
+    \  \"oracle_lines\": %d,\n\
+    \  \"elapsed_s\": %.6f,\n\
+    \  \"wire_bytes\": %d,\n\
+    \  \"wire_corrupted\": %d,\n\
+    \  \"wire_splits\": %d,\n\
+    \  \"client_resends\": %d,\n\
+    \  \"client_timeouts\": %d,\n\
+    \  \"client_naks_sent\": %d,\n\
+    \  \"client_dup_frames\": %d,\n\
+    \  \"server_stats\": %S,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    quick queries oracle_lines elapsed wire.Duel_chaos.Mangler.bytes
+    wire.Duel_chaos.Mangler.corrupted wire.Duel_chaos.Mangler.splits
+    ctr.Duel_serve.Client.resends ctr.Duel_serve.Client.timeouts
+    ctr.Duel_serve.Client.naks_sent ctr.Duel_serve.Client.dup_frames
+    stats_wire pass
+
+let x1 ~quick ~json_file () =
+  header
+    "X1  chaos: the S1 query battery through a 1% byte-corrupting wire \
+     (gate: every eval converges to the clean-stack oracle)";
+  let module Server = Duel_serve.Server in
+  let module Client = Duel_serve.Client in
+  let module Mangler = Duel_chaos.Mangler in
+  let module Proxy = Duel_chaos.Proxy in
+  let n = 256 in
+  let queries = if quick then 12 else 48 in
+  let query = Printf.sprintf "big[..%d] >? 0" n in
+  let oracle = Session.exec (session_of (Scenarios.big_array n)) query in
+  let inf = Scenarios.big_array n in
+  (* short D frames: at a 1% per-byte corruption rate a frame's survival
+     odds fall off exponentially with its length, so stream the reply in
+     small chunks and let the seq re-request fill in the casualties *)
+  let srv =
+    Server.create ~config:{ Server.default_config with eval_chunk = 2 } inf
+  in
+  let up = Mangler.create ~seed:11 (Mangler.corrupting ~rate:0.01) in
+  let down = Mangler.create ~seed:12 (Mangler.corrupting ~rate:0.01) in
+  let proxy, client_end, server_end = Proxy.between ~up ~down () in
+  Server.inject srv server_end;
+  let pump () =
+    ignore (Server.step srv 0.005);
+    ignore (Proxy.step proxy 0.005)
+  in
+  let retry =
+    {
+      Client.attempts = 20;
+      reply_timeout = 0.5;
+      base_backoff = 0.001;
+      max_backoff = 0.01;
+      jitter = 0.5;
+    }
+  in
+  let cl = Client.of_fd ~pump ~retry client_end in
+  let wrong = ref 0 in
+  let elapsed =
+    time_run (fun () ->
+        for _ = 1 to queries do
+          if Client.eval cl query <> oracle then incr wrong
+        done)
+  in
+  let ctr = Client.counters cl in
+  let stats_wire = Server.stats_wire srv in
+  let sst = Server.stats srv in
+  let wire = Mangler.stats down in
+  let wire_up = Mangler.stats up in
+  Client.close cl;
+  Proxy.close proxy;
+  Server.shutdown srv;
+  while Server.step srv 0.0 do
+    ()
+  done;
+  Printf.printf "  %-42s %d/%d (%d oracle lines each)\n" "queries converged"
+    (queries - !wrong) queries (List.length oracle);
+  Printf.printf "  %-42s %d bytes, %d corrupted, %d splits\n"
+    "wire damage (replies)" wire.Mangler.bytes wire.Mangler.corrupted
+    wire.Mangler.splits;
+  Printf.printf "  %-42s %d bytes, %d corrupted, %d splits\n"
+    "wire damage (requests)" wire_up.Mangler.bytes wire_up.Mangler.corrupted
+    wire_up.Mangler.splits;
+  Printf.printf "  %-42s %d resends, %d timeouts, %d NAKs sent, %d dup \
+                 frames\n"
+    "client recovery" ctr.Client.resends ctr.Client.timeouts
+    ctr.Client.naks_sent ctr.Client.dup_frames;
+  Printf.printf "  %-42s %d damaged frames NAKed, %d retransmits, %d eval \
+                 replays\n"
+    "server recovery" sst.Server.faults sst.Server.naks sst.Server.eval_dups;
+  row "total" (elapsed *. 1e9);
+  row "per query" (elapsed /. float_of_int queries *. 1e9);
+  let damaged = wire.Mangler.corrupted + wire_up.Mangler.corrupted > 0 in
+  let recovered =
+    sst.Server.faults + sst.Server.eval_dups + ctr.Client.resends
+    + ctr.Client.naks_seen
+    > 0
+  in
+  let pass = !wrong = 0 && damaged && recovered in
+  verdict pass
+    (Printf.sprintf
+       "all %d evals equal the oracle through %d corrupted bytes (recovery: \
+        %d client resends, %d eval replays, %d damaged requests NAKed)"
+       queries
+       (wire.Mangler.corrupted + wire_up.Mangler.corrupted)
+       ctr.Client.resends sst.Server.eval_dups sst.Server.faults);
+  (match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc
+        (x1_json ~quick ~queries ~oracle_lines:(List.length oracle) ~elapsed
+           ~wire ~ctr ~pass stats_wire);
+      close_out oc;
+      Printf.printf "  (wrote %s)\n" file
+  | None -> ());
+  pass
+
 (* --- C1: conciseness table ------------------------------------------------ *)
 
 let c1 () =
@@ -821,16 +950,18 @@ let () =
   let json_file = find_flag "--json" argv in
   let json_lower = find_flag "--json-lower" argv in
   let json_serve = find_flag "--json-serve" argv in
+  let json_chaos = find_flag "--json-chaos" argv in
   let pass =
     if quick then (
       (* CI smoke mode: the gated tiers only, small sizes. *)
       Printf.printf
-        "DUEL benchmarks, quick mode (D1 data-cache, L1 lowering and S1 \
-         serving tiers)\n";
+        "DUEL benchmarks, quick mode (D1 data-cache, L1 lowering, S1 \
+         serving and X1 chaos tiers)\n";
       let d1_ok = d1 ~quick ~json_file () in
       let l1_ok = l1 ~quick ~json_file:json_lower () in
       let s1_ok = s1 ~quick ~json_file:json_serve () in
-      d1_ok && l1_ok && s1_ok)
+      let x1_ok = x1 ~quick ~json_file:json_chaos () in
+      d1_ok && l1_ok && s1_ok && x1_ok)
     else begin
       Printf.printf
         "DUEL reproduction benchmarks (see DESIGN.md section 4 and \
@@ -845,9 +976,10 @@ let () =
       let d1_ok = d1 ~quick:false ~json_file () in
       let l1_ok = l1 ~quick:false ~json_file:json_lower () in
       let s1_ok = s1 ~quick:false ~json_file:json_serve () in
+      let x1_ok = x1 ~quick:false ~json_file:json_chaos () in
       c1 ();
       Printf.printf "\ndone.\n";
-      d1_ok && l1_ok && s1_ok
+      d1_ok && l1_ok && s1_ok && x1_ok
     end
   in
   exit (if pass then 0 else 1)

@@ -17,6 +17,7 @@ module Inferior = Duel_target.Inferior
 module Scenarios = Duel_scenarios.Scenarios
 module Interp = Duel_minic.Interp
 module Debugger = Duel_debug.Debugger
+module Chaos = Duel_chaos.Chaos
 
 let make_inferior scenario =
   match scenario with
@@ -41,6 +42,7 @@ let help_text =
   info scenario          describe the loaded debuggee
   info cache             target-memory data cache counters (see --no-cache)
   info lower             name-resolution cache counters (hits/misses/stale)
+  info chaos             fault-injection and retry counters (see --chaos)
   help                   this text
   quit                   exit
 With --program file.c also:
@@ -170,7 +172,7 @@ let handle_program_command dbg line =
       true
   | _ -> false
 
-let handle_command session inf scenario program line =
+let handle_command session inf scenario program rig line =
   let flags = session.Session.env.Env.flags in
   match String.split_on_char ' ' (String.trim line) with
   | [ "" ] -> ()
@@ -180,6 +182,10 @@ let handle_command session inf scenario program line =
       List.iter print_endline (Session.cache_stats session)
   | [ "info"; "lower" ] ->
       List.iter print_endline (Session.lower_stats session)
+  | [ "info"; "chaos" ] -> (
+      match rig with
+      | Some r -> List.iter print_endline (Chaos.rig_report r)
+      | None -> print_endline "chaos: off (enable with --chaos)")
   | [ "set"; "symbolic"; v ] -> on_off flags (fun f b -> f.Env.symbolic <- b) v
   | [ "set"; "cycles"; v ] -> on_off flags (fun f b -> f.Env.cycle_detect <- b) v
   | [ "set"; "engine"; "seq" ] -> session.Session.engine <- Session.Seq_engine
@@ -199,7 +205,7 @@ let handle_command session inf scenario program line =
       | Some dbg when handle_program_command dbg line -> flush_target inf
       | _ -> eval_and_print session inf line)
 
-let repl session inf scenario program =
+let repl session inf scenario program rig =
   Printf.printf
     "oduel — DUEL on a simulated debuggee (%s). Type help for help.\n"
     (match program with
@@ -211,14 +217,42 @@ let repl session inf scenario program =
     match input_line stdin with
     | "quit" | "exit" -> ()
     | line ->
-        (try handle_command session inf scenario program line
+        (try handle_command session inf scenario program rig line
          with e -> Printf.printf "error: %s\n" (Printexc.to_string e));
         loop ()
     | exception End_of_file -> ()
   in
   loop ()
 
-let run scenario engine use_rsp no_cache program_file exprs =
+(* "--chaos seed=N,profile=P" (either part optional, a bare word is a
+   profile): assemble the chaotic stack from lib/chaos. *)
+let parse_chaos spec =
+  let seed = ref 0 and profile = ref "mild" in
+  List.iter
+    (fun part ->
+      let part = String.trim part in
+      match String.index_opt part '=' with
+      | None -> if part <> "" then profile := part
+      | Some i -> (
+          let k = String.sub part 0 i
+          and v = String.sub part (i + 1) (String.length part - i - 1) in
+          match (k, int_of_string_opt v) with
+          | "seed", Some n -> seed := n
+          | "seed", None ->
+              Printf.eprintf "--chaos: bad seed %s\n" v;
+              exit 2
+          | "profile", _ -> profile := v
+          | _ ->
+              Printf.eprintf "--chaos: unknown key %s (want seed=, profile=)\n" k;
+              exit 2))
+    (String.split_on_char ',' spec);
+  match Chaos.profile_of_string !profile with
+  | Ok p -> (!seed, p)
+  | Error msg ->
+      Printf.eprintf "--chaos: %s\n" msg;
+      exit 2
+
+let run scenario engine use_rsp no_cache chaos program_file exprs =
   let program_src =
     Option.map
       (fun path ->
@@ -247,9 +281,24 @@ let run scenario engine use_rsp no_cache program_file exprs =
       program_src
   in
   let cache = not no_cache in
+  let rig =
+    match chaos with
+    | None -> None
+    | Some _ when program <> None ->
+        prerr_endline "oduel: --chaos is ignored in program mode";
+        None
+    | Some spec ->
+        let seed, profile = parse_chaos spec in
+        Some
+          (if use_rsp then Chaos.rig_loopback ~cache ~seed profile inf
+           else Chaos.rig_direct ~cache ~seed profile inf)
+  in
   let dbgi =
-    if use_rsp then Duel_rsp.Client.loopback ~cache inf
-    else Duel_target.Backend.direct ~cache inf
+    match rig with
+    | Some r -> r.Chaos.dbg
+    | None ->
+        if use_rsp then Duel_rsp.Client.loopback ~cache inf
+        else Duel_target.Backend.direct ~cache inf
   in
   let engine =
     match engine with "sm" -> Session.Sm_engine | _ -> Session.Seq_engine
@@ -263,12 +312,12 @@ let run scenario engine use_rsp no_cache program_file exprs =
     | _ -> Session.create ~engine dbgi
   in
   match exprs with
-  | [] -> repl session inf scenario program
+  | [] -> repl session inf scenario program rig
   | exprs ->
       List.iter
         (fun e ->
           Printf.printf "duel> %s\n" e;
-          (try handle_command session inf scenario program e
+          (try handle_command session inf scenario program rig e
            with ex -> Printf.printf "error: %s\n" (Printexc.to_string ex)))
         exprs
 
@@ -421,6 +470,18 @@ let no_cache_arg =
            becomes a backend round-trip (useful for measuring the cache, \
            see `info cache`).")
 
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection: $(docv) is seed=N,profile=P (a \
+           bare word is a profile: off, mild, nasty).  Wraps the backend \
+           in the chaos proxy plus the retry layer — and, with --rsp, the \
+           byte-stream mangler on the loopback wire.  Inspect with `info \
+           chaos`.")
+
 let program_arg =
   Arg.(
     value
@@ -435,7 +496,7 @@ let exprs_arg =
 let repl_term =
   Term.(
     const run $ scenario_arg $ engine_arg $ rsp_arg $ no_cache_arg
-    $ program_arg $ exprs_arg)
+    $ chaos_arg $ program_arg $ exprs_arg)
 
 let serve_cmd =
   let scenario_pos =

@@ -1,0 +1,344 @@
+module Dbgi = Duel_dbgi.Dbgi
+module Dcache = Duel_dbgi.Dcache
+module Inferior = Duel_target.Inferior
+
+type profile = {
+  read_transient : float;
+  write_transient : float;
+  torn_write : float;
+  call_transient : float;
+  delay : float;
+  delay_s : float;
+  max_burst : int;
+}
+
+let off =
+  {
+    read_transient = 0.;
+    write_transient = 0.;
+    torn_write = 0.;
+    call_transient = 0.;
+    delay = 0.;
+    delay_s = 0.;
+    max_burst = 0;
+  }
+
+let mild =
+  {
+    read_transient = 0.02;
+    write_transient = 0.02;
+    torn_write = 0.005;
+    call_transient = 0.01;
+    delay = 0.005;
+    delay_s = 0.0002;
+    max_burst = 2;
+  }
+
+let nasty =
+  {
+    read_transient = 0.15;
+    write_transient = 0.12;
+    torn_write = 0.04;
+    call_transient = 0.08;
+    delay = 0.02;
+    delay_s = 0.0005;
+    max_burst = 4;
+  }
+
+let profile_of_string = function
+  | "off" -> Ok off
+  | "mild" -> Ok mild
+  | "nasty" -> Ok nasty
+  | s -> Error (Printf.sprintf "unknown chaos profile %S (off|mild|nasty)" s)
+
+type stats = {
+  mutable ops : int;
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable torn_writes : int;
+  mutable call_faults : int;
+  mutable delays : int;
+}
+
+type plan = {
+  prng : Prng.t;
+  profile : profile;
+  p_stats : stats;
+  p_seed : int;
+  (* consecutive-injection counters, one per channel; injection is
+     suppressed once a counter reaches [max_burst] and the counter
+     re-arms on the next successful pass-through.  This is what turns
+     "probably converges" into "always converges within max_burst + 1
+     attempts" — the property the soak battery's oracle check needs. *)
+  mutable burst_read : int;
+  mutable burst_write : int;
+  mutable burst_call : int;
+}
+
+let plan ?(seed = 0) profile =
+  {
+    prng = Prng.create seed;
+    profile;
+    p_stats =
+      {
+        ops = 0;
+        read_faults = 0;
+        write_faults = 0;
+        torn_writes = 0;
+        call_faults = 0;
+        delays = 0;
+      };
+    p_seed = seed;
+    burst_read = 0;
+    burst_write = 0;
+    burst_call = 0;
+  }
+
+let seed t = t.p_seed
+let stats t = t.p_stats
+
+let wrap_dbgi ?(sleep = Unix.sleepf) plan (d : Dbgi.t) =
+  let p = plan.profile in
+  let st = plan.p_stats in
+  let tick () =
+    st.ops <- st.ops + 1;
+    if Prng.chance plan.prng p.delay then begin
+      st.delays <- st.delays + 1;
+      sleep p.delay_s
+    end
+  in
+  let get_bytes ~addr ~len =
+    if len = 0 then d.Dbgi.get_bytes ~addr ~len
+    else begin
+      tick ();
+      if plan.burst_read < p.max_burst && Prng.chance plan.prng p.read_transient
+      then begin
+        plan.burst_read <- plan.burst_read + 1;
+        st.read_faults <- st.read_faults + 1;
+        raise (Dbgi.Target_transient { addr; len })
+      end
+      else begin
+        plan.burst_read <- 0;
+        d.Dbgi.get_bytes ~addr ~len
+      end
+    end
+  in
+  let put_bytes ~addr data =
+    let len = Bytes.length data in
+    if len = 0 then d.Dbgi.put_bytes ~addr data
+    else begin
+      tick ();
+      if
+        plan.burst_write < p.max_burst
+        && Prng.chance plan.prng p.write_transient
+      then begin
+        plan.burst_write <- plan.burst_write + 1;
+        st.write_faults <- st.write_faults + 1;
+        raise (Dbgi.Target_transient { addr; len })
+      end
+      else if
+        plan.burst_write < p.max_burst
+        && len > 1
+        && Prng.chance plan.prng p.torn_write
+      then begin
+        (* the realistic write failure: part of the data landed before
+           the wire died.  The retry (same bytes, same address) is
+           idempotent, and the caller's data cache must treat its lines
+           as stale until one attempt completes. *)
+        plan.burst_write <- plan.burst_write + 1;
+        st.torn_writes <- st.torn_writes + 1;
+        d.Dbgi.put_bytes ~addr (Bytes.sub data 0 (len / 2));
+        raise (Dbgi.Target_transient { addr; len })
+      end
+      else begin
+        plan.burst_write <- 0;
+        d.Dbgi.put_bytes ~addr data
+      end
+    end
+  in
+  let flake_call () =
+    tick ();
+    if plan.burst_call < p.max_burst && Prng.chance plan.prng p.call_transient
+    then begin
+      plan.burst_call <- plan.burst_call + 1;
+      st.call_faults <- st.call_faults + 1;
+      (* before execution, so a caller that chooses to retry may *)
+      raise (Dbgi.Target_transient { addr = 0; len = 0 })
+    end
+    else plan.burst_call <- 0
+  in
+  let alloc_space len =
+    flake_call ();
+    d.Dbgi.alloc_space len
+  in
+  let call_func name args =
+    flake_call ();
+    d.Dbgi.call_func name args
+  in
+  { d with Dbgi.get_bytes; put_bytes; alloc_space; call_func }
+
+(* Retry with backoff *)
+
+type retry_policy = {
+  attempts : int;
+  base_backoff : float;
+  max_backoff : float;
+  jitter : float;
+}
+
+let default_retry =
+  { attempts = 8; base_backoff = 0.0002; max_backoff = 0.005; jitter = 0.5 }
+
+let backoff policy prng ~attempt =
+  let scaled = policy.base_backoff *. (2. ** float_of_int (attempt - 1)) in
+  let capped = Float.min policy.max_backoff scaled in
+  capped *. (1. -. Prng.float prng policy.jitter)
+
+type retry_stats = {
+  mutable r_ops : int;
+  mutable r_retries : int;
+  mutable r_gave_up : int;
+  mutable r_slept : float;
+}
+
+let retry_stats_zero () =
+  { r_ops = 0; r_retries = 0; r_gave_up = 0; r_slept = 0. }
+
+let resilient ?(policy = default_retry) ?stats ?(sleep = Unix.sleepf)
+    ?(seed = 0) (d : Dbgi.t) =
+  let st = match stats with Some s -> s | None -> retry_stats_zero () in
+  let prng = Prng.create (seed lxor 0x5e11) in
+  let with_retry op =
+    let rec go attempt =
+      try op ()
+      with Dbgi.Target_transient _ as e ->
+        if attempt = 1 then st.r_ops <- st.r_ops + 1;
+        if attempt >= policy.attempts then begin
+          st.r_gave_up <- st.r_gave_up + 1;
+          raise e
+        end
+        else begin
+          st.r_retries <- st.r_retries + 1;
+          let d = backoff policy prng ~attempt in
+          st.r_slept <- st.r_slept +. d;
+          sleep d;
+          go (attempt + 1)
+        end
+    in
+    go 1
+  in
+  {
+    d with
+    Dbgi.get_bytes =
+      (fun ~addr ~len -> with_retry (fun () -> d.Dbgi.get_bytes ~addr ~len));
+    put_bytes = (fun ~addr data -> with_retry (fun () -> d.Dbgi.put_bytes ~addr data));
+    (* alloc_space / call_func deliberately un-retried: not idempotent *)
+  }
+
+(* Mangled RSP exchange *)
+
+module Packet = Duel_rsp.Packet
+
+let mangled_exchange ?(max_attempts = 64) m handle =
+  let reassemble s = String.concat "" (Mangler.mangle m s) in
+  fun framed ->
+    (* Request leg: the stub NAKs anything that does not decode, and the
+       link layer retransmits.  Our corruption modes cannot turn one
+       valid frame into a different valid frame (see Mangler), so the
+       stub executes either exactly [framed] or nothing. *)
+    let rec send attempt =
+      if attempt > max_attempts then
+        failwith "chaos: mangled exchange did not converge (request)";
+      let delivered = reassemble framed in
+      let reply = handle delivered in
+      if reply = "-" then send (attempt + 1) else reply
+    in
+    (* Reply leg: on damage the client NAKs and the stub re-sends its
+       stored reply — the command is not re-executed, which keeps
+       alloc/call at-most-once even under retransmission. *)
+    let reply = send 1 in
+    let rec recv attempt =
+      if attempt > max_attempts then
+        failwith "chaos: mangled exchange did not converge (reply)";
+      let delivered = reassemble reply in
+      match Packet.decode delivered with
+      | _ -> delivered
+      | exception Packet.Malformed _ -> recv (attempt + 1)
+    in
+    recv 1
+
+(* Pre-assembled stacks *)
+
+type rig = {
+  dbg : Dbgi.t;
+  label : string;
+  plan_ : plan;
+  retry : retry_stats;
+  wire : Mangler.stats option;
+}
+
+let cache_over inf raw =
+  Dcache.wrap
+    ~config:
+      {
+        Dcache.default_config with
+        stale_policy =
+          Dcache.Probe
+            (fun () -> Duel_mem.Memory.generation (Inferior.mem inf));
+      }
+    raw
+
+let assemble ?(cache = true) ~seed ~policy ~sleep ~label ~wire profile inf raw =
+  let plan_ = plan ~seed profile in
+  let retry = retry_stats_zero () in
+  let chaotic = wrap_dbgi ~sleep plan_ raw in
+  let stable = resilient ~policy ~stats:retry ~sleep ~seed chaotic in
+  let dbg = if cache then cache_over inf stable else stable in
+  { dbg; label; plan_; retry; wire }
+
+let rig_direct ?cache ?(seed = 0) ?(policy = default_retry)
+    ?(sleep = Unix.sleepf) profile inf =
+  let raw = Duel_target.Backend.direct ~cache:false inf in
+  assemble ?cache ~seed ~policy ~sleep ~label:"direct" ~wire:None profile inf
+    raw
+
+let rig_loopback ?cache ?(seed = 0) ?(policy = default_retry)
+    ?(sleep = Unix.sleepf) ?(mangle = Mangler.corrupting ~rate:0.01) profile
+    inf =
+  let server = Duel_rsp.Server.create inf in
+  let m = Mangler.create ~seed:(seed lxor 0x3a7) mangle in
+  let wire = Mangler.stats m in
+  let exchange = mangled_exchange m (Duel_rsp.Server.handle server) in
+  let raw =
+    Duel_rsp.Client.connect ~exchange
+      (Duel_rsp.Client.debug_info_of_inferior inf)
+  in
+  assemble ?cache ~seed ~policy ~sleep ~label:"rsp-loopback"
+    ~wire:(Some wire) profile inf raw
+
+let rig_report r =
+  let s = r.plan_.p_stats in
+  let base =
+    [
+      Printf.sprintf "chaos: %s backend, seed %d" r.label r.plan_.p_seed;
+      Printf.sprintf
+        "injected: %d read, %d write, %d torn, %d call transients; %d delays \
+         (%d ops)"
+        s.read_faults s.write_faults s.torn_writes s.call_faults s.delays
+        s.ops;
+      Printf.sprintf "retry: %d ops retried, %d extra attempts, %d gave up, %.1f ms backoff"
+        r.retry.r_ops r.retry.r_retries r.retry.r_gave_up
+        (1000. *. r.retry.r_slept);
+    ]
+  in
+  match r.wire with
+  | None -> base
+  | Some w ->
+      base
+      @ [
+          Printf.sprintf
+            "wire: %d bytes; %d corrupted, %d checksum flips, %d dropped, %d \
+             duplicated, %d splits"
+            w.Mangler.bytes w.Mangler.corrupted w.Mangler.checksum_flips
+            w.Mangler.dropped w.Mangler.duplicated w.Mangler.splits;
+        ]

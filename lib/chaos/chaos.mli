@@ -1,0 +1,173 @@
+(** Deterministic fault injection for the DUEL stack.
+
+    A chaos {!plan} wraps a {!Duel_dbgi.Dbgi.t} in a proxy that injects
+    {!Duel_dbgi.Dbgi.Target_transient} faults, torn writes and latency
+    according to a seeded schedule; {!resilient} is the matching
+    retry-with-backoff wrapper that absorbs transients on idempotent
+    operations.  {!mangled_exchange} and {!rig_loopback} apply the
+    byte-stream {!Mangler} to the in-process RSP loopback.
+
+    {2 Why injected faults are transient, never permanent}
+
+    An injected {e permanent} [Target_fault] on a valid address would make
+    {!Duel_dbgi.Dbgi.readable} answer [false] for a good pointer, and a
+    [-->] traversal would silently skip live data — a {e wrong answer},
+    not a failure.  Transient faults are outside [readable]'s contract,
+    so under chaos every query either converges to the oracle answer or
+    surfaces a typed, retriable error.  Nothing in between.
+
+    {2 Why convergence is guaranteed}
+
+    Each fault kind stops firing after {!profile.max_burst} consecutive
+    injections on its channel and re-arms only after a success.  Keep
+    [max_burst < attempts] in the retry policy and {!resilient} always
+    wins; the soak battery exploits exactly this to assert
+    oracle-or-typed-error with no flaky verdicts. *)
+
+type profile = {
+  read_transient : float;  (** per-read probability of a transient *)
+  write_transient : float;
+      (** per-write probability of a transient raised before any byte *)
+  torn_write : float;
+      (** per-write probability the first half lands, then a transient *)
+  call_transient : float;
+      (** per-call/alloc probability of a transient {e before} execution *)
+  delay : float;  (** per-operation probability of injected latency *)
+  delay_s : float;  (** length of one injected delay, seconds *)
+  max_burst : int;
+      (** consecutive-injection cap per channel; [0] disables injection *)
+}
+
+val off : profile
+(** No injection at all — the control arm.  A plan over [off] must be
+    byte-identical to no plan. *)
+
+val mild : profile
+(** A believably flaky transport: ~2% transient reads/writes, rare torn
+    writes, burst cap 2. *)
+
+val nasty : profile
+(** A hostile transport: ~15% transient reads, torn writes, call faults,
+    burst cap 4 — still convergent under the default retry policy. *)
+
+val profile_of_string : string -> (profile, string) result
+(** ["off"], ["mild"], ["nasty"]. *)
+
+type stats = {
+  mutable ops : int;  (** operations offered to the proxy *)
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable torn_writes : int;
+  mutable call_faults : int;
+  mutable delays : int;
+}
+
+type plan
+
+val plan : ?seed:int -> profile -> plan
+(** Same seed, same profile, same operation sequence — same faults. *)
+
+val seed : plan -> int
+
+val stats : plan -> stats
+
+val wrap_dbgi : ?sleep:(float -> unit) -> plan -> Duel_dbgi.Dbgi.t -> Duel_dbgi.Dbgi.t
+(** The fault-injecting proxy.  Zero-length transfers pass through
+    untouched (the interface's zero-length convention is not a fault
+    surface).  [sleep] defaults to [Unix.sleepf]. *)
+
+(** {1 Retry with backoff} *)
+
+type retry_policy = {
+  attempts : int;  (** total tries per operation, including the first *)
+  base_backoff : float;  (** seconds before the first retry *)
+  max_backoff : float;  (** backoff growth cap, seconds *)
+  jitter : float;
+      (** fraction of the delay randomised away, [0.] none – [1.] full *)
+}
+
+val default_retry : retry_policy
+(** 8 attempts, 0.2 ms base doubling to a 5 ms cap, 0.5 jitter — enough
+    to beat [nasty]'s burst cap with negligible wall-clock cost. *)
+
+val backoff : retry_policy -> Prng.t -> attempt:int -> float
+(** Delay before retry number [attempt] (1-based): exponential growth
+    from [base_backoff] capped at [max_backoff], then jittered {e down}
+    (never above the cap). *)
+
+type retry_stats = {
+  mutable r_ops : int;  (** operations that needed at least one retry *)
+  mutable r_retries : int;  (** total extra attempts *)
+  mutable r_gave_up : int;  (** operations that exhausted [attempts] *)
+  mutable r_slept : float;  (** total backoff time requested, seconds *)
+}
+
+val retry_stats_zero : unit -> retry_stats
+
+val resilient :
+  ?policy:retry_policy ->
+  ?stats:retry_stats ->
+  ?sleep:(float -> unit) ->
+  ?seed:int ->
+  Duel_dbgi.Dbgi.t ->
+  Duel_dbgi.Dbgi.t
+(** Retries [get_bytes]/[put_bytes] on [Target_transient] with
+    exponential backoff.  [alloc_space]/[call_func] are {e not} retried —
+    they are not idempotent, and resending one that may have executed
+    trades a clean typed error for a possible double execution.  (The
+    serve layer regains safe resends for evaluation via its sequence
+    numbers; see [Duel_serve].) *)
+
+(** {1 Mangled RSP transports} *)
+
+val mangled_exchange :
+  ?max_attempts:int -> Mangler.t -> (string -> string) -> (string -> string)
+(** [mangled_exchange m handle] damages both directions of a
+    framed request/reply exchange (e.g. [Duel_rsp.Server.handle]) and
+    runs the retransmit discipline a real link layer would: a damaged
+    request is NAKed by the stub and retransmitted; a damaged reply is
+    re-requested and the {e stored} reply re-sent, so the request is
+    never re-executed — at-most-once for non-idempotent commands.
+    Raises [Failure] after [max_attempts] (default 64) consecutive
+    damaged deliveries of one frame; keep per-byte rates around 1%. *)
+
+(** {1 Pre-assembled stacks}
+
+    A [rig] is a fully wired chaotic DBGI — injection plan, retry layer,
+    optional mangled transport, data cache — plus the counters the
+    [info chaos] command reports. *)
+
+type rig = {
+  dbg : Duel_dbgi.Dbgi.t;
+  label : string;
+  plan_ : plan;
+  retry : retry_stats;
+  wire : Mangler.stats option;  (** present on RSP rigs only *)
+}
+
+val rig_direct :
+  ?cache:bool ->
+  ?seed:int ->
+  ?policy:retry_policy ->
+  ?sleep:(float -> unit) ->
+  profile ->
+  Duel_target.Inferior.t ->
+  rig
+(** Session stack for the direct backend:
+    dcache → resilient → chaos proxy → raw target. *)
+
+val rig_loopback :
+  ?cache:bool ->
+  ?seed:int ->
+  ?policy:retry_policy ->
+  ?sleep:(float -> unit) ->
+  ?mangle:Mangler.profile ->
+  profile ->
+  Duel_target.Inferior.t ->
+  rig
+(** Session stack for the in-process RSP loopback, with the byte mangler
+    (default [Mangler.corrupting ~rate:0.01]) between client and stub:
+    dcache → resilient → chaos proxy → RSP client → mangled wire → stub. *)
+
+val rig_report : rig -> string list
+(** Human-readable counter lines for the [info chaos] command. *)

@@ -1,0 +1,177 @@
+type profile = {
+  corrupt : float;
+  checksum_flip : float;
+  drop : float;
+  duplicate : float;
+  split : float;
+  guard : int;
+}
+
+let off =
+  {
+    corrupt = 0.;
+    checksum_flip = 0.;
+    drop = 0.;
+    duplicate = 0.;
+    split = 0.;
+    guard = 64;
+  }
+
+let checksum_only ~rate = { off with checksum_flip = rate }
+let corrupting ~rate = { off with corrupt = rate; split = rate }
+
+let wire ~rate =
+  { off with corrupt = rate; drop = rate; duplicate = rate; split = rate }
+
+type stats = {
+  mutable bytes : int;
+  mutable corrupted : int;
+  mutable checksum_flips : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable splits : int;
+}
+
+(* The mangler runs its own miniature deframer so it knows which bytes
+   are checksum digits (for [checksum_flip]) and so the guard distance
+   can keep damage events too sparse to compensate each other. *)
+type scan = Outside | Inside | Cksum of int
+
+type t = {
+  profile : profile;
+  prng : Prng.t;
+  stats : stats;
+  mutable scan : scan;
+  mutable cooldown : int; (* bytes until the next damage event is allowed *)
+  mutable flip_this_frame : bool; (* checksum_flip decision, drawn at '$' *)
+  mutable frame_damaged : bool; (* a corrupt/drop/dup hit this frame *)
+}
+
+let create ?(seed = 0) profile =
+  if profile.guard < 1 then invalid_arg "Mangler.create: guard < 1";
+  {
+    profile;
+    prng = Prng.create seed;
+    stats =
+      {
+        bytes = 0;
+        corrupted = 0;
+        checksum_flips = 0;
+        dropped = 0;
+        duplicated = 0;
+        splits = 0;
+      };
+    scan = Outside;
+    cooldown = 0;
+    flip_this_frame = false;
+    frame_damaged = false;
+  }
+
+let stats t = t.stats
+
+(* Step a byte to a nearby value that keeps the frame structure intact:
+   never a frame metacharacter (which could re-frame the stream into
+   something accidentally valid), never NUL, never the original.  A
+   single such change inside one frame always breaks the mod-256
+   checksum, so it is always detected. *)
+let unframed c =
+  match c with '$' | '#' | '}' | '*' | '+' | '-' | '\000' -> false | _ -> true
+
+let step_byte prng c =
+  let rec try_delta d =
+    if d > 8 then Char.chr (Char.code c lxor 0x01 land 0xff)
+    else
+      let c' = Char.chr ((Char.code c + d) land 0xff) in
+      if unframed c' && c' <> c then c' else try_delta (d + 1)
+  in
+  try_delta (1 + Prng.int prng 4)
+
+let other_hex prng c =
+  let digits = "0123456789abcdef" in
+  let rec pick () =
+    let c' = digits.[Prng.int prng 16] in
+    if Char.lowercase_ascii c' = Char.lowercase_ascii c then pick () else c'
+  in
+  pick ()
+
+let mangle t s =
+  let p = t.profile in
+  let chunks = ref [] in
+  let buf = Buffer.create (String.length s + 8) in
+  let cut () =
+    if Buffer.length buf > 0 then begin
+      chunks := Buffer.contents buf :: !chunks;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      t.stats.bytes <- t.stats.bytes + 1;
+      (* advance the frame scanner first so damage decisions know what
+         role this byte plays *)
+      let role = t.scan in
+      (match (t.scan, c) with
+      | Outside, '$' ->
+          t.scan <- Inside;
+          t.frame_damaged <- false;
+          t.flip_this_frame <- Prng.chance t.prng p.checksum_flip
+      | Outside, _ -> ()
+      | Inside, '#' -> t.scan <- Cksum 2
+      | Inside, '$' ->
+          t.frame_damaged <- false;
+          t.flip_this_frame <- Prng.chance t.prng p.checksum_flip
+      | Inside, _ -> ()
+      | Cksum 1, _ -> t.scan <- Outside
+      | Cksum _, _ -> t.scan <- Cksum 1);
+      if t.cooldown > 0 then t.cooldown <- t.cooldown - 1;
+      (* At most ONE damage event per frame (and none in a frame slated
+         for a checksum flip): two events in one frame can compensate
+         each other modulo 256 — a +8 step on a body byte with a -8
+         elsewhere (or a duplicated 0xF8, or a stepped checksum digit)
+         adds up to a false-VALID frame carrying a wrong payload.  The
+         guard distance alone cannot prevent that; the per-frame cap
+         does.  [frame_damaged] re-arms at the next '$'. *)
+      let armed =
+        t.cooldown = 0 && (not t.flip_this_frame) && not t.frame_damaged
+      in
+      let damage kind =
+        t.cooldown <- p.guard;
+        t.frame_damaged <- true;
+        kind ()
+      in
+      (* corrupting a structural byte is special: a stepped '$' loses the
+         frame with no Bad event at all (silent, like a drop), so plain
+         corruption never touches '$'/'#' — [wire]'s drop models that
+         failure honestly instead *)
+      let structural = c = '$' || c = '#' in
+      (match role with
+      | Cksum _ when t.flip_this_frame && not t.frame_damaged ->
+          (* flip exactly one digit per selected frame: take the first *)
+          t.flip_this_frame <- false;
+          t.frame_damaged <- true;
+          t.stats.checksum_flips <- t.stats.checksum_flips + 1;
+          Buffer.add_char buf (other_hex t.prng c)
+      | _ ->
+          (* dropping or duplicating a NUL is invisible to a mod-256
+             checksum (it contributes zero) — real RSP payloads are
+             NUL-free, so the model refuses that one undetectable case *)
+          if armed && c <> '\000' && Prng.chance t.prng p.drop then
+            damage (fun () -> t.stats.dropped <- t.stats.dropped + 1)
+          else if armed && c <> '\000' && Prng.chance t.prng p.duplicate then
+            damage (fun () ->
+                t.stats.duplicated <- t.stats.duplicated + 1;
+                Buffer.add_char buf c;
+                Buffer.add_char buf c)
+          else if armed && (not structural) && Prng.chance t.prng p.corrupt
+          then
+            damage (fun () ->
+                t.stats.corrupted <- t.stats.corrupted + 1;
+                Buffer.add_char buf (step_byte t.prng c))
+          else Buffer.add_char buf c);
+      if Prng.chance t.prng p.split then begin
+        t.stats.splits <- t.stats.splits + 1;
+        cut ()
+      end)
+    s;
+  cut ();
+  List.rev !chunks

@@ -1,0 +1,70 @@
+(** A deterministic byte-stream mangler for RSP transports.
+
+    Sits between two peers and damages the bytes in flight the way a
+    hostile wire would: corrupt a byte, drop a byte, duplicate a byte,
+    flip a checksum digit, split a write into arbitrary chunks.  Every
+    decision comes from a seeded {!Prng}, so a failing schedule replays
+    exactly from its seed.
+
+    {2 Detectability}
+
+    The RSP frame format can only recover from damage it can {e detect}
+    (checksum mismatch, bad framing).  Plain byte corruption therefore
+    steps a byte to a {e nearby plain value} — never to ['$'], ['#'],
+    ['}'], ['*'], ['+'], ['-'] or NUL — and at most {e one} damage event
+    lands per frame (with {!profile.guard} bytes between events across
+    frames): two changes inside one frame could compensate each other
+    modulo 256 into a false-valid frame carrying a wrong payload, which
+    is the one failure the whole recovery model cannot survive.  Drops
+    and duplicates skip NUL bytes for the same reason — a zero byte
+    contributes nothing to the checksum.  Dropping a ['$'] can still
+    lose a frame {e silently} (junk skip, no [Bad] event); that is the
+    fault the client's receive timeout exists for. *)
+
+type profile = {
+  corrupt : float;  (** per-byte probability of stepping a payload byte *)
+  checksum_flip : float;
+      (** per-frame probability of corrupting a checksum digit — always
+          detectable, the pure NAK/retransmit exercise *)
+  drop : float;  (** per-byte probability the byte vanishes *)
+  duplicate : float;  (** per-byte probability the byte is sent twice *)
+  split : float;  (** per-byte probability of a chunk boundary *)
+  guard : int;
+      (** minimum bytes between two damage events (detectability); at
+          least 1 *)
+}
+
+val off : profile
+(** All rates zero: the identity mangler (the fault-rate-0 control). *)
+
+val checksum_only : rate:float -> profile
+(** Only checksum-digit flips, at [rate] per frame: every damaged frame
+    is NAKed and retransmitted, nothing is ever lost or false-valid. *)
+
+val corrupting : rate:float -> profile
+(** Plain-byte corruption (plus chunk splitting at the same rate):
+    damage is always detectable; frames are never silently lost. *)
+
+val wire : rate:float -> profile
+(** The full hostile wire: corruption, drops, duplicates and splits all
+    at [rate].  Frames can be lost silently (dropped ['$']) — peers need
+    timeouts, not just NAKs. *)
+
+type stats = {
+  mutable bytes : int;  (** bytes offered to the mangler *)
+  mutable corrupted : int;
+  mutable checksum_flips : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable splits : int;
+}
+
+type t
+
+val create : ?seed:int -> profile -> t
+val stats : t -> stats
+
+val mangle : t -> string -> string list
+(** [mangle t s] is the damaged byte stream, already divided into the
+    chunks a read loop should receive (concatenate them for a
+    single-delivery transport).  Deterministic in (seed, call sequence). *)

@@ -1,0 +1,31 @@
+(* Splitmix64: one word of state, trivially seedable, fully deterministic
+   — exactly what a replayable fault schedule needs.  (Vigna's reference
+   constants.) *)
+
+type t = { mutable state : int64 }
+
+let create seed =
+  (* decorate small integer seeds so seed 0 and seed 1 diverge instantly *)
+  { state = Int64.add (Int64.of_int seed) 0x9e3779b97f4a7c15L }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int";
+  (* shift keeps the result a nonnegative OCaml int *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 2) (Int64.of_int n))
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (u /. 9007199254740992.0 (* 2^53 *))
+
+let chance t p =
+  let u = float t 1.0 in
+  u < p

@@ -1,0 +1,28 @@
+(** A tiny deterministic PRNG (splitmix64).
+
+    Fault injection must be replayable from a printed seed, across runs
+    and platforms, and must never perturb (or be perturbed by) the global
+    [Random] state the test harnesses use.  Splitmix64 is the standard
+    seeding mix: one 64-bit word of state, full period, and good enough
+    statistics for scheduling faults. *)
+
+type t
+
+val create : int -> t
+(** Deterministic: the same seed always yields the same stream. *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+(** The next raw 64-bit word. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [[0, n)].  [n] must be positive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [[0, x)]. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] ([p <= 0.] never,
+    [p >= 1.] always).  Always consumes one draw, so schedules with
+    different rates stay aligned on the same seed. *)

@@ -1,0 +1,145 @@
+(* One direction of the relay: read from [src], mangle, queue, write to
+   [dst].  The queue is bounded by refusing to read while it is long, so
+   a stalled reader exerts backpressure instead of ballooning the proxy
+   — the same discipline the serve server applies to its own queues. *)
+type leg = {
+  src : Unix.file_descr;
+  dst : Unix.file_descr;
+  mangler : Mangler.t;
+  mutable queue : string list; (* chunks pending write, in order *)
+  mutable eof : bool; (* saw EOF on [src]; flush then shut down [dst] *)
+  mutable down : bool; (* this direction is finished *)
+}
+
+type t = {
+  a : leg; (* client -> server ("up") *)
+  b : leg; (* server -> client ("down") *)
+  owned : Unix.file_descr list; (* descriptors the proxy must close *)
+  mutable closed : bool;
+}
+
+let max_queued_chunks = 64
+let read_size = 4096
+
+let of_fds ~up ~down client_fd server_fd =
+  {
+    a = { src = client_fd; dst = server_fd; mangler = up; queue = []; eof = false; down = false };
+    b = { src = server_fd; dst = client_fd; mangler = down; queue = []; eof = false; down = false };
+    owned = [ client_fd; server_fd ];
+    closed = false;
+  }
+
+let between ~up ~down () =
+  let client_end, pc = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server_end, ps = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  List.iter Unix.set_nonblock [ client_end; pc; ps; server_end ];
+  (of_fds ~up ~down pc ps, client_end, server_end)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.owned
+  end
+
+let buf = Bytes.create read_size
+
+let pump_read leg =
+  match Unix.read leg.src buf 0 read_size with
+  | 0 -> leg.eof <- true
+  | n ->
+      let chunks = Mangler.mangle leg.mangler (Bytes.sub_string buf 0 n) in
+      leg.queue <- leg.queue @ chunks
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> leg.eof <- true
+
+let pump_write leg =
+  match leg.queue with
+  | [] -> ()
+  | chunk :: rest -> (
+      match Unix.write_substring leg.dst chunk 0 (String.length chunk) with
+      | n ->
+          leg.queue <-
+            (if n = String.length chunk then rest
+             else String.sub chunk n (String.length chunk - n) :: rest)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+          leg.queue <- [];
+          leg.eof <- true;
+          leg.down <- true)
+
+let settle leg =
+  if leg.eof && leg.queue = [] && not leg.down then begin
+    leg.down <- true;
+    (* half-close: the peer sees EOF for this direction only *)
+    try Unix.shutdown leg.dst Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+  end
+
+let step t timeout =
+  if t.closed then false
+  else begin
+    let want_read l =
+      (not l.eof) && (not l.down) && List.length l.queue < max_queued_chunks
+    in
+    let reads =
+      List.filter_map
+        (fun l -> if want_read l then Some l.src else None)
+        [ t.a; t.b ]
+    in
+    let writes =
+      List.filter_map
+        (fun l -> if l.queue <> [] && not l.down then Some l.dst else None)
+        [ t.a; t.b ]
+    in
+    (match Unix.select reads writes [] timeout with
+    | rs, ws, _ ->
+        List.iter
+          (fun l -> if List.memq l.src rs && want_read l then pump_read l)
+          [ t.a; t.b ];
+        List.iter
+          (fun l -> if List.memq l.dst ws then pump_write l)
+          [ t.a; t.b ]
+    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    settle t.a;
+    settle t.b;
+    if t.a.down && t.b.down then begin
+      close t;
+      false
+    end
+    else true
+  end
+
+let serve ?max_conns ~up ~down ~seed ~listen ~upstream () =
+  let lsock = Unix.socket (Unix.domain_of_sockaddr listen) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock listen;
+  Unix.listen lsock 8;
+  let conn = ref 0 in
+  let more () = match max_conns with None -> true | Some n -> !conn < n in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lsock with Unix.Unix_error _ -> ())
+    (fun () ->
+      while more () do
+        let cfd, _ = Unix.accept lsock in
+        let sfd =
+          Unix.socket (Unix.domain_of_sockaddr upstream) Unix.SOCK_STREAM 0
+        in
+        (match Unix.connect sfd upstream with
+        | () ->
+            Unix.set_nonblock cfd;
+            Unix.set_nonblock sfd;
+            (* per-connection manglers, seeded reproducibly *)
+            let t =
+              of_fds
+                ~up:(Mangler.create ~seed:(seed + (2 * !conn)) up)
+                ~down:(Mangler.create ~seed:(seed + (2 * !conn) + 1) down)
+                cfd sfd
+            in
+            while step t 0.5 do
+              ()
+            done
+        | exception Unix.Unix_error _ ->
+            List.iter
+              (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+              [ cfd; sfd ]);
+        incr conn
+      done)

@@ -1,0 +1,46 @@
+(** A socket-level chaos proxy.
+
+    Relays bytes between a client and a server file descriptor, passing
+    each direction through its own {!Mangler} — the same fault surface a
+    real flaky network link presents to [duel_serve], exercised through
+    the server's actual [select] loop and the client's actual deframer.
+
+    Two shapes:
+    - {!between} builds an in-process relay out of two socketpairs, to be
+      stepped cooperatively from a test (give one end to
+      [Serve.Server.inject], dial the other from [Serve.Client]);
+    - {!serve} runs a standalone accept loop in front of a real TCP
+      server, for manual chaos testing from the command line. *)
+
+type t
+
+val between : up:Mangler.t -> down:Mangler.t -> unit -> t * Unix.file_descr * Unix.file_descr
+(** [between ~up ~down ()] is [(proxy, client_end, server_end)].  Bytes
+    written on [client_end] arrive on [server_end] mangled by [up];
+    bytes written on [server_end] arrive on [client_end] mangled by
+    [down].  Both returned descriptors are non-blocking.  Close either
+    end (or {!close} the proxy) to tear the relay down; EOF propagates
+    after queued bytes drain. *)
+
+val step : t -> float -> bool
+(** Pump the relay once, waiting at most the given seconds for
+    readiness.  Returns [false] once both directions have shut down (the
+    proxy is then fully closed). *)
+
+val close : t -> unit
+(** Close all proxy-held descriptors immediately. *)
+
+val serve :
+  ?max_conns:int ->
+  up:Mangler.profile ->
+  down:Mangler.profile ->
+  seed:int ->
+  listen:Unix.sockaddr ->
+  upstream:Unix.sockaddr ->
+  unit ->
+  unit
+(** Run a blocking accept-and-relay loop: each accepted connection gets
+    its own upstream connection and its own pair of manglers (seeded
+    from [seed] and the connection index, so runs are replayable).
+    Returns when [max_conns] connections (default unlimited) have come
+    and gone. *)

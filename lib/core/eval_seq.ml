@@ -490,21 +490,33 @@ and eval_seq_eq env a b =
     (if equal then 1L else 0L)
 
 (* The paper's while: all of the condition's values must be non-zero; the
-   body's values are produced; then the whole thing repeats. *)
+   body's values are produced; then the whole thing repeats.  Iterations
+   are bounded by [expansion_limit] — a `while (1) ...` must come back as
+   a reported error, not hang the session (same contract as `-->` on a
+   cyclic structure). *)
 and eval_while env cond body =
+  let limit = env.Env.flags.Env.expansion_limit in
   let cond_holds () =
     let depth = Env.scope_depth env in
     let ok = Seq.for_all (fun v -> Value.truth env.Env.dbg v) (eval env cond) in
     Env.restore_scope_depth env depth;
     ok
   in
-  let rec loop () =
-    if cond_holds () then Seq.append (eval env body) loop ()
-    else Seq.Nil
-  in
-  fun () -> loop ()
+  fun () ->
+    let iters = ref 0 in
+    let rec loop () =
+      if cond_holds () then begin
+        incr iters;
+        if limit > 0 && !iters > limit then
+          Error.failf "loop exceeded %d iterations (runaway condition?)" limit;
+        Seq.append (eval env body) loop ()
+      end
+      else Seq.Nil
+    in
+    loop ()
 
 and eval_for env init cond step body =
+  let limit = env.Env.flags.Env.expansion_limit in
   let drain = function
     | None -> ()
     | Some e -> Seq.iter ignore (eval env e)
@@ -518,16 +530,21 @@ and eval_for env init cond step body =
         Env.restore_scope_depth env depth;
         ok
   in
-  let rec loop () =
-    if cond_holds () then
-      Seq.append (eval env body) (fun () ->
-          drain step;
-          loop ())
-      ()
-    else Seq.Nil
-  in
   fun () ->
     drain init;
+    let iters = ref 0 in
+    let rec loop () =
+      if cond_holds () then begin
+        incr iters;
+        if limit > 0 && !iters > limit then
+          Error.failf "loop exceeded %d iterations (runaway condition?)" limit;
+        Seq.append (eval env body) (fun () ->
+            drain step;
+            loop ())
+          ()
+      end
+      else Seq.Nil
+    in
     loop ()
 
 and declare env (name, te) =

@@ -784,8 +784,11 @@ and until env n stop =
       else Some u
 
 (* The paper's while: check that all condition values are non-zero, yield
-   the body, start over. *)
+   the body, start over.  Iterations are bounded by [expansion_limit] —
+   a runaway condition must surface as an error, not a hang (same
+   contract as the traversal limit in [expand]). *)
 and while_op env n =
+  let limit = env.Env.flags.Env.expansion_limit in
   let cond_holds () =
     let depth = Env.scope_depth env in
     let rec check () =
@@ -804,6 +807,9 @@ and while_op env n =
   in
   if n.state = 0 then
     if cond_holds () then begin
+      n.counter <- Int64.add n.counter 1L;
+      if limit > 0 && Int64.compare n.counter (Int64.of_int limit) > 0 then
+        Error.failf "loop exceeded %d iterations (runaway condition?)" limit;
       n.state <- 1;
       while_op env n
     end
@@ -816,6 +822,7 @@ and while_op env n =
         while_op env n
 
 and for_op env n init cond step =
+  let limit = env.Env.flags.Env.expansion_limit in
   let have_init = Option.is_some init in
   let have_cond = Option.is_some cond in
   let have_step = Option.is_some step in
@@ -848,6 +855,9 @@ and for_op env n init cond step =
       for_op env n init cond step
   | 1 ->
       if cond_holds () then begin
+        n.counter <- Int64.add n.counter 1L;
+        if limit > 0 && Int64.compare n.counter (Int64.of_int limit) > 0 then
+          Error.failf "loop exceeded %d iterations (runaway condition?)" limit;
         n.state <- 2;
         for_op env n init cond step
       end

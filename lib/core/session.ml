@@ -87,6 +87,16 @@ let exec session src =
       emit
         (Printf.sprintf "Illegal memory reference: address 0x%x (%d-byte access)"
            addr len)
+  | Dbgi.Target_transient { addr; len } ->
+      (* the transport flaked, not the program: the command failed but the
+         session (aliases, scopes, caches) is intact — rerunning it is the
+         right response, and the data cache has already marked itself
+         stale so the rerun re-reads the target *)
+      emit
+        (Printf.sprintf
+           "Transient target fault: address 0x%x (%d-byte access); the \
+            command may be retried"
+           addr len)
   | Stack_overflow -> emit "evaluation too deep (stack overflow)"
   | Out_of_memory as e -> raise e
   | e ->
@@ -94,7 +104,22 @@ let exec session src =
          called target function may throw, then keep the session alive *)
       emit (Printexc.to_string e));
   Env.restore_scope_depth session.env depth;
-  flush_writes session;
+  (* The end-of-command flush talks to the target too: over a flaky
+     transport it can fault after a perfectly good evaluation.  Keep the
+     contract that exec never raises — the cache keeps the unflushed
+     ranges buffered and marks itself stale, so the next flush point
+     retries the batch. *)
+  (try flush_writes session with
+  | Dbgi.Target_fault { addr; len } ->
+      emit
+        (Printf.sprintf
+           "Illegal memory reference: address 0x%x (%d-byte access)" addr len)
+  | Dbgi.Target_transient { addr; len } ->
+      emit
+        (Printf.sprintf
+           "Transient target fault: address 0x%x (%d-byte access); the \
+            command may be retried"
+           addr len));
   List.rev !lines
 
 let exec_string session src = String.concat "\n" (exec session src)

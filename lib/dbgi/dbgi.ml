@@ -1,4 +1,5 @@
 exception Target_fault of { addr : int; len : int }
+exception Target_transient of { addr : int; len : int }
 
 type cval =
   | Cint of Duel_ctype.Ctype.t * int64

@@ -29,6 +29,17 @@ exception Target_fault of { addr : int; len : int }
     mapping boundary may lie {e inside} the requested range), and [len] is
     the length of the attempted access. *)
 
+exception Target_transient of { addr : int; len : int }
+(** A {e transient} failure of the same access: the address is (believed)
+    valid but the transport or target flaked — a dropped packet, a stalled
+    stub, an injected chaos fault.  Unlike {!Target_fault} it is an
+    invitation to retry: [Duel_chaos.resilient] retries these with
+    backoff, the data cache marks itself stale and re-raises (so no
+    half-completed operation is trusted), and the session surfaces a
+    typed, resumable error rather than treating the address as bad.
+    {!readable} deliberately does {e not} catch it — a flaky wire must
+    never make a valid pointer look invalid. *)
+
 (** Scalar values crossing the interface for target-function calls.
     Pointers travel as [Cint] with a pointer type. *)
 type cval = Cint of Duel_ctype.Ctype.t * int64 | Cfloat of Duel_ctype.Ctype.t * float

@@ -115,11 +115,20 @@ let resync_gen c =
    (the list invariant), and mark all lines clean.  Ends by resyncing the
    coherence generation: the writes we just issued are our own. *)
 let flush_cache c =
-  List.iter
-    (fun (addr, data) ->
-      c.st.backend_writes <- c.st.backend_writes + 1;
-      c.backend.Dbgi.put_bytes ~addr data)
-    c.pending;
+  (try
+     List.iter
+       (fun (addr, data) ->
+         c.st.backend_writes <- c.st.backend_writes + 1;
+         c.backend.Dbgi.put_bytes ~addr data)
+     c.pending
+   with Dbgi.Target_transient _ as e ->
+     (* the transport flaked mid-flush: every pending range is still
+        buffered (cleared only below), so a later flush point retries the
+        whole batch — byte writes are idempotent.  Mark the cache stale so
+        the next operation re-validates rather than trusting lines the
+        backend may or may not have seen. *)
+     c.stale <- true;
+     raise e);
   c.pending <- [];
   c.pending_bytes <- 0;
   Hashtbl.iter (fun _ l -> l.dirty <- false) c.lines;
@@ -138,8 +147,11 @@ let invalidate_cache c =
    bump it — and any change drops every line. *)
 let check_coherence c =
   if c.stale then begin
-    c.stale <- false;
-    invalidate_cache c
+    (* invalidate first, clear the flag after: if the flush inside raises
+       (a transient transport fault), the mark survives and the next
+       operation tries again instead of proceeding on suspect lines *)
+    invalidate_cache c;
+    c.stale <- false
   end
   else
     match c.cfg.stale_policy with
@@ -206,7 +218,14 @@ let cached_get c ~addr ~len =
     else begin
       c.st.misses <- c.st.misses + 1;
       try ensure_lines c ~addr ~len
-      with Dbgi.Target_fault _ ->
+      with
+      | Dbgi.Target_transient _ as e ->
+          (* a flaky transport, not a bad address: lines filled so far are
+             valid, but be conservative — mark stale and let the caller's
+             retry policy (or the session's resumable error) take over *)
+          c.stale <- true;
+          raise e
+      | Dbgi.Target_fault _ ->
         (* Partial-line fallback: the request may be fine even though its
            enclosing line crosses into unmapped space (a fill rounds up).
            Flush first — the exact-range read below may cover dirty lines
@@ -263,6 +282,10 @@ let cached_put c ~addr data =
         blit_lines c ~addr ~len ~out:None ~data:(Some data);
         add_pending c addr data;
         if c.pending_bytes > c.cfg.max_pending then flush_cache c
+    | exception (Dbgi.Target_transient _ as e) ->
+        (* nothing was mutated yet; degrade exactly as the read path does *)
+        c.stale <- true;
+        raise e
     | exception Dbgi.Target_fault _ ->
         (* The enclosing lines are not fully readable (page boundary, or a
            genuinely bad address): write through uncached so the backend

@@ -20,7 +20,14 @@
     {- Zero-length accesses never touch cache or backend.}
     {- [alloc_space] and [call_func] flush buffered writes first (the
        target must see them) and invalidate every line after (target code
-       can mutate anything).}}
+       can mutate anything).}
+    {- A {!Dbgi.Target_transient} from the backend (a flaky transport, an
+       injected chaos fault) marks the cache stale and re-raises: buffered
+       writes stay buffered (flushing retries the whole idempotent batch
+       at the next flush point), no half-completed operation is trusted,
+       and the caller's retry policy or the session's resumable error
+       takes over.  Transients are never converted into "address
+       unreadable".}}
 
     {2 Coherency contract}
 

@@ -121,8 +121,25 @@ module Deframer = struct
               Buffer.clear t.body;
               emit (Bad "unterminated frame")
           | c -> Buffer.add_char t.body c)
-      | Check1 -> t.state <- Check2 c
-      | Check2 c1 -> emit (finish t c1 c)
+      | Check1 ->
+          if c = '$' then begin
+            (* The frame was cut before its checksum and a new one starts
+               right here, possibly in the same read chunk as the trailing
+               garbage.  Consuming the '$' as a checksum digit would
+               silently discard the next (valid) frame — report the
+               damaged one and resync on the new frame instead. *)
+            Buffer.clear t.body;
+            emit (Bad "frame cut at checksum");
+            t.state <- Body
+          end
+          else t.state <- Check2 c
+      | Check2 c1 ->
+          if c = '$' then begin
+            Buffer.clear t.body;
+            emit (Bad "frame cut at checksum");
+            t.state <- Body
+          end
+          else emit (finish t c1 c)
     done;
     List.rev !events
 end

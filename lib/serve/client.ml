@@ -3,11 +3,44 @@
    ACK/NAK discipline.  On top of the raw exchange it offers the two
    serve-level calls (qDuelEval, qDuelStats) and a [Dbgi.t] built from
    [Duel_rsp.Client.connect] — the gdb model: symbols and types come
-   from local debug information, live process state from the wire. *)
+   from local debug information, live process state from the wire.
+
+   Failure policy: every wait has a deadline, so a dead or wedged server
+   produces a typed [Failure], never a hang.  A reply that does not
+   arrive within [reply_timeout] is retried with exponential backoff —
+   but only when resending cannot double-execute: memory reads/writes
+   and queries are idempotent, evaluation is resent via the
+   sequence-numbered [qDuelEvalSeq] form the server deduplicates, and
+   anything else (alloc, call) fails cleanly instead of resending. *)
 
 module Packet = Duel_rsp.Packet
 module Dbgi = Duel_dbgi.Dbgi
 module Dcache = Duel_dbgi.Dcache
+
+type retry_policy = {
+  attempts : int;  (** total send attempts per request, including the first *)
+  reply_timeout : float;  (** seconds to wait for a reply per attempt *)
+  base_backoff : float;  (** seconds before the first resend *)
+  max_backoff : float;  (** cap on the exponential growth *)
+  jitter : float;  (** fraction of the delay randomised away, [0..1] *)
+}
+
+let default_retry =
+  {
+    attempts = 8;
+    reply_timeout = 2.0;
+    base_backoff = 0.02;
+    max_backoff = 0.5;
+    jitter = 0.5;
+  }
+
+type counters = {
+  mutable resends : int;  (** requests retransmitted after a reply timeout *)
+  mutable timeouts : int;  (** reply waits that expired *)
+  mutable naks_sent : int;  (** damaged reply frames we NAKed *)
+  mutable naks_seen : int;  (** server NAKs of our (damaged) requests *)
+  mutable dup_frames : int;  (** stale or duplicate reply frames discarded *)
+}
 
 type t = {
   fd : Unix.file_descr;
@@ -16,13 +49,19 @@ type t = {
   pump : (unit -> unit) option;
       (* cooperative driver: called instead of blocking in select when
          the server runs in this very process (tests, benchmarks) *)
-  timeout : float;
+  timeout : float;  (* overall per-operation deadline *)
+  retry : retry_policy;
+  ctr : counters;
+  mutable jitter_state : int64;  (* tiny xorshift for backoff jitter *)
   scratch : bytes;
   mutable caches : Dbgi.t list;  (* data caches to stale-mark on evals *)
   mutable last_frame_count : int;
+  mutable next_seq : int;  (* qDuelEvalSeq sequence numbers *)
+  mutable eval_pending : (int * string * float) option;
+      (* seq, expr, overall deadline of the eval in flight *)
 }
 
-let of_fd ?pump ?(timeout = 30.0) fd =
+let of_fd ?pump ?(timeout = 30.0) ?(retry = default_retry) fd =
   (* the server may close first (shutdown, budgets, reaper); a write
      to the dead socket must raise EPIPE, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -37,10 +76,18 @@ let of_fd ?pump ?(timeout = 30.0) fd =
     events = [];
     pump;
     timeout;
+    retry;
+    ctr =
+      { resends = 0; timeouts = 0; naks_sent = 0; naks_seen = 0; dup_frames = 0 };
+    jitter_state = 0x2545f4914f6cdd1dL;
     scratch = Bytes.create 8192;
     caches = [];
     last_frame_count = -1;
+    next_seq = 1;
+    eval_pending = None;
   }
+
+let counters t = t.ctr
 
 let parse_addr addr =
   if String.length addr > 5 && String.sub addr 0 5 = "unix:" then
@@ -67,7 +114,7 @@ let parse_addr addr =
     in
     Unix.ADDR_INET (ip, port)
 
-let connect ?pump ?timeout addr =
+let connect ?pump ?timeout ?retry addr =
   let sockaddr = parse_addr addr in
   let domain = Unix.domain_of_sockaddr sockaddr in
   let fd = Unix.socket domain SOCK_STREAM 0 in
@@ -75,21 +122,52 @@ let connect ?pump ?timeout addr =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  of_fd ?pump ?timeout fd
+  of_fd ?pump ?timeout ?retry fd
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* --- backoff ------------------------------------------------------------- *)
+
+let jitter_draw t =
+  (* xorshift64*: cheap, local, no global Random state *)
+  let x = t.jitter_state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.jitter_state <- x;
+  Int64.to_float (Int64.shift_right_logical x 11) /. 9007199254740992.0
+
+let backoff_delay t ~attempt =
+  let p = t.retry in
+  let scaled = p.base_backoff *. (2. ** float_of_int (attempt - 1)) in
+  let capped = Float.min p.max_backoff scaled in
+  capped *. (1. -. (p.jitter *. jitter_draw t))
+
+let backoff_wait t ~attempt =
+  match t.pump with
+  | Some pump ->
+      (* sleeping would stall the in-process server we are waiting on;
+         give it cycles instead of wall time *)
+      pump ()
+  | None -> Unix.sleepf (backoff_delay t ~attempt)
+
 (* --- byte plumbing ------------------------------------------------------- *)
 
+(* Wait for the transport (or pump the in-process server).  [false]
+   means the deadline passed — every caller turns that into a typed
+   failure or a retry, never a spin. *)
 let wait_io t ~write deadline =
-  match t.pump with
-  | Some pump -> pump ()
-  | None ->
-      let left = deadline -. Unix.gettimeofday () in
-      if left <= 0.0 then failwith "serve: timed out waiting for the server";
-      let rds = if write then [] else [ t.fd ] in
-      let wrs = if write then [ t.fd ] else [] in
-      ignore (Unix.select rds wrs [] (Float.min left 0.2))
+  let left = deadline -. Unix.gettimeofday () in
+  if left <= 0.0 then false
+  else begin
+    (match t.pump with
+    | Some pump -> pump ()
+    | None ->
+        let rds = if write then [] else [ t.fd ] in
+        let wrs = if write then [ t.fd ] else [] in
+        ignore (Unix.select rds wrs [] (Float.min left 0.2)));
+    true
+  end
 
 let send_all t s =
   let deadline = Unix.gettimeofday () +. t.timeout in
@@ -99,22 +177,21 @@ let send_all t s =
       match Unix.write_substring t.fd s off (n - off) with
       | written -> go (off + written)
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-          wait_io t ~write:true deadline;
-          go off
+          if wait_io t ~write:true deadline then go off
+          else failwith "serve: timed out sending to the server"
       | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
           failwith "serve: connection closed by server"
   in
   go 0
 
-(* The next deframed event, reading (or pumping the in-process server)
-   as needed. *)
-let next_event t =
-  let deadline = Unix.gettimeofday () +. t.timeout in
+(* The next deframed event before [deadline], reading (or pumping the
+   in-process server) as needed; [None] on deadline. *)
+let next_event_opt t deadline =
   let rec go () =
     match t.events with
     | e :: rest ->
         t.events <- rest;
-        e
+        Some e
     | [] -> (
         match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
         | 0 -> failwith "serve: connection closed by server"
@@ -122,73 +199,314 @@ let next_event t =
             t.events <- Packet.Deframer.feed t.dfr t.scratch 0 n;
             go ()
         | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-            wait_io t ~write:false deadline;
-            go ()
+            if wait_io t ~write:false deadline then go () else None
         | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
             failwith "serve: connection reset by server")
   in
   go ()
 
+(* Discard whatever is already buffered or immediately readable.  Called
+   at the start of each operation: with at most one request in flight
+   per connection, anything still queued at that point is a stale reply
+   (e.g. the late answer to a request we already resent and completed)
+   and must not be mistaken for the new reply. *)
+let drain_stale t =
+  let rec slurp () =
+    match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+    | 0 -> () (* let the operation itself report EOF *)
+    | n ->
+        t.events <- t.events @ Packet.Deframer.feed t.dfr t.scratch 0 n;
+        slurp ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> ()
+  in
+  slurp ();
+  List.iter
+    (function
+      | Packet.Deframer.Frame _ -> t.ctr.dup_frames <- t.ctr.dup_frames + 1
+      | _ -> ())
+    t.events;
+  t.events <- []
+
 (* --- the exchange -------------------------------------------------------- *)
 
-(* Await one reply frame, ACKing nothing and skipping server ACKs; a
-   damaged reply is NAKed so the server retransmits. *)
-let rec await_reply t =
-  match next_event t with
-  | Packet.Deframer.Ack -> await_reply t
-  | Packet.Deframer.Nak -> `Nak
-  | Packet.Deframer.Bad _ ->
+(* Await one reply frame before [deadline], skipping server ACKs; a
+   damaged reply is NAKed so the server retransmits.  [`Timeout] leaves
+   the decision (resend or fail) to the caller. *)
+let rec await_reply t deadline =
+  match next_event_opt t deadline with
+  | None -> `Timeout
+  | Some Packet.Deframer.Ack -> await_reply t deadline
+  | Some Packet.Deframer.Nak -> `Nak
+  | Some (Packet.Deframer.Bad _) ->
+      t.ctr.naks_sent <- t.ctr.naks_sent + 1;
       send_all t "-";
-      await_reply t
-  | Packet.Deframer.Frame p -> `Frame p
+      await_reply t deadline
+  | Some (Packet.Deframer.Frame p) -> `Frame p
+
+(* May this framed request be retransmitted when the reply timed out?
+   Only when a resend cannot execute twice: the reply may have been
+   computed and lost, so the server might see the request again.
+   Memory reads, repeated writes of the same bytes, and pure queries
+   are idempotent; [qDuelEvalSeq] resends are deduplicated server-side
+   by sequence number.  Allocation and target calls are neither, so
+   they time out into a clean failure instead. *)
+let resend_safe framed =
+  String.length framed >= 2
+  &&
+  let body = String.sub framed 1 (String.length framed - 1) in
+  let pre p =
+    String.length body >= String.length p
+    && String.sub body 0 (String.length p) = p
+  in
+  match framed.[1] with
+  | 'm' | 'M' | '?' | 'H' -> true
+  | 'q' ->
+      pre "qDuelFrames" || pre "qDuelStats" || pre "qSupported"
+      || pre "qDuelEvalSeq:" || pre "qDuelShutdown"
+  | _ -> false
 
 let exchange t framed =
-  let rec attempt tries =
+  drain_stale t;
+  let may_resend = resend_safe framed in
+  let rec attempt n =
     send_all t framed;
-    match await_reply t with
+    let deadline = Unix.gettimeofday () +. t.retry.reply_timeout in
+    match await_reply t deadline with
     | `Frame p -> Packet.encode p
     | `Nak ->
-        if tries >= 3 then
+        (* the server rejected a damaged request before executing it:
+           resending is always safe *)
+        t.ctr.naks_seen <- t.ctr.naks_seen + 1;
+        if n >= t.retry.attempts then
           failwith "serve: server rejected the packet repeatedly"
-        else attempt (tries + 1)
+        else attempt (n + 1)
+    | `Timeout ->
+        t.ctr.timeouts <- t.ctr.timeouts + 1;
+        if may_resend && n < t.retry.attempts then begin
+          t.ctr.resends <- t.ctr.resends + 1;
+          backoff_wait t ~attempt:n;
+          attempt (n + 1)
+        end
+        else if may_resend then
+          failwith "serve: no reply from server (retries exhausted)"
+        else
+          failwith
+            "serve: no reply from server (request not resendable: it may \
+             have side effects)"
   in
-  attempt 0
+  attempt 1
 
 let rpc t payload = Packet.decode (exchange t (Packet.encode payload))
 
 let recv_reply t =
-  match await_reply t with
+  let deadline = Unix.gettimeofday () +. t.retry.reply_timeout in
+  match await_reply t deadline with
   | `Frame p -> p
   | `Nak -> failwith "serve: unexpected NAK from the server"
+  | `Timeout -> failwith "serve: timed out waiting for the server"
 
 (* --- serve-level calls --------------------------------------------------- *)
 
 let mark_caches_stale t = List.iter Dcache.mark_stale t.caches
 
-let eval_send t expr = send_all t (Packet.encode ("qDuelEval:" ^ expr))
+let eval_frame seq expr deadline =
+  (* deadline propagation: tell the server how much budget remains, so a
+     request that arrives after the client stopped waiting fails typed
+     instead of burning target time *)
+  let ms =
+    int_of_float (Float.max 0. (1000. *. (deadline -. Unix.gettimeofday ())))
+  in
+  Packet.encode (Printf.sprintf "qDuelEvalSeq:%x,%x;%s" seq ms expr)
+
+let eval_send t expr =
+  drain_stale t;
+  if t.eval_pending <> None then
+    failwith "serve: an eval is already in flight on this connection";
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  let deadline = Unix.gettimeofday () +. t.timeout in
+  t.eval_pending <- Some (seq, expr, deadline);
+  send_all t (eval_frame seq expr deadline)
+
+(* Parse one seq-tagged eval reply frame: [D<seq>,<idx>;text],
+   [T<seq>,<count>] or [F<seq>;msg].  Untagged [D...]/[T...] from a
+   pre-seq server are accepted as chunk 0, 1, 2, ... in arrival order. *)
+type eval_frame_kind =
+  | Chunk of int * int * string  (* seq, idx, text *)
+  | Fin of int * int  (* seq, line count *)
+  | Failed of int * string
+  | Legacy_chunk of string
+  | Legacy_fin
+  | Unrelated
+
+let parse_eval_frame p =
+  if p = "" then Unrelated
+  else
+    let rest = String.sub p 1 (String.length p - 1) in
+    match p.[0] with
+    | 'D' -> (
+        match String.index_opt rest ';' with
+        | Some semi -> (
+            let head = String.sub rest 0 semi in
+            let text =
+              String.sub rest (semi + 1) (String.length rest - semi - 1)
+            in
+            match String.index_opt head ',' with
+            | Some comma -> (
+                let seq_s = String.sub head 0 comma in
+                let idx_s =
+                  String.sub head (comma + 1) (String.length head - comma - 1)
+                in
+                match
+                  ( int_of_string_opt ("0x" ^ seq_s),
+                    int_of_string_opt ("0x" ^ idx_s) )
+                with
+                | Some seq, Some idx -> Chunk (seq, idx, text)
+                | _ -> Legacy_chunk rest)
+            | None -> Legacy_chunk rest)
+        | None -> Legacy_chunk rest)
+    | 'T' -> (
+        match String.index_opt rest ',' with
+        | Some comma -> (
+            let seq_s = String.sub rest 0 comma in
+            let n_s =
+              String.sub rest (comma + 1) (String.length rest - comma - 1)
+            in
+            match
+              (int_of_string_opt ("0x" ^ seq_s), int_of_string_opt ("0x" ^ n_s))
+            with
+            | Some seq, Some n -> Fin (seq, n)
+            | _ -> Legacy_fin)
+        | None -> Legacy_fin)
+    | 'F' -> (
+        match String.index_opt rest ';' with
+        | Some semi -> (
+            let seq_s = String.sub rest 0 semi in
+            let msg =
+              String.sub rest (semi + 1) (String.length rest - semi - 1)
+            in
+            match int_of_string_opt ("0x" ^ seq_s) with
+            | Some seq -> Failed (seq, msg)
+            | None -> Unrelated)
+        | None -> Unrelated)
+    | _ -> Unrelated
 
 let eval_recv t =
-  let rec go acc =
-    match next_event t with
-    | Packet.Deframer.Ack -> go acc
-    | Packet.Deframer.Nak -> failwith "serve: server rejected the eval request"
-    | Packet.Deframer.Bad _ -> failwith "serve: damaged eval reply"
-    | Packet.Deframer.Frame p ->
-        if p = "" then failwith "serve: empty reply to qDuelEval"
-        else if p.[0] = 'D' then
-          let chunk =
-            String.split_on_char '\n'
-              (String.sub p 1 (String.length p - 1))
-          in
-          go (List.rev_append chunk acc)
-        else if p.[0] = 'T' then List.rev acc
-        else if p.[0] = 'E' then failwith ("serve: eval failed: " ^ p)
-        else failwith ("serve: unexpected eval reply frame " ^ p)
-  in
-  let lines = go [] in
-  (* the eval ran arbitrary DUEL server-side: local caches are suspect *)
-  mark_caches_stale t;
-  lines
+  match t.eval_pending with
+  | None -> failwith "serve: no eval in flight"
+  | Some (seq, expr, deadline) ->
+      let finish r =
+        t.eval_pending <- None;
+        (* the eval ran arbitrary DUEL server-side: local caches are
+           suspect whether it succeeded or not *)
+        mark_caches_stale t;
+        match r with Ok lines -> lines | Error msg -> failwith msg
+      in
+      (* chunks indexed as the server numbered them; duplicates (from a
+         whole-reply retransmit after one damaged frame) drop here *)
+      let chunks : (int, string) Hashtbl.t = Hashtbl.create 8 in
+      let add_chunk idx text =
+        if Hashtbl.mem chunks idx then
+          t.ctr.dup_frames <- t.ctr.dup_frames + 1
+        else Hashtbl.add chunks idx text
+      in
+      let legacy_next = ref 0 in
+      let assemble count =
+        let lines =
+          List.concat_map
+            (fun (_, text) -> String.split_on_char '\n' text)
+            (List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) chunks []))
+        in
+        if List.length lines <> count then
+          Error
+            (Printf.sprintf
+               "serve: eval reply incomplete (%d of %d lines)"
+               (List.length lines) count)
+        else Ok lines
+      in
+      let rec collect attempt =
+        let reply_deadline =
+          Float.min deadline (Unix.gettimeofday () +. t.retry.reply_timeout)
+        in
+        match next_event_opt t reply_deadline with
+        | None ->
+            t.ctr.timeouts <- t.ctr.timeouts + 1;
+            if Unix.gettimeofday () >= deadline then
+              finish (Error "serve: eval deadline exhausted")
+            else if attempt >= t.retry.attempts then
+              finish (Error "serve: no eval reply (retries exhausted)")
+            else begin
+              (* resending is safe: the server deduplicates by seq and
+                 replays the stored reply without re-executing *)
+              t.ctr.resends <- t.ctr.resends + 1;
+              backoff_wait t ~attempt;
+              send_all t (eval_frame seq expr deadline);
+              collect (attempt + 1)
+            end
+        | Some Packet.Deframer.Ack -> collect attempt
+        | Some Packet.Deframer.Nak ->
+            (* our request frame was damaged in flight; same seq again *)
+            t.ctr.naks_seen <- t.ctr.naks_seen + 1;
+            if attempt >= t.retry.attempts then
+              finish (Error "serve: eval request rejected repeatedly")
+            else begin
+              send_all t (eval_frame seq expr deadline);
+              collect (attempt + 1)
+            end
+        | Some (Packet.Deframer.Bad _) ->
+            (* A damaged frame mid-stream.  Do NOT NAK here: a NAK makes
+               the server retransmit the whole stored multi-frame reply,
+               so NAKing every damaged chunk of a long stream snowballs —
+               each retransmitted copy spawns more NAKs than it settles.
+               The terminal frame tells us exactly what is missing; the
+               seq re-request below replays the reply once per ask. *)
+            collect attempt
+        | Some (Packet.Deframer.Frame p) -> (
+            match parse_eval_frame p with
+            | Chunk (s, idx, text) when s = seq ->
+                add_chunk idx text;
+                collect attempt
+            | Fin (s, count) when s = seq -> (
+                match assemble count with
+                | Ok lines -> finish (Ok lines)
+                | Error _ when attempt < t.retry.attempts ->
+                    (* chunks of this copy were damaged in flight; ask
+                       for a replay (dedup by seq server-side) and keep
+                       the chunks we already have *)
+                    t.ctr.resends <- t.ctr.resends + 1;
+                    send_all t (eval_frame seq expr deadline);
+                    collect (attempt + 1)
+                | Error _ as e -> finish e)
+            | Failed (s, msg) when s = seq ->
+                finish (Error ("serve: eval failed: " ^ msg))
+            | Chunk _ | Fin _ | Failed _ ->
+                (* stale frames of an earlier exchange *)
+                t.ctr.dup_frames <- t.ctr.dup_frames + 1;
+                collect attempt
+            | Legacy_chunk text ->
+                add_chunk !legacy_next text;
+                incr legacy_next;
+                collect attempt
+            | Legacy_fin ->
+                let lines =
+                  List.concat_map
+                    (fun (_, text) -> String.split_on_char '\n' text)
+                    (List.sort compare
+                       (Hashtbl.fold (fun k v l -> (k, v) :: l) chunks []))
+                in
+                finish (Ok lines)
+            | Unrelated ->
+                if String.length p >= 1 && p.[0] = 'E' then
+                  finish (Error ("serve: eval failed: " ^ p))
+                else begin
+                  (* a late reply to some earlier, already-failed
+                     exchange: stale, not ours to act on *)
+                  t.ctr.dup_frames <- t.ctr.dup_frames + 1;
+                  collect attempt
+                end)
+      in
+      collect 1
 
 let eval t expr =
   eval_send t expr;

@@ -15,11 +15,25 @@
        debug information (the scenario builders are deterministic, so a
        locally built twin of the served scenario has identical
        addresses), while memory, allocation and calls go over the wire.}
-    {- {!eval} — ship a whole DUEL query to the server ([qDuelEval:])
-       and stream the formatted result lines back; one round-trip per
-       {e query}.  {!eval_send}/{!eval_recv} split the halves so
-       several clients can keep evals in flight concurrently (the
-       pipelined benchmark).}}
+    {- {!eval} — ship a whole DUEL query to the server and stream the
+       formatted result lines back; one round-trip per {e query}.
+       {!eval_send}/{!eval_recv} split the halves so several clients
+       can keep evals in flight concurrently (the pipelined
+       benchmark).}}
+
+    {2 Failure policy}
+
+    Every wait has a deadline: a dead, wedged or lossy server produces a
+    typed [Failure], never a hang.  A reply missing after
+    [retry_policy.reply_timeout] is retried with exponential backoff and
+    jitter — but only when a resend cannot execute twice.  Memory
+    reads/writes and pure queries are idempotent and resend as-is;
+    evaluation goes over the wire as [qDuelEvalSeq:<seq>,<budget>;expr],
+    which the server deduplicates by sequence number (a resend replays
+    the stored reply without re-running the command) — the [budget] is
+    the client's remaining deadline, so the server fails a request typed
+    when nobody is waiting for the answer any more.  Allocation and
+    target calls are not resendable; their timeout is a clean failure.
 
     {2 Cache coherence}
 
@@ -32,21 +46,52 @@
     the wire's [qDuelFrames] count, marking the cache stale whenever it
     changes. *)
 
+type retry_policy = {
+  attempts : int;  (** total send attempts per request, including the first *)
+  reply_timeout : float;  (** seconds to wait for a reply per attempt *)
+  base_backoff : float;  (** seconds before the first resend *)
+  max_backoff : float;  (** cap on the exponential growth *)
+  jitter : float;  (** fraction of each delay randomised away, [0..1] *)
+}
+
+val default_retry : retry_policy
+(** 8 attempts, 2 s reply timeout, 20 ms base backoff doubling to a
+    500 ms cap, 0.5 jitter. *)
+
+type counters = {
+  mutable resends : int;  (** requests retransmitted after a reply timeout *)
+  mutable timeouts : int;  (** reply waits that expired *)
+  mutable naks_sent : int;  (** damaged reply frames we NAKed *)
+  mutable naks_seen : int;  (** server NAKs of our (damaged) requests *)
+  mutable dup_frames : int;  (** stale or duplicate reply frames discarded *)
+}
+
 type t
 
-val connect : ?pump:(unit -> unit) -> ?timeout:float -> string -> t
+val connect :
+  ?pump:(unit -> unit) -> ?timeout:float -> ?retry:retry_policy -> string -> t
 (** [connect addr] opens ["unix:PATH"] or ["HOST:PORT"] (bare ["PORT"]
     means loopback).  [pump] is called instead of blocking in [select]
     whenever a read or write would block — the cooperative driver for a
     server living in the same process (tests, benchmarks) is
-    [~pump:(fun () -> ignore (Server.step srv 0.01))].  [timeout]
-    (default 30 s) bounds every wait for the server.
+    [~pump:(fun () -> ignore (Server.step srv 0.01))]; deadlines apply
+    in pump mode too, so a shut-down in-process server cannot wedge the
+    client.  [timeout] (default 30 s) bounds each whole operation;
+    [retry] governs per-reply waits and resends.
     @raise Unix.Unix_error if the connection is refused.
     @raise Failure on a malformed address. *)
 
-val of_fd : ?pump:(unit -> unit) -> ?timeout:float -> Unix.file_descr -> t
+val of_fd :
+  ?pump:(unit -> unit) ->
+  ?timeout:float ->
+  ?retry:retry_policy ->
+  Unix.file_descr ->
+  t
 (** Adopt an already-connected socket (one end of a [socketpair] whose
     other end was {!Server.inject}ed).  Sets it non-blocking. *)
+
+val counters : t -> counters
+(** This connection's client-side retry/recovery counters. *)
 
 val close : t -> unit
 
@@ -55,9 +100,11 @@ val parse_addr : string -> Unix.sockaddr
 
 val exchange : t -> string -> string
 (** One framed packet out, one framed reply back — the shape
-    {!Duel_rsp.Client.connect} wants.  Retransmits on server NAK (up
-    to 3 times), NAKs damaged replies so the server retransmits.
-    @raise Failure on timeout, EOF, or persistent rejection. *)
+    {!Duel_rsp.Client.connect} wants.  Retransmits on server NAK, NAKs
+    damaged replies so the server retransmits, and resends idempotent
+    requests whose reply timed out (with backoff; see the failure
+    policy above).
+    @raise Failure on deadline, EOF, or persistent rejection. *)
 
 val rpc : t -> string -> string
 (** {!exchange} at the payload level (encode, exchange, decode). *)
@@ -74,11 +121,21 @@ val eval : t -> string -> string list
     is damaged. *)
 
 val eval_send : t -> string -> unit
-(** Fire the [qDuelEval:] request without waiting — pair with
+(** Fire the eval request ([qDuelEvalSeq]) without waiting — pair with
     {!eval_recv}.  At most one eval may be in flight per connection. *)
 
 val eval_recv : t -> string list
-(** Collect the streamed reply of the pending {!eval_send}. *)
+(** Collect the streamed reply of the pending {!eval_send}: data chunks
+    are de-duplicated by index, stale frames from earlier exchanges are
+    discarded, and a missing or partly damaged reply is re-requested by
+    sequence number (the server replays the stored reply without
+    re-executing).  Damaged frames {e within} the stream are not NAKed
+    — a NAK retransmits the whole stored multi-frame reply, which
+    snowballs on long streams; the terminal frame's line count reveals
+    what is missing and the seq re-request fetches it precisely.  The
+    overall deadline set at {!eval_send} bounds everything.
+    @raise Failure on deadline or a typed server failure — never a
+    hang, even if the server dies mid-reply. *)
 
 val server_stats : t -> (string * int) list
 (** The server's [qDuelStats] counters, parsed. *)

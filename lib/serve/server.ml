@@ -26,6 +26,18 @@ module Rsp_server = Duel_rsp.Server
 module Session = Duel_core.Session
 module Inferior = Duel_target.Inferior
 
+(* Server-side fault points for chaos testing.  The hook is consulted at
+   each point and answers "inject here?"; a deterministic (seeded) hook
+   makes a failing schedule replayable.  Every injection is counted in
+   the [chaos] stat so a soak run can prove the fault path was actually
+   exercised. *)
+type fault_point =
+  | Accept  (** close an accepted connection before serving it *)
+  | Reply_drop  (** swallow an outgoing reply (client must time out) *)
+  | Reply_truncate  (** send only a reply prefix (client must NAK) *)
+  | Stall_read  (** skip reading a ready connection this step *)
+  | Stall_write  (** skip writing a writable connection this step *)
+
 type config = {
   max_conns : int;
   idle_timeout : float;
@@ -35,6 +47,7 @@ type config = {
   max_eval_values : int;
   eval_chunk : int;
   limits : Rsp_server.limits;
+  fault_hook : (fault_point -> bool) option;
 }
 
 let default_config =
@@ -47,6 +60,7 @@ let default_config =
     max_eval_values = 10_000;
     eval_chunk = 32;
     limits = Rsp_server.default_limits;
+    fault_hook = None;
   }
 
 type stats = {
@@ -62,6 +76,8 @@ type stats = {
   mutable naks : int;
   mutable timeouts : int;
   mutable limited : int;
+  mutable chaos : int;
+  mutable eval_dups : int;
   hist : Histogram.t;
 }
 
@@ -76,6 +92,11 @@ type conn = {
   mutable requests : int;
   mutable rx_bytes : int;
   mutable last_reply : string;  (* retransmitted on a client NAK *)
+  (* at-most-once bookkeeping for qDuelEvalSeq: a resent request with
+     the sequence number we already served replays the stored reply
+     without re-executing the command *)
+  mutable last_eval_seq : int;  (* -1: none yet *)
+  mutable last_eval_reply : string;
   session : Session.t;
 }
 
@@ -107,6 +128,8 @@ let fresh_stats () =
     naks = 0;
     timeouts = 0;
     limited = 0;
+    chaos = 0;
+    eval_dups = 0;
     hist = Histogram.create ();
   }
 
@@ -173,6 +196,8 @@ let new_conn t fd =
       requests = 0;
       rx_bytes = 0;
       last_reply = "";
+      last_eval_seq = -1;
+      last_eval_reply = "";
       session;
     }
   in
@@ -249,10 +274,11 @@ let chunked chunk lines =
 
 let stats_wire t =
   Printf.sprintf
-    "accepted=%d;active=%d;peak=%d;closed=%d;packets=%d;evals=%d;eval_values=%d;faults=%d;naks=%d;timeouts=%d;limited=%d;bytes_in=%d;bytes_out=%d;%s"
+    "accepted=%d;active=%d;peak=%d;closed=%d;packets=%d;evals=%d;eval_values=%d;faults=%d;naks=%d;timeouts=%d;limited=%d;chaos=%d;eval_dups=%d;bytes_in=%d;bytes_out=%d;%s"
     t.st.accepted (List.length t.conns) t.st.peak_active t.st.closed
     t.st.packets t.st.evals t.st.eval_values t.st.faults t.st.naks
-    t.st.timeouts t.st.limited t.st.bytes_in t.st.bytes_out
+    t.st.timeouts t.st.limited t.st.chaos t.st.eval_dups t.st.bytes_in
+    t.st.bytes_out
     (Histogram.to_wire t.st.hist)
 
 let stats_to_lines t =
@@ -266,6 +292,8 @@ let stats_to_lines t =
       t.st.eval_values;
     Printf.sprintf "lifecycle: %d idle timeouts, %d limit rejections"
       t.st.timeouts t.st.limited;
+    Printf.sprintf "chaos: %d injected server faults, %d eval replays deduped"
+      t.st.chaos t.st.eval_dups;
   ]
   @ Histogram.to_lines t.st.hist
 
@@ -278,6 +306,81 @@ let shutdown t =
   t.accepting <- false;
   t.shutting <- true
 
+let fault t point =
+  match t.cfg.fault_hook with
+  | None -> false
+  | Some hook ->
+      let hit = hook point in
+      if hit then t.st.chaos <- t.st.chaos + 1;
+      hit
+
+(* qDuelEvalSeq:<seq>[,<budget-ms>];<expr> — the resend-safe eval form.
+
+   Evaluation is not idempotent (a query may store through the target or
+   call a target function), so a client whose reply was lost cannot
+   blindly resend a plain [qDuelEval:].  The sequence number makes the
+   resend safe: the server keeps the last served (seq, reply) per
+   connection and replays the stored reply, without re-executing, when
+   the same seq arrives again.  Replies are tagged with the seq — data
+   chunks [D<seq>,<idx>;...], terminal [T<seq>,<count>], typed failure
+   [F<seq>;<msg>] — so the client can discard stale frames from an
+   abandoned earlier exchange and de-duplicate chunks.  The optional
+   budget is the client's remaining deadline in milliseconds; a request
+   arriving with no budget left fails typed ([F<seq>;deadline]) instead
+   of burning target time on an answer nobody is waiting for. *)
+let eval_seq t c spec =
+  match String.index_opt spec ';' with
+  | None -> frame "E00"
+  | Some semi -> (
+      let head = String.sub spec 0 semi in
+      let expr = String.sub spec (semi + 1) (String.length spec - semi - 1) in
+      let seq_s, budget =
+        match String.index_opt head ',' with
+        | None -> (head, None)
+        | Some comma ->
+            ( String.sub head 0 comma,
+              Some
+                (String.sub head (comma + 1) (String.length head - comma - 1))
+            )
+      in
+      match int_of_string_opt ("0x" ^ seq_s) with
+      | None -> frame "E00"
+      | Some seq when seq < 0 -> frame "E00"
+      | Some seq ->
+          if seq = c.last_eval_seq then begin
+            t.st.eval_dups <- t.st.eval_dups + 1;
+            c.last_eval_reply
+          end
+          else
+            let budget_ms =
+              match budget with
+              | None -> None
+              | Some b -> (
+                  match int_of_string_opt ("0x" ^ b) with
+                  | None -> Some (-1) (* unparsable budget: treat as spent *)
+                  | some -> some)
+            in
+            let reply =
+              match budget_ms with
+              | Some ms when ms <= 0 -> frame (Printf.sprintf "F%x;deadline" seq)
+              | _ ->
+                  t.st.evals <- t.st.evals + 1;
+                  let lines = eval_lines t c expr in
+                  t.st.eval_values <- t.st.eval_values + List.length lines;
+                  let chunks = chunked t.cfg.eval_chunk lines in
+                  String.concat ""
+                    (List.mapi
+                       (fun i ls ->
+                         frame
+                           (Printf.sprintf "D%x,%x;%s" seq i
+                              (String.concat "\n" ls)))
+                       chunks)
+                  ^ frame (Printf.sprintf "T%x,%x" seq (List.length lines))
+            in
+            c.last_eval_seq <- seq;
+            c.last_eval_reply <- reply;
+            reply)
+
 (* Process one complete, valid request frame.  Returns the reply text
    (one or more frames, already encoded and concatenated). *)
 let dispatch t c payload =
@@ -286,6 +389,8 @@ let dispatch t c payload =
     shutdown t;
     frame "OK"
   end
+  else if has_prefix "qDuelEvalSeq:" payload then
+    eval_seq t c (after "qDuelEvalSeq:" payload)
   else if has_prefix "qDuelEval:" payload then begin
     t.st.evals <- t.st.evals + 1;
     let lines = eval_lines t c (after "qDuelEval:" payload) in
@@ -331,7 +436,14 @@ let handle_event t c = function
         let reply = dispatch t c payload in
         Histogram.add t.st.hist (Unix.gettimeofday () -. t0);
         c.last_reply <- reply;
-        enqueue c reply
+        (* chaos fault points on the reply path.  [last_reply] is set
+           first in both cases, so the normal recovery machinery (NAK
+           retransmit for a truncated reply, timed-out resend + seq
+           replay for a dropped one) is what gets exercised. *)
+        if fault t Reply_drop then ()
+        else if fault t Reply_truncate then
+          enqueue c (String.sub reply 0 (String.length reply / 2))
+        else enqueue c reply
       end
 
 let read_some t c =
@@ -355,6 +467,12 @@ let accept_some t lfd =
         if List.length t.conns >= t.cfg.max_conns then begin
           t.st.limited <- t.st.limited + 1;
           try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else if fault t Accept then begin
+          (* the connection dies before its first byte is served — the
+             client sees a clean EOF and must treat it as retriable *)
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          go ()
         end
         else begin
           ignore (new_conn t fd);
@@ -389,12 +507,23 @@ let step t timeout =
     t.accepting && List.length t.conns < t.cfg.max_conns
   in
   let rd_listen = if can_accept then List.map fst t.listeners else [] in
+  (* chaos stall decisions, one per connection per step, shared by the
+     select sets and the opportunistic flush below *)
+  let stalled_read = List.filter (fun _ -> fault t Stall_read) t.conns in
+  let stalled_write = List.filter (fun _ -> fault t Stall_write) t.conns in
   let rd_conns =
     List.filter
-      (fun c -> (not c.closing) && c.out_bytes <= t.cfg.max_output)
+      (fun c ->
+        (not c.closing)
+        && c.out_bytes <= t.cfg.max_output
+        && not (List.memq c stalled_read))
       t.conns
   in
-  let wr_conns = List.filter (fun c -> c.out_bytes > 0) t.conns in
+  let wr_conns =
+    List.filter
+      (fun c -> c.out_bytes > 0 && not (List.memq c stalled_write))
+      t.conns
+  in
   let rds = rd_listen @ List.map (fun c -> c.fd) rd_conns in
   let wrs = List.map (fun c -> c.fd) wr_conns in
   (match Unix.select rds wrs [] timeout with
@@ -410,7 +539,11 @@ let step t timeout =
         wr_conns
   | exception Unix.Unix_error (EINTR, _, _) -> ());
   (* opportunistic flush: replies produced by this step's reads *)
-  List.iter (fun c -> if c.out_bytes > 0 then write_some t c) t.conns;
+  List.iter
+    (fun c ->
+      if c.out_bytes > 0 && not (List.memq c stalled_write) then
+        write_some t c)
+    t.conns;
   (* drained closing connections can go *)
   List.iter
     (fun c -> if c.closing && c.out_bytes = 0 then drop t c)

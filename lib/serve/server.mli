@@ -14,6 +14,16 @@
        chunked [D<line>\n<line>...] frames ended by [T<hex count>].  A
        thin client pays one round-trip per {e query} instead of one per
        scalar.}
+    {- [qDuelEvalSeq:<seq>[,<budget-ms>];<expr>] — the resend-safe eval
+       form.  Evaluation may have side effects, so a client that lost a
+       reply cannot blindly resend a plain [qDuelEval:]; here the server
+       keeps the last served (seq, reply) per connection and {e replays}
+       the stored reply, without re-executing, when the same hex [seq]
+       arrives again (counted in the [eval_dups] stat).  Replies are
+       tagged: data chunks [D<seq>,<idx>;...], terminal
+       [T<seq>,<count>], typed failure [F<seq>;<msg>].  A request whose
+       optional [budget-ms] (the client's remaining deadline) is already
+       spent answers [F<seq>;deadline] instead of evaluating.}
     {- [qDuelStats] — the observability counters as [key=value;...]
        (see {!stats_wire}).}
     {- [qDuelShutdown] — reply [OK] and begin a graceful shutdown.}}
@@ -31,6 +41,14 @@
     ({!Duel_rsp.Server.limits}).  {!shutdown} stops accepting, drains
     every queued reply, then closes. *)
 
+(** Server-side chaos fault points (see [config.fault_hook]). *)
+type fault_point =
+  | Accept  (** close an accepted connection before serving it *)
+  | Reply_drop  (** swallow an outgoing reply (client must time out) *)
+  | Reply_truncate  (** send only a reply prefix (client must NAK) *)
+  | Stall_read  (** skip reading a ready connection for one step *)
+  | Stall_write  (** skip writing a writable connection for one step *)
+
 type config = {
   max_conns : int;  (** accepted connections beyond this are refused *)
   idle_timeout : float;  (** seconds of silence before the reaper; <= 0 disables *)
@@ -42,6 +60,11 @@ type config = {
       (** cap on values a [qDuelEval] streams back (then ["..."]) *)
   eval_chunk : int;  (** result lines per [D] frame *)
   limits : Duel_rsp.Server.limits;  (** target resource limits *)
+  fault_hook : (fault_point -> bool) option;
+      (** chaos injection: consulted at each fault point, answers
+          "inject here?".  Use a deterministic (seeded) hook so a
+          failing schedule replays; every injection increments the
+          [chaos] stat.  [None] (the default) costs nothing. *)
 }
 
 val default_config : config
@@ -59,6 +82,8 @@ type stats = {
   mutable naks : int;  (** client NAKs (retransmissions) *)
   mutable timeouts : int;  (** idle connections reaped *)
   mutable limited : int;  (** budget/capacity rejections *)
+  mutable chaos : int;  (** injected server-side faults *)
+  mutable eval_dups : int;  (** [qDuelEvalSeq] resends answered by replay *)
   hist : Histogram.t;  (** per-request service time *)
 }
 

@@ -42,6 +42,35 @@ let socket_dbgi ?(cache = true) inf =
   let _srv, cl = socket_stack inf in
   Duel_serve.Client.dbgi ~cache cl (Duel_rsp.Client.debug_info_of_inferior inf)
 
+(* Retry tuned for in-process chaos runs: waits are pump-driven and
+   short, so a lost reply costs milliseconds, not the 2 s wire default. *)
+let quick_retry =
+  {
+    Duel_serve.Client.attempts = 10;
+    reply_timeout = 0.25;
+    base_backoff = 0.001;
+    max_backoff = 0.01;
+    jitter = 0.5;
+  }
+
+(* The socket stack with a chaos byte-mangler spliced into the wire: the
+   client talks to a [Duel_chaos.Proxy] relay which talks to the real
+   server loop, both pumped cooperatively from the client's waits. *)
+let mangled_socket_stack ?config ~up ~down inf =
+  let srv = Duel_serve.Server.create ?config inf in
+  let proxy, client_end, server_end = Duel_chaos.Proxy.between ~up ~down () in
+  Duel_serve.Server.inject srv server_end;
+  let pump () =
+    ignore (Duel_serve.Server.step srv 0.005);
+    ignore (Duel_chaos.Proxy.step proxy 0.005)
+  in
+  let cl = Duel_serve.Client.of_fd ~pump ~retry:quick_retry client_end in
+  (srv, cl)
+
+let mangled_socket_dbgi ?(cache = false) ~up ~down inf =
+  let _srv, cl = mangled_socket_stack ~up ~down inf in
+  Duel_serve.Client.dbgi ~cache cl (Duel_rsp.Client.debug_info_of_inferior inf)
+
 (* One reusable session per engine: alias pollution across cases is part of
    real usage, but tests that care create their own kit. *)
 let exec k q = Session.exec k.session q

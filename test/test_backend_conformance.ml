@@ -27,6 +27,64 @@ let backends =
     (* and with the probe-less (Explicit-policy) client cache on top —
        the full remote-debugging stack *)
     ("socket+dcache", fun inf -> Support.socket_dbgi ~cache:true inf);
+    (* the chaos proxy at fault rate zero must be invisible *)
+    ( "direct+chaos0",
+      fun inf ->
+        Duel_chaos.Chaos.(
+          wrap_dbgi
+            ~sleep:(fun _ -> Alcotest.fail "chaos0 slept")
+            (plan ~seed:1 off)
+            (Duel_target.Backend.direct ~cache:false inf)) );
+    (* injected transients absorbed by the retry layer.  The call
+       channel stays quiet: a call is not idempotent, so its transient
+       is a typed error by design, which is not what this battery
+       asserts — the chaos suite covers that path. *)
+    ( "direct+chaos+retry",
+      fun inf ->
+        let open Duel_chaos.Chaos in
+        let profile = { mild with call_transient = 0. } in
+        resilient
+          ~sleep:(fun _ -> ())
+          ~seed:7
+          (wrap_dbgi
+             ~sleep:(fun _ -> ())
+             (plan ~seed:7 profile)
+             (Duel_target.Backend.direct ~cache:false inf)) );
+    (* the RSP loopback through a checksum-flipping wire: every damaged
+       frame is NAKed and retransmitted, so the battery must pass
+       unchanged — including at-most-once alloc/call *)
+    ( "rsp+checksum-mangled",
+      fun inf ->
+        let server = Duel_rsp.Server.create inf in
+        let m =
+          Duel_chaos.Mangler.(create ~seed:3 (checksum_only ~rate:0.3))
+        in
+        Duel_rsp.Client.connect
+          ~exchange:
+            (Duel_chaos.Chaos.mangled_exchange m
+               (Duel_rsp.Server.handle server))
+          (Duel_rsp.Client.debug_info_of_inferior inf) );
+    (* and through plain byte corruption *)
+    ( "rsp+corrupt-mangled",
+      fun inf ->
+        let server = Duel_rsp.Server.create inf in
+        let m = Duel_chaos.Mangler.(create ~seed:4 (corrupting ~rate:0.01)) in
+        Duel_rsp.Client.connect
+          ~exchange:
+            (Duel_chaos.Chaos.mangled_exchange m
+               (Duel_rsp.Server.handle server))
+          (Duel_rsp.Client.debug_info_of_inferior inf) );
+    (* the mangler as a socket-level proxy around the serve event loop *)
+    ( "socket+mangled",
+      fun inf ->
+        Support.mangled_socket_dbgi ~cache:false
+          ~up:
+            (Duel_chaos.Mangler.create ~seed:5
+               (Duel_chaos.Mangler.checksum_only ~rate:0.2))
+          ~down:
+            (Duel_chaos.Mangler.create ~seed:6
+               (Duel_chaos.Mangler.checksum_only ~rate:0.2))
+          inf );
   ]
 
 (* Run [f label inf dbg] once per backend, each over a fresh debuggee. *)

@@ -18,6 +18,7 @@ let () =
       ("rsp", Test_rsp.suite);
       ("backend-conformance", Test_backend_conformance.suite);
       ("serve", Test_serve.suite);
+      ("chaos", Test_chaos.suite);
       ("dcache", Test_dcache.suite);
       ("cquery", Test_cquery.suite);
       ("session", Test_session.suite);

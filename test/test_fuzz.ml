@@ -60,9 +60,33 @@ let prop_parser_total =
       | exception Parser.Error _ -> true
       | exception Lexer.Error _ -> true)
 
+(* Directed: a runaway loop must come back as a reported error, never
+   hang the session (the fuzzer's token soup can and does produce
+   `while (1) 2`-shaped inputs). *)
+let runaway_loop_bounded () =
+  List.iter
+    (fun engine ->
+      let s = (Support.kit ()).Support.session in
+      s.Session.engine <- engine;
+      s.Session.env.Duel_core.Env.flags.Duel_core.Env.expansion_limit <- 1000;
+      List.iter
+        (fun src ->
+          let lines = Session.exec s src in
+          Alcotest.(check bool)
+            (Printf.sprintf "%S reports the iteration limit" src)
+            true
+            (List.exists
+               (fun l -> Support.contains_sub l "iterations")
+               lines))
+        (* the third body yields no values at all: the bound must count
+           iterations, not produced values *)
+        [ "while (1) 2;"; "for (; 1; ) 2;"; "while (1) {2;}" ])
+    [ Session.Seq_engine; Session.Sm_engine ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_lexer_total;
     QCheck_alcotest.to_alcotest prop_parser_total;
     QCheck_alcotest.to_alcotest prop_never_crashes;
+    Support.case "runaway loop is bounded (both engines)" runaway_loop_bounded;
   ]

@@ -398,6 +398,101 @@ let stats_report () =
        (Server.stats_to_lines srv));
   Client.close cl
 
+let stats_have_chaos_counters () =
+  let _srv, cl = Support.socket_stack (Scenarios.all ()) in
+  let st = Client.server_stats cl in
+  Alcotest.(check (option int)) "chaos key" (Some 0) (List.assoc_opt "chaos" st);
+  Alcotest.(check (option int))
+    "eval_dups key" (Some 0)
+    (List.assoc_opt "eval_dups" st);
+  Client.close cl
+
+(* --- deframer resync on a frame cut inside its checksum ------------------ *)
+
+(* A frame whose tail was lost, with the next (valid) frame's '$'
+   arriving in the same read chunk: consuming the '$' as a checksum
+   digit would silently discard the valid frame. *)
+let deframer_cut_at_checksum () =
+  let good = Packet.encode "m10,4" in
+  (* cut after '#': the '$' lands where the first checksum digit goes *)
+  let d = Deframer.create () in
+  let cut1 = String.sub good 0 (String.length good - 2) in
+  Alcotest.(check (list ev))
+    "cut before both digits"
+    [ Deframer.Bad "frame cut at checksum"; Deframer.Frame "qDuelStats" ]
+    (feed_string d (cut1 ^ Packet.encode "qDuelStats"));
+  (* cut after one checksum digit: the '$' lands on the second *)
+  let d = Deframer.create () in
+  let cut2 = String.sub good 0 (String.length good - 1) in
+  Alcotest.(check (list ev))
+    "cut between the digits"
+    [ Deframer.Bad "frame cut at checksum"; Deframer.Frame "qDuelStats" ]
+    (feed_string d (cut2 ^ Packet.encode "qDuelStats"));
+  (* same, delivered a byte at a time *)
+  let d = Deframer.create () in
+  Alcotest.(check (list ev))
+    "bytewise delivery agrees"
+    [ Deframer.Bad "frame cut at checksum"; Deframer.Frame "qDuelStats" ]
+    (feed_bytewise d (cut2 ^ Packet.encode "qDuelStats"))
+
+(* --- the receive deadline ------------------------------------------------ *)
+
+let tight_retry = { Client.default_retry with attempts = 2; reply_timeout = 0.1 }
+
+(* The server ACKs the eval request and dies before the first data
+   frame: the old client blocked in [select] forever; now the wait is
+   deadlined and the EOF is a typed failure. *)
+let client_survives_server_death_mid_reply () =
+  let server_end, client_end = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  let cl = Client.of_fd ~retry:tight_retry client_end in
+  Client.eval_send cl "x[3]";
+  let buf = Bytes.create 1024 in
+  ignore (Unix.read server_end buf 0 1024);
+  ignore (Unix.write_substring server_end "+" 0 1);
+  Unix.close server_end;
+  let t0 = Unix.gettimeofday () in
+  (match Client.eval_recv cl with
+  | lines ->
+      Alcotest.failf "a dead server answered %S" (String.concat "\\n" lines)
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        "typed EOF failure" true
+        (Support.contains_sub msg "closed"));
+  if Unix.gettimeofday () -. t0 > 5. then Alcotest.fail "hung on a dead server";
+  Client.close cl
+
+(* ACKed but never answered, connection held open: the reply timeout and
+   the bounded resend budget must turn silence into a typed failure. *)
+let client_bounds_silent_server () =
+  let server_end, client_end = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  let cl = Client.of_fd ~retry:tight_retry client_end in
+  Client.eval_send cl "x[3]";
+  let buf = Bytes.create 1024 in
+  ignore (Unix.read server_end buf 0 1024);
+  ignore (Unix.write_substring server_end "+" 0 1);
+  let t0 = Unix.gettimeofday () in
+  (match Client.eval_recv cl with
+  | lines ->
+      Alcotest.failf "a silent server answered %S" (String.concat "\\n" lines)
+  | exception Failure _ -> ());
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt > 5. then Alcotest.failf "gave up only after %.1f s" dt;
+  Alcotest.(check bool)
+    "the reply wait timed out at least once" true
+    ((Client.counters cl).Client.timeouts >= 1);
+  Unix.close server_end;
+  Client.close cl
+
+(* A qDuelEvalSeq whose budget is already spent must be refused typed,
+   without evaluating. *)
+let eval_seq_budget_expired () =
+  let srv, cl = Support.socket_stack (Scenarios.all ()) in
+  Alcotest.(check string)
+    "deadline refusal" "F7;deadline"
+    (Client.rpc cl "qDuelEvalSeq:7,0;x[3]");
+  Alcotest.(check int) "nothing evaluated" 0 (Server.stats srv).Server.evals;
+  Client.close cl
+
 (* --- client-cache coherence over the wire -------------------------------- *)
 
 let eval_invalidates_client_cache () =
@@ -447,6 +542,15 @@ let suite =
     case "backpressure pauses reads until drained" backpressure;
     case "graceful shutdown drains and completes" graceful_shutdown;
     case "qDuelStats reports live counters" stats_report;
+    case "qDuelStats carries the chaos counters" stats_have_chaos_counters;
+    case "deframer resyncs on a frame cut at its checksum"
+      deframer_cut_at_checksum;
+    case "client survives a server dying mid-reply"
+      client_survives_server_death_mid_reply;
+    case "client bounds a silent server with its deadline"
+      client_bounds_silent_server;
+    case "spent eval budget is refused without evaluating"
+      eval_seq_budget_expired;
     case "remote eval invalidates the client cache"
       eval_invalidates_client_cache;
   ]
