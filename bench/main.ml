@@ -15,8 +15,18 @@ module Env = Duel_core.Env
 module Scenarios = Duel_scenarios.Scenarios
 module Cquery = Duel_cquery.Cquery
 module Conciseness = Duel_cquery.Conciseness
+module Backend = Duel_backend.Backend
+module Dbgi = Duel_dbgi.Dbgi
+module Dispatcher = Duel_dbgi.Dispatcher
 
 let ( // ) a b = if b = 0.0 then Float.nan else a /. b
+
+(* Backends are built from spec strings (lib/backend): the configuration
+   a tier measures is the same value a user can hand to oduel --target. *)
+let backend_of spec =
+  match Backend.of_string spec with
+  | Ok b -> b
+  | Error m -> failwith (spec ^ ": " ^ m)
 
 (* --- tiny driver on top of bechamel ------------------------------------ *)
 
@@ -249,15 +259,11 @@ let b6 () =
     "B6  narrow interface: direct backend vs RSP loopback   (paper: the \
      interface is intentionally narrow; here every access crosses a \
      gdbserver-style packet layer)";
-  let direct_s = session_of (Scenarios.all ()) in
-  (* cache off: this experiment measures the bare packet layer; D1 below
-     measures what the data cache recovers. *)
-  let rsp_s =
-    Session.create (Duel_rsp.Client.loopback ~cache:false (Scenarios.all ()))
-  in
-  let rsp_cached_s =
-    Session.create (Duel_rsp.Client.loopback (Scenarios.all ()))
-  in
+  (* cache off on the bare-RSP arm: this experiment measures the packet
+     layer; D1 below measures what the data cache recovers. *)
+  let direct_s = Session.create (Backend.of_spec "direct:all+cache") in
+  let rsp_s = Session.create (Backend.of_spec "rsp:all") in
+  let rsp_cached_s = Session.create (Backend.of_spec "rsp:all+cache") in
   let query = "x[..100] >? 0" in
   let results =
     measure
@@ -369,41 +375,30 @@ let best_of k fn =
   in
   go (time_run fn) (k - 1)
 
-(* A loopback RSP client whose exchange counts framed packets. *)
-let counted_client ~cache inf =
-  let packets = ref 0 in
-  let server = Duel_rsp.Server.create inf in
-  let exchange p =
-    incr packets;
-    Duel_rsp.Server.handle server p
-  in
-  let raw =
-    Duel_rsp.Client.connect ~exchange
-      (Duel_rsp.Client.debug_info_of_inferior inf)
-  in
-  let dbg = if cache then Duel_dbgi.Dcache.wrap raw else raw in
-  (dbg, packets)
-
-let d1_workload ~name ~query ~size ~make_inf =
+(* The RSP loopback with the backend library's packet counter; the
+   cached arm is literally the same spec plus "+cache". *)
+let d1_workload ~name ~query ~size ~spec =
   (* Uncached: every access is a round-trip. *)
-  let dbg_u, packets_u = counted_client ~cache:false (make_inf ()) in
-  let s_u = Session.create dbg_u in
+  let b_u = backend_of spec in
+  let s_u = Session.create b_u.Backend.b_dbg in
   let run_u = prepared s_u query in
   run_u ();
-  let d_packets_uncached = !packets_u in
+  let d_packets_uncached = !(b_u.Backend.b_packets) in
   let d_uncached_s = best_of 3 run_u in
   (* Cached: the first (cold) run is the packet count that matters. *)
-  let dbg_c, packets_c = counted_client ~cache:true (make_inf ()) in
-  let s_c = Session.create dbg_c in
+  let b_c = backend_of (spec ^ "+cache") in
+  let s_c = Session.create b_c.Backend.b_dbg in
   let run_c = prepared s_c query in
   let d_cached_cold_s = time_run run_c in
-  let d_packets_cached = !packets_c in
+  let d_packets_cached = !(b_c.Backend.b_packets) in
   let d_cached_warm_s = best_of 3 run_c in
-  (match Duel_dbgi.Dcache.stats dbg_c with
+  (match Duel_dbgi.Dcache.stats b_c.Backend.b_dbg with
   | Some st ->
       Printf.printf "  %-14s cache counters: %s\n" name
         (String.concat "; " (Duel_dbgi.Dcache.to_lines st))
   | None -> ());
+  b_u.Backend.b_close ();
+  b_c.Backend.b_close ();
   {
     d_name = name;
     d_query = query;
@@ -459,12 +454,12 @@ let d1 ~quick ~json_file () =
   let depth = if quick then 9 else 11 in
   let r_list =
     d1_workload ~name:"deep_list" ~query:"#/(deep-->next->value)" ~size:n
-      ~make_inf:(fun () -> Scenarios.deep_list n)
+      ~spec:(Printf.sprintf "rsp:deep_list:%d" n)
   in
   let r_tree =
     d1_workload ~name:"deep_tree" ~query:"#/(droot-->(left,right)->key)"
       ~size:depth
-      ~make_inf:(fun () -> Scenarios.deep_tree depth)
+      ~spec:(Printf.sprintf "rsp:deep_tree:%d" depth)
   in
   let rows = [ r_list; r_tree ] in
   Printf.printf "  %-14s %10s %10s %8s %12s %12s %12s\n" "workload"
@@ -717,14 +712,18 @@ let s1 ~quick ~json_file () =
   let addr = Printf.sprintf "127.0.0.1:%d" port in
   let pump () = ignore (Server.step srv 0.01) in
   let st = Server.stats srv in
-  (* serial: per-scalar round-trips through the network Dbgi, cache off *)
-  let serial_cl = Client.connect ~pump addr in
-  pump ();
-  let dbg =
-    Client.dbgi ~cache:false serial_cl
-      (Duel_rsp.Client.debug_info_of_inferior inf)
+  (* serial: per-scalar round-trips through the network Dbgi, cache off;
+     dialled through the backend spec language like any other client,
+     debug info coming from the spec's local twin *)
+  let serial =
+    match
+      Backend.of_string ~pump (Printf.sprintf "tcp://%s#big:%d" addr n)
+    with
+    | Ok b -> b
+    | Error m -> failwith m
   in
-  let s = Session.create dbg in
+  pump ();
+  let s = Session.create serial.Backend.b_dbg in
   let ast = Session.parse s query in
   let packets0 = st.Server.packets in
   let s_serial_s =
@@ -734,7 +733,7 @@ let s1 ~quick ~json_file () =
         done)
   in
   let s_serial_packets = st.Server.packets - packets0 in
-  Client.close serial_cl;
+  serial.Backend.b_close ();
   pump ();
   (* pipelined: every client's eval is in flight before any is collected *)
   let clients = List.init nclients (fun _ -> Client.connect ~pump addr) in
@@ -920,6 +919,224 @@ let x1 ~quick ~json_file () =
   | None -> ());
   pass
 
+(* --- F1/F2: the dispatcher tier ------------------------------------------- *)
+
+(* F1 is a correctness gate: a dispatcher fronting one dead replica, one
+   fault-injected replica and one healthy replica must converge
+   bit-identically with a clean single-backend oracle, with the failovers
+   and the breaker trip visible in its counters.  F2 is the latency gate:
+   against two replicas with seeded injected stalls, hedging at p90 must
+   cut the read p99 by >= 3x over the same rig with hedging off. *)
+
+let faddr_of dbg name =
+  match dbg.Dbgi.find_variable name with
+  | Some { Dbgi.v_addr; _ } -> v_addr
+  | _ -> failwith ("variable not found: " ^ name)
+
+type f1_row = {
+  f1_spec : string;
+  f1_oracle : string;
+  f1_words : int;
+  f1_mismatches : int;
+  f1_queries_ok : bool;
+  f1_failovers : int;
+  f1_trips : int;
+  f1_dead_down : bool;
+}
+
+let f1_pass r =
+  r.f1_mismatches = 0 && r.f1_queries_ok && r.f1_failovers > 0
+  && r.f1_trips >= 1 && r.f1_dead_down
+
+let f1_run ~quick =
+  let n = if quick then 200 else 400 in
+  (* trip=1: score-based routing relegates a failed replica to the back
+     of the candidate list, so the dead replica is only ever retried
+     through the breaker's half-open probes — the first failure must
+     trip it for the sweep to observe the breaker at all *)
+  let spec =
+    Printf.sprintf
+      "dispatch(dead:big:%d,direct:big:%d+flaky(seed=21,profile=nasty),direct:big:%d;hedge=off,trip=1,probe=50ms)"
+      n n n
+  in
+  let oracle_spec = Printf.sprintf "direct:big:%d+cache" n in
+  let b = backend_of spec in
+  let ob = backend_of oracle_spec in
+  let dbg = b.Backend.b_dbg and odbg = ob.Backend.b_dbg in
+  let base = faddr_of dbg "big" in
+  let mismatches = ref 0 in
+  for i = 0 to n - 1 do
+    let addr = base + (4 * i) in
+    let got = dbg.Dbgi.get_bytes ~addr ~len:4 in
+    let want = odbg.Dbgi.get_bytes ~addr ~len:4 in
+    if not (Bytes.equal got want) then incr mismatches
+  done;
+  let q = Printf.sprintf "big[..%d] >? 0" n in
+  let f1_queries_ok =
+    Session.exec (Session.create dbg) q = Session.exec (Session.create odbg) q
+  in
+  let d =
+    match b.Backend.b_dispatchers with
+    | (_, d) :: _ -> d
+    | [] -> failwith "no dispatcher in the built stack"
+  in
+  let c = Dispatcher.counters d in
+  let f1_dead_down =
+    match Dispatcher.replica_health d with
+    | (_, h) :: _ -> not h.Dbgi.h_ok
+    | [] -> false
+  in
+  let row =
+    {
+      f1_spec = spec;
+      f1_oracle = oracle_spec;
+      f1_words = n;
+      f1_mismatches = !mismatches;
+      f1_queries_ok;
+      f1_failovers = c.Dispatcher.failovers;
+      f1_trips = c.Dispatcher.trips;
+      f1_dead_down;
+    }
+  in
+  b.Backend.b_close ();
+  ob.Backend.b_close ();
+  row
+
+type f2_row = {
+  f2_hedged_spec : string;
+  f2_unhedged_spec : string;
+  f2_ops : int;
+  f2_hedged_p50 : float;
+  f2_hedged_p99 : float;
+  f2_unhedged_p50 : float;
+  f2_unhedged_p99 : float;
+  f2_hedges_fired : int;
+  f2_hedge_wins : int;
+}
+
+let f2_gate = 3.0
+let f2_tail_cut r = r.f2_unhedged_p99 // r.f2_hedged_p99
+let f2_pass r = f2_tail_cut r >= f2_gate && r.f2_hedges_fired > 0
+
+let percentile_of xs p =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else a.(min (n - 1) (int_of_float (ceil (p *. float_of_int (n - 1)))))
+
+let f2_run ~quick =
+  let n = 256 in
+  let ops = if quick then 400 else 1000 in
+  let mk hedge =
+    (* asymmetric stall rates: the hedge only loses when both replicas
+       stall on the same op, which the seeds keep under the p99 slot *)
+    Printf.sprintf
+      "dispatch(direct:big:%d+stall(seed=31,ms=15,rate=0.05),direct:big:%d+stall(seed=32,ms=15,rate=0.02);hedge=%s)"
+      n n hedge
+  in
+  let arm spec =
+    let b = backend_of spec in
+    let dbg = b.Backend.b_dbg in
+    let base = faddr_of dbg "big" in
+    let lats = ref [] in
+    for i = 0 to ops - 1 do
+      let addr = base + (4 * (i mod n)) in
+      let t0 = Unix.gettimeofday () in
+      ignore (dbg.Dbgi.get_bytes ~addr ~len:4);
+      lats := (Unix.gettimeofday () -. t0) :: !lats
+    done;
+    let d =
+      match b.Backend.b_dispatchers with
+      | (_, d) :: _ -> d
+      | [] -> failwith "no dispatcher in the built stack"
+    in
+    let c = Dispatcher.counters d in
+    b.Backend.b_close ();
+    (!lats, c)
+  in
+  let hedged_spec = mk "p90" and unhedged_spec = mk "off" in
+  let h_lats, h_c = arm hedged_spec in
+  let u_lats, _ = arm unhedged_spec in
+  {
+    f2_hedged_spec = hedged_spec;
+    f2_unhedged_spec = unhedged_spec;
+    f2_ops = ops;
+    f2_hedged_p50 = percentile_of h_lats 0.50;
+    f2_hedged_p99 = percentile_of h_lats 0.99;
+    f2_unhedged_p50 = percentile_of u_lats 0.50;
+    f2_unhedged_p99 = percentile_of u_lats 0.99;
+    f2_hedges_fired = h_c.Dispatcher.hedges_fired;
+    f2_hedge_wins = h_c.Dispatcher.hedge_wins;
+  }
+
+let f_json ~quick r1 r2 =
+  Printf.sprintf
+    "{\n\
+    \  \"bench\": \"dispatcher_failover_hedging\",\n\
+    \  \"quick\": %b,\n\
+    \  \"f1\": {\"spec\": %S, \"oracle\": %S, \"words\": %d,\n\
+    \         \"mismatches\": %d, \"queries_match\": %b, \"failovers\": %d,\n\
+    \         \"trips\": %d, \"dead_replica_down\": %b, \"pass\": %b},\n\
+    \  \"f2\": {\"hedged_spec\": %S, \"unhedged_spec\": %S, \"ops\": %d,\n\
+    \         \"hedged_p50_s\": %.6f, \"hedged_p99_s\": %.6f,\n\
+    \         \"unhedged_p50_s\": %.6f, \"unhedged_p99_s\": %.6f,\n\
+    \         \"tail_cut\": %.2f, \"gate\": %.1f,\n\
+    \         \"hedges_fired\": %d, \"hedge_wins\": %d, \"pass\": %b},\n\
+    \  \"pass\": %b\n\
+     }\n"
+    quick r1.f1_spec r1.f1_oracle r1.f1_words r1.f1_mismatches r1.f1_queries_ok
+    r1.f1_failovers r1.f1_trips r1.f1_dead_down (f1_pass r1) r2.f2_hedged_spec
+    r2.f2_unhedged_spec r2.f2_ops r2.f2_hedged_p50 r2.f2_hedged_p99
+    r2.f2_unhedged_p50 r2.f2_unhedged_p99 (f2_tail_cut r2) f2_gate
+    r2.f2_hedges_fired r2.f2_hedge_wins (f2_pass r2)
+    (f1_pass r1 && f2_pass r2)
+
+let f_tier ~quick ~json_file () =
+  header
+    "F1  dispatcher: dead + fault-injected + healthy replicas vs the clean \
+     oracle (gate: bit-identical convergence with visible failover)";
+  let r1 = f1_run ~quick in
+  Printf.printf "  %-42s %s\n" "spec" r1.f1_spec;
+  Printf.printf "  %-42s %d/%d words, %s\n" "bit-identical with oracle"
+    (r1.f1_words - r1.f1_mismatches)
+    r1.f1_words
+    (if r1.f1_queries_ok then "query output equal" else "QUERY OUTPUT DIFFERS");
+  Printf.printf "  %-42s %d failovers, %d trips, dead replica %s\n"
+    "routing under faults" r1.f1_failovers r1.f1_trips
+    (if r1.f1_dead_down then "reported down" else "STILL REPORTED UP");
+  verdict (f1_pass r1)
+    (Printf.sprintf
+       "%d/%d words match through one dead and one fault-injected replica \
+        (%d failovers, %d breaker trips)"
+       (r1.f1_words - r1.f1_mismatches)
+       r1.f1_words r1.f1_failovers r1.f1_trips);
+  header
+    "F2  hedged reads: two stalling replicas, hedge=p90 vs hedge=off (gate: \
+     unhedged p99 >= 3x hedged p99)";
+  let r2 = f2_run ~quick in
+  Printf.printf "  %-42s %s %s\n" "hedged   p50 / p99"
+    (ns (r2.f2_hedged_p50 *. 1e9))
+    (ns (r2.f2_hedged_p99 *. 1e9));
+  Printf.printf "  %-42s %s %s\n" "unhedged p50 / p99"
+    (ns (r2.f2_unhedged_p50 *. 1e9))
+    (ns (r2.f2_unhedged_p99 *. 1e9));
+  Printf.printf "  %-42s %d fired, %d won\n" "hedges" r2.f2_hedges_fired
+    r2.f2_hedge_wins;
+  verdict (f2_pass r2)
+    (Printf.sprintf
+       "hedging cuts the stalled p99 %.1fx (gate %.1fx) over %d reads; %d \
+        hedges fired, %d won"
+       (f2_tail_cut r2) f2_gate r2.f2_ops r2.f2_hedges_fired r2.f2_hedge_wins);
+  (match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (f_json ~quick r1 r2);
+      close_out oc;
+      Printf.printf "  (wrote %s)\n" file
+  | None -> ());
+  f1_pass r1 && f2_pass r2
+
 (* --- C1: conciseness table ------------------------------------------------ *)
 
 let c1 () =
@@ -951,17 +1168,19 @@ let () =
   let json_lower = find_flag "--json-lower" argv in
   let json_serve = find_flag "--json-serve" argv in
   let json_chaos = find_flag "--json-chaos" argv in
+  let json_dispatch = find_flag "--json-dispatch" argv in
   let pass =
     if quick then (
       (* CI smoke mode: the gated tiers only, small sizes. *)
       Printf.printf
         "DUEL benchmarks, quick mode (D1 data-cache, L1 lowering, S1 \
-         serving and X1 chaos tiers)\n";
+         serving, X1 chaos and F1/F2 dispatcher tiers)\n";
       let d1_ok = d1 ~quick ~json_file () in
       let l1_ok = l1 ~quick ~json_file:json_lower () in
       let s1_ok = s1 ~quick ~json_file:json_serve () in
       let x1_ok = x1 ~quick ~json_file:json_chaos () in
-      d1_ok && l1_ok && s1_ok && x1_ok)
+      let f_ok = f_tier ~quick ~json_file:json_dispatch () in
+      d1_ok && l1_ok && s1_ok && x1_ok && f_ok)
     else begin
       Printf.printf
         "DUEL reproduction benchmarks (see DESIGN.md section 4 and \
@@ -977,9 +1196,10 @@ let () =
       let l1_ok = l1 ~quick:false ~json_file:json_lower () in
       let s1_ok = s1 ~quick:false ~json_file:json_serve () in
       let x1_ok = x1 ~quick:false ~json_file:json_chaos () in
+      let f_ok = f_tier ~quick:false ~json_file:json_dispatch () in
       c1 ();
       Printf.printf "\ndone.\n";
-      d1_ok && l1_ok && s1_ok && x1_ok
+      d1_ok && l1_ok && s1_ok && x1_ok && f_ok
     end
   in
   exit (if pass then 0 else 1)

@@ -18,16 +18,13 @@ module Scenarios = Duel_scenarios.Scenarios
 module Interp = Duel_minic.Interp
 module Debugger = Duel_debug.Debugger
 module Chaos = Duel_chaos.Chaos
+module Backend = Duel_backend.Backend
 
 let make_inferior scenario =
-  match scenario with
-  | "all" -> Scenarios.all ()
-  | "symtab" -> Scenarios.symtab ()
-  | "faulty" -> Scenarios.faulty ()
-  | s when String.length s > 4 && String.sub s 0 4 = "big:" ->
-      Scenarios.big_array (int_of_string (String.sub s 4 (String.length s - 4)))
-  | s ->
-      Printf.eprintf "unknown scenario %s (try all, symtab, faulty, big:<n>)\n" s;
+  match Backend.scenario_of_name scenario with
+  | Ok inf -> inf
+  | Error msg ->
+      Printf.eprintf "unknown scenario %s: %s\n" scenario msg;
       exit 2
 
 let help_text =
@@ -40,6 +37,7 @@ let help_text =
   set compress <n>       -->a[[n]] compression threshold (default 4)
   set limit <n>          cap displayed values (0 = unlimited)
   info scenario          describe the loaded debuggee
+  info backend           the resolved --target spec tree, caps, health
   info cache             target-memory data cache counters (see --no-cache)
   info lower             name-resolution cache counters (hits/misses/stale)
   info chaos             fault-injection and retry counters (see --chaos)
@@ -172,20 +170,31 @@ let handle_program_command dbg line =
       true
   | _ -> false
 
-let handle_command session inf scenario program rig line =
+let handle_command session inf scenario program built line =
   let flags = session.Session.env.Env.flags in
   match String.split_on_char ' ' (String.trim line) with
   | [ "" ] -> ()
   | [ "help" ] -> print_endline help_text
   | [ "info"; "scenario" ] -> print_endline (scenario_info scenario)
+  | [ "info"; "backend" ] -> (
+      match built with
+      | Some b -> List.iter print_endline (Backend.describe b)
+      | None -> print_endline "backend: debugger-owned (program mode)")
   | [ "info"; "cache" ] ->
       List.iter print_endline (Session.cache_stats session)
   | [ "info"; "lower" ] ->
       List.iter print_endline (Session.lower_stats session)
   | [ "info"; "chaos" ] -> (
-      match rig with
-      | Some r -> List.iter print_endline (Chaos.rig_report r)
-      | None -> print_endline "chaos: off (enable with --chaos)")
+      match built with
+      | Some b when b.Backend.b_rigs <> [] ->
+          List.iter
+            (fun (label, r) ->
+              Printf.printf "%s:\n" label;
+              List.iter print_endline (Chaos.rig_report r))
+            b.Backend.b_rigs
+      | _ ->
+          print_endline
+            "chaos: off (enable with --chaos or a +chaos(...) spec)")
   | [ "set"; "symbolic"; v ] -> on_off flags (fun f b -> f.Env.symbolic <- b) v
   | [ "set"; "cycles"; v ] -> on_off flags (fun f b -> f.Env.cycle_detect <- b) v
   | [ "set"; "engine"; "seq" ] -> session.Session.engine <- Session.Seq_engine
@@ -205,19 +214,19 @@ let handle_command session inf scenario program rig line =
       | Some dbg when handle_program_command dbg line -> flush_target inf
       | _ -> eval_and_print session inf line)
 
-let repl session inf scenario program rig =
+let repl session inf scenario program built =
   Printf.printf
     "oduel — DUEL on a simulated debuggee (%s). Type help for help.\n"
     (match program with
     | Some _ -> "mini-C program loaded"
-    | None -> "scenario: " ^ scenario);
+    | None -> "target: " ^ scenario);
   let rec loop () =
     print_string "duel> ";
     flush stdout;
     match input_line stdin with
     | "quit" | "exit" -> ()
     | line ->
-        (try handle_command session inf scenario program rig line
+        (try handle_command session inf scenario program built line
          with e -> Printf.printf "error: %s\n" (Printexc.to_string e));
         loop ()
     | exception End_of_file -> ()
@@ -225,7 +234,8 @@ let repl session inf scenario program rig =
   loop ()
 
 (* "--chaos seed=N,profile=P" (either part optional, a bare word is a
-   profile): assemble the chaotic stack from lib/chaos. *)
+   profile) — kept as a deprecated alias that rewrites into a
+   +chaos(...) decorator on the synthesized --target spec. *)
 let parse_chaos spec =
   let seed = ref 0 and profile = ref "mild" in
   List.iter
@@ -246,13 +256,41 @@ let parse_chaos spec =
               Printf.eprintf "--chaos: unknown key %s (want seed=, profile=)\n" k;
               exit 2))
     (String.split_on_char ',' spec);
-  match Chaos.profile_of_string !profile with
-  | Ok p -> (!seed, p)
+  (match Chaos.profile_of_string !profile with
+  | Ok _ -> ()
   | Error msg ->
       Printf.eprintf "--chaos: %s\n" msg;
+      exit 2);
+  (!seed, !profile)
+
+(* The legacy flags, rewritten into a backend spec.  --rsp --chaos used
+   to get the byte mangler on the loopback wire for free; the rewritten
+   spec keeps that wiring explicit. *)
+let spec_of_legacy scenario use_rsp no_cache chaos =
+  let base = (if use_rsp then "rsp:" else "direct:") ^ scenario in
+  let mangle, chaos_deco =
+    match chaos with
+    | None -> ("", "")
+    | Some spec ->
+        let seed, profile = parse_chaos spec in
+        ( (if use_rsp then
+             Printf.sprintf "+mangle(seed=%d,profile=corrupt,rate=0.01)" seed
+           else ""),
+          Printf.sprintf "+chaos(seed=%d,profile=%s)" seed profile )
+  in
+  base ^ mangle ^ chaos_deco ^ if no_cache then "" else "+cache"
+
+let build_target ?make_inf spec_str =
+  match Backend.of_string ?make_inf spec_str with
+  | Ok built -> built
+  | Error msg ->
+      Printf.eprintf "oduel: bad target %s: %s\n" spec_str msg;
       exit 2
 
-let run scenario engine use_rsp no_cache chaos program_file exprs =
+let run target scenario engine use_rsp no_cache chaos program_file exprs =
+  let engine =
+    match engine with "sm" -> Session.Sm_engine | _ -> Session.Seq_engine
+  in
   let program_src =
     Option.map
       (fun path ->
@@ -263,63 +301,50 @@ let run scenario engine use_rsp no_cache chaos program_file exprs =
         src)
       program_file
   in
-  let inf =
+  let spec_str =
+    match target with
+    | Some t -> t
+    | None -> spec_of_legacy scenario use_rsp no_cache chaos
+  in
+  let inf, program, session, built =
     match program_src with
-    | Some _ ->
+    | Some src ->
+        if target <> None || chaos <> None then
+          prerr_endline "oduel: --target/--chaos are ignored in program mode";
         let inf = Inferior.create () in
         Duel_target.Stdfuncs.register_all inf;
-        inf
-    | None -> make_inferior scenario
-  in
-  let program =
-    Option.map
-      (fun src ->
         let interp = Interp.load inf src in
         let dbg = Debugger.create interp in
         Debugger.on_stop dbg stop_prompt;
-        dbg)
-      program_src
-  in
-  let cache = not no_cache in
-  let rig =
-    match chaos with
-    | None -> None
-    | Some _ when program <> None ->
-        prerr_endline "oduel: --chaos is ignored in program mode";
-        None
-    | Some spec ->
-        let seed, profile = parse_chaos spec in
-        Some
-          (if use_rsp then Chaos.rig_loopback ~cache ~seed profile inf
-           else Chaos.rig_direct ~cache ~seed profile inf)
-  in
-  let dbgi =
-    match rig with
-    | Some r -> r.Chaos.dbg
+        if use_rsp then begin
+          (* the program's own inferior, served through the loopback *)
+          let spec = "rsp:all" ^ if no_cache then "" else "+cache" in
+          let built = build_target ~make_inf:(fun _ -> inf) spec in
+          (inf, Some dbg, Session.create ~engine built.Backend.b_dbg, Some built)
+        end
+        else begin
+          let s = Debugger.session dbg in
+          s.Session.engine <- engine;
+          (inf, Some dbg, s, None)
+        end
     | None ->
-        if use_rsp then Duel_rsp.Client.loopback ~cache inf
-        else Duel_target.Backend.direct ~cache inf
+        let built = build_target spec_str in
+        ( built.Backend.b_inf,
+          None,
+          Session.create ~engine built.Backend.b_dbg,
+          Some built )
   in
-  let engine =
-    match engine with "sm" -> Session.Sm_engine | _ -> Session.Seq_engine
-  in
-  let session =
-    match program with
-    | Some dbg when not use_rsp ->
-        let s = Debugger.session dbg in
-        s.Session.engine <- engine;
-        s
-    | _ -> Session.create ~engine dbgi
-  in
-  match exprs with
-  | [] -> repl session inf scenario program rig
+  let scenario_display = if program = None then spec_str else scenario in
+  (match exprs with
+  | [] -> repl session inf scenario_display program built
   | exprs ->
       List.iter
         (fun e ->
           Printf.printf "duel> %s\n" e;
-          (try handle_command session inf scenario program rig e
+          (try handle_command session inf scenario_display program built e
            with ex -> Printf.printf "error: %s\n" (Printexc.to_string ex)))
-        exprs
+        exprs);
+  Option.iter (fun b -> b.Backend.b_close ()) built
 
 (* --- serve: the network query service ------------------------------------ *)
 
@@ -403,8 +428,9 @@ let connect addr scenario engine no_cache exprs =
   let di = Duel_rsp.Client.debug_info_of_inferior local in
   let cl =
     try Serve_client.connect addr
-    with Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "cannot connect to %s: %s\n" addr (Unix.error_message e);
+    with Serve_client.Error f ->
+      Printf.eprintf "cannot connect to %s: %s\n" addr
+        (Serve_client.failure_message f);
       exit 1
   in
   let dbgi = Serve_client.dbgi ~cache:(not no_cache) cl di in
@@ -442,6 +468,20 @@ let connect addr scenario engine no_cache exprs =
   Serve_client.close cl
 
 open Cmdliner
+
+let target_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "target" ] ~docv:"SPEC"
+        ~doc:
+          "Backend spec — the one addressing scheme for every stack: \
+           $(b,direct:all+cache), \
+           $(b,rsp:big:400+chaos(seed=3,profile=mild)+cache), \
+           $(b,dispatch(tcp://a:7777,tcp://b:7777;hedge=p90)).  Overrides \
+           the legacy --scenario/--rsp/--no-cache/--chaos flags, which \
+           are kept as aliases that rewrite into a spec.  Inspect the \
+           result with `info backend`.")
 
 let scenario_arg =
   Arg.(
@@ -495,8 +535,8 @@ let exprs_arg =
 
 let repl_term =
   Term.(
-    const run $ scenario_arg $ engine_arg $ rsp_arg $ no_cache_arg
-    $ chaos_arg $ program_arg $ exprs_arg)
+    const run $ target_arg $ scenario_arg $ engine_arg $ rsp_arg
+    $ no_cache_arg $ chaos_arg $ program_arg $ exprs_arg)
 
 let serve_cmd =
   let scenario_pos =

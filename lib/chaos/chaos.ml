@@ -175,7 +175,7 @@ let wrap_dbgi ?(sleep = Unix.sleepf) plan (d : Dbgi.t) =
     flake_call ();
     d.Dbgi.call_func name args
   in
-  { d with Dbgi.get_bytes; put_bytes; alloc_space; call_func }
+  Dbgi.add_layer "chaos" { d with Dbgi.get_bytes; put_bytes; alloc_space; call_func }
 
 (* Retry with backoff *)
 
@@ -227,13 +227,15 @@ let resilient ?(policy = default_retry) ?stats ?(sleep = Unix.sleepf)
     in
     go 1
   in
-  {
-    d with
-    Dbgi.get_bytes =
-      (fun ~addr ~len -> with_retry (fun () -> d.Dbgi.get_bytes ~addr ~len));
-    put_bytes = (fun ~addr data -> with_retry (fun () -> d.Dbgi.put_bytes ~addr data));
-    (* alloc_space / call_func deliberately un-retried: not idempotent *)
-  }
+  Dbgi.add_layer "retry"
+    {
+      d with
+      Dbgi.get_bytes =
+        (fun ~addr ~len -> with_retry (fun () -> d.Dbgi.get_bytes ~addr ~len));
+      put_bytes =
+        (fun ~addr data -> with_retry (fun () -> d.Dbgi.put_bytes ~addr data));
+      (* alloc_space / call_func deliberately un-retried: not idempotent *)
+    }
 
 (* Mangled RSP exchange *)
 

@@ -5,6 +5,17 @@ type cval =
   | Cint of Duel_ctype.Ctype.t * int64
   | Cfloat of Duel_ctype.Ctype.t * float
 
+type transport = Direct | Loopback | Socket | Synthetic
+
+type caps = { c_id : string; c_transport : transport; c_layers : string list }
+
+type health = {
+  h_ok : bool;
+  h_detail : string;
+  h_latency_ms : float;
+  h_failures : int;
+}
+
 type var_info = { v_addr : int; v_type : Duel_ctype.Ctype.t }
 
 type frame_info = {
@@ -22,7 +33,37 @@ type t = {
   find_variable : string -> var_info option;
   tenv : Duel_ctype.Tenv.t;
   frames : unit -> frame_info list;
+  caps : caps;
+  health : unit -> health;
 }
+
+let basic_caps ?(transport = Synthetic) ?(layers = []) id =
+  { c_id = id; c_transport = transport; c_layers = layers }
+
+let always_healthy () =
+  { h_ok = true; h_detail = "ok"; h_latency_ms = 0.; h_failures = 0 }
+
+let add_layer layer d =
+  { d with caps = { d.caps with c_layers = layer :: d.caps.c_layers } }
+
+let has_layer d layer = List.mem layer d.caps.c_layers
+
+let transport_name = function
+  | Direct -> "direct"
+  | Loopback -> "loopback"
+  | Socket -> "socket"
+  | Synthetic -> "synthetic"
+
+let caps_line c =
+  Printf.sprintf "%s via %s%s" c.c_id (transport_name c.c_transport)
+    (match c.c_layers with
+    | [] -> ""
+    | ls -> " [" ^ String.concat " " ls ^ "]")
+
+let health_line h =
+  Printf.sprintf "%s (%s; %.2f ms ewma, %d consecutive failures)"
+    (if h.h_ok then "ok" else "down")
+    h.h_detail h.h_latency_ms h.h_failures
 
 (* Readability probes registered by wrappers (the data cache): a probe
    answers [readable] without the cost of materialising bytes and raising

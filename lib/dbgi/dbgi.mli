@@ -44,6 +44,39 @@ exception Target_transient of { addr : int; len : int }
     Pointers travel as [Cint] with a pointer type. *)
 type cval = Cint of Duel_ctype.Ctype.t * int64 | Cfloat of Duel_ctype.Ctype.t * float
 
+(** {1 Identity and health}
+
+    Introspection over an otherwise-opaque record of functions.  A
+    backend's {!caps} says what it {e is} — which transport class moves
+    its bytes and which decoration layers wrap it — so tools
+    ([info backend], the {!Dispatcher}) can describe a stack without
+    reverse-engineering closures.  Its [health] thunk says how it is
+    {e doing} right now: trivially constant for simple backends, scored
+    live (EWMA latency, consecutive failures) by layers that track
+    faults. *)
+
+(** How the backend's live bytes travel. *)
+type transport =
+  | Direct  (** in-process simulator, no wire *)
+  | Loopback  (** RSP packets handled by an in-process server *)
+  | Socket  (** a real file descriptor: TCP, Unix-domain, socketpair *)
+  | Synthetic  (** fabricated for tests or fault rigs (e.g. a dead replica) *)
+
+type caps = {
+  c_id : string;  (** stable identity, e.g. ["direct:all"] *)
+  c_transport : transport;
+  c_layers : string list;
+      (** decoration layers, outermost first: ["cache"], ["retry"],
+          ["chaos"], ["dispatch"], … *)
+}
+
+type health = {
+  h_ok : bool;
+  h_detail : string;
+  h_latency_ms : float;  (** EWMA of recent op latency; [0.] if unmeasured *)
+  h_failures : int;  (** consecutive failures observed *)
+}
+
 type var_info = { v_addr : int; v_type : Duel_ctype.Ctype.t }
 
 type frame_info = {
@@ -67,7 +100,30 @@ type t = {
   frames : unit -> frame_info list;
       (** Active frames, innermost first ("the number of active frames" and
           locals, from the paper's miscellaneous functions). *)
+  caps : caps;  (** identity: transport class and decoration layers *)
+  health : unit -> health;
+      (** Live condition.  Must never raise and never touch the target:
+          it reports what recent operations observed. *)
 }
+
+val basic_caps : ?transport:transport -> ?layers:string list -> string -> caps
+(** [basic_caps id] with [Synthetic] transport and no layers by default. *)
+
+val always_healthy : unit -> health
+(** The constant answer for backends with nothing to measure. *)
+
+val add_layer : string -> t -> t
+(** Record one more decoration layer (outermost first) in [caps]. *)
+
+val has_layer : t -> string -> bool
+
+val transport_name : transport -> string
+
+val caps_line : caps -> string
+(** One line: ["direct:all via direct [cache retry]"]. *)
+
+val health_line : health -> string
+(** One line: ["ok (0.12 ms ewma, 0 consecutive failures)"]. *)
 
 val readable : t -> addr:int -> len:int -> bool
 (** [true] iff [get_bytes] would succeed — used by [-->] traversals to

@@ -374,6 +374,7 @@ let wrap ?(config = default_config) backend =
           around_target_op c (fun () -> backend.Dbgi.call_func name args));
     }
   in
+  let dbg = Dbgi.add_layer "cache" dbg in
   registry := (dbg, c) :: !registry;
   Dbgi.register_probe dbg (fun ~addr ~len -> probe c ~addr ~len);
   dbg

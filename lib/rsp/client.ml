@@ -103,6 +103,8 @@ let connect ~exchange di =
     find_variable = di.di_find_variable;
     tenv = di.di_tenv;
     frames = di.di_frames;
+    caps = Dbgi.basic_caps ~transport:Dbgi.Loopback "rsp";
+    health = Dbgi.always_healthy;
   }
 
 let loopback ?(cache = true) inf =

@@ -6,7 +6,7 @@
    from local debug information, live process state from the wire.
 
    Failure policy: every wait has a deadline, so a dead or wedged server
-   produces a typed [Failure], never a hang.  A reply that does not
+   produces a typed [Error], never a hang.  A reply that does not
    arrive within [reply_timeout] is retried with exponential backoff —
    but only when resending cannot double-execute: memory reads/writes
    and queries are idempotent, evaluation is resent via the
@@ -16,6 +16,33 @@
 module Packet = Duel_rsp.Packet
 module Dbgi = Duel_dbgi.Dbgi
 module Dcache = Duel_dbgi.Dcache
+
+(* Typed failures: a dispatcher or retry layer must be able to tell "the
+   replica is unreachable" (trip it, fail over) from "the server answered
+   and the answer is bad" (authoritative, propagate).  Raw [Failure]
+   cannot carry that distinction. *)
+type failure =
+  | Connect of string  (* establishing the connection failed *)
+  | Closed of string  (* the peer is gone: EOF, reset, broken pipe *)
+  | Timeout of string  (* a deadline expired, retries included *)
+  | Protocol of string  (* persistent NAKs or frames that defy the protocol *)
+  | Remote of string  (* the server executed the request and reported failure *)
+
+exception Error of failure
+
+let failure_message = function
+  | Connect m | Closed m | Timeout m | Protocol m | Remote m -> m
+
+let is_transport = function
+  | Connect _ | Closed _ | Timeout _ | Protocol _ -> true
+  | Remote _ -> false
+
+let fail f = raise (Error f)
+
+let () =
+  Printexc.register_printer (function
+    | Error f -> Some ("Duel_serve.Client.Error: " ^ failure_message f)
+    | _ -> None)
 
 type retry_policy = {
   attempts : int;  (** total send attempts per request, including the first *)
@@ -104,13 +131,13 @@ let parse_addr addr =
     let port =
       match int_of_string_opt port with
       | Some p -> p
-      | None -> failwith ("serve: bad port in address " ^ addr)
+      | None -> fail (Connect ("serve: bad port in address " ^ addr))
     in
     let ip =
       try Unix.inet_addr_of_string host
       with Failure _ -> (
         try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-        with Not_found -> failwith ("serve: unknown host " ^ host))
+        with Not_found -> fail (Connect ("serve: unknown host " ^ host)))
     in
     Unix.ADDR_INET (ip, port)
 
@@ -119,9 +146,11 @@ let connect ?pump ?timeout ?retry addr =
   let domain = Unix.domain_of_sockaddr sockaddr in
   let fd = Unix.socket domain SOCK_STREAM 0 in
   (try Unix.connect fd sockaddr
-   with e ->
+   with Unix.Unix_error (e, _, _) ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
+     fail
+       (Connect
+          (Printf.sprintf "serve: connect %s: %s" addr (Unix.error_message e))));
   of_fd ?pump ?timeout ?retry fd
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
@@ -178,9 +207,9 @@ let send_all t s =
       | written -> go (off + written)
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
           if wait_io t ~write:true deadline then go off
-          else failwith "serve: timed out sending to the server"
+          else fail (Timeout "serve: timed out sending to the server")
       | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
-          failwith "serve: connection closed by server"
+          fail (Closed "serve: connection closed by server")
   in
   go 0
 
@@ -194,14 +223,14 @@ let next_event_opt t deadline =
         Some e
     | [] -> (
         match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
-        | 0 -> failwith "serve: connection closed by server"
+        | 0 -> fail (Closed "serve: connection closed by server")
         | n ->
             t.events <- Packet.Deframer.feed t.dfr t.scratch 0 n;
             go ()
         | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
             if wait_io t ~write:false deadline then go () else None
         | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
-            failwith "serve: connection reset by server")
+            fail (Closed "serve: connection reset by server"))
   in
   go ()
 
@@ -279,7 +308,7 @@ let exchange t framed =
            resending is always safe *)
         t.ctr.naks_seen <- t.ctr.naks_seen + 1;
         if n >= t.retry.attempts then
-          failwith "serve: server rejected the packet repeatedly"
+          fail (Protocol "serve: server rejected the packet repeatedly")
         else attempt (n + 1)
     | `Timeout ->
         t.ctr.timeouts <- t.ctr.timeouts + 1;
@@ -289,11 +318,12 @@ let exchange t framed =
           attempt (n + 1)
         end
         else if may_resend then
-          failwith "serve: no reply from server (retries exhausted)"
+          fail (Timeout "serve: no reply from server (retries exhausted)")
         else
-          failwith
-            "serve: no reply from server (request not resendable: it may \
-             have side effects)"
+          fail
+            (Timeout
+               "serve: no reply from server (request not resendable: it may \
+                have side effects)")
   in
   attempt 1
 
@@ -303,8 +333,8 @@ let recv_reply t =
   let deadline = Unix.gettimeofday () +. t.retry.reply_timeout in
   match await_reply t deadline with
   | `Frame p -> p
-  | `Nak -> failwith "serve: unexpected NAK from the server"
-  | `Timeout -> failwith "serve: timed out waiting for the server"
+  | `Nak -> fail (Protocol "serve: unexpected NAK from the server")
+  | `Timeout -> fail (Timeout "serve: timed out waiting for the server")
 
 (* --- serve-level calls --------------------------------------------------- *)
 
@@ -322,7 +352,7 @@ let eval_frame seq expr deadline =
 let eval_send t expr =
   drain_stale t;
   if t.eval_pending <> None then
-    failwith "serve: an eval is already in flight on this connection";
+    invalid_arg "serve: an eval is already in flight on this connection";
   let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
   let deadline = Unix.gettimeofday () +. t.timeout in
@@ -394,14 +424,14 @@ let parse_eval_frame p =
 
 let eval_recv t =
   match t.eval_pending with
-  | None -> failwith "serve: no eval in flight"
+  | None -> invalid_arg "serve: no eval in flight"
   | Some (seq, expr, deadline) ->
       let finish r =
         t.eval_pending <- None;
         (* the eval ran arbitrary DUEL server-side: local caches are
            suspect whether it succeeded or not *)
         mark_caches_stale t;
-        match r with Ok lines -> lines | Error msg -> failwith msg
+        match r with `Done lines -> lines | `Fail f -> fail f
       in
       (* chunks indexed as the server numbered them; duplicates (from a
          whole-reply retransmit after one damaged frame) drop here *)
@@ -419,11 +449,11 @@ let eval_recv t =
             (List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) chunks []))
         in
         if List.length lines <> count then
-          Error
-            (Printf.sprintf
-               "serve: eval reply incomplete (%d of %d lines)"
-               (List.length lines) count)
-        else Ok lines
+          `Fail
+            (Protocol
+               (Printf.sprintf "serve: eval reply incomplete (%d of %d lines)"
+                  (List.length lines) count))
+        else `Done lines
       in
       let rec collect attempt =
         let reply_deadline =
@@ -433,9 +463,9 @@ let eval_recv t =
         | None ->
             t.ctr.timeouts <- t.ctr.timeouts + 1;
             if Unix.gettimeofday () >= deadline then
-              finish (Error "serve: eval deadline exhausted")
+              finish (`Fail (Timeout "serve: eval deadline exhausted"))
             else if attempt >= t.retry.attempts then
-              finish (Error "serve: no eval reply (retries exhausted)")
+              finish (`Fail (Timeout "serve: no eval reply (retries exhausted)"))
             else begin
               (* resending is safe: the server deduplicates by seq and
                  replays the stored reply without re-executing *)
@@ -449,7 +479,7 @@ let eval_recv t =
             (* our request frame was damaged in flight; same seq again *)
             t.ctr.naks_seen <- t.ctr.naks_seen + 1;
             if attempt >= t.retry.attempts then
-              finish (Error "serve: eval request rejected repeatedly")
+              finish (`Fail (Protocol "serve: eval request rejected repeatedly"))
             else begin
               send_all t (eval_frame seq expr deadline);
               collect (attempt + 1)
@@ -469,17 +499,17 @@ let eval_recv t =
                 collect attempt
             | Fin (s, count) when s = seq -> (
                 match assemble count with
-                | Ok lines -> finish (Ok lines)
-                | Error _ when attempt < t.retry.attempts ->
+                | `Done lines -> finish (`Done lines)
+                | `Fail _ when attempt < t.retry.attempts ->
                     (* chunks of this copy were damaged in flight; ask
                        for a replay (dedup by seq server-side) and keep
                        the chunks we already have *)
                     t.ctr.resends <- t.ctr.resends + 1;
                     send_all t (eval_frame seq expr deadline);
                     collect (attempt + 1)
-                | Error _ as e -> finish e)
+                | `Fail _ as e -> finish e)
             | Failed (s, msg) when s = seq ->
-                finish (Error ("serve: eval failed: " ^ msg))
+                finish (`Fail (Remote ("serve: eval failed: " ^ msg)))
             | Chunk _ | Fin _ | Failed _ ->
                 (* stale frames of an earlier exchange *)
                 t.ctr.dup_frames <- t.ctr.dup_frames + 1;
@@ -495,10 +525,10 @@ let eval_recv t =
                     (List.sort compare
                        (Hashtbl.fold (fun k v l -> (k, v) :: l) chunks []))
                 in
-                finish (Ok lines)
+                finish (`Done lines)
             | Unrelated ->
                 if String.length p >= 1 && p.[0] = 'E' then
-                  finish (Error ("serve: eval failed: " ^ p))
+                  finish (`Fail (Remote ("serve: eval failed: " ^ p)))
                 else begin
                   (* a late reply to some earlier, already-failed
                      exchange: stale, not ours to act on *)
@@ -527,7 +557,7 @@ let frame_count t =
   let reply = rpc t "qDuelFrames" in
   match int_of_string_opt ("0x" ^ reply) with
   | Some n -> n
-  | None -> failwith ("serve: bad qDuelFrames reply " ^ reply)
+  | None -> fail (Protocol ("serve: bad qDuelFrames reply " ^ reply))
 
 let shutdown_server t = ignore (rpc t "qDuelShutdown")
 
@@ -547,7 +577,24 @@ let dbgi ?(cache = true) t di =
     t.last_frame_count <- n;
     di.Duel_rsp.Client.di_frames ()
   in
-  let raw = { raw with Dbgi.frames } in
+  let health () =
+    {
+      Dbgi.h_ok = true;
+      h_detail =
+        Printf.sprintf "wire: %d resends, %d timeouts, %d naks seen"
+          t.ctr.resends t.ctr.timeouts t.ctr.naks_seen;
+      h_latency_ms = 0.;
+      h_failures = 0;
+    }
+  in
+  let raw =
+    {
+      raw with
+      Dbgi.frames;
+      caps = Dbgi.basic_caps ~transport:Dbgi.Socket "serve";
+      health;
+    }
+  in
   if not cache then raw
   else begin
     let dbg =

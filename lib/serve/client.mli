@@ -24,7 +24,7 @@
     {2 Failure policy}
 
     Every wait has a deadline: a dead, wedged or lossy server produces a
-    typed [Failure], never a hang.  A reply missing after
+    typed {!Error}, never a hang.  A reply missing after
     [retry_policy.reply_timeout] is retried with exponential backoff and
     jitter — but only when a resend cannot execute twice.  Memory
     reads/writes and pure queries are idempotent and resend as-is;
@@ -45,6 +45,33 @@
     write target memory), and the wrapped interface's [frames] probes
     the wire's [qDuelFrames] count, marking the cache stale whenever it
     changes. *)
+
+(** {2 Typed failures}
+
+    Everything this client raises about the {e conversation} is an
+    {!Error}, never a raw [Failure]: a health scorer (the
+    {!Duel_dbgi.Dispatcher}) must trip a replica on transport faults
+    only, and a string cannot carry that distinction.  {!is_transport}
+    draws the line: [Remote] means the server executed the request and
+    reported a failure — an authoritative answer, not a reason to fail
+    over. *)
+
+type failure =
+  | Connect of string  (** establishing the connection failed *)
+  | Closed of string  (** the peer is gone: EOF, reset, broken pipe *)
+  | Timeout of string  (** a deadline expired, retries included *)
+  | Protocol of string
+      (** persistent NAKs or frames that defy the protocol *)
+  | Remote of string
+      (** the server executed the request and reported failure *)
+
+exception Error of failure
+
+val failure_message : failure -> string
+
+val is_transport : failure -> bool
+(** [true] for everything except [Remote] — the faults that indicate the
+    {e replica} (not the query) is unhealthy. *)
 
 type retry_policy = {
   attempts : int;  (** total send attempts per request, including the first *)
@@ -78,8 +105,8 @@ val connect :
     in pump mode too, so a shut-down in-process server cannot wedge the
     client.  [timeout] (default 30 s) bounds each whole operation;
     [retry] governs per-reply waits and resends.
-    @raise Unix.Unix_error if the connection is refused.
-    @raise Failure on a malformed address. *)
+    @raise Error ([Connect _]) on a refused connection or malformed
+    address. *)
 
 val of_fd :
   ?pump:(unit -> unit) ->
@@ -104,7 +131,8 @@ val exchange : t -> string -> string
     damaged replies so the server retransmits, and resends idempotent
     requests whose reply timed out (with backoff; see the failure
     policy above).
-    @raise Failure on deadline, EOF, or persistent rejection. *)
+    @raise Error on deadline ([Timeout]), EOF ([Closed]), or persistent
+    rejection ([Protocol]). *)
 
 val rpc : t -> string -> string
 (** {!exchange} at the payload level (encode, exchange, decode). *)
@@ -117,8 +145,8 @@ val eval : t -> string -> string list
 (** [eval t expr] runs [expr] server-side in this connection's session
     and returns the formatted output lines.  Marks this connection's
     caches stale (see the coherence contract above).
-    @raise Failure if the server reports an error or the reply stream
-    is damaged. *)
+    @raise Error — [Remote] if the server reports an evaluation error,
+    transport-class otherwise. *)
 
 val eval_send : t -> string -> unit
 (** Fire the eval request ([qDuelEvalSeq]) without waiting — pair with
@@ -134,8 +162,8 @@ val eval_recv : t -> string list
     snowballs on long streams; the terminal frame's line count reveals
     what is missing and the seq re-request fetches it precisely.  The
     overall deadline set at {!eval_send} bounds everything.
-    @raise Failure on deadline or a typed server failure — never a
-    hang, even if the server dies mid-reply. *)
+    @raise Error on deadline or a typed server failure — never a hang,
+    even if the server dies mid-reply. *)
 
 val server_stats : t -> (string * int) list
 (** The server's [qDuelStats] counters, parsed. *)

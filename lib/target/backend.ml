@@ -21,6 +21,8 @@ let direct ?(cache = true) inf =
       find_variable = Inferior.find_variable inf;
       tenv = Inferior.tenv inf;
       frames = (fun () -> Inferior.frames inf);
+      caps = Dbgi.basic_caps ~transport:Dbgi.Direct "direct";
+      health = Dbgi.always_healthy;
     }
   in
   if cache then

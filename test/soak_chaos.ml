@@ -175,6 +175,27 @@ let soak_seed ~duration seed =
          (Dcache.wrap
             (Chaos.wrap_dbgi ~sleep:nosleep plan
                (Backend.direct ~cache:false inf))));
+    (* the replica dispatcher: a fault-injected primary, a dead replica
+       and a healthy one behind one spec string — reads must converge on
+       the oracle through failover, never serving a stale dirty range *)
+    let built =
+      match
+        Duel_backend.Backend.of_string
+          (Printf.sprintf
+             "dispatch(direct:all+flaky(seed=%d,profile=nasty-nocall),dead:all,direct:all;trip=2,probe=10ms)"
+             sub)
+      with
+      | Ok b -> b
+      | Error m -> raise (Diverged ("dispatcher rig: " ^ m))
+    in
+    soak_session ~label:"dispatcher" ~seed:sub
+      (Session.create built.Duel_backend.Backend.b_dbg);
+    List.iter
+      (fun (_, rig) ->
+        let st = Chaos.stats rig.Chaos.plan_ in
+        injected := !injected + st.Chaos.read_faults + st.Chaos.write_faults)
+      built.Duel_backend.Backend.b_rigs;
+    built.Duel_backend.Backend.b_close ();
     injected := !injected + (soak_serve ~seed:sub)
   done;
   Printf.printf "seed %d: %d rounds, %d faults injected, all converged\n%!"

@@ -1,98 +1,69 @@
-(* One battery of DBGI assertions run identically against the direct
-   in-process backend, the RSP loopback client, and the same stacks with
-   the data cache interposed: whatever the interface promises must hold
-   regardless of transport, and the cache must be observably transparent. *)
+(* One battery of DBGI assertions run identically against every backend
+   the spec language can name — direct, loopback, socket, mangled wires,
+   chaos layers, and replicated dispatchers: whatever the interface
+   promises must hold regardless of transport, and every layer must be
+   observably transparent.
+
+   The whole matrix is a list of spec strings; Backend.of_string is the
+   only construction path. *)
 
 module Ctype = Duel_ctype.Ctype
 module Dbgi = Duel_dbgi.Dbgi
 module Inferior = Duel_target.Inferior
 module Build = Duel_target.Build
-module Scenarios = Duel_scenarios.Scenarios
+module Backend = Duel_backend.Backend
 
 let case = Support.case
 
 let backends =
   [
-    ("direct", fun inf -> Duel_target.Backend.direct ~cache:false inf);
-    ("rsp", fun inf -> Duel_rsp.Client.loopback ~cache:false inf);
+    "direct:all";
+    "rsp:all";
     (* the default construction: cache with a coherence probe *)
-    ("direct+dcache", fun inf -> Duel_target.Backend.direct inf);
-    (* an explicitly probeless cache over the packet transport — the
-       remote-debugging configuration *)
-    ( "rsp+dcache",
-      fun inf ->
-        Duel_dbgi.Dcache.wrap (Duel_rsp.Client.loopback ~cache:false inf) );
-    (* the same traffic over a real socket through the serve event loop *)
-    ("socket", fun inf -> Support.socket_dbgi ~cache:false inf);
-    (* and with the probe-less (Explicit-policy) client cache on top —
-       the full remote-debugging stack *)
-    ("socket+dcache", fun inf -> Support.socket_dbgi ~cache:true inf);
-    (* the chaos proxy at fault rate zero must be invisible *)
-    ( "direct+chaos0",
-      fun inf ->
-        Duel_chaos.Chaos.(
-          wrap_dbgi
-            ~sleep:(fun _ -> Alcotest.fail "chaos0 slept")
-            (plan ~seed:1 off)
-            (Duel_target.Backend.direct ~cache:false inf)) );
+    "direct:all+cache";
+    (* a cache over the packet transport — the remote configuration *)
+    "rsp:all+cache";
+    (* the same traffic over a real socket through the serve event loop,
+       bare and with the probe-less (Explicit-policy) client cache *)
+    "serve:all";
+    "serve:all+cache";
+    (* injection at fault rate zero must be invisible *)
+    "direct:all+flaky(seed=1,profile=off)";
     (* injected transients absorbed by the retry layer.  The call
-       channel stays quiet: a call is not idempotent, so its transient
-       is a typed error by design, which is not what this battery
-       asserts — the chaos suite covers that path. *)
-    ( "direct+chaos+retry",
-      fun inf ->
-        let open Duel_chaos.Chaos in
-        let profile = { mild with call_transient = 0. } in
-        resilient
-          ~sleep:(fun _ -> ())
-          ~seed:7
-          (wrap_dbgi
-             ~sleep:(fun _ -> ())
-             (plan ~seed:7 profile)
-             (Duel_target.Backend.direct ~cache:false inf)) );
+       channel stays quiet (-nocall): a call is not idempotent, so its
+       transient is a typed error by design, which is not what this
+       battery asserts — the chaos suite covers that path. *)
+    "direct:all+chaos(seed=7,profile=mild-nocall)";
     (* the RSP loopback through a checksum-flipping wire: every damaged
        frame is NAKed and retransmitted, so the battery must pass
        unchanged — including at-most-once alloc/call *)
-    ( "rsp+checksum-mangled",
-      fun inf ->
-        let server = Duel_rsp.Server.create inf in
-        let m =
-          Duel_chaos.Mangler.(create ~seed:3 (checksum_only ~rate:0.3))
-        in
-        Duel_rsp.Client.connect
-          ~exchange:
-            (Duel_chaos.Chaos.mangled_exchange m
-               (Duel_rsp.Server.handle server))
-          (Duel_rsp.Client.debug_info_of_inferior inf) );
+    "rsp:all+mangle(seed=3,profile=checksum,rate=0.3)";
     (* and through plain byte corruption *)
-    ( "rsp+corrupt-mangled",
-      fun inf ->
-        let server = Duel_rsp.Server.create inf in
-        let m = Duel_chaos.Mangler.(create ~seed:4 (corrupting ~rate:0.01)) in
-        Duel_rsp.Client.connect
-          ~exchange:
-            (Duel_chaos.Chaos.mangled_exchange m
-               (Duel_rsp.Server.handle server))
-          (Duel_rsp.Client.debug_info_of_inferior inf) );
+    "rsp:all+mangle(seed=4,profile=corrupt,rate=0.01)";
     (* the mangler as a socket-level proxy around the serve event loop *)
-    ( "socket+mangled",
-      fun inf ->
-        Support.mangled_socket_dbgi ~cache:false
-          ~up:
-            (Duel_chaos.Mangler.create ~seed:5
-               (Duel_chaos.Mangler.checksum_only ~rate:0.2))
-          ~down:
-            (Duel_chaos.Mangler.create ~seed:6
-               (Duel_chaos.Mangler.checksum_only ~rate:0.2))
-          inf );
+    "serve:all+mangle(seed=5,profile=checksum,rate=0.2)";
+    (* replicated twins behind the dispatcher: identical replicas, a
+       flaky primary whose un-retried transients must fail over, mixed
+       transports, and a dead secondary that desyncs out of lockstep *)
+    "dispatch(direct:all,direct:all)";
+    "dispatch(direct:all+flaky(seed=9,profile=mild-nocall),direct:all)";
+    "dispatch(rsp:all,direct:all+cache)";
+    "dispatch(direct:all,dead:all)";
   ]
 
-(* Run [f label inf dbg] once per backend, each over a fresh debuggee. *)
+(* Run [f label inf dbg] once per backend, each over a fresh debuggee
+   ([inf] is the primary replica's inferior — the one whose stdout the
+   battery drains and whose addresses every twin shares). *)
 let conform f () =
   List.iter
-    (fun (label, make) ->
-      let inf = Scenarios.all () in
-      f (fun what -> label ^ ": " ^ what) inf (make inf))
+    (fun spec ->
+      match Backend.of_string spec with
+      | Error m -> Alcotest.fail (spec ^ ": " ^ m)
+      | Ok b ->
+          Fun.protect ~finally:b.Backend.b_close (fun () ->
+              f
+                (fun what -> spec ^ ": " ^ what)
+                b.Backend.b_inf b.Backend.b_dbg))
     backends
 
 let wild = 0x40000000

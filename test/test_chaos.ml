@@ -421,7 +421,10 @@ let serve_eval_deadline_no_hang () =
   | lines ->
       Alcotest.failf "eval answered %S through a dead reply path"
         (String.concat "\\n" lines)
-  | exception Failure _ -> ());
+  | exception Client.Error f ->
+      Alcotest.(check bool)
+        "deadline is a transport-class failure" true
+        (Client.is_transport f));
   let dt = Unix.gettimeofday () -. t0 in
   if dt > 5. then Alcotest.failf "gave up only after %.1f s" dt;
   Client.close cl

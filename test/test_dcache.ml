@@ -62,6 +62,8 @@ let make_fake ?(map_size = Memory.page_size) () =
       find_variable = (fun _ -> None);
       tenv = Duel_ctype.Tenv.create ();
       frames = (fun () -> []);
+      caps = Dbgi.basic_caps "fake";
+      health = Dbgi.always_healthy;
     }
   in
   { dbg; mem; events; calls }

@@ -17,6 +17,7 @@ let () =
       ("errors", Test_errors.suite);
       ("rsp", Test_rsp.suite);
       ("backend-conformance", Test_backend_conformance.suite);
+      ("dispatcher", Test_dispatcher.suite);
       ("serve", Test_serve.suite);
       ("chaos", Test_chaos.suite);
       ("dcache", Test_dcache.suite);

@@ -376,7 +376,10 @@ let graceful_shutdown () =
   Alcotest.(check bool) "loop reports completion" false (Server.step srv 0.0);
   (match Client.rpc cl "qDuelFrames" with
   | _ -> Alcotest.fail "server must be gone"
-  | exception Failure _ -> ());
+  | exception Client.Error f ->
+      Alcotest.(check bool)
+        "death is a transport-class failure" true
+        (Client.is_transport f));
   Client.close cl
 
 (* --- observability ------------------------------------------------------- *)
@@ -454,10 +457,7 @@ let client_survives_server_death_mid_reply () =
   (match Client.eval_recv cl with
   | lines ->
       Alcotest.failf "a dead server answered %S" (String.concat "\\n" lines)
-  | exception Failure msg ->
-      Alcotest.(check bool)
-        "typed EOF failure" true
-        (Support.contains_sub msg "closed"));
+  | exception Client.Error (Client.Closed _) -> ());
   if Unix.gettimeofday () -. t0 > 5. then Alcotest.fail "hung on a dead server";
   Client.close cl
 
@@ -474,7 +474,7 @@ let client_bounds_silent_server () =
   (match Client.eval_recv cl with
   | lines ->
       Alcotest.failf "a silent server answered %S" (String.concat "\\n" lines)
-  | exception Failure _ -> ());
+  | exception Client.Error (Client.Timeout _) -> ());
   let dt = Unix.gettimeofday () -. t0 in
   if dt > 5. then Alcotest.failf "gave up only after %.1f s" dt;
   Alcotest.(check bool)
