@@ -644,6 +644,161 @@ let l1 ~quick ~json_file () =
   | None -> ());
   pass
 
+(* --- V1: the bytecode VM tier --------------------------------------------- *)
+
+(* Steady-state cost of a compiled query on the three engines: the
+   unlowered walker (ast), the lowered walker (ir — the VM's comparison
+   point) and the bytecode VM.  Compiled once, re-driven, symbolics off:
+   the watchpoint pattern, same methodology as L1.  The [#/] reduce loop
+   is the hard gate — fully fused, its accumulator never leaves the VM's
+   integer registers, so the VM must beat the lowered walker by >= 2x.
+   The lookup- and chase-bound arms are parity gates (>= 0.9x): their
+   cost is name resolution and target reads, which the superinstructions
+   call straight into, so the VM must at least not regress them. *)
+
+let v1_reduce_gate = 2.0
+let v1_parity_gate = 0.9
+
+type v1_row = {
+  v_name : string;
+  v_query : string;
+  v_size : int;
+  v_ast_s : float;
+  v_ir_s : float;
+  v_vm_s : float;
+  v_gate : float;  (* required vm-over-ir speedup *)
+  v_super : int;  (* superinstruction dispatches during the VM timing *)
+  v_fused : int;  (* elements folded inside fused reduce loops *)
+}
+
+let v1_workload ~name ~query ~size ~gate ~make_inf =
+  let time engine lower =
+    let s = session_of (make_inf ()) in
+    s.Session.engine <- engine;
+    s.Session.env.Env.flags.Env.symbolic <- false;
+    s.Session.lower <- lower;
+    let ir = Session.compile s (Session.parse s query) in
+    let run () = ignore (Session.drive_ir s ir) in
+    run ();
+    (best_of 5 run, s.Session.vstats)
+  in
+  let v_ast_s, _ = time Session.Seq_engine false in
+  let v_ir_s, _ = time Session.Seq_engine true in
+  let v_vm_s, vs = time Session.Vm_engine true in
+  {
+    v_name = name;
+    v_query = query;
+    v_size = size;
+    v_ast_s;
+    v_ir_s;
+    v_vm_s;
+    v_gate = gate;
+    v_super = vs.Duel_core.Vm.v_super;
+    v_fused = vs.Duel_core.Vm.v_fused;
+  }
+
+let v1_pass r = r.v_ir_s >= r.v_gate *. r.v_vm_s
+
+let v1_json ~quick rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"bytecode_vm_engine\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b
+    (Printf.sprintf "  \"reduce_gate\": %.1f, \"parity_gate\": %.1f,\n"
+       v1_reduce_gate v1_parity_gate);
+  Buffer.add_string b "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"query\": %S, \"size\": %d,\n\
+           \     \"ast_s\": %.6f, \"ir_s\": %.6f, \"vm_s\": %.6f,\n\
+           \     \"vm_over_ir\": %.2f, \"gate\": %.1f, \"superinsns\": %d, \
+            \"fused\": %d, \"pass\": %b}%s\n"
+           r.v_name r.v_query r.v_size r.v_ast_s r.v_ir_s r.v_vm_s
+           (r.v_ir_s // Float.max r.v_vm_s 1e-9)
+           r.v_gate r.v_super r.v_fused (v1_pass r)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"pass\": %b\n}\n" (List.for_all v1_pass rows));
+  Buffer.contents b
+
+let v1 ~quick ~json_file () =
+  header
+    "V1  bytecode VM: compiled programs re-driven vs both walker engines \
+     (reduce loop gated at >= 2x over lowered IR; lookup and chase arms \
+     gated at >= 0.9x)";
+  let n_reduce = if quick then 200_000 else 1_000_000 in
+  let n_lookup = if quick then 2000 else 5000 in
+  let n_chase = if quick then 2000 else 10_000 in
+  let deep_stack () =
+    let inf = Scenarios.all () in
+    for _ = 1 to 40 do
+      Duel_target.Inferior.push_frame inf "fib"
+        [ ("n", Duel_ctype.Ctype.int); ("acc", Duel_ctype.Ctype.int) ]
+    done;
+    inf
+  in
+  let r_reduce =
+    v1_workload ~name:"reduce_sum" ~gate:v1_reduce_gate
+      ~query:(Printf.sprintf "+/(1..%d)" n_reduce)
+      ~size:n_reduce
+      ~make_inf:(fun () -> Scenarios.all ())
+  in
+  (* counting a pure range needs no loop at all: the fused form computes
+     hi-lo+1 algebraically, so this row's VM time is ~0 by design *)
+  let r_count =
+    v1_workload ~name:"reduce_count" ~gate:v1_reduce_gate
+      ~query:(Printf.sprintf "#/(1..%d)" n_reduce)
+      ~size:n_reduce
+      ~make_inf:(fun () -> Scenarios.all ())
+  in
+  let r_lookup =
+    v1_workload ~name:"lookup_bound" ~gate:v1_parity_gate
+      ~query:(Printf.sprintf "(1..%d) + i0" n_lookup)
+      ~size:n_lookup ~make_inf:deep_stack
+  in
+  let r_chase =
+    v1_workload ~name:"pointer_chase" ~gate:v1_parity_gate
+      ~query:"#/(deep-->next->value)" ~size:n_chase
+      ~make_inf:(fun () -> Scenarios.deep_list n_chase)
+  in
+  let rows = [ r_reduce; r_count; r_lookup; r_chase ] in
+  Printf.printf "  %-14s %12s %12s %12s %9s %10s %10s\n" "workload" "ast"
+    "lowered ir" "vm" "vm/ir" "superinsn" "fused";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-14s %s %s %s %8.2fx %10d %10d  [gate >= %.1fx]\n"
+        r.v_name
+        (ns (r.v_ast_s *. 1e9))
+        (ns (r.v_ir_s *. 1e9))
+        (ns (r.v_vm_s *. 1e9))
+        (r.v_ir_s // Float.max r.v_vm_s 1e-9)
+        r.v_super r.v_fused r.v_gate)
+    rows;
+  let pass = List.for_all v1_pass rows in
+  verdict pass
+    (Printf.sprintf
+       "the VM runs the fused +/ reduce loop %.1fx faster than the lowered \
+        walker (gate %.1fx; #/ collapses to O(1)) and holds %.2fx / %.2fx \
+        on the lookup- and chase-bound arms (gates %.1fx)"
+       (r_reduce.v_ir_s // Float.max r_reduce.v_vm_s 1e-9)
+       v1_reduce_gate
+       (r_lookup.v_ir_s // r_lookup.v_vm_s)
+       (r_chase.v_ir_s // r_chase.v_vm_s)
+       v1_parity_gate);
+  (match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (v1_json ~quick rows);
+      close_out oc;
+      Printf.printf "  (wrote %s)\n" file
+  | None -> ());
+  pass
+
 (* --- S1: the serving layer ------------------------------------------------ *)
 
 (* Two ways to run the same query against a remote target over loopback
@@ -1166,6 +1321,7 @@ let () =
   in
   let json_file = find_flag "--json" argv in
   let json_lower = find_flag "--json-lower" argv in
+  let json_vm = find_flag "--json-vm" argv in
   let json_serve = find_flag "--json-serve" argv in
   let json_chaos = find_flag "--json-chaos" argv in
   let json_dispatch = find_flag "--json-dispatch" argv in
@@ -1173,14 +1329,15 @@ let () =
     if quick then (
       (* CI smoke mode: the gated tiers only, small sizes. *)
       Printf.printf
-        "DUEL benchmarks, quick mode (D1 data-cache, L1 lowering, S1 \
-         serving, X1 chaos and F1/F2 dispatcher tiers)\n";
+        "DUEL benchmarks, quick mode (D1 data-cache, L1 lowering, V1 \
+         bytecode VM, S1 serving, X1 chaos and F1/F2 dispatcher tiers)\n";
       let d1_ok = d1 ~quick ~json_file () in
       let l1_ok = l1 ~quick ~json_file:json_lower () in
+      let v1_ok = v1 ~quick ~json_file:json_vm () in
       let s1_ok = s1 ~quick ~json_file:json_serve () in
       let x1_ok = x1 ~quick ~json_file:json_chaos () in
       let f_ok = f_tier ~quick ~json_file:json_dispatch () in
-      d1_ok && l1_ok && s1_ok && x1_ok && f_ok)
+      d1_ok && l1_ok && v1_ok && s1_ok && x1_ok && f_ok)
     else begin
       Printf.printf
         "DUEL reproduction benchmarks (see DESIGN.md section 4 and \
@@ -1194,12 +1351,13 @@ let () =
       b7 ();
       let d1_ok = d1 ~quick:false ~json_file () in
       let l1_ok = l1 ~quick:false ~json_file:json_lower () in
+      let v1_ok = v1 ~quick:false ~json_file:json_vm () in
       let s1_ok = s1 ~quick:false ~json_file:json_serve () in
       let x1_ok = x1 ~quick:false ~json_file:json_chaos () in
       let f_ok = f_tier ~quick:false ~json_file:json_dispatch () in
       c1 ();
       Printf.printf "\ndone.\n";
-      d1_ok && l1_ok && s1_ok && x1_ok && f_ok
+      d1_ok && l1_ok && v1_ok && s1_ok && x1_ok && f_ok
     end
   in
   exit (if pass then 0 else 1)

@@ -32,7 +32,9 @@ let help_text =
   duel <expr>            evaluate a DUEL expression (the `duel` prefix is optional)
   set symbolic on|off    compute symbolic values (default on)
   set cycles on|off      cycle detection for --> (default off)
-  set engine seq|sm      evaluation engine (default seq)
+  set engine vm|ir|ast   evaluation engine: bytecode VM, lowered-IR walker
+                         (default; alias seq, plus sm for the state machine),
+                         or the unlowered ablation
   set lower on|off       lower names to cached resolution slots (default on)
   set compress <n>       -->a[[n]] compression threshold (default 4)
   set limit <n>          cap displayed values (0 = unlimited)
@@ -40,6 +42,7 @@ let help_text =
   info backend           the resolved --target spec tree, caps, health
   info cache             target-memory data cache counters (see --no-cache)
   info lower             name-resolution cache counters (hits/misses/stale)
+  info vm                bytecode-VM counters (dispatch/superinsns/frames)
   info chaos             fault-injection and retry counters (see --chaos)
   help                   this text
   quit                   exit
@@ -184,6 +187,7 @@ let handle_command session inf scenario program built line =
       List.iter print_endline (Session.cache_stats session)
   | [ "info"; "lower" ] ->
       List.iter print_endline (Session.lower_stats session)
+  | [ "info"; "vm" ] -> List.iter print_endline (Session.vm_stats session)
   | [ "info"; "chaos" ] -> (
       match built with
       | Some b when b.Backend.b_rigs <> [] ->
@@ -199,6 +203,15 @@ let handle_command session inf scenario program built line =
   | [ "set"; "cycles"; v ] -> on_off flags (fun f b -> f.Env.cycle_detect <- b) v
   | [ "set"; "engine"; "seq" ] -> session.Session.engine <- Session.Seq_engine
   | [ "set"; "engine"; "sm" ] -> session.Session.engine <- Session.Sm_engine
+  | [ "set"; "engine"; "vm" ] -> session.Session.engine <- Session.Vm_engine
+  | [ "set"; "engine"; "ir" ] ->
+      (* lowered IR on the reference walker — the VM's comparison point *)
+      session.Session.engine <- Session.Seq_engine;
+      session.Session.lower <- true
+  | [ "set"; "engine"; "ast" ] ->
+      (* the unlowered ablation: same walker, every slot pinned dynamic *)
+      session.Session.engine <- Session.Seq_engine;
+      session.Session.lower <- false
   | [ "set"; "lower"; "on" ] -> session.Session.lower <- true
   | [ "set"; "lower"; "off" ] -> session.Session.lower <- false
   | [ "set"; "compress"; n ] -> (
@@ -287,10 +300,18 @@ let build_target ?make_inf spec_str =
       Printf.eprintf "oduel: bad target %s: %s\n" spec_str msg;
       exit 2
 
+(* --engine names: vm (bytecode), ir (lowered walker; seq is the legacy
+   alias), sm (state machine), ast (unlowered walker — the ablation,
+   which also pins lowering off). *)
+let engine_of_string s =
+  match s with
+  | "sm" -> (Session.Sm_engine, None)
+  | "vm" -> (Session.Vm_engine, None)
+  | "ast" -> (Session.Seq_engine, Some false)
+  | _ -> (Session.Seq_engine, None)
+
 let run target scenario engine use_rsp no_cache chaos program_file exprs =
-  let engine =
-    match engine with "sm" -> Session.Sm_engine | _ -> Session.Seq_engine
-  in
+  let engine, lower_override = engine_of_string engine in
   let program_src =
     Option.map
       (fun path ->
@@ -334,6 +355,7 @@ let run target scenario engine use_rsp no_cache chaos program_file exprs =
           Session.create ~engine built.Backend.b_dbg,
           Some built )
   in
+  Option.iter (fun b -> session.Session.lower <- b) lower_override;
   let scenario_display = if program = None then spec_str else scenario in
   (match exprs with
   | [] -> repl session inf scenario_display program built
@@ -434,10 +456,9 @@ let connect addr scenario engine no_cache exprs =
       exit 1
   in
   let dbgi = Serve_client.dbgi ~cache:(not no_cache) cl di in
-  let engine =
-    match engine with "sm" -> Session.Sm_engine | _ -> Session.Seq_engine
-  in
+  let engine, lower_override = engine_of_string engine in
   let session = Session.create ~engine dbgi in
+  Option.iter (fun b -> session.Session.lower <- b) lower_override;
   let eval_line line =
     try connect_command session cl line
     with e -> Printf.printf "error: %s\n" (Printexc.to_string e)
@@ -491,7 +512,7 @@ let scenario_arg =
 let engine_arg =
   Arg.(
     value & opt string "seq"
-    & info [ "engine" ] ~doc:"Evaluation engine: seq or sm.")
+    & info [ "engine" ] ~doc:"Evaluation engine: vm, ir (alias seq), sm or ast.")
 
 let rsp_arg =
   Arg.(

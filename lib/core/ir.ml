@@ -110,3 +110,73 @@ let rec pure_single = function
   | Lit _ | Name _ | Underscore -> true
   | Group e -> pure_single e
   | _ -> false
+
+(** Structural copy with fresh name records.  Slots are per-environment
+    state (stamps are only meaningful against the [Env] that wrote
+    them), so a compiled program cached server-side and shared across
+    sessions hands out clones: same literals, symbolics and strings,
+    fresh empty slots.  [Sdynamic] pins survive — they are a mode, not
+    cached state. *)
+let clone_name nm =
+  {
+    n_name = nm.n_name;
+    n_slot = (match nm.n_slot with Sdynamic -> Sdynamic | _ -> Snone);
+  }
+
+let rec clone_type te =
+  match te with
+  | Tready _ | Tname _ | Tstruct_ref _ | Tunion_ref _ | Tenum_ref _
+  | Ttypedef_ref _ ->
+      te
+  | Tptr t -> Tptr (clone_type t)
+  | Tarr (t, e) -> Tarr (clone_type t, Option.map clone e)
+
+and clone e =
+  match e with
+  | Lit _ | Underscore | Frames_gen -> e
+  | Name nm -> Name (clone_name nm)
+  | Unary (op, a) -> Unary (op, clone a)
+  | Incdec (op, a) -> Incdec (op, clone a)
+  | Binary (op, a, b) -> Binary (op, clone a, clone b)
+  | Logand (a, b) -> Logand (clone a, clone b)
+  | Logor (a, b) -> Logor (clone a, clone b)
+  | Filter (f, a, b) -> Filter (f, clone a, clone b)
+  | Cond (c, t, f) -> Cond (clone c, clone t, clone f)
+  | Assign (op, l, r) -> Assign (op, clone l, clone r)
+  | Cast (te, s, a) -> Cast (clone_type te, s, clone a)
+  | Call (callee, args) -> Call (callee, List.map clone args)
+  | Index (a, b) -> Index (clone a, clone b)
+  | With (k, a, b) -> With (k, clone a, clone b)
+  | To (a, b) -> To (clone a, clone b)
+  | To_inf a -> To_inf (clone a)
+  | Up_to a -> Up_to (clone a)
+  | Alt (a, b) -> Alt (clone a, clone b)
+  | Seq (a, b) -> Seq (clone a, clone b)
+  | Seq_void a -> Seq_void (clone a)
+  | Imply (a, b) -> Imply (clone a, clone b)
+  | Def_alias (n, a) -> Def_alias (n, clone a)
+  | Dfs (a, b) -> Dfs (clone a, clone b)
+  | Bfs (a, b) -> Bfs (clone a, clone b)
+  | Select (a, b) -> Select (clone a, clone b)
+  | Until (a, b) -> Until (clone a, clone b)
+  | Index_alias (a, n) -> Index_alias (clone a, n)
+  | Reduce (r, a, sym) -> Reduce (r, clone a, sym)
+  | Seq_eq (a, b) -> Seq_eq (clone a, clone b)
+  | Braces a -> Braces (clone a)
+  | Group a -> Group (clone a)
+  | If (c, t, f) -> If (clone c, clone t, Option.map clone f)
+  | For (i, c, s, b) ->
+      For (Option.map clone i, Option.map clone c, Option.map clone s, clone b)
+  | While (c, b) -> While (clone c, clone b)
+  | Decl ds -> Decl (List.map (fun (n, te) -> (n, clone_type te)) ds)
+  | Sizeof_expr (a, sym) -> Sizeof_expr (clone a, sym)
+  | Sizeof_type (te, sym) -> Sizeof_type (clone_type te, sym)
+  | Frame a -> Frame (clone a)
+
+(** Commands ending in [;] are evaluated for effect only — mirrors
+    {!Session}'s AST-level test on the lowered tree so a compiled
+    program remembers its display mode. *)
+let rec silent = function
+  | Seq_void _ -> true
+  | Seq (_, b) -> silent b
+  | _ -> false

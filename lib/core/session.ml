@@ -1,13 +1,15 @@
 module Tenv = Duel_ctype.Tenv
 module Dbgi = Duel_dbgi.Dbgi
 
-type engine = Seq_engine | Sm_engine
+type engine = Seq_engine | Sm_engine | Vm_engine
 
 type t = {
   env : Env.t;
   mutable engine : engine;
   mutable max_values : int;
   mutable lower : bool;
+  vstats : Vm.stats;
+  mutable vm_plan : (Ir.expr * Bytecode.program) option;
 }
 
 (* The resolution cache snoops the same write-generation counter as the
@@ -15,7 +17,14 @@ type t = {
    invalidates cached global slots exactly when it drops cached lines. *)
 let create ?(engine = Seq_engine) dbg =
   let probe = Duel_dbgi.Dcache.coherence_probe dbg in
-  { env = Env.create ?probe dbg; engine; max_values = 0; lower = true }
+  {
+    env = Env.create ?probe dbg;
+    engine;
+    max_values = 0;
+    lower = true;
+    vstats = Vm.fresh_stats ();
+    vm_plan = None;
+  }
 
 let parse session src =
   let tenv = session.env.Env.dbg.Dbgi.tenv in
@@ -26,10 +35,23 @@ let compile session ast =
   let mode = if session.lower then Lower.Cached else Lower.Dynamic in
   Lower.lower ~mode session.env ast
 
+(* The VM engine compiles the IR once and re-uses the program on
+   re-drives of the same tree (the memo is keyed by physical identity —
+   exactly the benchmark/watchpoint pattern). *)
+let vm_program session ir =
+  match session.vm_plan with
+  | Some (ir0, prog) when ir0 == ir -> prog
+  | _ ->
+      let prog = Compile.compile ir in
+      session.vm_plan <- Some (ir, prog);
+      prog
+
 let eval_ir session ir =
   match session.engine with
   | Seq_engine -> Eval_seq.eval session.env ir
   | Sm_engine -> Eval_sm.eval session.env ir
+  | Vm_engine ->
+      Vm.eval ~stats:session.vstats session.env (vm_program session ir)
 
 let eval session ast = eval_ir session (compile session ast)
 
@@ -61,13 +83,15 @@ let rec silent = function
   | Ast.Seq (_, b) -> silent b
   | _ -> false
 
-let exec session src =
+(* The shared command wrapper: evaluate a lazily-produced sequence,
+   format (or count) its values, map every failure to the session's
+   error lines, restore the scope stack, flush coalesced writes. *)
+let exec_with session (produce : unit -> bool * Value.t Seq.t) =
   let depth = Env.scope_depth session.env in
   let lines = ref [] in
   let emit line = lines := line :: !lines in
   (try
-     let ast = parse session src in
-     let quiet = silent ast in
+     let quiet, seq = produce () in
      let count = ref 0 in
      let consume v =
        incr count;
@@ -76,7 +100,7 @@ let exec session src =
            emit (format_value session v)
          else if !count = session.max_values + 1 then emit "..."
      in
-     Seq.iter consume (eval session ast)
+     Seq.iter consume seq
    with
   | Lexer.Error (msg, pos) ->
       emit (Printf.sprintf "syntax error at character %d: %s" pos msg)
@@ -122,6 +146,19 @@ let exec session src =
            addr len));
   List.rev !lines
 
+let exec session src =
+  exec_with session (fun () ->
+      let ast = parse session src in
+      (silent ast, eval session ast))
+
+(* Run an already-compiled program (the serve layer's plan cache): same
+   output contract as [exec] on the program's source text.  Always the
+   VM — a cached plan *is* VM bytecode. *)
+let exec_program session prog =
+  exec_with session (fun () ->
+      ( prog.Bytecode.quiet,
+        Vm.eval ~stats:session.vstats session.env prog ))
+
 let exec_string session src = String.concat "\n" (exec session src)
 
 let cache_stats session =
@@ -139,4 +176,19 @@ let lower_stats session =
     Printf.sprintf "lowering: %s" (if session.lower then "on" else "off");
     Printf.sprintf "slot lookups: %d hits, %d misses (%d stale), %d dynamic"
       ls.Env.l_hits ls.Env.l_misses ls.Env.l_stale ls.Env.l_dynamic;
+  ]
+
+let vm_stats session =
+  let vs = session.vstats in
+  [
+    Printf.sprintf "vm engine: %s"
+      (match session.engine with
+      | Vm_engine -> "on (bytecode)"
+      | Seq_engine -> "off (seq engine)"
+      | Sm_engine -> "off (sm engine)");
+    Printf.sprintf "dispatch: %d instructions, %d superinstructions"
+      vs.Vm.v_dispatch vs.Vm.v_super;
+    Printf.sprintf "frames: %d allocated, %d fallback generators, %d fused \
+                    reduce elements"
+      vs.Vm.v_frames vs.Vm.v_fallback vs.Vm.v_fused;
   ]

@@ -24,7 +24,9 @@
 module Packet = Duel_rsp.Packet
 module Rsp_server = Duel_rsp.Server
 module Session = Duel_core.Session
+module Bytecode = Duel_core.Bytecode
 module Inferior = Duel_target.Inferior
+module Memory = Duel_mem.Memory
 
 (* Server-side fault points for chaos testing.  The hook is consulted at
    each point and answers "inject here?"; a deterministic (seeded) hook
@@ -46,6 +48,7 @@ type config = {
   max_input : int;
   max_eval_values : int;
   eval_chunk : int;
+  plan_cache : int;
   limits : Rsp_server.limits;
   fault_hook : (fault_point -> bool) option;
 }
@@ -59,6 +62,7 @@ let default_config =
     max_input = 0;
     max_eval_values = 10_000;
     eval_chunk = 32;
+    plan_cache = 64;
     limits = Rsp_server.default_limits;
     fault_hook = None;
   }
@@ -78,7 +82,22 @@ type stats = {
   mutable limited : int;
   mutable chaos : int;
   mutable eval_dups : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable plan_compiles : int;
+  mutable plan_inval : int;
+  mutable plan_evict : int;
   hist : Histogram.t;
+}
+
+(* One cached query plan: a compiled {!Bytecode.program} shared by every
+   connection (each use hands out a {!Bytecode.clone}, so per-session
+   name-slot state never leaks between clients), plus the target
+   write-generation it was compiled under and an LRU clock stamp. *)
+type plan = {
+  p_prog : Bytecode.program;
+  p_gen : int;
+  mutable p_tick : int;
 }
 
 type conn = {
@@ -112,6 +131,11 @@ type t = {
   mutable shutting : bool;
   scratch : bytes;
   st : stats;
+  (* the shared query-plan cache: token-normalized expression text ->
+     compiled program, LRU-bounded by [cfg.plan_cache] *)
+  plans : (string, plan) Hashtbl.t;
+  mutable plan_tick : int;
+  plan_session : Session.t;  (* dedicated compile context (never evals) *)
 }
 
 let fresh_stats () =
@@ -130,6 +154,11 @@ let fresh_stats () =
     limited = 0;
     chaos = 0;
     eval_dups = 0;
+    plan_hits = 0;
+    plan_misses = 0;
+    plan_compiles = 0;
+    plan_inval = 0;
+    plan_evict = 0;
     hist = Histogram.create ();
   }
 
@@ -138,17 +167,21 @@ let create ?(config = default_config) inf =
      as EPIPE on the write, not die of SIGPIPE *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  let dbgi = Duel_target.Backend.direct inf in
   {
     cfg = config;
     inf;
     rsp = Rsp_server.create ~limits:config.limits inf;
-    dbgi = Duel_target.Backend.direct inf;
+    dbgi;
     listeners = [];
     conns = [];
     accepting = true;
     shutting = false;
     scratch = Bytes.create 65536;
     st = fresh_stats ();
+    plans = Hashtbl.create (max 1 config.plan_cache);
+    plan_tick = 0;
+    plan_session = Session.create dbgi;
   }
 
 let stats t = t.st
@@ -250,11 +283,100 @@ let rec write_some t c =
 
 let frame = Packet.encode
 
+(* --- the shared query-plan cache ----------------------------------------- *)
+
+(* Plans are keyed by the command's *token stream*, not its text: the
+   lexer is the normalizer, so two spellings differing only in
+   whitespace (or trailing comments) share one compiled program.  A
+   string that does not even lex falls through to [Session.exec], which
+   owns the error message. *)
+let plan_key t expr =
+  match
+    Duel_core.Lexer.tokenize ~abi:t.dbgi.Duel_dbgi.Dbgi.abi expr
+    |> List.map fst
+  with
+  | toks -> Some (Marshal.to_string toks [])
+  | exception _ -> None
+
+(* The coherence source: the target memory's write-generation counter.
+   Any store — a client's assignment, an RSP [M] write, a called target
+   function — bumps it, and a bumped generation retires every cached
+   plan compiled under the old one (interned string literals and
+   constant-folded reads may no longer reflect the target). *)
+let plan_generation t = Memory.generation (Inferior.mem t.inf)
+
+(* Parse + lower + compile in the dedicated plan session.  Anything that
+   fails here (parse error, lowering limit) is [None]: the caller falls
+   through to the interpreter path, which reports the failure the same
+   way a planless server would. *)
+let plan_compile t expr =
+  match
+    Duel_core.Compile.compile
+      (Session.compile t.plan_session (Session.parse t.plan_session expr))
+  with
+  | prog -> Some prog
+  | exception _ -> None
+
+let plan_evict t =
+  if Hashtbl.length t.plans > t.cfg.plan_cache then begin
+    let victim =
+      Hashtbl.fold
+        (fun k p acc ->
+          match acc with
+          | Some (_, lru) when lru.p_tick <= p.p_tick -> acc
+          | _ -> Some (k, p))
+        t.plans None
+    in
+    match victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.plans k;
+        t.st.plan_evict <- t.st.plan_evict + 1
+    | None -> ()
+  end
+
+(* Look up (or build) the plan for [expr].  The generation is re-read
+   *after* a compile: compiling may itself intern string literals into
+   target space, and a plan must not be born already stale. *)
+let plan_lookup t expr =
+  if t.cfg.plan_cache <= 0 then None
+  else
+    match plan_key t expr with
+    | None -> None
+    | Some key -> (
+        t.plan_tick <- t.plan_tick + 1;
+        match Hashtbl.find_opt t.plans key with
+        | Some p when p.p_gen = plan_generation t ->
+            t.st.plan_hits <- t.st.plan_hits + 1;
+            p.p_tick <- t.plan_tick;
+            Some p.p_prog
+        | stale -> (
+            (match stale with
+            | Some _ ->
+                Hashtbl.remove t.plans key;
+                t.st.plan_inval <- t.st.plan_inval + 1
+            | None -> ());
+            t.st.plan_misses <- t.st.plan_misses + 1;
+            match plan_compile t expr with
+            | None -> None
+            | Some prog ->
+                t.st.plan_compiles <- t.st.plan_compiles + 1;
+                Hashtbl.replace t.plans key
+                  { p_prog = prog; p_gen = plan_generation t;
+                    p_tick = t.plan_tick };
+                plan_evict t;
+                Some prog))
+
 (* Lines a qDuelEval sends back: the session's formatted output plus
    anything the target printed (printf goes to the server process; the
-   client deserves to see it). *)
+   client deserves to see it).  A cached plan runs on the VM in the
+   connection's own session (cloned first, so slot state stays
+   per-client); everything else takes the ordinary interpreter path. *)
 let eval_lines t c expr =
-  let lines = Session.exec c.session expr in
+  let lines =
+    match plan_lookup t expr with
+    | Some prog -> Session.exec_program c.session (Bytecode.clone prog)
+    | None -> Session.exec c.session expr
+  in
   match Inferior.take_output t.inf with
   | "" -> lines
   | out ->
@@ -274,11 +396,12 @@ let chunked chunk lines =
 
 let stats_wire t =
   Printf.sprintf
-    "accepted=%d;active=%d;peak=%d;closed=%d;packets=%d;evals=%d;eval_values=%d;faults=%d;naks=%d;timeouts=%d;limited=%d;chaos=%d;eval_dups=%d;bytes_in=%d;bytes_out=%d;%s"
+    "accepted=%d;active=%d;peak=%d;closed=%d;packets=%d;evals=%d;eval_values=%d;faults=%d;naks=%d;timeouts=%d;limited=%d;chaos=%d;eval_dups=%d;plan_hits=%d;plan_misses=%d;plan_compiles=%d;plan_inval=%d;plan_evict=%d;bytes_in=%d;bytes_out=%d;%s"
     t.st.accepted (List.length t.conns) t.st.peak_active t.st.closed
     t.st.packets t.st.evals t.st.eval_values t.st.faults t.st.naks
-    t.st.timeouts t.st.limited t.st.chaos t.st.eval_dups t.st.bytes_in
-    t.st.bytes_out
+    t.st.timeouts t.st.limited t.st.chaos t.st.eval_dups t.st.plan_hits
+    t.st.plan_misses t.st.plan_compiles t.st.plan_inval t.st.plan_evict
+    t.st.bytes_in t.st.bytes_out
     (Histogram.to_wire t.st.hist)
 
 let stats_to_lines t =
@@ -294,6 +417,11 @@ let stats_to_lines t =
       t.st.timeouts t.st.limited;
     Printf.sprintf "chaos: %d injected server faults, %d eval replays deduped"
       t.st.chaos t.st.eval_dups;
+    Printf.sprintf
+      "plan cache: %d resident, %d hits, %d misses (%d compiles), %d \
+       invalidated, %d evicted"
+      (Hashtbl.length t.plans) t.st.plan_hits t.st.plan_misses
+      t.st.plan_compiles t.st.plan_inval t.st.plan_evict;
   ]
   @ Histogram.to_lines t.st.hist
 

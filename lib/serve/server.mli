@@ -59,6 +59,16 @@ type config = {
   max_eval_values : int;
       (** cap on values a [qDuelEval] streams back (then ["..."]) *)
   eval_chunk : int;  (** result lines per [D] frame *)
+  plan_cache : int;
+      (** capacity of the shared query-plan cache: compiled
+          {!Duel_core.Bytecode} programs keyed by the command's token
+          stream (so spellings differing only in whitespace share a
+          plan), shared across every connection and run on the VM via
+          {!Duel_core.Session.exec_program} on a per-use
+          {!Duel_core.Bytecode.clone}.  Entries are invalidated when the
+          target's write-generation moves (stores, RSP writes, called
+          functions) and evicted LRU beyond this capacity; [0] disables
+          the cache entirely (every eval takes the interpreter path). *)
   limits : Duel_rsp.Server.limits;  (** target resource limits *)
   fault_hook : (fault_point -> bool) option;
       (** chaos injection: consulted at each fault point, answers
@@ -84,6 +94,11 @@ type stats = {
   mutable limited : int;  (** budget/capacity rejections *)
   mutable chaos : int;  (** injected server-side faults *)
   mutable eval_dups : int;  (** [qDuelEvalSeq] resends answered by replay *)
+  mutable plan_hits : int;  (** evals served from a cached plan *)
+  mutable plan_misses : int;  (** evals that found no valid plan *)
+  mutable plan_compiles : int;  (** plans compiled and cached *)
+  mutable plan_inval : int;  (** plans retired by a generation bump *)
+  mutable plan_evict : int;  (** plans evicted by LRU pressure *)
   hist : Histogram.t;  (** per-request service time *)
 }
 

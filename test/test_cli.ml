@@ -64,7 +64,8 @@ let repl_session () =
   Alcotest.(check int) "exit 0" 0 status;
   check_contains "arithmetic" out "1+2 = 3";
   check_contains "sweep under sm engine" out "v[1] = 1";
-  check_contains "help text" out "set engine seq|sm"
+  check_contains "help text" out "set engine vm|ir|ast";
+  check_contains "help text mentions vm counters" out "info vm"
 
 let program_mode_debugging () =
   let script =

@@ -12,6 +12,7 @@ let () =
       ("generators", Test_generators.suite);
       ("paper", Test_paper.suite);
       ("engines", Test_engines.suite);
+      ("vm", Test_vm.suite);
       ("lower", Test_lower.suite);
       ("display", Test_display.suite);
       ("errors", Test_errors.suite);

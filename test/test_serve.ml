@@ -519,6 +519,141 @@ let eval_invalidates_client_cache () =
     (Dbgi.read_scalar dbg ~addr:(x + 12) ~size:4 ~signed:true);
   Client.close cl
 
+(* --- the shared query-plan cache ----------------------------------------- *)
+
+(* One server, [n] injected client connections, one pump. *)
+let plan_stack ?config n =
+  let inf = Scenarios.all () in
+  let srv = Server.create ?config inf in
+  let pump () = ignore (Server.step srv 0.01) in
+  let clients =
+    List.init n (fun _ ->
+        let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+        Server.inject srv a;
+        Client.of_fd ~pump b)
+  in
+  (srv, clients)
+
+(* The headline behaviour: the same query from two different connections
+   compiles once and hits once, and both get the same (correct) lines. *)
+let plan_shared_across_connections () =
+  let direct = Session.create (Duel_target.Backend.direct (Scenarios.all ())) in
+  let expected = Session.exec direct "hash[0]-->next->scope" in
+  let srv, clients = plan_stack 2 in
+  let c1, c2 = match clients with [ a; b ] -> (a, b) | _ -> assert false in
+  Alcotest.(check (list string))
+    "first connection (miss + compile)" expected
+    (Client.eval c1 "hash[0]-->next->scope");
+  Alcotest.(check (list string))
+    "second connection (hit)" expected
+    (Client.eval c2 "hash[0]-->next->scope");
+  let st = Server.stats srv in
+  Alcotest.(check int) "one compile" 1 st.Server.plan_compiles;
+  Alcotest.(check int) "one miss" 1 st.Server.plan_misses;
+  Alcotest.(check int) "one hit" 1 st.Server.plan_hits;
+  (* the counters are on the wire too *)
+  let wire = Client.server_stats c1 in
+  Alcotest.(check (option int)) "plan_hits on the wire" (Some 1)
+    (List.assoc_opt "plan_hits" wire);
+  Alcotest.(check (option int)) "plan_compiles on the wire" (Some 1)
+    (List.assoc_opt "plan_compiles" wire);
+  List.iter Client.close clients
+
+(* Keying is by token stream: spellings differing only in whitespace
+   share one plan. *)
+let plan_whitespace_normalized () =
+  let srv, clients = plan_stack 1 in
+  let cl = List.hd clients in
+  let l1 = Client.eval cl "#/( 1 ..    40 )" in
+  let l2 = Client.eval cl "  #/(1..40)" in
+  Alcotest.(check (list string)) "same lines" [ "#/(1..40) = 40" ] l1;
+  Alcotest.(check (list string)) "spellings agree" l1 l2;
+  let st = Server.stats srv in
+  Alcotest.(check int) "one compile for both spellings" 1
+    st.Server.plan_compiles;
+  Alcotest.(check int) "second spelling hit" 1 st.Server.plan_hits;
+  List.iter Client.close clients
+
+(* A store through any path bumps the target's write-generation and
+   retires every plan compiled under the old one. *)
+let plan_invalidated_by_store () =
+  let srv, clients = plan_stack 1 in
+  let cl = List.hd clients in
+  ignore (Client.eval cl "x[10..12]");
+  ignore (Client.eval cl "x[10..12]");
+  let st = Server.stats srv in
+  Alcotest.(check int) "warm: one compile" 1 st.Server.plan_compiles;
+  Alcotest.(check int) "warm: one hit" 1 st.Server.plan_hits;
+  (* the store itself evals through the cache too; what matters is that
+     the generation moved under the pure query's plan *)
+  Alcotest.(check (list string)) "store lands" [ "x[11] = 5" ]
+    (Client.eval cl "x[11] = 5; x[11]");
+  Alcotest.(check (list string)) "query re-reads the target"
+    [ "x[10] = 0"; "x[11] = 5"; "x[12] = 0" ]
+    (Client.eval cl "x[10..12]");
+  let st = Server.stats srv in
+  Alcotest.(check bool) "stale plan retired" true (st.Server.plan_inval >= 1);
+  Alcotest.(check bool) "recompiled under the new generation" true
+    (st.Server.plan_compiles >= 2);
+  List.iter Client.close clients
+
+(* Errors follow the same contract through a cached plan as through the
+   interpreter path, and non-lexing input falls through cleanly. *)
+let plan_error_parity () =
+  let direct = Session.create (Duel_target.Backend.direct (Scenarios.all ())) in
+  let srv, clients = plan_stack 1 in
+  let cl = List.hd clients in
+  let q = "nosuchname + 1" in
+  let expected = Session.exec direct q in
+  Alcotest.(check (list string)) "miss path error" expected (Client.eval cl q);
+  Alcotest.(check (list string)) "hit path error" expected (Client.eval cl q);
+  Alcotest.(check int) "runtime errors don't stop caching" 1
+    (Server.stats srv).Server.plan_hits;
+  let lex_err = Client.eval cl "x $ 2" in
+  Alcotest.(check bool) "lex failure falls through to the session" true
+    (List.exists (fun l -> Support.contains_sub l "syntax error") lex_err);
+  List.iter Client.close clients
+
+let plan_lru_eviction () =
+  let config = { Server.default_config with plan_cache = 2 } in
+  let srv, clients = plan_stack ~config 1 in
+  let cl = List.hd clients in
+  ignore (Client.eval cl "1+1");
+  ignore (Client.eval cl "2+2");
+  ignore (Client.eval cl "3+3");
+  let st = Server.stats srv in
+  Alcotest.(check int) "capacity overflow evicts LRU" 1 st.Server.plan_evict;
+  (* the survivor (most recently used) still hits *)
+  ignore (Client.eval cl "3+3");
+  Alcotest.(check int) "survivor hits" 1 (Server.stats srv).Server.plan_hits;
+  List.iter Client.close clients
+
+let plan_disabled () =
+  let config = { Server.default_config with plan_cache = 0 } in
+  let srv, clients = plan_stack ~config 1 in
+  let cl = List.hd clients in
+  Alcotest.(check (list string)) "evals still work" [ "#/(1..9) = 9" ]
+    (Client.eval cl "#/(1..9)");
+  ignore (Client.eval cl "#/(1..9)");
+  let st = Server.stats srv in
+  Alcotest.(check int) "no compiles" 0 st.Server.plan_compiles;
+  Alcotest.(check int) "no hits" 0 st.Server.plan_hits;
+  Alcotest.(check int) "no misses" 0 st.Server.plan_misses;
+  List.iter Client.close clients
+
+(* Per-connection alias state stays per-connection even when both
+   connections run the same cached plan (clone isolation). *)
+let plan_alias_isolation () =
+  let _srv, clients = plan_stack 2 in
+  let c1, c2 = match clients with [ a; b ] -> (a, b) | _ -> assert false in
+  ignore (Client.eval c1 "pv := 41");
+  ignore (Client.eval c2 "pv := 1000");
+  Alcotest.(check (list string)) "c1's alias" [ "pv+1 = 42" ]
+    (Client.eval c1 "pv+1");
+  Alcotest.(check (list string)) "c2's alias" [ "pv+1 = 1001" ]
+    (Client.eval c2 "pv+1");
+  List.iter Client.close clients
+
 let suite =
   [
     case "deframer survives byte-at-a-time delivery" deframer_split;
@@ -553,4 +688,11 @@ let suite =
       eval_seq_budget_expired;
     case "remote eval invalidates the client cache"
       eval_invalidates_client_cache;
+    case "plan cache shared across connections" plan_shared_across_connections;
+    case "plan keying normalizes whitespace" plan_whitespace_normalized;
+    case "plan invalidated by a target store" plan_invalidated_by_store;
+    case "plan path keeps the error contract" plan_error_parity;
+    case "plan cache evicts LRU at capacity" plan_lru_eviction;
+    case "plan cache can be disabled" plan_disabled;
+    case "cached plans keep aliases per-connection" plan_alias_isolation;
   ]

@@ -1,0 +1,179 @@
+(* The bytecode VM engine: three-way differential battery (unlowered
+   walker vs lowered walker vs VM must be bit-identical, including error
+   lines and target stdout), directed frame suspension/resumption across
+   [Session.exec] flush points, the per-session compile memo, and the
+   superinstruction/fused-reduce counters. *)
+
+open Support
+module Session = Duel_core.Session
+module Env = Duel_core.Env
+module Compile = Duel_core.Compile
+module Vm = Duel_core.Vm
+
+(* One query, three engines, three fresh identical debuggees.  "ast" is
+   the unlowered walker (every slot dynamic), "ir" the lowered walker,
+   "vm" the bytecode engine on the same lowered IR. *)
+let run_three ?(scenario = `All) ?(tune = fun _ -> ()) query =
+  let run engine lower =
+    let k = kit ~engine ~scenario () in
+    k.session.Session.lower <- lower;
+    tune k;
+    let lines = exec k query in
+    let out = Duel_target.Inferior.take_output k.inf in
+    let depth = Env.scope_depth k.session.Session.env in
+    (lines, out, depth)
+  in
+  ( run Session.Seq_engine false,
+    run Session.Seq_engine true,
+    run Session.Vm_engine true )
+
+let agree ?scenario ?tune query =
+  let (l1, o1, d1), (l2, o2, d2), (l3, o3, d3) =
+    run_three ?scenario ?tune query
+  in
+  Alcotest.(check (list string)) "ast vs ir lines" l1 l2;
+  Alcotest.(check (list string)) "ir vs vm lines" l2 l3;
+  Alcotest.(check string) "ast vs ir stdout" o1 o2;
+  Alcotest.(check string) "ir vs vm stdout" o2 o3;
+  Alcotest.(check int) "ast scope depth restored" 0 d1;
+  Alcotest.(check int) "ir scope depth restored" 0 d2;
+  Alcotest.(check int) "vm scope depth restored" 0 d3
+
+let corpus_case query =
+  Support.case ("three engines agree: " ^ query) (fun () -> agree query)
+
+(* Error parity: faults, cycles and expansion limits must come back as
+   the same formatted lines from all three engines. *)
+let error_corpus =
+  [
+    "(*lone).value";
+    "dang->next->next->next->value";
+    "dang-->next->value";
+    "dang->(value, next->next->next->value)";
+    "cyc->bogus";
+    "#/(dang-->next->value)";
+    "lone-->next->value";
+  ]
+
+let error_case query =
+  Support.case ("faulty parity: " ^ query) (fun () ->
+      agree ~scenario:`Faulty query)
+
+let cycle_cases =
+  [
+    Support.case "faulty parity: expansion limit" (fun () ->
+        agree ~scenario:`Faulty
+          ~tune:(fun k ->
+            k.session.Session.env.Env.flags.Env.expansion_limit <- 16)
+          "cyc-->next->value");
+    Support.case "faulty parity: cycle detection" (fun () ->
+        agree ~scenario:`Faulty
+          ~tune:(fun k ->
+            k.session.Session.env.Env.flags.Env.cycle_detect <- true)
+          "cyc-->next->value");
+  ]
+
+let prop_three_agree =
+  QCheck2.Test.make ~name:"three engines agree on random expressions"
+    ~count:200 Test_engines.gen_query (fun query ->
+      let (l1, o1, d1), (l2, o2, d2), (l3, o3, d3) = run_three query in
+      l1 = l2 && l2 = l3 && o1 = o2 && o2 = o3 && d1 = 0 && d2 = 0 && d3 = 0)
+
+(* --- directed frame machinery tests -------------------------------------- *)
+
+let compile_vm k query =
+  Compile.compile (Session.compile k.session (Session.parse k.session query))
+
+let fmt k v = Session.format_value k.session v
+
+(* A suspended run is a plain value: pull a few values, run whole other
+   commands through the session (each one a flush point that restores
+   scope depth and flushes the write cache), then resume the run and get
+   exactly the rest of the sequence. *)
+let suspension_case =
+  Support.case "frame suspends across exec flush points" (fun () ->
+      let k = kit ~engine:Session.Vm_engine () in
+      let expected = exec k "hash[0]-->next->scope" in
+      let run = Vm.start k.session.Session.env (compile_vm k "hash[0]-->next->scope") in
+      let got = ref [] in
+      let pull () =
+        match Vm.step run with
+        | Some v -> got := fmt k v :: !got
+        | None -> Alcotest.fail "sequence ended early"
+      in
+      pull ();
+      (* interleave full commands, including a target store + flush *)
+      Alcotest.(check (list string)) "interleaved eval" [ "x[0] = 7" ]
+        (exec k "x[0] = 7; x[0]");
+      pull ();
+      ignore (exec k "#/(1..10)");
+      pull ();
+      pull ();
+      Alcotest.(check bool) "exhausted" true (Vm.step run = None);
+      Alcotest.(check bool) "exhaustion is sticky" true (Vm.step run = None);
+      Alcotest.(check (list string)) "same values as one-shot eval" expected
+        (List.rev !got))
+
+let range_suspension_case =
+  Support.case "suspended range resumes mid-stream" (fun () ->
+      let k = kit ~engine:Session.Vm_engine () in
+      let run = Vm.start k.session.Session.env (compile_vm k "(1..6)*10") in
+      let a = Vm.step run and b = Vm.step run in
+      ignore (exec k "w[0] = 3; w[0]");
+      let rest = List.init 4 (fun _ -> Vm.step run) in
+      let shown = List.map (function Some v -> fmt k v | None -> "<end>")
+          (a :: b :: rest)
+      in
+      Alcotest.(check (list string)) "values"
+        [ "1*10 = 10"; "2*10 = 20"; "3*10 = 30"; "4*10 = 40"; "5*10 = 50";
+          "6*10 = 60" ]
+        shown;
+      Alcotest.(check bool) "exhausted" true (Vm.step run = None))
+
+let memo_case =
+  Support.case "session memoizes the compiled plan per IR tree" (fun () ->
+      let k = kit ~engine:Session.Vm_engine () in
+      let ir = Session.compile k.session (Session.parse k.session "#/(1..50)") in
+      let n1 = Session.drive_ir k.session ir in
+      let p1 =
+        match k.session.Session.vm_plan with
+        | Some (_, p) -> p
+        | None -> Alcotest.fail "no plan cached"
+      in
+      let n2 = Session.drive_ir k.session ir in
+      let p2 =
+        match k.session.Session.vm_plan with
+        | Some (_, p) -> p
+        | None -> Alcotest.fail "no plan cached"
+      in
+      Alcotest.(check int) "drive count" n1 n2;
+      Alcotest.(check bool) "same compiled program reused" true (p1 == p2))
+
+let counters_case =
+  Support.case "info vm counters move" (fun () ->
+      let k = kit ~engine:Session.Vm_engine () in
+      let vs = k.session.Session.vstats in
+      ignore (exec k "#/(1..100)");
+      Alcotest.(check bool) "reduce loop fully fused" true
+        (vs.Vm.v_fused >= 100);
+      ignore (exec k "hash[0]-->next->scope");
+      Alcotest.(check bool) "chase ran as a superinstruction" true
+        (vs.Vm.v_super > 0);
+      Alcotest.(check bool) "frames were heap-allocated" true (vs.Vm.v_frames > 0);
+      ignore (exec k "value := 5; L->value = value; L->value");
+      Alcotest.(check bool) "assignment took the fallback path" true
+        (vs.Vm.v_fallback > 0);
+      Alcotest.(check bool) "info vm renders" true
+        (List.length (Session.vm_stats k.session) = 3))
+
+let suite =
+  List.map corpus_case Test_engines.corpus
+  @ List.map error_case error_corpus
+  @ cycle_cases
+  @ [
+      QCheck_alcotest.to_alcotest prop_three_agree;
+      suspension_case;
+      range_suspension_case;
+      memo_case;
+      counters_case;
+    ]
