@@ -945,6 +945,134 @@ let s1 ~quick ~json_file () =
   | None -> ());
   pass
 
+(* --- S2: sharded serve scaling -------------------------------------------- *)
+
+(* The S1 pipelined battery again, but against the sharded server: the
+   same compute-heavy query from the same 8 pipelined clients, served by
+   1/2/4/8 event-loop shards (one OCaml domain each, SO_REUSEPORT accept
+   balancing).  Clients run real blocking IO from the bench's own domain
+   — no pump — so the measured number is genuine cross-domain serving.
+   The gate (4 shards >= 2x the 1-shard throughput) only arms on
+   machines whose [Domain.recommended_domain_count] reaches 4; smaller
+   runners print the curve they can and skip the verdict. *)
+
+let s2_gate = 2.0
+
+type s2_row = {
+  r2_shards : int;
+  r2_queries : int;
+  r2_elapsed_s : float;
+  r2_qps : float;
+}
+
+let s2_json ~quick ~cores ~query ~gated ~speedup4 ~pass rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"serve_shard_scaling\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string b (Printf.sprintf "  \"query\": %S,\n" query);
+  Buffer.add_string b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"shards\": %d, \"queries\": %d, \"elapsed_s\": %.6f, \
+            \"qps\": %.1f}%s\n"
+           r.r2_shards r.r2_queries r.r2_elapsed_s r.r2_qps
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b (Printf.sprintf "  \"gate\": %.1f,\n" s2_gate);
+  Buffer.add_string b (Printf.sprintf "  \"gated\": %b,\n" gated);
+  Buffer.add_string b (Printf.sprintf "  \"speedup_at_4\": %.2f,\n" speedup4);
+  Buffer.add_string b (Printf.sprintf "  \"pass\": %b\n" pass);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let s2 ~quick ~json_file () =
+  let cores = Domain.recommended_domain_count () in
+  header
+    (Printf.sprintf
+       "S2  sharded serve scaling: 8 pipelined clients vs 1/2/4/8 \
+        event-loop shards, loopback TCP (gate: 4 shards >= %.0fx 1-shard \
+        throughput; %d core%s available)"
+       s2_gate cores
+       (if cores = 1 then "" else "s"))
+  ;
+  let module Sharded = Duel_serve.Sharded in
+  let module Client = Duel_serve.Client in
+  let n = 4096 in
+  let nclients = 8 in
+  let rounds = if quick then 8 else 32 in
+  let query = Printf.sprintf "+/big[..%d]" n in
+  let counts = List.filter (fun c -> c <= cores) [ 1; 2; 4; 8 ] in
+  let counts = if counts = [] then [ 1 ] else counts in
+  let run_one shards =
+    let inf = Scenarios.big_array n in
+    let srv = Sharded.create ~shards inf in
+    let port = Sharded.listen_tcp srv ~host:"127.0.0.1" ~port:0 in
+    Sharded.start srv;
+    let addr = Printf.sprintf "127.0.0.1:%d" port in
+    let clients = List.init nclients (fun _ -> Client.connect addr) in
+    (* warm every connection and the shared plan cache *)
+    List.iter (fun cl -> ignore (Client.eval cl query)) clients;
+    let elapsed =
+      time_run (fun () ->
+          for _ = 1 to rounds do
+            List.iter (fun cl -> Client.eval_send cl query) clients;
+            List.iter (fun cl -> ignore (Client.eval_recv cl)) clients
+          done)
+    in
+    List.iter Client.close clients;
+    Sharded.shutdown srv;
+    Sharded.join srv;
+    let queries = rounds * nclients in
+    {
+      r2_shards = shards;
+      r2_queries = queries;
+      r2_elapsed_s = elapsed;
+      r2_qps = (float_of_int queries /. elapsed);
+    }
+  in
+  let rows = List.map run_one counts in
+  let qps_at k =
+    match List.find_opt (fun r -> r.r2_shards = k) rows with
+    | Some r -> r.r2_qps
+    | None -> 0.0
+  in
+  Printf.printf "  %-10s %12s %12s %10s\n" "shards" "total" "per query"
+    "qps";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-10d %s %s %10.1f\n" r.r2_shards
+        (ns (r.r2_elapsed_s *. 1e9))
+        (ns (r.r2_elapsed_s /. float_of_int r.r2_queries *. 1e9))
+        r.r2_qps)
+    rows;
+  let gated = cores >= 4 in
+  let speedup4 = if gated then qps_at 4 /. qps_at 1 else 0.0 in
+  let pass = (not gated) || speedup4 >= s2_gate in
+  if gated then
+    verdict pass
+      (Printf.sprintf
+         "4 shards serve %.1fx the 1-shard throughput (gate %.1fx)"
+         speedup4 s2_gate)
+  else
+    Printf.printf
+      "  SKIP  scaling gate needs >= 4 cores \
+       (Domain.recommended_domain_count = %d); curve recorded, verdict \
+       waived\n"
+      cores;
+  (match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (s2_json ~quick ~cores ~query ~gated ~speedup4 ~pass rows);
+      close_out oc;
+      Printf.printf "  (wrote %s)\n" file
+  | None -> ());
+  pass
+
 (* --- X1: the chaos tier --------------------------------------------------- *)
 
 (* The S1 query battery again, but through a hostile wire: a Duel_chaos
@@ -1323,6 +1451,7 @@ let () =
   let json_lower = find_flag "--json-lower" argv in
   let json_vm = find_flag "--json-vm" argv in
   let json_serve = find_flag "--json-serve" argv in
+  let json_shard = find_flag "--json-shard" argv in
   let json_chaos = find_flag "--json-chaos" argv in
   let json_dispatch = find_flag "--json-dispatch" argv in
   let pass =
@@ -1330,14 +1459,16 @@ let () =
       (* CI smoke mode: the gated tiers only, small sizes. *)
       Printf.printf
         "DUEL benchmarks, quick mode (D1 data-cache, L1 lowering, V1 \
-         bytecode VM, S1 serving, X1 chaos and F1/F2 dispatcher tiers)\n";
+         bytecode VM, S1 serving, S2 shard scaling, X1 chaos and F1/F2 \
+         dispatcher tiers)\n";
       let d1_ok = d1 ~quick ~json_file () in
       let l1_ok = l1 ~quick ~json_file:json_lower () in
       let v1_ok = v1 ~quick ~json_file:json_vm () in
       let s1_ok = s1 ~quick ~json_file:json_serve () in
+      let s2_ok = s2 ~quick ~json_file:json_shard () in
       let x1_ok = x1 ~quick ~json_file:json_chaos () in
       let f_ok = f_tier ~quick ~json_file:json_dispatch () in
-      d1_ok && l1_ok && v1_ok && s1_ok && x1_ok && f_ok)
+      d1_ok && l1_ok && v1_ok && s1_ok && s2_ok && x1_ok && f_ok)
     else begin
       Printf.printf
         "DUEL reproduction benchmarks (see DESIGN.md section 4 and \
@@ -1353,11 +1484,12 @@ let () =
       let l1_ok = l1 ~quick:false ~json_file:json_lower () in
       let v1_ok = v1 ~quick:false ~json_file:json_vm () in
       let s1_ok = s1 ~quick:false ~json_file:json_serve () in
+      let s2_ok = s2 ~quick:false ~json_file:json_shard () in
       let x1_ok = x1 ~quick:false ~json_file:json_chaos () in
       let f_ok = f_tier ~quick:false ~json_file:json_dispatch () in
       c1 ();
       Printf.printf "\ndone.\n";
-      d1_ok && l1_ok && v1_ok && s1_ok && x1_ok && f_ok
+      d1_ok && l1_ok && v1_ok && s1_ok && s2_ok && x1_ok && f_ok
     end
   in
   exit (if pass then 0 else 1)

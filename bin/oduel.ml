@@ -371,6 +371,7 @@ let run target scenario engine use_rsp no_cache chaos program_file exprs =
 (* --- serve: the network query service ------------------------------------ *)
 
 module Serve_server = Duel_serve.Server
+module Serve_sharded = Duel_serve.Sharded
 module Serve_client = Duel_serve.Client
 
 (* "unix:PATH" | "HOST:PORT" | "PORT", for the listening side. *)
@@ -393,26 +394,34 @@ let parse_listen addr =
           addr;
         exit 2
 
-let serve scenario listen idle_timeout max_conns =
+let serve scenario listen idle_timeout max_conns shards =
+  if shards < 1 then begin
+    Printf.eprintf "--shards must be >= 1 (got %d)\n" shards;
+    exit 2
+  end;
   let inf = make_inferior scenario in
   let config =
     { Serve_server.default_config with idle_timeout; max_conns }
   in
-  let srv = Serve_server.create ~config inf in
+  let srv = Serve_sharded.create ~config ~shards inf in
   (match parse_listen listen with
   | `Unix path ->
-      Serve_server.listen_unix srv path;
-      Printf.printf "oduel serving scenario %s on unix:%s\n%!" scenario path
+      Serve_sharded.listen_unix srv path;
+      Printf.printf "oduel serving scenario %s on unix:%s (%d shard%s)\n%!"
+        scenario path shards
+        (if shards = 1 then "" else "s")
   | `Tcp (host, port) ->
-      let port = Serve_server.listen_tcp srv ~host ~port in
-      Printf.printf "oduel serving scenario %s on %s:%d\n%!" scenario host port);
+      let port = Serve_sharded.listen_tcp srv ~host ~port in
+      Printf.printf "oduel serving scenario %s on %s:%d (%d shard%s)\n%!"
+        scenario host port shards
+        (if shards = 1 then "" else "s"));
   Sys.set_signal Sys.sigint
-    (Sys.Signal_handle (fun _ -> Serve_server.shutdown srv));
+    (Sys.Signal_handle (fun _ -> Serve_sharded.shutdown srv));
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  Serve_server.run srv;
+  Serve_sharded.run srv;
   print_endline "oduel server: shut down";
-  List.iter print_endline (Serve_server.stats_to_lines srv)
+  List.iter print_endline (Serve_sharded.stats_to_lines srv)
 
 (* --- connect: a thin client over the wire -------------------------------- *)
 
@@ -585,12 +594,25 @@ let serve_cmd =
       value & opt int 64
       & info [ "max-conns" ] ~docv:"N" ~doc:"Concurrent connection cap.")
   in
+  let shards_arg =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Event-loop shards, one OCaml domain each (default: the \
+             machine's recommended domain count).  TCP shards share the \
+             port via SO_REUSEPORT; 1 preserves the classic \
+             single-threaded server exactly.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve a scenario to network clients over RSP (one select loop, \
-          many connections; SIGINT shuts down gracefully).")
-    Term.(const serve $ scenario_pos $ listen_arg $ idle_arg $ max_conns_arg)
+         "Serve a scenario to network clients over RSP (a select loop per \
+          shard, many connections; SIGINT shuts down gracefully).")
+    Term.(
+      const serve $ scenario_pos $ listen_arg $ idle_arg $ max_conns_arg
+      $ shards_arg)
 
 let connect_cmd =
   let addr_pos =

@@ -51,7 +51,9 @@ type insn =
   | Iimov of int * int  (** ireg dst <- ireg src *)
   | Irange_next of int * int * int * int
       (** dst, cur, hi, exhaust pc: yield machinery for [lo..hi] *)
-  | Irange_from of int * int  (** dst, cur: [lo..] never exhausts *)
+  | Irange_from of int * int * int
+      (** dst, cur, start: [lo..] never exhausts on its own — the VM
+          bounds [cur - start] by [expansion_limit] *)
   (* control *)
   | Ijmp of int
   | Itruth of int * int  (** fall through if truthy, else jump *)

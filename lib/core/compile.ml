@@ -368,13 +368,14 @@ and emit_body c e : label =
           in
           bind c l_inner)
   | Ir.To_inf a ->
-      let icur = ireg c in
+      let icur = ireg c and istart = ireg c in
       resume_loop c a (fun ru _ ->
           ignore (emit c (B.Ito_int (icur, ru)));
+          ignore (emit c (B.Iimov (istart, icur)));
           let d = reg c in
           let l_r = label () in
           bind c l_r;
-          ignore (emit c (B.Irange_from (d, icur)));
+          ignore (emit c (B.Irange_from (d, icur, istart)));
           ignore (emit c (B.Iyield d));
           emit_to c l_r (fun t -> B.Ijmp t))
   | Ir.Up_to a ->

@@ -53,6 +53,11 @@ let isolated env (seq : Value.t Seq.t) : Value.t Seq.t =
   in
   wrap seq
 
+(* The open range [lo..] is the one generator with no bound of its own,
+   so it answers to [expansion_limit] the way runaway loops do: after
+   producing [limit] values the next pull reports the limit instead of
+   spinning forever.  A fully-consumed bare [1..] must come back as an
+   error, never hang the session. *)
 let int_seq_from env lo : Value.t Seq.t =
   let mk i =
     let sym =
@@ -60,7 +65,14 @@ let int_seq_from env lo : Value.t Seq.t =
     in
     Value.int_value ~sym Ctype.int i
   in
-  Seq.unfold (fun i -> Some (mk i, Int64.add i 1L)) lo
+  Seq.unfold
+    (fun i ->
+      let limit = env.Env.flags.Env.expansion_limit in
+      if limit > 0 && Int64.sub i lo >= Int64.of_int limit then
+        Error.failf "open range exceeded %d values (runaway generator?)"
+          limit
+      else Some (mk i, Int64.add i 1L))
+    lo
 
 let rec eval env (e : Ir.expr) : Value.t Seq.t =
   match e with

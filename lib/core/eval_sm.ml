@@ -388,6 +388,9 @@ and up_to env n =
         up_to env n
       end
 
+(* [state] doubles as the pull count ([state - 1] values yielded so
+   far): the open range is the one generator with no bound of its own,
+   so it answers to [expansion_limit] exactly as {!Eval_seq} does. *)
 and to_inf env n =
   match n.state with
   | 0 -> (
@@ -397,9 +400,14 @@ and to_inf env n =
           n.counter <- Value.to_int64 env.Env.dbg u;
           n.state <- 1;
           to_inf env n)
-  | _ ->
+  | produced_1 ->
+      let limit = env.Env.flags.Env.expansion_limit in
+      if limit > 0 && produced_1 - 1 >= limit then
+        Error.failf "open range exceeded %d values (runaway generator?)"
+          limit;
       let i = n.counter in
       n.counter <- Int64.add i 1L;
+      n.state <- n.state + 1;
       Some (make_int env i)
 
 and filter env n f =

@@ -225,7 +225,19 @@ let rec run_frame (f : frame) : Value.t option =
           iregs.(cur) <- Int64.succ iregs.(cur)
         end;
         loop ()
-    | B.Irange_from (d, cur) ->
+    | B.Irange_from (d, cur, start) ->
+        (* the open range answers to [expansion_limit] like runaway
+           loops do; identical wording across all three engines *)
+        let limit = env.Env.flags.Env.expansion_limit in
+        if
+          limit > 0
+          && Int64.compare
+               (Int64.sub iregs.(cur) iregs.(start))
+               (Int64.of_int limit)
+             >= 0
+        then
+          Error.failf "open range exceeded %d values (runaway generator?)"
+            limit;
         regs.(d) <- mk_range env iregs.(cur);
         iregs.(cur) <- Int64.succ iregs.(cur);
         loop ()

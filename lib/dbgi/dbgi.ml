@@ -65,6 +65,28 @@ let health_line h =
     (if h.h_ok then "ok" else "down")
     h.h_detail h.h_latency_ms h.h_failures
 
+(* Serialize every target-touching operation under one mutex, so N
+   domains (the shards of a sharded server) can share a single
+   in-process target whose implementation was written for one thread.
+   Granularity is per-operation: a [get_bytes] holds the lock for one
+   read, not for a whole query, so shards interleave at the same
+   boundary RSP clients always did.  [abi] and [tenv] are read-only
+   after construction and stay unwrapped; [health] must never block on
+   target work, and the underlying health thunks only read counters, so
+   it is also left unlocked. *)
+let serialized lock d =
+  let locked f = Mutex.protect lock f in
+  {
+    d with
+    get_bytes = (fun ~addr ~len -> locked (fun () -> d.get_bytes ~addr ~len));
+    put_bytes = (fun ~addr data -> locked (fun () -> d.put_bytes ~addr data));
+    alloc_space = (fun size -> locked (fun () -> d.alloc_space size));
+    call_func = (fun name args -> locked (fun () -> d.call_func name args));
+    find_variable = (fun name -> locked (fun () -> d.find_variable name));
+    frames = (fun () -> locked d.frames);
+    caps = { d.caps with c_layers = "lock" :: d.caps.c_layers };
+  }
+
 (* Readability probes registered by wrappers (the data cache): a probe
    answers [readable] without the cost of materialising bytes and raising
    through [Target_fault] when the answer is already known client-side.

@@ -125,6 +125,19 @@ val caps_line : caps -> string
 val health_line : health -> string
 (** One line: ["ok (0.12 ms ewma, 0 consecutive failures)"]. *)
 
+val serialized : Mutex.t -> t -> t
+(** [serialized lock d]: every target-touching operation ([get_bytes],
+    [put_bytes], [alloc_space], [call_func], [find_variable], [frames])
+    runs holding [lock], so multiple OCaml 5 domains can share one
+    backend whose implementation assumes a single thread (the direct
+    in-process simulator).  The granularity is one lock hold per
+    operation — a domain's query interleaves with its peers at the same
+    per-access boundary concurrent RSP clients always did, and writes
+    are serialized rather than refused.  [abi] and [tenv] are immutable
+    after construction and [health] only reads counters; they are left
+    unwrapped.  Adds the ["lock"] layer to [caps].  Pass the same
+    [lock] to every wrapper sharing one target. *)
+
 val readable : t -> addr:int -> len:int -> bool
 (** [true] iff [get_bytes] would succeed — used by [-->] traversals to
     recognise invalid pointers without raising.  Always [true] for

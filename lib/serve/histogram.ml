@@ -29,6 +29,21 @@ let add t seconds =
 
 let count t = t.total
 
+(* Bucket-wise sum into a fresh histogram: with identical bucket
+   boundaries on both sides the merge is exact — the percentile read
+   off the merged histogram equals the percentile over the union of the
+   two sample streams (within the shared bucket resolution).  Neither
+   input is mutated, so merging a live shard's histogram only ever
+   reads it (racy reads of a foreign domain's counters may be a step
+   stale, never torn). *)
+let merge a b =
+  let t = create () in
+  for i = 0 to buckets - 1 do
+    t.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  t.total <- Array.fold_left ( + ) 0 t.counts;
+  t
+
 (* Upper bound of bucket i, in seconds. *)
 let bucket_top i = ldexp 1e-6 i
 

@@ -19,6 +19,16 @@ val add : t -> float -> unit
 val count : t -> int
 (** Total samples recorded. *)
 
+val merge : t -> t -> t
+(** Bucket-wise sum into a {e fresh} histogram; neither input is
+    mutated.  Because every histogram shares the same bucket
+    boundaries, the merge is exact: percentiles of the merged histogram
+    are percentiles over the union of the two sample streams.  Used to
+    aggregate per-shard service-time histograms for [qDuelStats]; the
+    merged total is recomputed from the bucket counts, so merging a
+    histogram another domain is concurrently updating yields a
+    consistent (if slightly stale) snapshot. *)
+
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [[0, 1]]: an upper bound on the [p]-th
     quantile, in seconds ([0.] when empty). *)

@@ -90,16 +90,6 @@ type stats = {
   hist : Histogram.t;
 }
 
-(* One cached query plan: a compiled {!Bytecode.program} shared by every
-   connection (each use hands out a {!Bytecode.clone}, so per-session
-   name-slot state never leaks between clients), plus the target
-   write-generation it was compiled under and an LRU clock stamp. *)
-type plan = {
-  p_prog : Bytecode.program;
-  p_gen : int;
-  mutable p_tick : int;
-}
-
 type conn = {
   fd : Unix.file_descr;
   dfr : Packet.Deframer.t;
@@ -119,11 +109,23 @@ type conn = {
   session : Session.t;
 }
 
+(* A consistent read of one shard's observable load, for merging. *)
+type view = { v_st : stats; v_active : int }
+
 type t = {
   cfg : config;
   inf : Inferior.t;
   rsp : Rsp_server.t;
-  dbgi : Duel_dbgi.Dbgi.t;  (* shared server-side interface for sessions *)
+  dbgi : Duel_dbgi.Dbgi.t;  (* shard-local interface for sessions *)
+  (* Serializes direct target access shared with sibling shards: RSP
+     dispatch and stdout capture take it; [dbgi] is expected to be
+     already serialized by the same mutex (see {!Duel_dbgi.Dbgi.serialized}).
+     [None] (the single-threaded default) costs nothing. *)
+  target_lock : Mutex.t option;
+  (* The cross-shard shutdown flag: [shutdown] raises it, every shard's
+     [step] lowers its own sails when it sees it.  A lone server owns a
+     private flag, so the behavior is exactly the old [shutting] bool. *)
+  stop : bool Atomic.t;
   mutable listeners : (Unix.file_descr * string option) list;
       (* fd, unix-socket path to unlink on close *)
   mutable conns : conn list;
@@ -131,10 +133,20 @@ type t = {
   mutable shutting : bool;
   scratch : bytes;
   st : stats;
-  (* the shared query-plan cache: token-normalized expression text ->
-     compiled program, LRU-bounded by [cfg.plan_cache] *)
-  plans : (string, plan) Hashtbl.t;
-  mutable plan_tick : int;
+  (* Sockets handed to this shard by another domain (a dispatcher or a
+     sibling's accept), adopted at the top of the next [step].  The
+     wake pipe kicks the shard out of [select] so a hand-off is served
+     immediately instead of on the next timeout. *)
+  inbox : Unix.file_descr Queue.t;
+  inbox_lock : Mutex.t;
+  mutable wake : (Unix.file_descr * Unix.file_descr) option;  (* rd, wr *)
+  (* When sharded: every shard of the server (self included), so
+     qDuelStats answered by any shard reports whole-server numbers and
+     a shutdown can wake every sibling's select. *)
+  mutable siblings : t list;
+  (* the query-plan cache: token-normalized expression text -> compiled
+     program.  Domain-safe ({!Plan_cache}); shared across shards. *)
+  plans : Plan_cache.t;
   plan_session : Session.t;  (* dedicated compile context (never evals) *)
 }
 
@@ -162,36 +174,58 @@ let fresh_stats () =
     hist = Histogram.create ();
   }
 
-let create ?(config = default_config) inf =
+let create ?(config = default_config) ?dbgi ?plans ?stop ?target_lock inf =
   (* a peer can vanish between select and write; the loop must see that
      as EPIPE on the write, not die of SIGPIPE *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let dbgi = Duel_target.Backend.direct inf in
+  let dbgi =
+    match dbgi with Some d -> d | None -> Duel_target.Backend.direct inf
+  in
+  let wake_rd, wake_wr = Unix.pipe () in
+  Unix.set_nonblock wake_rd;
+  Unix.set_nonblock wake_wr;
   {
     cfg = config;
     inf;
     rsp = Rsp_server.create ~limits:config.limits inf;
     dbgi;
+    target_lock;
+    stop = (match stop with Some a -> a | None -> Atomic.make false);
     listeners = [];
     conns = [];
     accepting = true;
     shutting = false;
     scratch = Bytes.create 65536;
     st = fresh_stats ();
-    plans = Hashtbl.create (max 1 config.plan_cache);
-    plan_tick = 0;
+    inbox = Queue.create ();
+    inbox_lock = Mutex.create ();
+    wake = Some (wake_rd, wake_wr);
+    siblings = [];
+    plans =
+      (match plans with
+      | Some p -> p
+      | None -> Plan_cache.create config.plan_cache);
     plan_session = Session.create dbgi;
   }
 
 let stats t = t.st
 let active t = List.length t.conns
+let set_siblings t all = t.siblings <- all
+
+(* Hold the target lock (shared direct access under sharding) around
+   [f]; free when unsharded. *)
+let target_locked t f =
+  match t.target_lock with None -> f () | Some m -> Mutex.protect m f
 
 (* --- listeners ----------------------------------------------------------- *)
 
-let listen_tcp t ~host ~port =
+let listen_tcp ?(reuseport = false) t ~host ~port =
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt fd SO_REUSEADDR true;
+  (* per-shard accept: every shard binds the same address and the
+     kernel load-balances incoming connections across the listeners *)
+  if reuseport then Unix.setsockopt fd SO_REUSEPORT true;
   Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string host, port));
   Unix.listen fd 64;
   Unix.set_nonblock fd;
@@ -240,6 +274,56 @@ let new_conn t fd =
   c
 
 let inject t fd = ignore (new_conn t fd)
+
+(* --- cross-domain hand-off ----------------------------------------------- *)
+
+(* The inbox lock also guards the wake pipe's lifetime: a sibling
+   domain waking this shard must not race the shard closing the pipe
+   (a closed-and-reused fd number would receive the byte). *)
+let wake t =
+  Mutex.protect t.inbox_lock (fun () ->
+      match t.wake with
+      | Some (_, wr) -> (
+          try ignore (Unix.write_substring wr "w" 0 1)
+          with Unix.Unix_error _ -> ())
+      | None -> ())
+
+(* Hand an accepted socket to this shard from another domain: enqueue
+   under the inbox lock, then kick the shard out of its [select].  The
+   fd is owned by the shard from here on (adopted or closed at the top
+   of its next step).  A shard that has already fully shut down (wake
+   pipe gone) cannot adopt — close the socket instead of leaking it. *)
+let hand_off t fd =
+  let adopted =
+    Mutex.protect t.inbox_lock (fun () ->
+        match t.wake with
+        | None -> false
+        | Some (_, wr) ->
+            Queue.push fd t.inbox;
+            (try ignore (Unix.write_substring wr "w" 0 1)
+             with Unix.Unix_error _ -> ());
+            true)
+  in
+  if not adopted then try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Adopt everything handed to us since the last step.  Runs in the
+   shard's own domain; respects the same capacity/shutdown rules as
+   [accept_some]. *)
+let drain_inbox t =
+  let pending =
+    Mutex.protect t.inbox_lock (fun () ->
+        let l = List.of_seq (Queue.to_seq t.inbox) in
+        Queue.clear t.inbox;
+        l)
+  in
+  List.iter
+    (fun fd ->
+      if (not t.accepting) || List.length t.conns >= t.cfg.max_conns then begin
+        t.st.limited <- t.st.limited + 1;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else ignore (new_conn t fd))
+    pending
 
 let drop t c =
   if List.memq c t.conns then begin
@@ -317,53 +401,34 @@ let plan_compile t expr =
   | prog -> Some prog
   | exception _ -> None
 
-let plan_evict t =
-  if Hashtbl.length t.plans > t.cfg.plan_cache then begin
-    let victim =
-      Hashtbl.fold
-        (fun k p acc ->
-          match acc with
-          | Some (_, lru) when lru.p_tick <= p.p_tick -> acc
-          | _ -> Some (k, p))
-        t.plans None
-    in
-    match victim with
-    | Some (k, _) ->
-        Hashtbl.remove t.plans k;
-        t.st.plan_evict <- t.st.plan_evict + 1
-    | None -> ()
-  end
-
-(* Look up (or build) the plan for [expr].  The generation is re-read
+(* Look up (or build) the plan for [expr] in the (possibly shared,
+   always domain-safe) {!Plan_cache}.  The generation is re-read
    *after* a compile: compiling may itself intern string literals into
-   target space, and a plan must not be born already stale. *)
+   target space, and a plan must not be born already stale.  Cache
+   outcomes land in this shard's own counters; two shards racing to
+   compile the same key both count a compile and the later store wins —
+   wasted work at worst, never a wrong plan. *)
 let plan_lookup t expr =
-  if t.cfg.plan_cache <= 0 then None
+  if not (Plan_cache.enabled t.plans) then None
   else
     match plan_key t expr with
     | None -> None
     | Some key -> (
-        t.plan_tick <- t.plan_tick + 1;
-        match Hashtbl.find_opt t.plans key with
-        | Some p when p.p_gen = plan_generation t ->
+        match Plan_cache.find t.plans ~key ~gen:(plan_generation t) with
+        | Plan_cache.Hit prog ->
             t.st.plan_hits <- t.st.plan_hits + 1;
-            p.p_tick <- t.plan_tick;
-            Some p.p_prog
-        | stale -> (
-            (match stale with
-            | Some _ ->
-                Hashtbl.remove t.plans key;
-                t.st.plan_inval <- t.st.plan_inval + 1
-            | None -> ());
+            Some prog
+        | (Plan_cache.Stale | Plan_cache.Absent) as missed -> (
+            if missed = Plan_cache.Stale then
+              t.st.plan_inval <- t.st.plan_inval + 1;
             t.st.plan_misses <- t.st.plan_misses + 1;
             match plan_compile t expr with
             | None -> None
             | Some prog ->
                 t.st.plan_compiles <- t.st.plan_compiles + 1;
-                Hashtbl.replace t.plans key
-                  { p_prog = prog; p_gen = plan_generation t;
-                    p_tick = t.plan_tick };
-                plan_evict t;
+                t.st.plan_evict <-
+                  t.st.plan_evict
+                  + Plan_cache.store t.plans ~key ~gen:(plan_generation t) prog;
                 Some prog))
 
 (* Lines a qDuelEval sends back: the session's formatted output plus
@@ -377,7 +442,7 @@ let eval_lines t c expr =
     | Some prog -> Session.exec_program c.session (Bytecode.clone prog)
     | None -> Session.exec c.session expr
   in
-  match Inferior.take_output t.inf with
+  match target_locked t (fun () -> Inferior.take_output t.inf) with
   | "" -> lines
   | out ->
       let printed =
@@ -394,45 +459,94 @@ let chunked chunk lines =
   in
   go [] [] 0 lines
 
+(* Counter-wise sum into a fresh stats record — the counters-merge half
+   of qDuelStats aggregation (the histogram half is {!Histogram.merge}).
+   [peak_active] sums: per-shard peaks are not simultaneous, so the sum
+   is an upper bound on the whole-server peak, which is the honest
+   direction for a capacity counter.  Neither input is mutated; merging
+   a foreign shard's live record reads each field once (immediate
+   values never tear across domains, they can only be a step stale). *)
+let merge_stats a b =
+  {
+    accepted = a.accepted + b.accepted;
+    peak_active = a.peak_active + b.peak_active;
+    closed = a.closed + b.closed;
+    bytes_in = a.bytes_in + b.bytes_in;
+    bytes_out = a.bytes_out + b.bytes_out;
+    packets = a.packets + b.packets;
+    evals = a.evals + b.evals;
+    eval_values = a.eval_values + b.eval_values;
+    faults = a.faults + b.faults;
+    naks = a.naks + b.naks;
+    timeouts = a.timeouts + b.timeouts;
+    limited = a.limited + b.limited;
+    chaos = a.chaos + b.chaos;
+    eval_dups = a.eval_dups + b.eval_dups;
+    plan_hits = a.plan_hits + b.plan_hits;
+    plan_misses = a.plan_misses + b.plan_misses;
+    plan_compiles = a.plan_compiles + b.plan_compiles;
+    plan_inval = a.plan_inval + b.plan_inval;
+    plan_evict = a.plan_evict + b.plan_evict;
+    hist = Histogram.merge a.hist b.hist;
+  }
+
+let view t = { v_st = t.st; v_active = List.length t.conns }
+
+let merge_views a b =
+  { v_st = merge_stats a.v_st b.v_st; v_active = a.v_active + b.v_active }
+
+(* What a stats request reports: this shard alone when standalone, the
+   merged whole when sharded — any shard answers for the server. *)
+let merged_view t =
+  match t.siblings with
+  | [] -> view t
+  | s :: ss -> List.fold_left (fun acc s' -> merge_views acc (view s')) (view s) ss
+
 let stats_wire t =
+  let { v_st = st; v_active } = merged_view t in
   Printf.sprintf
     "accepted=%d;active=%d;peak=%d;closed=%d;packets=%d;evals=%d;eval_values=%d;faults=%d;naks=%d;timeouts=%d;limited=%d;chaos=%d;eval_dups=%d;plan_hits=%d;plan_misses=%d;plan_compiles=%d;plan_inval=%d;plan_evict=%d;bytes_in=%d;bytes_out=%d;%s"
-    t.st.accepted (List.length t.conns) t.st.peak_active t.st.closed
-    t.st.packets t.st.evals t.st.eval_values t.st.faults t.st.naks
-    t.st.timeouts t.st.limited t.st.chaos t.st.eval_dups t.st.plan_hits
-    t.st.plan_misses t.st.plan_compiles t.st.plan_inval t.st.plan_evict
-    t.st.bytes_in t.st.bytes_out
-    (Histogram.to_wire t.st.hist)
+    st.accepted v_active st.peak_active st.closed st.packets st.evals
+    st.eval_values st.faults st.naks st.timeouts st.limited st.chaos
+    st.eval_dups st.plan_hits st.plan_misses st.plan_compiles st.plan_inval
+    st.plan_evict st.bytes_in st.bytes_out
+    (Histogram.to_wire st.hist)
 
 let stats_to_lines t =
+  let { v_st = st; v_active } = merged_view t in
   [
     Printf.sprintf "connections: %d active (peak %d), %d accepted, %d closed"
-      (List.length t.conns) t.st.peak_active t.st.accepted t.st.closed;
+      v_active st.peak_active st.accepted st.closed;
     Printf.sprintf
       "traffic: %d packets (%d faults, %d naks), %d bytes in, %d bytes out"
-      t.st.packets t.st.faults t.st.naks t.st.bytes_in t.st.bytes_out;
-    Printf.sprintf "evals: %d queries, %d values streamed" t.st.evals
-      t.st.eval_values;
+      st.packets st.faults st.naks st.bytes_in st.bytes_out;
+    Printf.sprintf "evals: %d queries, %d values streamed" st.evals
+      st.eval_values;
     Printf.sprintf "lifecycle: %d idle timeouts, %d limit rejections"
-      t.st.timeouts t.st.limited;
+      st.timeouts st.limited;
     Printf.sprintf "chaos: %d injected server faults, %d eval replays deduped"
-      t.st.chaos t.st.eval_dups;
+      st.chaos st.eval_dups;
     Printf.sprintf
       "plan cache: %d resident, %d hits, %d misses (%d compiles), %d \
        invalidated, %d evicted"
-      (Hashtbl.length t.plans) t.st.plan_hits t.st.plan_misses
-      t.st.plan_compiles t.st.plan_inval t.st.plan_evict;
+      (Plan_cache.resident t.plans)
+      st.plan_hits st.plan_misses st.plan_compiles st.plan_inval st.plan_evict;
   ]
-  @ Histogram.to_lines t.st.hist
+  @ Histogram.to_lines st.hist
 
 let has_prefix p s =
   String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
 let after p s = String.sub s (String.length p) (String.length s - String.length p)
 
+(* Raise the shared stop flag: every shard holding this [stop] (itself
+   included) begins a graceful drain on its next step.  The wake keeps
+   a quiescent peer from sleeping out its select timeout first. *)
 let shutdown t =
   t.accepting <- false;
-  t.shutting <- true
+  Atomic.set t.stop true;
+  wake t;
+  List.iter wake t.siblings
 
 let fault t point =
   match t.cfg.fault_hook with
@@ -529,8 +643,10 @@ let dispatch t c payload =
     ^ frame (Printf.sprintf "T%x" (List.length lines))
   end
   else
-    (* plain RSP traffic: memory, allocation, calls, frames, handshake *)
-    match Rsp_server.handle_payload t.rsp payload with
+    (* plain RSP traffic: memory, allocation, calls, frames, handshake —
+       straight at the shared target, so under sharding it takes the
+       target lock the sibling shards' serialized DBGIs use *)
+    match target_locked t (fun () -> Rsp_server.handle_payload t.rsp payload) with
     | reply -> frame reply
     | exception Packet.Malformed _ -> frame "E00"
 
@@ -620,21 +736,41 @@ let close_listeners t =
       | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
       | None -> ())
     t.listeners;
-  t.listeners <- []
+  t.listeners <- [];
+  (* nothing further will be handed off; close stragglers and the pipe
+     (under the inbox lock, so a sibling's late [wake]/[hand_off] sees
+     [None] instead of a recycled fd number) *)
+  Mutex.protect t.inbox_lock (fun () ->
+      Queue.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        t.inbox;
+      Queue.clear t.inbox;
+      (match t.wake with
+      | Some (rd, wr) ->
+          (try Unix.close rd with Unix.Unix_error _ -> ());
+          (try Unix.close wr with Unix.Unix_error _ -> ())
+      | None -> ());
+      t.wake <- None)
 
 (* One event-loop iteration: select with [timeout], then accept / read /
    write / reap.  Returns [false] once a shutdown has fully drained —
    the [run] loop's exit condition. *)
 let step t timeout =
+  (* the stop flag may have been raised by any sibling shard (or a
+     signal handler); it is the one cross-domain control signal *)
+  if Atomic.get t.stop then t.shutting <- true;
   if t.shutting then begin
     t.accepting <- false;
     (* graceful: no new requests, but every queued reply still drains *)
     List.iter (fun c -> c.closing <- true) t.conns
   end;
+  (* adopt sockets handed over by other domains since the last step *)
+  drain_inbox t;
   let can_accept =
     t.accepting && List.length t.conns < t.cfg.max_conns
   in
   let rd_listen = if can_accept then List.map fst t.listeners else [] in
+  let rd_wake = match t.wake with Some (rd, _) -> [ rd ] | None -> [] in
   (* chaos stall decisions, one per connection per step, shared by the
      select sets and the opportunistic flush below *)
   let stalled_read = List.filter (fun _ -> fault t Stall_read) t.conns in
@@ -652,10 +788,26 @@ let step t timeout =
       (fun c -> c.out_bytes > 0 && not (List.memq c stalled_write))
       t.conns
   in
-  let rds = rd_listen @ List.map (fun c -> c.fd) rd_conns in
+  let rds = rd_wake @ rd_listen @ List.map (fun c -> c.fd) rd_conns in
   let wrs = List.map (fun c -> c.fd) wr_conns in
   (match Unix.select rds wrs [] timeout with
   | rready, wready, _ ->
+      (* a wake byte means "look again now": drain it (edge, not level)
+         and pick up whatever was handed off while we slept *)
+      (match t.wake with
+      | Some (rd, _) when List.mem rd rready ->
+          let junk = Bytes.create 64 in
+          let rec drain () =
+            match Unix.read rd junk 0 64 with
+            | 64 -> drain ()
+            | _ -> ()
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+              ->
+                ()
+          in
+          drain ();
+          drain_inbox t
+      | _ -> ());
       List.iter
         (fun lfd -> if List.mem lfd rready then accept_some t lfd)
         rd_listen;

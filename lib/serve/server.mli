@@ -23,7 +23,21 @@
        tagged: data chunks [D<seq>,<idx>;...], terminal
        [T<seq>,<count>], typed failure [F<seq>;<msg>].  A request whose
        optional [budget-ms] (the client's remaining deadline) is already
-       spent answers [F<seq>;deadline] instead of evaluating.}
+       spent answers [F<seq>;deadline] instead of evaluating.
+
+       {b The at-most-once guarantee is per-connection, not
+       per-server.}  The replay table lives on the connection object:
+       resends {e on the same connection} are deduplicated no matter
+       which shard of a sharded server owns it, and two connections
+       using the same sequence numbers (unavoidable, since every client
+       counts from 1) can never replay each other's replies — not even
+       when a reconnecting client lands on a different shard, because
+       the fresh connection starts with an empty table.  The flip side:
+       a request whose connection died is {e not} protected — resending
+       it over a new connection may execute it a second time.  The
+       {!Client} therefore never resends an in-flight eval across a
+       reconnect; it surfaces the transport failure and leaves the
+       retry decision (idempotent or not) to the caller.}
     {- [qDuelStats] — the observability counters as [key=value;...]
        (see {!stats_wire}).}
     {- [qDuelShutdown] — reply [OK] and begin a graceful shutdown.}}
@@ -104,10 +118,42 @@ type stats = {
 
 type t
 
-val create : ?config:config -> Duel_target.Inferior.t -> t
+type view = { v_st : stats; v_active : int }
+(** One shard's observable load: its counters plus its live connection
+    count (which is not a counter and so cannot live in {!stats}). *)
 
-val listen_tcp : t -> host:string -> port:int -> int
+val create :
+  ?config:config ->
+  ?dbgi:Duel_dbgi.Dbgi.t ->
+  ?plans:Plan_cache.t ->
+  ?stop:bool Atomic.t ->
+  ?target_lock:Mutex.t ->
+  Duel_target.Inferior.t ->
+  t
+(** A server (or one shard of a sharded server) over [inf].  The
+    optional arguments are the sharding seams; every default reproduces
+    the classic single-threaded server exactly:
+
+    {ul
+    {- [dbgi] — the interface sessions evaluate against (default: a
+       cached {!Duel_target.Backend.direct} over [inf]).  A sharded
+       server passes each shard its own data cache over a
+       {!Duel_dbgi.Dbgi.serialized} view of the shared target.}
+    {- [plans] — the query-plan cache (default: a private one of
+       capacity [config.plan_cache]).  {!Plan_cache} is domain-safe, so
+       one cache may be shared by every shard.}
+    {- [stop] — the shutdown flag {!shutdown} raises and {!step} polls
+       (default: private).  Shards share one, so [qDuelShutdown]
+       arriving at any shard drains all of them.}
+    {- [target_lock] — when present, RSP dispatch and target-stdout
+       capture run holding it; pass the same mutex the shards'
+       serialized DBGIs use.  Absent (the default), target access is
+       unguarded exactly as before.}} *)
+
+val listen_tcp : ?reuseport:bool -> t -> host:string -> port:int -> int
 (** Bind and listen; returns the actual port (useful with [port = 0]).
+    [reuseport] sets [SO_REUSEPORT] before binding, so sibling shards
+    can bind the same address and let the kernel balance accepts.
     @raise Unix.Unix_error on bind failure. *)
 
 val listen_unix : t -> string -> unit
@@ -116,7 +162,36 @@ val listen_unix : t -> string -> unit
 
 val inject : t -> Unix.file_descr -> unit
 (** Adopt an already-connected socket as a client connection — tests
-    drive the loop over [Unix.socketpair] ends, no listener needed. *)
+    drive the loop over [Unix.socketpair] ends, no listener needed.
+    Must be called from the domain that steps this server; from any
+    other domain use {!hand_off}. *)
+
+val hand_off : t -> Unix.file_descr -> unit
+(** Hand an already-connected socket to this server from {e another}
+    domain: the fd is queued under a lock and adopted at the top of the
+    server's next {!step} (a wake pipe interrupts its [select], so the
+    hand-off does not wait out the select timeout).  Ownership of the
+    fd transfers unconditionally — if the server has already shut down,
+    the fd is closed.  This is the dispatcher half of sharded
+    listening: one shard accepts, siblings serve. *)
+
+val set_siblings : t -> t list -> unit
+(** Tell this shard about every shard of its server (self included).
+    [qDuelStats]/{!stats_wire}/{!stats_to_lines} then report the merged
+    whole-server numbers, and {!shutdown} wakes every sibling so a
+    drain starts immediately.  Standalone servers (the default empty
+    list) report themselves only. *)
+
+val view : t -> view
+val merge_stats : stats -> stats -> stats
+(** Counter-wise sum into a fresh record (inputs unchanged), histograms
+    merged via {!Histogram.merge}.  [peak_active] sums — per-shard
+    peaks need not be simultaneous, so the result is an upper bound. *)
+
+val merge_views : view -> view -> view
+val merged_view : t -> view
+(** This shard's view merged with every sibling's (see
+    {!set_siblings}); equals [view t] when standalone. *)
 
 val step : t -> float -> bool
 (** One event-loop iteration: select (waiting at most the given

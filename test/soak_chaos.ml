@@ -22,6 +22,7 @@ module Chaos = Duel_chaos.Chaos
 module Mangler = Duel_chaos.Mangler
 module Prng = Duel_chaos.Prng
 module Server = Duel_serve.Server
+module Sharded = Duel_serve.Sharded
 module Client = Duel_serve.Client
 
 let nosleep _ = ()
@@ -149,6 +150,50 @@ let soak_serve ~seed =
   Client.close cl;
   injected
 
+(* The same corpus against the *sharded* server: two shard loops in
+   their own domains, two clients on real blocking IO (the soak's one
+   pump-free rig — genuine cross-domain serving is the point).  The
+   seeded hook keeps per-point burst state in a Hashtbl, so the one
+   hook both shards share runs under a mutex; the interleaving across
+   domains is the kernel's, but every injection still comes from the
+   seed's schedule. *)
+let soak_serve_sharded ~seed =
+  let locked_hook =
+    let hook = seeded_hook seed in
+    let m = Mutex.create () in
+    fun point -> Mutex.protect m (fun () -> hook point)
+  in
+  let config =
+    { Server.default_config with Server.fault_hook = Some locked_hook }
+  in
+  let srv = Sharded.create ~config ~shards:2 (Scenarios.all ()) in
+  Sharded.start srv;
+  let clients =
+    List.init 2 (fun _ ->
+        let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+        Sharded.inject srv a;
+        Client.of_fd ~retry:quick_retry b)
+  in
+  List.iter
+    (fun cl ->
+      List.iter
+        (fun (q, want) ->
+          let got = Client.eval cl q in
+          if got <> want then
+            raise
+              (Diverged
+                 (Printf.sprintf
+                    "sharded serve seed %d: %S answered %S, oracle %S" seed q
+                    (String.concat "\\n" got)
+                    (String.concat "\\n" want))))
+        (Lazy.force oracle))
+    clients;
+  let injected = (Sharded.merged_view srv).Server.v_st.Server.chaos in
+  List.iter Client.close clients;
+  Sharded.shutdown srv;
+  Sharded.join srv;
+  injected
+
 let soak_seed ~duration seed =
   let t0 = Unix.gettimeofday () in
   let rounds = ref 0 and injected = ref 0 in
@@ -196,7 +241,8 @@ let soak_seed ~duration seed =
         injected := !injected + st.Chaos.read_faults + st.Chaos.write_faults)
       built.Duel_backend.Backend.b_rigs;
     built.Duel_backend.Backend.b_close ();
-    injected := !injected + (soak_serve ~seed:sub)
+    injected := !injected + (soak_serve ~seed:sub);
+    injected := !injected + (soak_serve_sharded ~seed:sub)
   done;
   Printf.printf "seed %d: %d rounds, %d faults injected, all converged\n%!"
     seed !rounds !injected

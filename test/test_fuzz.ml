@@ -83,10 +83,34 @@ let runaway_loop_bounded () =
         [ "while (1) 2;"; "for (; 1; ) 2;"; "while (1) {2;}" ])
     [ Session.Seq_engine; Session.Sm_engine ]
 
+(* Directed: the open range [1..] is infinite by construction; a fully
+   consumed one (a bare statement drains its sequence) must come back as
+   the expansion-limit error in every engine, never hang.  (Found by the
+   fuzzer: the token soup produces "1 .." readily.) *)
+let open_range_bounded () =
+  List.iter
+    (fun engine ->
+      let s = (Support.kit ()).Support.session in
+      s.Session.engine <- engine;
+      s.Session.max_values <- 5;
+      s.Session.env.Duel_core.Env.flags.Duel_core.Env.expansion_limit <- 1000;
+      List.iter
+        (fun src ->
+          let lines = Session.exec s src in
+          Alcotest.(check bool)
+            (Printf.sprintf "%S reports the open-range limit" src)
+            true
+            (List.exists
+               (fun l -> Support.contains_sub l "open range exceeded")
+               lines))
+        [ "1.."; "0x10.."; "(1..) + 1" ])
+    [ Session.Seq_engine; Session.Sm_engine; Session.Vm_engine ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_lexer_total;
     QCheck_alcotest.to_alcotest prop_parser_total;
     QCheck_alcotest.to_alcotest prop_never_crashes;
     Support.case "runaway loop is bounded (both engines)" runaway_loop_bounded;
+    Support.case "open range is bounded (all engines)" open_range_bounded;
   ]

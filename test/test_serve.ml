@@ -654,6 +654,256 @@ let plan_alias_isolation () =
     (Client.eval c2 "pv+1");
   List.iter Client.close clients
 
+(* --- histogram and stats merging (the sharded stats substrate) ----------- *)
+
+let histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 3e-6;
+  Histogram.add a 200e-6;
+  Histogram.add b 5e-6;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "merged count" 3 (Histogram.count m);
+  Alcotest.(check int) "left input unchanged" 2 (Histogram.count a);
+  Alcotest.(check int) "right input unchanged" 1 (Histogram.count b);
+  (* same bucket boundaries on both sides, so the merge is exact:
+     percentiles answer over the union of the sample streams *)
+  Alcotest.(check bool)
+    "p99 covers the slow sample" true
+    (Histogram.percentile m 0.99 >= 128e-6);
+  Alcotest.(check bool)
+    "p50 stays with the fast majority" true
+    (Histogram.percentile m 0.5 <= 8e-6);
+  Alcotest.(check int)
+    "merging empties is empty" 0
+    (Histogram.count (Histogram.merge (Histogram.create ()) (Histogram.create ())))
+
+let merge_stats_sums () =
+  let srv1, c1 = Support.socket_stack (Scenarios.all ()) in
+  let srv2, c2 = Support.socket_stack (Scenarios.all ()) in
+  ignore (Client.eval c1 "x[3]");
+  ignore (Client.eval c1 "x[4]");
+  ignore (Client.eval c2 "x[5]");
+  let s1 = Server.stats srv1 and s2 = Server.stats srv2 in
+  let m = Server.merge_stats s1 s2 in
+  Alcotest.(check int) "evals sum" (s1.Server.evals + s2.Server.evals)
+    m.Server.evals;
+  Alcotest.(check int) "packets sum" (s1.Server.packets + s2.Server.packets)
+    m.Server.packets;
+  Alcotest.(check int) "bytes_in sum" (s1.Server.bytes_in + s2.Server.bytes_in)
+    m.Server.bytes_in;
+  Alcotest.(check int) "histograms merge"
+    (Histogram.count s1.Server.hist + Histogram.count s2.Server.hist)
+    (Histogram.count m.Server.hist);
+  (* merge builds a fresh record; the inputs keep their own counters *)
+  Alcotest.(check int) "left intact" 2 s1.Server.evals;
+  Alcotest.(check int) "right intact" 1 s2.Server.evals;
+  Client.close c1;
+  Client.close c2
+
+(* --- the domain-safe plan cache ------------------------------------------ *)
+
+(* Four workers (three spawned domains plus this one) hammer one
+   8-entry cache with overlapping keys and rotating generations: no
+   crash, no torn entry, and the capacity invariant holds under every
+   interleaving.  This is the directed race test for the cache the
+   sharded server shares across domains. *)
+let plan_cache_hammer () =
+  let module PC = Duel_serve.Plan_cache in
+  let s =
+    Session.create (Duel_target.Backend.direct (Scenarios.all ()))
+  in
+  let prog =
+    Duel_core.Compile.compile (Session.compile s (Session.parse s "1"))
+  in
+  let cache = PC.create 8 in
+  let errors = Atomic.make 0 in
+  let worker () =
+    try
+      for i = 1 to 2000 do
+        let key = Printf.sprintf "k%d" (i mod 12) in
+        let gen = i mod 3 in
+        (match PC.find cache ~key ~gen with
+        | PC.Hit _ -> ()
+        | PC.Stale | PC.Absent -> ignore (PC.store cache ~key ~gen prog));
+        if PC.resident cache > 8 then Atomic.incr errors
+      done
+    with _ -> Atomic.incr errors
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no invariant violations" 0 (Atomic.get errors);
+  Alcotest.(check bool) "capacity holds after the storm" true
+    (PC.resident cache <= 8);
+  ignore (PC.store cache ~key:"final" ~gen:7 prog);
+  Alcotest.(check bool) "hit at the stored generation" true
+    (match PC.find cache ~key:"final" ~gen:7 with
+    | PC.Hit _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "a moved generation reads stale" true
+    (match PC.find cache ~key:"final" ~gen:8 with
+    | PC.Stale -> true
+    | _ -> false)
+
+(* --- at-most-once is per-connection (the server.mli contract) ------------ *)
+
+let eval_seq_per_connection () =
+  let srv, clients = plan_stack 4 in
+  let c1, c2, c4, creader =
+    match clients with
+    | [ a; b; c; d ] -> (a, b, c, d)
+    | _ -> assert false
+  in
+  let st = Server.stats srv in
+  let read_x0 () =
+    match Client.eval creader "x[0]" with
+    | [ line ] ->
+        int_of_string
+          (String.trim
+             (match String.split_on_char '=' line with
+             | [ _; v ] -> v
+             | _ -> Alcotest.failf "unparsable: %s" line))
+    | other -> Alcotest.failf "unexpected reply: %s" (String.concat "|" other)
+  in
+  let before = read_x0 () in
+  let evals0 = st.Server.evals in
+  let bump = "qDuelEvalSeq:a;x[0] = x[0] + 1;" in
+  (* the same sequence number from two different connections: both
+     execute; neither replays the other's reply *)
+  let r1 = Client.rpc c1 bump in
+  ignore (Client.rpc c2 bump);
+  Alcotest.(check int) "both executed" (evals0 + 2) st.Server.evals;
+  Alcotest.(check int) "no replays" 0 st.Server.eval_dups;
+  (* resending on the same connection replays the stored reply without
+     re-executing *)
+  let r1' = Client.rpc c1 bump in
+  Alcotest.(check string) "replay is verbatim" r1 r1';
+  Alcotest.(check int) "replay did not evaluate" (evals0 + 2) st.Server.evals;
+  Alcotest.(check int) "counted as a dup" 1 st.Server.eval_dups;
+  (* a fresh connection starts with an empty replay table: the same seq
+     executes again — the reconnect caveat server.mli documents *)
+  ignore (Client.rpc c4 bump);
+  Alcotest.(check int) "fresh connection executed" (evals0 + 3)
+    st.Server.evals;
+  Alcotest.(check int) "exactly three increments landed" (before + 3)
+    (read_x0 ());
+  List.iter Client.close clients
+
+(* --- the sharded server --------------------------------------------------- *)
+
+module Sharded = Duel_serve.Sharded
+
+(* N shard loops in background domains, M clients on real blocking IO
+   over injected socketpairs (round-robin across shards).  This is the
+   cross-domain configuration proper — no cooperative pump anywhere. *)
+let sharded_rig ?config ~shards nclients =
+  let inf = Scenarios.all () in
+  let srv =
+    match config with
+    | None -> Sharded.create ~shards inf
+    | Some config -> Sharded.create ~config ~shards inf
+  in
+  Sharded.start srv;
+  let clients =
+    List.init nclients (fun _ ->
+        let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+        Sharded.inject srv a;
+        Client.of_fd b)
+  in
+  (srv, clients)
+
+let sharded_teardown srv clients =
+  List.iter Client.close clients;
+  Sharded.shutdown srv;
+  Sharded.join srv
+
+let sharded_eval_basic () =
+  let direct =
+    Session.create (Duel_target.Backend.direct (Scenarios.all ()))
+  in
+  let query = "hash[0..5].v[0..2] >? 2" in
+  let expected = Session.exec direct query in
+  let srv, clients = sharded_rig ~shards:2 4 in
+  List.iter
+    (fun cl ->
+      Alcotest.(check (list string))
+        "sharded eval equals a direct session" expected (Client.eval cl query))
+    clients;
+  (* the round-robin hand-off spread the connections evenly *)
+  Alcotest.(check (list int))
+    "per-shard distribution" [ 2; 2 ]
+    (List.map (fun s -> (Server.stats s).Server.accepted) (Sharded.shards srv));
+  (* any shard answers with the merged whole-server numbers *)
+  let v = Sharded.merged_view srv in
+  Alcotest.(check int) "merged evals" 4 v.Server.v_st.Server.evals;
+  Alcotest.(check int) "merged accepts" 4 v.Server.v_st.Server.accepted;
+  sharded_teardown srv clients
+
+let sharded_tcp_reuseport () =
+  let direct =
+    Session.create (Duel_target.Backend.direct (Scenarios.all ()))
+  in
+  let query = "x[1..4,8,12..50] >? 5 <? 10" in
+  let expected = Session.exec direct query in
+  let srv = Sharded.create ~shards:2 (Scenarios.all ()) in
+  let port = Sharded.listen_tcp srv ~host:"127.0.0.1" ~port:0 in
+  Sharded.start srv;
+  let addr = Printf.sprintf "127.0.0.1:%d" port in
+  let clients = List.init 4 (fun _ -> Client.connect addr) in
+  List.iter
+    (fun cl ->
+      Alcotest.(check (list string))
+        "eval over SO_REUSEPORT TCP" expected (Client.eval cl query))
+    clients;
+  (* the kernel balances accepts; only the total is deterministic *)
+  Alcotest.(check int) "all connections accepted" 4
+    (List.fold_left
+       (fun n s -> n + (Server.stats s).Server.accepted)
+       0 (Sharded.shards srv));
+  sharded_teardown srv clients
+
+(* Graceful drain mid-stream: a reply already queued when the shutdown
+   arrives is still delivered before the shard closes. *)
+let sharded_drain_mid_stream () =
+  let direct =
+    Session.create (Duel_target.Backend.direct (Scenarios.all ()))
+  in
+  let query = "x[1..4] >? 5" in
+  let expected = Session.exec direct query in
+  let srv, clients = sharded_rig ~shards:2 2 in
+  let c1 = List.hd clients in
+  Client.eval_send c1 query;
+  (* wait until the query has actually been served into c1's reply
+     queue, then shut the whole server down from this domain *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    (Sharded.merged_view srv).Server.v_st.Server.evals < 1
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.002
+  done;
+  Sharded.shutdown srv;
+  Alcotest.(check (list string))
+    "queued reply survives the drain" expected (Client.eval_recv c1);
+  Sharded.join srv;
+  List.iter Client.close clients
+
+let sharded_idle_reap () =
+  let config = { Server.default_config with idle_timeout = 0.05 } in
+  let srv, clients = sharded_rig ~config ~shards:2 2 in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    (Sharded.merged_view srv).Server.v_st.Server.timeouts < 2
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.002
+  done;
+  let v = Sharded.merged_view srv in
+  Alcotest.(check int) "every shard reaped its idler" 2
+    v.Server.v_st.Server.timeouts;
+  Alcotest.(check int) "no live connections remain" 0 v.Server.v_active;
+  sharded_teardown srv clients
+
 let suite =
   [
     case "deframer survives byte-at-a-time delivery" deframer_split;
@@ -695,4 +945,13 @@ let suite =
     case "plan cache evicts LRU at capacity" plan_lru_eviction;
     case "plan cache can be disabled" plan_disabled;
     case "cached plans keep aliases per-connection" plan_alias_isolation;
+    case "histogram merge is exact and fresh" histogram_merge;
+    case "merge_stats sums counters and histograms" merge_stats_sums;
+    case "plan cache survives a multi-domain hammer" plan_cache_hammer;
+    case "at-most-once is per-connection, not per-server"
+      eval_seq_per_connection;
+    case "two shards serve four injected clients" sharded_eval_basic;
+    case "SO_REUSEPORT shards share one TCP port" sharded_tcp_reuseport;
+    case "sharded drain delivers queued replies" sharded_drain_mid_stream;
+    case "each shard reaps its own idlers" sharded_idle_reap;
   ]
