@@ -1073,6 +1073,135 @@ let s2 ~quick ~json_file () =
   | None -> ());
   pass
 
+(* --- R1: fleet fan-out ---------------------------------------------------- *)
+
+(* Relative debugging at fleet scale: the same query against 8 named
+   targets hosted by one serve instance.  Serial is the pre-fleet
+   workflow — dial, bind the target, evaluate, hang up, once per
+   target, so every sweep pays 8 connection setups and 8 full
+   round-trip conversations.  Fan-out is one persistent connection
+   shipping a single [qDuelEvalAll] and collecting the 8 tagged leg
+   streams from one reply burst.  Both arms run warm (plans compiled,
+   caches hot); the gate is per-sweep latency — the fan-out must beat
+   the serial loop by >= 2x or the bench exits nonzero. *)
+
+let r1_gate = 2.0
+
+type r1_result = {
+  r_targets : int;
+  r_rounds : int;
+  r_serial_s : float;
+  r_fanout_s : float;
+}
+
+let r1_speedup r = r.r_serial_s // r.r_fanout_s
+
+let r1_json ~quick r stats_wire =
+  Printf.sprintf
+    "{\n\
+    \  \"bench\": \"fleet_eval_all_vs_serial\",\n\
+    \  \"quick\": %b,\n\
+    \  \"targets\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"serial_s\": %.6f,\n\
+    \  \"fanout_s\": %.6f,\n\
+    \  \"per_sweep_serial_s\": %.6f,\n\
+    \  \"per_sweep_fanout_s\": %.6f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"gate\": %.1f,\n\
+    \  \"server_stats\": %S,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    quick r.r_targets r.r_rounds r.r_serial_s r.r_fanout_s
+    (r.r_serial_s /. float_of_int r.r_rounds)
+    (r.r_fanout_s /. float_of_int r.r_rounds)
+    (r1_speedup r) r1_gate stats_wire
+    (r1_speedup r >= r1_gate)
+
+let r1 ~quick ~json_file () =
+  header
+    (Printf.sprintf
+       "R1  fleet fan-out: one qDuelEvalAll over 8 targets vs 8 serial \
+        connect-bind-eval sessions, loopback TCP (gate: fan-out >= %.0fx \
+        per-sweep latency)"
+       r1_gate);
+  let module Server = Duel_serve.Server in
+  let module Client = Duel_serve.Client in
+  let module Fleet = Duel_fleet.Fleet in
+  let ntargets = 8 in
+  let rounds = if quick then 10 else 40 in
+  let query = "deep-->next->value" in
+  let fleet =
+    match
+      Fleet.create
+        (List.init ntargets (fun i ->
+             (Printf.sprintf "t%d" i, "deep_list:8")))
+    with
+    | Ok f -> f
+    | Error m -> failwith m
+  in
+  let inf = (List.hd (Fleet.targets fleet)).Fleet.inf in
+  let srv = Server.create ~fleet inf in
+  let port = Server.listen_tcp srv ~host:"127.0.0.1" ~port:0 in
+  let addr = Printf.sprintf "127.0.0.1:%d" port in
+  let pump () = ignore (Server.step srv 0.01) in
+  let ids = Fleet.ids fleet in
+  let sweep_serial () =
+    List.iter
+      (fun id ->
+        let cl = Client.connect ~pump addr in
+        Client.use_target cl id;
+        ignore (Client.eval cl query);
+        Client.close cl)
+      ids
+  in
+  let cl = Client.connect ~pump addr in
+  let sweep_fanout () = ignore (Client.eval_all cl [] query) in
+  (* one warm sweep each: every target's plan compiled, both arms hot *)
+  sweep_serial ();
+  sweep_fanout ();
+  let r_serial_s =
+    time_run (fun () ->
+        for _ = 1 to rounds do
+          sweep_serial ()
+        done)
+  in
+  let r_fanout_s =
+    time_run (fun () ->
+        for _ = 1 to rounds do
+          sweep_fanout ()
+        done)
+  in
+  let stats_wire = Server.stats_wire srv in
+  Client.close cl;
+  Server.shutdown srv;
+  while Server.step srv 0.0 do
+    ()
+  done;
+  let r = { r_targets = ntargets; r_rounds = rounds; r_serial_s; r_fanout_s } in
+  Printf.printf "  %-36s %12s %12s\n" "mode" "total" "per sweep";
+  Printf.printf "  %-36s %s %s\n"
+    (Printf.sprintf "serial (%d x connect+bind+eval)" ntargets)
+    (ns (r.r_serial_s *. 1e9))
+    (ns (r.r_serial_s /. float_of_int rounds *. 1e9));
+  Printf.printf "  %-36s %s %s\n" "fan-out (1 x qDuelEvalAll)"
+    (ns (r.r_fanout_s *. 1e9))
+    (ns (r.r_fanout_s /. float_of_int rounds *. 1e9));
+  let pass = r1_speedup r >= r1_gate in
+  verdict pass
+    (Printf.sprintf
+       "one fan-out sweeps %d targets %.1fx faster than %d serial sessions \
+        (gate %.1fx)"
+       ntargets (r1_speedup r) ntargets r1_gate);
+  (match json_file with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (r1_json ~quick r stats_wire);
+      close_out oc;
+      Printf.printf "  (wrote %s)\n" file
+  | None -> ());
+  pass
+
 (* --- X1: the chaos tier --------------------------------------------------- *)
 
 (* The S1 query battery again, but through a hostile wire: a Duel_chaos
@@ -1454,21 +1583,23 @@ let () =
   let json_shard = find_flag "--json-shard" argv in
   let json_chaos = find_flag "--json-chaos" argv in
   let json_dispatch = find_flag "--json-dispatch" argv in
+  let json_fleet = find_flag "--json-fleet" argv in
   let pass =
     if quick then (
       (* CI smoke mode: the gated tiers only, small sizes. *)
       Printf.printf
         "DUEL benchmarks, quick mode (D1 data-cache, L1 lowering, V1 \
-         bytecode VM, S1 serving, S2 shard scaling, X1 chaos and F1/F2 \
-         dispatcher tiers)\n";
+         bytecode VM, S1 serving, S2 shard scaling, R1 fleet fan-out, X1 \
+         chaos and F1/F2 dispatcher tiers)\n";
       let d1_ok = d1 ~quick ~json_file () in
       let l1_ok = l1 ~quick ~json_file:json_lower () in
       let v1_ok = v1 ~quick ~json_file:json_vm () in
       let s1_ok = s1 ~quick ~json_file:json_serve () in
       let s2_ok = s2 ~quick ~json_file:json_shard () in
+      let r1_ok = r1 ~quick ~json_file:json_fleet () in
       let x1_ok = x1 ~quick ~json_file:json_chaos () in
       let f_ok = f_tier ~quick ~json_file:json_dispatch () in
-      d1_ok && l1_ok && v1_ok && s1_ok && s2_ok && x1_ok && f_ok)
+      d1_ok && l1_ok && v1_ok && s1_ok && s2_ok && r1_ok && x1_ok && f_ok)
     else begin
       Printf.printf
         "DUEL reproduction benchmarks (see DESIGN.md section 4 and \
@@ -1485,11 +1616,12 @@ let () =
       let v1_ok = v1 ~quick:false ~json_file:json_vm () in
       let s1_ok = s1 ~quick:false ~json_file:json_serve () in
       let s2_ok = s2 ~quick:false ~json_file:json_shard () in
+      let r1_ok = r1 ~quick:false ~json_file:json_fleet () in
       let x1_ok = x1 ~quick:false ~json_file:json_chaos () in
       let f_ok = f_tier ~quick:false ~json_file:json_dispatch () in
       c1 ();
       Printf.printf "\ndone.\n";
-      d1_ok && l1_ok && v1_ok && s1_ok && s2_ok && x1_ok && f_ok
+      d1_ok && l1_ok && v1_ok && s1_ok && s2_ok && r1_ok && x1_ok && f_ok
     end
   in
   exit (if pass then 0 else 1)

@@ -19,6 +19,8 @@ module Interp = Duel_minic.Interp
 module Debugger = Duel_debug.Debugger
 module Chaos = Duel_chaos.Chaos
 module Backend = Duel_backend.Backend
+module Fleet = Duel_fleet.Fleet
+module Fdiff = Duel_fleet.Diff
 
 let make_inferior scenario =
   match Backend.scenario_of_name scenario with
@@ -399,21 +401,43 @@ let serve scenario listen idle_timeout max_conns shards =
     Printf.eprintf "--shards must be >= 1 (got %d)\n" shards;
     exit 2
   end;
-  let inf = make_inferior scenario in
+  (* the positional accepts either one scenario name or a whole fleet:
+     fleet(good=deep_list:40,bad=deep_list_buggy:40,...) *)
+  let fleet =
+    if Fleet.is_fleet_spec scenario then (
+      match Fleet.of_string scenario with
+      | Ok f -> Some f
+      | Error msg ->
+          Printf.eprintf "oduel serve: %s\n" msg;
+          exit 2)
+    else None
+  in
+  let inf =
+    match fleet with
+    | Some f -> (List.hd (Fleet.targets f)).Fleet.inf
+    | None -> make_inferior scenario
+  in
   let config =
     { Serve_server.default_config with idle_timeout; max_conns }
   in
-  let srv = Serve_sharded.create ~config ~shards inf in
+  let srv = Serve_sharded.create ~config ?fleet ~shards inf in
+  let what =
+    match fleet with
+    | Some f ->
+        Printf.sprintf "fleet %s (%d targets)" (Fleet.describe f)
+          (Fleet.size f)
+    | None -> "scenario " ^ scenario
+  in
   (match parse_listen listen with
   | `Unix path ->
       Serve_sharded.listen_unix srv path;
-      Printf.printf "oduel serving scenario %s on unix:%s (%d shard%s)\n%!"
-        scenario path shards
+      Printf.printf "oduel serving %s on unix:%s (%d shard%s)\n%!" what path
+        shards
         (if shards = 1 then "" else "s")
   | `Tcp (host, port) ->
       let port = Serve_sharded.listen_tcp srv ~host ~port in
-      Printf.printf "oduel serving scenario %s on %s:%d (%d shard%s)\n%!"
-        scenario host port shards
+      Printf.printf "oduel serving %s on %s:%d (%d shard%s)\n%!" what host port
+        shards
         (if shards = 1 then "" else "s"));
   Sys.set_signal Sys.sigint
     (Sys.Signal_handle (fun _ -> Serve_sharded.shutdown srv));
@@ -429,6 +453,12 @@ let connect_help =
   {|Commands:
   <expr>                 evaluate locally over the network interface
   remote <expr>          ship the whole query to the server (qDuelEval)
+  all [ids] <expr>       fan the query across fleet targets (qDuelEvalAll);
+                         ids comma-separated, or * (default) for every target
+  use <id>               bind this connection to fleet target <id>
+                         (plain <expr> keeps the local twin's symbols;
+                         use remote/all to query the bound target)
+  info targets           the server's fleet roster (qDuelTargets)
   info server            the server's counters (qDuelStats)
   info cache             local data-cache counters
   help                   this text
@@ -439,13 +469,58 @@ let print_server_stats cl =
     (fun (k, v) -> Printf.printf "%-12s %d\n" k v)
     (Serve_client.server_stats cl)
 
+(* `all [ids] <expr>`: fan out across fleet targets and print each
+   leg's lines under its target id. *)
+let fan_out cl rest =
+  (* a leading "*", comma-joined id list, or single known target id
+     selects the targets; anything else is already the expression
+     (= all targets) *)
+  let looks_like_ids w =
+    w = "*"
+    || (String.contains w ','
+       && String.for_all
+            (fun c ->
+              c = ','
+              || (c >= 'a' && c <= 'z')
+              || (c >= 'A' && c <= 'Z')
+              || (c >= '0' && c <= '9')
+              || c = '_' || c = '-' || c = '.')
+            w)
+    || List.mem_assoc w (Serve_client.targets cl)
+  in
+  let ids, expr =
+    match rest with
+    | first :: more when more <> [] && looks_like_ids first ->
+        ((if first = "*" then [] else String.split_on_char ',' first), more)
+    | _ -> ([], rest)
+  in
+  List.iter
+    (fun (id, result) ->
+      match result with
+      | Ok lines ->
+          Printf.printf "%s:\n" id;
+          List.iter (fun l -> print_endline ("  " ^ l)) lines
+      | Error msg -> Printf.printf "%s: failed: %s\n" id msg)
+    (Serve_client.eval_all cl ids (String.concat " " expr))
+
 let connect_command session cl line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "" ] -> ()
   | [ "help" ] -> print_endline connect_help
   | [ "info"; "server" ] -> print_server_stats cl
+  | [ "info"; "targets" ] -> (
+      match Serve_client.targets cl with
+      | [] -> print_endline "no fleet (single-target server)"
+      | roster ->
+          List.iter
+            (fun (id, spec) -> Printf.printf "%-12s %s\n" id spec)
+            roster)
   | [ "info"; "cache" ] ->
       List.iter print_endline (Session.cache_stats session)
+  | [ "use"; id ] ->
+      Serve_client.use_target cl id;
+      Printf.printf "bound to target %s\n" id
+  | "all" :: rest when rest <> [] -> fan_out cl rest
   | "remote" :: rest ->
       List.iter print_endline (Serve_client.eval cl (String.concat " " rest))
   | _ -> List.iter print_endline (Session.exec session (String.trim line))
@@ -496,6 +571,40 @@ let connect addr scenario engine no_cache exprs =
           eval_line e)
         exprs);
   Serve_client.close cl
+
+(* --- diff: relative debugging across two fleet targets ------------------- *)
+
+(* Evaluate one expression on two targets of a served fleet and report
+   the first divergence symbolically.  Exit status: 0 identical, 1
+   diverged (the grep convention), 2 error. *)
+let diff addr id_a id_b expr =
+  let cl =
+    try Serve_client.connect addr
+    with Serve_client.Error f ->
+      Printf.eprintf "oduel diff: cannot connect to %s: %s\n" addr
+        (Serve_client.failure_message f);
+      exit 2
+  in
+  let results =
+    try Serve_client.eval_all cl [ id_a; id_b ] expr
+    with Serve_client.Error f ->
+      Printf.eprintf "oduel diff: %s\n" (Serve_client.failure_message f);
+      exit 2
+  in
+  Serve_client.close cl;
+  let leg id =
+    match List.assoc_opt id results with
+    | Some (Ok lines) -> lines
+    | Some (Error msg) ->
+        Printf.eprintf "oduel diff: target %s failed: %s\n" id msg;
+        exit 2
+    | None ->
+        Printf.eprintf "oduel diff: no reply for target %s\n" id;
+        exit 2
+  in
+  let outcome = Fdiff.diff (leg id_a) (leg id_b) in
+  List.iter print_endline (Fdiff.report ~id_a ~id_b outcome);
+  exit (match outcome with Fdiff.Equal _ -> 0 | _ -> 1)
 
 open Cmdliner
 
@@ -572,7 +681,12 @@ let serve_cmd =
   let scenario_pos =
     Arg.(
       value & pos 0 string "all"
-      & info [] ~docv:"SCENARIO" ~doc:"Debuggee: all, symtab, faulty, big:<n>.")
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Debuggee: all, symtab, faulty, big:<n>, deep_list:<n>, \
+             deep_tree:<n> and the _buggy twins — or a whole fleet \
+             $(b,fleet(id=scenario,id=dead:scenario,...)) to host several \
+             named targets at once.")
   in
   let listen_arg =
     Arg.(
@@ -640,12 +754,46 @@ let connect_cmd =
       const connect $ addr_pos $ scenario_opt $ engine_arg $ no_cache_arg
       $ exprs_arg)
 
+let diff_cmd =
+  let addr_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR" ~doc:"Server address: unix:PATH or HOST:PORT.")
+  in
+  let id_a_pos =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"ID_A" ~doc:"First fleet target id.")
+  in
+  let id_b_pos =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"ID_B" ~doc:"Second fleet target id.")
+  in
+  let expr_pos =
+    Arg.(
+      required
+      & pos 3 (some string) None
+      & info [] ~docv:"EXPR" ~doc:"The DUEL expression to evaluate on both.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Relative debugging: evaluate one DUEL expression on two targets \
+          of a served fleet (qDuelEvalAll) and report the first divergence \
+          symbolically.  Exits 0 when the streams are identical, 1 on a \
+          divergence, 2 on error.")
+    Term.(const diff $ addr_pos $ id_a_pos $ id_b_pos $ expr_pos)
+
 let cmd =
   let doc =
     "DUEL, a very high-level debugging language (USENIX W'93), on a \
      simulated C debuggee"
   in
   Cmd.group ~default:repl_term (Cmd.info "oduel" ~doc)
-    [ serve_cmd; connect_cmd ]
+    [ serve_cmd; connect_cmd; diff_cmd ]
 
 let () = exit (Cmd.eval cmd)

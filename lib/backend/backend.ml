@@ -334,29 +334,14 @@ let parse s = match parse_spec s with v -> Ok v | exception Bad m -> Error m
 (* ------------------------------------------------------------------ *)
 (* Building *)
 
+(* The scenario grammar lives with the fleet (the other consumer of
+   named debuggees); specs and fleet slots accept the same names. *)
 let inferior_of_scenario name =
-  let name = String.trim name in
-  let num what n =
-    match int_of_string_opt n with
-    | Some v when v > 0 -> v
-    | _ -> bad "scenario %s: expected a positive count, got %S" what n
-  in
-  match String.split_on_char ':' name with
-  | [ "all" ] | [ "" ] -> Scenarios.all ()
-  | [ "symtab" ] -> Scenarios.symtab ()
-  | [ "faulty" ] -> Scenarios.faulty ()
-  | [ "big"; n ] -> Scenarios.big_array (num "big" n)
-  | [ "deep_list"; n ] -> Scenarios.deep_list (num "deep_list" n)
-  | [ "deep_tree"; n ] -> Scenarios.deep_tree (num "deep_tree" n)
-  | _ ->
-      bad "unknown scenario %S (want all, symtab, faulty, big:N, deep_list:N, \
-           deep_tree:N)"
-        name
+  match Duel_fleet.Fleet.scenario_of_name name with
+  | Ok inf -> inf
+  | Error m -> bad "%s" m
 
-let scenario_of_name name =
-  match inferior_of_scenario name with
-  | inf -> Ok inf
-  | exception Bad m -> Error m
+let scenario_of_name = Duel_fleet.Fleet.scenario_of_name
 
 let transport_fault = function
   | Dbgi.Target_transient _ -> true

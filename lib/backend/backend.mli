@@ -28,9 +28,13 @@
                                           trip=N, probe=Xms, alpha=F
     scenario ::= "all" | "symtab" | "faulty" | "big:N"
                | "deep_list:N" | "deep_tree:N"
+               | "deep_list_buggy:N" | "deep_list_swapped:N"
+               | "deep_tree_buggy:N"
     v}
 
-    The scenario names a synthetic debuggee from [Duel_scenarios]; for
+    The scenario names a synthetic debuggee from [Duel_scenarios]
+    (resolution shared with {!Duel_fleet.Fleet.scenario_of_name}, so
+    backend specs and fleet slots accept the same names); for
     the network bases it names the {e local twin} whose debug info
     (symbols, types) is used while memory goes over the wire, exactly as
     the serve client documents.  Chaos profiles accept a ["-nocall"]

@@ -1,0 +1,77 @@
+(* Cross-target stream diff: align two tagged result sequences and
+   report the first divergence symbolically.
+
+   The server streams each value line as "symbolic = value" (the
+   evaluator's side-effect-path rendering followed by the rendered
+   value).  Relative debugging compares twins whose symbolic paths are
+   identical by construction — same query, same layout — so alignment
+   is positional and the comparison keys on the {e value} part only:
+   the symbolic part is what we report, not what we compare (two twins
+   loaded at different addresses still diff clean).  Lines with no
+   " = " separator (plain outputs, error reports) compare whole. *)
+
+type side = { d_sym : string; d_value : string; d_line : string }
+
+type outcome =
+  | Equal of int
+  | Diverged of { index : int; left : side; right : side }
+  | Left_short of { index : int; right : side }
+  | Right_short of { index : int; left : side }
+
+let split_line line =
+  match
+    (* first " = " — symbolic paths themselves never embed one because
+       the evaluator renders operators unspaced *)
+    let rec scan i =
+      if i + 3 > String.length line then None
+      else if String.sub line i 3 = " = " then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  with
+  | Some i ->
+      {
+        d_sym = String.sub line 0 i;
+        d_value = String.sub line (i + 3) (String.length line - i - 3);
+        d_line = line;
+      }
+  | None -> { d_sym = ""; d_value = line; d_line = line }
+
+(* The lazy core: pulls one element from each side per step, so
+   comparing two huge streams that diverge early touches only the
+   prefix up to the divergence. *)
+let diff_seq (left : string Seq.t) (right : string Seq.t) =
+  let rec go i left right =
+    match (left (), right ()) with
+    | Seq.Nil, Seq.Nil -> Equal i
+    | Seq.Nil, Seq.Cons (r, _) -> Left_short { index = i; right = split_line r }
+    | Seq.Cons (l, _), Seq.Nil -> Right_short { index = i; left = split_line l }
+    | Seq.Cons (l, left'), Seq.Cons (r, right') ->
+        let ls = split_line l and rs = split_line r in
+        if ls.d_value = rs.d_value then go (i + 1) left' right'
+        else Diverged { index = i; left = ls; right = rs }
+  in
+  go 0 left right
+
+let diff left right = diff_seq (List.to_seq left) (List.to_seq right)
+
+let side_lines ~id s =
+  if s.d_sym = "" then [ Printf.sprintf "  %-8s %s" (id ^ ":") s.d_value ]
+  else
+    [
+      Printf.sprintf "  %-8s %s" (id ^ ":") s.d_sym;
+      Printf.sprintf "  %-8s = %s" "" s.d_value;
+    ]
+
+let report ~id_a ~id_b = function
+  | Equal n -> [ Printf.sprintf "streams identical (%d values)" n ]
+  | Diverged { index; left; right } ->
+      (Printf.sprintf "first divergence at value #%d:" index
+      :: side_lines ~id:id_a left)
+      @ side_lines ~id:id_b right
+  | Left_short { index; right } ->
+      Printf.sprintf "%s ends at value #%d; %s continues:" id_a index id_b
+      :: side_lines ~id:id_b right
+  | Right_short { index; left } ->
+      Printf.sprintf "%s ends at value #%d; %s continues:" id_b index id_a
+      :: side_lines ~id:id_a left

@@ -1,0 +1,37 @@
+(** Cross-target stream diff — the client half of relative debugging.
+
+    Two targets ran the same query; their value streams arrive as
+    tagged sequences of ["symbolic = value"] lines.  This module aligns
+    the streams positionally, compares the {e value} part of each pair
+    (the symbolic part is reported, not compared, so twins at different
+    load addresses diff clean), and reports the first divergence with
+    both sides' symbolic expressions — the paper's promise that a query
+    result is always traceable to the access path that produced it. *)
+
+(** One side of a compared value line. *)
+type side = {
+  d_sym : string;  (** symbolic access path; [""] if the line had none *)
+  d_value : string;  (** rendered value — the compared part *)
+  d_line : string;  (** the raw line *)
+}
+
+type outcome =
+  | Equal of int  (** streams identical; [n] values compared *)
+  | Diverged of { index : int; left : side; right : side }
+      (** first value mismatch, 0-based position in the stream *)
+  | Left_short of { index : int; right : side }
+      (** left stream ended at [index]; [right] is the first extra *)
+  | Right_short of { index : int; left : side }
+
+val split_line : string -> side
+(** Split one value line on its first [" = "]; a line without one
+    becomes a pure value ([d_sym = ""]). *)
+
+val diff_seq : string Seq.t -> string Seq.t -> outcome
+(** Lazy positional diff: consumes both streams only up to the first
+    divergence. *)
+
+val diff : string list -> string list -> outcome
+
+val report : id_a:string -> id_b:string -> outcome -> string list
+(** Printable divergence report, sides labelled by target id. *)

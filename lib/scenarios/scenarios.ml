@@ -282,6 +282,66 @@ let deep_tree depth =
   Build.poke_int inf ptr g (Int64.of_int root);
   inf
 
+(* --- seeded-buggy twins -------------------------------------------------- *)
+
+(* The relative-debugging workload: the same structure built by a
+   correct and a subtly wrong builder.  The seed is planted mid-way so a
+   lazy cross-target diff has to align a real prefix before it reports,
+   and the seeded index is a pure function of the size so tests and the
+   bench can assert the exact divergence point. *)
+
+type list_bug = Off_by_one | Swapped_link
+
+let buggy_index n = n / 2
+
+let deep_list_buggy ?(bug = Off_by_one) n =
+  let inf = Inferior.create () in
+  Stdfuncs.register_all inf;
+  let comp = node_comp inf in
+  let k = buggy_index n in
+  let values =
+    match bug with
+    | Off_by_one ->
+        (* node k holds 3*k + 1 instead of 3*k *)
+        List.init n (fun i -> if i = k then (i * 3) + 1 else i * 3)
+    | Swapped_link ->
+        (* nodes k and k+1 traded places, as a botched relink would
+           leave them; observationally the values at k and k+1 swap *)
+        List.init n (fun i ->
+            if i = k && k + 1 < n then (k + 1) * 3
+            else if i = k + 1 then k * 3
+            else i * 3)
+  in
+  ignore (build_list inf comp values "deep");
+  inf
+
+let tree_buggy_index depth = buggy_index ((1 lsl depth) - 1)
+
+let deep_tree_buggy depth =
+  let inf = Inferior.create () in
+  Stdfuncs.register_all inf;
+  let comp = tnode_comp inf in
+  let ptr = Ctype.ptr (Ctype.Comp comp) in
+  let seeded = tree_buggy_index depth in
+  let next_key = ref 0 in
+  let rec build d =
+    if d = 0 then 0
+    else begin
+      let node = Build.alloc inf (Ctype.Comp comp) in
+      let key = !next_key in
+      incr next_key;
+      let key = if key = seeded then key + 1 else key in
+      Build.poke_field inf comp node "key" (Int64.of_int key);
+      Build.poke_field inf comp node "left" (Int64.of_int (build (d - 1)));
+      Build.poke_field inf comp node "right" (Int64.of_int (build (d - 1)));
+      node
+    end
+  in
+  let root = build depth in
+  let g = Inferior.define_global inf "droot" ptr in
+  Build.poke_int inf ptr g (Int64.of_int root);
+  inf
+
 let faulty () =
   let inf = Inferior.create () in
   Stdfuncs.register_all inf;

@@ -67,6 +67,30 @@ val deep_tree : int -> Duel_target.Inferior.t
 (** [struct tnode *droot] — a complete binary tree of the given depth
     with preorder keys; the pointer-fanout benchmark workload. *)
 
+type list_bug =
+  | Off_by_one  (** node [buggy_index n] holds [3*k + 1] instead of [3*k] *)
+  | Swapped_link
+      (** nodes [buggy_index n] and its successor traded places — the
+          observable shape of a botched relink *)
+
+val buggy_index : int -> int
+(** Where the seed is planted in an [n]-node buggy list: [n / 2].  Mid-way,
+    so a lazy diff must align a real prefix before reporting. *)
+
+val deep_list_buggy : ?bug:list_bug -> int -> Duel_target.Inferior.t
+(** The seeded-buggy twin of {!deep_list} (default bug: [Off_by_one]):
+    identical layout and addresses, one planted divergence at
+    [buggy_index n].  Built for relative debugging — evaluate the same
+    traversal on both twins and diff the streams. *)
+
+val tree_buggy_index : int -> int
+(** Where the seed is planted in a depth-[d] buggy tree:
+    [buggy_index (2^d - 1)], a preorder node index. *)
+
+val deep_tree_buggy : int -> Duel_target.Inferior.t
+(** The seeded-buggy twin of {!deep_tree}: the key at preorder index
+    [tree_buggy_index depth] is bumped by one. *)
+
 val faulty : unit -> Duel_target.Inferior.t
 (** Fault-injection debuggee: [struct node *cyc] — a 4-node cyclic list;
     [struct node *dang] — a 3-node list whose tail [next] points into an

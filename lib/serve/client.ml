@@ -27,15 +27,18 @@ type failure =
   | Timeout of string  (* a deadline expired, retries included *)
   | Protocol of string  (* persistent NAKs or frames that defy the protocol *)
   | Remote of string  (* the server executed the request and reported failure *)
+  | Unknown_target of string  (* the fleet has no target with this id *)
 
 exception Error of failure
 
 let failure_message = function
   | Connect m | Closed m | Timeout m | Protocol m | Remote m -> m
+  | Unknown_target id -> "serve: no such target: " ^ id
 
 let is_transport = function
   | Connect _ | Closed _ | Timeout _ | Protocol _ -> true
-  | Remote _ -> false
+  (* the server answered: authoritative, retrying elsewhere won't help *)
+  | Remote _ | Unknown_target _ -> false
 
 let fail f = raise (Error f)
 
@@ -293,6 +296,9 @@ let resend_safe framed =
   | 'q' ->
       pre "qDuelFrames" || pre "qDuelStats" || pre "qSupported"
       || pre "qDuelEvalSeq:" || pre "qDuelShutdown"
+      (* rebinding to the same target twice is the same binding, and the
+         roster query is pure *)
+      || pre "qDuelUse:" || pre "qDuelTargets"
   | _ -> false
 
 let exchange t framed =
@@ -560,6 +566,172 @@ let frame_count t =
   | None -> fail (Protocol ("serve: bad qDuelFrames reply " ^ reply))
 
 let shutdown_server t = ignore (rpc t "qDuelShutdown")
+
+(* --- fleet calls ---------------------------------------------------------- *)
+
+let use_target t id =
+  match rpc t ("qDuelUse:" ^ id) with
+  | "OK" ->
+      (* the connection now aims at a different target: every line this
+         client cached came from the old one *)
+      mark_caches_stale t;
+      t.last_frame_count <- -1
+  | "E03" -> fail (Unknown_target id)
+  | other -> fail (Protocol ("serve: bad qDuelUse reply " ^ other))
+
+let targets t =
+  match rpc t "qDuelTargets" with
+  | "" -> []
+  | reply ->
+      String.split_on_char ',' reply
+      |> List.filter_map (fun slot ->
+             match String.index_opt slot '=' with
+             | None -> None
+             | Some i ->
+                 Some
+                   ( String.sub slot 0 i,
+                     String.sub slot (i + 1) (String.length slot - i - 1) ))
+
+(* Parse one fan-out reply frame: chunk [R<id>,<hex idx>;text], leg
+   terminal [Z<id>,<hex count>], leg failure [X<id>;msg], fan-out
+   terminal [T<hex legs>] (a [T] {e with} a comma is a stale eval-seq
+   terminal, not ours). *)
+type all_frame =
+  | All_chunk of string * int * string
+  | All_fin of string * int
+  | All_failed of string * string
+  | All_done of int
+  | All_unrelated
+
+let parse_all_frame p =
+  if p = "" then All_unrelated
+  else
+    let rest = String.sub p 1 (String.length p - 1) in
+    match p.[0] with
+    | 'R' -> (
+        match (String.index_opt rest ',', String.index_opt rest ';') with
+        | Some comma, Some semi when comma < semi -> (
+            let id = String.sub rest 0 comma in
+            let idx_s = String.sub rest (comma + 1) (semi - comma - 1) in
+            let text =
+              String.sub rest (semi + 1) (String.length rest - semi - 1)
+            in
+            match int_of_string_opt ("0x" ^ idx_s) with
+            | Some idx -> All_chunk (id, idx, text)
+            | None -> All_unrelated)
+        | _ -> All_unrelated)
+    | 'Z' -> (
+        match String.index_opt rest ',' with
+        | Some comma -> (
+            let id = String.sub rest 0 comma in
+            let n_s =
+              String.sub rest (comma + 1) (String.length rest - comma - 1)
+            in
+            match int_of_string_opt ("0x" ^ n_s) with
+            | Some n -> All_fin (id, n)
+            | None -> All_unrelated)
+        | None -> All_unrelated)
+    | 'X' -> (
+        match String.index_opt rest ';' with
+        | Some semi ->
+            All_failed
+              ( String.sub rest 0 semi,
+                String.sub rest (semi + 1) (String.length rest - semi - 1) )
+        | None -> All_unrelated)
+    | 'T' ->
+        if String.contains rest ',' then All_unrelated
+        else (
+          match int_of_string_opt ("0x" ^ rest) with
+          | Some n -> All_done n
+          | None -> All_unrelated)
+    | _ -> All_unrelated
+
+let eval_all t ids expr =
+  drain_stale t;
+  if t.eval_pending <> None then
+    invalid_arg "serve: an eval is already in flight on this connection";
+  let ids_s = match ids with [] -> "*" | l -> String.concat "," l in
+  (* not resend-safe: the server has no replay window for fan-outs, so a
+     lost reply surfaces as a timeout for the caller to retry knowingly *)
+  send_all t (Packet.encode (Printf.sprintf "qDuelEvalAll:%s;%s" ids_s expr));
+  let deadline = Unix.gettimeofday () +. t.timeout in
+  let chunks : (string, (int, string) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let results = ref [] in  (* leg results, reverse arrival order *)
+  let finish r =
+    mark_caches_stale t;
+    match r with `Done legs -> legs | `Fail f -> fail f
+  in
+  let assemble id count : (string list, string) result =
+    let tbl =
+      match Hashtbl.find_opt chunks id with
+      | Some tbl -> tbl
+      | None -> Hashtbl.create 1
+    in
+    let lines =
+      List.concat_map
+        (fun (_, text) -> String.split_on_char '\n' text)
+        (List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) tbl []))
+    in
+    if List.length lines <> count then
+      Error
+        (Printf.sprintf "incomplete reply (%d of %d lines)"
+           (List.length lines) count)
+    else Ok lines
+  in
+  let rec collect () =
+    match next_event_opt t deadline with
+    | None -> finish (`Fail (Timeout "serve: eval_all timed out"))
+    | Some Packet.Deframer.Ack -> collect ()
+    | Some Packet.Deframer.Nak ->
+        finish (`Fail (Protocol "serve: server rejected the fan-out request"))
+    | Some (Packet.Deframer.Bad _) ->
+        (* a damaged frame loses (part of) one leg; the per-leg counts
+           and the terminal leg count report exactly what is missing *)
+        collect ()
+    | Some (Packet.Deframer.Frame p) -> (
+        match parse_all_frame p with
+        | All_chunk (id, idx, text) ->
+            let tbl =
+              match Hashtbl.find_opt chunks id with
+              | Some tbl -> tbl
+              | None ->
+                  let tbl = Hashtbl.create 4 in
+                  Hashtbl.add chunks id tbl;
+                  tbl
+            in
+            if Hashtbl.mem tbl idx then
+              t.ctr.dup_frames <- t.ctr.dup_frames + 1
+            else Hashtbl.add tbl idx text;
+            collect ()
+        | All_fin (id, count) ->
+            results := (id, assemble id count) :: !results;
+            collect ()
+        | All_failed (id, msg) ->
+            results := (id, Error msg) :: !results;
+            collect ()
+        | All_done legs ->
+            let got = List.rev !results in
+            if List.length got <> legs then
+              finish
+                (`Fail
+                   (Protocol
+                      (Printf.sprintf
+                         "serve: eval_all reply incomplete (%d of %d targets)"
+                         (List.length got) legs)))
+            else finish (`Done got)
+        | All_unrelated ->
+            if p = "E03" then
+              finish (`Fail (Remote "serve: server hosts no fleet"))
+            else if String.length p >= 1 && p.[0] = 'E' then
+              finish (`Fail (Remote ("serve: eval_all failed: " ^ p)))
+            else begin
+              t.ctr.dup_frames <- t.ctr.dup_frames + 1;
+              collect ()
+            end)
+  in
+  collect ()
 
 (* --- the network debugger interface -------------------------------------- *)
 

@@ -64,14 +64,20 @@ type failure =
       (** persistent NAKs or frames that defy the protocol *)
   | Remote of string
       (** the server executed the request and reported failure *)
+  | Unknown_target of string
+      (** {!use_target} named an id the server's fleet does not have —
+          authoritative like [Remote] (the server answered [E03]), but
+          typed so callers can fall back to the roster instead of
+          parsing message text *)
 
 exception Error of failure
 
 val failure_message : failure -> string
 
 val is_transport : failure -> bool
-(** [true] for everything except [Remote] — the faults that indicate the
-    {e replica} (not the query) is unhealthy. *)
+(** [true] for everything except [Remote] and [Unknown_target] — the
+    faults that indicate the {e replica} (not the query) is
+    unhealthy. *)
 
 type retry_policy = {
   attempts : int;  (** total send attempts per request, including the first *)
@@ -165,8 +171,37 @@ val eval_recv : t -> string list
     @raise Error on deadline or a typed server failure — never a hang,
     even if the server dies mid-reply. *)
 
+val use_target : t -> string -> unit
+(** Bind this connection to fleet target [id] ([qDuelUse:<id>]): later
+    evals and wire accesses aim at that target, in a fresh server-side
+    session.  Marks this connection's caches stale — everything cached
+    so far came from the previous target.
+    @raise Error — [Unknown_target id] if the fleet has no such target
+    (or the server hosts no fleet), transport-class otherwise. *)
+
+val targets : t -> (string * string) list
+(** The server's fleet roster ([qDuelTargets]) as [(id, spec)] pairs;
+    empty on a fleet-less server. *)
+
+val eval_all :
+  t -> string list -> string -> (string * (string list, string) result) list
+(** [eval_all t ids expr] evaluates [expr] across fleet targets in one
+    round-trip ([qDuelEvalAll]); [ids = []] means every target.  Per
+    target: [Ok lines] (which may themselves report an evaluation error
+    — a dead target's transient fault arrives as its output, exactly as
+    a single-target eval would) or [Error msg] for a leg that failed
+    outright (unknown id, escaped server-side exception).  Legs arrive
+    in server order; the terminal frame's leg count is verified, so a
+    truncated reply fails typed instead of passing for a short fleet.
+    Not resend-safe: there is no replay window for fan-outs, so a lost
+    reply surfaces as [Timeout] and the retry decision is the
+    caller's.  Marks this connection's caches stale.
+    @raise Error on deadline, transport failure, or a fleet-less
+    server ([Remote]). *)
+
 val server_stats : t -> (string * int) list
-(** The server's [qDuelStats] counters, parsed. *)
+(** The server's [qDuelStats] counters, parsed — including the
+    per-target [tgt.<id>.<counter>] keys when a fleet is hosted. *)
 
 val frame_count : t -> int
 (** The wire's [qDuelFrames] — the active-frame count on the server. *)

@@ -27,6 +27,7 @@ module Session = Duel_core.Session
 module Bytecode = Duel_core.Bytecode
 module Inferior = Duel_target.Inferior
 module Memory = Duel_mem.Memory
+module Fleet = Duel_fleet.Fleet
 
 (* Server-side fault points for chaos testing.  The hook is consulted at
    each point and answers "inject here?"; a deterministic (seeded) hook
@@ -90,6 +91,16 @@ type stats = {
   hist : Histogram.t;
 }
 
+(* One hosted target as this shard sees it: the fleet member (shared
+   across shards — lock, generation, counters) plus this shard's own
+   cached access interface, RSP stub, and plan-compile context. *)
+type slot = {
+  sl_target : Fleet.target;
+  sl_dbgi : Duel_dbgi.Dbgi.t;
+  sl_rsp : Rsp_server.t;
+  sl_plan_session : Session.t;  (* dedicated compile context (never evals) *)
+}
+
 type conn = {
   fd : Unix.file_descr;
   dfr : Packet.Deframer.t;
@@ -106,7 +117,11 @@ type conn = {
      without re-executing the command *)
   mutable last_eval_seq : int;  (* -1: none yet *)
   mutable last_eval_reply : string;
-  session : Session.t;
+  mutable session : Session.t;
+  (* the fleet target this connection's session and RSP traffic are
+     aimed at; [qDuelUse:<id>] rebinds (fresh session, seq reset).
+     [None] iff the server hosts no fleet. *)
+  mutable bound : slot option;
 }
 
 (* A consistent read of one shard's observable load, for merging. *)
@@ -145,9 +160,17 @@ type t = {
      a shutdown can wake every sibling's select. *)
   mutable siblings : t list;
   (* the query-plan cache: token-normalized expression text -> compiled
-     program.  Domain-safe ({!Plan_cache}); shared across shards. *)
+     program.  Domain-safe ({!Plan_cache}); shared across shards.  When
+     a fleet is hosted, keys are prefixed with the target id, so twins
+     evaluating one expression never share a compiled plan (compiling
+     interns literals into *that* target's memory). *)
   plans : Plan_cache.t;
   plan_session : Session.t;  (* dedicated compile context (never evals) *)
+  (* the hosted fleet, shared by every shard; [slots] is this shard's
+     per-target view in fleet order.  Both empty on a classic
+     single-target server. *)
+  fleet : Fleet.t option;
+  slots : slot array;
 }
 
 let fresh_stats () =
@@ -174,13 +197,33 @@ let fresh_stats () =
     hist = Histogram.create ();
   }
 
-let create ?(config = default_config) ?dbgi ?plans ?stop ?target_lock inf =
+let create ?(config = default_config) ?dbgi ?plans ?stop ?target_lock ?fleet
+    inf =
   (* a peer can vanish between select and write; the loop must see that
      as EPIPE on the write, not die of SIGPIPE *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let dbgi =
     match dbgi with Some d -> d | None -> Duel_target.Backend.direct inf
+  in
+  (* this shard's per-target interfaces: shard-local dcaches over the
+     shared (locked) raw targets, one RSP stub and compile context each *)
+  let slots =
+    match fleet with
+    | None -> [||]
+    | Some f ->
+        Array.of_list
+          (List.map
+             (fun tg ->
+               let d = Fleet.shard_dbgi tg in
+               {
+                 sl_target = tg;
+                 sl_dbgi = d;
+                 sl_rsp =
+                   Rsp_server.create ~limits:config.limits tg.Fleet.inf;
+                 sl_plan_session = Session.create d;
+               })
+             (Fleet.targets f))
   in
   let wake_rd, wake_wr = Unix.pipe () in
   Unix.set_nonblock wake_rd;
@@ -207,6 +250,8 @@ let create ?(config = default_config) ?dbgi ?plans ?stop ?target_lock inf =
       | Some p -> p
       | None -> Plan_cache.create config.plan_cache);
     plan_session = Session.create dbgi;
+    fleet;
+    slots;
   }
 
 let stats t = t.st
@@ -217,6 +262,36 @@ let set_siblings t all = t.siblings <- all
    [f]; free when unsharded. *)
 let target_locked t f =
   match t.target_lock with None -> f () | Some m -> Mutex.protect m f
+
+(* The connection's view of "the target": its bound fleet slot when a
+   fleet is hosted, the server's single target otherwise.  Everything
+   downstream of dispatch goes through these, so the classic path and
+   the fleet path share one code shape. *)
+let conn_inf t c =
+  match c.bound with Some sl -> sl.sl_target.Fleet.inf | None -> t.inf
+
+let conn_rsp t c = match c.bound with Some sl -> sl.sl_rsp | None -> t.rsp
+
+let conn_locked t c f =
+  match c.bound with
+  | Some sl -> Mutex.protect sl.sl_target.Fleet.lock f
+  | None -> target_locked t f
+
+(* Plan-cache coordinates for the connection's target: abi/compile
+   context, key prefix (the target id — twins must never share a
+   compiled plan), and the generation the entry is stamped with. *)
+let conn_plan t c =
+  match c.bound with
+  | Some sl ->
+      ( sl.sl_dbgi,
+        sl.sl_plan_session,
+        sl.sl_target.Fleet.id ^ "\x00",
+        fun () -> Fleet.generation sl.sl_target )
+  | None ->
+      ( t.dbgi,
+        t.plan_session,
+        "",
+        fun () -> Memory.generation (Inferior.mem t.inf) )
 
 (* --- listeners ----------------------------------------------------------- *)
 
@@ -249,7 +324,13 @@ let new_conn t fd =
   (* small ACK and reply writes must not sit behind Nagle's algorithm
      waiting for a delayed ACK (a no-op on Unix-domain sockets) *)
   (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
-  let session = Session.create t.dbgi in
+  (* fleet servers bind every fresh connection to the first slot; the
+     client rebinds with qDuelUse *)
+  let bound = if Array.length t.slots = 0 then None else Some t.slots.(0) in
+  let session =
+    Session.create
+      (match bound with Some sl -> sl.sl_dbgi | None -> t.dbgi)
+  in
   session.Session.max_values <- t.cfg.max_eval_values;
   let c =
     {
@@ -266,6 +347,7 @@ let new_conn t fd =
       last_eval_seq = -1;
       last_eval_reply = "";
       session;
+      bound;
     }
   in
   t.conns <- c :: t.conns;
@@ -367,6 +449,11 @@ let rec write_some t c =
 
 let frame = Packet.encode
 
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let after p s = String.sub s (String.length p) (String.length s - String.length p)
+
 (* --- the shared query-plan cache ----------------------------------------- *)
 
 (* Plans are keyed by the command's *token stream*, not its text: the
@@ -374,47 +461,44 @@ let frame = Packet.encode
    whitespace (or trailing comments) share one compiled program.  A
    string that does not even lex falls through to [Session.exec], which
    owns the error message. *)
-let plan_key t expr =
+let plan_key dbgi expr =
   match
-    Duel_core.Lexer.tokenize ~abi:t.dbgi.Duel_dbgi.Dbgi.abi expr
+    Duel_core.Lexer.tokenize ~abi:dbgi.Duel_dbgi.Dbgi.abi expr
     |> List.map fst
   with
   | toks -> Some (Marshal.to_string toks [])
   | exception _ -> None
 
-(* The coherence source: the target memory's write-generation counter.
-   Any store — a client's assignment, an RSP [M] write, a called target
-   function — bumps it, and a bumped generation retires every cached
-   plan compiled under the old one (interned string literals and
-   constant-folded reads may no longer reflect the target). *)
-let plan_generation t = Memory.generation (Inferior.mem t.inf)
-
-(* Parse + lower + compile in the dedicated plan session.  Anything that
-   fails here (parse error, lowering limit) is [None]: the caller falls
-   through to the interpreter path, which reports the failure the same
-   way a planless server would. *)
-let plan_compile t expr =
+(* Parse + lower + compile in the given dedicated plan session.
+   Anything that fails here (parse error, lowering limit) is [None]:
+   the caller falls through to the interpreter path, which reports the
+   failure the same way a planless server would. *)
+let plan_compile session expr =
   match
     Duel_core.Compile.compile
-      (Session.compile t.plan_session (Session.parse t.plan_session expr))
+      (Session.compile session (Session.parse session expr))
   with
   | prog -> Some prog
   | exception _ -> None
 
 (* Look up (or build) the plan for [expr] in the (possibly shared,
-   always domain-safe) {!Plan_cache}.  The generation is re-read
+   always domain-safe) {!Plan_cache}, against one target's coordinates:
+   [prefix] namespaces the key by target id (fleet twins must never
+   share a plan — compiling interns literals into that target's
+   memory), [gen] is that target's write-generation.  [gen] is re-read
    *after* a compile: compiling may itself intern string literals into
    target space, and a plan must not be born already stale.  Cache
    outcomes land in this shard's own counters; two shards racing to
    compile the same key both count a compile and the later store wins —
    wasted work at worst, never a wrong plan. *)
-let plan_lookup t expr =
+let plan_lookup_in t ~prefix ~session ~gen dbgi expr =
   if not (Plan_cache.enabled t.plans) then None
   else
-    match plan_key t expr with
+    match plan_key dbgi expr with
     | None -> None
     | Some key -> (
-        match Plan_cache.find t.plans ~key ~gen:(plan_generation t) with
+        let key = prefix ^ key in
+        match Plan_cache.find t.plans ~key ~gen:(gen ()) with
         | Plan_cache.Hit prog ->
             t.st.plan_hits <- t.st.plan_hits + 1;
             Some prog
@@ -422,33 +506,54 @@ let plan_lookup t expr =
             if missed = Plan_cache.Stale then
               t.st.plan_inval <- t.st.plan_inval + 1;
             t.st.plan_misses <- t.st.plan_misses + 1;
-            match plan_compile t expr with
+            match plan_compile session expr with
             | None -> None
             | Some prog ->
                 t.st.plan_compiles <- t.st.plan_compiles + 1;
                 t.st.plan_evict <-
                   t.st.plan_evict
-                  + Plan_cache.store t.plans ~key ~gen:(plan_generation t) prog;
+                  + Plan_cache.store t.plans ~key ~gen:(gen ()) prog;
                 Some prog))
 
+(* Target-printed output (printf goes to the server process; the client
+   deserves to see it), as trailing lines. *)
+let printed_lines out =
+  String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+
+(* Error classification for per-target counters: does this output line
+   report a failure rather than a value?  Matches the fixed prefixes
+   [Session.exec]'s error mapping emits. *)
+let line_is_error l =
+  let pre p = has_prefix p l in
+  pre "syntax error" || pre "parse error"
+  || pre "Illegal memory reference"
+  || pre "Transient target fault"
+  || pre "evaluation too deep"
+
 (* Lines a qDuelEval sends back: the session's formatted output plus
-   anything the target printed (printf goes to the server process; the
-   client deserves to see it).  A cached plan runs on the VM in the
+   anything the target printed.  A cached plan runs on the VM in the
    connection's own session (cloned first, so slot state stays
-   per-client); everything else takes the ordinary interpreter path. *)
+   per-client); everything else takes the ordinary interpreter path.
+   All coordinates — plan key prefix, compile context, generation,
+   output capture — come from the connection's bound target. *)
 let eval_lines t c expr =
+  let dbgi, session, prefix, gen = conn_plan t c in
   let lines =
-    match plan_lookup t expr with
+    match plan_lookup_in t ~prefix ~session ~gen dbgi expr with
     | Some prog -> Session.exec_program c.session (Bytecode.clone prog)
     | None -> Session.exec c.session expr
   in
-  match target_locked t (fun () -> Inferior.take_output t.inf) with
-  | "" -> lines
-  | out ->
-      let printed =
-        String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
-      in
-      lines @ printed
+  let lines =
+    match conn_locked t c (fun () -> Inferior.take_output (conn_inf t c)) with
+    | "" -> lines
+    | out -> lines @ printed_lines out
+  in
+  (match c.bound with
+  | Some sl ->
+      Fleet.note_eval sl.sl_target ~values:(List.length lines)
+        ~error:(List.exists line_is_error lines)
+  | None -> ());
+  lines
 
 let chunked chunk lines =
   let rec go acc cur n = function
@@ -502,14 +607,38 @@ let merged_view t =
   | [] -> view t
   | s :: ss -> List.fold_left (fun acc s' -> merge_views acc (view s')) (view s) ss
 
+(* Per-target counters on the stats wire: [tgt.<id>.<counter>=<n>;…].
+   The atomics live in the shared fleet, already whole-server numbers —
+   read once here, never summed across shards (unlike the per-shard
+   records {!merged_view} folds). *)
+let tgt_wire t =
+  match t.fleet with
+  | None -> ""
+  | Some f ->
+      String.concat ""
+        (List.map
+           (fun tg ->
+             let s = tg.Fleet.tstats in
+             Printf.sprintf
+               "tgt.%s.binds=%d;tgt.%s.evals=%d;tgt.%s.values=%d;tgt.%s.errors=%d;"
+               tg.Fleet.id
+               (Atomic.get s.Fleet.binds)
+               tg.Fleet.id
+               (Atomic.get s.Fleet.evals)
+               tg.Fleet.id
+               (Atomic.get s.Fleet.values)
+               tg.Fleet.id
+               (Atomic.get s.Fleet.errors))
+           (Fleet.targets f))
+
 let stats_wire t =
   let { v_st = st; v_active } = merged_view t in
   Printf.sprintf
-    "accepted=%d;active=%d;peak=%d;closed=%d;packets=%d;evals=%d;eval_values=%d;faults=%d;naks=%d;timeouts=%d;limited=%d;chaos=%d;eval_dups=%d;plan_hits=%d;plan_misses=%d;plan_compiles=%d;plan_inval=%d;plan_evict=%d;bytes_in=%d;bytes_out=%d;%s"
+    "accepted=%d;active=%d;peak=%d;closed=%d;packets=%d;evals=%d;eval_values=%d;faults=%d;naks=%d;timeouts=%d;limited=%d;chaos=%d;eval_dups=%d;plan_hits=%d;plan_misses=%d;plan_compiles=%d;plan_inval=%d;plan_evict=%d;bytes_in=%d;bytes_out=%d;%s%s"
     st.accepted v_active st.peak_active st.closed st.packets st.evals
     st.eval_values st.faults st.naks st.timeouts st.limited st.chaos
     st.eval_dups st.plan_hits st.plan_misses st.plan_compiles st.plan_inval
-    st.plan_evict st.bytes_in st.bytes_out
+    st.plan_evict st.bytes_in st.bytes_out (tgt_wire t)
     (Histogram.to_wire st.hist)
 
 let stats_to_lines t =
@@ -532,12 +661,20 @@ let stats_to_lines t =
       (Plan_cache.resident t.plans)
       st.plan_hits st.plan_misses st.plan_compiles st.plan_inval st.plan_evict;
   ]
+  @ (match t.fleet with
+    | None -> []
+    | Some f ->
+        List.map
+          (fun tg ->
+            let s = tg.Fleet.tstats in
+            Printf.sprintf
+              "target %s (%s): %d binds, %d evals, %d values, %d errors"
+              tg.Fleet.id tg.Fleet.spec (Atomic.get s.Fleet.binds)
+              (Atomic.get s.Fleet.evals)
+              (Atomic.get s.Fleet.values)
+              (Atomic.get s.Fleet.errors))
+          (Fleet.targets f))
   @ Histogram.to_lines st.hist
-
-let has_prefix p s =
-  String.length s >= String.length p && String.sub s 0 (String.length p) = p
-
-let after p s = String.sub s (String.length p) (String.length s - String.length p)
 
 (* Raise the shared stop flag: every shard holding this [stop] (itself
    included) begins a graceful drain on its next step.  The wake keeps
@@ -623,6 +760,121 @@ let eval_seq t c spec =
             c.last_eval_reply <- reply;
             reply)
 
+(* qDuelUse:<id> — rebind the connection to another fleet target.  A
+   fresh session (aliases and scopes are per-target state; carrying
+   them across targets would alias one target's interned addresses into
+   another) and a reset eval-seq window (stored replies belong to the
+   old target).  Unknown id — or no fleet at all — is the typed E03. *)
+let use_target t c id =
+  match t.fleet with
+  | None -> frame "E03"
+  | Some f -> (
+      match Fleet.find f id with
+      | None -> frame "E03"
+      | Some tg -> (
+          match
+            Array.to_seq t.slots
+            |> Seq.find (fun sl -> sl.sl_target.Fleet.id = id)
+          with
+          | None -> frame "E03"
+          | Some sl ->
+              let session = Session.create sl.sl_dbgi in
+              session.Session.max_values <- t.cfg.max_eval_values;
+              c.session <- session;
+              c.bound <- Some sl;
+              c.last_eval_seq <- -1;
+              c.last_eval_reply <- "";
+              Fleet.note_bind tg;
+              frame "OK"))
+
+(* One target's leg of a fan-out: evaluate in an ephemeral session (the
+   fan-out must not disturb the connection's bound session, and aliases
+   defined inside the expression are scoped to the leg), stream as
+   tagged chunks [R<id>,<idx>;…] closed by [Z<id>,<count>].  Errors are
+   isolated per leg twice over: [Session.exec] maps evaluation and
+   transport failures to output lines (a dead target reports its
+   transient fault inside its own R/Z stream), and anything that still
+   escapes becomes that leg's [X<id>;msg] — never the fan-out's. *)
+let eval_slot t sl expr =
+  let id = sl.sl_target.Fleet.id in
+  match
+    let session = Session.create sl.sl_dbgi in
+    session.Session.max_values <- t.cfg.max_eval_values;
+    let lines =
+      match
+        plan_lookup_in t ~prefix:(id ^ "\x00") ~session:sl.sl_plan_session
+          ~gen:(fun () -> Fleet.generation sl.sl_target)
+          sl.sl_dbgi expr
+      with
+      | Some prog -> Session.exec_program session (Bytecode.clone prog)
+      | None -> Session.exec session expr
+    in
+    match
+      Mutex.protect sl.sl_target.Fleet.lock (fun () ->
+          Inferior.take_output sl.sl_target.Fleet.inf)
+    with
+    | "" -> lines
+    | out -> lines @ printed_lines out
+  with
+  | lines ->
+      t.st.eval_values <- t.st.eval_values + List.length lines;
+      Fleet.note_eval sl.sl_target ~values:(List.length lines)
+        ~error:(List.exists line_is_error lines);
+      let chunks = chunked t.cfg.eval_chunk lines in
+      String.concat ""
+        (List.mapi
+           (fun i ls ->
+             frame (Printf.sprintf "R%s,%x;%s" id i (String.concat "\n" ls)))
+           chunks)
+      ^ frame (Printf.sprintf "Z%s,%x" id (List.length lines))
+  | exception e ->
+      Fleet.note_eval sl.sl_target ~values:0 ~error:true;
+      frame (Printf.sprintf "X%s;%s" id (Printexc.to_string e))
+
+(* qDuelEvalAll:<ids|*>;<expr> — evaluate one expression across fleet
+   targets.  Legs run in request order on this shard; concurrency comes
+   from other shards running *their* fan-outs against other targets at
+   the same time (the locks are per-target).  Unknown ids get an [X]
+   leg; the terminal [T<count>] counts every leg, so the client can
+   verify nothing was silently dropped.  Not resend-safe (use the
+   per-target qDuelEvalSeq for that). *)
+let eval_all t spec =
+  match String.index_opt spec ';' with
+  | None -> frame "E00"
+  | Some semi -> (
+      let ids_s = String.sub spec 0 semi in
+      let expr = String.sub spec (semi + 1) (String.length spec - semi - 1) in
+      match t.fleet with
+      | None -> frame "E03"
+      | Some _ ->
+          let legs =
+            if String.trim ids_s = "*" then
+              Array.to_list t.slots |> List.map (fun sl -> Ok sl)
+            else
+              String.split_on_char ',' ids_s
+              |> List.map String.trim
+              |> List.filter (fun id -> id <> "")
+              |> List.map (fun id ->
+                     match
+                       Array.to_seq t.slots
+                       |> Seq.find (fun sl -> sl.sl_target.Fleet.id = id)
+                     with
+                     | Some sl -> Ok sl
+                     | None -> Error id)
+          in
+          if legs = [] then frame "E00"
+          else begin
+            t.st.evals <- t.st.evals + 1;
+            String.concat ""
+              (List.map
+                 (function
+                   | Ok sl -> eval_slot t sl expr
+                   | Error id ->
+                       frame (Printf.sprintf "X%s;unknown target" id))
+                 legs)
+            ^ frame (Printf.sprintf "T%x" (List.length legs))
+          end)
+
 (* Process one complete, valid request frame.  Returns the reply text
    (one or more frames, already encoded and concatenated). *)
 let dispatch t c payload =
@@ -631,6 +883,12 @@ let dispatch t c payload =
     shutdown t;
     frame "OK"
   end
+  else if payload = "qDuelTargets" then
+    frame (match t.fleet with None -> "" | Some f -> Fleet.describe f)
+  else if has_prefix "qDuelUse:" payload then
+    use_target t c (after "qDuelUse:" payload)
+  else if has_prefix "qDuelEvalAll:" payload then
+    eval_all t (after "qDuelEvalAll:" payload)
   else if has_prefix "qDuelEvalSeq:" payload then
     eval_seq t c (after "qDuelEvalSeq:" payload)
   else if has_prefix "qDuelEval:" payload then begin
@@ -644,9 +902,12 @@ let dispatch t c payload =
   end
   else
     (* plain RSP traffic: memory, allocation, calls, frames, handshake —
-       straight at the shared target, so under sharding it takes the
-       target lock the sibling shards' serialized DBGIs use *)
-    match target_locked t (fun () -> Rsp_server.handle_payload t.rsp payload) with
+       aimed at the connection's target (its bound fleet slot, or the
+       server's single shared target), under that target's lock *)
+    match
+      conn_locked t c (fun () ->
+          Rsp_server.handle_payload (conn_rsp t c) payload)
+    with
     | reply -> frame reply
     | exception Packet.Malformed _ -> frame "E00"
 

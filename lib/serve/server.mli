@@ -42,6 +42,37 @@
        (see {!stats_wire}).}
     {- [qDuelShutdown] — reply [OK] and begin a graceful shutdown.}}
 
+    {2 Fleet hosting}
+
+    A server created with [?fleet] hosts N named targets
+    ({!Duel_fleet.Fleet}) instead of one.  Every fresh connection is
+    bound to the first fleet slot; three more protocol verbs appear:
+
+    {ul
+    {- [qDuelTargets] — the fleet roster as [id=spec,...] (empty reply
+       on a fleet-less server).}
+    {- [qDuelUse:<id>] — rebind the connection: subsequent evals and
+       RSP traffic aim at target [id], with a fresh session (aliases
+       are per-target state) and a reset eval-seq replay window.
+       Unknown id answers the typed [E03].}
+    {- [qDuelEvalAll:<ids|*>;<expr>] — evaluate one expression across
+       the named targets (comma-separated ids, or [*] for all), reusing
+       each target's cached plan.  The reply interleaves per-target
+       tagged sequences: chunks [R<id>,<hex idx>;<lines>] closed by
+       [Z<id>,<hex count>] per target, [X<id>;<msg>] for a leg that
+       failed outright (unknown id, escaped exception), and a terminal
+       [T<hex legs>] counting every leg so nothing is silently dropped.
+       Failures are isolated per leg: a dead or faulting target reports
+       inside its own stream and never disturbs a sibling's.  Not
+       resend-safe — use [qDuelEvalSeq] per target for that.}}
+
+    Per-target isolation holds throughout: each target has its own
+    write-generation (data and plan caches for one target survive
+    stores into another), its own plan-cache namespace (twins never
+    share a compiled plan — compiling interns literals into that
+    target's memory), and its own [tgt.<id>.*] counters in
+    [qDuelStats].
+
     {2 Robustness}
 
     Writes never block: replies go into a per-connection output queue
@@ -128,6 +159,7 @@ val create :
   ?plans:Plan_cache.t ->
   ?stop:bool Atomic.t ->
   ?target_lock:Mutex.t ->
+  ?fleet:Duel_fleet.Fleet.t ->
   Duel_target.Inferior.t ->
   t
 (** A server (or one shard of a sharded server) over [inf].  The
@@ -148,7 +180,13 @@ val create :
     {- [target_lock] — when present, RSP dispatch and target-stdout
        capture run holding it; pass the same mutex the shards'
        serialized DBGIs use.  Absent (the default), target access is
-       unguarded exactly as before.}} *)
+       unguarded exactly as before.}
+    {- [fleet] — host these named targets instead of just [inf] (see
+       {e Fleet hosting} above).  The fleet object is shared across
+       shards; this shard builds its own per-target data caches, RSP
+       stubs, and plan-compile contexts from it.  Pass the first
+       target's inferior as [inf] (it backs the fleet-less defaults,
+       which bound connections never touch).}} *)
 
 val listen_tcp : ?reuseport:bool -> t -> host:string -> port:int -> int
 (** Bind and listen; returns the actual port (useful with [port = 0]).

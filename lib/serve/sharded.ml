@@ -44,28 +44,36 @@ type t = {
 let shard_count t = Array.length t.shards
 let shards t = Array.to_list t.shards
 
-let create ?(config = Server.default_config) ~shards:n inf =
+let create ?(config = Server.default_config) ?fleet ~shards:n inf =
   if n < 1 then invalid_arg "Sharded.create: shards must be >= 1";
   let stop = Atomic.make false in
   let plans = Plan_cache.create config.Server.plan_cache in
   let lock = Mutex.create () in
   let mem = Inferior.mem inf in
   let shard _ =
-    if n = 1 then
-      (* one shard is exactly the classic server: direct cached DBGI,
-         no target lock, nothing serialized — bit-identical behavior *)
-      Server.create ~config ~plans ~stop inf
-    else
-      let dbgi =
-        Dcache.wrap
-          ~config:
-            {
-              Dcache.default_config with
-              stale_policy = Dcache.Probe (fun () -> Memory.generation mem);
-            }
-          (Dbgi.serialized lock (Duel_target.Backend.direct ~cache:false inf))
-      in
-      Server.create ~config ~dbgi ~plans ~stop ~target_lock:lock inf
+    match fleet with
+    | Some _ ->
+        (* fleet hosting: the shared fleet carries the per-target locks
+           and generations; each shard builds its own per-target caches
+           inside [Server.create], so nothing else is needed here *)
+        Server.create ~config ~plans ~stop ?fleet inf
+    | None ->
+        if n = 1 then
+          (* one shard is exactly the classic server: direct cached DBGI,
+             no target lock, nothing serialized — bit-identical behavior *)
+          Server.create ~config ~plans ~stop inf
+        else
+          let dbgi =
+            Dcache.wrap
+              ~config:
+                {
+                  Dcache.default_config with
+                  stale_policy = Dcache.Probe (fun () -> Memory.generation mem);
+                }
+              (Dbgi.serialized lock
+                 (Duel_target.Backend.direct ~cache:false inf))
+          in
+          Server.create ~config ~dbgi ~plans ~stop ~target_lock:lock inf
   in
   let shards = Array.init n shard in
   if n > 1 then begin

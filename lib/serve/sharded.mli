@@ -29,9 +29,17 @@
 type t
 
 val create :
-  ?config:Server.config -> shards:int -> Duel_target.Inferior.t -> t
+  ?config:Server.config ->
+  ?fleet:Duel_fleet.Fleet.t ->
+  shards:int ->
+  Duel_target.Inferior.t ->
+  t
 (** [create ~shards:n inf] builds [n] shard servers over the shared
-    target.  @raise Invalid_argument if [n < 1]. *)
+    target.  With [?fleet], every shard hosts the same named targets
+    (see {!Server} {e Fleet hosting}): the fleet object — locks,
+    generations, counters — is shared, while each shard builds its own
+    per-target data caches and compile contexts; pass the first
+    target's inferior as [inf].  @raise Invalid_argument if [n < 1]. *)
 
 val shard_count : t -> int
 val shards : t -> Server.t list

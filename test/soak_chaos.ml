@@ -24,6 +24,7 @@ module Prng = Duel_chaos.Prng
 module Server = Duel_serve.Server
 module Sharded = Duel_serve.Sharded
 module Client = Duel_serve.Client
+module Fleet = Duel_fleet.Fleet
 
 let nosleep _ = ()
 
@@ -194,6 +195,84 @@ let soak_serve_sharded ~seed =
   Sharded.join srv;
   injected
 
+(* The fleet rig: three targets behind one server, one of them with a
+   fault-injected raw layer (wired in through [Fleet.create ~wrap], the
+   hook the fleet grew for exactly this).  Every corpus query fans out
+   with [eval_all]; the clean siblings must match the oracle on the
+   first try — a chaotic member must never leak faults, stale cache
+   lines or plan entries into another target's leg — while the chaotic
+   member itself must converge to the oracle through the transient
+   churn. *)
+let soak_serve_fleet ~seed =
+  let plan = Chaos.plan ~seed Chaos.nasty in
+  let wrap id dbg =
+    if id = "c" then Chaos.wrap_dbgi ~sleep:nosleep plan dbg else dbg
+  in
+  let fleet =
+    match Fleet.create ~wrap [ ("a", "all"); ("b", "all"); ("c", "all") ] with
+    | Ok f -> f
+    | Error m -> raise (Diverged ("fleet rig: " ^ m))
+  in
+  let inf = (List.hd (Fleet.targets fleet)).Fleet.inf in
+  let srv = Server.create ~fleet inf in
+  let server_end, client_end = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Server.inject srv server_end;
+  let cl =
+    Client.of_fd
+      ~pump:(fun () -> ignore (Server.step srv 0.005))
+      ~retry:quick_retry client_end
+  in
+  List.iter
+    (fun (q, want) ->
+      let rec settle tries =
+        if tries > 300 then
+          raise
+            (Diverged
+               (Printf.sprintf "fleet seed %d: %S never converged on c" seed q));
+        let legs = Client.eval_all cl [] q in
+        let leg id =
+          match List.assoc_opt id legs with
+          | Some (Ok lines) -> lines
+          | Some (Error m) ->
+              raise
+                (Diverged
+                   (Printf.sprintf "fleet seed %d: %S leg %s failed: %s" seed q
+                      id m))
+          | None ->
+              raise
+                (Diverged
+                   (Printf.sprintf "fleet seed %d: %S leg %s missing" seed q id))
+        in
+        List.iter
+          (fun id ->
+            let got = leg id in
+            if got <> want then
+              raise
+                (Diverged
+                   (Printf.sprintf
+                      "fleet seed %d: clean leg %s of %S answered %S, oracle %S"
+                      seed id q
+                      (String.concat "\\n" got)
+                      (String.concat "\\n" want))))
+          [ "a"; "b" ];
+        let c = leg "c" in
+        if c = want then ()
+        else if is_transient c then settle (tries + 1)
+        else
+          raise
+            (Diverged
+               (Printf.sprintf
+                  "fleet seed %d: chaotic leg of %S answered %S, oracle %S"
+                  seed q
+                  (String.concat "\\n" c)
+                  (String.concat "\\n" want)))
+      in
+      settle 0)
+    (Lazy.force oracle);
+  let st = Chaos.stats plan in
+  Client.close cl;
+  st.Chaos.read_faults + st.Chaos.write_faults
+
 let soak_seed ~duration seed =
   let t0 = Unix.gettimeofday () in
   let rounds = ref 0 and injected = ref 0 in
@@ -242,7 +321,8 @@ let soak_seed ~duration seed =
       built.Duel_backend.Backend.b_rigs;
     built.Duel_backend.Backend.b_close ();
     injected := !injected + (soak_serve ~seed:sub);
-    injected := !injected + (soak_serve_sharded ~seed:sub)
+    injected := !injected + (soak_serve_sharded ~seed:sub);
+    injected := !injected + (soak_serve_fleet ~seed:sub)
   done;
   Printf.printf "seed %d: %d rounds, %d faults injected, all converged\n%!"
     seed !rounds !injected

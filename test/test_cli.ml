@@ -141,6 +141,64 @@ let serve_connect_end_to_end () =
       check_contains "server counters reported" out "evals";
       check_contains "latency histogram reported" out "p99us")
 
+(* fleet serve in a child process, [oduel diff] against it: the whole
+   relative-debugging pipeline through the real binary — fan-out,
+   tagged streams, symbolic divergence, and the documented exit codes
+   (1 diverged, 0 identical). *)
+let fleet_diff_end_to_end () =
+  let sock = Filename.temp_file "oduel_fleet" ".sock" in
+  Sys.remove sock;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process oduel
+      [|
+        oduel;
+        "serve";
+        "fleet(good=deep_list:12,bad=deep_list_buggy:12)";
+        "--listen";
+        "unix:" ^ sock;
+      |]
+      devnull devnull devnull
+  in
+  let rec wait_sock n =
+    if n = 0 then Alcotest.fail "server socket never appeared"
+    else if Sys.file_exists sock then ()
+    else begin
+      Unix.sleepf 0.05;
+      wait_sock (n - 1)
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigint with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      Unix.close devnull)
+    (fun () ->
+      wait_sock 100;
+      let addr = Filename.quote ("unix:" ^ sock) in
+      let status, out =
+        run_cli
+          (Printf.sprintf "diff %s good bad 'deep-->next->value'" addr)
+      in
+      Alcotest.(check int) "diverged exit code" 1 status;
+      check_contains "seeded index reported" out "value #6";
+      check_contains "symbolic path reported" out "deep";
+      let status, out =
+        run_cli (Printf.sprintf "diff %s good good 'deep-->next->value'" addr)
+      in
+      Alcotest.(check int) "identical exit code" 0 status;
+      check_contains "identical report" out "streams identical";
+      (* the connect REPL sees the same fleet *)
+      let status, out =
+        run_cli
+          ("connect " ^ addr
+         ^ " -e 'info targets' -e 'use bad' -e 'all * deep->value'")
+      in
+      Alcotest.(check int) "connect exit 0" 0 status;
+      check_contains "roster listed" out "deep_list_buggy:12";
+      check_contains "rebinding announced" out "bound to target bad";
+      check_contains "fan-out tags its legs" out "bad:")
+
 let suite =
   [
     case "scenario one-shot" scenario_oneshot;
@@ -151,4 +209,5 @@ let suite =
     case "program-mode conditional breakpoint session" program_mode_debugging;
     case "program-mode watch and assert" program_watch_assert;
     case "serve and connect across processes" serve_connect_end_to_end;
+    case "fleet diff across processes" fleet_diff_end_to_end;
   ]

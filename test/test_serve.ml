@@ -904,6 +904,332 @@ let sharded_idle_reap () =
   Alcotest.(check int) "no live connections remain" 0 v.Server.v_active;
   sharded_teardown srv clients
 
+(* --- the target fleet ----------------------------------------------------- *)
+
+module Fleet = Duel_fleet.Fleet
+module Fdiff = Duel_fleet.Diff
+
+(* One server hosting a fleet, [n] injected client connections sharing
+   one cooperative pump — the fleet twin of [plan_stack]. *)
+let fleet_stack ?config ?(n = 1) spec =
+  let fleet =
+    match Fleet.of_string spec with
+    | Ok f -> f
+    | Error m -> Alcotest.fail ("fleet spec: " ^ m)
+  in
+  let inf = (List.hd (Fleet.targets fleet)).Fleet.inf in
+  let srv =
+    match config with
+    | None -> Server.create ~fleet inf
+    | Some config -> Server.create ~config ~fleet inf
+  in
+  let pump () = ignore (Server.step srv 0.01) in
+  let clients =
+    List.init n (fun _ ->
+        let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+        Server.inject srv a;
+        Client.of_fd ~pump b)
+  in
+  (srv, fleet, clients)
+
+(* Roster and binding: qDuelTargets lists the slots in declaration
+   order, a fresh connection is bound to the first, and qDuelUse
+   rebinds with a fresh session over the chosen target. *)
+let fleet_roster_and_bind () =
+  let _srv, _fleet, clients = fleet_stack "fleet(a=all,b=deep_list:8)" in
+  let cl = List.hd clients in
+  Alcotest.(check (list (pair string string)))
+    "roster" [ ("a", "all"); ("b", "deep_list:8") ] (Client.targets cl);
+  Alcotest.(check (list string))
+    "bound to the first slot by default" [ "x[3] = 7" ] (Client.eval cl "x[3]");
+  Client.use_target cl "b";
+  let direct =
+    Session.create (Duel_target.Backend.direct (Scenarios.deep_list 8))
+  in
+  Alcotest.(check (list string))
+    "rebound eval runs against the chosen target"
+    (Session.exec direct "deep-->next->value")
+    (Client.eval cl "deep-->next->value");
+  List.iter Client.close clients
+
+(* A fleet-less server answers the fleet verbs honestly: an empty
+   roster, and E03 on any bind attempt. *)
+let fleet_verbs_without_fleet () =
+  let _srv, cl = Support.socket_stack (Scenarios.all ()) in
+  Alcotest.(check (list (pair string string)))
+    "no roster" [] (Client.targets cl);
+  (match Client.use_target cl "a" with
+  | () -> Alcotest.fail "bind on a fleet-less server must fail"
+  | exception Client.Error (Client.Unknown_target "a") -> ());
+  Client.close cl
+
+(* The directed satellite test: binding an unknown id raises the typed
+   [Unknown_target] failure, which is not transport-class (retrying
+   elsewhere cannot help) and renders its id. *)
+let fleet_unknown_target_typed () =
+  let _srv, _fleet, clients = fleet_stack "fleet(a=all)" in
+  let cl = List.hd clients in
+  (match Client.use_target cl "nosuch" with
+  | () -> Alcotest.fail "expected Unknown_target"
+  | exception Client.Error (Client.Unknown_target id as f) ->
+      Alcotest.(check string) "carries the id" "nosuch" id;
+      Alcotest.(check bool)
+        "not transport-class" false (Client.is_transport f);
+      Alcotest.(check bool)
+        "message names the target" true
+        (Support.contains_sub (Client.failure_message f) "nosuch"));
+  (* the connection survives the refusal: still bound to slot 0 *)
+  Alcotest.(check (list string))
+    "connection still usable" [ "x[3] = 7" ] (Client.eval cl "x[3]");
+  List.iter Client.close clients
+
+(* Isolation proper: a store into one target neither changes a
+   sibling's values nor retires the sibling's cached plan or data —
+   generations, plan entries and dcaches are all per-target. *)
+let fleet_write_isolation () =
+  let srv, fleet, clients = fleet_stack ~n:2 "fleet(a=all,b=all)" in
+  let c1, c2 = match clients with [ a; b ] -> (a, b) | _ -> assert false in
+  let tgt id =
+    match Fleet.find fleet id with Some t -> t | None -> assert false
+  in
+  Client.use_target c2 "b";
+  let quiet = [ "x[10] = 0"; "x[11] = 0"; "x[12] = 0" ] in
+  Alcotest.(check (list string)) "a cold" quiet (Client.eval c1 "x[10..12]");
+  Alcotest.(check (list string)) "a warm" quiet (Client.eval c1 "x[10..12]");
+  let gen_a = Fleet.generation (tgt "a") in
+  (* store through b *)
+  Alcotest.(check (list string))
+    "store lands in b" [ "x[11] = 5" ]
+    (Client.eval c2 "x[11] = 5; x[11]");
+  Alcotest.(check bool)
+    "b's generation moved" true
+    (Fleet.generation (tgt "b") > 0);
+  Alcotest.(check int) "a's generation did not" gen_a
+    (Fleet.generation (tgt "a"));
+  let st = Server.stats srv in
+  Alcotest.(check int) "a's plan survived the sibling store" 0
+    st.Server.plan_inval;
+  Alcotest.(check (list string))
+    "a still reads its own memory" quiet
+    (Client.eval c1 "x[10..12]");
+  Alcotest.(check (list string))
+    "b sees its own store" [ "x[10] = 0"; "x[11] = 5"; "x[12] = 0" ]
+    (Client.eval c2 "x[10..12]");
+  (* same token stream, two targets: two distinct plan entries *)
+  Alcotest.(check bool)
+    "plans are keyed per-target" true
+    ((Server.stats srv).Server.plan_compiles >= 3);
+  List.iter Client.close clients
+
+(* Fan-out with a dead member and an unknown id: each leg fails (or
+   faults) alone, the healthy legs stream their full results. *)
+let fleet_eval_all_isolates_legs () =
+  let _srv, _fleet, clients = fleet_stack "fleet(a=all,x=dead:all)" in
+  let cl = List.hd clients in
+  let legs = Client.eval_all cl [] "x[3]" in
+  Alcotest.(check int) "two legs back" 2 (List.length legs);
+  (match List.assoc_opt "a" legs with
+  | Some (Ok lines) ->
+      Alcotest.(check (list string)) "healthy leg" [ "x[3] = 7" ] lines
+  | _ -> Alcotest.fail "leg a missing or failed");
+  (match List.assoc_opt "x" legs with
+  | Some (Ok lines) ->
+      (* the dead target's faults surface inside its own leg's stream *)
+      Alcotest.(check bool)
+        "dead leg reports its fault" true
+        (List.exists
+           (fun l -> Support.contains_sub l "Transient target fault")
+           lines)
+  | _ -> Alcotest.fail "leg x missing");
+  (* an unknown id in an explicit selection fails its leg only *)
+  let legs = Client.eval_all cl [ "a"; "zz" ] "x[3]" in
+  (match List.assoc_opt "a" legs with
+  | Some (Ok lines) ->
+      Alcotest.(check (list string)) "a unaffected" [ "x[3] = 7" ] lines
+  | _ -> Alcotest.fail "leg a missing or failed");
+  (match List.assoc_opt "zz" legs with
+  | Some (Error msg) ->
+      Alcotest.(check bool)
+        "zz refused by name" true (Support.contains_sub msg "unknown")
+  | _ -> Alcotest.fail "leg zz should have failed");
+  List.iter Client.close clients
+
+(* The headline demo as a test: twin targets, one seeded buggy, and the
+   diff lands exactly on the seeded index with the seeded values. *)
+let fleet_divergence_at_seeded_index () =
+  let _srv, _fleet, clients =
+    fleet_stack "fleet(good=deep_list:40,bad=deep_list_buggy:40)"
+  in
+  let cl = List.hd clients in
+  let legs = Client.eval_all cl [ "good"; "bad" ] "deep-->next->value" in
+  let leg id =
+    match List.assoc_opt id legs with
+    | Some (Ok lines) -> lines
+    | _ -> Alcotest.fail ("leg " ^ id ^ " missing or failed")
+  in
+  (match Fdiff.diff (leg "good") (leg "bad") with
+  | Fdiff.Diverged { index; left; right } ->
+      Alcotest.(check int)
+        "diverges at the seeded index" (Scenarios.buggy_index 40) index;
+      Alcotest.(check string) "good value" "60" left.Fdiff.d_value;
+      Alcotest.(check string) "off-by-one value" "61" right.Fdiff.d_value;
+      Alcotest.(check bool)
+        "symbolic path reported" true
+        (Support.contains_sub left.Fdiff.d_sym "deep")
+  | _ -> Alcotest.fail "twins must diverge");
+  List.iter Client.close clients
+
+(* The swapped-link twin diverges at the same index but with the
+   successor's value — a different signature for the same position. *)
+let fleet_swapped_link_signature () =
+  let _srv, _fleet, clients =
+    fleet_stack "fleet(good=deep_list:40,sw=deep_list_swapped:40)"
+  in
+  let cl = List.hd clients in
+  let legs = Client.eval_all cl [] "deep-->next->value" in
+  let leg id =
+    match List.assoc_opt id legs with
+    | Some (Ok lines) -> lines
+    | _ -> Alcotest.fail ("leg " ^ id ^ " missing or failed")
+  in
+  (match Fdiff.diff (leg "good") (leg "sw") with
+  | Fdiff.Diverged { index; left; right } ->
+      Alcotest.(check int)
+        "same seeded index" (Scenarios.buggy_index 40) index;
+      Alcotest.(check bool)
+        "values traded places" true
+        (left.Fdiff.d_value <> right.Fdiff.d_value)
+  | _ -> Alcotest.fail "swapped twin must diverge");
+  List.iter Client.close clients
+
+(* Identical twins diff clean, and the report says so. *)
+let fleet_identical_targets_diff_clean () =
+  let _srv, _fleet, clients =
+    fleet_stack "fleet(a=deep_list:12,b=deep_list:12)"
+  in
+  let cl = List.hd clients in
+  let legs = Client.eval_all cl [] "deep-->next->value" in
+  let leg id =
+    match List.assoc_opt id legs with
+    | Some (Ok lines) -> lines
+    | _ -> Alcotest.fail ("leg " ^ id ^ " missing or failed")
+  in
+  let outcome = Fdiff.diff (leg "a") (leg "b") in
+  (match outcome with
+  | Fdiff.Equal n -> Alcotest.(check int) "all values compared" 12 n
+  | _ -> Alcotest.fail "identical targets must not diverge");
+  Alcotest.(check bool)
+    "report says identical" true
+    (List.exists
+       (fun l -> Support.contains_sub l "identical")
+       (Fdiff.report ~id_a:"a" ~id_b:"b" outcome));
+  List.iter Client.close clients
+
+(* The diff core, off the wire: alignment, length mismatch, laziness. *)
+let fleet_diff_unit () =
+  let s = Fdiff.split_line "deep-->next[[3]]->value = 9" in
+  Alcotest.(check string) "sym" "deep-->next[[3]]->value" s.Fdiff.d_sym;
+  Alcotest.(check string) "value" "9" s.Fdiff.d_value;
+  let bare = Fdiff.split_line "just output" in
+  Alcotest.(check string) "bare line has no sym" "" bare.Fdiff.d_sym;
+  Alcotest.(check string) "bare line is all value" "just output"
+    bare.Fdiff.d_value;
+  (* symbolic parts differing alone do not diverge *)
+  (match Fdiff.diff [ "a = 1"; "b = 2" ] [ "x = 1"; "y = 2" ] with
+  | Fdiff.Equal 2 -> ()
+  | _ -> Alcotest.fail "values equal, syms ignored");
+  (match Fdiff.diff [ "a = 1" ] [ "a = 1"; "a = 2" ] with
+  | Fdiff.Left_short { index = 1; right } ->
+      Alcotest.(check string) "first extra" "2" right.Fdiff.d_value
+  | _ -> Alcotest.fail "expected Left_short");
+  (match Fdiff.diff [ "a = 1"; "a = 2" ] [ "a = 1" ] with
+  | Fdiff.Right_short { index = 1; left } ->
+      Alcotest.(check string) "first extra" "2" left.Fdiff.d_value
+  | _ -> Alcotest.fail "expected Right_short");
+  (* lazy: the diff must not pull past the first divergence *)
+  let pulled = ref 0 in
+  let counted n =
+    Seq.init n (fun i ->
+        incr pulled;
+        Printf.sprintf "v = %d" (if i = 2 then 100 else i))
+  in
+  (match Fdiff.diff_seq (counted 1000) (Seq.init 1000 (Printf.sprintf "v = %d"))
+   with
+  | Fdiff.Diverged { index = 2; _ } -> ()
+  | _ -> Alcotest.fail "expected divergence at 2");
+  Alcotest.(check bool) "stopped at the divergence" true (!pulled <= 4)
+
+(* Per-target counters ride the stats wire and the human rendering. *)
+let fleet_per_target_stats () =
+  let srv, _fleet, clients = fleet_stack "fleet(a=all,b=all)" in
+  let cl = List.hd clients in
+  ignore (Client.eval cl "x[1..4]");
+  Client.use_target cl "b";
+  ignore (Client.eval cl "x[3]");
+  ignore (Client.eval_all cl [] "x[3]");
+  let st = Client.server_stats cl in
+  let get k = match List.assoc_opt k st with Some v -> v | None -> -1 in
+  Alcotest.(check int) "a evals" 2 (get "tgt.a.evals");
+  Alcotest.(check int) "b binds" 1 (get "tgt.b.binds");
+  Alcotest.(check int) "b evals" 2 (get "tgt.b.evals");
+  Alcotest.(check int) "a values" 5 (get "tgt.a.values");
+  Alcotest.(check int) "a errors" 0 (get "tgt.a.errors");
+  Alcotest.(check bool)
+    "human rendering has the targets" true
+    (List.exists
+       (fun l -> Support.contains_sub l "target a (all)")
+       (Server.stats_to_lines srv));
+  List.iter Client.close clients
+
+(* The cross-domain configuration: two shards over one shared fleet,
+   concurrent bound evals and a fan-out, ending in the seeded diff. *)
+let fleet_sharded () =
+  let fleet =
+    match
+      Fleet.of_string "fleet(good=deep_list:40,bad=deep_list_buggy:40)"
+    with
+    | Ok f -> f
+    | Error m -> Alcotest.fail m
+  in
+  let inf = (List.hd (Fleet.targets fleet)).Fleet.inf in
+  let srv = Sharded.create ~fleet ~shards:2 inf in
+  Sharded.start srv;
+  let clients =
+    List.init 4 (fun _ ->
+        let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+        Sharded.inject srv a;
+        Client.of_fd b)
+  in
+  let exec_direct inf q =
+    Session.exec (Session.create (Duel_target.Backend.direct inf)) q
+  in
+  let expected_good =
+    exec_direct (Scenarios.deep_list 40) "deep-->next->value"
+  in
+  let expected_bad =
+    exec_direct (Scenarios.deep_list_buggy 40) "deep-->next->value"
+  in
+  List.iteri
+    (fun i cl ->
+      if i mod 2 = 1 then Client.use_target cl "bad";
+      Alcotest.(check (list string))
+        "every shard serves the bound target"
+        (if i mod 2 = 1 then expected_bad else expected_good)
+        (Client.eval cl "deep-->next->value"))
+    clients;
+  let legs = Client.eval_all (List.hd clients) [] "deep-->next->value" in
+  let leg id =
+    match List.assoc_opt id legs with
+    | Some (Ok lines) -> lines
+    | _ -> Alcotest.fail ("leg " ^ id ^ " missing or failed")
+  in
+  (match Fdiff.diff (leg "good") (leg "bad") with
+  | Fdiff.Diverged { index; _ } ->
+      Alcotest.(check int)
+        "sharded fan-out finds the seed" (Scenarios.buggy_index 40) index
+  | _ -> Alcotest.fail "twins must diverge");
+  sharded_teardown srv clients
+
 let suite =
   [
     case "deframer survives byte-at-a-time delivery" deframer_split;
@@ -954,4 +1280,20 @@ let suite =
     case "SO_REUSEPORT shards share one TCP port" sharded_tcp_reuseport;
     case "sharded drain delivers queued replies" sharded_drain_mid_stream;
     case "each shard reaps its own idlers" sharded_idle_reap;
+    case "fleet roster and target binding" fleet_roster_and_bind;
+    case "fleet verbs degrade honestly without a fleet"
+      fleet_verbs_without_fleet;
+    case "binding an unknown target is a typed failure"
+      fleet_unknown_target_typed;
+    case "stores into one target leave siblings' caches alone"
+      fleet_write_isolation;
+    case "fan-out isolates dead and unknown legs" fleet_eval_all_isolates_legs;
+    case "twin targets diverge at the seeded index"
+      fleet_divergence_at_seeded_index;
+    case "swapped-link twin carries its own signature"
+      fleet_swapped_link_signature;
+    case "identical targets diff clean" fleet_identical_targets_diff_clean;
+    case "diff alignment, shortfall and laziness" fleet_diff_unit;
+    case "per-target counters ride the stats wire" fleet_per_target_stats;
+    case "two shards share one fleet" fleet_sharded;
   ]
