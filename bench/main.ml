@@ -359,9 +359,11 @@ type d1_row = {
   d_size : int;
   d_packets_uncached : int;
   d_packets_cached : int;
+  d_packets_prefetch : int;
   d_uncached_s : float;
   d_cached_cold_s : float;
   d_cached_warm_s : float;
+  d_prefetch_cold_s : float;
 }
 
 let time_run fn =
@@ -397,22 +399,39 @@ let d1_workload ~name ~query ~size ~spec =
       Printf.printf "  %-14s cache counters: %s\n" name
         (String.concat "; " (Duel_dbgi.Dcache.to_lines st))
   | None -> ());
+  (* Prefetching: same cache, plus the traversal prefetch planner.  The
+     cold run is the one the planner exists for — dependent chases whose
+     lines arrive in batched spans instead of one fill per line. *)
+  let b_p = backend_of (spec ^ "+cache+prefetch") in
+  let s_p = Session.create b_p.Backend.b_dbg in
+  let run_p = prepared s_p query in
+  let d_prefetch_cold_s = time_run run_p in
+  let d_packets_prefetch = !(b_p.Backend.b_packets) in
+  (match Duel_dbgi.Prefetch.stats b_p.Backend.b_dbg with
+  | Some st ->
+      Printf.printf "  %-14s prefetch counters: %s\n" name
+        (String.concat "; " (Duel_dbgi.Prefetch.to_lines st))
+  | None -> ());
   b_u.Backend.b_close ();
   b_c.Backend.b_close ();
+  b_p.Backend.b_close ();
   {
     d_name = name;
     d_query = query;
     d_size = size;
     d_packets_uncached;
     d_packets_cached;
+    d_packets_prefetch;
     d_uncached_s;
     d_cached_cold_s;
     d_cached_warm_s;
+    d_prefetch_cold_s;
   }
 
 let d1_pass r =
   r.d_packets_uncached >= 5 * r.d_packets_cached
   && r.d_cached_cold_s < r.d_uncached_s
+  && r.d_packets_cached >= 3 * r.d_packets_prefetch
 
 let d1_json ~quick rows =
   let b = Buffer.create 1024 in
@@ -426,15 +445,21 @@ let d1_json ~quick rows =
         (Printf.sprintf
            "    {\"name\": %S, \"query\": %S, \"size\": %d,\n\
            \     \"packets_uncached\": %d, \"packets_cached\": %d, \
-            \"packet_ratio\": %.2f,\n\
+            \"packets_prefetch\": %d, \"packet_ratio\": %.2f,\n\
+           \     \"prefetch_ratio\": %.2f,\n\
            \     \"uncached_s\": %.6f, \"cached_cold_s\": %.6f, \
             \"cached_warm_s\": %.6f,\n\
+           \     \"prefetch_cold_s\": %.6f,\n\
            \     \"speedup_cold\": %.2f, \"speedup_warm\": %.2f, \"pass\": \
             %b}%s\n"
            r.d_name r.d_query r.d_size r.d_packets_uncached r.d_packets_cached
+           r.d_packets_prefetch
            (float_of_int r.d_packets_uncached
            // float_of_int r.d_packets_cached)
+           (float_of_int r.d_packets_cached
+           // float_of_int r.d_packets_prefetch)
            r.d_uncached_s r.d_cached_cold_s r.d_cached_warm_s
+           r.d_prefetch_cold_s
            (r.d_uncached_s // r.d_cached_cold_s)
            (r.d_uncached_s // r.d_cached_warm_s)
            (d1_pass r)
@@ -447,9 +472,9 @@ let d1_json ~quick rows =
 
 let d1 ~quick ~json_file () =
   header
-    "D1  data cache: deep traversals over RSP loopback, cache on vs off \
-     (packets = framed $...#xx exchanges; cold = first run on an empty \
-     cache)";
+    "D1  data cache: deep traversals over RSP loopback, cache off / on / \
+     on+prefetch (packets = framed $...#xx exchanges; cold = first run on \
+     an empty cache)";
   let n = if quick then 600 else 2000 in
   let depth = if quick then 9 else 11 in
   let r_list =
@@ -462,22 +487,23 @@ let d1 ~quick ~json_file () =
       ~spec:(Printf.sprintf "rsp:deep_tree:%d" depth)
   in
   let rows = [ r_list; r_tree ] in
-  Printf.printf "  %-14s %10s %10s %8s %12s %12s %12s\n" "workload"
-    "pkts(raw)" "pkts($)" "ratio" "raw" "cold $" "warm $";
+  Printf.printf "  %-14s %10s %10s %10s %8s %12s %12s %12s\n" "workload"
+    "pkts(raw)" "pkts($)" "pkts(pf)" "ratio" "raw" "cold $" "cold pf";
   List.iter
     (fun r ->
-      Printf.printf "  %-14s %10d %10d %7.1fx %s %s %s\n" r.d_name
-        r.d_packets_uncached r.d_packets_cached
+      Printf.printf "  %-14s %10d %10d %10d %7.1fx %s %s %s\n" r.d_name
+        r.d_packets_uncached r.d_packets_cached r.d_packets_prefetch
         (float_of_int r.d_packets_uncached // float_of_int r.d_packets_cached)
         (ns (r.d_uncached_s *. 1e9))
         (ns (r.d_cached_cold_s *. 1e9))
-        (ns (r.d_cached_warm_s *. 1e9)))
+        (ns (r.d_prefetch_cold_s *. 1e9)))
     rows;
   let pass = List.for_all d1_pass rows in
   verdict pass
     (Printf.sprintf
-       "cache cuts packets %.1fx (list) / %.1fx (tree); cold-run speedup \
-        %.1fx / %.1fx (need >= 5x packets and cold < raw)"
+       "cache cuts packets %.1fx (list) / %.1fx (tree); prefetch cuts \
+        cold-cache packets a further %.1fx / %.1fx (need >= 5x cache, >= \
+        3x prefetch, cold < raw)"
        (match rows with
        | r :: _ ->
            float_of_int r.d_packets_uncached // float_of_int r.d_packets_cached
@@ -487,10 +513,12 @@ let d1 ~quick ~json_file () =
            float_of_int r.d_packets_uncached // float_of_int r.d_packets_cached
        | _ -> Float.nan)
        (match rows with
-       | r :: _ -> r.d_uncached_s // r.d_cached_cold_s
+       | r :: _ ->
+           float_of_int r.d_packets_cached // float_of_int r.d_packets_prefetch
        | [] -> Float.nan)
        (match rows with
-       | [ _; r ] -> r.d_uncached_s // r.d_cached_cold_s
+       | [ _; r ] ->
+           float_of_int r.d_packets_cached // float_of_int r.d_packets_prefetch
        | _ -> Float.nan));
   (match json_file with
   | Some file ->

@@ -38,11 +38,13 @@ let help_text =
                          (default; alias seq, plus sm for the state machine),
                          or the unlowered ablation
   set lower on|off       lower names to cached resolution slots (default on)
+  set prefetch on|off    speculative read-ahead into the data cache (default on)
   set compress <n>       -->a[[n]] compression threshold (default 4)
   set limit <n>          cap displayed values (0 = unlimited)
   info scenario          describe the loaded debuggee
   info backend           the resolved --target spec tree, caps, health
   info cache             target-memory data cache counters (see --no-cache)
+  info prefetch          speculative-prefetch counters (see --no-prefetch)
   info lower             name-resolution cache counters (hits/misses/stale)
   info vm                bytecode-VM counters (dispatch/superinsns/frames)
   info chaos             fault-injection and retry counters (see --chaos)
@@ -187,6 +189,8 @@ let handle_command session inf scenario program built line =
       | None -> print_endline "backend: debugger-owned (program mode)")
   | [ "info"; "cache" ] ->
       List.iter print_endline (Session.cache_stats session)
+  | [ "info"; "prefetch" ] ->
+      List.iter print_endline (Session.prefetch_stats session)
   | [ "info"; "lower" ] ->
       List.iter print_endline (Session.lower_stats session)
   | [ "info"; "vm" ] -> List.iter print_endline (Session.vm_stats session)
@@ -216,6 +220,10 @@ let handle_command session inf scenario program built line =
       session.Session.lower <- false
   | [ "set"; "lower"; "on" ] -> session.Session.lower <- true
   | [ "set"; "lower"; "off" ] -> session.Session.lower <- false
+  | [ "set"; "prefetch"; (("on" | "off") as v) ] ->
+      if not (Session.set_prefetch session (v = "on")) then
+        print_endline "prefetch: no data cache to speculate into"
+  | [ "set"; "prefetch"; _ ] -> print_endline "expected on or off"
   | [ "set"; "compress"; n ] -> (
       match int_of_string_opt n with
       | Some n when n >= 2 -> flags.Env.compress <- n
@@ -281,7 +289,7 @@ let parse_chaos spec =
 (* The legacy flags, rewritten into a backend spec.  --rsp --chaos used
    to get the byte mangler on the loopback wire for free; the rewritten
    spec keeps that wiring explicit. *)
-let spec_of_legacy scenario use_rsp no_cache chaos =
+let spec_of_legacy scenario use_rsp no_cache no_prefetch chaos =
   let base = (if use_rsp then "rsp:" else "direct:") ^ scenario in
   let mangle, chaos_deco =
     match chaos with
@@ -293,7 +301,9 @@ let spec_of_legacy scenario use_rsp no_cache chaos =
            else ""),
           Printf.sprintf "+chaos(seed=%d,profile=%s)" seed profile )
   in
-  base ^ mangle ^ chaos_deco ^ if no_cache then "" else "+cache"
+  base ^ mangle ^ chaos_deco
+  ^ (if no_cache then "" else "+cache")
+  ^ if no_cache || no_prefetch then "" else "+prefetch"
 
 let build_target ?make_inf spec_str =
   match Backend.of_string ?make_inf spec_str with
@@ -312,7 +322,8 @@ let engine_of_string s =
   | "ast" -> (Session.Seq_engine, Some false)
   | _ -> (Session.Seq_engine, None)
 
-let run target scenario engine use_rsp no_cache chaos program_file exprs =
+let run target scenario engine use_rsp no_cache no_prefetch chaos program_file
+    exprs =
   let engine, lower_override = engine_of_string engine in
   let program_src =
     Option.map
@@ -327,7 +338,7 @@ let run target scenario engine use_rsp no_cache chaos program_file exprs =
   let spec_str =
     match target with
     | Some t -> t
-    | None -> spec_of_legacy scenario use_rsp no_cache chaos
+    | None -> spec_of_legacy scenario use_rsp no_cache no_prefetch chaos
   in
   let inf, program, session, built =
     match program_src with
@@ -341,7 +352,11 @@ let run target scenario engine use_rsp no_cache chaos program_file exprs =
         Debugger.on_stop dbg stop_prompt;
         if use_rsp then begin
           (* the program's own inferior, served through the loopback *)
-          let spec = "rsp:all" ^ if no_cache then "" else "+cache" in
+          let spec =
+            "rsp:all"
+            ^ (if no_cache then "" else "+cache")
+            ^ if no_cache || no_prefetch then "" else "+prefetch"
+          in
           let built = build_target ~make_inf:(fun _ -> inf) spec in
           (inf, Some dbg, Session.create ~engine built.Backend.b_dbg, Some built)
         end
@@ -461,6 +476,8 @@ let connect_help =
   info targets           the server's fleet roster (qDuelTargets)
   info server            the server's counters (qDuelStats)
   info cache             local data-cache counters
+  info prefetch          local speculative-prefetch counters
+  set prefetch on|off    toggle local speculative read-ahead
   help                   this text
   quit                   exit|}
 
@@ -517,6 +534,12 @@ let connect_command session cl line =
             roster)
   | [ "info"; "cache" ] ->
       List.iter print_endline (Session.cache_stats session)
+  | [ "info"; "prefetch" ] ->
+      List.iter print_endline (Session.prefetch_stats session)
+  | [ "set"; "prefetch"; (("on" | "off") as v) ] ->
+      if not (Session.set_prefetch session (v = "on")) then
+        print_endline "prefetch: no data cache to speculate into"
+  | [ "set"; "prefetch"; _ ] -> print_endline "expected on or off"
   | [ "use"; id ] ->
       Serve_client.use_target cl id;
       Printf.printf "bound to target %s\n" id
@@ -525,7 +548,7 @@ let connect_command session cl line =
       List.iter print_endline (Serve_client.eval cl (String.concat " " rest))
   | _ -> List.iter print_endline (Session.exec session (String.trim line))
 
-let connect addr scenario engine no_cache exprs =
+let connect addr scenario engine no_cache no_prefetch exprs =
   (* The gdb model: debug info (symbols, types, frame layouts) comes from
      a locally built twin of the served scenario — the builders are
      deterministic, so addresses match — while live memory, allocation
@@ -539,7 +562,11 @@ let connect addr scenario engine no_cache exprs =
         (Serve_client.failure_message f);
       exit 1
   in
-  let dbgi = Serve_client.dbgi ~cache:(not no_cache) cl di in
+  let dbgi =
+    Serve_client.dbgi ~cache:(not no_cache)
+      ~prefetch:(not (no_cache || no_prefetch))
+      cl di
+  in
   let engine, lower_override = engine_of_string engine in
   let session = Session.create ~engine dbgi in
   Option.iter (fun b -> session.Session.lower <- b) lower_override;
@@ -649,6 +676,15 @@ let no_cache_arg =
            becomes a backend round-trip (useful for measuring the cache, \
            see `info cache`).")
 
+let no_prefetch_arg =
+  Arg.(
+    value & flag
+    & info [ "no-prefetch" ]
+        ~doc:
+          "Disable speculative read-ahead into the data cache; cold \
+           traversals pay one round-trip per line again (useful for \
+           measuring the prefetcher, see `info prefetch`).")
+
 let chaos_arg =
   Arg.(
     value
@@ -675,7 +711,7 @@ let exprs_arg =
 let repl_term =
   Term.(
     const run $ target_arg $ scenario_arg $ engine_arg $ rsp_arg
-    $ no_cache_arg $ chaos_arg $ program_arg $ exprs_arg)
+    $ no_cache_arg $ no_prefetch_arg $ chaos_arg $ program_arg $ exprs_arg)
 
 let serve_cmd =
   let scenario_pos =
@@ -752,7 +788,7 @@ let connect_cmd =
           server-side in one round-trip.")
     Term.(
       const connect $ addr_pos $ scenario_opt $ engine_arg $ no_cache_arg
-      $ exprs_arg)
+      $ no_prefetch_arg $ exprs_arg)
 
 let diff_cmd =
   let addr_pos =

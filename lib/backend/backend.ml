@@ -1,5 +1,6 @@
 module Dbgi = Duel_dbgi.Dbgi
 module Dcache = Duel_dbgi.Dcache
+module Prefetch = Duel_dbgi.Prefetch
 module Dispatcher = Duel_dbgi.Dispatcher
 module Inferior = Duel_target.Inferior
 module Memory = Duel_mem.Memory
@@ -18,6 +19,7 @@ type base =
 
 type deco =
   | Cache
+  | Prefetch
   | Chaos of { seed : int; profile : string }
   | Flaky of { seed : int; profile : string }
   | Mangle of { seed : int; profile : string; rate : float }
@@ -63,6 +65,7 @@ let print_base = function
 
 let print_deco = function
   | Cache -> "cache"
+  | Prefetch -> "prefetch"
   | Chaos { seed; profile } ->
       Printf.sprintf "chaos(seed=%d,profile=%s)" seed profile
   | Flaky { seed; profile } ->
@@ -182,6 +185,7 @@ let parse_deco s =
   in
   let get k d kv = match List.assoc_opt k kv with Some v -> v | None -> d in
   if s = "cache" then Cache
+  else if s = "prefetch" then Prefetch
   else
     match args_of "chaos" with
     | Some kv ->
@@ -432,6 +436,7 @@ let dead_of inf =
 let build_atom ctx base decos =
   let label = print (Atom (base, decos)) in
   let has_cache = List.mem Cache decos in
+  let has_prefetch = List.mem Prefetch decos in
   let mangle =
     List.find_map
       (function
@@ -449,7 +454,9 @@ let build_atom ctx base decos =
     ctx.closers <-
       (fun () -> try Duel_serve.Client.close cl with _ -> ()) :: ctx.closers;
     let dbg =
-      Duel_serve.Client.dbgi ~cache:has_cache cl
+      Duel_serve.Client.dbgi
+        ~cache:(has_cache || has_prefetch)
+        ~prefetch:has_prefetch cl
         (Duel_rsp.Client.debug_info_of_inferior inf)
     in
     (inf, dbg, true, None)
@@ -515,7 +522,9 @@ let build_atom ctx base decos =
           (fun () -> try Duel_serve.Client.close cl with _ -> ())
           :: ctx.closers;
         let dbg =
-          Duel_serve.Client.dbgi ~cache:has_cache cl
+          Duel_serve.Client.dbgi
+        ~cache:(has_cache || has_prefetch)
+        ~prefetch:has_prefetch cl
             (Duel_rsp.Client.debug_info_of_inferior inf)
         in
         (inf, dbg, true, wire)
@@ -535,6 +544,20 @@ let build_atom ctx base decos =
             let cached = if net_cache_applied then dbg else cache_wrap inf dbg in
             ctx.closers <-
               (fun () -> try Dcache.flush cached with _ -> ()) :: ctx.closers;
+            cached
+        | Prefetch ->
+            (* speculation needs a cache to insert into, so +prefetch
+               implies one; for network bases both were already applied
+               inside the client above *)
+            let cached =
+              if Dcache.is_cached dbg || net_cache_applied then dbg
+              else cache_wrap inf dbg
+            in
+            (* same close-time flush as +cache: buffered writes must
+               leave while the transport underneath is still alive *)
+            ctx.closers <-
+              (fun () -> try Dcache.flush cached with _ -> ()) :: ctx.closers;
+            ignore (Prefetch.attach cached);
             cached
         | Mangle _ -> dbg (* applied at the base *)
         | Stall { seed; ms; rate } ->

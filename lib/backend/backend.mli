@@ -18,6 +18,8 @@
             | "tcp://" host ":" port ["#" scenario]
             | "unix:" path ["#" scenario]
     deco  ::= "cache"                     data cache (dcache) layer
+            | "prefetch"                  speculative read-ahead into the
+                                          dcache (implies cache)
             | "chaos(seed=N,profile=P)"   fault injection + retry layer
             | "flaky(seed=N,profile=P)"   fault injection, no retries
             | "mangle(seed=N,profile=P,rate=R)"
@@ -55,6 +57,7 @@ type base =
 
 type deco =
   | Cache
+  | Prefetch
   | Chaos of { seed : int; profile : string }
   | Flaky of { seed : int; profile : string }
   | Mangle of { seed : int; profile : string; rate : float }

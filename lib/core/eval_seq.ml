@@ -346,7 +346,9 @@ and eval_expand env ~depth_first roots step =
       Seq.fold_left
         (fun acc w ->
           match Semantics.traversal_child_ok env w with
-          | Some wf -> wf :: acc
+          | Some wf ->
+              Semantics.chase_hint env w wf;
+              wf :: acc
           | None -> acc)
         [] (eval env step)
     in

@@ -683,7 +683,9 @@ and expand env n ~depth_first =
           match next env n.kids.(1) with
           | Some w -> (
               match Semantics.traversal_child_ok env w with
-              | Some wf -> collect (wf :: acc)
+              | Some wf ->
+                  Semantics.chase_hint env w wf;
+                  collect (wf :: acc)
               | None -> collect acc)
           | None -> List.rev acc
         in

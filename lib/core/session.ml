@@ -170,6 +170,25 @@ let cache_stats session =
         (Duel_dbgi.Dcache.cached_lines dbg)
       :: Duel_dbgi.Dcache.to_lines st
 
+let prefetch_stats session =
+  let dbg = session.env.Env.dbg in
+  match Duel_dbgi.Prefetch.stats dbg with
+  | None ->
+      [
+        (if Duel_dbgi.Dcache.is_cached dbg then
+           "prefetch: off (no predictor attached; see --no-prefetch)"
+         else "prefetch: off (no data cache to speculate into)");
+      ]
+  | Some st ->
+      Duel_dbgi.Prefetch.to_lines ~on:(Duel_dbgi.Prefetch.enabled dbg) st
+
+let set_prefetch session on =
+  let dbg = session.env.Env.dbg in
+  if on && not (Duel_dbgi.Prefetch.is_attached dbg) then
+    (* started with --no-prefetch: attach lazily if there is a cache *)
+    ignore (Duel_dbgi.Prefetch.attach dbg);
+  Duel_dbgi.Prefetch.set_enabled dbg on
+
 let lower_stats session =
   let ls = session.env.Env.lstats in
   [

@@ -79,6 +79,19 @@ val cache_stats : t -> string list
     [drive] flush the cache's coalesced writes when a command finishes,
     so memory is consistent between commands. *)
 
+val prefetch_stats : t -> string list
+(** Human-readable {!Duel_dbgi.Prefetch} counters for the session's
+    interface (the [info prefetch] command): speculative lines issued /
+    useful / wasted, swallowed speculative faults, span reads and engine
+    hints — or a single "prefetch: off" line when no predictor is
+    attached. *)
+
+val set_prefetch : t -> bool -> bool
+(** Enable or disable speculation on the session's interface (the
+    [set prefetch on|off] command), attaching a predictor first if the
+    interface is cached but was started without one.  [false] when there
+    is no data cache to speculate into. *)
+
 val lower_stats : t -> string list
 (** Human-readable resolution-cache counters (the [info lower] command):
     whether lowering is on, plus slot hit/miss/stale/dynamic counts from

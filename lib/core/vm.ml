@@ -324,9 +324,12 @@ and chase_next a ch =
         let kids =
           let scope = Semantics.node_scope env node in
           Env.push_scope env scope;
+          let w = opv a ch.ch_step in
           let r =
-            match Semantics.traversal_child_ok env (opv a ch.ch_step) with
-            | Some wf -> [ wf ]
+            match Semantics.traversal_child_ok env w with
+            | Some wf ->
+                Semantics.chase_hint env w wf;
+                [ wf ]
             | None -> []
           in
           Env.pop_scope env;

@@ -53,13 +53,34 @@ let fresh_stats () =
 
 (* Lines are threaded on an intrusive doubly-linked recency list (MRU at
    [mru], LRU at [lru]), so a [touch] is pointer surgery and eviction is
-   O(1) instead of a full-table minimum scan. *)
+   O(1) instead of a full-table minimum scan.  [spec] marks a line that
+   was inserted speculatively (by a prefetcher via [spec_fetch]) and has
+   not yet been touched by a demand access; the flag exists only for
+   accounting — the bytes are as real as a demand fill's. *)
 type line = {
   base : int;
   buf : bytes;
   mutable dirty : bool;
+  mutable spec : bool;
   mutable prev : line option;  (* towards MRU *)
   mutable next : line option;  (* towards LRU *)
+}
+
+(* The speculation port: how an attached prefetcher observes this cache.
+   [h_demand] fires after every demand read completes (the prediction
+   signal); [fresh] is true when the access filled a missing line or
+   promoted a speculative one — the first-touch stream, which is what a
+   stride predictor should train on (re-reads of long-resident lines are
+   traversal backtracking, not the miss frontier).  [h_useful]/[h_wasted]
+   resolve speculative lines (promoted by a demand touch / dropped
+   still-speculative); [h_reset] fires when the cache drops every line,
+   so the predictor forgets its run state. *)
+type spec_hooks = {
+  h_demand : addr:int -> len:int -> fresh:bool -> unit;
+  h_issued : int -> unit;
+  h_useful : int -> unit;
+  h_wasted : int -> unit;
+  h_reset : unit -> unit;
 }
 
 type cache = {
@@ -72,6 +93,7 @@ type cache = {
   mutable pending_bytes : int;
   mutable last_gen : int;
   mutable stale : bool;  (* [mark_stale]: drop lines on the next operation *)
+  mutable hooks : spec_hooks option;
   st : stats;
 }
 
@@ -102,6 +124,13 @@ let touch c line =
       push_front c line
 
 let clear_lines c =
+  (match c.hooks with
+  | Some h ->
+      let spec = ref 0 in
+      Hashtbl.iter (fun _ l -> if l.spec then incr spec) c.lines;
+      if !spec > 0 then h.h_wasted !spec;
+      h.h_reset ()
+  | None -> ());
   Hashtbl.reset c.lines;
   c.mru <- None;
   c.lru <- None
@@ -166,6 +195,8 @@ let evict_one c =
          first keeps the invariant that every pending byte lives in a
          cached line, so fills can never resurrect stale backend data. *)
       if l.dirty then flush_cache c;
+      if l.spec then
+        (match c.hooks with Some h -> h.h_wasted 1 | None -> ());
       unlink c l;
       Hashtbl.remove c.lines l.base
 
@@ -174,15 +205,17 @@ let fill c base =
   c.st.backend_reads <- c.st.backend_reads + 1;
   let buf = c.backend.Dbgi.get_bytes ~addr:base ~len:c.cfg.line_size in
   if Hashtbl.length c.lines >= c.cfg.max_lines then evict_one c;
-  let l = { base; buf; dirty = false; prev = None; next = None } in
+  let l = { base; buf; dirty = false; spec = false; prev = None; next = None } in
   push_front c l;
   Hashtbl.replace c.lines base l;
   l
 
 (* Copy [addr, addr+len) between a client buffer and the cached lines.
    [get] reads lines into [out]; otherwise writes [data] into lines,
-   marking them dirty. *)
+   marking them dirty.  Returns how many speculative lines the access
+   promoted, so the caller can tell a first touch from a re-read. *)
 let blit_lines c ~addr ~len ~(out : bytes option) ~(data : bytes option) =
+  let promoted = ref 0 in
   List.iter
     (fun base ->
       let l = Hashtbl.find c.lines base in
@@ -196,8 +229,16 @@ let blit_lines c ~addr ~len ~(out : bytes option) ~(data : bytes option) =
           Bytes.blit data (lo - addr) l.buf (lo - base) (hi - lo);
           l.dirty <- true
       | None -> ());
+      if l.spec then begin
+        (* a demand access touched a speculated line: the prediction paid
+           off, exactly once per line *)
+        l.spec <- false;
+        incr promoted;
+        match c.hooks with Some h -> h.h_useful 1 | None -> ()
+      end;
       touch c l)
-    (line_bases c addr len)
+    (line_bases c addr len);
+  !promoted
 
 let all_cached c ~addr ~len =
   List.for_all (fun base -> Hashtbl.mem c.lines base) (line_bases c addr len)
@@ -214,7 +255,8 @@ let cached_get c ~addr ~len =
   else begin
     check_coherence c;
     c.st.bytes_read <- c.st.bytes_read + len;
-    if all_cached c ~addr ~len then c.st.hits <- c.st.hits + 1
+    let hit = all_cached c ~addr ~len in
+    if hit then c.st.hits <- c.st.hits + 1
     else begin
       c.st.misses <- c.st.misses + 1;
       try ensure_lines c ~addr ~len
@@ -237,7 +279,12 @@ let cached_get c ~addr ~len =
         raise_notrace Exit
     end;
     let out = Bytes.create len in
-    blit_lines c ~addr ~len ~out:(Some out) ~data:None;
+    let promoted = blit_lines c ~addr ~len ~out:(Some out) ~data:None in
+    (* the demand stream feeds the predictor last, after this request has
+       finished mutating the line table: the hook may insert lines *)
+    (match c.hooks with
+    | Some h -> h.h_demand ~addr ~len ~fresh:((not hit) || promoted > 0)
+    | None -> ());
     out
   end
 
@@ -279,7 +326,7 @@ let cached_put c ~addr data =
         (* Write-allocate: the lines are cached, so update them in place
            and buffer the store; it reaches the backend coalesced, at the
            next flush point. *)
-        blit_lines c ~addr ~len ~out:None ~data:(Some data);
+        ignore (blit_lines c ~addr ~len ~out:None ~data:(Some data));
         add_pending c addr data;
         if c.pending_bytes > c.cfg.max_pending then flush_cache c
     | exception (Dbgi.Target_transient _ as e) ->
@@ -327,13 +374,97 @@ let probe c ~addr ~len =
   check_coherence c;
   if all_cached c ~addr ~len then begin
     c.st.hits <- c.st.hits + 1;
-    blit_lines c ~addr ~len ~out:None ~data:None;
+    let promoted = blit_lines c ~addr ~len ~out:None ~data:None in
+    (* probes are demand accesses too: a probe that promotes speculated
+       lines is the traversal's first touch of a node *)
+    (match c.hooks with
+    | Some h -> h.h_demand ~addr ~len ~fresh:(promoted > 0)
+    | None -> ());
     true
   end
   else
     match cached_get c ~addr ~len with
     | (_ : bytes) -> true
     | exception Dbgi.Target_fault _ -> false
+
+(* --- the speculation port ------------------------------------------------ *)
+
+(* Insert whole lines carved out of one speculatively read span.  Lines
+   already resident are skipped — in particular dirty lines, preserving
+   the invariant that every pending byte lives in a cached line — so a
+   misprediction can never clobber buffered writes or demand-fresh data. *)
+let spec_insert c ~start buf =
+  let got = Bytes.length buf in
+  let inserted = ref 0 in
+  let base = ref start in
+  while !base + c.cfg.line_size <= start + got do
+    if not (Hashtbl.mem c.lines !base) then begin
+      if Hashtbl.length c.lines >= c.cfg.max_lines then evict_one c;
+      let lbuf = Bytes.sub buf (!base - start) c.cfg.line_size in
+      let l =
+        { base = !base; buf = lbuf; dirty = false; spec = true; prev = None;
+          next = None }
+      in
+      push_front c l;
+      Hashtbl.replace c.lines !base l;
+      incr inserted
+    end;
+    base := !base + c.cfg.line_size
+  done;
+  (* the ledger counts at this layer, so [useful + wasted = issued]
+     holds for every speculative insert, whoever asked for it *)
+  if !inserted > 0 then
+    (match c.hooks with Some h -> h.h_issued !inserted | None -> ());
+  !inserted
+
+(* One speculative batched read: the whole line-aligned span in a single
+   backend round trip.  A batch that straddles an unmapped hole is not
+   dropped: an exact interior fault address (direct backends report the
+   first bad byte) retries once with the mapped prefix; a coarse fault (a
+   remote stub only says "no") retries once with the front half.  A read
+   that still faults propagates — the caller (the prefetcher) swallows
+   and counts it; demand reads never come through here. *)
+let spec_fetch_cache c ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    let start = line_base c addr in
+    let want = line_base c (addr + len - 1) + c.cfg.line_size - start in
+    if all_cached c ~addr:start ~len:want then 0
+    else begin
+      let read len =
+        c.st.backend_reads <- c.st.backend_reads + 1;
+        c.backend.Dbgi.get_bytes ~addr:start ~len
+      in
+      let buf =
+        try read want
+        with Dbgi.Target_fault { addr = fa; _ } ->
+          let prefix =
+            if fa > start && fa < start + want then
+              (fa - start) land lnot (c.cfg.line_size - 1)
+            else (want / 2) land lnot (c.cfg.line_size - 1)
+          in
+          if prefix < c.cfg.line_size then
+            raise (Dbgi.Target_fault { addr = fa; len = want })
+          else read prefix
+      in
+      spec_insert c ~start buf
+    end
+  end
+
+let spec_peek_cache c ~addr ~len =
+  if len <= 0 then None
+  else if not (all_cached c ~addr ~len) then None
+  else begin
+    let out = Bytes.create len in
+    List.iter
+      (fun base ->
+        let l = Hashtbl.find c.lines base in
+        let lo = max addr base in
+        let hi = min (addr + len) (base + c.cfg.line_size) in
+        Bytes.blit l.buf (lo - base) out (lo - addr) (hi - lo))
+      (line_bases c addr len);
+    Some out
+  end
 
 (* The wrapped interface is a plain [Dbgi.t]; caches are found again by
    physical identity (most recent first, so the live session's wrapper is
@@ -360,6 +491,7 @@ let wrap ?(config = default_config) backend =
       last_gen =
         (match config.stale_policy with Probe probe -> probe () | Explicit -> 0);
       stale = false;
+      hooks = None;
       st = fresh_stats ();
     }
   in
@@ -397,6 +529,36 @@ let invalidate dbg =
 
 let mark_stale dbg =
   match find dbg with None -> () | Some c -> c.stale <- true
+
+(* --- speculation port, by wrapped interface ------------------------------ *)
+
+let set_spec_hooks dbg hooks =
+  match find dbg with
+  | None -> false
+  | Some c ->
+      c.hooks <- Some hooks;
+      true
+
+let spec_line_size dbg = Option.map (fun c -> c.cfg.line_size) (find dbg)
+
+let spec_cached dbg ~addr ~len =
+  match find dbg with
+  | None -> false
+  | Some c -> len > 0 && all_cached c ~addr ~len
+
+let spec_peek dbg ~addr ~len =
+  Option.bind (find dbg) (fun c -> spec_peek_cache c ~addr ~len)
+
+let spec_fetch dbg ~addr ~len =
+  match find dbg with None -> 0 | Some c -> spec_fetch_cache c ~addr ~len
+
+let spec_lines dbg =
+  match find dbg with
+  | None -> 0
+  | Some c ->
+      let n = ref 0 in
+      Hashtbl.iter (fun _ l -> if l.spec then incr n) c.lines;
+      !n
 
 let reset_stats dbg =
   match find dbg with

@@ -139,3 +139,67 @@ val reset_stats : Dbgi.t -> unit
 
 val to_lines : stats -> string list
 (** Human-readable counter summary (for [info cache] and friends). *)
+
+(** {2 The speculation port}
+
+    A prediction layer ({!Prefetch}) attaches to a wrapped interface and
+    drives these: it observes the demand stream, reads ahead of it in
+    batched spans, and inserts whole lines marked {e speculative}.  A
+    speculative line is byte-identical to a demand fill — only the
+    accounting differs: its first demand touch resolves it {e useful},
+    dropping it untouched (eviction, invalidation) resolves it {e
+    wasted}, so for any quiesced cache [useful + wasted = issued].
+    Speculative inserts never replace a resident line, so buffered writes
+    (which always live in cached lines) cannot be clobbered by a
+    misprediction. *)
+
+(** Callbacks an attached predictor registers with {!set_spec_hooks}.
+    [h_demand] fires after each demand read completes (and may itself
+    call {!spec_fetch}); [fresh] is true when the access filled a
+    missing line or promoted a speculative one — the first-touch
+    stream, the right training signal for a stride detector (resident
+    re-reads are traversal backtracking, not the miss frontier).
+    [h_issued] counts every speculative line the moment it is inserted
+    (so the ledger balances even for {!spec_fetch} calls the predictor
+    did not make itself); [h_useful]/[h_wasted] resolve speculative
+    lines; [h_reset] fires whenever the cache drops every line, so run
+    state learned from the old contents is forgotten. *)
+type spec_hooks = {
+  h_demand : addr:int -> len:int -> fresh:bool -> unit;
+  h_issued : int -> unit;
+  h_useful : int -> unit;
+  h_wasted : int -> unit;
+  h_reset : unit -> unit;
+}
+
+val set_spec_hooks : Dbgi.t -> spec_hooks -> bool
+(** Register the predictor's callbacks ([false] if [dbg] is unwrapped).
+    One predictor per cache: a second registration replaces the first. *)
+
+val spec_line_size : Dbgi.t -> int option
+(** The line size of the cache behind [dbg], if any. *)
+
+val spec_cached : Dbgi.t -> addr:int -> len:int -> bool
+(** Whether every line covering the range is resident.  No fill, no
+    recency touch, no stats — a predictor's residency query. *)
+
+val spec_peek : Dbgi.t -> addr:int -> len:int -> bytes option
+(** Read the range from resident lines only ([None] on any absence).
+    Sees locally buffered writes.  No touch, no promotion, no stats —
+    this is how a predictor decodes a link pointer it just prefetched
+    without perturbing the demand signal. *)
+
+val spec_fetch : Dbgi.t -> addr:int -> len:int -> int
+(** Speculatively read the line-aligned span covering [addr, addr+len)
+    in one backend round trip and insert every non-resident whole line,
+    marked speculative; returns the number of lines inserted (0 if all
+    were already resident — no read is issued).  A batch straddling an
+    unmapped hole inserts the mapped prefix: an exact interior
+    {!Dbgi.Target_fault} address retries once with the bytes below it, a
+    coarse fault retries once with the front half.  A span that still
+    faults re-raises — the caller swallows and counts it; a
+    {!Dbgi.Target_transient} likewise propagates without marking the
+    cache stale (nothing speculative is trusted). *)
+
+val spec_lines : Dbgi.t -> int
+(** Resident lines still marked speculative (unresolved). *)

@@ -107,21 +107,26 @@ let connect ~exchange di =
     health = Dbgi.always_healthy;
   }
 
-let loopback ?(cache = true) inf =
+let loopback ?(cache = true) ?(prefetch = true) inf =
   let server = Server.create inf in
   let raw = connect ~exchange:(Server.handle server) (debug_info_of_inferior inf) in
-  if cache then
+  if cache then begin
     (* The "remote" is in-process, so we can snoop its memory generation
        like the direct backend does; a genuinely remote transport would
        instead invalidate on stop events. *)
-    Duel_dbgi.Dcache.wrap
-      ~config:
-        {
-          Duel_dbgi.Dcache.default_config with
-          stale_policy =
-            Duel_dbgi.Dcache.Probe
-              (fun () ->
-                Duel_mem.Memory.generation (Inferior.mem inf));
-        }
-      raw
+    let dbg =
+      Duel_dbgi.Dcache.wrap
+        ~config:
+          {
+            Duel_dbgi.Dcache.default_config with
+            stale_policy =
+              Duel_dbgi.Dcache.Probe
+                (fun () ->
+                  Duel_mem.Memory.generation (Inferior.mem inf));
+          }
+        raw
+    in
+    if prefetch then ignore (Duel_dbgi.Prefetch.attach dbg);
+    dbg
+  end
   else raw

@@ -23,7 +23,8 @@ val debug_info_of_inferior : Duel_target.Inferior.t -> debug_info
 val connect : exchange:(string -> string) -> debug_info -> Duel_dbgi.Dbgi.t
 (** @raise Failure on protocol errors. *)
 
-val loopback : ?cache:bool -> Duel_target.Inferior.t -> Duel_dbgi.Dbgi.t
+val loopback :
+  ?cache:bool -> ?prefetch:bool -> Duel_target.Inferior.t -> Duel_dbgi.Dbgi.t
 (** A ready-made client wired to an in-process {!Server} over the framed
     packet format (every byte still goes through encode/decode).  By
     default wrapped in {!Duel_dbgi.Dcache} (with a write-generation

@@ -156,7 +156,12 @@ let connect ?pump ?timeout ?retry addr =
           (Printf.sprintf "serve: connect %s: %s" addr (Unix.error_message e))));
   of_fd ?pump ?timeout ?retry fd
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t =
+  (* release buffered writes while the socket is still alive: the dcache
+     registry outlives this client, and a later [Dcache.flush_all]
+     barrier must not find dirty lines behind a dead connection *)
+  List.iter (fun d -> try Dcache.flush d with _ -> ()) t.caches;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 (* --- backoff ------------------------------------------------------------- *)
 
@@ -735,7 +740,7 @@ let eval_all t ids expr =
 
 (* --- the network debugger interface -------------------------------------- *)
 
-let dbgi ?(cache = true) t di =
+let dbgi ?(cache = true) ?(prefetch = true) t di =
   let raw = Duel_rsp.Client.connect ~exchange:(exchange t) di in
   (* [mark_stale] needs the *wrapped* interface, which doesn't exist
      until after we build the frames hook it closes over. *)
@@ -780,5 +785,8 @@ let dbgi ?(cache = true) t di =
     in
     wrapped := Some dbg;
     t.caches <- dbg :: t.caches;
+    (* speculative reads batch beautifully here: one [m addr,len] wire
+       exchange per span instead of one per line *)
+    if prefetch then ignore (Duel_dbgi.Prefetch.attach dbg);
     dbg
   end

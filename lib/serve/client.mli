@@ -209,7 +209,13 @@ val frame_count : t -> int
 val shutdown_server : t -> unit
 (** Ask the server to shut down gracefully ([qDuelShutdown]). *)
 
-val dbgi : ?cache:bool -> t -> Duel_rsp.Client.debug_info -> Duel_dbgi.Dbgi.t
+val dbgi :
+  ?cache:bool ->
+  ?prefetch:bool ->
+  t ->
+  Duel_rsp.Client.debug_info ->
+  Duel_dbgi.Dbgi.t
 (** The network debugger interface over this connection (see the module
     preamble).  [~cache:false] gives the raw one-round-trip-per-access
-    client with no coherence obligations. *)
+    client with no coherence obligations; [~prefetch:false] keeps the
+    cache but disables speculative read-ahead into it. *)

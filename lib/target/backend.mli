@@ -9,8 +9,10 @@
 
     By default the interface is wrapped in {!Duel_dbgi.Dcache} with a
     coherence probe on the inferior's memory, so direct stores (the
-    mini-C interpreter, scenario builders) invalidate it automatically;
+    mini-C interpreter, scenario builders) invalidate it automatically,
+    and a {!Duel_dbgi.Prefetch} predictor speculates into that cache;
     pass [~cache:false] for the raw, uncached interface (the inferior's
-    own store path, conformance baselines). *)
+    own store path, conformance baselines) or [~prefetch:false] for a
+    cache with no speculation (differential baselines). *)
 
-val direct : ?cache:bool -> Inferior.t -> Duel_dbgi.Dbgi.t
+val direct : ?cache:bool -> ?prefetch:bool -> Inferior.t -> Duel_dbgi.Dbgi.t

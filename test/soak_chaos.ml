@@ -320,6 +320,41 @@ let soak_seed ~duration seed =
         injected := !injected + st.Chaos.read_faults + st.Chaos.write_faults)
       built.Duel_backend.Backend.b_rigs;
     built.Duel_backend.Backend.b_close ();
+    (* the prefetching chaotic stack: speculative read-ahead under fault
+       injection.  Retried demand reads must not double-resolve
+       speculated lines, speculative faults stay swallowed, and after
+       every round the quiesced ledger must balance exactly. *)
+    let built =
+      match
+        Duel_backend.Backend.of_string
+          (Printf.sprintf "rsp:all+chaos(seed=%d,profile=mild-nocall)+prefetch"
+             sub)
+      with
+      | Ok b -> b
+      | Error m -> raise (Diverged ("prefetch rig: " ^ m))
+    in
+    let pdbg = built.Duel_backend.Backend.b_dbg in
+    soak_session ~label:"prefetch-chaos" ~seed:sub (Session.create pdbg);
+    Dcache.invalidate pdbg;
+    (match Duel_dbgi.Prefetch.stats pdbg with
+    | Some st ->
+        if
+          st.Duel_dbgi.Prefetch.issued
+          <> st.Duel_dbgi.Prefetch.useful + st.Duel_dbgi.Prefetch.wasted
+        then
+          raise
+            (Diverged
+               (Printf.sprintf
+                  "prefetch-chaos seed %d: ledger issued=%d useful=%d wasted=%d"
+                  sub st.Duel_dbgi.Prefetch.issued st.Duel_dbgi.Prefetch.useful
+                  st.Duel_dbgi.Prefetch.wasted))
+    | None -> raise (Diverged "prefetch rig: no predictor attached"));
+    List.iter
+      (fun (_, rig) ->
+        let st = Chaos.stats rig.Chaos.plan_ in
+        injected := !injected + st.Chaos.read_faults + st.Chaos.write_faults)
+      built.Duel_backend.Backend.b_rigs;
+    built.Duel_backend.Backend.b_close ();
     injected := !injected + (soak_serve ~seed:sub);
     injected := !injected + (soak_serve_sharded ~seed:sub);
     injected := !injected + (soak_serve_fleet ~seed:sub)

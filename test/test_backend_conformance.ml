@@ -27,6 +27,14 @@ let backends =
        bare and with the probe-less (Explicit-policy) client cache *)
     "serve:all";
     "serve:all+cache";
+    (* the traversal prefetch planner over every transport: speculation
+       must be observable only in its own counters *)
+    "direct:all+prefetch";
+    "rsp:all+cache+prefetch";
+    "serve:all+prefetch";
+    (* speculation under fault injection: the retry layer re-issues
+       demand reads, which must not double-resolve speculated lines *)
+    "rsp:all+chaos(seed=11,profile=mild-nocall)+prefetch";
     (* injection at fault rate zero must be invisible *)
     "direct:all+flaky(seed=1,profile=off)";
     (* injected transients absorbed by the retry layer.  The call
@@ -214,6 +222,25 @@ let vm_agreement =
           Alcotest.(check string) (l ("vm stdout parity: " ^ q)) oa ob)
         vm_queries)
 
+(* Every prefetching spec in the matrix must keep its speculation
+   ledger balanced after the cache quiesces — including under chaos,
+   where retried demand reads must not double-count useful lines (a
+   speculative line resolves exactly once, on its first touch). *)
+let prefetch_accounting =
+  conform (fun l _inf dbg ->
+      match Duel_dbgi.Prefetch.stats dbg with
+      | None -> ()
+      | Some _ ->
+          let s = Session.create dbg in
+          ignore (Session.exec s "hash[0]-->next->scope");
+          ignore (Session.exec s "#/(head-->next->value)");
+          Duel_dbgi.Dcache.invalidate dbg;
+          let st = Option.get (Duel_dbgi.Prefetch.stats dbg) in
+          Alcotest.(check int)
+            (l "useful + wasted = issued")
+            st.Duel_dbgi.Prefetch.issued
+            (st.Duel_dbgi.Prefetch.useful + st.Duel_dbgi.Prefetch.wasted))
+
 let suite =
   [
     case "bytes and scalars roundtrip" peek_poke;
@@ -224,4 +251,6 @@ let suite =
     case "faults carry address and length" faults;
     case "zero-length accesses never fault" zero_length;
     case "vm engine agrees with the walker on every backend" vm_agreement;
+    case "speculation ledger balances on every prefetching backend"
+      prefetch_accounting;
   ]

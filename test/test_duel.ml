@@ -22,6 +22,7 @@ let () =
       ("serve", Test_serve.suite);
       ("chaos", Test_chaos.suite);
       ("dcache", Test_dcache.suite);
+      ("prefetch", Test_prefetch.suite);
       ("cquery", Test_cquery.suite);
       ("session", Test_session.suite);
       ("minic", Test_minic.suite);
